@@ -1,0 +1,46 @@
+// Ablation — requestor wins vs requestor aborts as the conflict chain grows
+// (Section 5.3 and the "Implications" discussion in Section 1: "requestor
+// aborts is more efficient under low contention, whereas requestor wins is
+// more efficient when conflicts involve more than two transactions"; a
+// hybrid should alternate between the two).
+#include "bench_util.hpp"
+#include "core/densities.hpp"
+
+int main() {
+  using namespace txc;
+  using namespace txc::core;
+  bench::banner(
+      "Ablation — RW vs RA competitive ratios across chain length k",
+      "RA wins at k = 2 (e/(e-1) < 2); RW's optimal power density "
+      "overtakes as k grows (r/(r-1) -> e/(e-1) from 1.8 at k=3, while "
+      "RA's q/(q-1) ~ k); the hybrid takes the min");
+
+  bench::Table table{{"k", "RW uniform", "RW power", "RA exp", "DET RW",
+                      "hybrid", "winner"}};
+  table.print_header();
+  for (const int k : {2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    const double rw_uniform = ratio_rand_wins_uniform(k);
+    const double rw_power = ratio_rand_wins_power(k);
+    const double ra = ratio_rand_aborts(k);
+    const double det = ratio_det_wins(k);
+    const double hybrid = std::min(rw_power, ra);
+    table.print_row({std::to_string(k), bench::fmt(rw_uniform, 4),
+                     bench::fmt(rw_power, 4), bench::fmt(ra, 4),
+                     bench::fmt(det, 4), bench::fmt(hybrid, 4),
+                     ra <= rw_power ? "RA" : "RW"});
+  }
+
+  std::printf(
+      "\nMean-constrained comparison at mu/B = 0.1 (both thresholds hold):\n");
+  bench::Table constrained{{"k", "RRW(mu)", "RRA(mu)", "winner"}};
+  constrained.print_header();
+  const double B = 1000.0;
+  const double mu = 100.0;
+  for (const int k : {2, 3, 4, 8, 16}) {
+    const double rw = ratio_rand_wins_mean(k, B, mu);
+    const double ra = ratio_rand_aborts_mean(k, B, mu);
+    constrained.print_row({std::to_string(k), bench::fmt(rw, 4),
+                           bench::fmt(ra, 4), ra <= rw ? "RA" : "RW"});
+  }
+  return 0;
+}

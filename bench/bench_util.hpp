@@ -1,0 +1,63 @@
+// txconflict — shared helpers for the figure-reproduction harnesses.
+//
+// Each bench binary regenerates one figure (or ablation) from the paper and
+// prints the same rows/series the paper plots, plus the paper's qualitative
+// expectation so a reader can compare shapes at a glance (absolute numbers
+// differ: our substrate is a from-scratch simulator, see DESIGN.md §7).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace txc::bench {
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void print_header() const {
+    for (const auto& header : headers_) {
+      std::printf("%-*s", width_, header.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%-*s", width_, std::string(width_ - 2, '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (const auto& cell : cells) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline std::string fmt(double value, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+inline std::string fmt_sci(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3g", value);
+  return buffer;
+}
+
+inline void banner(const std::string& title, const std::string& expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("Paper expectation: %s\n\n", expectation.c_str());
+}
+
+}  // namespace txc::bench

@@ -1,0 +1,161 @@
+// Ablation — the paper's local policies vs classic global-knowledge
+// contention managers, inside the real-thread TL2 STM.
+//
+// Section 1 (Implications): "contention managers ... are usually assumed to
+// have global knowledge about the set of running transactions ... by
+// contrast, in our setting, decisions are entirely local."  Here both
+// regimes run on identical workloads: Polite/Karma/Timestamp/Greedy/Polka
+// (which inspect and may kill the lock holder) against Grace(RRA)/Grace(DET)
+// (which see nothing and may only self-abort after a drawn grace period).
+//
+// On this container thread overlap depends on the host scheduler, so the
+// load-bearing assertions (atomicity, conservation) live in the test suite;
+// the bench reports throughput-side numbers: wall time, aborts, lock waits,
+// and remote kills.
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "stm/cm.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::stm;
+
+struct Contender {
+  std::string label;
+  std::shared_ptr<const ContentionManager> cm;
+};
+
+std::vector<Contender> contenders() {
+  std::vector<Contender> result;
+  for (const auto kind : {CmKind::kPolite, CmKind::kKarma, CmKind::kTimestamp,
+                          CmKind::kGreedy, CmKind::kPolka}) {
+    result.push_back({to_string(kind), make_cm(kind)});
+  }
+  result.push_back(
+      {"Grace(RRA)",
+       std::make_shared<GracePolicyCm>(
+           core::make_policy(core::StrategyKind::kRandAborts))});
+  result.push_back(
+      {"Grace(DET_A)",
+       std::make_shared<GracePolicyCm>(
+           core::make_policy(core::StrategyKind::kDetAborts))});
+  result.push_back(
+      {"Grace(NONE)",
+       std::make_shared<GracePolicyCm>(
+           core::make_policy(core::StrategyKind::kNoDelay))});
+  return result;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t lock_waits = 0;
+  std::uint64_t kills = 0;
+};
+
+RunResult run_counter(const std::shared_ptr<const ContentionManager>& cm,
+                      int threads, int increments) {
+  Stm stm{cm};
+  Cell counter;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < increments; ++i) {
+        stm.atomically([&](Tx& tx) {
+          tx.write(counter, tx.read(counter) + 1);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto end = std::chrono::steady_clock::now();
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.commits = stm.stats().commits.load();
+  result.aborts = stm.stats().aborts.load();
+  result.lock_waits = stm.stats().lock_waits.load();
+  result.kills = stm.stats().remote_kills.load();
+  return result;
+}
+
+RunResult run_array(const std::shared_ptr<const ContentionManager>& cm,
+                    int threads, int ops) {
+  Stm stm{cm};
+  constexpr int kCells = 32;
+  std::vector<Cell> cells(kCells);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sim::Rng rng{static_cast<std::uint64_t>(t) + 1};
+      for (int i = 0; i < ops; ++i) {
+        stm.atomically([&](Tx& tx) {
+          // Read a window of 4, update 2 — the txapp shape.
+          const auto base = rng.uniform_below(kCells - 4);
+          std::uint64_t sum = 0;
+          for (int j = 0; j < 4; ++j) {
+            sum += tx.read(cells[base + static_cast<std::uint64_t>(j)]);
+          }
+          tx.write(cells[base], sum + 1);
+          tx.write(cells[base + 3], sum + 2);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto end = std::chrono::steady_clock::now();
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.commits = stm.stats().commits.load();
+  result.aborts = stm.stats().aborts.load();
+  result.lock_waits = stm.stats().lock_waits.load();
+  result.kills = stm.stats().remote_kills.load();
+  return result;
+}
+
+void report(const char* title, RunResult (*runner)(
+                                   const std::shared_ptr<const ContentionManager>&,
+                                   int, int),
+            int threads, int ops) {
+  std::printf("\n%s (%d threads x %d ops):\n", title, threads, ops);
+  txc::bench::Table table{{"manager", "Mops/s", "aborts", "lock-waits",
+                           "kills"}};
+  table.print_header();
+  for (const auto& contender : contenders()) {
+    const RunResult result = runner(contender.cm, threads, ops);
+    table.print_row(
+        {contender.label,
+         txc::bench::fmt(static_cast<double>(result.commits) /
+                             (result.seconds * 1e6),
+                         2),
+         txc::bench::fmt_sci(static_cast<double>(result.aborts)),
+         txc::bench::fmt_sci(static_cast<double>(result.lock_waits)),
+         txc::bench::fmt_sci(static_cast<double>(result.kills))});
+  }
+}
+
+}  // namespace
+
+int main() {
+  txc::bench::banner(
+      "Ablation — classic contention managers vs local grace policies (TL2)",
+      "global-knowledge managers (Karma/Greedy) resolve conflicts by killing "
+      "the loser and avoid wasted waiting; the paper's local Grace(...) "
+      "policies concede that information and stay within their competitive "
+      "bound — comparable throughput at these scales, zero remote kills by "
+      "construction");
+
+  report("Hot counter", run_counter, 4, 20000);
+  report("Array window txapp", run_array, 4, 20000);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Corollary 1 — global competitiveness of the sum of running times under the
+// Section 6 adversarial conflict game: the online ratio must stay below
+// (2w + 1)/(w + 1), where w is the offline waste.
+#include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "workload/adversary.hpp"
+
+int main() {
+  using namespace txc;
+  using namespace txc::workload;
+  bench::banner(
+      "Corollary 1 — sum-of-running-times ratio vs the offline optimum",
+      "online/offline <= (2w+1)/(w+1) <= 2 for the randomized requestor-wins "
+      "strategy, across contention levels and chain lengths");
+
+  bench::Table table{{"conflict-p", "chains", "w(S)", "bound", "RRW ratio",
+                      "DET ratio", "NO_DELAY"}};
+  table.print_header();
+  for (const double conflict_probability : {0.2, 0.5, 0.8, 0.95}) {
+    for (const int max_chain : {2, 4}) {
+      GameConfig config;
+      config.transactions = 4000;
+      config.conflict_probability = conflict_probability;
+      config.min_chain = 2;
+      config.max_chain = max_chain;
+      const auto schedule = plan_adversary(config);
+      const auto offline = play_offline_optimum(
+          schedule, core::ResolutionMode::kRequestorWins, config);
+      const double waste =
+          offline.sum_conflict_cost / offline.sum_commit_cost;
+      const double bound = corollary1_bound(offline);
+      const auto ratio_for = [&](core::StrategyKind kind) {
+        const auto policy = core::make_policy(kind);
+        const auto online = play_game(schedule, *policy, config);
+        return online.sum_running_time() / offline.sum_running_time();
+      };
+      table.print_row({bench::fmt(conflict_probability, 2),
+                       "2-" + std::to_string(max_chain), bench::fmt(waste, 3),
+                       bench::fmt(bound, 3),
+                       bench::fmt(ratio_for(core::StrategyKind::kRandWins), 3),
+                       bench::fmt(ratio_for(core::StrategyKind::kDetWins), 3),
+                       bench::fmt(ratio_for(core::StrategyKind::kNoDelay), 3)});
+    }
+  }
+  std::printf("\nNote: the Corollary 1 guarantee covers the randomized RW "
+              "strategy; DET and NO_DELAY columns are shown for contrast and "
+              "may exceed the bound.\n");
+  return 0;
+}

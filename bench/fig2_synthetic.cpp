@@ -1,0 +1,125 @@
+// Figures 2a/2b/2c — the synthetic conflict-cost experiment of Section 8.1.
+//
+// One binary per figure (selected by TXC_FIG2_VARIANT at compile time) so the
+// `for b in build/bench/*` loop regenerates each panel separately:
+//   fig2a_synthetic_highB : B = 2000, mu = 500 (Figure 2a)
+//   fig2b_synthetic_lowB  : B = 200,  mu = 500 (Figure 2b)
+//   fig2c_adversarial_det : worst-case remaining-time distribution for DET
+//                           (Figure 2c)
+//
+// Rows: the five length distributions.  Columns: the strategies of the
+// paper's legend plus the offline optimum.  Cells: average conflict cost.
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::workload;
+
+struct StrategyColumn {
+  core::StrategyKind kind;
+  const char* label;
+};
+
+constexpr StrategyColumn kColumns[] = {
+    {core::StrategyKind::kRandWinsMean, "RRW(mu)"},
+    {core::StrategyKind::kRandAbortsMean, "RRA(mu)"},
+    {core::StrategyKind::kRandWins, "RRW"},
+    {core::StrategyKind::kRandAborts, "RRA"},
+    {core::StrategyKind::kDetWins, "DET"},
+};
+
+void run_figure(const SyntheticConfig& config, bool det_worst_case) {
+  bench::Table table{{"distribution", "RRW(mu)", "RRA(mu)", "RRW", "RRA",
+                      "DET", "OPT(RW)", "OPT(RA)"}};
+  table.print_header();
+
+  const LengthShape shapes[] = {LengthShape::kGeometric, LengthShape::kNormal,
+                                LengthShape::kUniform,
+                                LengthShape::kExponential,
+                                LengthShape::kPoisson};
+  for (const auto shape : shapes) {
+    const LengthDistribution lengths{shape, config.mean};
+    std::vector<std::string> row{to_string(shape)};
+    double opt_rw = 0.0;
+    double opt_ra = 0.0;
+    for (const auto& column : kColumns) {
+      const auto policy = core::make_policy(column.kind);
+      const SyntheticResult result =
+          det_worst_case ? run_synthetic_det_worst_case(*policy, config)
+                         : run_synthetic(*policy, lengths, config);
+      row.push_back(bench::fmt(result.strategy_cost.mean(), 1));
+      if (column.kind == core::StrategyKind::kRandWins) {
+        opt_rw = result.optimal_cost.mean();
+      }
+      if (column.kind == core::StrategyKind::kRandAborts) {
+        opt_ra = result.optimal_cost.mean();
+      }
+    }
+    row.push_back(bench::fmt(opt_rw, 1));
+    row.push_back(bench::fmt(opt_ra, 1));
+    table.print_row(row);
+    if (det_worst_case) break;  // Figure 2c has a single adversarial row
+  }
+
+  std::printf("\nAverage cost / OPT ratios:\n");
+  bench::Table ratios{{"distribution", "RRW(mu)", "RRA(mu)", "RRW", "RRA",
+                       "DET"}};
+  ratios.print_header();
+  for (const auto shape : shapes) {
+    const LengthDistribution lengths{shape, config.mean};
+    std::vector<std::string> row{to_string(shape)};
+    for (const auto& column : kColumns) {
+      const auto policy = core::make_policy(column.kind);
+      const SyntheticResult result =
+          det_worst_case ? run_synthetic_det_worst_case(*policy, config)
+                         : run_synthetic(*policy, lengths, config);
+      row.push_back(bench::fmt(result.average_ratio(), 3));
+    }
+    ratios.print_row(row);
+    if (det_worst_case) break;
+  }
+}
+
+}  // namespace
+
+int main() {
+#if TXC_FIG2_VARIANT == 0
+  txc::bench::banner(
+      "Figure 2a — average conflict cost, HIGH fixed cost (B=2000, mu=500)",
+      "DET ~ OPT (never aborts); RRW(mu)/RRA(mu) < RRW/RRA; "
+      "RRW ~ 2x OPT, RRA ~ e/(e-1) x OPT");
+  SyntheticConfig config;
+  config.abort_cost = 2000.0;
+  config.mean = 500.0;
+  config.trials = 200000;
+  run_figure(config, /*det_worst_case=*/false);
+#elif TXC_FIG2_VARIANT == 1
+  txc::bench::banner(
+      "Figure 2b — average conflict cost, LOW fixed cost (B=200, mu=500)",
+      "DET degrades (frequent aborts); constrained ~ unconstrained "
+      "(threshold violated); RA variants beat RW variants");
+  SyntheticConfig config;
+  config.abort_cost = 200.0;
+  config.mean = 500.0;
+  config.trials = 200000;
+  run_figure(config, /*det_worst_case=*/false);
+#else
+  txc::bench::banner(
+      "Figure 2c — adversarial (worst-case for DET) remaining-time "
+      "distribution (B=2000)",
+      "DET pays 3x OPT (= 2 + 1/(k-1), k=2); randomized strategies keep "
+      "their guarantees (RRW <= 2, RRA <= e/(e-1))");
+  SyntheticConfig config;
+  config.abort_cost = 2000.0;
+  config.mean = 500.0;
+  config.trials = 100000;
+  run_figure(config, /*det_worst_case=*/true);
+#endif
+  return 0;
+}

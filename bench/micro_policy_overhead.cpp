@@ -1,0 +1,45 @@
+// Micro-benchmark (google-benchmark) — per-conflict decision latency of each
+// policy.  The paper notes the uniform requestor-wins strategy "may lend
+// itself to simple implementation in real systems"; this quantifies the
+// sampling cost of every strategy so implementers can compare.
+#include <benchmark/benchmark.h>
+
+#include "core/policy.hpp"
+
+namespace {
+
+using namespace txc::core;
+
+void bench_policy(benchmark::State& state, StrategyKind kind, int chain,
+                  bool with_mean) {
+  const auto policy = make_policy(kind, 100.0);
+  txc::sim::Rng rng{42};
+  ConflictContext context;
+  context.abort_cost = 2000.0;
+  context.chain_length = chain;
+  if (with_mean) context.mean_hint = 300.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->grace_period(context, rng));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_policy, no_delay, StrategyKind::kNoDelay, 2, false);
+BENCHMARK_CAPTURE(bench_policy, det_wins, StrategyKind::kDetWins, 2, false);
+BENCHMARK_CAPTURE(bench_policy, rand_wins_uniform_k2, StrategyKind::kRandWins,
+                  2, false);
+BENCHMARK_CAPTURE(bench_policy, rand_wins_uniform_k8, StrategyKind::kRandWins,
+                  8, false);
+BENCHMARK_CAPTURE(bench_policy, rand_wins_power_k8,
+                  StrategyKind::kRandWinsPower, 8, false);
+BENCHMARK_CAPTURE(bench_policy, rand_wins_mean_k2_numeric_inverse,
+                  StrategyKind::kRandWinsMean, 2, true);
+BENCHMARK_CAPTURE(bench_policy, rand_aborts_closed_form,
+                  StrategyKind::kRandAborts, 2, false);
+BENCHMARK_CAPTURE(bench_policy, rand_aborts_mean_numeric_inverse,
+                  StrategyKind::kRandAbortsMean, 2, true);
+BENCHMARK_CAPTURE(bench_policy, hybrid_k2, StrategyKind::kHybrid, 2, true);
+BENCHMARK_CAPTURE(bench_policy, hybrid_k8, StrategyKind::kHybrid, 8, true);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// STM ablation — the conflict policies inside a real multi-threaded TL2 STM
+// (the paper's future-work direction: "investigate the practicality of our
+// designs through a more precise [TM] implementation").
+//
+// Workload: threads increment a shared counter (maximum contention) and a
+// striped array (moderate contention) under different contention-manager
+// policies.  Note: wall-clock throughput depends on the host; the interesting
+// series is the relative ordering and the abort counts.
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/policy.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::stm;
+
+struct Result {
+  double ops_per_second = 0.0;
+  std::uint64_t aborts = 0;
+  std::uint64_t lock_waits = 0;
+};
+
+Result run(core::StrategyKind kind, unsigned threads, bool striped) {
+  Stm stm{core::make_policy(kind, /*tuned_delay=*/512.0)};
+  constexpr int kOpsPerThread = 20000;
+  std::vector<Cell> cells(striped ? 64 : 1);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sim::Rng rng{t + 1};
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Cell& cell = cells[striped ? rng.uniform_below(cells.size()) : 0];
+        stm.atomically([&](Tx& tx) { tx.write(cell, tx.read(cell) + 1); });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  Result result;
+  result.ops_per_second =
+      static_cast<double>(threads) * kOpsPerThread / elapsed;
+  result.aborts = stm.stats().aborts.load();
+  result.lock_waits = stm.stats().lock_waits.load();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  txc::bench::banner(
+      "STM ablation — TL2 with grace-period contention management "
+      "(real threads)",
+      "grace periods (RRA / tuned) reduce aborts vs NO_DELAY under "
+      "contention; all policies preserve atomicity (checked by unit tests)");
+
+  for (const bool striped : {false, true}) {
+    std::printf("%s workload:\n",
+                striped ? "striped 64-cell array" : "single hot counter");
+    txc::bench::Table table{{"threads", "policy", "ops/s", "aborts",
+                             "lock-waits"}};
+    table.print_header();
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      for (const auto kind :
+           {core::StrategyKind::kNoDelay, core::StrategyKind::kFixedTuned,
+            core::StrategyKind::kRandAborts,
+            core::StrategyKind::kRandAbortsMean}) {
+        const Result result = run(kind, threads, striped);
+        table.print_row({std::to_string(threads), core::to_string(kind),
+                         txc::bench::fmt_sci(result.ops_per_second),
+                         std::to_string(result.aborts),
+                         std::to_string(result.lock_waits)});
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// HTM stack demo — run the discrete-event HTM simulator on the contended
+// transactional stack of Section 8.2 and compare conflict policies.
+//
+//   ./build/examples/htm_stack_demo [threads] [ops]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/policy.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace txc;
+  const std::uint32_t threads =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+  const std::uint64_t ops =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 40000;
+
+  std::printf("transactional stack, %u cores, %llu operations\n\n", threads,
+              static_cast<unsigned long long>(ops));
+  std::printf("%-14s %12s %10s %10s %12s\n", "policy", "ops/sec", "aborts",
+              "abort-rate", "mean tx len");
+
+  for (const auto kind :
+       {core::StrategyKind::kNoDelay, core::StrategyKind::kDetWins,
+        core::StrategyKind::kRandWins, core::StrategyKind::kRandWinsMean,
+        core::StrategyKind::kRandAborts}) {
+    htm::HtmConfig config;
+    config.cores = threads;
+    config.policy = core::make_policy(kind);
+    if (kind == core::StrategyKind::kRandAborts) {
+      config.mode = core::ResolutionMode::kRequestorAborts;
+    }
+    if (kind == core::StrategyKind::kRandWinsMean) {
+      config.use_profiler_mean = true;  // Section 5.2's profiler
+    }
+    config.seed = 42;
+    htm::HtmSystem system{config, std::make_shared<ds::StackWorkload>(threads)};
+    const auto stats = system.run(ops);
+    std::printf("%-14s %12.3g %10llu %9.1f%% %12.1f\n",
+                core::to_string(kind), stats.ops_per_second(),
+                static_cast<unsigned long long>(stats.aborts),
+                100.0 * stats.abort_rate(), stats.mean_tx_cycles);
+  }
+  std::printf("\nEvery run is deterministic for a fixed seed; rerun with a "
+              "different thread count to explore the contention curve.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Example — exploring conflict timing on the mesh NoC.
+//
+// On a tiled multicore the abort cost B (elapsed running time at conflict
+// detection) depends on where a transaction's lines live: far-away home
+// tiles stretch every access, so the same workload presents the policies
+// with systematically different conflict parameters.  This example runs the
+// transactional application on growing meshes and prints how distance
+// changes transaction length, conflict counts, and the traffic mix —
+// the placement noise a real machine injects into the paper's decision
+// problem.
+#include <cstdio>
+#include <memory>
+
+#include "core/policy.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+
+namespace {
+
+using namespace txc;
+
+htm::HtmStats run_mesh(std::uint32_t side, std::uint64_t link_latency) {
+  htm::HtmConfig config;
+  config.cores = 16;
+  noc::MeshConfig mesh;
+  mesh.width = side;
+  mesh.height = side;
+  mesh.link_latency = link_latency;
+  config.noc = mesh;
+  config.policy = core::make_policy(core::StrategyKind::kRandWins);
+  config.seed = 5;
+  htm::HtmSystem system{config, std::make_shared<ds::TxAppWorkload>()};
+  return system.run(20000);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mesh_placement — how NoC geometry shapes the conflict "
+              "problem (txapp, 16 cores, RRW)\n\n");
+  std::printf("%-10s %-10s %-12s %-12s %-12s %-12s\n", "mesh", "link-lat",
+              "mean-tx-cyc", "conflicts", "abort%", "mean-hops");
+  for (const auto& [side, link] :
+       {std::pair<std::uint32_t, std::uint64_t>{4, 1},
+        {4, 4},
+        {8, 1},
+        {8, 4}}) {
+    const htm::HtmStats stats = run_mesh(side, link);
+    std::printf("%ux%-8u %-10llu %-12.0f %-12llu %-12.1f %-12.2f\n", side,
+                side, static_cast<unsigned long long>(link),
+                stats.mean_tx_cycles,
+                static_cast<unsigned long long>(stats.conflicts),
+                100.0 * stats.abort_rate(), stats.noc->mean_hops());
+  }
+  std::printf(
+      "\nLonger wires and bigger meshes stretch transactions (higher "
+      "mean-tx-cyc),\nraising the abort cost B each conflict presents to the "
+      "policy — the grace\nperiods scale with it automatically, no retuning "
+      "needed.  That robustness\nto the latency model is the point of an "
+      "online strategy.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Example — a transactional key-value store on the NOrec STM, exercised by
+// real threads.
+//
+// The store is a fixed-capacity open-addressing hash table whose buckets are
+// transactional cells; lookups, inserts, and a two-key "swap" (the
+// operation that actually needs a transaction) run under Norec::atomically.
+// Demonstrates composing multi-cell invariants on the STM public API with a
+// grace-period policy handling commit-lock contention.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "stm/norec.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::stm;
+
+/// Keys are nonzero; a bucket holds (key << 32) | value packed in one cell.
+class TxKvStore {
+ public:
+  explicit TxKvStore(std::size_t capacity,
+                     std::shared_ptr<const core::GracePeriodPolicy> policy)
+      : stm_(std::move(policy)), buckets_(capacity) {}
+
+  void put(std::uint32_t key, std::uint32_t value) {
+    stm_.atomically([&](NorecTx& tx) {
+      const std::size_t slot = find_slot(tx, key);
+      tx.write(buckets_[slot], pack(key, value));
+    });
+  }
+
+  std::uint32_t get(std::uint32_t key) {
+    std::uint32_t result = 0;
+    stm_.atomically([&](NorecTx& tx) {
+      const std::size_t slot = find_slot(tx, key);
+      const std::uint64_t packed = tx.read(buckets_[slot]);
+      result = packed == 0 ? 0 : unpack_value(packed);
+    });
+    return result;
+  }
+
+  /// Atomically exchange the values stored under two keys.
+  void swap(std::uint32_t a, std::uint32_t b) {
+    stm_.atomically([&](NorecTx& tx) {
+      const std::size_t slot_a = find_slot(tx, a);
+      const std::size_t slot_b = find_slot(tx, b);
+      const std::uint64_t packed_a = tx.read(buckets_[slot_a]);
+      const std::uint64_t packed_b = tx.read(buckets_[slot_b]);
+      tx.write(buckets_[slot_a], pack(a, unpack_value(packed_b)));
+      tx.write(buckets_[slot_b], pack(b, unpack_value(packed_a)));
+    });
+  }
+
+  [[nodiscard]] const StmStats& stats() const noexcept { return stm_.stats(); }
+
+ private:
+  static std::uint64_t pack(std::uint32_t key, std::uint32_t value) {
+    return (static_cast<std::uint64_t>(key) << 32) | value;
+  }
+  static std::uint32_t unpack_key(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed >> 32);
+  }
+  static std::uint32_t unpack_value(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed & 0xFFFFFFFFu);
+  }
+
+  /// Linear probing inside the transaction: the probe reads participate in
+  /// validation, so a concurrent insert into the probe path aborts us.
+  std::size_t find_slot(NorecTx& tx, std::uint32_t key) {
+    std::size_t slot = (key * 2654435761u) % buckets_.size();
+    for (std::size_t probes = 0; probes < buckets_.size(); ++probes) {
+      const std::uint64_t packed = tx.read(buckets_[slot]);
+      if (packed == 0 || unpack_key(packed) == key) return slot;
+      slot = (slot + 1) % buckets_.size();
+    }
+    std::fprintf(stderr, "kv store full\n");
+    std::abort();
+  }
+
+  Norec stm_;
+  std::vector<Cell> buckets_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("norec_kv — transactional key-value store on NOrec\n\n");
+  TxKvStore store{1024,
+                  core::make_policy(core::StrategyKind::kRandAborts)};
+
+  // Seed 64 keys with value = key.
+  for (std::uint32_t key = 1; key <= 64; ++key) store.put(key, key);
+
+  // 4 threads shuffle values around with atomic two-key swaps; the multiset
+  // of values is invariant.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&store, t] {
+      sim::Rng rng{static_cast<std::uint64_t>(t) + 99};
+      for (int i = 0; i < 5000; ++i) {
+        const auto a = 1 + static_cast<std::uint32_t>(rng.uniform_below(64));
+        auto b = 1 + static_cast<std::uint32_t>(rng.uniform_below(64));
+        if (a == b) b = (b % 64) + 1;
+        store.swap(a, b);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Audit: the 64 values are still exactly {1..64}.
+  std::uint64_t sum = 0;
+  std::uint64_t xor_fold = 0;
+  for (std::uint32_t key = 1; key <= 64; ++key) {
+    const std::uint32_t value = store.get(key);
+    sum += value;
+    xor_fold ^= value;
+  }
+  std::uint64_t expected_sum = 0;
+  std::uint64_t expected_xor = 0;
+  for (std::uint32_t v = 1; v <= 64; ++v) {
+    expected_sum += v;
+    expected_xor ^= v;
+  }
+  std::printf("after 20000 concurrent swaps:\n");
+  std::printf("  value-sum  %llu (expected %llu)  %s\n",
+              static_cast<unsigned long long>(sum),
+              static_cast<unsigned long long>(expected_sum),
+              sum == expected_sum ? "OK" : "CORRUPT");
+  std::printf("  value-xor  %llu (expected %llu)  %s\n",
+              static_cast<unsigned long long>(xor_fold),
+              static_cast<unsigned long long>(expected_xor),
+              xor_fold == expected_xor ? "OK" : "CORRUPT");
+  std::printf("  commits %llu, aborts %llu, lock waits %llu\n",
+              static_cast<unsigned long long>(store.stats().commits.load()),
+              static_cast<unsigned long long>(store.stats().aborts.load()),
+              static_cast<unsigned long long>(
+                  store.stats().lock_waits.load()));
+  return sum == expected_sum && xor_fold == expected_xor ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/math.hpp"
+
+namespace txc::core {
+
+double conflict_cost(ResolutionMode mode, double grace, double remaining,
+                     int chain_length, double abort_cost) noexcept {
+  const double k = chain_length;
+  // Section 4.2: "if x = D, T1 is not able to commit and thus it aborts" —
+  // commit requires strictly more grace than the remaining time.  This is
+  // what makes Theorem 4's adversary (D pinned exactly at DET's abort point)
+  // extract the full k x + B cost.
+  if (remaining < grace) {
+    // Receiver commits during the grace period: every other chain member was
+    // delayed by the receiver's remaining time.
+    return (k - 1.0) * remaining;
+  }
+  if (mode == ResolutionMode::kRequestorWins) {
+    // Receiver aborts after running grace extra steps: it wasted grace (its
+    // work is discarded), the k-1 requestors each waited grace, and the abort
+    // itself costs B.
+    return k * grace + abort_cost;
+  }
+  // Requestor aborts: the k-1 requestors each waited grace and then abort.
+  return (k - 1.0) * (grace + abort_cost);
+}
+
+double offline_optimal_cost(ResolutionMode mode, double remaining,
+                            int chain_length, double abort_cost) noexcept {
+  const double k = chain_length;
+  if (mode == ResolutionMode::kRequestorWins) {
+    return std::min((k - 1.0) * remaining, abort_cost);
+  }
+  return (k - 1.0) * std::min(remaining, abort_cost);
+}
+
+double expected_conflict_cost(ResolutionMode mode, const DensityView& density,
+                              double remaining, int chain_length,
+                              double abort_cost) {
+  assert(remaining >= 0.0);
+  const double k = chain_length;
+  const double cut = std::min(remaining, density.support_max);
+  const double abort_mass = integrate(
+      [&](double x) {
+        const double cost = mode == ResolutionMode::kRequestorWins
+                                ? k * x + abort_cost
+                                : (k - 1.0) * (x + abort_cost);
+        return cost * density.pdf(x);
+      },
+      0.0, cut);
+  const double commit_probability = 1.0 - density.cdf(cut);
+  return abort_mass + (k - 1.0) * remaining * commit_probability;
+}
+
+double pointwise_ratio(ResolutionMode mode, const DensityView& density,
+                       double remaining, int chain_length, double abort_cost) {
+  const double optimal =
+      offline_optimal_cost(mode, remaining, chain_length, abort_cost);
+  assert(optimal > 0.0);
+  return expected_conflict_cost(mode, density, remaining, chain_length,
+                                abort_cost) /
+         optimal;
+}
+
+double worst_case_ratio(ResolutionMode mode, const DensityView& density,
+                        int chain_length, double abort_cost, int grid_points) {
+  double worst = 0.0;
+  const double limit = 2.0 * density.support_max;
+  for (int i = 1; i <= grid_points; ++i) {
+    const double remaining =
+        limit * static_cast<double>(i) / static_cast<double>(grid_points);
+    worst = std::max(worst, pointwise_ratio(mode, density, remaining,
+                                            chain_length, abort_cost));
+  }
+  // The "never commits" adversary: any D beyond the support gives the same
+  // expected cost; OPT is the immediate abort.
+  worst = std::max(worst,
+                   pointwise_ratio(mode, density, 100.0 * density.support_max,
+                                   chain_length, abort_cost));
+  return worst;
+}
+
+}  // namespace txc::core

@@ -1,0 +1,73 @@
+// txconflict — the Section 4 conflict cost model.
+//
+// One conflict: a receiver transaction T1 with unknown remaining run time D is
+// interrupted by a requestor chain of total size k (T1 plus k-1 requestors).
+// The policy picks a grace period x.  Costs, in added total running time:
+//
+//   requestor wins            requestor aborts
+//   D <  x : (k-1) D          (k-1) D        (receiver commits in time)
+//   D >= x : k x + B          (k-1)(x + B)   (grace expires; see Sec 4.2:
+//                                             at D == x the commit is missed)
+//
+// Offline optimum with foresight:
+//   requestor wins  : min((k-1) D, B)
+//   requestor aborts: (k-1) min(D, B)
+#pragma once
+
+#include <functional>
+
+#include "core/densities.hpp"
+
+namespace txc::core {
+
+/// Cost of resolving one conflict when the policy waited `grace` and the
+/// receiver needed `remaining` more steps to commit.
+[[nodiscard]] double conflict_cost(ResolutionMode mode, double grace,
+                                   double remaining, int chain_length,
+                                   double abort_cost) noexcept;
+
+/// Offline (perfect foresight) cost of the same conflict.
+[[nodiscard]] double offline_optimal_cost(ResolutionMode mode, double remaining,
+                                          int chain_length,
+                                          double abort_cost) noexcept;
+
+/// Expected conflict cost of a randomized strategy with density pdf/cdf over
+/// [0, support_max] for a fixed adversarial remaining time D:
+///   E[cost] = Int_0^min(D,S) cost_abort(x) p(x) dx
+///           + (k-1) D (1 - F(min(D,S))).
+/// Computed by quadrature; used by tests and the ratio-validation bench.
+struct DensityView {
+  std::function<double(double)> pdf;
+  std::function<double(double)> cdf;
+  double support_max = 0.0;
+};
+
+template <typename Density>
+[[nodiscard]] DensityView make_view(const Density& density) {
+  return DensityView{
+      [density](double x) { return density.pdf(x); },
+      [density](double x) { return density.cdf(x); },
+      density.support_max(),
+  };
+}
+
+[[nodiscard]] double expected_conflict_cost(ResolutionMode mode,
+                                            const DensityView& density,
+                                            double remaining, int chain_length,
+                                            double abort_cost);
+
+/// Pointwise competitive ratio E[cost | D] / OPT(D).
+[[nodiscard]] double pointwise_ratio(ResolutionMode mode,
+                                     const DensityView& density,
+                                     double remaining, int chain_length,
+                                     double abort_cost);
+
+/// Worst pointwise ratio over a grid of adversarial D values spanning
+/// (0, 2 * support] plus the "never commits" point.  For the unconstrained
+/// optimal densities this converges to the closed-form competitive ratio.
+[[nodiscard]] double worst_case_ratio(ResolutionMode mode,
+                                      const DensityView& density,
+                                      int chain_length, double abort_cost,
+                                      int grid_points = 400);
+
+}  // namespace txc::core

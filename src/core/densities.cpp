@@ -1,0 +1,264 @@
+#include "core/densities.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace txc::core {
+
+namespace {
+
+double clamp01(double u) noexcept { return std::clamp(u, 0.0, 1.0); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UniformWinsDensity
+// ---------------------------------------------------------------------------
+
+UniformWinsDensity::UniformWinsDensity(double abort_cost, int chain_length)
+    : abort_cost_(abort_cost),
+      chain_length_(chain_length),
+      support_(abort_cost / (chain_length - 1.0)) {
+  assert(abort_cost > 0.0 && chain_length >= 2);
+}
+
+double UniformWinsDensity::pdf(double x) const noexcept {
+  if (x < 0.0 || x > support_) return 0.0;
+  return (chain_length_ - 1.0) / abort_cost_;
+}
+
+double UniformWinsDensity::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= support_) return 1.0;
+  return (chain_length_ - 1.0) * x / abort_cost_;
+}
+
+double UniformWinsDensity::quantile(double u) const noexcept {
+  return clamp01(u) * support_;
+}
+
+// ---------------------------------------------------------------------------
+// PowerWinsDensity
+// ---------------------------------------------------------------------------
+
+PowerWinsDensity::PowerWinsDensity(double abort_cost, int chain_length)
+    : abort_cost_(abort_cost),
+      chain_length_(chain_length),
+      ratio_(growth_ratio(chain_length)),
+      support_(abort_cost / (chain_length - 1.0)) {
+  assert(abort_cost > 0.0 && chain_length >= 2);
+}
+
+double PowerWinsDensity::pdf(double x) const noexcept {
+  if (x < 0.0 || x > support_) return 0.0;
+  const double k = chain_length_;
+  return (k - 1.0) * std::pow(1.0 + x / abort_cost_, k - 2.0) /
+         (abort_cost_ * (ratio_ - 1.0));
+}
+
+double PowerWinsDensity::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= support_) return 1.0;
+  const double k = chain_length_;
+  return (std::pow(1.0 + x / abort_cost_, k - 1.0) - 1.0) / (ratio_ - 1.0);
+}
+
+double PowerWinsDensity::quantile(double u) const noexcept {
+  const double k = chain_length_;
+  const double base = 1.0 + clamp01(u) * (ratio_ - 1.0);
+  return std::min(support_,
+                  abort_cost_ * (std::pow(base, 1.0 / (k - 1.0)) - 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// LogMeanWinsDensity
+// ---------------------------------------------------------------------------
+
+LogMeanWinsDensity::LogMeanWinsDensity(double abort_cost)
+    : abort_cost_(abort_cost) {
+  assert(abort_cost > 0.0);
+}
+
+double LogMeanWinsDensity::pdf(double x) const noexcept {
+  if (x < 0.0 || x > abort_cost_) return 0.0;
+  return std::log1p(x / abort_cost_) / (abort_cost_ * kLn4Minus1);
+}
+
+double LogMeanWinsDensity::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= abort_cost_) return 1.0;
+  // Integral of ln(1+t/B): (B+x) ln(1+x/B) - x.
+  const double primitive =
+      (abort_cost_ + x) * std::log1p(x / abort_cost_) - x;
+  return primitive / (abort_cost_ * kLn4Minus1);
+}
+
+double LogMeanWinsDensity::quantile(double u) const noexcept {
+  const double target = clamp01(u);
+  return invert_monotone([this](double x) { return cdf(x); }, target, 0.0,
+                         abort_cost_);
+}
+
+// ---------------------------------------------------------------------------
+// PowerMeanWinsDensity
+// ---------------------------------------------------------------------------
+
+PowerMeanWinsDensity::PowerMeanWinsDensity(double abort_cost, int chain_length)
+    : abort_cost_(abort_cost),
+      chain_length_(chain_length),
+      ratio_(growth_ratio(chain_length)),
+      support_(abort_cost / (chain_length - 1.0)) {
+  assert(abort_cost > 0.0 && chain_length >= 3 &&
+         "k = 2 is the LogMeanWinsDensity limit");
+}
+
+double PowerMeanWinsDensity::pdf(double x) const noexcept {
+  if (x < 0.0 || x > support_) return 0.0;
+  const double k = chain_length_;
+  const double grown = std::pow(1.0 + x / abort_cost_, k - 2.0) - 1.0;
+  return (k - 1.0) * grown / (abort_cost_ * (ratio_ - 2.0));
+}
+
+double PowerMeanWinsDensity::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= support_) return 1.0;
+  const double k = chain_length_;
+  const double primitive =
+      abort_cost_ * (std::pow(1.0 + x / abort_cost_, k - 1.0) - 1.0) /
+          (k - 1.0) -
+      x;
+  return (k - 1.0) * primitive / (abort_cost_ * (ratio_ - 2.0));
+}
+
+double PowerMeanWinsDensity::quantile(double u) const noexcept {
+  const double target = clamp01(u);
+  return invert_monotone([this](double x) { return cdf(x); }, target, 0.0,
+                         support_);
+}
+
+// ---------------------------------------------------------------------------
+// ExpAbortsDensity
+// ---------------------------------------------------------------------------
+
+ExpAbortsDensity::ExpAbortsDensity(double abort_cost, int chain_length)
+    : abort_cost_(abort_cost),
+      chain_length_(chain_length),
+      q_(exp_inv(chain_length)),
+      support_(abort_cost / (chain_length - 1.0)) {
+  assert(abort_cost > 0.0 && chain_length >= 2);
+}
+
+double ExpAbortsDensity::pdf(double x) const noexcept {
+  if (x < 0.0 || x > support_) return 0.0;
+  return std::exp(x / abort_cost_) / (abort_cost_ * (q_ - 1.0));
+}
+
+double ExpAbortsDensity::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= support_) return 1.0;
+  return std::expm1(x / abort_cost_) / (q_ - 1.0);
+}
+
+double ExpAbortsDensity::quantile(double u) const noexcept {
+  return std::min(support_,
+                  abort_cost_ * std::log1p(clamp01(u) * (q_ - 1.0)));
+}
+
+// ---------------------------------------------------------------------------
+// ExpMeanAbortsDensity
+// ---------------------------------------------------------------------------
+
+ExpMeanAbortsDensity::ExpMeanAbortsDensity(double abort_cost, int chain_length)
+    : abort_cost_(abort_cost),
+      chain_length_(chain_length),
+      q_(exp_inv(chain_length)),
+      denom_((chain_length - 1.0) * (q_ - 1.0) - 1.0),
+      support_(abort_cost / (chain_length - 1.0)) {
+  assert(abort_cost > 0.0 && chain_length >= 2);
+  assert(denom_ > 0.0);
+}
+
+double ExpMeanAbortsDensity::pdf(double x) const noexcept {
+  if (x < 0.0 || x > support_) return 0.0;
+  const double k = chain_length_;
+  return (k - 1.0) * std::expm1(x / abort_cost_) / (abort_cost_ * denom_);
+}
+
+double ExpMeanAbortsDensity::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= support_) return 1.0;
+  const double k = chain_length_;
+  const double primitive = abort_cost_ * std::expm1(x / abort_cost_) - x;
+  return (k - 1.0) * primitive / (abort_cost_ * denom_);
+}
+
+double ExpMeanAbortsDensity::quantile(double u) const noexcept {
+  const double target = clamp01(u);
+  return invert_monotone([this](double x) { return cdf(x); }, target, 0.0,
+                         support_);
+}
+
+// ---------------------------------------------------------------------------
+// Thresholds and ratios
+// ---------------------------------------------------------------------------
+
+double mean_threshold_wins(int chain_length) noexcept {
+  assert(chain_length >= 2);
+  if (chain_length == 2) return 2.0 * kLn4Minus1;
+  const double r = growth_ratio(chain_length);
+  const double k = chain_length;
+  return 2.0 * (r - 2.0) / ((k - 2.0) * (r - 1.0));
+}
+
+double mean_threshold_aborts(int chain_length) noexcept {
+  assert(chain_length >= 2);
+  const double q = exp_inv(chain_length);
+  const double k = chain_length;
+  const double product = (k - 1.0) * (q - 1.0);
+  return 2.0 * (product - 1.0) / product;
+}
+
+double ratio_det_wins(int chain_length) noexcept {
+  return 2.0 + 1.0 / (static_cast<double>(chain_length) - 1.0);
+}
+
+double ratio_det_aborts(int /*chain_length*/) noexcept { return 2.0; }
+
+double ratio_rand_wins_uniform(int /*chain_length*/) noexcept { return 2.0; }
+
+double ratio_rand_wins_power(int chain_length) noexcept {
+  const double r = growth_ratio(chain_length);
+  return r / (r - 1.0);
+}
+
+double ratio_rand_wins_mean(int chain_length, double abort_cost,
+                            double mean) noexcept {
+  if (mean / abort_cost >= mean_threshold_wins(chain_length)) {
+    return chain_length == 2 ? ratio_rand_wins_uniform(chain_length)
+                             : ratio_rand_wins_power(chain_length);
+  }
+  if (chain_length == 2) {
+    return 1.0 + mean / (2.0 * abort_cost * kLn4Minus1);
+  }
+  const double r = growth_ratio(chain_length);
+  const double k = chain_length;
+  return 1.0 + mean * (k - 2.0) / (2.0 * abort_cost * (r - 2.0));
+}
+
+double ratio_rand_aborts(int chain_length) noexcept {
+  const double q = exp_inv(chain_length);
+  return q / (q - 1.0);
+}
+
+double ratio_rand_aborts_mean(int chain_length, double abort_cost,
+                              double mean) noexcept {
+  if (mean / abort_cost >= mean_threshold_aborts(chain_length)) {
+    return ratio_rand_aborts(chain_length);
+  }
+  const double q = exp_inv(chain_length);
+  const double k = chain_length;
+  return 1.0 + mean * (k - 1.0) /
+                   (2.0 * abort_cost * ((k - 1.0) * (q - 1.0) - 1.0));
+}
+
+}  // namespace txc::core

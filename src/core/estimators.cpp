@@ -1,0 +1,92 @@
+#include "core/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace txc::core {
+
+P2Quantile::P2Quantile(double q) noexcept : q_(q) { reset(); }
+
+void P2Quantile::reset() noexcept {
+  heights_.fill(0.0);
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+  increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+  count_ = 0;
+}
+
+double P2Quantile::parabolic(int i, double d) const noexcept {
+  // Piecewise-parabolic prediction of marker i's height when its position
+  // moves by d (the core P^2 interpolation formula).
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) *
+                  (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) *
+                  (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const noexcept {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int cell = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    cell = 3;
+  } else {
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double drift = desired_[i] - positions_[i];
+    const bool can_move_right = positions_[i + 1] - positions_[i] > 1.0;
+    const bool can_move_left = positions_[i - 1] - positions_[i] < -1.0;
+    if ((drift >= 1.0 && can_move_right) || (drift <= -1.0 && can_move_left)) {
+      const double d = drift >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, d);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, d);
+      }
+      positions_[i] += d;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile: nearest-rank on the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q_ * static_cast<double>(count_)));
+    return sorted[std::min(count_ - 1, rank == 0 ? 0 : rank - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace txc::core

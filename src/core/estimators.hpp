@@ -1,0 +1,138 @@
+// txconflict — online statistics estimators for adaptive policies.
+//
+// The paper's mean-constrained strategies (Section 5.2) assume a profiler
+// that knows the mean µ of the transaction-length distribution.  In a live
+// system that mean must be *estimated online*, from a censored stream (a
+// receiver observed to commit within its grace period reveals its remaining
+// time; an expired grace period reveals only a lower bound).  This header
+// provides the estimators those adaptive policies build on:
+//
+//   * EwmaEstimator    — exponentially-weighted moving average + variance,
+//                        tracking non-stationary workloads (phase changes);
+//   * P2Quantile       — the P² algorithm (Jain & Chlamtac 1985): streaming
+//                        quantile estimation in O(1) space, no sample buffer;
+//   * CensoredMeanEstimator — EWMA over a censored stream: exact samples
+//                        update directly, right-censored samples (we only
+//                        know X > bound) push the estimate up by an
+//                        exponential-tail correction.
+//
+// All estimators are deterministic and allocation-free after construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+namespace txc::core {
+
+/// Exponentially-weighted moving average and variance.
+///
+/// alpha is the weight of each new observation (0 < alpha <= 1); the
+/// effective memory is ~1/alpha samples.  Variance uses the standard
+/// EWMA-variance recursion (West 1979).
+class EwmaEstimator {
+ public:
+  explicit EwmaEstimator(double alpha = 0.05) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    ++count_;
+    if (count_ == 1) {
+      mean_ = x;
+      variance_ = 0.0;
+      return;
+    }
+    const double delta = x - mean_;
+    mean_ += alpha_ * delta;
+    variance_ = (1.0 - alpha_) * (variance_ + alpha_ * delta * delta);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept { return variance_; }
+  [[nodiscard]] std::optional<double> mean_if_ready(
+      std::size_t min_samples) const noexcept {
+    if (count_ < min_samples) return std::nullopt;
+    return mean_;
+  }
+
+  void reset() noexcept {
+    mean_ = 0.0;
+    variance_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Streaming quantile estimation via the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers whose heights approximate the q-quantile without
+/// storing samples.  Used by adaptive policies that want e.g. the 90th
+/// percentile of observed remaining times as a robust grace-period cap.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) noexcept;
+
+  void add(double x) noexcept;
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double quantile() const noexcept { return q_; }
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const noexcept;
+  [[nodiscard]] double linear(int i, double d) const noexcept;
+
+  double q_;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+  std::size_t count_ = 0;
+};
+
+/// EWMA mean over a right-censored stream.
+///
+/// Committed receivers reveal their exact remaining time D; expired grace
+/// periods reveal only D > bound.  Treating the censored observation as if
+/// the tail were exponential with the current mean m, the conditional
+/// expectation is E[D | D > bound] = bound + m, which is what a censored
+/// sample contributes.  This keeps the estimate from collapsing toward the
+/// (short) observed commits — the classic bias of ignoring censored data.
+class CensoredMeanEstimator {
+ public:
+  explicit CensoredMeanEstimator(double alpha = 0.05,
+                                 double initial_mean = 0.0) noexcept
+      : ewma_(alpha), initial_mean_(initial_mean) {}
+
+  void add_exact(double x) noexcept { ewma_.add(x); }
+
+  void add_censored(double bound) noexcept {
+    const double current =
+        ewma_.count() == 0 ? initial_mean_ : ewma_.mean();
+    ewma_.add(bound + current);
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return ewma_.count() == 0 ? initial_mean_ : ewma_.mean();
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return ewma_.count(); }
+  [[nodiscard]] std::optional<double> mean_if_ready(
+      std::size_t min_samples) const noexcept {
+    return ewma_.mean_if_ready(min_samples);
+  }
+
+  void reset() noexcept { ewma_.reset(); }
+
+ private:
+  EwmaEstimator ewma_;
+  double initial_mean_;
+};
+
+}  // namespace txc::core

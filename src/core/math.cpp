@@ -1,0 +1,48 @@
+#include "core/math.hpp"
+
+#include <cassert>
+
+namespace txc::core {
+
+double growth_ratio(int chain_length) noexcept {
+  assert(chain_length >= 2);
+  const double k = chain_length;
+  return std::exp((k - 1.0) * std::log(k / (k - 1.0)));
+}
+
+double growth_ratio_slope_at_two() noexcept { return kLn4Minus1; }
+
+double exp_inv(int chain_length) noexcept {
+  assert(chain_length >= 2);
+  return std::exp(1.0 / (static_cast<double>(chain_length) - 1.0));
+}
+
+double integrate(const std::function<double(double)>& f, double lo, double hi,
+                 int panels) {
+  if (hi <= lo) return 0.0;
+  if (panels % 2 != 0) ++panels;
+  const double h = (hi - lo) / panels;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < panels; ++i) {
+    const double x = lo + h * i;
+    sum += f(x) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+double invert_monotone(const std::function<double(double)>& cdf, double target,
+                       double lo, double hi, int iterations) {
+  double a = lo;
+  double b = hi;
+  for (int i = 0; i < iterations && b - a > 0.0; ++i) {
+    const double mid = 0.5 * (a + b);
+    if (cdf(mid) < target) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace txc::core

@@ -1,0 +1,42 @@
+// txconflict — numeric helpers shared by the strategy densities.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+namespace txc::core {
+
+/// ln(4) - 1 = 2 ln 2 - 1, the normalizer of the mean-constrained
+/// requestor-wins density at chain length k = 2 (Theorem 5).
+inline constexpr double kLn4Minus1 = 0.38629436111989061883;
+
+/// Euler's number.
+inline constexpr double kE = 2.71828182845904523536;
+
+/// growth_ratio(k) = (k/(k-1))^(k-1): the quantity written
+/// k^(k-1)/(k-1)^(k-1) in Theorems 4-6.  Monotone increasing from
+/// exactly 2 at k = 2 towards e as k -> infinity.  Computed in log space so it
+/// stays finite for every k >= 2 (the paper's raw k^(k-1) overflows doubles
+/// near k = 150).
+[[nodiscard]] double growth_ratio(int chain_length) noexcept;
+
+/// d/dk limit helper: lim_{k->2} (growth_ratio(k) - 2)/(k - 2) = ln4 - 1.
+/// Exposed only for tests that pin the k = 2 continuity of Theorem 6.
+[[nodiscard]] double growth_ratio_slope_at_two() noexcept;
+
+/// exp(1/(k-1)), the analogous quantity for requestor-aborts (Theorem 3).
+[[nodiscard]] double exp_inv(int chain_length) noexcept;
+
+/// Composite-Simpson quadrature of `f` over [lo, hi] with `panels` panels
+/// (rounded up to even).  The densities are smooth, so fixed-panel Simpson at
+/// a couple thousand panels reaches ~1e-12 relative error.
+[[nodiscard]] double integrate(const std::function<double(double)>& f, double lo,
+                               double hi, int panels = 2048);
+
+/// Invert a monotone-nondecreasing CDF by bisection: returns x in [lo, hi]
+/// with cdf(x) ~= target.
+[[nodiscard]] double invert_monotone(const std::function<double(double)>& cdf,
+                                     double target, double lo, double hi,
+                                     int iterations = 200);
+
+}  // namespace txc::core

@@ -1,0 +1,159 @@
+#include "core/numeric_opt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace txc::core {
+
+namespace {
+
+/// The discretized game: staggered grids (policy at cell centers, adversary
+/// at cell edges) so commit/abort at each pair is unambiguous, plus the
+/// "never commits" outside option as the last adversary column.
+struct Game {
+  int n;            // policy cells
+  int m;            // adversary columns (edges + never-commits)
+  double width;     // cell width
+  double support;   // B / (k-1)
+  MinimaxConfig config;
+
+  explicit Game(const MinimaxConfig& cfg) : config(cfg) {
+    n = cfg.policy_points;
+    m = cfg.adversary_points + 1;
+    support = cfg.abort_cost / (cfg.chain_length - 1.0);
+    width = support / n;
+  }
+
+  [[nodiscard]] double grace_at(int i) const noexcept {
+    return width * (i + 0.5);
+  }
+  [[nodiscard]] double remaining_at(int j) const noexcept {
+    // Adversary cells are edges of the policy grid, rescaled if the grids
+    // differ in resolution; j in [0, adversary_points).
+    return support * static_cast<double>(j + 1) / config.adversary_points;
+  }
+
+  /// Competitive ratio of pure policy x_i against adversary column j.
+  [[nodiscard]] double ratio(int i, int j) const noexcept {
+    const double B = config.abort_cost;
+    const double k = config.chain_length;
+    const bool wins = config.mode == ResolutionMode::kRequestorWins;
+    if (j == m - 1) {
+      // Never commits: every grace period is pure waste.
+      const double cost =
+          wins ? k * grace_at(i) + B : (k - 1.0) * (grace_at(i) + B);
+      const double opt = wins ? B : (k - 1.0) * B;
+      return cost / opt;
+    }
+    const double D = remaining_at(j);
+    const bool commits = grace_at(i) > D;
+    double cost;
+    if (commits) {
+      cost = (k - 1.0) * D;
+    } else {
+      cost = wins ? k * grace_at(i) + B : (k - 1.0) * (grace_at(i) + B);
+    }
+    const double opt =
+        wins ? std::min((k - 1.0) * D, B) : (k - 1.0) * std::min(D, B);
+    return cost / opt;
+  }
+};
+
+}  // namespace
+
+double MinimaxSolution::cdf_at(double x) const noexcept {
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < grace_grid.size(); ++i) {
+    const double left = grace_grid[i] - 0.5 * cell_width;
+    const double right = grace_grid[i] + 0.5 * cell_width;
+    const double cell_mass = pdf[i] * cell_width;
+    if (x >= right) {
+      cumulative += cell_mass;
+      continue;
+    }
+    if (x > left) cumulative += cell_mass * (x - left) / cell_width;
+    break;
+  }
+  return cumulative;
+}
+
+MinimaxSolution solve_minimax(const MinimaxConfig& config) {
+  assert(config.chain_length >= 2);
+  const Game game{config};
+  const int n = game.n;
+  const int m = game.m;
+
+  // Brown fictitious play with incremental payoff bookkeeping:
+  //   policy_cost[i]  = sum over adversary picks so far of ratio(i, j)
+  //   adversary_pay[j] = sum over policy picks so far of ratio(i, j)
+  std::vector<double> policy_cost(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> adversary_pay(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> policy_counts(static_cast<std::size_t>(n), 0.0);
+
+  // Seed: adversary opens with the never-commits column (the move that
+  // punishes "always wait", forcing the policy to spread mass).
+  int adversary_pick = m - 1;
+  for (int round = 0; round < config.rounds; ++round) {
+    for (int i = 0; i < n; ++i) {
+      policy_cost[static_cast<std::size_t>(i)] +=
+          game.ratio(i, adversary_pick);
+    }
+    // Policy best response (ties toward the smaller grace period).
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+      if (policy_cost[static_cast<std::size_t>(i)] <
+          policy_cost[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    policy_counts[static_cast<std::size_t>(best)] += 1.0;
+    for (int j = 0; j < m; ++j) {
+      adversary_pay[static_cast<std::size_t>(j)] += game.ratio(best, j);
+    }
+    // Adversary best response to the policy's empirical average.
+    adversary_pick = 0;
+    for (int j = 1; j < m; ++j) {
+      if (adversary_pay[static_cast<std::size_t>(j)] >
+          adversary_pay[static_cast<std::size_t>(adversary_pick)]) {
+        adversary_pick = j;
+      }
+    }
+  }
+
+  MinimaxSolution solution;
+  solution.cell_width = game.width;
+  solution.grace_grid.resize(static_cast<std::size_t>(n));
+  solution.pdf.resize(static_cast<std::size_t>(n));
+  solution.cdf.resize(static_cast<std::size_t>(n));
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  double cumulative = 0.0;
+  for (int i = 0; i < n; ++i) {
+    solution.grace_grid[static_cast<std::size_t>(i)] = game.grace_at(i);
+    mass[static_cast<std::size_t>(i)] =
+        policy_counts[static_cast<std::size_t>(i)] / config.rounds;
+    solution.pdf[static_cast<std::size_t>(i)] =
+        mass[static_cast<std::size_t>(i)] / game.width;
+    cumulative += mass[static_cast<std::size_t>(i)];
+    solution.cdf[static_cast<std::size_t>(i)] = cumulative;
+  }
+  solution.game_value = grid_worst_ratio(config, mass);
+  return solution;
+}
+
+double grid_worst_ratio(const MinimaxConfig& config,
+                        const std::vector<double>& mass) {
+  const Game game{config};
+  assert(static_cast<int>(mass.size()) == game.n);
+  double worst = 0.0;
+  for (int j = 0; j < game.m; ++j) {
+    double expected = 0.0;
+    for (int i = 0; i < game.n; ++i) {
+      expected += mass[static_cast<std::size_t>(i)] * game.ratio(i, j);
+    }
+    worst = std::max(worst, expected);
+  }
+  return worst;
+}
+
+}  // namespace txc::core

@@ -1,0 +1,84 @@
+// txconflict — numeric solver for the transactional-conflict minimax game.
+//
+// Independent check of the paper's Lagrangian derivations (Theorems 1-6): the
+// optimal grace-period problem is a zero-sum game between the policy (a
+// distribution p over grace periods x) and the adversary (a choice of the
+// remaining time D), with payoff the competitive ratio Cost(p, D) / OPT(D).
+// Discretizing both strategy spaces turns it into a matrix game, which this
+// module solves by fictitious play with multiplicative-weights updates on the
+// adversary side (Freund & Schapire: the average of the row player's best
+// responses converges to a minimax strategy at rate O(sqrt(log n / T))).
+//
+// The solver knows nothing about ski rental, Lagrange multipliers, or the
+// closed forms — only the Section-4 cost model — so agreement between its
+// output and the analytic densities is a genuine cross-validation.  The unit
+// tests assert agreement of both the game value (competitive ratio) and the
+// distribution shape (CDF distance) for every strategy family; the
+// `numeric_validation` bench prints the comparison table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/densities.hpp"
+
+namespace txc::core {
+
+struct MinimaxConfig {
+  ResolutionMode mode = ResolutionMode::kRequestorWins;
+  double abort_cost = 100.0;  // B
+  int chain_length = 2;       // k
+  /// Policy grid: x in [0, B/(k-1)] with this many cells.
+  int policy_points = 160;
+  /// Adversary grid: D over the same support, plus the "never commits"
+  /// outside option (the paper's piK mass at K).
+  int adversary_points = 160;
+  /// Fictitious-play iterations; empirically the value error decays like
+  /// ~300/rounds for the default grids (see bench/numeric_validation).
+  int rounds = 120000;
+};
+
+struct MinimaxSolution {
+  std::vector<double> grace_grid;   // cell centers x_i
+  std::vector<double> pdf;          // probability mass per cell / cell width
+  std::vector<double> cdf;          // cumulative mass at cell right edges
+  double game_value = 0.0;          // max_D ratio of the averaged strategy
+  double cell_width = 0.0;
+
+  /// CDF at arbitrary x by step interpolation (tests).
+  [[nodiscard]] double cdf_at(double x) const noexcept;
+};
+
+/// Solve the discretized game.  Deterministic (no RNG: fictitious play with
+/// deterministic tie-breaking toward the smaller grace period).
+[[nodiscard]] MinimaxSolution solve_minimax(const MinimaxConfig& config);
+
+/// Worst-case competitive ratio over the adversary grid for an arbitrary
+/// discrete policy (mass per cell) — used to score closed forms on the same
+/// grid the solver optimized over.
+[[nodiscard]] double grid_worst_ratio(const MinimaxConfig& config,
+                                      const std::vector<double>& mass);
+
+/// Project a closed-form density onto the solver's grid (mass per cell).
+template <typename Density>
+[[nodiscard]] std::vector<double> discretize(const Density& density,
+                                             const MinimaxConfig& config) {
+  const double support =
+      config.abort_cost / (config.chain_length - 1.0);
+  const double width = support / config.policy_points;
+  std::vector<double> mass(static_cast<std::size_t>(config.policy_points));
+  for (int i = 0; i < config.policy_points; ++i) {
+    const double left = width * i;
+    const double right = width * (i + 1);
+    mass[static_cast<std::size_t>(i)] =
+        density.cdf(right) - density.cdf(left);
+  }
+  // The closed form may live on [0, B] at k = 2 (LogMeanWins) — any residual
+  // tail mass lands in the last cell so totals stay 1.
+  double total = 0.0;
+  for (const double m : mass) total += m;
+  if (total < 1.0) mass.back() += 1.0 - total;
+  return mass;
+}
+
+}  // namespace txc::core

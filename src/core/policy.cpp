@@ -1,0 +1,128 @@
+#include "core/policy.hpp"
+
+#include <cmath>
+
+namespace txc::core {
+
+double RandomizedWinsPolicy::grace_period(const ConflictContext& context,
+                                          sim::Rng& rng) const {
+  const double B = context.abort_cost;
+  const int k = context.chain_length;
+  if (use_mean_hint_ && context.mean_hint.has_value()) {
+    const double mu = *context.mean_hint;
+    if (mu / B < mean_threshold_wins(k)) {
+      if (k == 2) return LogMeanWinsDensity{B}.sample(rng);
+      return PowerMeanWinsDensity{B, k}.sample(rng);
+    }
+  }
+  if (use_power_density_) return PowerWinsDensity{B, k}.sample(rng);
+  return UniformWinsDensity{B, k}.sample(rng);
+}
+
+std::string RandomizedWinsPolicy::name() const {
+  if (use_mean_hint_) return use_power_density_ ? "RRW_OPT(mu)" : "RRW(mu)";
+  return use_power_density_ ? "RRW_OPT" : "RRW";
+}
+
+double RandomizedAbortsPolicy::grace_period(const ConflictContext& context,
+                                            sim::Rng& rng) const {
+  const double B = context.abort_cost;
+  const int k = context.chain_length;
+  if (use_mean_hint_ && context.mean_hint.has_value()) {
+    const double mu = *context.mean_hint;
+    if (mu / B < mean_threshold_aborts(k)) {
+      return ExpMeanAbortsDensity{B, k}.sample(rng);
+    }
+  }
+  return ExpAbortsDensity{B, k}.sample(rng);
+}
+
+std::string RandomizedAbortsPolicy::name() const {
+  return use_mean_hint_ ? "RRA(mu)" : "RRA";
+}
+
+AdaptiveTunedPolicy::AdaptiveTunedPolicy()
+    : AdaptiveTunedPolicy(Params{}) {}
+
+double AdaptiveTunedPolicy::grace_period(const ConflictContext& context,
+                                         sim::Rng& rng) const {
+  (void)rng;
+  const double cap = params_.cap_fraction * context.abort_cost /
+                     (context.chain_length - 1.0);
+  const double learned =
+      estimator_.mean_if_ready(params_.min_samples).value_or(
+          params_.initial_delay);
+  return std::min(learned, cap);
+}
+
+void AdaptiveTunedPolicy::observe(const ConflictOutcome& outcome) const noexcept {
+  if (outcome.committed) {
+    estimator_.add_exact(outcome.waited);
+  } else {
+    estimator_.add_censored(outcome.grace);
+  }
+}
+
+double BackoffPolicy::grace_period(const ConflictContext& context,
+                                   sim::Rng& rng) const {
+  ConflictContext scaled = context;
+  const double exponent =
+      static_cast<double>(std::min(context.attempt, max_doublings_));
+  scaled.abort_cost = context.abort_cost * std::pow(growth_, exponent);
+  return inner_->grace_period(scaled, rng);
+}
+
+const char* to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kNoDelay: return "NO_DELAY";
+    case StrategyKind::kFixedTuned: return "DELAY_TUNED";
+    case StrategyKind::kDetWins: return "DET";
+    case StrategyKind::kDetAborts: return "DET_ABORTS";
+    case StrategyKind::kRandWins: return "RRW";
+    case StrategyKind::kRandWinsMean: return "RRW(mu)";
+    case StrategyKind::kRandWinsPower: return "RRW_OPT";
+    case StrategyKind::kRandAborts: return "RRA";
+    case StrategyKind::kRandAbortsMean: return "RRA(mu)";
+    case StrategyKind::kHybrid: return "HYBRID";
+    case StrategyKind::kOracle: return "ORACLE";
+    case StrategyKind::kAdaptiveTuned: return "DELAY_ADAPTIVE";
+  }
+  return "?";
+}
+
+std::shared_ptr<const GracePeriodPolicy> make_policy(StrategyKind kind,
+                                                     double tuned_delay) {
+  switch (kind) {
+    case StrategyKind::kNoDelay:
+      return std::make_shared<NoDelayPolicy>();
+    case StrategyKind::kFixedTuned:
+      return std::make_shared<FixedDelayPolicy>(tuned_delay);
+    case StrategyKind::kDetWins:
+      return std::make_shared<DeterministicWinsPolicy>();
+    case StrategyKind::kDetAborts:
+      return std::make_shared<DeterministicAbortsPolicy>();
+    case StrategyKind::kRandWins:
+      return std::make_shared<RandomizedWinsPolicy>(/*use_mean_hint=*/false);
+    case StrategyKind::kRandWinsMean:
+      return std::make_shared<RandomizedWinsPolicy>(/*use_mean_hint=*/true);
+    case StrategyKind::kRandWinsPower:
+      return std::make_shared<RandomizedWinsPolicy>(/*use_mean_hint=*/false,
+                                                    /*use_power_density=*/true);
+    case StrategyKind::kRandAborts:
+      return std::make_shared<RandomizedAbortsPolicy>(/*use_mean_hint=*/false);
+    case StrategyKind::kRandAbortsMean:
+      return std::make_shared<RandomizedAbortsPolicy>(/*use_mean_hint=*/true);
+    case StrategyKind::kHybrid:
+      return std::make_shared<HybridPolicy>();
+    case StrategyKind::kOracle:
+      return std::make_shared<OraclePolicy>();
+    case StrategyKind::kAdaptiveTuned: {
+      AdaptiveTunedPolicy::Params params;
+      if (tuned_delay > 0.0) params.initial_delay = tuned_delay;
+      return std::make_shared<AdaptiveTunedPolicy>(params);
+    }
+  }
+  return std::make_shared<NoDelayPolicy>();
+}
+
+}  // namespace txc::core

@@ -1,0 +1,364 @@
+// txconflict — the grace-period policy interface.
+//
+// This is the public API a transactional system calls at conflict time.  The
+// decision is local, immediate and unchangeable (Section 1 "Implications"):
+// the policy sees only the abort cost B, the conflict chain length k, an
+// optional profiled mean of transaction lengths, and the receiver's restart
+// count.  It returns the grace period Delta; the system then either aborts the
+// receiver (requestor wins) or the requestors (requestor aborts) when the
+// period expires without a commit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/densities.hpp"
+#include "core/estimators.hpp"
+#include "sim/rng.hpp"
+
+namespace txc::core {
+
+/// Everything a local decision is allowed to see at conflict time.
+struct ConflictContext {
+  /// Abort cost B: in practice the time the receiver has already been
+  /// running plus a fixed cleanup cost (Section 4, footnote 1).
+  double abort_cost = 1.0;
+  /// Conflict chain length k >= 2 (receiver + transitively waiting
+  /// requestors).
+  int chain_length = 2;
+  /// Profiled mean of the underlying transaction-length distribution, when a
+  /// profiler is attached (Section 5.2).
+  std::optional<double> mean_hint;
+  /// Number of times the receiver transaction has already aborted; consumed
+  /// by the BackoffPolicy progress decorator (Section 7).
+  std::uint32_t attempt = 0;
+  /// Remaining running time D of the transaction at risk, when the caller is
+  /// an omniscient harness (simulators/benches only — no real system knows
+  /// this).  Consumed by OraclePolicy to realize the offline optimum.
+  std::optional<double> remaining_hint;
+};
+
+/// What actually happened after a grace-period decision; fed back to the
+/// policy so adaptive strategies can learn from (censored) observations.
+struct ConflictOutcome {
+  /// True if the transaction at risk committed within the grace period.
+  bool committed = false;
+  /// The grace period the policy granted.
+  double grace = 0.0;
+  /// Time actually waited: the at-risk transaction's observed remaining time
+  /// on commit (an exact sample of D), or the full grace period on expiry
+  /// (a censored sample: D > grace).
+  double waited = 0.0;
+  int chain_length = 2;
+};
+
+/// A grace-period decision procedure.  Implementations must be deterministic
+/// given (context, rng) so simulator runs are reproducible.
+class GracePeriodPolicy {
+ public:
+  virtual ~GracePeriodPolicy() = default;
+
+  /// Grace period Delta >= 0 for this conflict.  Delta == 0 means abort
+  /// immediately.
+  [[nodiscard]] virtual double grace_period(const ConflictContext& context,
+                                            sim::Rng& rng) const = 0;
+
+  /// Which conflict resolution flavor the policy's analysis assumes.
+  [[nodiscard]] virtual ResolutionMode mode() const noexcept = 0;
+
+  /// Per-conflict resolution flavor.  Defaults to mode(); policies that
+  /// switch flavors by context (HybridPolicy switches on the chain length)
+  /// override this, and harnesses that can honor both flavors should prefer
+  /// it over mode().
+  [[nodiscard]] virtual ResolutionMode mode_for(
+      const ConflictContext& context) const noexcept {
+    (void)context;
+    return mode();
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Outcome feedback (optional).  Called by the transactional system when a
+  /// granted grace period resolves; the default implementation ignores it.
+  /// Adaptive policies use this to learn the length distribution online.
+  virtual void observe(const ConflictOutcome& outcome) const noexcept {
+    (void)outcome;
+  }
+};
+
+/// Always abort immediately (the paper's NO_DELAY baseline).
+class NoDelayPolicy final : public GracePeriodPolicy {
+ public:
+  explicit NoDelayPolicy(
+      ResolutionMode mode = ResolutionMode::kRequestorWins) noexcept
+      : mode_(mode) {}
+  [[nodiscard]] double grace_period(const ConflictContext&,
+                                    sim::Rng&) const override {
+    return 0.0;
+  }
+  [[nodiscard]] ResolutionMode mode() const noexcept override { return mode_; }
+  [[nodiscard]] std::string name() const override { return "NO_DELAY"; }
+
+ private:
+  ResolutionMode mode_;
+};
+
+/// Fixed, hand-tuned delay (the paper's DELAY_TUNED baseline: the operator
+/// knows the workload and sets the delay to the measured fast-path length).
+class FixedDelayPolicy final : public GracePeriodPolicy {
+ public:
+  FixedDelayPolicy(double delay,
+                   ResolutionMode mode = ResolutionMode::kRequestorWins) noexcept
+      : delay_(delay), mode_(mode) {}
+  [[nodiscard]] double grace_period(const ConflictContext&,
+                                    sim::Rng&) const override {
+    return delay_;
+  }
+  [[nodiscard]] ResolutionMode mode() const noexcept override { return mode_; }
+  [[nodiscard]] std::string name() const override { return "DELAY_TUNED"; }
+
+ private:
+  double delay_;
+  ResolutionMode mode_;
+};
+
+/// Theorem 4: deterministic requestor wins, wait exactly B/(k-1).
+class DeterministicWinsPolicy final : public GracePeriodPolicy {
+ public:
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng&) const override {
+    return context.abort_cost / (context.chain_length - 1.0);
+  }
+  [[nodiscard]] ResolutionMode mode() const noexcept override {
+    return ResolutionMode::kRequestorWins;
+  }
+  [[nodiscard]] std::string name() const override { return "DET_WINS"; }
+};
+
+/// Classic deterministic ski rental for requestor aborts: wait exactly B.
+class DeterministicAbortsPolicy final : public GracePeriodPolicy {
+ public:
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng&) const override {
+    return context.abort_cost;
+  }
+  [[nodiscard]] ResolutionMode mode() const noexcept override {
+    return ResolutionMode::kRequestorAborts;
+  }
+  [[nodiscard]] std::string name() const override { return "DET_ABORTS"; }
+};
+
+/// Randomized requestor-wins policy.  Without a mean hint it samples the
+/// uniform density (Theorem 5; 2-competitive, the paper's DELAY_RAND).  With
+/// `use_power_density` it instead samples the Theorem 6 unconstrained density
+/// (ratio r/(r-1), strictly better for k >= 3).  With a mean hint below the
+/// applicability threshold it samples the mean-constrained density.
+class RandomizedWinsPolicy final : public GracePeriodPolicy {
+ public:
+  explicit RandomizedWinsPolicy(bool use_mean_hint = true,
+                                bool use_power_density = false) noexcept
+      : use_mean_hint_(use_mean_hint), use_power_density_(use_power_density) {}
+
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng& rng) const override;
+  [[nodiscard]] ResolutionMode mode() const noexcept override {
+    return ResolutionMode::kRequestorWins;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  bool use_mean_hint_;
+  bool use_power_density_;
+};
+
+/// Randomized requestor-aborts policy (Theorems 1/2/3).
+class RandomizedAbortsPolicy final : public GracePeriodPolicy {
+ public:
+  explicit RandomizedAbortsPolicy(bool use_mean_hint = true) noexcept
+      : use_mean_hint_(use_mean_hint) {}
+
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng& rng) const override;
+  [[nodiscard]] ResolutionMode mode() const noexcept override {
+    return ResolutionMode::kRequestorAborts;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  bool use_mean_hint_;
+};
+
+/// Section 1 "Implications" / Section 5.3: requestor aborts wins at k = 2,
+/// requestor wins is preferable for longer chains.  The hybrid policy selects
+/// per conflict; systems that can honor both flavors query `mode_for` to know
+/// which side to abort.
+class HybridPolicy final : public GracePeriodPolicy {
+ public:
+  explicit HybridPolicy(bool use_mean_hint = true) noexcept
+      : wins_(use_mean_hint), aborts_(use_mean_hint) {}
+
+  [[nodiscard]] static ResolutionMode mode_for(int chain_length) noexcept {
+    return chain_length <= 2 ? ResolutionMode::kRequestorAborts
+                             : ResolutionMode::kRequestorWins;
+  }
+
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng& rng) const override {
+    return mode_for(context.chain_length) == ResolutionMode::kRequestorAborts
+               ? aborts_.grace_period(context, rng)
+               : wins_.grace_period(context, rng);
+  }
+  /// Reports the k = 2 choice; callers with chain information should prefer
+  /// `mode_for`.
+  [[nodiscard]] ResolutionMode mode() const noexcept override {
+    return ResolutionMode::kRequestorAborts;
+  }
+  [[nodiscard]] ResolutionMode mode_for(
+      const ConflictContext& context) const noexcept override {
+    return mode_for(context.chain_length);
+  }
+  [[nodiscard]] std::string name() const override { return "HYBRID"; }
+
+ private:
+  RandomizedWinsPolicy wins_;
+  RandomizedAbortsPolicy aborts_;
+};
+
+/// Offline optimum (benches and competitive-ratio baselines only): reads the
+/// at-risk transaction's true remaining time D from the context and waits for
+/// it exactly when letting it commit is cheaper than aborting — the
+/// perfect-information comparator OPT of Sections 4-6.
+///   Requestor wins:   wait D iff (k-1)·D <= B, else abort now.
+///   Requestor aborts: wait D iff D <= B, else abort now.
+/// Falls back to NO_DELAY when the harness supplies no remaining_hint.
+class OraclePolicy final : public GracePeriodPolicy {
+ public:
+  explicit OraclePolicy(
+      ResolutionMode mode = ResolutionMode::kRequestorWins) noexcept
+      : mode_(mode) {}
+
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng&) const override {
+    if (!context.remaining_hint.has_value()) return 0.0;
+    const double remaining = *context.remaining_hint;
+    const double weighted =
+        mode_ == ResolutionMode::kRequestorWins
+            ? remaining * (context.chain_length - 1.0)
+            : remaining;
+    // +1 so the discrete simulator's deadline lands after the commit.
+    return weighted <= context.abort_cost ? remaining + 1.0 : 0.0;
+  }
+  [[nodiscard]] ResolutionMode mode() const noexcept override { return mode_; }
+  [[nodiscard]] std::string name() const override { return "ORACLE"; }
+
+ private:
+  ResolutionMode mode_;
+};
+
+/// Self-calibrating version of the paper's hand-tuned baseline: instead of an
+/// operator measuring the fast-path transaction length offline, the policy
+/// learns it from outcome feedback (exact samples on commit-within-grace,
+/// censored samples on expiry) and plays the current estimate as its fixed
+/// delay.  Until enough feedback accumulated it bootstraps with an initial
+/// delay.  This is the natural "deployable DELAY_TUNED" the paper's Section 9
+/// gestures at; its value shows on bimodal loads, where a static tuned delay
+/// collapses but the estimator tracks the mixture.
+class AdaptiveTunedPolicy final : public GracePeriodPolicy {
+ public:
+  struct Params {
+    double alpha = 0.05;           // EWMA weight per observation
+    double initial_delay = 50.0;   // bootstrap before feedback arrives
+    std::size_t min_samples = 16;  // feedback needed before trusting the mean
+    /// Safety cap as a multiple of B/(k-1) (never wait past the point where
+    /// aborting is certainly cheaper; 1.0 matches the deterministic optimum).
+    double cap_fraction = 1.0;
+  };
+
+  /// Default-constructs with Params{} (defined out of line: a nested class's
+  /// default member initializers cannot be referenced inside the enclosing
+  /// class definition).
+  AdaptiveTunedPolicy();
+  explicit AdaptiveTunedPolicy(
+      Params params,
+      ResolutionMode mode = ResolutionMode::kRequestorWins) noexcept
+      : params_(params), mode_(mode), estimator_(params.alpha, params.initial_delay) {}
+
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng& rng) const override;
+  [[nodiscard]] ResolutionMode mode() const noexcept override { return mode_; }
+  [[nodiscard]] std::string name() const override { return "DELAY_ADAPTIVE"; }
+  void observe(const ConflictOutcome& outcome) const noexcept override;
+
+  /// Current learned delay (tests/benches).
+  [[nodiscard]] double learned_delay() const noexcept {
+    return estimator_.mean();
+  }
+  [[nodiscard]] std::size_t feedback_samples() const noexcept {
+    return estimator_.count();
+  }
+
+ private:
+  Params params_;
+  ResolutionMode mode_;
+  /// Policies are shared const across the simulator; the learning state is
+  /// logically cache, hence mutable.  The simulator is single-threaded, so
+  /// no synchronization is needed (real deployments would shard per core).
+  mutable CensoredMeanEstimator estimator_;
+};
+
+/// Section 7 progress decorator: multiplies the abort cost B seen by the
+/// wrapped policy by growth^attempt, making a repeatedly-aborted transaction
+/// ever less likely to abort (Corollary 2 analyses growth = 2).
+class BackoffPolicy final : public GracePeriodPolicy {
+ public:
+  BackoffPolicy(std::shared_ptr<const GracePeriodPolicy> inner,
+                double growth = 2.0, std::uint32_t max_doublings = 32) noexcept
+      : inner_(std::move(inner)),
+        growth_(growth),
+        max_doublings_(max_doublings) {}
+
+  [[nodiscard]] double grace_period(const ConflictContext& context,
+                                    sim::Rng& rng) const override;
+  [[nodiscard]] ResolutionMode mode() const noexcept override {
+    return inner_->mode();
+  }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+BACKOFF";
+  }
+
+ private:
+  std::shared_ptr<const GracePeriodPolicy> inner_;
+  double growth_;
+  std::uint32_t max_doublings_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+/// Strategy names used by benches/examples; mirrors DESIGN.md and the paper's
+/// Figure 2/3 legends.
+enum class StrategyKind {
+  kNoDelay,        // NO_DELAY
+  kFixedTuned,     // DELAY_TUNED (delay supplied separately)
+  kDetWins,        // DET (Theorem 4)
+  kDetAborts,      // classic deterministic ski rental
+  kRandWins,       // RRW (Theorem 5, uniform)
+  kRandWinsMean,   // RRW(mu)
+  kRandWinsPower,  // Theorem 6 unconstrained optimum
+  kRandAborts,     // RRA (Theorems 1/3)
+  kRandAbortsMean, // RRA(mu)
+  kHybrid,         // Section 5.3 hybrid
+  kOracle,         // offline optimum (simulator-only remaining_hint)
+  kAdaptiveTuned,  // self-calibrating DELAY_TUNED (outcome feedback)
+};
+
+[[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
+
+/// Build a policy.  `tuned_delay` is consumed only by kFixedTuned.
+[[nodiscard]] std::shared_ptr<const GracePeriodPolicy> make_policy(
+    StrategyKind kind, double tuned_delay = 0.0);
+
+}  // namespace txc::core

@@ -1,0 +1,50 @@
+// txconflict — empirical transaction-length profiler (Section 5.2).
+//
+// "This corresponds to a profiler which records the empirical mean over all
+// successful executions of a transaction, and uses this information when
+// deciding the grace period length."
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace txc::core {
+
+/// Streams committed-transaction lengths and exposes the empirical mean once
+/// enough samples accumulated.  An optional exponential decay lets the
+/// profile track phase changes (fresh workloads) instead of the whole-run
+/// average; decay = 1.0 reproduces the plain arithmetic mean from the paper.
+class MeanProfiler {
+ public:
+  explicit MeanProfiler(std::size_t min_samples = 8, double decay = 1.0) noexcept
+      : min_samples_(min_samples), decay_(decay) {}
+
+  void record_commit_length(double length) noexcept {
+    weight_ = weight_ * decay_ + 1.0;
+    weighted_sum_ = weighted_sum_ * decay_ + length;
+    ++count_;
+  }
+
+  /// Empirical mean, or nullopt until min_samples commits were observed.
+  [[nodiscard]] std::optional<double> mean_hint() const noexcept {
+    if (count_ < min_samples_ || weight_ <= 0.0) return std::nullopt;
+    return weighted_sum_ / weight_;
+  }
+
+  [[nodiscard]] std::size_t samples() const noexcept { return count_; }
+
+  void reset() noexcept {
+    weighted_sum_ = 0.0;
+    weight_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t min_samples_;
+  double decay_;
+  double weighted_sum_ = 0.0;
+  double weight_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace txc::core

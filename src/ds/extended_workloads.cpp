@@ -1,0 +1,114 @@
+#include "ds/extended_workloads.hpp"
+
+#include <algorithm>
+
+namespace txc::ds {
+
+// ---------------------------------------------------------------------------
+// Bank
+// ---------------------------------------------------------------------------
+
+BankWorkload::BankWorkload() : BankWorkload(Params{}) {}
+BankWorkload::BankWorkload(Params params) : params_(params) {}
+
+Transaction BankWorkload::next_transaction(CoreId, sim::Rng& rng) {
+  const auto from = static_cast<std::uint32_t>(
+      rng.uniform_below(params_.accounts));
+  auto to = static_cast<std::uint32_t>(
+      rng.uniform_below(params_.accounts - 1));
+  if (to >= from) ++to;  // distinct accounts, uniform over ordered pairs
+  Transaction tx;
+  tx.push_back({TxOp::Kind::kRead, kAccountBaseLine + from, 0, 0});
+  tx.push_back({TxOp::Kind::kRead, kAccountBaseLine + to, 0, 0});
+  tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+  // Two's-complement delta: the sum over all accounts stays invariant.
+  tx.push_back({TxOp::Kind::kRmw, kAccountBaseLine + from,
+                static_cast<std::uint64_t>(-static_cast<std::int64_t>(
+                    params_.amount)),
+                0});
+  tx.push_back({TxOp::Kind::kRmw, kAccountBaseLine + to, params_.amount, 0});
+  return tx;
+}
+
+std::uint64_t BankWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Zipf-skewed transactional application
+// ---------------------------------------------------------------------------
+
+ZipfTxAppWorkload::ZipfTxAppWorkload() : ZipfTxAppWorkload(Params{}) {}
+ZipfTxAppWorkload::ZipfTxAppWorkload(Params params)
+    : params_(params), sampler_(params.objects, params.skew) {}
+
+Transaction ZipfTxAppWorkload::next_transaction(CoreId, sim::Rng& rng) {
+  const std::uint32_t first = sampler_.sample(rng);
+  std::uint32_t second = first;
+  while (second == first) second = sampler_.sample(rng);
+  const std::uint64_t work = rng.uniform_below(params_.mean_work_cycles) +
+                             params_.mean_work_cycles / 2;
+  Transaction tx;
+  tx.push_back({TxOp::Kind::kRead, kObjectBaseLine + first, 0, 0});
+  tx.push_back({TxOp::Kind::kRead, kObjectBaseLine + second, 0, 0});
+  tx.push_back({TxOp::Kind::kWork, 0, 0, work});
+  tx.push_back({TxOp::Kind::kRmw, kObjectBaseLine + first, 1, 0});
+  tx.push_back({TxOp::Kind::kRmw, kObjectBaseLine + second, 1, 0});
+  return tx;
+}
+
+std::uint64_t ZipfTxAppWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Read-mostly
+// ---------------------------------------------------------------------------
+
+ReadMostlyWorkload::ReadMostlyWorkload() : ReadMostlyWorkload(Params{}) {}
+ReadMostlyWorkload::ReadMostlyWorkload(Params params) : params_(params) {}
+
+Transaction ReadMostlyWorkload::next_transaction(CoreId, sim::Rng& rng) {
+  Transaction tx;
+  LineId last = kReadArrayBaseLine;
+  for (std::uint32_t i = 0; i < params_.reads_per_tx; ++i) {
+    last = kReadArrayBaseLine + rng.uniform_below(params_.objects);
+    tx.push_back({TxOp::Kind::kRead, last, 0, 0});
+  }
+  tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+  if (rng.bernoulli(params_.write_fraction)) {
+    tx.push_back({TxOp::Kind::kRmw, last, 1, 0});
+  }
+  return tx;
+}
+
+std::uint64_t ReadMostlyWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Linked list
+// ---------------------------------------------------------------------------
+
+ListWorkload::ListWorkload() : ListWorkload(Params{}) {}
+ListWorkload::ListWorkload(Params params) : params_(params) {}
+
+Transaction ListWorkload::next_transaction(CoreId, sim::Rng& rng) {
+  const auto position = static_cast<std::uint32_t>(
+      rng.uniform_below(params_.length));
+  Transaction tx;
+  for (std::uint32_t i = 0; i <= position; ++i) {
+    tx.push_back({TxOp::Kind::kRead, kListBaseLine + i, 0, 0});
+    if (params_.per_node_work > 0) {
+      tx.push_back({TxOp::Kind::kWork, 0, 0, params_.per_node_work});
+    }
+  }
+  tx.push_back({TxOp::Kind::kRmw, kListBaseLine + position, 1, 0});
+  return tx;
+}
+
+std::uint64_t ListWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+}  // namespace txc::ds

@@ -1,0 +1,124 @@
+// txconflict — extended benchmark workloads beyond the paper's Section 8.2
+// set: a bank-transfer application (the canonical TM correctness demo, with a
+// conservation invariant tests can audit), a Zipf-skewed variant of the
+// transactional application (hot-spot contention), a read-mostly workload
+// (read-only transactions commit without write acquisition), and a
+// linked-list traversal (long read chains, prefix conflicts).
+//
+// Memory layout (LineIds) — disjoint from workloads.hpp:
+//   256..255+accounts   bank accounts
+//   512..511+length     linked-list nodes
+//   1024..1023+objects  read-mostly object array
+#pragma once
+
+#include <cstdint>
+
+#include "ds/workloads.hpp"
+#include "workload/zipf.hpp"
+
+namespace txc::ds {
+
+inline constexpr LineId kAccountBaseLine = 256;
+inline constexpr LineId kListBaseLine = 512;
+inline constexpr LineId kReadArrayBaseLine = 1024;
+
+/// Bank transfers: read two distinct accounts, compute, then move `amount`
+/// from one to the other (RMW -amount / RMW +amount).  The sum of all
+/// accounts is invariant — the classic TM atomicity audit.
+class BankWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t accounts = 128;
+    std::uint64_t amount = 1;
+    std::uint64_t work_cycles = 20;
+    std::uint64_t think_cycles = 10;
+  };
+  BankWorkload();
+  explicit BankWorkload(Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core,
+                                             sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "bank"; }
+  [[nodiscard]] std::uint32_t accounts() const noexcept {
+    return params_.accounts;
+  }
+
+ private:
+  Params params_;
+};
+
+/// The 2-of-N transactional application with Zipf-skewed object selection:
+/// s = 0 reproduces the paper's uniform pick, larger s concentrates the
+/// conflicts on a few hot objects (longer chains, higher k).
+class ZipfTxAppWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t objects = kObjectCount;
+    double skew = 0.8;  // Zipf exponent
+    std::uint64_t mean_work_cycles = 60;
+    std::uint64_t think_cycles = 10;
+  };
+  ZipfTxAppWorkload();
+  explicit ZipfTxAppWorkload(Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core,
+                                             sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "zipf-txapp"; }
+
+ private:
+  Params params_;
+  workload::ZipfSampler sampler_;
+};
+
+/// Read-mostly array scans: read `reads_per_tx` random lines; with
+/// probability `write_fraction` also RMW one of them.  Read-only
+/// transactions have an empty write set and commit without any exclusive
+/// acquisition, so the abort rate is carried entirely by the writers.
+class ReadMostlyWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t objects = 256;
+    std::uint32_t reads_per_tx = 8;
+    double write_fraction = 0.1;
+    std::uint64_t work_cycles = 15;
+    std::uint64_t think_cycles = 5;
+  };
+  ReadMostlyWorkload();
+  explicit ReadMostlyWorkload(Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core,
+                                             sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "read-mostly"; }
+
+ private:
+  Params params_;
+};
+
+/// Sorted-linked-list insertion: walk the first `position` nodes read-only,
+/// then update the node at the insertion point.  Long read chains mean (a)
+/// long transactions whose remaining time varies with the insertion point
+/// and (b) conflicts whenever a writer updates a node inside another
+/// walker's prefix — the read-write conflict pattern of list/tree indexes.
+class ListWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t length = 32;
+    std::uint64_t per_node_work = 4;  // comparison cost at each node
+    std::uint64_t think_cycles = 10;
+  };
+  ListWorkload();
+  explicit ListWorkload(Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core,
+                                             sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "list"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace txc::ds

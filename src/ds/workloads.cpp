@@ -1,0 +1,146 @@
+#include "ds/workloads.hpp"
+
+namespace txc::ds {
+
+namespace {
+
+LineId node_line(CoreId core, std::uint64_t counter) {
+  return kNodePoolBase + static_cast<LineId>(core) * kNodePoolSize +
+         (counter % kNodePoolSize);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stack
+// ---------------------------------------------------------------------------
+
+StackWorkload::StackWorkload(std::uint32_t cores, Params params)
+    : params_(params), op_counter_(cores, 0) {}
+
+Transaction StackWorkload::next_transaction(CoreId core, sim::Rng&) {
+  const std::uint64_t count = op_counter_[core]++;
+  const bool is_push = (count % 2 == 0);
+  Transaction tx;
+  if (is_push) {
+    // push: read top, link the new node to it, swing top to the node.
+    tx.push_back({TxOp::Kind::kRead, kStackTopLine, 0, 0});
+    tx.push_back({TxOp::Kind::kWrite, node_line(core, count), count, 0});
+    tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+    tx.push_back({TxOp::Kind::kRmw, kStackTopLine, 1, 0});
+  } else {
+    // pop: read top, read the node it points to, swing top back.
+    tx.push_back({TxOp::Kind::kRead, kStackTopLine, 0, 0});
+    tx.push_back({TxOp::Kind::kRead, node_line(core, count), 0, 0});
+    tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+    tx.push_back({TxOp::Kind::kRmw, kStackTopLine,
+                  static_cast<std::uint64_t>(-1), 0});
+  }
+  return tx;
+}
+
+std::uint64_t StackWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------------
+
+QueueWorkload::QueueWorkload(std::uint32_t cores, Params params)
+    : params_(params), op_counter_(cores, 0) {}
+
+Transaction QueueWorkload::next_transaction(CoreId core, sim::Rng&) {
+  const std::uint64_t count = op_counter_[core]++;
+  const bool is_enqueue = (count % 2 == 0);
+  Transaction tx;
+  if (is_enqueue) {
+    tx.push_back({TxOp::Kind::kRead, kQueueTailLine, 0, 0});
+    tx.push_back({TxOp::Kind::kWrite, node_line(core, count), count, 0});
+    tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+    tx.push_back({TxOp::Kind::kRmw, kQueueTailLine, 1, 0});
+  } else {
+    tx.push_back({TxOp::Kind::kRead, kQueueHeadLine, 0, 0});
+    tx.push_back({TxOp::Kind::kRead, node_line(core, count), 0, 0});
+    tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+    tx.push_back({TxOp::Kind::kRmw, kQueueHeadLine, 1, 0});
+  }
+  return tx;
+}
+
+std::uint64_t QueueWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Transactional application
+// ---------------------------------------------------------------------------
+
+TxAppWorkload::TxAppWorkload(Params params) : params_(params) {}
+
+Transaction TxAppWorkload::next_transaction(CoreId, sim::Rng& rng) {
+  const auto first =
+      static_cast<std::uint32_t>(rng.uniform_below(params_.objects));
+  auto second =
+      static_cast<std::uint32_t>(rng.uniform_below(params_.objects - 1));
+  if (second >= first) ++second;  // distinct objects
+  const std::uint64_t work = params_.mean_work_cycles / 2 +
+                             rng.uniform_below(params_.mean_work_cycles + 1);
+  Transaction tx;
+  tx.push_back({TxOp::Kind::kRead, kObjectBaseLine + first, 0, 0});
+  tx.push_back({TxOp::Kind::kRead, kObjectBaseLine + second, 0, 0});
+  tx.push_back({TxOp::Kind::kWork, 0, 0, work});
+  tx.push_back({TxOp::Kind::kRmw, kObjectBaseLine + first, 1, 0});
+  tx.push_back({TxOp::Kind::kRmw, kObjectBaseLine + second, 1, 0});
+  return tx;
+}
+
+std::uint64_t TxAppWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Bimodal transactional application
+// ---------------------------------------------------------------------------
+
+BimodalTxAppWorkload::BimodalTxAppWorkload(std::uint32_t cores, Params params)
+    : params_(params), op_counter_(cores, 0) {}
+
+Transaction BimodalTxAppWorkload::next_transaction(CoreId core, sim::Rng& rng) {
+  const std::uint64_t count = op_counter_[core]++;
+  const bool is_long = (count % 2 == 1);
+  const std::uint64_t work =
+      is_long ? params_.long_work_cycles : params_.short_work_cycles;
+  const auto first =
+      static_cast<std::uint32_t>(rng.uniform_below(params_.objects));
+  auto second =
+      static_cast<std::uint32_t>(rng.uniform_below(params_.objects - 1));
+  if (second >= first) ++second;
+  Transaction tx;
+  tx.push_back({TxOp::Kind::kRead, kObjectBaseLine + first, 0, 0});
+  tx.push_back({TxOp::Kind::kRead, kObjectBaseLine + second, 0, 0});
+  tx.push_back({TxOp::Kind::kWork, 0, 0, work});
+  tx.push_back({TxOp::Kind::kRmw, kObjectBaseLine + first, 1, 0});
+  tx.push_back({TxOp::Kind::kRmw, kObjectBaseLine + second, 1, 0});
+  return tx;
+}
+
+std::uint64_t BimodalTxAppWorkload::think_time(CoreId, sim::Rng&) {
+  return params_.think_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Shared counter
+// ---------------------------------------------------------------------------
+
+CounterWorkload::CounterWorkload(Params params) : params_(params) {}
+
+Transaction CounterWorkload::next_transaction(CoreId, sim::Rng&) {
+  Transaction tx;
+  tx.push_back({TxOp::Kind::kRead, params_.counter_line, 0, 0});
+  tx.push_back({TxOp::Kind::kWork, 0, 0, params_.work_cycles});
+  tx.push_back({TxOp::Kind::kRmw, params_.counter_line, 1, 0});
+  return tx;
+}
+
+}  // namespace txc::ds

@@ -1,0 +1,146 @@
+// txconflict — the benchmark applications of Section 8.2, expressed as
+// transaction programs for the HTM simulator.
+//
+// "We experiment with two contended data structures implemented using HTM in
+// this setting: a stack and a queue, as well as a simple transactional
+// application.  The stack and the queue use lock-free designs as 'slow path'
+// backups.  The stack and the queue simply alternate inserts and deletes.
+// The transactional application executes transactions which need to jointly
+// acquire and modify two out of a set of 64 objects in order to commit."
+//
+// Memory layout (LineIds):
+//   0            stack top / queue head pointer
+//   1            queue tail pointer
+//   16..79       the 64 objects of the transactional application
+//   4096 + ...   per-core node pools (effectively private)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/htm.hpp"
+
+namespace txc::ds {
+
+using htm::CoreId;
+using htm::LineId;
+using htm::Transaction;
+using htm::TxOp;
+using htm::Workload;
+
+inline constexpr LineId kStackTopLine = 0;
+inline constexpr LineId kQueueHeadLine = 0;
+inline constexpr LineId kQueueTailLine = 1;
+inline constexpr LineId kObjectBaseLine = 16;
+inline constexpr std::uint32_t kObjectCount = 64;
+inline constexpr LineId kNodePoolBase = 4096;
+inline constexpr std::uint32_t kNodePoolSize = 64;
+
+/// Transactional stack: every operation reads and updates the top-of-stack
+/// pointer, so all cores contend on one line.  Pushes also initialize a node
+/// line from the core's private pool.  Operations alternate push/pop.
+class StackWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint64_t work_cycles = 12;  // payload work inside the transaction
+    std::uint64_t think_cycles = 8;  // non-transactional gap between ops
+  };
+  explicit StackWorkload(std::uint32_t cores) : StackWorkload(cores, Params{}) {}
+  StackWorkload(std::uint32_t cores, Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "stack"; }
+
+ private:
+  Params params_;
+  std::vector<std::uint64_t> op_counter_;
+};
+
+/// Transactional queue: enqueues touch the tail pointer, dequeues the head
+/// pointer, so the two operation classes contend in separate groups.
+/// Operations alternate enqueue/dequeue.
+class QueueWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint64_t work_cycles = 12;
+    std::uint64_t think_cycles = 8;
+  };
+  explicit QueueWorkload(std::uint32_t cores) : QueueWorkload(cores, Params{}) {}
+  QueueWorkload(std::uint32_t cores, Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "queue"; }
+
+ private:
+  Params params_;
+  std::vector<std::uint64_t> op_counter_;
+};
+
+/// The transactional application: acquire and modify two distinct objects out
+/// of 64, with payload work of uniform length.
+class TxAppWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint64_t mean_work_cycles = 60;  // uniform in [mean/2, 3*mean/2]
+    std::uint64_t think_cycles = 10;
+    std::uint32_t objects = kObjectCount;
+  };
+  TxAppWorkload() : TxAppWorkload(Params{}) {}
+  explicit TxAppWorkload(Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "txapp"; }
+
+ private:
+  Params params_;
+};
+
+/// The bimodal transactional application: same access pattern, but lengths
+/// alternate between short and very long transactions (Figure 3, bottom
+/// right).
+class BimodalTxAppWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint64_t short_work_cycles = 30;
+    std::uint64_t long_work_cycles = 3000;
+    std::uint64_t think_cycles = 10;
+    std::uint32_t objects = kObjectCount;
+  };
+  explicit BimodalTxAppWorkload(std::uint32_t cores) : BimodalTxAppWorkload(cores, Params{}) {}
+  BimodalTxAppWorkload(std::uint32_t cores, Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::uint64_t think_time(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "bimodal-txapp"; }
+
+ private:
+  Params params_;
+  std::vector<std::uint64_t> op_counter_;
+};
+
+/// Maximum-contention shared counter: every transaction increments the same
+/// line.  Used by correctness tests (the committed value must equal the
+/// number of commits) and as the STM comparison workload.
+class CounterWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint64_t work_cycles = 5;
+    LineId counter_line = 8;
+  };
+  CounterWorkload() : CounterWorkload(Params{}) {}
+  explicit CounterWorkload(Params params);
+
+  [[nodiscard]] Transaction next_transaction(CoreId core, sim::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "counter"; }
+  [[nodiscard]] LineId counter_line() const noexcept {
+    return params_.counter_line;
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace txc::ds

@@ -1,0 +1,700 @@
+#include "htm/htm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace txc::htm {
+
+// ---------------------------------------------------------------------------
+// Per-core runtime state
+// ---------------------------------------------------------------------------
+
+struct HtmSystem::Core {
+  explicit Core(CoreId core_id, const mem::CacheConfig& l1_config,
+                sim::Rng core_rng)
+      : id(core_id), l1(l1_config), rng(core_rng) {}
+
+  CoreId id;
+  mem::L1Cache l1;
+  sim::Rng rng;
+  CoreStats stats;
+
+  Transaction tx;
+  std::size_t op_index = 0;
+  bool in_tx = false;
+  bool fallback = false;  // execute the current attempt non-transactionally
+  Tick tx_start = 0;
+  std::uint32_t attempt = 0;  // aborts of the current transaction
+
+  /// Bumped on commit/abort/restart; pending events captured with an older
+  /// generation are dead.
+  std::uint64_t generation = 0;
+
+  /// Receiver-side: deadline of the grace period currently granted to a
+  /// requestor (assumption (b): at most one grace period at a time), plus
+  /// what was granted, when, and the chain length — for outcome feedback.
+  std::optional<Tick> grace_deadline;
+  double granted_grace = 0.0;
+  Tick grace_start = 0;
+  int grace_chain = 2;
+
+  /// Requestor-side (requestor-aborts mode): the grace period this core
+  /// granted itself before self-aborting, for outcome feedback.
+  double requested_grace = 0.0;
+
+  /// Requestor-side: the core whose transaction we are stalled on, or -1.
+  int waiting_on = -1;
+  std::uint64_t stall_epoch = 0;  // invalidates stale requestor timeouts
+  Tick stall_start = 0;
+
+  /// Lazy-validation commit phase: exclusive ownership of the write set is
+  /// acquired here, in ascending line order, not during execution.
+  bool committing = false;
+  std::vector<LineId> commit_set;
+  std::size_t commit_index = 0;
+
+  std::unordered_map<LineId, std::uint64_t> write_buffer;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+HtmSystem::HtmSystem(HtmConfig config, std::shared_ptr<Workload> workload)
+    : config_(std::move(config)),
+      workload_(std::move(workload)),
+      directory_(config_.cores) {
+  assert(config_.cores >= 1 && config_.cores <= mem::kMaxCores);
+  assert(config_.policy != nullptr && "HtmConfig::policy must be set");
+  if (config_.noc.has_value()) {
+    // Ensure the mesh holds at least one tile per core.
+    noc::MeshConfig mesh = *config_.noc;
+    if (mesh.width * mesh.height < config_.cores) {
+      mesh = noc::MeshNoc::fit(config_.cores, mesh);
+    }
+    noc_.emplace(mesh);
+  }
+  if (config_.l2.has_value()) l2_.emplace(*config_.l2);
+  sim::Rng seeder{config_.seed};
+  cores_.reserve(config_.cores);
+  for (CoreId core = 0; core < config_.cores; ++core) {
+    cores_.push_back(std::make_unique<Core>(core, config_.l1, seeder.split()));
+  }
+}
+
+HtmSystem::~HtmSystem() = default;
+
+// ---------------------------------------------------------------------------
+// Scheduling helpers
+// ---------------------------------------------------------------------------
+
+void HtmSystem::schedule_guarded(CoreId core, Tick delay,
+                                 std::function<void()> fn) {
+  const std::uint64_t generation = cores_[core]->generation;
+  queue_.schedule_after(delay, [this, core, generation, fn = std::move(fn)] {
+    if (cores_[core]->generation == generation) fn();
+  });
+}
+
+void HtmSystem::start_next_transaction(CoreId core) {
+  Core& c = *cores_[core];
+  c.attempt = 0;
+  c.fallback = false;
+  c.tx = workload_->next_transaction(core, c.rng);
+  const std::uint64_t think = workload_->think_time(core, c.rng);
+  schedule_guarded(core, think, [this, core] { begin_attempt(core); });
+}
+
+void HtmSystem::begin_attempt(CoreId core) {
+  Core& c = *cores_[core];
+  c.in_tx = !c.fallback;
+  c.tx_start = queue_.now();
+  c.op_index = 0;
+  c.committing = false;
+  c.commit_set.clear();
+  c.commit_index = 0;
+  c.write_buffer.clear();
+  step(core);
+}
+
+void HtmSystem::step(CoreId core) {
+  Core& c = *cores_[core];
+  if (!c.committing && c.op_index >= c.tx.size()) {
+    if (!c.in_tx || c.write_buffer.empty()) {
+      commit(core);
+      return;
+    }
+    // Lazy validation (Section 8.2): enter the commit phase and acquire the
+    // write set exclusively, in ascending line order so that two committers
+    // can never deadlock against each other.
+    c.committing = true;
+    c.commit_set.clear();
+    c.commit_set.reserve(c.write_buffer.size());
+    for (const auto& [line, value] : c.write_buffer) c.commit_set.push_back(line);
+    std::sort(c.commit_set.begin(), c.commit_set.end());
+    c.commit_index = 0;
+  }
+  if (c.committing) {
+    if (c.commit_index >= c.commit_set.size()) {
+      commit(core);
+      return;
+    }
+    access(core);
+    return;
+  }
+  const TxOp& op = c.tx[c.op_index];
+  if (op.kind == TxOp::Kind::kWork) {
+    schedule_guarded(core, std::max<Tick>(op.cycles, 1),
+                     [this, core] { finish_op(core); });
+    return;
+  }
+  access(core);
+}
+
+void HtmSystem::finish_op(CoreId core) {
+  Core& c = *cores_[core];
+  if (c.committing) {
+    ++c.commit_index;
+  } else {
+    ++c.op_index;
+  }
+  step(core);
+}
+
+void HtmSystem::retry_access(CoreId core) { access(core); }
+
+// ---------------------------------------------------------------------------
+// Memory access and conflict detection
+// ---------------------------------------------------------------------------
+
+std::vector<CoreId> HtmSystem::conflicting_receivers(CoreId requestor,
+                                                     LineId line,
+                                                     bool is_write) const {
+  // Algorithm 1: a write conflicts with any transactional copy; a read
+  // conflicts only with a transactionally *modified* copy.
+  std::vector<CoreId> result;
+  for (const CoreId holder : directory_.holders_excluding(line, requestor)) {
+    const Core& receiver = *cores_[holder];
+    if (!receiver.in_tx) continue;
+    const mem::CacheLine* entry = receiver.l1.find(line);
+    if (entry == nullptr || !entry->transactional()) continue;
+    if (is_write || entry->tx_write) result.push_back(holder);
+  }
+  return result;
+}
+
+void HtmSystem::access(CoreId core) {
+  Core& c = *cores_[core];
+  // Commit-phase acquisitions look like exclusive write requests; execution
+  // ops come from the program.
+  TxOp op;
+  if (c.committing) {
+    op.kind = TxOp::Kind::kWork;  // value handling already done at execution
+    op.line = c.commit_set[c.commit_index];
+  } else {
+    op = c.tx[c.op_index];
+  }
+  const bool is_write = c.committing || op.kind != TxOp::Kind::kRead;
+  if (!config_.eager_writes && c.in_tx && !c.committing &&
+      op.kind == TxOp::Kind::kWrite) {
+    // Lazy versioning: a transactional store is buffered locally; no
+    // coherence traffic until the commit phase.
+    c.write_buffer[op.line] = op.value;
+    schedule_guarded(core, config_.l1_hit_latency,
+                     [this, core] { finish_op(core); });
+    return;
+  }
+  // Execution-phase reads (kRead/kRmw) only need shared access — unless the
+  // eager-writes ablation is on, in which case writes (and the write half of
+  // RMWs) demand exclusive ownership on the spot.
+  const bool request_exclusive =
+      is_write && (c.committing || !c.in_tx || config_.eager_writes);
+  const std::vector<CoreId> receivers =
+      conflicting_receivers(core, op.line, request_exclusive);
+  if (!c.in_tx) {
+    // Non-transactional (fallback) access: real HTMs abort any transaction
+    // whose transactional line is touched non-transactionally — this is what
+    // makes the lock-free slow path safe.
+    for (const CoreId receiver : receivers) {
+      abort_core(receiver, AbortReason::kNonTxConflict);
+    }
+    perform_access(core, op);
+    return;
+  }
+  if (receivers.empty()) {
+    perform_access(core, op);
+    return;
+  }
+  handle_conflict(core, receivers.front());
+}
+
+noc::TileId HtmSystem::home_tile(LineId line) const noexcept {
+  // Directory/L2 slices are interleaved across tiles by line id, the standard
+  // static home mapping of tiled CMPs (and of Graphite).
+  return static_cast<noc::TileId>(line % noc_->tiles());
+}
+
+Tick HtmSystem::remote_access_cost(CoreId core, LineId line) {
+  Tick latency =
+      noc_.has_value()
+          ? noc_->round_trip(core, home_tile(line), queue_.now(),
+                             noc::MessageClass::kRequest) -
+                queue_.now()
+          : config_.remote_latency;
+  if (!l2_.has_value()) return latency;
+
+  const mem::L2Access l2_access = l2_->access(line);
+  if (!l2_access.hit) latency += config_.memory_latency;
+  if (l2_access.evicted_valid) {
+    // Inclusive hierarchy: every L1 copy of the victim must be dropped, and a
+    // transactional copy means the holder's transaction dies with it.
+    for (const CoreId holder :
+         directory_.holders_excluding(l2_access.evicted_line, mem::kMaxCores)) {
+      Core& victim = *cores_[holder];
+      const mem::CacheLine* entry = victim.l1.find(l2_access.evicted_line);
+      if (entry != nullptr && entry->transactional() && victim.in_tx) {
+        abort_core(holder, AbortReason::kCapacityL2);
+      } else {
+        victim.l1.invalidate(l2_access.evicted_line);
+        directory_.remove(l2_access.evicted_line, holder);
+      }
+      l2_->count_back_invalidation();
+      if (noc_.has_value()) {
+        (void)noc_->traverse(home_tile(l2_access.evicted_line), holder,
+                             queue_.now(), noc::MessageClass::kInvalidation);
+      }
+    }
+  }
+  return latency;
+}
+
+Tick HtmSystem::invalidation_round_trip(LineId line, CoreId holder) {
+  return noc_->round_trip(home_tile(line), holder, queue_.now(),
+                          noc::MessageClass::kInvalidation);
+}
+
+void HtmSystem::perform_access(CoreId core, const TxOp& op) {
+  Core& c = *cores_[core];
+  const bool is_write =
+      c.committing ||
+      ((!c.in_tx || config_.eager_writes) && op.kind != TxOp::Kind::kRead);
+  mem::CacheLine* entry = c.l1.find(op.line);
+  Tick latency = config_.l1_hit_latency;
+  const bool hit =
+      entry != nullptr && (entry->state == mem::LineState::kModified ||
+                           (!is_write && entry->state == mem::LineState::kShared));
+  if (!hit) {
+    const std::uint64_t generation_before = c.generation;
+    latency = remote_access_cost(core, op.line);
+    if (c.generation != generation_before) {
+      // An inclusive-L2 back-invalidation just aborted this very core; the
+      // restart is already scheduled, so this access evaporates.
+      return;
+    }
+    entry = c.l1.find(op.line);  // the back-invalidation may have dropped it
+    if (entry == nullptr) {
+      const mem::InsertResult inserted = c.l1.insert(op.line);
+      if (inserted.evicted_valid) {
+        directory_.remove(inserted.evicted_line, core);
+        if (inserted.evicted_transactional && c.in_tx) {
+          // Algorithm 1 line 4: evicting a transactional line aborts.
+          abort_core(core, AbortReason::kCapacity);
+          return;
+        }
+      }
+      entry = inserted.slot;
+    }
+    if (is_write) {
+      // Invalidate every remaining (non-transactional) copy; under the NoC
+      // the write is granted when the last invalidation ack returns.
+      Tick last_ack = queue_.now() + latency;
+      for (const CoreId holder :
+           directory_.holders_excluding(op.line, core)) {
+        cores_[holder]->l1.invalidate(op.line);
+        directory_.remove(op.line, holder);
+        directory_.count_invalidation();
+        if (noc_.has_value()) {
+          last_ack =
+              std::max(last_ack, invalidation_round_trip(op.line, holder));
+        }
+      }
+      latency = last_ack - queue_.now();
+      directory_.set_owner(op.line, core);
+      entry->state = mem::LineState::kModified;
+    } else {
+      const mem::DirectoryEntry* record = directory_.find(op.line);
+      if (record != nullptr && record->state == mem::DirectoryState::kModified &&
+          record->owner != core) {
+        cores_[record->owner]->l1.downgrade(op.line);
+        directory_.count_downgrade();
+      }
+      directory_.add_sharer(op.line, core);
+      entry->state = mem::LineState::kShared;
+    }
+  }
+  if (c.in_tx) {
+    if (is_write) {
+      entry->tx_write = true;
+    } else {
+      entry->tx_read = true;
+    }
+  }
+
+  // Value semantics: buffered inside the transaction, direct otherwise.
+  switch (op.kind) {
+    case TxOp::Kind::kRead:
+      break;
+    case TxOp::Kind::kWrite:
+      if (c.in_tx) {
+        c.write_buffer[op.line] = op.value;
+      } else {
+        memory_values_[op.line] = op.value;
+      }
+      break;
+    case TxOp::Kind::kRmw: {
+      std::uint64_t current = 0;
+      if (c.in_tx) {
+        const auto buffered = c.write_buffer.find(op.line);
+        current = buffered != c.write_buffer.end()
+                      ? buffered->second
+                      : memory_value(op.line);
+        c.write_buffer[op.line] = current + op.value;
+      } else {
+        memory_values_[op.line] = memory_value(op.line) + op.value;
+      }
+      break;
+    }
+    case TxOp::Kind::kWork:
+      break;
+  }
+
+  schedule_guarded(core, latency, [this, core] { finish_op(core); });
+}
+
+// ---------------------------------------------------------------------------
+// Conflict resolution — the decision point the paper studies
+// ---------------------------------------------------------------------------
+
+core::ConflictContext HtmSystem::make_context(CoreId receiver,
+                                              CoreId requestor) const {
+  const Core& r = *cores_[receiver];
+  const Core& a = *cores_[requestor];
+  core::ConflictContext context;
+  // Section 4, footnote 1: B is the time the transaction at risk has already
+  // been running plus a fixed cleanup cost.  Under requestor-wins the
+  // receiver is at risk; under requestor-aborts the requestor is.
+  const Core& at_risk =
+      config_.mode == core::ResolutionMode::kRequestorWins ? r : a;
+  context.abort_cost =
+      config_.abort_cost_cleanup +
+      static_cast<double>(queue_.now() - at_risk.tx_start);
+  context.chain_length = chain_length(requestor, receiver);
+  context.attempt = at_risk.attempt;
+  if (config_.use_profiler_mean) context.mean_hint = profiler_.mean_hint();
+  if (config_.oracle_hints) {
+    context.remaining_hint = ideal_remaining_cycles(at_risk.id);
+  }
+  if (config_.record_conflicts) {
+    conflict_trace_.push_back({context.abort_cost, context.chain_length,
+                               ideal_remaining_cycles(at_risk.id)});
+  }
+  return context;
+}
+
+double HtmSystem::ideal_remaining_cycles(CoreId core) const {
+  // Accesses are costed at the remote round trip: a transaction's lines are
+  // typically freshly fetched or upgraded, so the remote latency — not the
+  // L1 hit — is the right isolated estimate.  (Under-estimating makes the
+  // oracle grant too-short grace periods, which then expire.)
+  const double access_cost =
+      static_cast<double>(noc_.has_value()
+                              ? 2 * noc_->pure_latency(
+                                        0, static_cast<noc::TileId>(
+                                               noc_->tiles() - 1))
+                              : config_.remote_latency) +
+      (l2_.has_value() ? static_cast<double>(config_.memory_latency) : 0.0);
+  const Core& c = *cores_[core];
+  double total = config_.commit_latency;
+  if (c.committing) {
+    total += static_cast<double>(c.commit_set.size() - c.commit_index) *
+             access_cost;
+    return total;
+  }
+  for (std::size_t i = c.op_index; i < c.tx.size(); ++i) {
+    const TxOp& op = c.tx[i];
+    total += op.kind == TxOp::Kind::kWork
+                 ? static_cast<double>(std::max<Tick>(op.cycles, 1))
+                 : access_cost;
+  }
+  // Commit-phase acquisitions for the writes buffered so far (later writes
+  // are not yet known; the hint is an under-estimate for write-heavy tails).
+  total += static_cast<double>(c.write_buffer.size()) * access_cost;
+  return total;
+}
+
+int HtmSystem::chain_length(CoreId requestor, CoreId receiver) const {
+  // Section 4.1: k counts every transaction delayed by extending the
+  // receiver's execution — the receiver, the requestor, and every core
+  // transitively stalled behind either of them.
+  int waiters = 0;
+  for (const auto& candidate : cores_) {
+    if (candidate->id == requestor || candidate->id == receiver) continue;
+    int hop = candidate->waiting_on;
+    for (std::uint32_t depth = 0; depth < config_.cores && hop >= 0; ++depth) {
+      if (static_cast<CoreId>(hop) == requestor ||
+          static_cast<CoreId>(hop) == receiver) {
+        ++waiters;
+        break;
+      }
+      hop = cores_[hop]->waiting_on;
+    }
+  }
+  return 2 + waiters;
+}
+
+bool HtmSystem::creates_cycle(CoreId requestor, CoreId receiver) const {
+  int hop = cores_[receiver]->waiting_on;
+  for (std::uint32_t depth = 0; depth < config_.cores && hop >= 0; ++depth) {
+    if (static_cast<CoreId>(hop) == requestor) return true;
+    hop = cores_[hop]->waiting_on;
+  }
+  return false;
+}
+
+void HtmSystem::handle_conflict(CoreId requestor, CoreId receiver) {
+  Core& a = *cores_[requestor];
+  Core& r = *cores_[receiver];
+  ++a.stats.conflicts_as_requestor;
+  ++r.stats.conflicts_as_receiver;
+  if (noc_.has_value()) {
+    // The receiver NACKs the coherence request (the grace-period mechanism of
+    // [23]); account the message so benches can see the traffic trade-off.
+    (void)noc_->traverse(receiver, requestor, queue_.now(),
+                         noc::MessageClass::kNack);
+  }
+
+  if (creates_cycle(requestor, receiver)) {
+    if (config_.mode == core::ResolutionMode::kRequestorAborts) {
+      // Requestor-aborts semantics resolve the would-be cycle naturally:
+      // the new requestor sacrifices itself and its waiters unblock.
+      abort_core(requestor, AbortReason::kCycle);
+      return;
+    }
+    // Requestor wins: a receiver that is transitively stalled on the
+    // requestor can never commit during a grace period, so granting one
+    // would be pure waste — abort the receiver immediately (assumption (c):
+    // cyclic conflicts are detected and broken on the spot).
+    abort_core(receiver, AbortReason::kCycle);
+    schedule_guarded(requestor, 1,
+                     [this, requestor] { retry_access(requestor); });
+    return;
+  }
+
+  if (config_.mode == core::ResolutionMode::kRequestorWins) {
+    if (!r.grace_deadline.has_value()) {
+      const core::ConflictContext context = make_context(receiver, requestor);
+      const double grace = config_.policy->grace_period(context, r.rng);
+      if (grace < 1.0) {
+        // Abort the receiver immediately; the requestor retries.
+        abort_core(receiver, AbortReason::kConflictImmediate);
+        schedule_guarded(requestor, 1,
+                         [this, requestor] { retry_access(requestor); });
+        return;
+      }
+      const Tick deadline = queue_.now() + static_cast<Tick>(grace);
+      r.grace_deadline = deadline;
+      r.granted_grace = grace;
+      r.grace_start = queue_.now();
+      r.grace_chain = context.chain_length;
+      schedule_guarded(receiver, static_cast<Tick>(grace), [this, receiver] {
+        Core& victim = *cores_[receiver];
+        if (victim.in_tx && victim.grace_deadline.has_value()) {
+          // Expiry: a censored observation (the receiver needed more than the
+          // full grace period).
+          config_.policy->observe({/*committed=*/false, victim.granted_grace,
+                                   victim.granted_grace, victim.grace_chain});
+          abort_core(receiver, AbortReason::kConflictGraceExpired);
+        }
+      });
+    }
+    // Stall the requestor until the receiver commits or aborts.
+    a.waiting_on = static_cast<int>(receiver);
+    ++a.stall_epoch;
+    a.stall_start = queue_.now();
+    return;
+  }
+
+  // Requestor aborts: the requestor waits out a grace period of its own
+  // choosing, then sacrifices itself if the receiver has not committed.
+  const core::ConflictContext context = make_context(receiver, requestor);
+  const double grace = config_.policy->grace_period(context, a.rng);
+  if (grace < 1.0) {
+    abort_core(requestor, AbortReason::kSelfTimeout);
+    return;
+  }
+  a.waiting_on = static_cast<int>(receiver);
+  const std::uint64_t epoch = ++a.stall_epoch;
+  a.stall_start = queue_.now();
+  a.requested_grace = grace;
+  a.grace_chain = context.chain_length;
+  schedule_guarded(requestor, static_cast<Tick>(grace),
+                   [this, requestor, receiver, epoch] {
+                     Core& self = *cores_[requestor];
+                     if (self.waiting_on == static_cast<int>(receiver) &&
+                         self.stall_epoch == epoch && self.in_tx) {
+                       self.waiting_on = -1;
+                       self.stats.stall_cycles +=
+                           queue_.now() - self.stall_start;
+                       config_.policy->observe({/*committed=*/false,
+                                                self.requested_grace,
+                                                self.requested_grace,
+                                                self.grace_chain});
+                       abort_core(requestor, AbortReason::kSelfTimeout);
+                     }
+                   });
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
+void HtmSystem::commit(CoreId core) {
+  schedule_guarded(core, config_.commit_latency, [this, core] {
+    Core& c = *cores_[core];
+    for (const auto& [line, value] : c.write_buffer) {
+      memory_values_[line] = value;
+    }
+    c.write_buffer.clear();
+    c.l1.commit_transaction();
+    ++c.stats.commits;
+    if (c.fallback) ++c.stats.fallback_commits;
+    ++total_commits_;
+    const double tx_cycles = static_cast<double>(queue_.now() - c.tx_start);
+    committed_tx_cycles_.add(tx_cycles);
+    profiler_.record_commit_length(tx_cycles);
+    if (c.grace_deadline.has_value()) {
+      // Receiver committed inside its grace period: an exact sample of the
+      // remaining time D the policy was gambling on.
+      config_.policy->observe(
+          {/*committed=*/true, c.granted_grace,
+           static_cast<double>(queue_.now() - c.grace_start), c.grace_chain});
+    }
+    c.in_tx = false;
+    c.fallback = false;
+    c.committing = false;
+    c.grace_deadline.reset();
+    ++c.generation;
+    wake_waiters(core, /*receiver_committed=*/true);
+    if (total_commits_ < commit_target_) start_next_transaction(core);
+  });
+}
+
+void HtmSystem::abort_core(CoreId core, AbortReason reason) {
+  Core& c = *cores_[core];
+  if (!c.in_tx) return;
+  ++c.stats.aborts;
+  ++c.stats.aborts_by_reason[static_cast<std::size_t>(reason)];
+  for (const LineId line : c.l1.transactional_lines()) {
+    directory_.remove(line, core);
+  }
+  c.l1.abort_transaction();
+  c.write_buffer.clear();
+  c.in_tx = false;
+  c.grace_deadline.reset();
+  if (c.waiting_on >= 0) {
+    c.stats.stall_cycles += queue_.now() - c.stall_start;
+    c.waiting_on = -1;
+  }
+  ++c.generation;
+  ++c.attempt;
+  if (config_.max_attempts_before_fallback > 0 &&
+      c.attempt >= config_.max_attempts_before_fallback) {
+    c.fallback = true;
+  }
+  wake_waiters(core, /*receiver_committed=*/false);
+  // Restart after the abort penalty plus a small constant-window jitter.
+  // The jitter stands in for the timing noise of a real machine: without it
+  // the deterministic simulator restarts symmetric losers in lockstep and
+  // requestor-wins immediate-abort livelocks (the classic pathology of
+  // reference [11]).  It is deliberately NOT load-adaptive; full randomized
+  // exponential backoff (restart_backoff_shift > 0) is an ablation knob,
+  // since backoff is itself a contention manager and masks the effect the
+  // paper studies.
+  const std::uint32_t shift =
+      std::min<std::uint32_t>(c.attempt, config_.restart_backoff_shift);
+  const Tick jitter =
+      c.rng.uniform_below((config_.abort_penalty << shift) + 1);
+  schedule_guarded(core, config_.abort_penalty + jitter,
+                   [this, core] { begin_attempt(core); });
+}
+
+void HtmSystem::wake_waiters(CoreId core, bool receiver_committed) {
+  for (const auto& candidate : cores_) {
+    if (candidate->waiting_on != static_cast<int>(core)) continue;
+    Core& waiter = *candidate;
+    waiter.waiting_on = -1;
+    ++waiter.stall_epoch;
+    waiter.stats.stall_cycles += queue_.now() - waiter.stall_start;
+    if (receiver_committed &&
+        config_.mode == core::ResolutionMode::kRequestorAborts) {
+      // Requestor-aborts: the waiter chose this grace period and the
+      // receiver's commit resolved it — an exact sample of D.
+      config_.policy->observe(
+          {/*committed=*/true, waiter.requested_grace,
+           static_cast<double>(queue_.now() - waiter.stall_start),
+           waiter.grace_chain});
+    }
+    const CoreId waiter_id = waiter.id;
+    schedule_guarded(waiter_id, 1,
+                     [this, waiter_id] { retry_access(waiter_id); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run loop and inspection
+// ---------------------------------------------------------------------------
+
+HtmStats HtmSystem::run(std::uint64_t target_commits, Tick max_cycles) {
+  commit_target_ = target_commits;
+  for (CoreId core = 0; core < config_.cores; ++core) {
+    // Small deterministic stagger so cores do not lock-step.
+    schedule_guarded(core, core, [this, core] { start_next_transaction(core); });
+  }
+  while (total_commits_ < commit_target_ && queue_.step(max_cycles)) {
+  }
+  // Drain in-flight fallback attempts: non-transactional effects are applied
+  // directly to memory at access time, so stopping mid-attempt would leave
+  // memory mutations with no matching counted commit.  Transactional attempts
+  // need no draining — their buffered writes are simply discarded.
+  const auto fallback_in_flight = [this] {
+    return std::any_of(cores_.begin(), cores_.end(),
+                       [](const auto& core) { return core->fallback; });
+  };
+  while (fallback_in_flight() && queue_.step(max_cycles)) {
+  }
+
+  HtmStats stats;
+  stats.cycles = queue_.now();
+  stats.per_core.reserve(cores_.size());
+  for (const auto& core : cores_) {
+    stats.per_core.push_back(core->stats);
+    stats.commits += core->stats.commits;
+    stats.aborts += core->stats.aborts;
+    stats.conflicts += core->stats.conflicts_as_receiver;
+  }
+  stats.mean_tx_cycles = committed_tx_cycles_.mean();
+  if (noc_.has_value()) stats.noc = noc_->stats();
+  if (l2_.has_value()) stats.l2 = l2_->stats();
+  return stats;
+}
+
+std::uint64_t HtmSystem::memory_value(LineId line) const {
+  const auto it = memory_values_.find(line);
+  return it == memory_values_.end() ? 0 : it->second;
+}
+
+bool HtmSystem::coherence_invariants_hold() const {
+  return directory_.invariants_hold();
+}
+
+}  // namespace txc::htm

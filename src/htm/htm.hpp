@@ -1,0 +1,313 @@
+// txconflict — discrete-event hardware transactional memory simulator.
+//
+// This is the substitution for the paper's testbed (MIT Graphite with an HTM
+// grafted onto its directory MSI protocol; see DESIGN.md §7).  The simulator
+// models n cores with private L1 caches carrying transactional bits and a
+// shared directory.  Conflicts are detected eagerly on coherence requests
+// (Algorithm 1); resolution is requestor-wins or requestor-aborts, and the
+// receiver's grace period is chosen by a pluggable core::GracePeriodPolicy —
+// the exact decision point the paper studies.
+//
+// Modeled effects:
+//   * latency classes: L1 hit vs remote (directory + L2) round trips,
+//     commit and abort-cleanup latencies;
+//   * transactional-bit conflicts on read/write coherence requests;
+//   * grace periods: the receiver NACKs the requestor until it commits or the
+//     deadline fires (requestor-wins), or the requestor self-aborts at the
+//     deadline (requestor-aborts);
+//   * conflict chains: a stalled requestor can itself be awaited by others;
+//     the chain length k is handed to the policy;
+//   * waits-for cycle detection: all transactions in a cycle abort
+//     (Section 3.2, assumption (c) and reference [2]);
+//   * capacity aborts on transactional-line eviction;
+//   * non-transactional (fallback) accesses abort conflicting transactions
+//     unconditionally, modelling the lock-free slow path of the paper's
+//     stack/queue benchmarks;
+//   * value semantics: reads/writes/RMWs are buffered per transaction and
+//     applied atomically at commit, so tests can verify atomicity and
+//     isolation end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/l2.hpp"
+#include "noc/mesh.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace txc::htm {
+
+using mem::CoreId;
+using mem::LineId;
+using sim::Tick;
+
+// ---------------------------------------------------------------------------
+// Transactions as programs
+// ---------------------------------------------------------------------------
+
+struct TxOp {
+  enum class Kind : std::uint8_t {
+    kRead,   // transactional load
+    kWrite,  // transactional store of `value`
+    kRmw,    // transactional load; add `value`; store
+    kWork,   // `cycles` of local computation
+  };
+  Kind kind = Kind::kWork;
+  LineId line = 0;
+  std::uint64_t value = 0;   // store value (kWrite) or delta (kRmw)
+  std::uint64_t cycles = 0;  // kWork only
+};
+
+using Transaction = std::vector<TxOp>;
+
+/// Per-thread transaction source.  `next_transaction` is called after each
+/// commit; a re-executed (aborted) attempt replays the same ops.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual Transaction next_transaction(CoreId core,
+                                                     sim::Rng& rng) = 0;
+  /// Non-transactional think time between transactions, in cycles.
+  [[nodiscard]] virtual std::uint64_t think_time(CoreId /*core*/,
+                                                 sim::Rng& /*rng*/) {
+    return 0;
+  }
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Configuration and statistics
+// ---------------------------------------------------------------------------
+
+struct HtmConfig {
+  std::uint32_t cores = 8;
+  mem::CacheConfig l1{};
+
+  // Latency model (cycles).
+  std::uint64_t l1_hit_latency = 1;
+  std::uint64_t remote_latency = 20;  // directory/L2 round trip
+  std::uint64_t commit_latency = 4;
+  std::uint64_t abort_penalty = 80;  // rollback/cleanup before restart
+  std::uint64_t memory_latency = 60;  // added on an L2 miss (l2 enabled only)
+
+  /// When set, remote accesses route through a 2D mesh NoC: the flat
+  /// remote_latency is replaced by a distance-dependent round trip between
+  /// the core's tile and the line's home tile (plus invalidation traffic).
+  /// The mesh is sized up automatically if it holds fewer tiles than cores.
+  std::optional<noc::MeshConfig> noc;
+
+  /// When set, a shared banked L2 sits behind the directory: L2 hits cost the
+  /// remote round trip, misses add memory_latency, and inclusive-hierarchy
+  /// evictions back-invalidate L1 copies (aborting transactional holders).
+  std::optional<mem::L2Config> l2;
+
+  /// Fixed cleanup component of the policy's abort cost B; the elapsed
+  /// running time of the receiver is added per Section 4 footnote 1.
+  double abort_cost_cleanup = 80.0;
+
+  core::ResolutionMode mode = core::ResolutionMode::kRequestorWins;
+  std::shared_ptr<const core::GracePeriodPolicy> policy;
+
+  /// After this many aborts of one transaction, execute it on the
+  /// non-transactional slow path (0 disables the fallback).
+  std::uint32_t max_attempts_before_fallback = 0;
+
+  /// 0 (default, the paper's baseline): restart exactly abort_penalty cycles
+  /// after an abort.  > 0: add randomized exponential backoff capped at this
+  /// many doublings — an ablation knob, since backoff is itself a contention
+  /// manager and masks the effect the paper studies.
+  std::uint32_t restart_backoff_shift = 0;
+
+  /// Feed the committed-length profiler's mean to the policy as mean_hint.
+  bool use_profiler_mean = false;
+
+  /// Feed the at-risk transaction's (approximate) remaining isolated running
+  /// time to the policy as remaining_hint.  Only OraclePolicy consumes it;
+  /// enables offline-optimum comparison runs.
+  bool oracle_hints = false;
+
+  /// Record every grace-period decision point as a ConflictRecord (B, k, D)
+  /// retrievable via conflict_trace() — the raw material for offline policy
+  /// replay (bench/trace_replay): evaluating all strategies on the *same*
+  /// conflict sequence a real run produced.
+  bool record_conflicts = false;
+
+  /// Ablation knob for DESIGN.md's load-bearing decision 1: acquire
+  /// exclusive ownership of written lines *eagerly* at execution time
+  /// instead of lazily in the commit phase.  Concurrent read-modify-write
+  /// pairs then deadlock on upgrade and die as cycle aborts — the measured
+  /// reason the simulator (like the paper's Graphite HTM) is lazy.
+  bool eager_writes = false;
+
+  std::uint64_t seed = 1;
+};
+
+enum class AbortReason : std::uint8_t {
+  kConflictGraceExpired,  // receiver aborted after its grace period (RW)
+  kConflictImmediate,     // receiver aborted with zero grace (RW)
+  kSelfTimeout,           // requestor aborted itself (RA)
+  kNonTxConflict,         // clashed with a non-transactional access
+  kCapacity,              // transactional line evicted from the L1
+  kCycle,                 // waits-for cycle detected
+  kCapacityL2,            // transactional L1 copy back-invalidated by the L2
+};
+inline constexpr std::size_t kAbortReasonCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(AbortReason reason) noexcept {
+  switch (reason) {
+    case AbortReason::kConflictGraceExpired: return "grace-expired";
+    case AbortReason::kConflictImmediate: return "immediate";
+    case AbortReason::kSelfTimeout: return "self-timeout";
+    case AbortReason::kNonTxConflict: return "non-tx";
+    case AbortReason::kCapacity: return "capacity-l1";
+    case AbortReason::kCycle: return "cycle";
+    case AbortReason::kCapacityL2: return "capacity-l2";
+  }
+  return "?";
+}
+
+/// One grace-period decision point, as the policy saw it, plus the ground
+/// truth the simulator knows: the at-risk transaction's isolated remaining
+/// time D at that instant.
+struct ConflictRecord {
+  double abort_cost = 0.0;  // B
+  int chain_length = 2;     // k
+  double remaining = 0.0;   // D
+};
+
+struct CoreStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t aborts_by_reason[kAbortReasonCount] = {};
+  std::uint64_t conflicts_as_receiver = 0;
+  std::uint64_t conflicts_as_requestor = 0;
+  std::uint64_t fallback_commits = 0;
+  std::uint64_t stall_cycles = 0;  // cycles spent waiting on a receiver
+};
+
+struct HtmStats {
+  std::vector<CoreStats> per_core;
+  Tick cycles = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t conflicts = 0;
+  double mean_tx_cycles = 0.0;  // committed attempts only
+  std::optional<noc::NocStats> noc;  // present when HtmConfig::noc is set
+  std::optional<mem::L2Stats> l2;    // present when HtmConfig::l2 is set
+
+  /// Paper-style throughput: operations per second at the given clock.
+  [[nodiscard]] double ops_per_second(double ghz = 1.0) const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(commits) /
+                             (static_cast<double>(cycles) / (ghz * 1e9));
+  }
+  [[nodiscard]] double abort_rate() const noexcept {
+    const auto attempts = commits + aborts;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(aborts) /
+                               static_cast<double>(attempts);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The system
+// ---------------------------------------------------------------------------
+
+class HtmSystem {
+ public:
+  HtmSystem(HtmConfig config, std::shared_ptr<Workload> workload);
+  ~HtmSystem();
+
+  HtmSystem(const HtmSystem&) = delete;
+  HtmSystem& operator=(const HtmSystem&) = delete;
+
+  /// Run until `target_commits` transactions committed system-wide or
+  /// `max_cycles` elapsed, whichever first.
+  HtmStats run(std::uint64_t target_commits, Tick max_cycles = 500'000'000);
+
+  /// Committed value of a memory line (post-run inspection for tests).
+  [[nodiscard]] std::uint64_t memory_value(LineId line) const;
+
+  /// Directory invariants (tests).
+  [[nodiscard]] bool coherence_invariants_hold() const;
+
+  /// Recorded grace-decision points (requires config.record_conflicts).
+  [[nodiscard]] const std::vector<ConflictRecord>& conflict_trace()
+      const noexcept {
+    return conflict_trace_;
+  }
+
+  [[nodiscard]] const HtmConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Core;
+
+  // Scheduling helpers -------------------------------------------------------
+  void schedule_guarded(CoreId core, Tick delay, std::function<void()> fn);
+  void start_next_transaction(CoreId core);
+  void begin_attempt(CoreId core);
+  void step(CoreId core);
+  void finish_op(CoreId core);
+  void access(CoreId core);
+  void perform_access(CoreId core, const TxOp& op);
+  void commit(CoreId core);
+  void abort_core(CoreId core, AbortReason reason);
+  void wake_waiters(CoreId core, bool receiver_committed = false);
+  void retry_access(CoreId core);
+
+  // Memory-hierarchy timing ---------------------------------------------------
+  /// Home tile of a line's directory/L2 slice (NoC mode).
+  [[nodiscard]] noc::TileId home_tile(LineId line) const noexcept;
+  /// Latency of a remote (L1-miss) access: flat remote_latency, or the NoC
+  /// round trip to the home tile; plus memory_latency on an L2 miss.  Also
+  /// performs the L2 access and back-invalidates on inclusive eviction —
+  /// which may abort transactional holders, including `core` itself (the
+  /// caller must check and bail out).
+  [[nodiscard]] Tick remote_access_cost(CoreId core, LineId line);
+  /// One invalidation round trip from the line's home tile to a holder (NoC
+  /// mode only): accounts the traffic and returns the ack arrival time so the
+  /// writer can extend its critical path to the last ack.
+  [[nodiscard]] Tick invalidation_round_trip(LineId line, CoreId holder);
+
+  // Conflict machinery -------------------------------------------------------
+  /// Transactional holders of `line` that conflict with the given access.
+  [[nodiscard]] std::vector<CoreId> conflicting_receivers(CoreId requestor,
+                                                          LineId line,
+                                                          bool is_write) const;
+  void handle_conflict(CoreId requestor, CoreId receiver);
+  [[nodiscard]] int chain_length(CoreId requestor, CoreId receiver) const;
+  [[nodiscard]] bool creates_cycle(CoreId requestor, CoreId receiver) const;
+  [[nodiscard]] core::ConflictContext make_context(CoreId receiver,
+                                                   CoreId requestor) const;
+  /// Remaining cycles of the core's current attempt if it ran in isolation
+  /// from here on (oracle hint; accesses approximated as L1 hits).
+  [[nodiscard]] double ideal_remaining_cycles(CoreId core) const;
+
+  HtmConfig config_;
+  std::shared_ptr<Workload> workload_;
+  sim::EventQueue queue_;
+  mem::Directory directory_;
+  std::optional<noc::MeshNoc> noc_;
+  std::optional<mem::SharedL2> l2_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::unordered_map<LineId, std::uint64_t> memory_values_;
+  core::MeanProfiler profiler_;
+  /// Instrumentation only (written from the const make_context path).
+  mutable std::vector<ConflictRecord> conflict_trace_;
+  sim::RunningStats committed_tx_cycles_;
+  std::uint64_t total_commits_ = 0;
+  std::uint64_t commit_target_ = 0;
+};
+
+}  // namespace txc::htm

@@ -1,0 +1,106 @@
+#include "lockfree/queue.hpp"
+
+namespace txc::lockfree {
+
+MichaelScottQueue::MichaelScottQueue(std::size_t capacity)
+    : nodes_(capacity + 1),  // +1 for the initial dummy
+      head_(TaggedIndex{0, 0}.raw()),
+      tail_(TaggedIndex{0, 0}.raw()),
+      free_list_(TaggedIndex{0, capacity == 0 ? TaggedIndex::kNull : 1}.raw()) {
+  nodes_[0].next.store(TaggedIndex::kNull, std::memory_order_relaxed);
+  for (std::size_t i = 1; i + 1 < nodes_.size(); ++i) {
+    nodes_[i].next.store(static_cast<std::uint32_t>(i + 1),
+                         std::memory_order_relaxed);
+  }
+  if (nodes_.size() > 1) {
+    nodes_.back().next.store(TaggedIndex::kNull, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t MichaelScottQueue::allocate() {
+  while (true) {
+    const TaggedIndex head{free_list_.load(std::memory_order_acquire)};
+    if (head.null()) return TaggedIndex::kNull;
+    const std::uint32_t next =
+        nodes_[head.index()].next.load(std::memory_order_acquire);
+    std::uint64_t expected = head.raw();
+    if (free_list_.compare_exchange_weak(expected,
+                                         head.advanced_to(next).raw(),
+                                         std::memory_order_acq_rel)) {
+      return head.index();
+    }
+  }
+}
+
+void MichaelScottQueue::release(std::uint32_t index) {
+  while (true) {
+    const TaggedIndex head{free_list_.load(std::memory_order_acquire)};
+    nodes_[index].next.store(head.index(), std::memory_order_release);
+    std::uint64_t expected = head.raw();
+    if (free_list_.compare_exchange_weak(expected,
+                                         head.advanced_to(index).raw(),
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+bool MichaelScottQueue::enqueue(std::uint64_t value) {
+  const std::uint32_t node = allocate();
+  if (node == TaggedIndex::kNull) return false;
+  nodes_[node].value.store(value, std::memory_order_relaxed);
+  nodes_[node].next.store(TaggedIndex::kNull, std::memory_order_release);
+  while (true) {
+    const TaggedIndex tail{tail_.load(std::memory_order_acquire)};
+    const std::uint32_t next =
+        nodes_[tail.index()].next.load(std::memory_order_acquire);
+    if (tail.raw() != tail_.load(std::memory_order_acquire)) continue;
+    if (next == TaggedIndex::kNull) {
+      std::uint32_t expected_next = TaggedIndex::kNull;
+      if (nodes_[tail.index()].next.compare_exchange_weak(
+              expected_next, node, std::memory_order_acq_rel)) {
+        // Swing the tail; failure is benign (someone else advanced it).
+        std::uint64_t expected_tail = tail.raw();
+        tail_.compare_exchange_strong(expected_tail,
+                                      tail.advanced_to(node).raw(),
+                                      std::memory_order_acq_rel);
+        return true;
+      }
+    } else {
+      // Tail is lagging: help advance it.
+      std::uint64_t expected_tail = tail.raw();
+      tail_.compare_exchange_strong(expected_tail,
+                                    tail.advanced_to(next).raw(),
+                                    std::memory_order_acq_rel);
+    }
+  }
+}
+
+std::optional<std::uint64_t> MichaelScottQueue::dequeue() {
+  while (true) {
+    const TaggedIndex head{head_.load(std::memory_order_acquire)};
+    const TaggedIndex tail{tail_.load(std::memory_order_acquire)};
+    const std::uint32_t next =
+        nodes_[head.index()].next.load(std::memory_order_acquire);
+    if (head.raw() != head_.load(std::memory_order_acquire)) continue;
+    if (next == TaggedIndex::kNull) return std::nullopt;  // empty
+    if (head.index() == tail.index()) {
+      // Tail lagging behind a non-empty queue: help.
+      std::uint64_t expected_tail = tail.raw();
+      tail_.compare_exchange_strong(expected_tail,
+                                    tail.advanced_to(next).raw(),
+                                    std::memory_order_acq_rel);
+      continue;
+    }
+    const std::uint64_t value = nodes_[next].value.load(std::memory_order_acquire);
+    std::uint64_t expected_head = head.raw();
+    if (head_.compare_exchange_weak(expected_head,
+                                    head.advanced_to(next).raw(),
+                                    std::memory_order_acq_rel)) {
+      release(head.index());  // the old dummy is recycled
+      return value;
+    }
+  }
+}
+
+}  // namespace txc::lockfree

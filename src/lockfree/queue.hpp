@@ -1,0 +1,48 @@
+// txconflict — lock-free Michael–Scott queue over a fixed node pool with
+// tagged indices (the queue counterpart of the Treiber "slow path" design;
+// see stack.hpp for the tagging scheme).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lockfree/stack.hpp"  // TaggedIndex
+
+namespace txc::lockfree {
+
+/// Bounded lock-free FIFO queue of uint64 values.
+class MichaelScottQueue {
+ public:
+  explicit MichaelScottQueue(std::size_t capacity);
+
+  /// Enqueue a value; returns false if the node pool is exhausted.
+  bool enqueue(std::uint64_t value);
+
+  /// Dequeue the oldest value, or nullopt when empty.
+  std::optional<std::uint64_t> dequeue();
+
+  [[nodiscard]] bool empty() const noexcept {
+    const TaggedIndex head{head_.load(std::memory_order_acquire)};
+    const std::uint32_t next =
+        nodes_[head.index()].next.load(std::memory_order_acquire);
+    return TaggedIndex{0, next}.null();
+  }
+
+ private:
+  struct Node {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint32_t> next{TaggedIndex::kNull};
+  };
+
+  std::uint32_t allocate();
+  void release(std::uint32_t index);
+
+  std::vector<Node> nodes_;
+  std::atomic<std::uint64_t> head_;  // points at the current dummy node
+  std::atomic<std::uint64_t> tail_;
+  std::atomic<std::uint64_t> free_list_;
+};
+
+}  // namespace txc::lockfree

@@ -1,0 +1,80 @@
+#include "lockfree/stack.hpp"
+
+namespace txc::lockfree {
+
+TreiberStack::TreiberStack(std::size_t capacity)
+    : nodes_(capacity),
+      head_(TaggedIndex{}.raw()),
+      free_list_(TaggedIndex{0, capacity == 0 ? TaggedIndex::kNull : 0}.raw()) {
+  // Thread every node onto the free list.
+  for (std::size_t i = 0; i + 1 < capacity; ++i) {
+    nodes_[i].next.store(static_cast<std::uint32_t>(i + 1),
+                         std::memory_order_relaxed);
+  }
+  if (capacity > 0) {
+    nodes_[capacity - 1].next.store(TaggedIndex::kNull,
+                                    std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t TreiberStack::allocate() {
+  while (true) {
+    const TaggedIndex head{free_list_.load(std::memory_order_acquire)};
+    if (head.null()) return TaggedIndex::kNull;
+    const std::uint32_t next =
+        nodes_[head.index()].next.load(std::memory_order_acquire);
+    std::uint64_t expected = head.raw();
+    if (free_list_.compare_exchange_weak(expected,
+                                         head.advanced_to(next).raw(),
+                                         std::memory_order_acq_rel)) {
+      return head.index();
+    }
+  }
+}
+
+void TreiberStack::release(std::uint32_t index) {
+  while (true) {
+    const TaggedIndex head{free_list_.load(std::memory_order_acquire)};
+    nodes_[index].next.store(head.index(), std::memory_order_release);
+    std::uint64_t expected = head.raw();
+    if (free_list_.compare_exchange_weak(expected,
+                                         head.advanced_to(index).raw(),
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+bool TreiberStack::push(std::uint64_t value) {
+  const std::uint32_t node = allocate();
+  if (node == TaggedIndex::kNull) return false;
+  nodes_[node].value.store(value, std::memory_order_relaxed);
+  while (true) {
+    const TaggedIndex head{head_.load(std::memory_order_acquire)};
+    nodes_[node].next.store(head.index(), std::memory_order_release);
+    std::uint64_t expected = head.raw();
+    if (head_.compare_exchange_weak(expected, head.advanced_to(node).raw(),
+                                    std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+}
+
+std::optional<std::uint64_t> TreiberStack::pop() {
+  while (true) {
+    const TaggedIndex head{head_.load(std::memory_order_acquire)};
+    if (head.null()) return std::nullopt;
+    const std::uint32_t next =
+        nodes_[head.index()].next.load(std::memory_order_acquire);
+    const std::uint64_t value =
+        nodes_[head.index()].value.load(std::memory_order_relaxed);
+    std::uint64_t expected = head.raw();
+    if (head_.compare_exchange_weak(expected, head.advanced_to(next).raw(),
+                                    std::memory_order_acq_rel)) {
+      release(head.index());
+      return value;
+    }
+  }
+}
+
+}  // namespace txc::lockfree

@@ -1,0 +1,80 @@
+// txconflict — lock-free Treiber stack.
+//
+// Section 8.2: "The stack and the queue use lock-free designs as 'slow path'
+// backups."  This is that design: a Treiber stack over a fixed node pool,
+// made ABA-safe by packing a 32-bit generation tag next to the 32-bit node
+// index in a single 64-bit CAS word.  Nodes are recycled through a lock-free
+// free list using the same tagging scheme, so the structure is self-contained
+// (no hazard pointers or external reclaimer needed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace txc::lockfree {
+
+/// Packed pointer: high 32 bits generation tag, low 32 bits node index
+/// (0xFFFFFFFF = null).
+class TaggedIndex {
+ public:
+  static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+
+  constexpr TaggedIndex() noexcept : raw_(pack(0, kNull)) {}
+  constexpr TaggedIndex(std::uint32_t tag, std::uint32_t index) noexcept
+      : raw_(pack(tag, index)) {}
+  constexpr explicit TaggedIndex(std::uint64_t raw) noexcept : raw_(raw) {}
+
+  [[nodiscard]] constexpr std::uint32_t tag() const noexcept {
+    return static_cast<std::uint32_t>(raw_ >> 32);
+  }
+  [[nodiscard]] constexpr std::uint32_t index() const noexcept {
+    return static_cast<std::uint32_t>(raw_);
+  }
+  [[nodiscard]] constexpr bool null() const noexcept {
+    return index() == kNull;
+  }
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return raw_; }
+
+  [[nodiscard]] constexpr TaggedIndex advanced_to(std::uint32_t index) const noexcept {
+    return TaggedIndex{tag() + 1, index};
+  }
+
+ private:
+  static constexpr std::uint64_t pack(std::uint32_t tag, std::uint32_t index) noexcept {
+    return (static_cast<std::uint64_t>(tag) << 32) | index;
+  }
+  std::uint64_t raw_;
+};
+
+/// Bounded lock-free stack of uint64 values.
+class TreiberStack {
+ public:
+  explicit TreiberStack(std::size_t capacity);
+
+  /// Push a value; returns false if the node pool is exhausted.
+  bool push(std::uint64_t value);
+
+  /// Pop the most recently pushed value, or nullopt when empty.
+  std::optional<std::uint64_t> pop();
+
+  [[nodiscard]] bool empty() const noexcept {
+    return TaggedIndex{head_.load(std::memory_order_acquire)}.null();
+  }
+
+ private:
+  struct Node {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint32_t> next{TaggedIndex::kNull};
+  };
+
+  std::uint32_t allocate();
+  void release(std::uint32_t index);
+
+  std::vector<Node> nodes_;
+  std::atomic<std::uint64_t> head_;
+  std::atomic<std::uint64_t> free_list_;
+};
+
+}  // namespace txc::lockfree

@@ -1,0 +1,111 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace txc::mem {
+
+L1Cache::L1Cache(const CacheConfig& config)
+    : config_(config),
+      lines_(static_cast<std::size_t>(config.sets) * config.ways) {
+  assert(config.sets > 0 && config.ways > 0);
+}
+
+CacheLine* L1Cache::find(LineId line) noexcept {
+  const std::size_t base = set_index(line) * config_.ways;
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    CacheLine& candidate = lines_[base + way];
+    if (candidate.valid() && candidate.line == line) {
+      candidate.lru_stamp = ++lru_clock_;
+      ++stats_.hits;
+      return &candidate;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+const CacheLine* L1Cache::find(LineId line) const noexcept {
+  const std::size_t base = set_index(line) * config_.ways;
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    const CacheLine& candidate = lines_[base + way];
+    if (candidate.valid() && candidate.line == line) return &candidate;
+  }
+  return nullptr;
+}
+
+InsertResult L1Cache::insert(LineId line) {
+  const std::size_t base = set_index(line) * config_.ways;
+  CacheLine* victim = nullptr;
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    CacheLine& candidate = lines_[base + way];
+    if (!candidate.valid()) {
+      victim = &candidate;
+      break;
+    }
+    if (victim == nullptr || candidate.lru_stamp < victim->lru_stamp) {
+      victim = &candidate;
+    }
+  }
+  InsertResult result;
+  result.slot = victim;
+  if (victim->valid()) {
+    ++stats_.evictions;
+    result.evicted_valid = true;
+    result.evicted_line = victim->line;
+    if (victim->transactional()) {
+      ++stats_.tx_evictions;
+      result.evicted_transactional = true;
+    }
+  }
+  victim->line = line;
+  victim->state = LineState::kInvalid;
+  victim->tx_read = false;
+  victim->tx_write = false;
+  victim->lru_stamp = ++lru_clock_;
+  return result;
+}
+
+void L1Cache::invalidate(LineId line) noexcept {
+  if (CacheLine* entry = find(line)) {
+    entry->state = LineState::kInvalid;
+    entry->tx_read = false;
+    entry->tx_write = false;
+  }
+}
+
+void L1Cache::downgrade(LineId line) noexcept {
+  if (CacheLine* entry = find(line)) {
+    if (entry->state == LineState::kModified) entry->state = LineState::kShared;
+  }
+}
+
+void L1Cache::commit_transaction() noexcept {
+  // Algorithm 1 commit phase: "clear additional bits in all transactional
+  // cache lines"; the data stays cached.
+  for (CacheLine& entry : lines_) {
+    entry.tx_read = false;
+    entry.tx_write = false;
+  }
+}
+
+void L1Cache::abort_transaction() noexcept {
+  // Algorithm 1 line 5: "if transaction is aborted, invalidate all
+  // transactional cache lines".
+  for (CacheLine& entry : lines_) {
+    if (entry.transactional()) {
+      entry.state = LineState::kInvalid;
+      entry.tx_read = false;
+      entry.tx_write = false;
+    }
+  }
+}
+
+std::vector<LineId> L1Cache::transactional_lines() const {
+  std::vector<LineId> result;
+  for (const CacheLine& entry : lines_) {
+    if (entry.valid() && entry.transactional()) result.push_back(entry.line);
+  }
+  return result;
+}
+
+}  // namespace txc::mem

@@ -1,0 +1,113 @@
+// txconflict — private L1 cache with transactional bits.
+//
+// Algorithm 1 of the paper: "Use a MESI cache coherence protocol, except each
+// cache line has an additional bit.  This additional bit is set if the cache
+// line is used by a transaction; in this case the cache line is called
+// transactional and it resides in the transactional cache."
+//
+// The cache is set-associative with LRU replacement.  Evicting a
+// transactional line must abort the owning transaction (Algorithm 1 line 4);
+// the cache reports the eviction and the HTM layer performs the abort.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace txc::mem {
+
+using LineId = std::uint64_t;
+using CoreId = std::uint32_t;
+
+/// Local MSI state of a cached line (Exclusive is folded into Modified: the
+/// simulator does not model silent E->M upgrades, which have no bearing on
+/// conflict timing).
+enum class LineState : std::uint8_t { kInvalid, kShared, kModified };
+
+[[nodiscard]] constexpr const char* to_string(LineState state) noexcept {
+  switch (state) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+struct CacheLine {
+  LineId line = 0;
+  LineState state = LineState::kInvalid;
+  bool tx_read = false;   // in the current transaction's read set
+  bool tx_write = false;  // in the current transaction's write set
+  std::uint64_t lru_stamp = 0;
+
+  [[nodiscard]] bool transactional() const noexcept {
+    return tx_read || tx_write;
+  }
+  [[nodiscard]] bool valid() const noexcept {
+    return state != LineState::kInvalid;
+  }
+};
+
+struct CacheConfig {
+  std::uint32_t sets = 64;
+  std::uint32_t ways = 8;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t tx_evictions = 0;  // capacity aborts
+};
+
+/// Result of reserving a slot for a line: if a transactional victim had to be
+/// evicted the HTM layer must abort the local transaction.
+struct InsertResult {
+  CacheLine* slot = nullptr;
+  bool evicted_valid = false;          // a resident line was displaced
+  bool evicted_transactional = false;  // ... and it was transactional
+  LineId evicted_line = 0;
+};
+
+class L1Cache {
+ public:
+  explicit L1Cache(const CacheConfig& config = {});
+
+  /// Look up a line; returns nullptr on miss.  Touches LRU on hit.
+  [[nodiscard]] CacheLine* find(LineId line) noexcept;
+  [[nodiscard]] const CacheLine* find(LineId line) const noexcept;
+
+  /// Reserve a slot for `line` (which must not be present), evicting the LRU
+  /// way of its set if needed.  The returned slot is initialized Invalid with
+  /// the new tag; the caller sets state/bits.
+  InsertResult insert(LineId line);
+
+  /// Drop a line entirely (remote invalidation).
+  void invalidate(LineId line) noexcept;
+
+  /// M -> S downgrade (remote read of a dirty line).
+  void downgrade(LineId line) noexcept;
+
+  /// Clear all transactional bits (commit) or invalidate every transactional
+  /// line (abort; Algorithm 1 line 5).
+  void commit_transaction() noexcept;
+  void abort_transaction() noexcept;
+
+  /// Transactional lines currently resident (for directory cleanup on abort).
+  [[nodiscard]] std::vector<LineId> transactional_lines() const;
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t set_index(LineId line) const noexcept {
+    return static_cast<std::size_t>(line % config_.sets);
+  }
+
+  CacheConfig config_;
+  std::vector<CacheLine> lines_;  // sets * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace txc::mem

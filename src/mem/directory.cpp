@@ -1,0 +1,71 @@
+#include "mem/directory.hpp"
+
+#include <cassert>
+
+namespace txc::mem {
+
+std::vector<CoreId> Directory::holders_excluding(LineId line,
+                                                 CoreId requestor) const {
+  std::vector<CoreId> result;
+  const DirectoryEntry* record = find(line);
+  if (record == nullptr || record->state == DirectoryState::kUncached) {
+    return result;
+  }
+  for (CoreId core = 0; core < cores_; ++core) {
+    if (core != requestor && record->sharers.test(core)) result.push_back(core);
+  }
+  return result;
+}
+
+void Directory::add_sharer(LineId line, CoreId core) {
+  DirectoryEntry& record = entry(line);
+  record.sharers.set(core);
+  if (record.state == DirectoryState::kModified && record.owner != core) {
+    // Owner was downgraded by this read; the line is now shared.
+    record.state = DirectoryState::kShared;
+  } else if (record.state == DirectoryState::kUncached) {
+    record.state = DirectoryState::kShared;
+  } else if (record.state == DirectoryState::kModified && record.owner == core) {
+    // Owner re-reading its own modified line: unchanged.
+  } else {
+    record.state = DirectoryState::kShared;
+  }
+}
+
+void Directory::set_owner(LineId line, CoreId core) {
+  DirectoryEntry& record = entry(line);
+  record.sharers.reset();
+  record.sharers.set(core);
+  record.owner = core;
+  record.state = DirectoryState::kModified;
+}
+
+void Directory::remove(LineId line, CoreId core) {
+  DirectoryEntry& record = entry(line);
+  record.sharers.reset(core);
+  if (record.sharers.none()) {
+    record.state = DirectoryState::kUncached;
+  } else if (record.state == DirectoryState::kModified && record.owner == core) {
+    record.state = DirectoryState::kShared;
+  }
+}
+
+bool Directory::invariants_hold() const {
+  for (const auto& [line, record] : entries_) {
+    switch (record.state) {
+      case DirectoryState::kUncached:
+        if (record.sharers.any()) return false;
+        break;
+      case DirectoryState::kShared:
+        if (record.sharers.none()) return false;
+        break;
+      case DirectoryState::kModified:
+        if (record.sharers.count() != 1) return false;
+        if (!record.sharers.test(record.owner)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace txc::mem

@@ -1,0 +1,77 @@
+// txconflict — directory-based MSI coherence state.
+//
+// Mirrors the setup the paper used in Graphite: "We extend Graphite's
+// directory-based MSI cache coherence protocol for private-L1 shared-L2 cache
+// hierarchy ... the L1 cache controller logic is modified, while the
+// directory logic did not have to be modified in any way."  The directory
+// tracks, per line, which cores hold it and in which global state; the HTM
+// layer asks it who must be invalidated or downgraded on each request.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace txc::mem {
+
+inline constexpr std::uint32_t kMaxCores = 64;
+
+enum class DirectoryState : std::uint8_t { kUncached, kShared, kModified };
+
+struct DirectoryEntry {
+  DirectoryState state = DirectoryState::kUncached;
+  std::bitset<kMaxCores> sharers;
+  CoreId owner = 0;  // meaningful only in kModified
+};
+
+struct DirectoryStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t downgrades = 0;
+};
+
+class Directory {
+ public:
+  explicit Directory(std::uint32_t cores) : cores_(cores) {}
+
+  /// The entry for a line (created on demand, Uncached).
+  [[nodiscard]] DirectoryEntry& entry(LineId line) {
+    ++stats_.lookups;
+    return entries_[line];
+  }
+  [[nodiscard]] const DirectoryEntry* find(LineId line) const {
+    const auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Cores other than `requestor` that hold the line (any state).
+  [[nodiscard]] std::vector<CoreId> holders_excluding(LineId line,
+                                                      CoreId requestor) const;
+
+  /// Record that `core` now holds `line` shared.
+  void add_sharer(LineId line, CoreId core);
+  /// Record that `core` now exclusively owns `line`.
+  void set_owner(LineId line, CoreId core);
+  /// Remove `core` from the line (invalidation / eviction / abort).
+  void remove(LineId line, CoreId core);
+
+  void count_invalidation() noexcept { ++stats_.invalidations; }
+  void count_downgrade() noexcept { ++stats_.downgrades; }
+
+  [[nodiscard]] const DirectoryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t cores() const noexcept { return cores_; }
+
+  /// Protocol invariant check (used by tests): a Modified line has exactly
+  /// one holder; a Shared line has at least one sharer and no owner flag.
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  std::uint32_t cores_;
+  std::unordered_map<LineId, DirectoryEntry> entries_;
+  DirectoryStats stats_;
+};
+
+}  // namespace txc::mem

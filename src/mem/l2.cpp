@@ -1,0 +1,70 @@
+#include "mem/l2.hpp"
+
+#include <cassert>
+
+namespace txc::mem {
+
+SharedL2::SharedL2(const L2Config& config)
+    : config_(config),
+      entries_(static_cast<std::size_t>(config.banks) * config.sets_per_bank *
+               config.ways) {
+  assert(config_.banks >= 1 && config_.sets_per_bank >= 1 &&
+         config_.ways >= 1);
+}
+
+std::size_t SharedL2::set_base(LineId line) const noexcept {
+  const std::uint32_t bank = bank_of(line);
+  const std::uint64_t set = (line / config_.banks) % config_.sets_per_bank;
+  return (static_cast<std::size_t>(bank) * config_.sets_per_bank +
+          static_cast<std::size_t>(set)) *
+         config_.ways;
+}
+
+L2Access SharedL2::access(LineId line) {
+  const std::size_t base = set_base(line);
+  Entry* victim = &entries_[base];
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    Entry& entry = entries_[base + way];
+    if (entry.valid && entry.line == line) {
+      entry.lru_stamp = ++lru_clock_;
+      ++stats_.hits;
+      return L2Access{.hit = true};
+    }
+    // Victim preference: any invalid way, else the LRU valid way.
+    if (!victim->valid) continue;
+    if (!entry.valid || entry.lru_stamp < victim->lru_stamp) victim = &entry;
+  }
+  ++stats_.misses;
+  L2Access result;
+  if (victim->valid) {
+    ++stats_.evictions;
+    result.evicted_valid = true;
+    result.evicted_line = victim->line;
+  }
+  victim->line = line;
+  victim->valid = true;
+  victim->lru_stamp = ++lru_clock_;
+  return result;
+}
+
+bool SharedL2::contains(LineId line) const noexcept {
+  const std::size_t base = set_base(line);
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    const Entry& entry = entries_[base + way];
+    if (entry.valid && entry.line == line) return true;
+  }
+  return false;
+}
+
+void SharedL2::invalidate(LineId line) noexcept {
+  const std::size_t base = set_base(line);
+  for (std::uint32_t way = 0; way < config_.ways; ++way) {
+    Entry& entry = entries_[base + way];
+    if (entry.valid && entry.line == line) {
+      entry.valid = false;
+      return;
+    }
+  }
+}
+
+}  // namespace txc::mem

@@ -1,0 +1,97 @@
+// txconflict — shared, banked L2 tag store.
+//
+// The paper's Graphite configuration is a "private-L1 shared-L2 cache
+// hierarchy".  The base simulator models only the private L1s and treats
+// every miss as a flat remote round trip; this module restores the shared L2
+// tier so the latency ladder is L1 hit < L2 hit < memory, and so L2 capacity
+// pressure exists: the hierarchy is inclusive, so an L2 eviction
+// back-invalidates every L1 copy of the victim line — and if one of those
+// copies was transactional, the HTM layer must abort that transaction
+// (a second source of capacity aborts, present in all real HTMs).
+//
+// The L2 is a tag store only: committed data values live in the simulator's
+// memory map, which is exact; what the L2 contributes is *timing* (hit/miss
+// classification) and *occupancy* (who gets evicted when).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace txc::mem {
+
+struct L2Config {
+  std::uint32_t banks = 4;          // address-interleaved banks
+  std::uint32_t sets_per_bank = 256;
+  std::uint32_t ways = 8;
+};
+
+struct L2Stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t back_invalidations = 0;  // L1 copies dropped by L2 eviction
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Result of touching a line in the L2: whether it hit, and which resident
+/// line (if any) was displaced to make room.  The caller owns propagating the
+/// eviction to the L1s (inclusion).
+struct L2Access {
+  bool hit = false;
+  bool evicted_valid = false;
+  LineId evicted_line = 0;
+};
+
+class SharedL2 {
+ public:
+  explicit SharedL2(const L2Config& config = {});
+
+  /// Touch `line`: on hit, refresh LRU; on miss, allocate (evicting the LRU
+  /// way of the set if full).
+  L2Access access(LineId line);
+
+  /// Whether `line` is currently resident (no LRU side effect).
+  [[nodiscard]] bool contains(LineId line) const noexcept;
+
+  /// Drop a line (e.g. tests, or future dirty-writeback modelling).
+  void invalidate(LineId line) noexcept;
+
+  /// Bank an address maps to — also the NoC home-slice index when the L2 is
+  /// distributed across tiles.
+  [[nodiscard]] std::uint32_t bank_of(LineId line) const noexcept {
+    return static_cast<std::uint32_t>(line % config_.banks);
+  }
+
+  void count_back_invalidation() noexcept { ++stats_.back_invalidations; }
+
+  [[nodiscard]] const L2Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const L2Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t capacity_lines() const noexcept {
+    return static_cast<std::uint64_t>(config_.banks) * config_.sets_per_bank *
+           config_.ways;
+  }
+
+ private:
+  struct Entry {
+    LineId line = 0;
+    bool valid = false;
+    std::uint64_t lru_stamp = 0;
+  };
+
+  /// Flat index of the first way of the set holding `line`.
+  [[nodiscard]] std::size_t set_base(LineId line) const noexcept;
+
+  L2Config config_;
+  std::vector<Entry> entries_;  // banks * sets * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  L2Stats stats_;
+};
+
+}  // namespace txc::mem

@@ -1,0 +1,114 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace txc::noc {
+
+MeshNoc::MeshNoc(const MeshConfig& config)
+    : config_(config),
+      link_busy_until_(static_cast<std::size_t>(tiles()) * 4, 0),
+      link_traversals_(static_cast<std::size_t>(tiles()) * 4, 0) {
+  assert(config_.width >= 1 && config_.height >= 1);
+}
+
+MeshConfig MeshNoc::fit(std::uint32_t tiles, const MeshConfig& base) {
+  MeshConfig config = base;
+  config.width = 1;
+  config.height = 1;
+  while (config.width * config.height < tiles) {
+    // Grow the shorter side so the mesh stays square-ish (Graphite's layout).
+    if (config.width <= config.height) {
+      ++config.width;
+    } else {
+      ++config.height;
+    }
+  }
+  return config;
+}
+
+Coordinate MeshNoc::coordinate(TileId tile) const noexcept {
+  return Coordinate{tile % config_.width, tile / config_.width};
+}
+
+TileId MeshNoc::tile_at(Coordinate c) const noexcept {
+  return c.y * config_.width + c.x;
+}
+
+std::uint32_t MeshNoc::hops(TileId src, TileId dst) const noexcept {
+  const Coordinate a = coordinate(src);
+  const Coordinate b = coordinate(dst);
+  const std::uint32_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const std::uint32_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+Tick MeshNoc::pure_latency(TileId src, TileId dst) const noexcept {
+  const std::uint32_t distance = hops(src, dst);
+  return config_.router_latency * (distance + 1) +
+         config_.link_latency * distance;
+}
+
+std::vector<std::uint32_t> MeshNoc::path_links(TileId src, TileId dst) const {
+  std::vector<std::uint32_t> links;
+  Coordinate at = coordinate(src);
+  const Coordinate goal = coordinate(dst);
+  // Dimension-ordered: resolve X first, then Y.
+  while (at.x != goal.x) {
+    const Direction direction = at.x < goal.x ? kEast : kWest;
+    links.push_back(link_id(tile_at(at), direction));
+    at.x = at.x < goal.x ? at.x + 1 : at.x - 1;
+  }
+  while (at.y != goal.y) {
+    const Direction direction = at.y < goal.y ? kSouth : kNorth;
+    links.push_back(link_id(tile_at(at), direction));
+    at.y = at.y < goal.y ? at.y + 1 : at.y - 1;
+  }
+  return links;
+}
+
+Tick MeshNoc::traverse(TileId src, TileId dst, Tick now, MessageClass cls) {
+  ++stats_.messages[static_cast<std::size_t>(cls)];
+  const std::uint32_t distance = hops(src, dst);
+  stats_.total_hops += distance;
+
+  if (!config_.model_contention) {
+    return now + pure_latency(src, dst);
+  }
+
+  // Walk the XY path link by link: each hop starts when both the message has
+  // arrived at the upstream router and the link is free, then occupies the
+  // link for occupancy_cycles.
+  Tick head = now + config_.router_latency;  // source router pipe
+  for (const std::uint32_t link : path_links(src, dst)) {
+    Tick& busy_until = link_busy_until_[link];
+    if (busy_until > head) {
+      stats_.queueing_cycles += busy_until - head;
+      head = busy_until;
+    }
+    busy_until = head + config_.occupancy_cycles;
+    ++link_traversals_[link];
+    head += config_.link_latency + config_.router_latency;
+  }
+  return head;
+}
+
+Tick MeshNoc::round_trip(TileId src, TileId dst, Tick now, MessageClass cls) {
+  const Tick arrival = traverse(src, dst, now, cls);
+  return traverse(dst, src, arrival, MessageClass::kData);
+}
+
+std::uint64_t MeshNoc::max_link_traversals() const noexcept {
+  const auto it =
+      std::max_element(link_traversals_.begin(), link_traversals_.end());
+  return it == link_traversals_.end() ? 0 : *it;
+}
+
+void MeshNoc::reset_stats() noexcept {
+  stats_ = NocStats{};
+  std::fill(link_traversals_.begin(), link_traversals_.end(), 0);
+  std::fill(link_busy_until_.begin(), link_busy_until_.end(), 0);
+}
+
+}  // namespace txc::noc

@@ -1,0 +1,155 @@
+// txconflict — 2D mesh network-on-chip model.
+//
+// The paper's testbed is MIT Graphite, a *tiled* multicore simulator: cores
+// sit on a 2D mesh and every coherence message (request, data, invalidation,
+// NACK) crosses hop-by-hop between tiles.  The base HTM simulator abstracts
+// this into one flat `remote_latency`; this module restores the
+// distance-dependent component so that conflict timing — and therefore the
+// abort cost B the policies see — varies with placement, exactly the noise a
+// real tiled machine injects into the online decision problem.
+//
+// Model:
+//   * tiles are arranged in a width x height grid; core c lives on tile c;
+//   * routing is dimension-ordered (XY): all X hops first, then Y hops —
+//     deadlock-free and deterministic, the standard choice in tiled CMPs;
+//   * a message from s to d costs
+//       router_latency * (hops + 1) + link_latency * hops
+//     (one router pipe per traversed router including source and sink);
+//   * optionally, links serialize: each directed link keeps a busy-until
+//     time and a message occupies every link on its path for
+//     `occupancy_cycles`, modelling head-of-line blocking under bursts.
+//     With `model_contention = false` the mesh is a pure latency table.
+//
+// The HTM layer maps a memory line to its *home tile* (directory slice) by
+// line-id interleaving, issues request/response pairs through the mesh, and
+// adds the resulting round-trip to the access latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace txc::noc {
+
+using Tick = std::uint64_t;
+using TileId = std::uint32_t;
+
+struct MeshConfig {
+  std::uint32_t width = 4;
+  std::uint32_t height = 4;
+  Tick link_latency = 1;    // per-hop wire traversal
+  Tick router_latency = 1;  // per-router pipeline
+  /// Cycles a message occupies each link on its path (serialization).
+  Tick occupancy_cycles = 1;
+  /// When false, traverse() ignores queueing and returns pure distance
+  /// latency (an infinite-bandwidth mesh).
+  bool model_contention = true;
+};
+
+/// Message classes whose traffic the mesh accounts separately.  The mix is
+/// reported by benches: grace periods trade NACK traffic against abort/refill
+/// traffic, which is visible here.
+enum class MessageClass : std::uint8_t {
+  kRequest,       // L1 miss -> home directory
+  kData,          // data/ack response
+  kInvalidation,  // directory -> sharer
+  kNack,          // receiver-in-grace-period -> requestor
+};
+inline constexpr std::size_t kMessageClassCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(MessageClass cls) noexcept {
+  switch (cls) {
+    case MessageClass::kRequest: return "request";
+    case MessageClass::kData: return "data";
+    case MessageClass::kInvalidation: return "invalidation";
+    case MessageClass::kNack: return "nack";
+  }
+  return "?";
+}
+
+struct Coordinate {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+
+  [[nodiscard]] bool operator==(const Coordinate&) const noexcept = default;
+};
+
+struct NocStats {
+  std::uint64_t messages[kMessageClassCount] = {};
+  std::uint64_t total_hops = 0;
+  /// Cycles messages spent queued behind busy links (contention model only).
+  std::uint64_t queueing_cycles = 0;
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto count : messages) sum += count;
+    return sum;
+  }
+  [[nodiscard]] double mean_hops() const noexcept {
+    const auto total = total_messages();
+    return total == 0 ? 0.0
+                      : static_cast<double>(total_hops) /
+                            static_cast<double>(total);
+  }
+};
+
+class MeshNoc {
+ public:
+  explicit MeshNoc(const MeshConfig& config);
+
+  /// Smallest square-ish mesh holding `tiles` tiles.
+  [[nodiscard]] static MeshConfig fit(std::uint32_t tiles,
+                                      const MeshConfig& base = {});
+
+  [[nodiscard]] std::uint32_t tiles() const noexcept {
+    return config_.width * config_.height;
+  }
+  [[nodiscard]] Coordinate coordinate(TileId tile) const noexcept;
+  [[nodiscard]] TileId tile_at(Coordinate c) const noexcept;
+
+  /// Manhattan distance under XY routing.
+  [[nodiscard]] std::uint32_t hops(TileId src, TileId dst) const noexcept;
+
+  /// Pure distance latency of one message, ignoring queueing.
+  [[nodiscard]] Tick pure_latency(TileId src, TileId dst) const noexcept;
+
+  /// Deliver one message at time `now`; returns its arrival time.  With the
+  /// contention model enabled this advances busy-until on every traversed
+  /// link, so bursts between the same tile pair serialize.
+  Tick traverse(TileId src, TileId dst, Tick now, MessageClass cls);
+
+  /// A request/response round trip (request `cls` out, kData back).
+  Tick round_trip(TileId src, TileId dst, Tick now, MessageClass cls);
+
+  /// Directed links in the XY path from src to dst (exposed for tests).
+  [[nodiscard]] std::vector<std::uint32_t> path_links(TileId src,
+                                                      TileId dst) const;
+
+  /// Per-link traversal counts, indexed like path_links' ids.
+  [[nodiscard]] const std::vector<std::uint64_t>& link_traversals()
+      const noexcept {
+    return link_traversals_;
+  }
+  /// Largest per-link traversal count — the hotspot metric benches report.
+  [[nodiscard]] std::uint64_t max_link_traversals() const noexcept;
+
+  [[nodiscard]] const NocStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const MeshConfig& config() const noexcept { return config_; }
+
+  void reset_stats() noexcept;
+
+ private:
+  /// Directed link ids: 4 per tile (east, west, north, south).
+  enum Direction : std::uint32_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+  [[nodiscard]] std::uint32_t link_id(TileId from,
+                                      Direction direction) const noexcept {
+    return from * 4 + direction;
+  }
+
+  MeshConfig config_;
+  std::vector<Tick> link_busy_until_;
+  std::vector<std::uint64_t> link_traversals_;
+  NocStats stats_;
+};
+
+}  // namespace txc::noc

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace txc::sim {
+
+EventHandle EventQueue::schedule_at(Tick when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_sequence_++, id, std::move(fn)});
+  ++live_events_;
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), handle.id);
+  if (it != cancelled_.end() && *it == handle.id) return false;  // already cancelled
+  if (handle.id >= next_id_) return false;                       // never scheduled
+  cancelled_.insert(it, handle.id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool EventQueue::is_cancelled(std::uint64_t id) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+bool EventQueue::step(Tick limit) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.when > limit) return false;
+    if (is_cancelled(top.id)) {
+      cancelled_.erase(std::lower_bound(cancelled_.begin(), cancelled_.end(), top.id));
+      heap_.pop();
+      continue;
+    }
+    // Move the callback out before popping: the callback may schedule.
+    Entry entry{top.when, top.sequence, top.id,
+                std::move(const_cast<Entry&>(top).fn)};
+    heap_.pop();
+    --live_events_;
+    now_ = entry.when;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run(Tick limit) {
+  std::uint64_t count = 0;
+  while (step(limit)) ++count;
+  if (now_ < limit && limit != ~Tick{0}) now_ = limit;
+  return count;
+}
+
+}  // namespace txc::sim

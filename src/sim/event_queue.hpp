@@ -1,0 +1,79 @@
+// txconflict — discrete-event simulation kernel.
+//
+// A single-threaded, deterministic event loop: events carry a timestamp in
+// simulated cycles and a callback.  Ties are broken by insertion order, so two
+// runs with the same seed produce byte-identical traces.  Cancellation is
+// supported through generation handles rather than heap surgery: a cancelled
+// event stays in the heap but its callback is skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace txc::sim {
+
+using Tick = std::uint64_t;
+
+/// Handle for cancelling a scheduled event.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Tick when, Callback fn);
+
+  /// Schedule `fn` `delay` ticks from now.
+  EventHandle schedule_after(Tick delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event.  Returns true if the event had not yet fired.
+  bool cancel(EventHandle handle);
+
+  /// Run events until the queue drains or `limit` ticks elapse.
+  /// Returns the number of callbacks executed.
+  std::uint64_t run(Tick limit = ~Tick{0});
+
+  /// Execute at most one event.  Returns false if the queue was empty or the
+  /// next event lies beyond `limit`.
+  bool step(Tick limit = ~Tick{0});
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_events_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Tick when;
+    std::uint64_t sequence;  // insertion order; tie-breaker for determinism
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted small set of cancelled ids
+  Tick now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace txc::sim

@@ -1,0 +1,66 @@
+#include "sim/rng.hpp"
+
+namespace txc::sim {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal_standard() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  const double u1 = uniform01_open_left();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+std::uint64_t Rng::geometric(double success_probability) noexcept {
+  if (success_probability >= 1.0) return 1;
+  if (success_probability <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  // Inverse CDF: ceil(log(U) / log(1-p)) with U in (0,1].
+  const double u = uniform01_open_left();
+  const double value = std::ceil(std::log(u) / std::log1p(-success_probability));
+  return value < 1.0 ? 1 : static_cast<std::uint64_t>(value);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until falling below e^-mean.
+    const double threshold = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform01_open_left();
+    while (product > threshold) {
+      ++count;
+      product *= uniform01_open_left();
+    }
+    return count;
+  }
+  // Split recursively: Poisson(a+b) = Poisson(a) + Poisson(b).  Keeps every
+  // sub-draw in Knuth's numerically comfortable range without the usual
+  // rejection machinery.
+  const double half = mean / 2.0;
+  return poisson(half) + poisson(mean - half);
+}
+
+}  // namespace txc::sim

@@ -1,0 +1,121 @@
+// txconflict — deterministic pseudo-random number generation.
+//
+// The whole repository runs on a single-threaded discrete-event simulator, so
+// reproducibility is a hard requirement: every stochastic component draws from
+// an explicitly seeded Rng instance, never from global state.  The generator
+// is xoshiro256** (Blackman & Vigna), seeded via SplitMix64, which is the
+// conventional pairing: SplitMix64 decorrelates low-entropy seeds before they
+// reach the xoshiro state.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace txc::sim {
+
+/// SplitMix64 step: used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic 64-bit PRNG (xoshiro256**).  Satisfies
+/// std::uniform_random_bit_generator so it can also drive <random>
+/// distributions, though the library-provided draws below are preferred since
+/// their sequences are fixed across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).  53 mantissa bits of entropy.
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as input to log().
+  double uniform01_open_left() noexcept { return 1.0 - uniform01(); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential with the given mean (inverse-CDF).
+  double exponential(double mean) noexcept {
+    return -mean * std::log(uniform01_open_left());
+  }
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal_standard() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal_standard();
+  }
+
+  /// Geometric: number of Bernoulli(p) trials until first success, support
+  /// {1, 2, ...}, mean 1/p.
+  std::uint64_t geometric(double success_probability) noexcept;
+
+  /// Poisson with the given mean (Knuth for small mean, normal approximation
+  /// rejection for large mean).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Split off an independently-seeded child stream (for per-core RNGs).
+  Rng split() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng{s ^ 0xA3EC647659359ACDULL};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace txc::sim

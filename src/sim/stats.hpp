@@ -1,0 +1,121 @@
+// txconflict — streaming statistics used by tests and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace txc::sim {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept {
+    return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples land in
+/// saturating under/overflow buckets so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Approximate quantile (linear interpolation inside the bin).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Compact ASCII rendering, for bench harness output.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact-quantile helper for moderate sample counts (sorts on demand).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Kolmogorov–Smirnov statistic against a CDF callable; used by sampler
+  /// property tests.
+  template <typename Cdf>
+  [[nodiscard]] double ks_statistic(Cdf&& cdf) const {
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const double theoretical = cdf(sorted[i]);
+      const double empirical_hi = static_cast<double>(i + 1) / n;
+      const double empirical_lo = static_cast<double>(i) / n;
+      worst = std::max(worst, std::abs(empirical_hi - theoretical));
+      worst = std::max(worst, std::abs(theoretical - empirical_lo));
+    }
+    return worst;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace txc::sim

@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace txc::sim {
+
+const char* to_string(TraceCategory category) noexcept {
+  switch (category) {
+    case TraceCategory::kCore: return "core";
+    case TraceCategory::kCoherence: return "coh";
+    case TraceCategory::kTransaction: return "tx";
+    case TraceCategory::kConflict: return "conflict";
+    case TraceCategory::kPolicy: return "policy";
+    case TraceCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+void Trace::record(Tick time, TraceCategory category, std::int32_t actor,
+                   std::string message) {
+  if (!enabled_) return;
+  TraceRecord rec{time, category, actor, std::move(message)};
+  if (records_.size() < capacity_) {
+    records_.push_back(std::move(rec));
+  } else {
+    records_[head_] = std::move(rec);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+const TraceRecord& Trace::at(std::size_t i) const {
+  if (i >= records_.size()) throw std::out_of_range{"Trace::at"};
+  return records_[(head_ + i) % records_.size()];
+}
+
+std::string Trace::dump() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const TraceRecord& rec = at(i);
+    out << rec.time << " [" << to_string(rec.category) << "]";
+    if (rec.actor >= 0) out << " core" << rec.actor;
+    out << " " << rec.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace txc::sim

@@ -1,0 +1,61 @@
+// txconflict — lightweight bounded event trace for debugging simulations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace txc::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kCore,
+  kCoherence,
+  kTransaction,
+  kConflict,
+  kPolicy,
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(TraceCategory category) noexcept;
+
+struct TraceRecord {
+  Tick time = 0;
+  TraceCategory category = TraceCategory::kOther;
+  std::int32_t actor = -1;  // core / thread id, -1 when global
+  std::string message;
+};
+
+/// Ring-buffer trace: keeps the most recent `capacity` records.  Disabled by
+/// default so hot paths pay one branch.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(Tick time, TraceCategory category, std::int32_t actor,
+              std::string message);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const TraceRecord& at(std::size_t i) const;
+
+  /// Render the trace oldest-first.
+  [[nodiscard]] std::string dump() const;
+
+  void clear() noexcept {
+    records_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  std::size_t head_ = 0;  // index of oldest record once the buffer wraps
+  bool enabled_ = false;
+};
+
+}  // namespace txc::sim

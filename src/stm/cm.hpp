@@ -1,0 +1,190 @@
+// txconflict — classic software-TM contention managers.
+//
+// The paper positions its grace-period policies against the STM contention-
+// manager literature: "contention managers (for instance in software TM) are
+// usually assumed to have global knowledge about the set of running
+// transactions... by contrast, in our setting, decisions are entirely local"
+// (Section 1, Implications).  To make that comparison concrete this module
+// implements the canonical managers of Scherer & Scott (PODC 2005) — Polite,
+// Karma, Timestamp, Greedy, Polka — adapted to the repository's TL2 write-
+// lock conflicts, plus an adapter that runs any of the paper's local
+// GracePeriodPolicy decisions as a contention manager.
+//
+// Conflict model: transactions publish a TxDescriptor while holding write
+// locks; a transaction that hits a held lock sees the holder's descriptor
+// (priority, start time, status) and the manager decides to WAIT a quantum,
+// ABORT SELF, or ABORT THE ENEMY (a CAS on the enemy's status, honored by
+// the holder before its write-back).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+
+namespace txc::stm {
+
+/// Lifecycle of one transaction attempt.  kActive transactions can be killed
+/// remotely; the kActive -> kCommitting transition closes the kill window
+/// before write-back begins.
+enum class TxStatus : std::uint32_t {
+  kActive = 0,
+  kCommitting = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+/// Per-thread transaction descriptor, published on acquired write locks so
+/// enemies can inspect and (attempt to) kill the holder.
+struct TxDescriptor {
+  std::atomic<std::uint32_t> status{
+      static_cast<std::uint32_t>(TxStatus::kAborted)};
+  /// Manager-specific priority (Karma/Polka: cumulative work; Greedy /
+  /// Timestamp: not used — they order by start_time).
+  std::atomic<std::uint64_t> priority{0};
+  /// Monotone start stamp of the transaction's *first* attempt (retries keep
+  /// it, so long-suffering transactions age into higher seniority).
+  std::atomic<std::uint64_t> start_time{0};
+
+  [[nodiscard]] TxStatus load_status() const noexcept {
+    return static_cast<TxStatus>(status.load(std::memory_order_acquire));
+  }
+  /// Remote kill: succeeds only while the victim is still kActive.
+  bool try_kill() noexcept {
+    auto expected = static_cast<std::uint32_t>(TxStatus::kActive);
+    return status.compare_exchange_strong(
+        expected, static_cast<std::uint32_t>(TxStatus::kAborted),
+        std::memory_order_acq_rel);
+  }
+};
+
+/// What a manager decides at a conflict.
+enum class CmDecision {
+  kWait,        // spin one quantum, then re-evaluate
+  kAbortSelf,   // sacrifice the requesting transaction
+  kAbortEnemy,  // kill the lock holder (falls back to wait if the kill races)
+};
+
+/// Everything a manager sees at a conflict.  `enemy` may be null when the
+/// holder released between detection and inspection.
+struct CmView {
+  const TxDescriptor* self = nullptr;
+  const TxDescriptor* enemy = nullptr;
+  std::uint32_t attempt = 0;       // self's abort count for this transaction
+  std::uint64_t waits_so_far = 0;  // consecutive kWait rounds on this conflict
+  /// Caller-owned per-conflict scratch, initialized to a negative value when
+  /// the conflict is first detected.  Randomized managers use it to draw
+  /// their budget exactly once per conflict (GracePolicyCm stores Delta).
+  double* scratch = nullptr;
+};
+
+/// A contention-management algorithm.  Implementations must be thread-safe:
+/// one instance is shared by every thread of an Stm.
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+  [[nodiscard]] virtual CmDecision on_conflict(const CmView& view,
+                                               sim::Rng& rng) const = 0;
+  /// Spin iterations per kWait round.
+  [[nodiscard]] virtual std::uint64_t wait_quantum(
+      const CmView& view) const noexcept {
+    (void)view;
+    return 64;
+  }
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Polite (Scherer & Scott): back off politely for a bounded number of
+/// exponentially growing intervals, then get impolite and kill the enemy.
+class PoliteCm final : public ContentionManager {
+ public:
+  explicit PoliteCm(std::uint64_t max_rounds = 8) noexcept
+      : max_rounds_(max_rounds) {}
+  [[nodiscard]] CmDecision on_conflict(const CmView& view,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const CmView& view) const noexcept override;
+  [[nodiscard]] std::string name() const override { return "Polite"; }
+
+ private:
+  std::uint64_t max_rounds_;
+};
+
+/// Karma: priority = cumulative work done (reads opened), kept across
+/// aborts.  Kill the enemy once our priority plus the number of waits
+/// exceeds its priority; wait otherwise.
+class KarmaCm final : public ContentionManager {
+ public:
+  [[nodiscard]] CmDecision on_conflict(const CmView& view,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Karma"; }
+};
+
+/// Timestamp: the older transaction (earlier first-attempt start) wins; the
+/// younger waits, and after a patience budget sacrifices itself.
+class TimestampCm final : public ContentionManager {
+ public:
+  explicit TimestampCm(std::uint64_t patience = 16) noexcept
+      : patience_(patience) {}
+  [[nodiscard]] CmDecision on_conflict(const CmView& view,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Timestamp"; }
+
+ private:
+  std::uint64_t patience_;
+};
+
+/// Greedy (Guerraoui, Herlihy, Pochon): like Timestamp but never aborts
+/// itself — the younger transaction waits until the older finishes or is
+/// itself killed; the older kills on sight.  Priority inversion is bounded
+/// because timestamps are unique and kept across retries.
+class GreedyCm final : public ContentionManager {
+ public:
+  [[nodiscard]] CmDecision on_conflict(const CmView& view,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Greedy"; }
+};
+
+/// Polka = Polite + Karma: Karma's priority gap sets how many exponentially
+/// growing backoff rounds to tolerate before killing the enemy.
+class PolkaCm final : public ContentionManager {
+ public:
+  [[nodiscard]] CmDecision on_conflict(const CmView& view,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const CmView& view) const noexcept override;
+  [[nodiscard]] std::string name() const override { return "Polka"; }
+};
+
+/// The paper's local decision as a contention manager: draw a grace period
+/// Delta from the wrapped GracePeriodPolicy once per conflict, wait it out in
+/// quanta, then abort self (requestor-aborts semantics — an STM requestor
+/// cannot be aborted by the holder).  No global knowledge is consulted:
+/// exactly the "local, immediate, unchangeable" regime of the paper.
+class GracePolicyCm final : public ContentionManager {
+ public:
+  GracePolicyCm(std::shared_ptr<const core::GracePeriodPolicy> policy,
+                double abort_cost_estimate = 256.0) noexcept
+      : policy_(std::move(policy)), abort_cost_(abort_cost_estimate) {}
+  [[nodiscard]] CmDecision on_conflict(const CmView& view,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const CmView& view) const noexcept override;
+  [[nodiscard]] std::string name() const override {
+    return "Grace(" + policy_->name() + ")";
+  }
+
+ private:
+  std::shared_ptr<const core::GracePeriodPolicy> policy_;
+  double abort_cost_;
+};
+
+/// Named constructors for benches/CLIs.
+enum class CmKind { kPolite, kKarma, kTimestamp, kGreedy, kPolka };
+[[nodiscard]] const char* to_string(CmKind kind) noexcept;
+[[nodiscard]] std::shared_ptr<const ContentionManager> make_cm(CmKind kind);
+
+}  // namespace txc::stm

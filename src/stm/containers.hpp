@@ -1,0 +1,192 @@
+// txconflict — transactional containers on the TL2 STM public API.
+//
+// The paper's data structures (stack, queue) live on the HTM simulator; this
+// module provides the same structures — plus an ordered set — as real
+// multi-threaded containers composed from Stm::atomically.  They serve three
+// roles: worked examples of the Tx API, linearizable fixtures for the
+// multi-threaded test suite, and the workloads of the cm_comparison bench.
+//
+// All containers are bounded (fixed cell arrays): the STM manages conflict,
+// not allocation.  Capacity exhaustion is reported, never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stm/tl2.hpp"
+
+namespace txc::stm {
+
+/// Bounded transactional stack (LIFO).  The top index and every slot are
+/// transactional cells; push/pop are single atomic transactions.
+class TxStack {
+ public:
+  explicit TxStack(Stm& stm, std::size_t capacity)
+      : stm_(stm), slots_(capacity) {}
+
+  /// False if the stack was full.
+  bool push(std::uint64_t value) {
+    bool ok = false;
+    stm_.atomically([&](Tx& tx) {
+      const std::uint64_t top = tx.read(top_);
+      if (top >= slots_.size()) {
+        ok = false;
+        return;
+      }
+      tx.write(slots_[top], value);
+      tx.write(top_, top + 1);
+      ok = true;
+    });
+    return ok;
+  }
+
+  /// Empty optional if the stack was empty.
+  std::optional<std::uint64_t> pop() {
+    std::optional<std::uint64_t> result;
+    stm_.atomically([&](Tx& tx) {
+      const std::uint64_t top = tx.read(top_);
+      if (top == 0) {
+        result.reset();
+        return;
+      }
+      result = tx.read(slots_[top - 1]);
+      tx.write(top_, top - 1);
+    });
+    return result;
+  }
+
+  [[nodiscard]] std::uint64_t size() {
+    std::uint64_t size = 0;
+    stm_.atomically([&](Tx& tx) { size = tx.read(top_); });
+    return size;
+  }
+
+ private:
+  Stm& stm_;
+  Cell top_;
+  std::vector<Cell> slots_;
+};
+
+/// Bounded transactional FIFO ring: head and tail counters advance
+/// monotonically; slot index is counter mod capacity.
+class TxQueue {
+ public:
+  explicit TxQueue(Stm& stm, std::size_t capacity)
+      : stm_(stm), slots_(capacity) {}
+
+  bool enqueue(std::uint64_t value) {
+    bool ok = false;
+    stm_.atomically([&](Tx& tx) {
+      const std::uint64_t head = tx.read(head_);
+      const std::uint64_t tail = tx.read(tail_);
+      if (tail - head >= slots_.size()) {
+        ok = false;
+        return;
+      }
+      tx.write(slots_[tail % slots_.size()], value);
+      tx.write(tail_, tail + 1);
+      ok = true;
+    });
+    return ok;
+  }
+
+  std::optional<std::uint64_t> dequeue() {
+    std::optional<std::uint64_t> result;
+    stm_.atomically([&](Tx& tx) {
+      const std::uint64_t head = tx.read(head_);
+      const std::uint64_t tail = tx.read(tail_);
+      if (head == tail) {
+        result.reset();
+        return;
+      }
+      result = tx.read(slots_[head % slots_.size()]);
+      tx.write(head_, head + 1);
+    });
+    return result;
+  }
+
+  [[nodiscard]] std::uint64_t size() {
+    std::uint64_t size = 0;
+    stm_.atomically([&](Tx& tx) { size = tx.read(tail_) - tx.read(head_); });
+    return size;
+  }
+
+ private:
+  Stm& stm_;
+  Cell head_;
+  Cell tail_;
+  std::vector<Cell> slots_;
+};
+
+/// Transactional ordered set over a bounded key universe [0, universe):
+/// a presence bitmap (one cell per key) plus a size counter.  Contains-range
+/// queries read a consistent snapshot — the property the HTM list workload
+/// models and the classic STM "set" benchmark.
+class TxSet {
+ public:
+  TxSet(Stm& stm, std::size_t universe)
+      : stm_(stm), present_(universe) {}
+
+  /// True if the key was inserted (false: already present).
+  bool insert(std::uint64_t key) {
+    bool inserted = false;
+    stm_.atomically([&](Tx& tx) {
+      if (tx.read(present_[key]) != 0) {
+        inserted = false;
+        return;
+      }
+      tx.write(present_[key], 1);
+      tx.write(size_, tx.read(size_) + 1);
+      inserted = true;
+    });
+    return inserted;
+  }
+
+  /// True if the key was removed (false: absent).
+  bool erase(std::uint64_t key) {
+    bool erased = false;
+    stm_.atomically([&](Tx& tx) {
+      if (tx.read(present_[key]) == 0) {
+        erased = false;
+        return;
+      }
+      tx.write(present_[key], 0);
+      tx.write(size_, tx.read(size_) - 1);
+      erased = true;
+    });
+    return erased;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) {
+    bool found = false;
+    stm_.atomically(
+        [&](Tx& tx) { found = tx.read(present_[key]) != 0; });
+    return found;
+  }
+
+  /// Atomic snapshot count of keys in [lo, hi).
+  [[nodiscard]] std::uint64_t count_range(std::uint64_t lo, std::uint64_t hi) {
+    std::uint64_t count = 0;
+    stm_.atomically([&](Tx& tx) {
+      count = 0;
+      for (std::uint64_t key = lo; key < hi; ++key) {
+        count += tx.read(present_[key]) != 0 ? 1 : 0;
+      }
+    });
+    return count;
+  }
+
+  [[nodiscard]] std::uint64_t size() {
+    std::uint64_t size = 0;
+    stm_.atomically([&](Tx& tx) { size = tx.read(size_); });
+    return size;
+  }
+
+ private:
+  Stm& stm_;
+  Cell size_;
+  std::vector<Cell> present_;
+};
+
+}  // namespace txc::stm

@@ -1,0 +1,130 @@
+#include "stm/norec.hpp"
+
+#include <thread>
+
+namespace txc::stm {
+
+namespace {
+
+thread_local sim::Rng tl_rng{0x4E0EECULL ^
+                             std::hash<std::thread::id>{}(
+                                 std::this_thread::get_id())};
+
+}  // namespace
+
+Norec::Norec(std::shared_ptr<const core::GracePeriodPolicy> policy)
+    : policy_(std::move(policy)) {}
+
+std::optional<std::uint64_t> Norec::await_even(std::uint32_t attempt) {
+  std::uint64_t state = seqlock_.load(std::memory_order_acquire);
+  if ((state & 1) == 0) return state;
+  stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
+  core::ConflictContext context;
+  context.abort_cost = 256.0;
+  context.chain_length = 2;
+  context.attempt = attempt;
+  const double grace = policy_->grace_period(context, tl_rng);
+  for (double spun = 0.0; spun < grace; spun += 1.0) {
+    state = seqlock_.load(std::memory_order_acquire);
+    if ((state & 1) == 0) return state;
+  }
+  state = seqlock_.load(std::memory_order_acquire);
+  if ((state & 1) == 0) return state;
+  return std::nullopt;  // grace expired: requestor aborts
+}
+
+std::optional<std::uint64_t> Norec::validate(NorecTx& tx) {
+  while (true) {
+    const auto even = await_even(tx.attempt_);
+    if (!even.has_value()) return std::nullopt;
+    const std::uint64_t base = *even;
+    bool consistent = true;
+    for (const auto& [cell, logged] : tx.read_log_) {
+      if (cell->value.load(std::memory_order_acquire) != logged) {
+        consistent = false;
+        break;
+      }
+    }
+    if (seqlock_.load(std::memory_order_acquire) != base) {
+      continue;  // a commit raced the scan: re-validate against the new state
+    }
+    if (!consistent) return std::nullopt;
+    return base;
+  }
+}
+
+std::uint64_t NorecTx::read(const Cell& cell) {
+  const auto buffered = write_set_.find(const_cast<Cell*>(&cell));
+  if (buffered != write_set_.end()) return buffered->second;
+
+  // NOrec read protocol: sample the value under a stable even seqlock; if
+  // the clock moved since our snapshot, re-validate the whole read log and
+  // advance the snapshot.
+  while (true) {
+    const auto even = stm_.await_even(attempt_);
+    if (!even.has_value()) throw TxAbort{};
+    const std::uint64_t base = *even;
+    const std::uint64_t value = cell.value.load(std::memory_order_acquire);
+    if (stm_.seqlock_.load(std::memory_order_acquire) != base) continue;
+    if (base != snapshot_) {
+      const auto validated = stm_.validate(*this);
+      if (!validated.has_value()) throw TxAbort{};
+      snapshot_ = *validated;
+      // The location may have changed before the new snapshot; re-read so
+      // the log entry matches the validated state.
+      continue;
+    }
+    read_log_.emplace_back(&cell, value);
+    return value;
+  }
+}
+
+void NorecTx::write(Cell& cell, std::uint64_t value) {
+  write_set_[&cell] = value;
+}
+
+bool Norec::try_commit(NorecTx& tx) {
+  if (tx.write_set_.empty()) return true;  // read-only: always consistent
+
+  // Acquire the global lock at a state our reads are valid against.
+  std::uint64_t base = tx.snapshot_;
+  while (!seqlock_.compare_exchange_weak(base, base + 1,
+                                         std::memory_order_acq_rel)) {
+    // Someone committed (or is committing): re-validate, which also waits
+    // out any in-flight committer, then retry from the validated state.
+    const auto validated = validate(tx);
+    if (!validated.has_value()) return false;
+    tx.snapshot_ = *validated;
+    base = tx.snapshot_;
+  }
+
+  // Exclusive: write back and release with the next even value.
+  for (auto& [cell, value] : tx.write_set_) {
+    cell->value.store(value, std::memory_order_release);
+  }
+  seqlock_.store(base + 2, std::memory_order_release);
+  return true;
+}
+
+void Norec::atomically(const std::function<void(NorecTx&)>& body) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::uint64_t snapshot = seqlock_.load(std::memory_order_acquire);
+    while (snapshot & 1) {
+      snapshot = seqlock_.load(std::memory_order_acquire);
+    }
+    NorecTx tx{*this, attempt, snapshot};
+    try {
+      body(tx);
+    } catch (const TxAbort&) {
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (try_commit(tx)) {
+      stats_.commits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace txc::stm

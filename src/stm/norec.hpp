@@ -1,0 +1,92 @@
+// txconflict — NOrec software transactional memory.
+//
+// A second, structurally different STM substrate (Dalessandro, Spear, Scott,
+// PPoPP 2010): NO ownership RECords — a single global sequence lock plus
+// value-based validation.  Where TL2 maps cells to striped version locks,
+// NOrec logs the values it read and re-validates them whenever the global
+// clock moves; commits serialize on the one lock.
+//
+// Why it is here: the paper's conflict decision is *where to wait and for how
+// long*, and NOrec has exactly one wait point — the global commit lock.  A
+// requestor that finds the lock held consults the same GracePeriodPolicy as
+// the HTM simulator and TL2 (requestor-aborts flavor: it can only sacrifice
+// itself), so the policies can be compared across three substrates with
+// genuinely different conflict anatomies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+#include "stm/tl2.hpp"  // Cell, TxAbort, StmStats
+
+namespace txc::stm {
+
+class Norec;
+
+/// Per-attempt NOrec transaction context.
+class NorecTx {
+ public:
+  /// Transactional read with value-based validation.
+  [[nodiscard]] std::uint64_t read(const Cell& cell);
+
+  /// Buffered transactional write.
+  void write(Cell& cell, std::uint64_t value);
+
+  [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
+
+ private:
+  friend class Norec;
+  NorecTx(Norec& stm, std::uint32_t attempt, std::uint64_t snapshot)
+      : stm_(stm), attempt_(attempt), snapshot_(snapshot) {}
+
+  Norec& stm_;
+  std::uint32_t attempt_;
+  std::uint64_t snapshot_;  // even seqlock value this attempt is based on
+  std::vector<std::pair<const Cell*, std::uint64_t>> read_log_;
+  std::unordered_map<Cell*, std::uint64_t> write_set_;
+};
+
+class Norec {
+ public:
+  /// `policy` decides how long to wait for the global commit lock before
+  /// self-aborting (requestor-aborts: the lock holder cannot be killed).
+  explicit Norec(std::shared_ptr<const core::GracePeriodPolicy> policy);
+
+  /// Run `body` as a transaction, retrying on aborts until it commits.
+  void atomically(const std::function<void(NorecTx&)>& body);
+
+  [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
+
+  /// Direct read of a committed cell; safe only with no transactions in
+  /// flight.
+  [[nodiscard]] static std::uint64_t read_committed(const Cell& cell) {
+    return cell.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class NorecTx;
+
+  /// Wait for the seqlock to go even; returns the even value, or nullopt if
+  /// the grace period expired first.
+  [[nodiscard]] std::optional<std::uint64_t> await_even(std::uint32_t attempt);
+
+  /// Value-based validation: re-read every logged location under a stable
+  /// even seqlock.  Returns the seqlock value validated against, or nullopt
+  /// on a value change (the transaction must abort).
+  [[nodiscard]] std::optional<std::uint64_t> validate(NorecTx& tx);
+
+  [[nodiscard]] bool try_commit(NorecTx& tx);
+
+  std::shared_ptr<const core::GracePeriodPolicy> policy_;
+  std::atomic<std::uint64_t> seqlock_{0};  // even: free; odd: committing
+  StmStats stats_;
+};
+
+}  // namespace txc::stm

@@ -1,0 +1,259 @@
+#include "stm/tl2.hpp"
+
+#include <thread>
+
+namespace txc::stm {
+
+namespace {
+
+constexpr std::uint64_t kLockBit = 1;
+
+thread_local sim::Rng tl_rng{0xC0FFEE ^
+                             std::hash<std::thread::id>{}(
+                                 std::this_thread::get_id())};
+
+/// One descriptor per thread, reused across transactions.  Enemies may hold
+/// a pointer briefly after release; kills CAS kActive -> kAborted, so a
+/// stale kill can at worst abort the thread's *next* attempt once — a
+/// benign spurious abort (real systems version their descriptors).
+thread_local TxDescriptor tl_descriptor;
+
+bool locked(std::uint64_t versioned_lock) noexcept {
+  return (versioned_lock & kLockBit) != 0;
+}
+std::uint64_t version_of(std::uint64_t versioned_lock) noexcept {
+  return versioned_lock >> 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tx
+// ---------------------------------------------------------------------------
+
+std::uint64_t Tx::read(const Cell& cell) {
+  // Remote kill check: a manager may have sacrificed us while we held locks
+  // in an earlier commit attempt or while we were waiting.
+  if (descriptor_->load_status() == TxStatus::kAborted) throw TxAbort{};
+
+  // Write-own-read: serve from the write buffer.
+  const auto buffered = write_set_.find(const_cast<Cell*>(&cell));
+  if (buffered != write_set_.end()) return buffered->second;
+
+  Stm::Stripe& stripe = stm_.stripe_for(&cell);
+  // TL2 read protocol: sample the lock, read, re-sample; the stripe must be
+  // unlocked and no newer than our read version on both sides.
+  const std::uint64_t before =
+      stripe.versioned_lock.load(std::memory_order_acquire);
+  const std::uint64_t value = cell.value.load(std::memory_order_acquire);
+  const std::uint64_t after =
+      stripe.versioned_lock.load(std::memory_order_acquire);
+  if (locked(before) || before != after ||
+      version_of(before) > read_version_) {
+    // Conflict with a concurrent writer: hand it to the contention manager,
+    // then retry the read if the lock cleared in time.
+    if (locked(before) && stm_.resolve_conflict(stripe, *this)) {
+      return read(cell);
+    }
+    throw TxAbort{};
+  }
+  read_set_.push_back(&cell);
+  // Karma-style managers rank transactions by work performed.
+  descriptor_->priority.fetch_add(1, std::memory_order_relaxed);
+  return value;
+}
+
+void Tx::write(Cell& cell, std::uint64_t value) { write_set_[&cell] = value; }
+
+// ---------------------------------------------------------------------------
+// Stm
+// ---------------------------------------------------------------------------
+
+Stm::Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
+         std::size_t stripes)
+    : cm_(std::make_shared<GracePolicyCm>(std::move(policy))),
+      stripes_(stripes) {}
+
+Stm::Stm(std::shared_ptr<const ContentionManager> cm, std::size_t stripes)
+    : cm_(std::move(cm)), stripes_(stripes) {}
+
+Stm::Stripe& Stm::stripe_for(const void* address) noexcept {
+  // Mix the address bits; cells are at least 8 bytes apart.
+  auto mixed = reinterpret_cast<std::uintptr_t>(address) >> 3;
+  mixed ^= mixed >> 16;
+  mixed *= 0x9E3779B97F4A7C15ULL;
+  mixed ^= mixed >> 32;
+  return stripes_[mixed % stripes_.size()];
+}
+
+bool Stm::resolve_conflict(Stripe& stripe, Tx& tx) {
+  stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
+  double scratch = -1.0;  // per-conflict budget for randomized managers
+  std::uint64_t waits = 0;
+  while (true) {
+    if (!locked(stripe.versioned_lock.load(std::memory_order_acquire))) {
+      return true;
+    }
+    if (tx.descriptor_->load_status() == TxStatus::kAborted) {
+      return false;  // we were remotely killed while waiting
+    }
+    CmView view;
+    view.self = tx.descriptor_;
+    view.enemy = stripe.holder.load(std::memory_order_acquire);
+    view.attempt = tx.attempt_;
+    view.waits_so_far = waits;
+    view.scratch = &scratch;
+    switch (cm_->on_conflict(view, tl_rng)) {
+      case CmDecision::kAbortSelf:
+        return false;
+      case CmDecision::kAbortEnemy: {
+        TxDescriptor* enemy = stripe.holder.load(std::memory_order_acquire);
+        if (enemy != nullptr && enemy->try_kill()) {
+          stats_.remote_kills.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Fall through to waiting: the victim notices at its next status
+        // check and releases its locks.
+        break;
+      }
+      case CmDecision::kWait:
+        break;
+    }
+    const std::uint64_t quantum = cm_->wait_quantum(view);
+    for (std::uint64_t spin = 0; spin < quantum; ++spin) {
+      if (!locked(stripe.versioned_lock.load(std::memory_order_acquire))) {
+        return true;
+      }
+    }
+    ++waits;
+  }
+}
+
+bool Stm::try_commit(Tx& tx) {
+  if (tx.write_set_.empty()) {
+    // Read-only: already validated; close the kill window.
+    auto active = static_cast<std::uint32_t>(TxStatus::kActive);
+    return tx.descriptor_->status.compare_exchange_strong(
+        active, static_cast<std::uint32_t>(TxStatus::kCommitted),
+        std::memory_order_acq_rel);
+  }
+
+  // Phase 1: lock the write set (any order; failure -> contention manager ->
+  // self-abort, which also guarantees deadlock freedom).
+  std::vector<Stripe*> acquired;
+  acquired.reserve(tx.write_set_.size());
+  const auto release_all = [&] {
+    // Restore each stripe to unlocked with its pre-acquisition version.
+    for (Stripe* stripe : acquired) {
+      stripe->holder.store(nullptr, std::memory_order_release);
+      const std::uint64_t current =
+          stripe->versioned_lock.load(std::memory_order_relaxed);
+      stripe->versioned_lock.store(version_of(current) << 1,
+                                   std::memory_order_release);
+    }
+  };
+  for (auto& [cell, value] : tx.write_set_) {
+    Stripe& stripe = stripe_for(cell);
+    bool already_ours = false;
+    for (Stripe* held : acquired) already_ours |= (held == &stripe);
+    if (already_ours) continue;
+    while (true) {
+      if (tx.descriptor_->load_status() == TxStatus::kAborted) {
+        release_all();
+        return false;  // remotely killed mid-acquisition
+      }
+      std::uint64_t expected =
+          stripe.versioned_lock.load(std::memory_order_relaxed);
+      if (!locked(expected) && version_of(expected) <= tx.read_version_) {
+        if (stripe.versioned_lock.compare_exchange_weak(
+                expected, expected | kLockBit, std::memory_order_acquire)) {
+          stripe.holder.store(tx.descriptor_, std::memory_order_release);
+          acquired.push_back(&stripe);
+          break;
+        }
+        continue;
+      }
+      if (locked(expected)) {
+        if (resolve_conflict(stripe, tx)) continue;
+      }
+      release_all();
+      return false;  // stale stripe, grace expired, or manager said so
+    }
+  }
+
+  // Close the kill window: only kActive transactions can be murdered, and
+  // the write-back below must never race with a kill.
+  auto active = static_cast<std::uint32_t>(TxStatus::kActive);
+  if (!tx.descriptor_->status.compare_exchange_strong(
+          active, static_cast<std::uint32_t>(TxStatus::kCommitting),
+          std::memory_order_acq_rel)) {
+    release_all();
+    return false;  // killed just before the point of no return
+  }
+
+  // Phase 2: linearization point.
+  const std::uint64_t write_version =
+      clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Phase 3: validate the read set (skip when no one else committed since we
+  // started — the TL2 fast path).
+  if (write_version != tx.read_version_ + 1) {
+    for (const Cell* cell : tx.read_set_) {
+      const Stripe& stripe = stripe_for(cell);
+      const std::uint64_t state =
+          stripe.versioned_lock.load(std::memory_order_acquire);
+      bool ours = false;
+      for (Stripe* held : acquired) ours |= (held == &stripe);
+      if ((locked(state) && !ours) || version_of(state) > tx.read_version_) {
+        tx.descriptor_->status.store(
+            static_cast<std::uint32_t>(TxStatus::kAborted),
+            std::memory_order_release);
+        release_all();
+        return false;
+      }
+    }
+  }
+
+  // Phase 4: write back and release with the new version.
+  for (auto& [cell, value] : tx.write_set_) {
+    cell->value.store(value, std::memory_order_release);
+  }
+  for (Stripe* stripe : acquired) {
+    stripe->holder.store(nullptr, std::memory_order_release);
+    stripe->versioned_lock.store(write_version << 1,
+                                 std::memory_order_release);
+  }
+  tx.descriptor_->status.store(
+      static_cast<std::uint32_t>(TxStatus::kCommitted),
+      std::memory_order_release);
+  return true;
+}
+
+void Stm::atomically(const std::function<void(Tx&)>& body) {
+  TxDescriptor& descriptor = tl_descriptor;
+  // Seniority is assigned once per *transaction* and survives its retries:
+  // Timestamp/Greedy rely on long-suffering transactions aging into
+  // priority.  Karma work-credit likewise accumulates across attempts.
+  descriptor.start_time.store(
+      start_ticket_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  descriptor.priority.store(0, std::memory_order_relaxed);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    descriptor.status.store(static_cast<std::uint32_t>(TxStatus::kActive),
+                            std::memory_order_release);
+    Tx tx{*this, attempt, clock_.load(std::memory_order_acquire)};
+    tx.descriptor_ = &descriptor;
+    try {
+      body(tx);
+    } catch (const TxAbort&) {
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (try_commit(tx)) {
+      stats_.commits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace txc::stm

@@ -1,0 +1,129 @@
+// txconflict — a TL2-style software transactional memory with a grace-period
+// contention manager.
+//
+// The paper's Figure 3 caption references a TL2 benchmark, and its Section 9
+// names a full TM implementation as future work; this module demonstrates the
+// conflict policies inside a real multi-threaded TM.  The design is the
+// classic TL2 recipe (Dice, Shalev, Shavit 2006):
+//   * a global version clock;
+//   * a striped table of versioned write-locks (one word per stripe:
+//     LSB = locked, upper bits = version);
+//   * transactional reads validate stripe versions against the read
+//     timestamp; writes are buffered;
+//   * commit: acquire write locks, bump the clock, validate the read set,
+//     write back, release with the new version.
+//
+// The contention-manager hook is where the paper plugs in: when a read or a
+// lock acquisition hits a locked stripe, the transaction consults a
+// core::GracePeriodPolicy for how long to keep waiting for the lock holder
+// before sacrificing itself — the requestor-aborts flavor of the
+// transactional conflict problem (in an STM the requestor cannot abort the
+// lock holder remotely, so requestor-aborts is the natural mode).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+#include "stm/cm.hpp"
+
+namespace txc::stm {
+
+/// A transactionally-managed 64-bit cell.  Cells live wherever the user
+/// wants; the STM maps them to lock stripes by address.
+struct Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct StmStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> lock_waits{0};    // contention-manager invocations
+  std::atomic<std::uint64_t> remote_kills{0};  // enemies aborted by a manager
+};
+
+class Stm;
+
+/// Thrown internally to unwind an attempt; user code never sees it.
+struct TxAbort {};
+
+/// Per-attempt transaction context.  Obtained from Stm::atomically.
+class Tx {
+ public:
+  /// Transactional read with TL2 pre/post validation.
+  [[nodiscard]] std::uint64_t read(const Cell& cell);
+
+  /// Buffered transactional write.
+  void write(Cell& cell, std::uint64_t value);
+
+  [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
+
+ private:
+  friend class Stm;
+  Tx(Stm& stm, std::uint32_t attempt, std::uint64_t read_version)
+      : stm_(stm), attempt_(attempt), read_version_(read_version) {}
+
+  Stm& stm_;
+  std::uint32_t attempt_;
+  std::uint64_t read_version_;
+  TxDescriptor* descriptor_ = nullptr;
+  std::vector<const Cell*> read_set_;
+  std::unordered_map<Cell*, std::uint64_t> write_set_;
+};
+
+class Stm {
+ public:
+  /// `policy` decides how long a blocked transaction waits for a lock holder
+  /// (in spin iterations ~ "cycles") before aborting itself — the paper's
+  /// local grace-period regime, run through the GracePolicyCm adapter.
+  explicit Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
+               std::size_t stripes = 1 << 16);
+
+  /// Full contention-manager mode: conflicts are resolved by `cm`, which may
+  /// wait, abort the requestor, or remotely kill the lock holder (the classic
+  /// global-knowledge managers of Scherer & Scott).
+  explicit Stm(std::shared_ptr<const ContentionManager> cm,
+               std::size_t stripes = 1 << 16);
+
+  /// Run `body` as a transaction, retrying on aborts until it commits.
+  void atomically(const std::function<void(Tx&)>& body);
+
+  [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
+
+  /// Direct (non-transactional) read of a committed cell value; safe only
+  /// when no transactions are in flight (e.g. after joining threads).
+  [[nodiscard]] static std::uint64_t read_committed(const Cell& cell) {
+    return cell.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Tx;
+
+  struct Stripe {
+    std::atomic<std::uint64_t> versioned_lock{0};  // LSB locked, rest version
+    /// Descriptor of the lock holder, published while locked so contention
+    /// managers can inspect and kill it.  Points at thread-local storage;
+    /// only dereferenced while the stripe is locked (the holder is alive).
+    std::atomic<TxDescriptor*> holder{nullptr};
+  };
+
+  [[nodiscard]] Stripe& stripe_for(const void* address) noexcept;
+  [[nodiscard]] bool try_commit(Tx& tx);
+  /// Run the contention manager against a held stripe until the lock clears
+  /// (true: retry the operation) or the manager sacrifices the requestor /
+  /// the requestor was remotely killed (false: abort).
+  [[nodiscard]] bool resolve_conflict(Stripe& stripe, Tx& tx);
+
+  std::shared_ptr<const ContentionManager> cm_;
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::uint64_t> start_ticket_{0};  // Timestamp/Greedy seniority
+  StmStats stats_;
+};
+
+}  // namespace txc::stm

@@ -1,0 +1,78 @@
+// txconflict — coarse-grained lock-based container baselines.
+//
+// The third implementation family next to the transactional (HTM/STM) and
+// lock-free versions: one lock around a sequential structure.  Template on
+// the lock type so the benches can compare TTAS vs ticket vs MCS directly.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace txc::sync {
+
+template <typename Lock>
+class LockedStack {
+ public:
+  explicit LockedStack(std::size_t capacity) { slots_.reserve(capacity); }
+
+  bool push(std::uint64_t value) {
+    const std::lock_guard<Lock> guard{lock_};
+    if (slots_.size() == slots_.capacity()) return false;
+    slots_.push_back(value);
+    return true;
+  }
+
+  std::optional<std::uint64_t> pop() {
+    const std::lock_guard<Lock> guard{lock_};
+    if (slots_.empty()) return std::nullopt;
+    const std::uint64_t value = slots_.back();
+    slots_.pop_back();
+    return value;
+  }
+
+  [[nodiscard]] std::size_t size() {
+    const std::lock_guard<Lock> guard{lock_};
+    return slots_.size();
+  }
+
+ private:
+  Lock lock_;
+  std::vector<std::uint64_t> slots_;
+};
+
+template <typename Lock>
+class LockedQueue {
+ public:
+  explicit LockedQueue(std::size_t capacity) : slots_(capacity) {}
+
+  bool enqueue(std::uint64_t value) {
+    const std::lock_guard<Lock> guard{lock_};
+    if (tail_ - head_ >= slots_.size()) return false;
+    slots_[tail_ % slots_.size()] = value;
+    ++tail_;
+    return true;
+  }
+
+  std::optional<std::uint64_t> dequeue() {
+    const std::lock_guard<Lock> guard{lock_};
+    if (head_ == tail_) return std::nullopt;
+    const std::uint64_t value = slots_[head_ % slots_.size()];
+    ++head_;
+    return value;
+  }
+
+  [[nodiscard]] std::size_t size() {
+    const std::lock_guard<Lock> guard{lock_};
+    return tail_ - head_;
+  }
+
+ private:
+  Lock lock_;
+  std::vector<std::uint64_t> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace txc::sync

@@ -1,0 +1,173 @@
+// txconflict — spin-lock primitives for the lock-based baselines.
+//
+// The paper's data structures run transactionally with lock-free slow paths;
+// rounding out the comparison requires the third classic implementation
+// family, lock-based structures.  This header provides the three canonical
+// spin locks, in increasing fairness/locality sophistication:
+//
+//   TtasSpinlock — test-and-test-and-set with bounded exponential backoff:
+//                  cheapest uncontended path, no fairness guarantee;
+//   TicketLock   — FIFO-fair by construction (monotone ticket/grant pair);
+//   McsLock      — FIFO-fair queue lock, each waiter spins on its *own*
+//                  node (local spinning: one coherence transfer per handoff,
+//                  the property that matters on the mesh NoC).
+//
+// All three satisfy Lockable (lock/try_lock/unlock), so std::lock_guard and
+// the locked containers template work with any of them.  MCS carries its
+// queue node in thread_local storage keyed by lock instance — the standard
+// trick to keep the Lockable interface without threading a node through
+// every call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace txc::sync {
+
+/// Bounded exponential backoff helper shared by the spin loops.  Once the
+/// spin budget saturates it starts yielding: on an oversubscribed host
+/// (more threads than cores) the lock holder is likely descheduled, and
+/// burning the rest of the quantum spinning would stall everyone — the
+/// classic spin-lock pathology.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (limit_ >= kMaxSpin) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t spin = 0; spin < limit_; ++spin) {
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+    limit_ *= 2;
+  }
+  void reset() noexcept { limit_ = kMinSpin; }
+
+ private:
+  static constexpr std::uint32_t kMinSpin = 4;
+  static constexpr std::uint32_t kMaxSpin = 1024;
+  std::uint32_t limit_ = kMinSpin;
+};
+
+class TtasSpinlock {
+ public:
+  void lock() noexcept {
+    Backoff backoff;
+    while (true) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+class TicketLock {
+ public:
+  void lock() noexcept {
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint64_t serving = serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = serving;
+    // Take a ticket only if it would be served immediately.
+    return next_.compare_exchange_strong(expected, serving + 1,
+                                         std::memory_order_acquire);
+  }
+
+  void unlock() noexcept {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> serving_{0};
+};
+
+class McsLock {
+ public:
+  void lock() noexcept {
+    Node* node = my_node();
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->ready.store(false, std::memory_order_relaxed);
+    Node* predecessor = tail_.exchange(node, std::memory_order_acq_rel);
+    if (predecessor == nullptr) return;  // uncontended
+    predecessor->next.store(node, std::memory_order_release);
+    // Local spin: only this cache line bounces, and only once per handoff.
+    Backoff backoff;
+    while (!node->ready.load(std::memory_order_acquire)) {
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    Node* node = my_node();
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->ready.store(false, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, node,
+                                         std::memory_order_acq_rel);
+  }
+
+  void unlock() noexcept {
+    Node* node = my_node();
+    Node* successor = node->next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+      Node* expected = node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        return;  // no one waiting
+      }
+      // A successor is linking itself in; wait for the pointer.
+      Backoff backoff;
+      while ((successor = node->next.load(std::memory_order_acquire)) ==
+             nullptr) {
+        backoff.pause();
+      }
+    }
+    successor->ready.store(true, std::memory_order_release);
+  }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> ready{false};
+  };
+
+  /// One queue node per (thread, lock) pair.  A thread holds at most one
+  /// position in any given MCS queue, and the node must stay valid while
+  /// enqueued — thread_local storage guarantees both for the supported
+  /// pattern (no lock() of the same lock twice without unlock()).
+  Node* my_node() noexcept {
+    thread_local Node node_for_[kMaxLocksPerThread];
+    // Hash the lock address into the per-thread node table; collisions are
+    // fine as long as a thread does not hold two colliding MCS locks at
+    // once, which the containers below never do.
+    const auto slot =
+        (reinterpret_cast<std::uintptr_t>(this) >> 6) % kMaxLocksPerThread;
+    return &node_for_[slot];
+  }
+
+  static constexpr std::size_t kMaxLocksPerThread = 64;
+  std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace txc::sync

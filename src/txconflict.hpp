@@ -1,0 +1,55 @@
+// txconflict — umbrella header for the public API.
+//
+// One include for downstream users:
+//
+//   #include "txconflict.hpp"
+//
+//   auto policy = txc::core::make_policy(txc::core::StrategyKind::kRandWins);
+//   txc::htm::HtmConfig config;
+//   config.policy = policy;
+//   txc::htm::HtmSystem sim{config, std::make_shared<txc::ds::TxAppWorkload>()};
+//   auto stats = sim.run(10'000);
+//
+// Layering (each header is independently includable):
+//   core      grace-period policies, optimal densities, cost model,
+//             estimators, numeric minimax solver
+//   sim       discrete-event kernel, RNG, statistics
+//   workload  length distributions, Zipf, synthetic + adversarial games,
+//             trace replay
+//   mem/noc   cache, directory, shared L2, mesh NoC
+//   htm       the multicore HTM simulator
+//   ds        benchmark workloads for the simulator
+//   stm       TL2 + NOrec software TMs, contention managers, containers
+//   sync      spin locks and locked baseline containers
+//   lockfree  Treiber stack, Michael–Scott queue
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/densities.hpp"
+#include "core/estimators.hpp"
+#include "core/numeric_opt.hpp"
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "ds/extended_workloads.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+#include "lockfree/queue.hpp"
+#include "lockfree/stack.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/l2.hpp"
+#include "noc/mesh.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "stm/cm.hpp"
+#include "stm/containers.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "sync/locked_containers.hpp"
+#include "sync/locks.hpp"
+#include "workload/adversary.hpp"
+#include "workload/distributions.hpp"
+#include "workload/replay.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/zipf.hpp"

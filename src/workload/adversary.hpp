@@ -1,0 +1,124 @@
+// txconflict — the Section 6 adversarial conflict game and the Section 7
+// progress harness.
+//
+// Conflict model (Section 3.2 with the simplifying assumptions (a)-(c)): n
+// threads execute sequences of transactions; an adversary interrupts a
+// transaction at chosen elapsed-time points, forming conflict chains of
+// chosen length.  The adversary's schedule is fixed up front (a deterministic
+// function of the seed), so the online algorithm and the offline optimum face
+// the *same* conflicts, as required by the competitive analysis.
+//
+// Accounting follows the proof of Corollary 1: each conflict's cost is
+// amortized to its receiver transaction; the sum of running times is
+// sum_T rho_T + sum_C Cost(C).  The offline optimum decides each conflict
+// with foresight (wait D iff that beats aborting), yielding the waste
+// w(S) = sum_T alpha_T / sum_T rho_T and the bound
+//   sum Gamma(T, A) / sum Gamma(T, OPT) <= (2 w + 1) / (w + 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "workload/distributions.hpp"
+
+namespace txc::workload {
+
+/// One adversarial interruption of a transaction: at elapsed time
+/// `elapsed_at_conflict` of the current attempt, a chain of `chain_length`
+/// transactions clashes with it.
+struct ConflictPoint {
+  double elapsed_at_conflict = 0.0;
+  int chain_length = 2;
+};
+
+/// A transaction plus the adversary's planned interruptions, replayed
+/// identically against every algorithm.  Conflict points are interpreted
+/// per-attempt: if the receiver aborts and restarts, the adversary strikes
+/// again at the next planned point (capped by `max_conflicts`).
+struct AdversarialTransaction {
+  double commit_cost = 0.0;  // rho_T: isolated run time to commit
+  std::vector<ConflictPoint> conflicts;
+};
+
+struct GameConfig {
+  std::size_t transactions = 2000;
+  LengthShape length_shape = LengthShape::kExponential;
+  double mean_length = 100.0;
+  /// Probability that the adversary interrupts a given attempt at all; the
+  /// interrupt point is uniform over the attempt.
+  double conflict_probability = 0.7;
+  /// Maximum planned interruptions per transaction (assumption (b) bounds
+  /// concurrent conflicts; this bounds the adversary's budget).
+  std::size_t max_conflicts = 16;
+  int min_chain = 2;
+  int max_chain = 2;
+  double cleanup_cost = 50.0;  // fixed part of the abort cost B
+  /// B = elapsed running time + cleanup (Section 4, footnote 1).
+  bool elapsed_in_abort_cost = true;
+  std::uint64_t seed = 7;
+  bool provide_mean_hint = false;
+};
+
+struct GameResult {
+  double sum_commit_cost = 0.0;    // sum_T rho_T
+  double sum_conflict_cost = 0.0;  // sum_C Cost(C, A)
+  std::size_t conflicts = 0;
+  std::size_t aborts = 0;
+
+  [[nodiscard]] double sum_running_time() const noexcept {
+    return sum_commit_cost + sum_conflict_cost;
+  }
+};
+
+/// Draw the adversary's schedule for the whole game (same for every
+/// algorithm evaluated with the same config).
+[[nodiscard]] std::vector<AdversarialTransaction> plan_adversary(
+    const GameConfig& config);
+
+/// Replay the schedule against an online policy.
+[[nodiscard]] GameResult play_game(
+    const std::vector<AdversarialTransaction>& schedule,
+    const core::GracePeriodPolicy& policy, const GameConfig& config);
+
+/// Replay the schedule with perfect foresight (the offline optimum of
+/// Corollary 1: at each conflict wait the remaining time iff that costs less
+/// than aborting).
+[[nodiscard]] GameResult play_offline_optimum(
+    const std::vector<AdversarialTransaction>& schedule,
+    core::ResolutionMode mode, const GameConfig& config);
+
+/// Corollary 1's bound (2w+1)/(w+1) computed from an offline result.
+[[nodiscard]] double corollary1_bound(const GameResult& offline) noexcept;
+
+// ---------------------------------------------------------------------------
+// Section 7: probabilistic progress under multiplicative backoff
+// ---------------------------------------------------------------------------
+
+struct ProgressConfig {
+  double run_time = 200.0;        // y: the transaction's isolated run time
+  std::size_t conflicts_per_attempt = 4;  // gamma
+  int chain_length = 2;           // k
+  double initial_abort_cost = 16.0;  // B
+  double growth = 2.0;            // backoff multiplier
+  std::size_t trials = 4000;
+  std::uint64_t seed = 11;
+};
+
+struct ProgressResult {
+  double attempts_mean = 0.0;
+  double attempts_p95 = 0.0;
+  /// Corollary 2's attempt budget: log2 y + log2 gamma + log2 k - log2 B + 2.
+  double corollary_budget = 0.0;
+  /// Fraction of trials that committed within the budget (Corollary 2
+  /// guarantees >= 1/2).
+  double within_budget_fraction = 0.0;
+};
+
+/// Monte-Carlo check of Corollary 2: a transaction suffering `gamma` uniform
+/// conflicts per attempt, resolved by the uniform requestor-wins strategy
+/// with doubling abort cost, commits within the corollary's attempt budget
+/// with probability at least 1/2.
+[[nodiscard]] ProgressResult run_progress_experiment(const ProgressConfig& config);
+
+}  // namespace txc::workload

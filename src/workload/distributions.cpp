@@ -1,0 +1,60 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace txc::workload {
+
+const char* to_string(LengthShape shape) noexcept {
+  switch (shape) {
+    case LengthShape::kGeometric: return "geometric";
+    case LengthShape::kNormal: return "normal";
+    case LengthShape::kUniform: return "uniform";
+    case LengthShape::kExponential: return "exponential";
+    case LengthShape::kPoisson: return "poisson";
+    case LengthShape::kFixed: return "fixed";
+    case LengthShape::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+LengthDistribution::LengthDistribution(LengthShape shape, double mean,
+                                       double normal_cv,
+                                       double bimodal_short_fraction) noexcept
+    : shape_(shape),
+      mean_(mean),
+      sigma_(mean * normal_cv),
+      short_mode_(mean * bimodal_short_fraction),
+      long_mode_(2.0 * mean - mean * bimodal_short_fraction) {
+  assert(mean > 0.0);
+}
+
+double LengthDistribution::sample(sim::Rng& rng) const noexcept {
+  double value = 1.0;
+  switch (shape_) {
+    case LengthShape::kGeometric:
+      value = static_cast<double>(rng.geometric(1.0 / mean_));
+      break;
+    case LengthShape::kNormal:
+      value = rng.normal(mean_, sigma_);
+      break;
+    case LengthShape::kUniform:
+      value = rng.uniform(0.0, 2.0 * mean_);
+      break;
+    case LengthShape::kExponential:
+      value = rng.exponential(mean_);
+      break;
+    case LengthShape::kPoisson:
+      value = static_cast<double>(rng.poisson(mean_));
+      break;
+    case LengthShape::kFixed:
+      value = mean_;
+      break;
+    case LengthShape::kBimodal:
+      value = rng.bernoulli(0.5) ? short_mode_ : long_mode_;
+      break;
+  }
+  return std::max(1.0, value);
+}
+
+}  // namespace txc::workload

@@ -1,0 +1,55 @@
+// txconflict — transaction-length distributions used by the evaluation.
+//
+// Section 8.1: "The following length distributions were used in the
+// experiment: Geometric, Normal, Uniform, Exponential and Poisson."  All are
+// parameterized by their mean mu so the Figure 2 sweeps can hold mu fixed
+// while changing the shape.  Two extra shapes support the HTM benchmarks:
+// kFixed (stable data-structure transactions) and kBimodal (the Figure 3
+// bimodal transactional application alternates short and very long
+// transactions).
+#pragma once
+
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace txc::workload {
+
+enum class LengthShape {
+  kGeometric,
+  kNormal,
+  kUniform,
+  kExponential,
+  kPoisson,
+  kFixed,
+  kBimodal,
+};
+
+[[nodiscard]] const char* to_string(LengthShape shape) noexcept;
+
+/// Samples strictly positive transaction lengths with the requested mean.
+class LengthDistribution {
+ public:
+  /// For kNormal, sigma = mean * normal_cv (coefficient of variation, default
+  /// 1/4; the paper does not state sigma).  For kBimodal, the short mode is
+  /// mean * bimodal_short_fraction and the long mode balances the mean at a
+  /// 50/50 mix.
+  explicit LengthDistribution(LengthShape shape, double mean,
+                              double normal_cv = 0.25,
+                              double bimodal_short_fraction = 0.1) noexcept;
+
+  [[nodiscard]] double sample(sim::Rng& rng) const noexcept;
+
+  [[nodiscard]] LengthShape shape() const noexcept { return shape_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] std::string name() const { return to_string(shape_); }
+
+ private:
+  LengthShape shape_;
+  double mean_;
+  double sigma_;
+  double short_mode_;
+  double long_mode_;
+};
+
+}  // namespace txc::workload

@@ -1,0 +1,41 @@
+#include "workload/replay.hpp"
+
+namespace txc::workload {
+
+ReplayResult replay_trace(const core::GracePeriodPolicy& policy,
+                          const std::vector<ConflictSample>& trace,
+                          std::uint64_t seed, int draws_per_conflict) {
+  sim::Rng rng{seed};
+  ReplayResult result;
+  result.conflicts = trace.size();
+  for (const ConflictSample& sample : trace) {
+    core::ConflictContext context;
+    context.abort_cost = sample.abort_cost;
+    context.chain_length = sample.chain_length;
+    // Per-conflict flavor: HybridPolicy switches on the chain length.
+    const core::ResolutionMode mode = policy.mode_for(context);
+    double sum = 0.0;
+    for (int draw = 0; draw < draws_per_conflict; ++draw) {
+      const double grace = policy.grace_period(context, rng);
+      sum += core::conflict_cost(mode, grace, sample.remaining,
+                                 sample.chain_length, sample.abort_cost);
+    }
+    result.total_cost += sum / draws_per_conflict;
+    result.total_optimal += core::offline_optimal_cost(
+        mode, sample.remaining, sample.chain_length, sample.abort_cost);
+  }
+  return result;
+}
+
+double offline_optimal_total(core::ResolutionMode mode,
+                             const std::vector<ConflictSample>& trace) {
+  double total = 0.0;
+  for (const ConflictSample& sample : trace) {
+    total += core::offline_optimal_cost(mode, sample.remaining,
+                                        sample.chain_length,
+                                        sample.abort_cost);
+  }
+  return total;
+}
+
+}  // namespace txc::workload

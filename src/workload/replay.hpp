@@ -1,0 +1,56 @@
+// txconflict — offline replay of recorded conflict traces.
+//
+// A simulator run under any one policy produces a sequence of grace-decision
+// points (B, k, D).  Replay evaluates *every* policy on that same recorded
+// sequence using the Section-4 cost model — an apples-to-apples comparison
+// impossible online (each policy would steer the system into different
+// conflicts), and the tightest empirical check of the competitive claims:
+// the offline optimum OPT = min((k-1)D, B) is computable exactly per record,
+// so each policy's regret against perfect information is a single division.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+
+namespace txc::workload {
+
+/// One recorded decision point (mirrors htm::ConflictRecord without the
+/// dependency, so traces from any source can be replayed).
+struct ConflictSample {
+  double abort_cost = 0.0;  // B
+  int chain_length = 2;     // k
+  double remaining = 0.0;   // D
+};
+
+struct ReplayResult {
+  double total_cost = 0.0;     // summed expected conflict cost
+  double total_optimal = 0.0;  // summed offline OPT
+  std::size_t conflicts = 0;
+
+  [[nodiscard]] double mean_cost() const noexcept {
+    return conflicts == 0 ? 0.0
+                          : total_cost / static_cast<double>(conflicts);
+  }
+  [[nodiscard]] double ratio_vs_optimal() const noexcept {
+    return total_optimal == 0.0 ? 0.0 : total_cost / total_optimal;
+  }
+};
+
+/// Expected cost of `policy` on the trace: each record is replayed
+/// `draws_per_conflict` times (randomized policies need the average) and
+/// costed with core::conflict_cost under the policy's own resolution mode
+/// (or `mode_override` if provided).
+[[nodiscard]] ReplayResult replay_trace(
+    const core::GracePeriodPolicy& policy,
+    const std::vector<ConflictSample>& trace, std::uint64_t seed = 1,
+    int draws_per_conflict = 32);
+
+/// The perfect-information cost of the trace (denominator of the ratio).
+[[nodiscard]] double offline_optimal_total(
+    core::ResolutionMode mode, const std::vector<ConflictSample>& trace);
+
+}  // namespace txc::workload

@@ -1,0 +1,59 @@
+#include "workload/synthetic.hpp"
+
+#include "core/cost_model.hpp"
+
+namespace txc::workload {
+
+namespace {
+
+SyntheticResult run_with_remaining(
+    const core::GracePeriodPolicy& policy, const SyntheticConfig& config,
+    const std::function<double(sim::Rng&)>& draw_remaining) {
+  sim::Rng rng{config.seed};
+  SyntheticResult result;
+  std::size_t aborts = 0;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const double remaining = draw_remaining(rng);
+    core::ConflictContext context;
+    context.abort_cost = config.abort_cost;
+    context.chain_length = config.chain_length;
+    if (config.provide_mean_hint) context.mean_hint = config.mean;
+    const double grace = policy.grace_period(context, rng);
+    const double cost = core::conflict_cost(policy.mode(), grace, remaining,
+                                            config.chain_length,
+                                            config.abort_cost);
+    const double optimal = core::offline_optimal_cost(
+        policy.mode(), remaining, config.chain_length, config.abort_cost);
+    result.strategy_cost.add(cost);
+    result.optimal_cost.add(optimal);
+    if (remaining >= grace) ++aborts;
+  }
+  result.abort_fraction =
+      static_cast<double>(aborts) / static_cast<double>(config.trials);
+  return result;
+}
+
+}  // namespace
+
+SyntheticResult run_synthetic(const core::GracePeriodPolicy& policy,
+                              const LengthDistribution& lengths,
+                              const SyntheticConfig& config) {
+  return run_with_remaining(policy, config, [&lengths](sim::Rng& rng) {
+    const double length = lengths.sample(rng);
+    const double interrupt = rng.uniform(0.0, length);
+    return length - interrupt;
+  });
+}
+
+SyntheticResult run_synthetic_det_worst_case(
+    const core::GracePeriodPolicy& policy, const SyntheticConfig& config) {
+  // Theorem 4's adversary: the deterministic strategy waits exactly
+  // B/(k-1); the worst reply sets the remaining time to that point, so DET
+  // pays k x + B while OPT pays min((k-1) x, B) = B.
+  const double pinned =
+      config.abort_cost / (static_cast<double>(config.chain_length) - 1.0);
+  return run_with_remaining(policy, config,
+                            [pinned](sim::Rng&) { return pinned; });
+}
+
+}  // namespace txc::workload

@@ -1,0 +1,57 @@
+// txconflict — the Figure 2 synthetic conflict experiment.
+//
+// Section 8.1 protocol, per trial:
+//   1. draw the transaction length r from a length distribution;
+//   2. pick the interrupt point i uniformly at random in [0, r); the
+//      remaining time is D = r - i (the ski-rental "number of days");
+//   3. the strategy picks the grace period x;
+//   4. charge the Section 4 conflict cost; OPT pays the foresight cost.
+//
+// Figure 2a uses B = 2000, mu = 500 (high fixed cost); Figure 2b uses
+// B = 200, mu = 500; Figure 2c feeds every strategy the worst-case remaining
+// -time distribution for DET (remaining time pinned at DET's abort point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/stats.hpp"
+#include "workload/distributions.hpp"
+
+namespace txc::workload {
+
+struct SyntheticConfig {
+  double abort_cost = 2000.0;  // B
+  double mean = 500.0;         // mu of the length distribution
+  int chain_length = 2;        // k (Figure 2 uses 2)
+  std::size_t trials = 200000;
+  std::uint64_t seed = 42;
+  /// Pass the true distribution mean as the policy's hint (the profiler
+  /// abstraction of Section 5.2).
+  bool provide_mean_hint = true;
+};
+
+struct SyntheticResult {
+  sim::RunningStats strategy_cost;  // conflict cost per trial
+  sim::RunningStats optimal_cost;   // foresight cost per trial
+  double abort_fraction = 0.0;      // fraction of trials the policy aborted
+
+  [[nodiscard]] double average_ratio() const noexcept {
+    return optimal_cost.sum() > 0.0 ? strategy_cost.sum() / optimal_cost.sum()
+                                    : 0.0;
+  }
+};
+
+/// Run the Figure 2a/2b protocol for one (strategy, distribution) cell.
+[[nodiscard]] SyntheticResult run_synthetic(const core::GracePeriodPolicy& policy,
+                                            const LengthDistribution& lengths,
+                                            const SyntheticConfig& config);
+
+/// Figure 2c: remaining time is adversarially pinned to DET's abort point
+/// B/(k-1) (the adversary "chooses D = x" from Theorem 4's proof), instead of
+/// being derived from a drawn length.
+[[nodiscard]] SyntheticResult run_synthetic_det_worst_case(
+    const core::GracePeriodPolicy& policy, const SyntheticConfig& config);
+
+}  // namespace txc::workload

@@ -1,0 +1,33 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace txc::workload {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) : s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfSampler::sample(sim::Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::uint32_t i) const noexcept {
+  if (i >= cdf_.size()) return 0.0;
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace txc::workload

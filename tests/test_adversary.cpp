@@ -1,0 +1,218 @@
+// Tests of the Section 6 adversarial game (Corollary 1) and the Section 7
+// progress guarantee (Corollary 2).
+#include "workload/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+
+namespace {
+
+using namespace txc::core;
+using namespace txc::workload;
+
+GameConfig base_config() {
+  GameConfig config;
+  config.transactions = 1500;
+  config.mean_length = 100.0;
+  config.conflict_probability = 0.7;
+  config.cleanup_cost = 50.0;
+  return config;
+}
+
+TEST(AdversaryPlan, RespectsBudgetAndOrdering) {
+  auto config = base_config();
+  config.max_conflicts = 5;
+  const auto schedule = plan_adversary(config);
+  ASSERT_EQ(schedule.size(), config.transactions);
+  for (const auto& tx : schedule) {
+    EXPECT_GT(tx.commit_cost, 0.0);
+    EXPECT_LE(tx.conflicts.size(), config.max_conflicts);
+    for (std::size_t i = 1; i < tx.conflicts.size(); ++i) {
+      EXPECT_GE(tx.conflicts[i].elapsed_at_conflict,
+                tx.conflicts[i - 1].elapsed_at_conflict);
+    }
+    for (const auto& point : tx.conflicts) {
+      EXPECT_GE(point.elapsed_at_conflict, 0.0);
+      EXPECT_LT(point.elapsed_at_conflict, tx.commit_cost);
+      EXPECT_EQ(point.chain_length, 2);
+    }
+  }
+}
+
+TEST(AdversaryPlan, SameSeedSameSchedule) {
+  const auto config = base_config();
+  const auto a = plan_adversary(config);
+  const auto b = plan_adversary(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].commit_cost, b[i].commit_cost);
+    EXPECT_EQ(a[i].conflicts.size(), b[i].conflicts.size());
+  }
+}
+
+TEST(Game, OfflineNeverWorseThanOnline) {
+  const auto config = base_config();
+  const auto schedule = plan_adversary(config);
+  for (const auto kind : {StrategyKind::kRandWins, StrategyKind::kDetWins,
+                          StrategyKind::kNoDelay}) {
+    const auto policy = make_policy(kind);
+    const auto online = play_game(schedule, *policy, config);
+    const auto offline =
+        play_offline_optimum(schedule, policy->mode(), config);
+    EXPECT_LE(offline.sum_running_time(), online.sum_running_time() * 1.0001)
+        << to_string(kind);
+  }
+}
+
+TEST(Game, Corollary1BoundHoldsForRandomizedWins) {
+  // sum Gamma(T, A) / sum Gamma(T, OPT) <= (2w + 1)/(w + 1) with
+  // w = offline conflict cost / offline commit cost.
+  for (const std::uint64_t seed : {7ull, 17ull, 117ull, 1234ull}) {
+    auto config = base_config();
+    config.seed = seed;
+    const auto schedule = plan_adversary(config);
+    const auto policy = make_policy(StrategyKind::kRandWins);
+    const auto online = play_game(schedule, *policy, config);
+    const auto offline = play_offline_optimum(
+        schedule, ResolutionMode::kRequestorWins, config);
+    const double ratio =
+        online.sum_running_time() / offline.sum_running_time();
+    const double bound = corollary1_bound(offline);
+    // The bound is on expectations; allow a small sampling margin.
+    EXPECT_LE(ratio, bound * 1.05) << "seed " << seed;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(bound, 2.0);
+    EXPECT_GE(bound, 1.0);
+  }
+}
+
+TEST(Game, Corollary1BoundHoldsForLongChains) {
+  auto config = base_config();
+  config.min_chain = 2;
+  config.max_chain = 6;
+  const auto schedule = plan_adversary(config);
+  const auto policy = make_policy(StrategyKind::kRandWins);
+  const auto online = play_game(schedule, *policy, config);
+  const auto offline =
+      play_offline_optimum(schedule, ResolutionMode::kRequestorWins, config);
+  EXPECT_LE(online.sum_running_time() / offline.sum_running_time(),
+            corollary1_bound(offline) * 1.05);
+}
+
+TEST(Game, NoConflictsMeansNoOverhead) {
+  auto config = base_config();
+  config.conflict_probability = 0.0;
+  const auto schedule = plan_adversary(config);
+  const auto policy = make_policy(StrategyKind::kRandWins);
+  const auto result = play_game(schedule, *policy, config);
+  EXPECT_EQ(result.conflicts, 0u);
+  EXPECT_EQ(result.sum_conflict_cost, 0.0);
+  EXPECT_GT(result.sum_commit_cost, 0.0);
+}
+
+TEST(Game, RequestorAbortsReceiverSurvives) {
+  // Under requestor-aborts the receiver is never restarted, so the online
+  // abort count equals the consumed conflicts that did not commit in grace,
+  // and conflict costs are charged at (k-1)(x+B).
+  auto config = base_config();
+  config.conflict_probability = 1.0;
+  config.max_conflicts = 3;
+  const auto schedule = plan_adversary(config);
+  const auto policy = make_policy(StrategyKind::kRandAborts);
+  const auto result = play_game(schedule, *policy, config);
+  EXPECT_GT(result.conflicts, 0u);
+  // Every planned conflict is either consumed or forfeited; with the
+  // receiver surviving, consumed conflicts are bounded by the plan size.
+  std::size_t planned = 0;
+  for (const auto& tx : schedule) planned += tx.conflicts.size();
+  EXPECT_LE(result.conflicts, planned);
+}
+
+TEST(Game, DeterministicReplay) {
+  const auto config = base_config();
+  const auto schedule = plan_adversary(config);
+  const auto policy = make_policy(StrategyKind::kRandWinsMean);
+  const auto a = play_game(schedule, *policy, config);
+  const auto b = play_game(schedule, *policy, config);
+  EXPECT_DOUBLE_EQ(a.sum_conflict_cost, b.sum_conflict_cost);
+  EXPECT_EQ(a.aborts, b.aborts);
+}
+
+TEST(Game, HybridTracksTheBetterPureStrategyPerChainRegime) {
+  // Section 5.3 / Implications: the hybrid plays RA at k = 2 and RW for
+  // longer chains; in each regime its cost must track the better pure
+  // strategy within sampling noise.
+  for (const auto& [min_chain, max_chain] :
+       {std::pair<int, int>{2, 2}, {4, 6}}) {
+    auto config = base_config();
+    config.transactions = 3000;
+    config.min_chain = min_chain;
+    config.max_chain = max_chain;
+    const auto schedule = plan_adversary(config);
+    const auto hybrid =
+        play_game(schedule, *make_policy(StrategyKind::kHybrid), config);
+    const auto rw =
+        play_game(schedule, *make_policy(StrategyKind::kRandWins), config);
+    const auto ra =
+        play_game(schedule, *make_policy(StrategyKind::kRandAborts), config);
+    const double best =
+        std::min(rw.sum_running_time(), ra.sum_running_time());
+    EXPECT_LE(hybrid.sum_running_time(), best * 1.15)
+        << "chains [" << min_chain << ", " << max_chain << "]";
+  }
+}
+
+TEST(Game, AdaptivePolicyPlaysValidly) {
+  // DELAY_ADAPTIVE receives no outcome feedback in this game (that loop is
+  // the HTM simulator's), so it behaves as a capped fixed delay: cost must
+  // be finite and at least the offline optimum under the same schedule.
+  const auto config = base_config();
+  const auto schedule = plan_adversary(config);
+  const auto policy = make_policy(StrategyKind::kAdaptiveTuned);
+  const auto adaptive = play_game(schedule, *policy, config);
+  const auto offline =
+      play_offline_optimum(schedule, policy->mode(), config);
+  EXPECT_GE(adaptive.sum_running_time(), offline.sum_running_time());
+  EXPECT_GT(adaptive.sum_running_time(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Corollary 2
+// ---------------------------------------------------------------------------
+
+TEST(Progress, Corollary2BudgetSufficesWithProbabilityHalf) {
+  ProgressConfig config;
+  config.run_time = 200.0;
+  config.conflicts_per_attempt = 4;
+  config.initial_abort_cost = 16.0;
+  config.trials = 3000;
+  const auto result = run_progress_experiment(config);
+  EXPECT_GE(result.within_budget_fraction, 0.5)
+      << "budget = " << result.corollary_budget;
+  EXPECT_GT(result.attempts_mean, 1.0);
+}
+
+TEST(Progress, LargerInitialAbortCostCommitsFaster) {
+  ProgressConfig small;
+  small.initial_abort_cost = 8.0;
+  small.trials = 2000;
+  ProgressConfig large = small;
+  large.initial_abort_cost = 512.0;
+  const auto small_result = run_progress_experiment(small);
+  const auto large_result = run_progress_experiment(large);
+  EXPECT_LT(large_result.attempts_mean, small_result.attempts_mean);
+}
+
+TEST(Progress, MoreConflictsNeedMoreAttempts) {
+  ProgressConfig light;
+  light.conflicts_per_attempt = 1;
+  light.trials = 2000;
+  ProgressConfig heavy = light;
+  heavy.conflicts_per_attempt = 16;
+  const auto light_result = run_progress_experiment(light);
+  const auto heavy_result = run_progress_experiment(heavy);
+  EXPECT_LT(light_result.attempts_mean, heavy_result.attempts_mean);
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+// Tests of the classic contention managers: decision logic per algorithm
+// (unit-level, on hand-built descriptors), the kill/status protocol, and
+// multi-threaded TL2 integration — atomicity must hold under every manager.
+#include "stm/cm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc::stm;
+using txc::sim::Rng;
+
+struct Arena {
+  TxDescriptor self;
+  TxDescriptor enemy;
+  double scratch = -1.0;
+
+  Arena(std::uint64_t self_priority, std::uint64_t enemy_priority,
+        std::uint64_t self_start = 1, std::uint64_t enemy_start = 2) {
+    self.status.store(static_cast<std::uint32_t>(TxStatus::kActive));
+    enemy.status.store(static_cast<std::uint32_t>(TxStatus::kActive));
+    self.priority.store(self_priority);
+    enemy.priority.store(enemy_priority);
+    self.start_time.store(self_start);
+    enemy.start_time.store(enemy_start);
+  }
+
+  [[nodiscard]] CmView view(std::uint64_t waits = 0,
+                            std::uint32_t attempt = 0) {
+    CmView v;
+    v.self = &self;
+    v.enemy = &enemy;
+    v.attempt = attempt;
+    v.waits_so_far = waits;
+    v.scratch = &scratch;
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TxDescriptor kill protocol
+// ---------------------------------------------------------------------------
+
+TEST(TxDescriptor, KillSucceedsOnlyWhileActive) {
+  TxDescriptor d;
+  d.status.store(static_cast<std::uint32_t>(TxStatus::kActive));
+  EXPECT_TRUE(d.try_kill());
+  EXPECT_EQ(d.load_status(), TxStatus::kAborted);
+  EXPECT_FALSE(d.try_kill()) << "double kill must fail";
+
+  d.status.store(static_cast<std::uint32_t>(TxStatus::kCommitting));
+  EXPECT_FALSE(d.try_kill()) << "committing transactions are untouchable";
+  EXPECT_EQ(d.load_status(), TxStatus::kCommitting);
+
+  d.status.store(static_cast<std::uint32_t>(TxStatus::kCommitted));
+  EXPECT_FALSE(d.try_kill());
+}
+
+// ---------------------------------------------------------------------------
+// Polite
+// ---------------------------------------------------------------------------
+
+TEST(Polite, WaitsThenKills) {
+  PoliteCm cm{/*max_rounds=*/3};
+  Rng rng{1};
+  Arena arena{0, 0};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(2), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(3), rng), CmDecision::kAbortEnemy);
+}
+
+TEST(Polite, BackoffGrowsExponentially) {
+  PoliteCm cm{8};
+  Arena arena{0, 0};
+  EXPECT_EQ(cm.wait_quantum(arena.view(0)), 16u);
+  EXPECT_EQ(cm.wait_quantum(arena.view(1)), 32u);
+  EXPECT_EQ(cm.wait_quantum(arena.view(4)), 256u);
+}
+
+TEST(Polite, GoneEnemyJustWaits) {
+  PoliteCm cm{0};  // would kill immediately if the enemy were alive
+  Rng rng{1};
+  Arena arena{0, 0};
+  arena.enemy.status.store(static_cast<std::uint32_t>(TxStatus::kCommitted));
+  EXPECT_EQ(cm.on_conflict(arena.view(10), rng), CmDecision::kWait);
+  CmView no_enemy = arena.view(10);
+  no_enemy.enemy = nullptr;
+  EXPECT_EQ(cm.on_conflict(no_enemy, rng), CmDecision::kWait);
+}
+
+// ---------------------------------------------------------------------------
+// Karma
+// ---------------------------------------------------------------------------
+
+TEST(Karma, HigherPriorityKills) {
+  KarmaCm cm;
+  Rng rng{1};
+  Arena arena{/*self=*/10, /*enemy=*/3};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kAbortEnemy);
+}
+
+TEST(Karma, LowerPriorityWaits) {
+  KarmaCm cm;
+  Rng rng{1};
+  Arena arena{3, 10};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
+}
+
+TEST(Karma, WaitsAccumulateIntoPriority) {
+  // Karma's signature: each wait is a karma point, so a patient loser
+  // eventually out-prioritizes the holder.
+  KarmaCm cm;
+  Rng rng{1};
+  Arena arena{3, 10};
+  EXPECT_EQ(cm.on_conflict(arena.view(7), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(8), rng), CmDecision::kAbortEnemy);
+}
+
+// ---------------------------------------------------------------------------
+// Timestamp
+// ---------------------------------------------------------------------------
+
+TEST(Timestamp, OlderKillsYounger) {
+  TimestampCm cm;
+  Rng rng{1};
+  Arena arena{0, 0, /*self_start=*/1, /*enemy_start=*/5};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kAbortEnemy);
+}
+
+TEST(Timestamp, YoungerWaitsThenSelfAborts) {
+  TimestampCm cm{/*patience=*/4};
+  Rng rng{1};
+  Arena arena{0, 0, /*self_start=*/5, /*enemy_start=*/1};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(3), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(4), rng), CmDecision::kAbortSelf);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------------
+
+TEST(Greedy, OlderKillsYoungerNeverSelfAborts) {
+  GreedyCm cm;
+  Rng rng{1};
+  Arena older{0, 0, 1, 5};
+  EXPECT_EQ(cm.on_conflict(older.view(0), rng), CmDecision::kAbortEnemy);
+  Arena younger{0, 0, 5, 1};
+  for (const std::uint64_t waits : {0u, 100u, 100000u}) {
+    EXPECT_EQ(cm.on_conflict(younger.view(waits), rng), CmDecision::kWait);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Polka
+// ---------------------------------------------------------------------------
+
+TEST(Polka, ToleratesBackoffRoundsEqualToPriorityGap) {
+  PolkaCm cm;
+  Rng rng{1};
+  Arena arena{/*self=*/2, /*enemy=*/6};  // gap 4
+  EXPECT_EQ(cm.on_conflict(arena.view(4), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(5), rng), CmDecision::kAbortEnemy);
+}
+
+TEST(Polka, KillsImmediatelyWhenAhead) {
+  PolkaCm cm;
+  Rng rng{1};
+  Arena arena{9, 2};  // gap 0 (we are ahead)
+  EXPECT_EQ(cm.on_conflict(arena.view(1), rng), CmDecision::kAbortEnemy);
+}
+
+// ---------------------------------------------------------------------------
+// GracePolicyCm
+// ---------------------------------------------------------------------------
+
+TEST(GracePolicyCm, NoDelayAbortsSelfImmediately) {
+  GracePolicyCm cm{std::make_shared<txc::core::NoDelayPolicy>()};
+  Rng rng{1};
+  Arena arena{0, 0};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kAbortSelf);
+}
+
+TEST(GracePolicyCm, FixedDelayWaitsOutTheBudgetThenAborts) {
+  // 100-cycle budget at 32-cycle quanta: rounds 0-3 wait, round 4 aborts.
+  GracePolicyCm cm{std::make_shared<txc::core::FixedDelayPolicy>(100.0)};
+  Rng rng{1};
+  Arena arena{0, 0};
+  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(3), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.on_conflict(arena.view(4), rng), CmDecision::kAbortSelf);
+}
+
+TEST(GracePolicyCm, RandomBudgetDrawnOncePerConflict) {
+  // With the uniform RRW policy the budget is random, but within one
+  // conflict (one scratch) consecutive decisions must be consistent with a
+  // single draw: once it waits at round w, it must also have waited at all
+  // rounds < w.
+  GracePolicyCm cm{
+      std::make_shared<txc::core::RandomizedWinsPolicy>(false)};
+  Rng rng{7};
+  for (int trial = 0; trial < 100; ++trial) {
+    Arena arena{0, 0};
+    bool aborted = false;
+    for (std::uint64_t w = 0; w < 64; ++w) {
+      const CmDecision decision = cm.on_conflict(arena.view(w), rng);
+      if (decision == CmDecision::kAbortSelf) {
+        aborted = true;
+      } else {
+        EXPECT_FALSE(aborted) << "wait after abort within one conflict";
+      }
+    }
+  }
+}
+
+TEST(GracePolicyCm, NeverKillsTheEnemy) {
+  GracePolicyCm cm{std::make_shared<txc::core::FixedDelayPolicy>(1e9)};
+  Rng rng{1};
+  Arena arena{0, 100};
+  for (std::uint64_t w = 0; w < 50; ++w) {
+    EXPECT_NE(cm.on_conflict(arena.view(w), rng), CmDecision::kAbortEnemy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+TEST(CmFactory, AllKindsConstructWithMatchingNames) {
+  for (const auto kind : {CmKind::kPolite, CmKind::kKarma, CmKind::kTimestamp,
+                          CmKind::kGreedy, CmKind::kPolka}) {
+    const auto cm = make_cm(kind);
+    ASSERT_NE(cm, nullptr);
+    EXPECT_EQ(cm->name(), to_string(kind));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded TL2 integration: atomicity under every manager
+// ---------------------------------------------------------------------------
+
+void hammer_counter(Stm& stm, int threads, int increments_per_thread) {
+  Cell counter;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < increments_per_thread; ++i) {
+        stm.atomically([&](Tx& tx) {
+          const std::uint64_t value = tx.read(counter);
+          tx.write(counter, value + 1);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(Stm::read_committed(counter),
+            static_cast<std::uint64_t>(threads) * increments_per_thread);
+  EXPECT_EQ(stm.stats().commits.load(),
+            static_cast<std::uint64_t>(threads) * increments_per_thread);
+}
+
+TEST(StmWithCm, CounterAtomicUnderEveryManager) {
+  for (const auto kind : {CmKind::kPolite, CmKind::kKarma, CmKind::kTimestamp,
+                          CmKind::kGreedy, CmKind::kPolka}) {
+    Stm stm{make_cm(kind)};
+    hammer_counter(stm, 4, 3000);
+  }
+}
+
+TEST(StmWithCm, BankConservationUnderKillHappyManager) {
+  // Greedy kills on sight from the older side: the kill/release protocol
+  // must never let a half-applied transfer become visible.
+  Stm stm{make_cm(CmKind::kGreedy)};
+  constexpr int kAccounts = 16;
+  std::vector<Cell> accounts(kAccounts);
+  for (auto& account : accounts) account.value = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      txc::sim::Rng rng{static_cast<std::uint64_t>(t) + 77};
+      for (int i = 0; i < 4000; ++i) {
+        const auto from = rng.uniform_below(kAccounts);
+        auto to = rng.uniform_below(kAccounts - 1);
+        if (to >= from) ++to;
+        stm.atomically([&](Tx& tx) {
+          const std::uint64_t a = tx.read(accounts[from]);
+          const std::uint64_t b = tx.read(accounts[to]);
+          tx.write(accounts[from], a - 1);
+          tx.write(accounts[to], b + 1);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  std::uint64_t total = 0;
+  for (const auto& account : accounts) {
+    total += Stm::read_committed(account);
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kAccounts) * 1000);
+}
+
+}  // namespace

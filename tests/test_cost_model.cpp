@@ -1,0 +1,253 @@
+// Tests of the Section 4 cost model and — most importantly — empirical
+// verification of every competitive ratio the paper claims, by sweeping the
+// adversary's remaining time D and comparing E[cost | D] / OPT(D) against the
+// closed forms.  The mean-constrained densities are additionally checked for
+// the Lagrangian structure: the pointwise ratio must be *linear* in D,
+// ratio(D) = lambda_1 + lambda_2 D, with lambda_1 = 1 and the corner
+// lambda_2 from the LP.
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/math.hpp"
+
+namespace {
+
+using namespace txc::core;
+
+constexpr double kE = txc::core::kE;
+
+// ---------------------------------------------------------------------------
+// Conflict cost algebra
+// ---------------------------------------------------------------------------
+
+TEST(ConflictCost, RequestorWinsBranches) {
+  // D < x: commit, cost (k-1) D.
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorWins, 10.0, 4.0, 2, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorWins, 10.0, 4.0, 5, 100.0), 16.0);
+  // D >= x: abort, cost k x + B.
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorWins, 10.0, 25.0, 2, 100.0),
+      120.0);
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorWins, 10.0, 25.0, 5, 100.0),
+      150.0);
+}
+
+TEST(ConflictCost, RequestorAbortsBranches) {
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorAborts, 10.0, 4.0, 2, 100.0), 4.0);
+  // D >= x: abort the k-1 requestors, cost (k-1)(x + B).
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorAborts, 10.0, 25.0, 2, 100.0),
+      110.0);
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorAborts, 10.0, 25.0, 4, 100.0),
+      330.0);
+}
+
+TEST(ConflictCost, EqualityAborts) {
+  // Section 4.2: at D == x the commit is missed.
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorWins, 10.0, 10.0, 2, 100.0),
+      120.0);
+}
+
+TEST(ConflictCost, ZeroGraceIsImmediateAbort) {
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorWins, 0.0, 5.0, 2, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(
+      conflict_cost(ResolutionMode::kRequestorAborts, 0.0, 5.0, 3, 100.0),
+      200.0);
+}
+
+TEST(OfflineOptimal, BothModes) {
+  // RW: min((k-1) D, B).
+  EXPECT_DOUBLE_EQ(
+      offline_optimal_cost(ResolutionMode::kRequestorWins, 30.0, 2, 100.0),
+      30.0);
+  EXPECT_DOUBLE_EQ(
+      offline_optimal_cost(ResolutionMode::kRequestorWins, 300.0, 2, 100.0),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      offline_optimal_cost(ResolutionMode::kRequestorWins, 30.0, 5, 100.0),
+      100.0);
+  // RA: (k-1) min(D, B).
+  EXPECT_DOUBLE_EQ(
+      offline_optimal_cost(ResolutionMode::kRequestorAborts, 30.0, 2, 100.0),
+      30.0);
+  EXPECT_DOUBLE_EQ(
+      offline_optimal_cost(ResolutionMode::kRequestorAborts, 300.0, 4, 100.0),
+      300.0);
+}
+
+// ---------------------------------------------------------------------------
+// Expected cost closed forms
+// ---------------------------------------------------------------------------
+
+TEST(ExpectedCost, UniformWinsIsExactlyTwiceD) {
+  // For the uniform strategy at k = 2, E[cost | D] = 2D for every D <= B —
+  // the pointwise ratio is the constant 2 (proof of Theorem 5).
+  const double B = 100.0;
+  const auto view = make_view(UniformWinsDensity{B, 2});
+  for (const double remaining : {5.0, 25.0, 60.0, 99.0}) {
+    EXPECT_NEAR(expected_conflict_cost(ResolutionMode::kRequestorWins, view,
+                                       remaining, 2, B),
+                2.0 * remaining, 1e-6);
+  }
+  // Beyond the support: always abort, E = 2B; OPT = B.
+  EXPECT_NEAR(expected_conflict_cost(ResolutionMode::kRequestorWins, view,
+                                     10.0 * B, 2, B),
+              2.0 * B, 1e-6);
+}
+
+TEST(ExpectedCost, ExpAbortsAtKTwoHasConstantRatio) {
+  const double B = 50.0;
+  const auto view = make_view(ExpAbortsDensity{B, 2});
+  const double expected_ratio = kE / (kE - 1.0);
+  for (const double remaining : {1.0, 10.0, 30.0, 49.0, 500.0}) {
+    EXPECT_NEAR(pointwise_ratio(ResolutionMode::kRequestorAborts, view,
+                                remaining, 2, B),
+                expected_ratio, 1e-4)
+        << "D = " << remaining;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worst-case ratios match the theorems
+// ---------------------------------------------------------------------------
+
+class RatioSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(ChainLengths, RatioSweep,
+                         ::testing::Values(2, 3, 4, 8, 16),
+                         [](const auto& param_info) {
+                           return "k" + std::to_string(param_info.param);
+                         });
+
+TEST_P(RatioSweep, UniformWinsIsTwoCompetitive) {
+  const int k = GetParam();
+  const double B = 300.0;
+  const auto view = make_view(UniformWinsDensity{B, k});
+  EXPECT_NEAR(
+      worst_case_ratio(ResolutionMode::kRequestorWins, view, k, B), 2.0, 5e-3);
+}
+
+TEST_P(RatioSweep, PowerWinsMatchesTheorem6) {
+  const int k = GetParam();
+  const double B = 300.0;
+  const auto view = make_view(PowerWinsDensity{B, k});
+  EXPECT_NEAR(worst_case_ratio(ResolutionMode::kRequestorWins, view, k, B),
+              ratio_rand_wins_power(k), 5e-3);
+}
+
+TEST_P(RatioSweep, PowerBeatsUniformForLongChains) {
+  const int k = GetParam();
+  if (k == 2) GTEST_SKIP() << "identical densities at k = 2";
+  EXPECT_LT(ratio_rand_wins_power(k), 2.0);
+}
+
+TEST_P(RatioSweep, ExpAbortsMatchesTheorems1And3) {
+  const int k = GetParam();
+  const double B = 300.0;
+  const auto view = make_view(ExpAbortsDensity{B, k});
+  EXPECT_NEAR(worst_case_ratio(ResolutionMode::kRequestorAborts, view, k, B),
+              ratio_rand_aborts(k), 5e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Lagrangian structure of the mean-constrained densities: the pointwise
+// ratio is linear in D with intercept 1.
+// ---------------------------------------------------------------------------
+
+TEST(LagrangianStructure, LogMeanWins) {
+  const double B = 200.0;
+  const auto view = make_view(LogMeanWinsDensity{B});
+  const double lambda2 = 1.0 / (2.0 * B * kLn4Minus1);
+  for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double remaining = frac * B;
+    EXPECT_NEAR(pointwise_ratio(ResolutionMode::kRequestorWins, view,
+                                remaining, 2, B),
+                1.0 + lambda2 * remaining, 1e-4)
+        << "D = " << remaining;
+  }
+}
+
+TEST(LagrangianStructure, PowerMeanWins) {
+  const double B = 200.0;
+  for (const int k : {3, 4, 8}) {
+    const auto view = make_view(PowerMeanWinsDensity{B, k});
+    const double r = growth_ratio(k);
+    const double lambda2 = (k - 2.0) / (2.0 * B * (r - 2.0));
+    const double support = B / (k - 1.0);
+    for (const double frac : {0.2, 0.5, 0.8, 1.0}) {
+      const double remaining = frac * support;
+      EXPECT_NEAR(pointwise_ratio(ResolutionMode::kRequestorWins, view,
+                                  remaining, k, B),
+                  1.0 + lambda2 * remaining, 1e-4)
+          << "k = " << k << ", D = " << remaining;
+    }
+  }
+}
+
+TEST(LagrangianStructure, ExpMeanAborts) {
+  const double B = 200.0;
+  for (const int k : {2, 3, 4, 8}) {
+    const auto view = make_view(ExpMeanAbortsDensity{B, k});
+    const double q = exp_inv(k);
+    const double lambda2 =
+        (k - 1.0) / (2.0 * B * ((k - 1.0) * (q - 1.0) - 1.0));
+    const double support = B / (k - 1.0);
+    for (const double frac : {0.2, 0.5, 0.8, 1.0}) {
+      const double remaining = frac * support;
+      EXPECT_NEAR(pointwise_ratio(ResolutionMode::kRequestorAborts, view,
+                                  remaining, k, B),
+                  1.0 + lambda2 * remaining, 1e-4)
+          << "k = " << k << ", D = " << remaining;
+    }
+  }
+}
+
+TEST(LagrangianStructure, MeanRatioAtTheCorner) {
+  // C2 = 1 + lambda_2 mu: feeding D = mu into the linear pointwise ratio
+  // reproduces the closed-form constrained competitive ratio.
+  const double B = 500.0;
+  const double mu = 60.0;
+  const auto view = make_view(LogMeanWinsDensity{B});
+  EXPECT_NEAR(
+      pointwise_ratio(ResolutionMode::kRequestorWins, view, mu, 2, B),
+      ratio_rand_wins_mean(2, B, mu), 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic strategies (evaluated as point masses through the raw cost
+// functions)
+// ---------------------------------------------------------------------------
+
+TEST(Deterministic, WinsWorstCaseMatchesTheorem4) {
+  const double B = 120.0;
+  for (const int k : {2, 3, 4, 8}) {
+    const double grace = B / (k - 1.0);
+    // Adversary plays D = x exactly (Theorem 4's proof).
+    const double cost =
+        conflict_cost(ResolutionMode::kRequestorWins, grace, grace, k, B);
+    const double optimal =
+        offline_optimal_cost(ResolutionMode::kRequestorWins, grace, k, B);
+    EXPECT_NEAR(cost / optimal, ratio_det_wins(k), 1e-12) << "k = " << k;
+  }
+}
+
+TEST(Deterministic, AbortsWorstCaseIsTwo) {
+  const double B = 120.0;
+  const double grace = B;  // classic ski rental: buy at B
+  const double cost =
+      conflict_cost(ResolutionMode::kRequestorAborts, grace, grace, 2, B);
+  const double optimal =
+      offline_optimal_cost(ResolutionMode::kRequestorAborts, grace, 2, B);
+  EXPECT_NEAR(cost / optimal, 2.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Unit tests for the discrete-event kernel: time ordering, FIFO tie-breaking,
+// cancellation, and run limits — the determinism guarantees the HTM simulator
+// depends on.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace {
+
+using txc::sim::EventHandle;
+using txc::sim::EventQueue;
+using txc::sim::Tick;
+using txc::sim::Trace;
+using txc::sim::TraceCategory;
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(30, [&] { order.push_back(3); });
+  queue.schedule_at(10, [&] { order.push_back(1); });
+  queue.schedule_at(20, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackCanSchedule) {
+  EventQueue queue;
+  std::vector<Tick> times;
+  queue.schedule_at(1, [&] {
+    times.push_back(queue.now());
+    queue.schedule_after(4, [&] { times.push_back(queue.now()); });
+  });
+  queue.run();
+  EXPECT_EQ(times, (std::vector<Tick>{1, 5}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  const EventHandle handle = queue.schedule_at(10, [&] { ++fired; });
+  queue.schedule_at(20, [&] { ++fired; });
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));  // double cancel is a no-op
+  queue.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelInvalidHandle) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(EventHandle{}));
+  EXPECT_FALSE(queue.cancel(EventHandle{999}));
+}
+
+TEST(EventQueue, RunHonorsLimit) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(10, [&] { ++fired; });
+  queue.schedule_at(100, [&] { ++fired; });
+  queue.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 50u);  // time advances to the limit
+  queue.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepExecutesAtMostOne) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1, [&] { ++fired; });
+  queue.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(queue.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  const auto handle = queue.schedule_at(5, [] {});
+  queue.schedule_at(6, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.cancel(handle);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.executed(), 1u);
+}
+
+TEST(Trace, RingBufferKeepsMostRecent) {
+  Trace trace{3};
+  trace.enable();
+  for (int i = 0; i < 5; ++i) {
+    trace.record(static_cast<Tick>(i), TraceCategory::kCore, i,
+                 "event " + std::to_string(i));
+  }
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.at(0).time, 2u);
+  EXPECT_EQ(trace.at(2).time, 4u);
+  EXPECT_NE(trace.dump().find("event 4"), std::string::npos);
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Trace trace{8};
+  trace.record(1, TraceCategory::kConflict, 0, "ignored");
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Integration tests of the extended workloads on the HTM simulator: the bank
+// conserves money under every policy, the Zipf application skews load onto
+// hot objects, read-mostly transactions mostly commit read-only, and list
+// traversals produce length-dependent transactions.
+#include "ds/extended_workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy.hpp"
+#include "htm/htm.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::htm;
+using namespace txc::ds;
+
+HtmConfig config_for(std::uint32_t cores, core::StrategyKind kind) {
+  HtmConfig config;
+  config.cores = cores;
+  config.policy = core::make_policy(kind);
+  config.seed = 321;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Bank
+// ---------------------------------------------------------------------------
+
+TEST(BankWorkload, ConservationUnderEveryPolicy) {
+  for (const auto kind :
+       {core::StrategyKind::kNoDelay, core::StrategyKind::kDetWins,
+        core::StrategyKind::kRandWins, core::StrategyKind::kRandAborts,
+        core::StrategyKind::kHybrid, core::StrategyKind::kAdaptiveTuned}) {
+    auto config = config_for(8, kind);
+    if (core::make_policy(kind)->mode() ==
+        core::ResolutionMode::kRequestorAborts) {
+      config.mode = core::ResolutionMode::kRequestorAborts;
+    }
+    auto workload = std::make_shared<BankWorkload>();
+    HtmSystem system{config, workload};
+    const auto stats = system.run(3000);
+    EXPECT_EQ(stats.commits, 3000u);
+    std::uint64_t sum = 0;
+    for (std::uint32_t account = 0; account < workload->accounts();
+         ++account) {
+      sum += system.memory_value(kAccountBaseLine + account);
+    }
+    // Every transfer adds and subtracts the same amount: the (wrapping)
+    // total must be exactly zero.
+    EXPECT_EQ(sum, 0u) << core::to_string(kind);
+  }
+}
+
+TEST(BankWorkload, TransfersTouchDistinctAccounts) {
+  BankWorkload workload;
+  sim::Rng rng{5};
+  for (int i = 0; i < 500; ++i) {
+    const Transaction tx = workload.next_transaction(0, rng);
+    ASSERT_EQ(tx.size(), 5u);
+    EXPECT_NE(tx[0].line, tx[1].line) << "from == to breaks conservation";
+    EXPECT_EQ(tx[3].line, tx[0].line);
+    EXPECT_EQ(tx[4].line, tx[1].line);
+  }
+}
+
+TEST(BankWorkload, FewAccountsContendMore) {
+  BankWorkload::Params tight;
+  tight.accounts = 4;
+  auto contended_config = config_for(8, core::StrategyKind::kNoDelay);
+  HtmSystem contended{contended_config,
+                      std::make_shared<BankWorkload>(tight)};
+  const auto contended_stats = contended.run(3000);
+
+  BankWorkload::Params wide;
+  wide.accounts = 512;
+  auto relaxed_config = config_for(8, core::StrategyKind::kNoDelay);
+  HtmSystem relaxed{relaxed_config, std::make_shared<BankWorkload>(wide)};
+  const auto relaxed_stats = relaxed.run(3000);
+
+  EXPECT_GT(contended_stats.abort_rate(), relaxed_stats.abort_rate());
+}
+
+// ---------------------------------------------------------------------------
+// Zipf transactional application
+// ---------------------------------------------------------------------------
+
+TEST(ZipfTxApp, AtomicAndConservesTotalIncrements) {
+  auto config = config_for(8, core::StrategyKind::kRandWins);
+  HtmSystem system{config, std::make_shared<ZipfTxAppWorkload>()};
+  const auto stats = system.run(3000);
+  std::uint64_t total = 0;
+  for (std::uint32_t object = 0; object < kObjectCount; ++object) {
+    total += system.memory_value(kObjectBaseLine + object);
+  }
+  EXPECT_EQ(total, stats.commits * 2);
+}
+
+TEST(ZipfTxApp, SkewConcentratesUpdatesOnHotObjects) {
+  ZipfTxAppWorkload::Params params;
+  params.skew = 1.2;
+  auto config = config_for(8, core::StrategyKind::kRandWins);
+  HtmSystem system{config, std::make_shared<ZipfTxAppWorkload>(params)};
+  const auto stats = system.run(4000);
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  for (std::uint32_t object = 0; object < kObjectCount; ++object) {
+    const std::uint64_t value =
+        system.memory_value(kObjectBaseLine + object);
+    if (object < 8) {
+      head += value;
+    } else {
+      tail += value;
+    }
+  }
+  EXPECT_GT(head, tail) << "top-8 objects must absorb most updates";
+  EXPECT_EQ(head + tail, stats.commits * 2);
+}
+
+TEST(ZipfTxApp, HigherSkewRaisesContention) {
+  const auto abort_rate_at = [](double skew) {
+    ZipfTxAppWorkload::Params params;
+    params.skew = skew;
+    auto config = config_for(16, core::StrategyKind::kNoDelay);
+    HtmSystem system{config, std::make_shared<ZipfTxAppWorkload>(params)};
+    return system.run(4000).abort_rate();
+  };
+  EXPECT_GT(abort_rate_at(1.5), abort_rate_at(0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Read-mostly
+// ---------------------------------------------------------------------------
+
+TEST(ReadMostly, MostTransactionsAreReadOnly) {
+  ReadMostlyWorkload workload;
+  sim::Rng rng{9};
+  int writers = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const Transaction tx = workload.next_transaction(0, rng);
+    for (const TxOp& op : tx) {
+      if (op.kind == TxOp::Kind::kRmw) {
+        ++writers;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writers) / kTrials, 0.1, 0.03);
+}
+
+TEST(ReadMostly, LowAbortRateUnderContention) {
+  auto config = config_for(16, core::StrategyKind::kNoDelay);
+  HtmSystem system{config, std::make_shared<ReadMostlyWorkload>()};
+  const auto stats = system.run(4000);
+  EXPECT_EQ(stats.commits, 4000u);
+  // Readers do not conflict with each other; only the ~10% writers can
+  // collide, so the abort rate stays far below a write-heavy workload's.
+  EXPECT_LT(stats.abort_rate(), 0.1);
+}
+
+TEST(ReadMostly, WriteFractionOneBehavesLikeWriters) {
+  ReadMostlyWorkload::Params params;
+  params.write_fraction = 1.0;
+  params.objects = 4;  // few objects: writers collide
+  auto config = config_for(8, core::StrategyKind::kNoDelay);
+  HtmSystem system{config, std::make_shared<ReadMostlyWorkload>(params)};
+  const auto stats = system.run(2000);
+  EXPECT_GT(stats.aborts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Linked list
+// ---------------------------------------------------------------------------
+
+TEST(List, TransactionLengthGrowsWithPosition) {
+  ListWorkload workload;
+  sim::Rng rng{13};
+  std::size_t min_ops = SIZE_MAX;
+  std::size_t max_ops = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Transaction tx = workload.next_transaction(0, rng);
+    min_ops = std::min(min_ops, tx.size());
+    max_ops = std::max(max_ops, tx.size());
+  }
+  EXPECT_LT(min_ops, max_ops)
+      << "random insertion points must vary the transaction length";
+  // Shortest possible: read node 0 + work + RMW = 3 ops.
+  EXPECT_LE(min_ops, 5u);
+  // Longest: 32 reads + 32 works + RMW.
+  EXPECT_GT(max_ops, 20u);
+}
+
+TEST(List, RunsAtomicallyUnderContention) {
+  auto config = config_for(8, core::StrategyKind::kRandWins);
+  HtmSystem system{config, std::make_shared<ListWorkload>()};
+  const auto stats = system.run(2000);
+  EXPECT_EQ(stats.commits, 2000u);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    total += system.memory_value(kListBaseLine + i);
+  }
+  EXPECT_EQ(total, stats.commits);
+}
+
+TEST(List, PrefixConflictsCauseAborts) {
+  // Every writer updates a node inside other walkers' read prefixes, so a
+  // contended run must produce read-write conflicts.
+  auto config = config_for(16, core::StrategyKind::kNoDelay);
+  HtmSystem system{config, std::make_shared<ListWorkload>()};
+  const auto stats = system.run(3000);
+  EXPECT_GT(stats.conflicts, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Unit tests of the shared banked L2 tag store: hit/miss classification, LRU
+// replacement, bank interleaving, capacity accounting, invalidation, and the
+// inclusive-eviction reporting the HTM layer relies on for L2-capacity aborts.
+#include "mem/l2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace txc::mem;
+
+L2Config tiny(std::uint32_t banks, std::uint32_t sets, std::uint32_t ways) {
+  L2Config config;
+  config.banks = banks;
+  config.sets_per_bank = sets;
+  config.ways = ways;
+  return config;
+}
+
+TEST(SharedL2, FirstAccessMissesSecondHits) {
+  SharedL2 l2{tiny(1, 4, 2)};
+  EXPECT_FALSE(l2.access(42).hit);
+  EXPECT_TRUE(l2.access(42).hit);
+  EXPECT_EQ(l2.stats().hits, 1u);
+  EXPECT_EQ(l2.stats().misses, 1u);
+}
+
+TEST(SharedL2, ContainsDoesNotTouchLru) {
+  SharedL2 l2{tiny(1, 1, 2)};
+  (void)l2.access(0);  // LRU order after this: 0
+  (void)l2.access(1);  //                        0, 1
+  EXPECT_TRUE(l2.contains(0));
+  // If contains() refreshed LRU, line 1 would now be the victim; it must not.
+  const L2Access third = l2.access(2);
+  EXPECT_TRUE(third.evicted_valid);
+  EXPECT_EQ(third.evicted_line, 0u);
+}
+
+TEST(SharedL2, LruEvictsLeastRecentlyUsed) {
+  SharedL2 l2{tiny(1, 1, 3)};
+  (void)l2.access(10);
+  (void)l2.access(20);
+  (void)l2.access(30);
+  (void)l2.access(10);  // refresh 10; LRU is now 20
+  const L2Access result = l2.access(40);
+  EXPECT_TRUE(result.evicted_valid);
+  EXPECT_EQ(result.evicted_line, 20u);
+  EXPECT_FALSE(l2.contains(20));
+  EXPECT_TRUE(l2.contains(10));
+}
+
+TEST(SharedL2, InvalidWaysPreferredOverEviction) {
+  SharedL2 l2{tiny(1, 1, 4)};
+  (void)l2.access(1);
+  (void)l2.access(2);
+  const L2Access result = l2.access(3);
+  EXPECT_FALSE(result.evicted_valid) << "set not full: nothing to evict";
+  EXPECT_EQ(l2.stats().evictions, 0u);
+}
+
+TEST(SharedL2, BankInterleavingByLineId) {
+  SharedL2 l2{tiny(4, 8, 2)};
+  EXPECT_EQ(l2.bank_of(0), 0u);
+  EXPECT_EQ(l2.bank_of(1), 1u);
+  EXPECT_EQ(l2.bank_of(5), 1u);
+  EXPECT_EQ(l2.bank_of(7), 3u);
+}
+
+TEST(SharedL2, DifferentBanksDoNotConflict) {
+  // 2 banks x 1 set x 1 way: lines 0 and 1 land in different banks and can
+  // coexist even though each bank holds a single line.
+  SharedL2 l2{tiny(2, 1, 1)};
+  (void)l2.access(0);
+  (void)l2.access(1);
+  EXPECT_TRUE(l2.contains(0));
+  EXPECT_TRUE(l2.contains(1));
+  // Line 2 maps to bank 0 and evicts line 0, not line 1.
+  const L2Access result = l2.access(2);
+  EXPECT_TRUE(result.evicted_valid);
+  EXPECT_EQ(result.evicted_line, 0u);
+  EXPECT_TRUE(l2.contains(1));
+}
+
+TEST(SharedL2, SetIndexingWithinBank) {
+  // 1 bank x 2 sets x 1 way: even/odd (line/banks) split across sets.
+  SharedL2 l2{tiny(1, 2, 1)};
+  (void)l2.access(0);  // set 0
+  (void)l2.access(1);  // set 1
+  EXPECT_TRUE(l2.contains(0));
+  EXPECT_TRUE(l2.contains(1));
+  const L2Access result = l2.access(2);  // set 0 again
+  EXPECT_TRUE(result.evicted_valid);
+  EXPECT_EQ(result.evicted_line, 0u);
+}
+
+TEST(SharedL2, InvalidateDropsLine) {
+  SharedL2 l2{tiny(1, 4, 2)};
+  (void)l2.access(9);
+  ASSERT_TRUE(l2.contains(9));
+  l2.invalidate(9);
+  EXPECT_FALSE(l2.contains(9));
+  EXPECT_FALSE(l2.access(9).hit);
+}
+
+TEST(SharedL2, InvalidateMissingLineIsNoop) {
+  SharedL2 l2{tiny(1, 4, 2)};
+  l2.invalidate(123);  // must not crash or corrupt
+  EXPECT_FALSE(l2.contains(123));
+}
+
+TEST(SharedL2, CapacityLines) {
+  EXPECT_EQ((SharedL2{tiny(4, 256, 8)}.capacity_lines()), 4u * 256 * 8);
+  EXPECT_EQ((SharedL2{tiny(1, 1, 1)}.capacity_lines()), 1u);
+}
+
+TEST(SharedL2, HitRateComputation) {
+  SharedL2 l2{tiny(1, 4, 2)};
+  (void)l2.access(1);
+  (void)l2.access(1);
+  (void)l2.access(1);
+  (void)l2.access(2);
+  EXPECT_DOUBLE_EQ(l2.stats().hit_rate(), 0.5);
+}
+
+TEST(SharedL2, WorkingSetLargerThanCapacityThrashes) {
+  SharedL2 l2{tiny(1, 2, 2)};  // capacity 4 lines
+  // Stream 8 distinct lines twice: every access of the second pass must miss
+  // again because the first pass evicted them (LRU with a cyclic stream).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (LineId line = 0; line < 16; line += 2) {  // same set parity
+      (void)l2.access(line);
+    }
+  }
+  EXPECT_EQ(l2.stats().hits, 0u);
+  EXPECT_EQ(l2.stats().misses, 16u);
+  EXPECT_GE(l2.stats().evictions, 12u);
+}
+
+TEST(SharedL2, EvictionReportsExactVictim) {
+  SharedL2 l2{tiny(1, 1, 2)};
+  (void)l2.access(100);
+  (void)l2.access(200);
+  std::vector<LineId> victims;
+  for (const LineId line : {300u, 400u, 500u}) {
+    const L2Access result = l2.access(line);
+    ASSERT_TRUE(result.evicted_valid);
+    victims.push_back(result.evicted_line);
+  }
+  EXPECT_EQ(victims, (std::vector<LineId>{100, 200, 300}));
+}
+
+TEST(SharedL2, BackInvalidationCounter) {
+  SharedL2 l2{tiny(1, 1, 1)};
+  l2.count_back_invalidation();
+  l2.count_back_invalidation();
+  EXPECT_EQ(l2.stats().back_invalidations, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests of the lock-free slow-path structures: sequential semantics,
+// capacity behavior, tagged-index ABA machinery, and multi-threaded stress
+// (conservation of elements, no duplication, no loss).
+#include "lockfree/queue.hpp"
+#include "lockfree/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace txc::lockfree;
+
+TEST(TaggedIndex, PackingRoundTrip) {
+  const TaggedIndex tagged{0xABCD1234u, 42u};
+  EXPECT_EQ(tagged.tag(), 0xABCD1234u);
+  EXPECT_EQ(tagged.index(), 42u);
+  EXPECT_FALSE(tagged.null());
+  const TaggedIndex advanced = tagged.advanced_to(7);
+  EXPECT_EQ(advanced.tag(), 0xABCD1235u);
+  EXPECT_EQ(advanced.index(), 7u);
+  EXPECT_TRUE(TaggedIndex{}.null());
+}
+
+TEST(TreiberStack, LifoOrder) {
+  TreiberStack stack{8};
+  EXPECT_TRUE(stack.empty());
+  EXPECT_TRUE(stack.push(1));
+  EXPECT_TRUE(stack.push(2));
+  EXPECT_TRUE(stack.push(3));
+  EXPECT_EQ(stack.pop(), 3u);
+  EXPECT_EQ(stack.pop(), 2u);
+  EXPECT_EQ(stack.pop(), 1u);
+  EXPECT_EQ(stack.pop(), std::nullopt);
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(TreiberStack, CapacityExhaustionAndRecycling) {
+  TreiberStack stack{2};
+  EXPECT_TRUE(stack.push(1));
+  EXPECT_TRUE(stack.push(2));
+  EXPECT_FALSE(stack.push(3)) << "pool exhausted";
+  EXPECT_EQ(stack.pop(), 2u);
+  EXPECT_TRUE(stack.push(4)) << "node recycled through the free list";
+  EXPECT_EQ(stack.pop(), 4u);
+  EXPECT_EQ(stack.pop(), 1u);
+}
+
+TEST(TreiberStack, ConcurrentPushPopConservesElements) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  TreiberStack stack{kThreads * 64};
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> pushed_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::atomic<std::uint64_t> pushed_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t value =
+            static_cast<std::uint64_t>(t) * kPerThread + i + 1;
+        if (stack.push(value)) {
+          pushed_sum.fetch_add(value);
+          pushed_count.fetch_add(1);
+        }
+        if (const auto popped = stack.pop()) {
+          popped_sum.fetch_add(*popped);
+          popped_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Drain the remainder.
+  while (const auto popped = stack.pop()) {
+    popped_sum.fetch_add(*popped);
+    popped_count.fetch_add(1);
+  }
+  EXPECT_EQ(popped_count.load(), pushed_count.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(MichaelScottQueue, FifoOrder) {
+  MichaelScottQueue queue{8};
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.enqueue(1));
+  EXPECT_TRUE(queue.enqueue(2));
+  EXPECT_TRUE(queue.enqueue(3));
+  EXPECT_EQ(queue.dequeue(), 1u);
+  EXPECT_EQ(queue.dequeue(), 2u);
+  EXPECT_EQ(queue.dequeue(), 3u);
+  EXPECT_EQ(queue.dequeue(), std::nullopt);
+}
+
+TEST(MichaelScottQueue, CapacityExhaustionAndRecycling) {
+  MichaelScottQueue queue{2};
+  EXPECT_TRUE(queue.enqueue(1));
+  EXPECT_TRUE(queue.enqueue(2));
+  EXPECT_FALSE(queue.enqueue(3));
+  EXPECT_EQ(queue.dequeue(), 1u);
+  EXPECT_TRUE(queue.enqueue(4));
+  EXPECT_EQ(queue.dequeue(), 2u);
+  EXPECT_EQ(queue.dequeue(), 4u);
+  EXPECT_EQ(queue.dequeue(), std::nullopt);
+}
+
+TEST(MichaelScottQueue, SingleProducerSingleConsumerOrdering) {
+  MichaelScottQueue queue{256};
+  constexpr std::uint64_t kCount = 50000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 1; i <= kCount; ++i) {
+      while (!queue.enqueue(i)) {
+      }
+    }
+  });
+  std::uint64_t expected = 1;
+  bool ordered = true;
+  std::thread consumer([&] {
+    while (expected <= kCount) {
+      if (const auto value = queue.dequeue()) {
+        if (*value != expected) {
+          ordered = false;
+          break;
+        }
+        ++expected;
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(ordered) << "FIFO violated at " << expected;
+  EXPECT_EQ(expected, kCount + 1);
+}
+
+TEST(MichaelScottQueue, ConcurrentEnqueueDequeueConservesElements) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  MichaelScottQueue queue{kThreads * 64};
+  std::atomic<std::uint64_t> enqueued_sum{0};
+  std::atomic<std::uint64_t> dequeued_sum{0};
+  std::atomic<std::uint64_t> enqueued_count{0};
+  std::atomic<std::uint64_t> dequeued_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t value =
+            static_cast<std::uint64_t>(t) * kPerThread + i + 1;
+        if (queue.enqueue(value)) {
+          enqueued_sum.fetch_add(value);
+          enqueued_count.fetch_add(1);
+        }
+        if (const auto popped = queue.dequeue()) {
+          dequeued_sum.fetch_add(*popped);
+          dequeued_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  while (const auto popped = queue.dequeue()) {
+    dequeued_sum.fetch_add(*popped);
+    dequeued_count.fetch_add(1);
+  }
+  EXPECT_EQ(dequeued_count.load(), enqueued_count.load());
+  EXPECT_EQ(dequeued_sum.load(), enqueued_sum.load());
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Unit tests for the numeric kernels the densities rest on: Simpson
+// quadrature and monotone-CDF bisection.
+#include "core/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using txc::core::integrate;
+using txc::core::invert_monotone;
+
+TEST(Integrate, Polynomial) {
+  // Simpson is exact for cubics.
+  const double result =
+      integrate([](double x) { return x * x * x - 2.0 * x + 1.0; }, 0.0, 2.0, 8);
+  EXPECT_NEAR(result, 4.0 - 4.0 + 2.0, 1e-12);
+}
+
+TEST(Integrate, Exponential) {
+  const double result = integrate([](double x) { return std::exp(x); }, 0.0, 1.0);
+  EXPECT_NEAR(result, std::exp(1.0) - 1.0, 1e-10);
+}
+
+TEST(Integrate, EmptyAndReversedRange) {
+  EXPECT_EQ(integrate([](double) { return 1.0; }, 1.0, 1.0), 0.0);
+  EXPECT_EQ(integrate([](double) { return 1.0; }, 2.0, 1.0), 0.0);
+}
+
+TEST(Integrate, OddPanelCountIsRoundedUp) {
+  const double result = integrate([](double x) { return x; }, 0.0, 1.0, 3);
+  EXPECT_NEAR(result, 0.5, 1e-12);
+}
+
+TEST(InvertMonotone, LinearAndNonlinear) {
+  EXPECT_NEAR(invert_monotone([](double x) { return x; }, 0.25, 0.0, 1.0),
+              0.25, 1e-10);
+  EXPECT_NEAR(
+      invert_monotone([](double x) { return x * x; }, 0.25, 0.0, 1.0), 0.5,
+      1e-10);
+  EXPECT_NEAR(invert_monotone([](double x) { return 1.0 - std::exp(-x); },
+                              0.5, 0.0, 10.0),
+              std::log(2.0), 1e-9);
+}
+
+TEST(InvertMonotone, TargetAtBounds) {
+  EXPECT_NEAR(invert_monotone([](double x) { return x; }, 0.0, 0.0, 1.0), 0.0,
+              1e-9);
+  EXPECT_NEAR(invert_monotone([](double x) { return x; }, 1.0, 0.0, 1.0), 1.0,
+              1e-9);
+}
+
+TEST(GrowthRatio, MonotoneInK) {
+  double previous = txc::core::growth_ratio(2);
+  for (int k = 3; k <= 64; ++k) {
+    const double current = txc::core::growth_ratio(k);
+    EXPECT_GT(current, previous) << "k = " << k;
+    previous = current;
+  }
+  EXPECT_LT(previous, txc::core::kE);
+}
+
+TEST(ExpInv, MatchesDirectComputation) {
+  EXPECT_NEAR(txc::core::exp_inv(2), txc::core::kE, 1e-12);
+  EXPECT_NEAR(txc::core::exp_inv(5), std::exp(0.25), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Unit tests for the L1 cache (transactional bits, LRU, eviction reporting)
+// and the MSI directory (state transitions and protocol invariants).
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace txc::mem;
+
+TEST(L1Cache, MissThenHit) {
+  L1Cache cache;
+  EXPECT_EQ(cache.find(42), nullptr);
+  auto inserted = cache.insert(42);
+  ASSERT_NE(inserted.slot, nullptr);
+  EXPECT_FALSE(inserted.evicted_valid);
+  inserted.slot->state = LineState::kShared;
+  ASSERT_NE(cache.find(42), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(L1Cache, LruEvictionWithinSet) {
+  L1Cache cache{CacheConfig{.sets = 1, .ways = 2}};
+  cache.insert(1).slot->state = LineState::kShared;
+  auto second = cache.insert(2);
+  second.slot->state = LineState::kShared;
+  (void)cache.find(1);  // touch 1 so 2 becomes LRU
+  const auto third = cache.insert(3);
+  EXPECT_TRUE(third.evicted_valid);
+  EXPECT_EQ(third.evicted_line, 2u);
+  EXPECT_FALSE(third.evicted_transactional);
+}
+
+TEST(L1Cache, TransactionalEvictionReported) {
+  L1Cache cache{CacheConfig{.sets = 1, .ways = 1}};
+  auto first = cache.insert(1);
+  first.slot->state = LineState::kModified;
+  first.slot->tx_write = true;
+  const auto second = cache.insert(2);
+  EXPECT_TRUE(second.evicted_transactional);
+  EXPECT_EQ(second.evicted_line, 1u);
+  EXPECT_EQ(cache.stats().tx_evictions, 1u);
+}
+
+TEST(L1Cache, CommitClearsBitsKeepsData) {
+  L1Cache cache;
+  auto entry = cache.insert(7);
+  entry.slot->state = LineState::kModified;
+  entry.slot->tx_write = true;
+  cache.commit_transaction();
+  const CacheLine* line = cache.find(7);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->state, LineState::kModified);
+  EXPECT_FALSE(line->transactional());
+}
+
+TEST(L1Cache, AbortInvalidatesTransactionalLinesOnly) {
+  L1Cache cache;
+  auto tx_line = cache.insert(7);
+  tx_line.slot->state = LineState::kModified;
+  tx_line.slot->tx_write = true;
+  auto plain = cache.insert(9);
+  plain.slot->state = LineState::kShared;
+  cache.abort_transaction();
+  EXPECT_EQ(cache.find(7), nullptr);
+  EXPECT_NE(cache.find(9), nullptr);
+}
+
+TEST(L1Cache, TransactionalLinesEnumeration) {
+  L1Cache cache;
+  cache.insert(1).slot->state = LineState::kShared;
+  auto line_a = cache.insert(2);
+  line_a.slot->state = LineState::kShared;
+  line_a.slot->tx_read = true;
+  auto line_b = cache.insert(3);
+  line_b.slot->state = LineState::kModified;
+  line_b.slot->tx_write = true;
+  const auto lines = cache.transactional_lines();
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(L1Cache, DowngradeModifiedToShared) {
+  L1Cache cache;
+  auto entry = cache.insert(5);
+  entry.slot->state = LineState::kModified;
+  cache.downgrade(5);
+  EXPECT_EQ(cache.find(5)->state, LineState::kShared);
+  cache.downgrade(5);  // idempotent on Shared
+  EXPECT_EQ(cache.find(5)->state, LineState::kShared);
+}
+
+TEST(Directory, SharedThenModified) {
+  Directory directory{4};
+  directory.add_sharer(10, 0);
+  directory.add_sharer(10, 1);
+  EXPECT_EQ(directory.find(10)->state, DirectoryState::kShared);
+  EXPECT_EQ(directory.holders_excluding(10, 0).size(), 1u);
+  directory.set_owner(10, 2);
+  EXPECT_EQ(directory.find(10)->state, DirectoryState::kModified);
+  EXPECT_EQ(directory.find(10)->owner, 2u);
+  EXPECT_EQ(directory.holders_excluding(10, 2).size(), 0u);
+  EXPECT_TRUE(directory.invariants_hold());
+}
+
+TEST(Directory, RemoveLastHolderUncaches) {
+  Directory directory{4};
+  directory.add_sharer(10, 0);
+  directory.remove(10, 0);
+  EXPECT_EQ(directory.find(10)->state, DirectoryState::kUncached);
+  EXPECT_TRUE(directory.invariants_hold());
+}
+
+TEST(Directory, OwnerRemovalDemotesToShared) {
+  Directory directory{4};
+  directory.set_owner(10, 1);
+  directory.add_sharer(10, 2);  // read by another core: shared now
+  EXPECT_EQ(directory.find(10)->state, DirectoryState::kShared);
+  directory.remove(10, 1);
+  EXPECT_EQ(directory.find(10)->state, DirectoryState::kShared);
+  EXPECT_TRUE(directory.invariants_hold());
+}
+
+TEST(Directory, InvariantViolationDetected) {
+  Directory directory{4};
+  auto& entry = directory.entry(11);
+  entry.state = DirectoryState::kModified;
+  entry.sharers.set(0);
+  entry.sharers.set(1);  // two holders of a Modified line: illegal
+  entry.owner = 0;
+  EXPECT_FALSE(directory.invariants_hold());
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Unit tests of the 2D mesh NoC: coordinate mapping, XY routing, hop counts,
+// pure latency arithmetic, link-level serialization under the contention
+// model, traffic accounting, and the auto-fit helper.
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace txc::noc;
+
+MeshConfig square(std::uint32_t side) {
+  MeshConfig config;
+  config.width = side;
+  config.height = side;
+  return config;
+}
+
+TEST(MeshGeometry, CoordinateRoundTrip) {
+  MeshNoc mesh{square(4)};
+  for (TileId tile = 0; tile < mesh.tiles(); ++tile) {
+    EXPECT_EQ(mesh.tile_at(mesh.coordinate(tile)), tile);
+  }
+}
+
+TEST(MeshGeometry, CoordinateLayoutIsRowMajor) {
+  MeshNoc mesh{square(4)};
+  EXPECT_EQ(mesh.coordinate(0), (Coordinate{0, 0}));
+  EXPECT_EQ(mesh.coordinate(3), (Coordinate{3, 0}));
+  EXPECT_EQ(mesh.coordinate(4), (Coordinate{0, 1}));
+  EXPECT_EQ(mesh.coordinate(15), (Coordinate{3, 3}));
+}
+
+TEST(MeshGeometry, HopsIsManhattanDistance) {
+  MeshNoc mesh{square(4)};
+  EXPECT_EQ(mesh.hops(0, 0), 0u);
+  EXPECT_EQ(mesh.hops(0, 3), 3u);   // same row
+  EXPECT_EQ(mesh.hops(0, 12), 3u);  // same column
+  EXPECT_EQ(mesh.hops(0, 15), 6u);  // opposite corner
+  EXPECT_EQ(mesh.hops(5, 10), 2u);
+}
+
+TEST(MeshGeometry, HopsIsSymmetric) {
+  MeshNoc mesh{square(5)};
+  for (TileId a = 0; a < mesh.tiles(); ++a) {
+    for (TileId b = a; b < mesh.tiles(); ++b) {
+      EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+    }
+  }
+}
+
+TEST(MeshGeometry, RectangularMeshes) {
+  MeshConfig config;
+  config.width = 8;
+  config.height = 2;
+  MeshNoc mesh{config};
+  EXPECT_EQ(mesh.tiles(), 16u);
+  EXPECT_EQ(mesh.hops(0, 15), 8u);  // 7 east + 1 south
+}
+
+TEST(MeshFit, ProducesSquarishMeshes) {
+  EXPECT_EQ(MeshNoc::fit(1).width * MeshNoc::fit(1).height, 1u);
+  const MeshConfig four = MeshNoc::fit(4);
+  EXPECT_EQ(four.width, 2u);
+  EXPECT_EQ(four.height, 2u);
+  const MeshConfig sixteen = MeshNoc::fit(16);
+  EXPECT_EQ(sixteen.width, 4u);
+  EXPECT_EQ(sixteen.height, 4u);
+  const MeshConfig twelve = MeshNoc::fit(12);
+  EXPECT_GE(twelve.width * twelve.height, 12u);
+  EXPECT_LE(twelve.width * twelve.height, 16u);
+}
+
+TEST(MeshFit, PreservesBaseLatencies) {
+  MeshConfig base;
+  base.link_latency = 3;
+  base.router_latency = 2;
+  const MeshConfig fitted = MeshNoc::fit(9, base);
+  EXPECT_EQ(fitted.link_latency, 3u);
+  EXPECT_EQ(fitted.router_latency, 2u);
+}
+
+TEST(MeshRouting, XyPathResolvesXFirst) {
+  MeshNoc mesh{square(4)};
+  // 0 -> 15: east, east, east, then south, south, south.
+  const auto links = mesh.path_links(0, 15);
+  ASSERT_EQ(links.size(), 6u);
+  // Link ids encode (tile, direction): east = tile*4+0, south = tile*4+3.
+  EXPECT_EQ(links[0], 0u * 4 + 0);
+  EXPECT_EQ(links[1], 1u * 4 + 0);
+  EXPECT_EQ(links[2], 2u * 4 + 0);
+  EXPECT_EQ(links[3], 3u * 4 + 3);
+  EXPECT_EQ(links[4], 7u * 4 + 3);
+  EXPECT_EQ(links[5], 11u * 4 + 3);
+}
+
+TEST(MeshRouting, ReversePathUsesOppositeLinks) {
+  MeshNoc mesh{square(4)};
+  const auto forward = mesh.path_links(0, 5);
+  const auto backward = mesh.path_links(5, 0);
+  EXPECT_EQ(forward.size(), backward.size());
+  const std::set<std::uint32_t> forward_set(forward.begin(), forward.end());
+  for (const auto link : backward) {
+    EXPECT_FALSE(forward_set.count(link))
+        << "directed links must not be shared between directions";
+  }
+}
+
+TEST(MeshLatency, PureLatencyFormula) {
+  MeshConfig config = square(4);
+  config.link_latency = 2;
+  config.router_latency = 3;
+  MeshNoc mesh{config};
+  // hops = 0: just the local router.
+  EXPECT_EQ(mesh.pure_latency(5, 5), 3u);
+  // hops = h: (h+1) routers + h links.
+  EXPECT_EQ(mesh.pure_latency(0, 3), 3u * 4 + 2u * 3);
+  EXPECT_EQ(mesh.pure_latency(0, 15), 3u * 7 + 2u * 6);
+}
+
+TEST(MeshLatency, UncontendedTraverseMatchesPureLatency) {
+  MeshConfig config = square(4);
+  config.model_contention = true;
+  MeshNoc mesh{config};
+  // A single message on an idle mesh pays exactly the distance latency.
+  EXPECT_EQ(mesh.traverse(0, 15, 1000, MessageClass::kRequest),
+            1000 + mesh.pure_latency(0, 15));
+}
+
+TEST(MeshLatency, ContentionDisabledIgnoresLoad) {
+  MeshConfig config = square(4);
+  config.model_contention = false;
+  MeshNoc mesh{config};
+  const Tick first = mesh.traverse(0, 3, 0, MessageClass::kRequest);
+  const Tick second = mesh.traverse(0, 3, 0, MessageClass::kRequest);
+  EXPECT_EQ(first, second) << "infinite-bandwidth mesh must not queue";
+  EXPECT_EQ(mesh.stats().queueing_cycles, 0u);
+}
+
+TEST(MeshContention, BackToBackMessagesSerialize) {
+  MeshConfig config = square(4);
+  config.occupancy_cycles = 5;
+  MeshNoc mesh{config};
+  const Tick first = mesh.traverse(0, 1, 0, MessageClass::kRequest);
+  const Tick second = mesh.traverse(0, 1, 0, MessageClass::kRequest);
+  EXPECT_GT(second, first) << "same-cycle messages on one link must queue";
+  EXPECT_GT(mesh.stats().queueing_cycles, 0u);
+}
+
+TEST(MeshContention, DisjointPathsDoNotInterfere) {
+  MeshConfig config = square(4);
+  config.occupancy_cycles = 5;
+  MeshNoc mesh{config};
+  const Tick a = mesh.traverse(0, 1, 0, MessageClass::kRequest);
+  // Row 3 shares no directed link with row 0.
+  const Tick b = mesh.traverse(12, 13, 0, MessageClass::kRequest);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(mesh.stats().queueing_cycles, 0u);
+}
+
+TEST(MeshContention, QueueDrainsOverTime) {
+  MeshConfig config = square(2);
+  config.occupancy_cycles = 4;
+  MeshNoc mesh{config};
+  (void)mesh.traverse(0, 1, 0, MessageClass::kRequest);
+  // Far enough in the future that the link is free again.
+  const Tick later = mesh.traverse(0, 1, 100, MessageClass::kRequest);
+  EXPECT_EQ(later, 100 + mesh.pure_latency(0, 1));
+}
+
+TEST(MeshStats, MessageClassesCountedSeparately) {
+  MeshNoc mesh{square(2)};
+  (void)mesh.traverse(0, 1, 0, MessageClass::kRequest);
+  (void)mesh.traverse(1, 0, 0, MessageClass::kData);
+  (void)mesh.traverse(0, 2, 0, MessageClass::kInvalidation);
+  (void)mesh.traverse(2, 0, 0, MessageClass::kNack);
+  (void)mesh.traverse(2, 0, 50, MessageClass::kNack);
+  const NocStats& stats = mesh.stats();
+  EXPECT_EQ(stats.messages[static_cast<std::size_t>(MessageClass::kRequest)], 1u);
+  EXPECT_EQ(stats.messages[static_cast<std::size_t>(MessageClass::kData)], 1u);
+  EXPECT_EQ(
+      stats.messages[static_cast<std::size_t>(MessageClass::kInvalidation)],
+      1u);
+  EXPECT_EQ(stats.messages[static_cast<std::size_t>(MessageClass::kNack)], 2u);
+  EXPECT_EQ(stats.total_messages(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean_hops(), 5.0 / 5.0);
+}
+
+TEST(MeshStats, RoundTripCountsBothLegs) {
+  MeshNoc mesh{square(4)};
+  const Tick arrival = mesh.round_trip(0, 15, 0, MessageClass::kRequest);
+  EXPECT_GE(arrival, 2 * mesh.pure_latency(0, 15));
+  EXPECT_EQ(mesh.stats().total_messages(), 2u);
+  EXPECT_EQ(mesh.stats().total_hops, 12u);
+}
+
+TEST(MeshStats, LinkTraversalsTrackHotspots) {
+  MeshNoc mesh{square(4)};
+  // Hammer one link.
+  for (int i = 0; i < 10; ++i) {
+    (void)mesh.traverse(0, 1, static_cast<Tick>(i * 100),
+                        MessageClass::kRequest);
+  }
+  EXPECT_EQ(mesh.max_link_traversals(), 10u);
+}
+
+TEST(MeshStats, ResetClearsEverything) {
+  MeshNoc mesh{square(2)};
+  (void)mesh.traverse(0, 3, 0, MessageClass::kRequest);
+  mesh.reset_stats();
+  EXPECT_EQ(mesh.stats().total_messages(), 0u);
+  EXPECT_EQ(mesh.max_link_traversals(), 0u);
+  // Busy-until state is cleared too: an immediate message pays pure latency.
+  EXPECT_EQ(mesh.traverse(0, 3, 0, MessageClass::kRequest),
+            mesh.pure_latency(0, 3));
+}
+
+TEST(MeshSingleTile, DegenerateMeshWorks) {
+  MeshNoc mesh{square(1)};
+  EXPECT_EQ(mesh.tiles(), 1u);
+  EXPECT_EQ(mesh.hops(0, 0), 0u);
+  EXPECT_EQ(mesh.traverse(0, 0, 7, MessageClass::kRequest),
+            7 + mesh.config().router_latency);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Cross-validation of the paper's closed forms by the numeric minimax
+// solver: the solver knows only the Section-4 cost model, so agreement on
+// game value and distribution shape independently confirms Theorems 1, 3,
+// 5 and 6 (unconstrained corners).
+#include "core/numeric_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.hpp"
+
+namespace {
+
+using namespace txc::core;
+
+MinimaxConfig config_for(ResolutionMode mode, int k, double B = 100.0) {
+  MinimaxConfig config;
+  config.mode = mode;
+  config.chain_length = k;
+  config.abort_cost = B;
+  return config;
+}
+
+TEST(Minimax, SolutionIsADistribution) {
+  const MinimaxSolution solution =
+      solve_minimax(config_for(ResolutionMode::kRequestorWins, 2));
+  double total = 0.0;
+  for (std::size_t i = 0; i < solution.pdf.size(); ++i) {
+    EXPECT_GE(solution.pdf[i], 0.0);
+    total += solution.pdf[i] * solution.cell_width;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(solution.cdf.back(), 1.0, 1e-9);
+}
+
+TEST(Minimax, RequestorWinsK2ValueIsTwo) {
+  // Theorem 5: the optimal requestor-wins strategy at k = 2 is uniform on
+  // [0, B] with competitive ratio 2.
+  const MinimaxSolution solution =
+      solve_minimax(config_for(ResolutionMode::kRequestorWins, 2));
+  EXPECT_NEAR(solution.game_value, 2.0, 0.08);
+}
+
+TEST(Minimax, RequestorWinsK2ShapeIsUniform) {
+  const MinimaxConfig config = config_for(ResolutionMode::kRequestorWins, 2);
+  const MinimaxSolution solution = solve_minimax(config);
+  const UniformWinsDensity closed{config.abort_cost, config.chain_length};
+  // Sup-distance between CDFs at the quartiles of the support.
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const double x = frac * closed.support_max();
+    EXPECT_NEAR(solution.cdf_at(x), closed.cdf(x), 0.08)
+        << "at x = " << x;
+  }
+}
+
+TEST(Minimax, RequestorAbortsK2ValueIsEOverEMinusOne) {
+  // Theorem 1: classic ski rental, e/(e-1) ~ 1.582.
+  const MinimaxSolution solution =
+      solve_minimax(config_for(ResolutionMode::kRequestorAborts, 2));
+  EXPECT_NEAR(solution.game_value, std::exp(1.0) / (std::exp(1.0) - 1.0),
+              0.06);
+}
+
+TEST(Minimax, RequestorAbortsK2ShapeIsExponential) {
+  const MinimaxConfig config = config_for(ResolutionMode::kRequestorAborts, 2);
+  const MinimaxSolution solution = solve_minimax(config);
+  const ExpAbortsDensity closed{config.abort_cost, config.chain_length};
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const double x = frac * closed.support_max();
+    EXPECT_NEAR(solution.cdf_at(x), closed.cdf(x), 0.08) << "at x = " << x;
+  }
+}
+
+class MinimaxChains : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimaxChains, RequestorWinsValueMatchesTheorem6) {
+  const int k = GetParam();
+  const MinimaxSolution solution =
+      solve_minimax(config_for(ResolutionMode::kRequestorWins, k));
+  EXPECT_NEAR(solution.game_value, ratio_rand_wins_power(k), 0.08)
+      << "k = " << k;
+}
+
+TEST_P(MinimaxChains, RequestorWinsShapeMatchesPowerDensity) {
+  const int k = GetParam();
+  if (k == 2) GTEST_SKIP() << "k = 2 covered by the uniform-shape test";
+  const MinimaxConfig config = config_for(ResolutionMode::kRequestorWins, k);
+  const MinimaxSolution solution = solve_minimax(config);
+  const PowerWinsDensity closed{config.abort_cost, k};
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const double x = frac * closed.support_max();
+    EXPECT_NEAR(solution.cdf_at(x), closed.cdf(x), 0.09)
+        << "k = " << k << ", x = " << x;
+  }
+}
+
+TEST_P(MinimaxChains, RequestorAbortsValueMatchesTheorem3) {
+  const int k = GetParam();
+  const MinimaxSolution solution =
+      solve_minimax(config_for(ResolutionMode::kRequestorAborts, k));
+  EXPECT_NEAR(solution.game_value, ratio_rand_aborts(k), 0.08) << "k = " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, MinimaxChains,
+                         ::testing::Values(2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(Minimax, ClosedFormScoresNoWorseThanNumericOnTheSameGrid) {
+  // The discretized closed form must achieve (up to grid error) the same
+  // worst-case ratio the solver found — i.e. the solver did not discover a
+  // better strategy than the paper's.
+  for (const int k : {2, 3, 4}) {
+    const MinimaxConfig config = config_for(ResolutionMode::kRequestorWins, k);
+    const MinimaxSolution numeric = solve_minimax(config);
+    const PowerWinsDensity closed{config.abort_cost, k};
+    const double closed_ratio =
+        grid_worst_ratio(config, discretize(closed, config));
+    EXPECT_NEAR(closed_ratio, numeric.game_value, 0.1) << "k = " << k;
+  }
+}
+
+TEST(Minimax, ValueInvariantToAbortCostScale) {
+  // The competitive ratio is scale-free in B; the solver must agree.
+  const MinimaxSolution small =
+      solve_minimax(config_for(ResolutionMode::kRequestorWins, 3, 10.0));
+  const MinimaxSolution large =
+      solve_minimax(config_for(ResolutionMode::kRequestorWins, 3, 5000.0));
+  EXPECT_NEAR(small.game_value, large.game_value, 0.05);
+}
+
+TEST(Minimax, DeterministicAcrossRuns) {
+  const MinimaxConfig config = config_for(ResolutionMode::kRequestorWins, 2);
+  const MinimaxSolution a = solve_minimax(config);
+  const MinimaxSolution b = solve_minimax(config);
+  EXPECT_EQ(a.game_value, b.game_value);
+  EXPECT_EQ(a.pdf, b.pdf);
+}
+
+TEST(Minimax, FinerGridsDoNotDegrade) {
+  MinimaxConfig coarse = config_for(ResolutionMode::kRequestorAborts, 2);
+  coarse.policy_points = 60;
+  coarse.adversary_points = 60;
+  MinimaxConfig fine = coarse;
+  fine.policy_points = 240;
+  fine.adversary_points = 240;
+  fine.rounds = 240000;
+  const double target = std::exp(1.0) / (std::exp(1.0) - 1.0);
+  const double coarse_err =
+      std::abs(solve_minimax(coarse).game_value - target);
+  const double fine_err = std::abs(solve_minimax(fine).game_value - target);
+  EXPECT_LE(fine_err, coarse_err + 0.02);
+}
+
+}  // namespace

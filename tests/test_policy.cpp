@@ -1,0 +1,319 @@
+// Tests for the policy layer: sampled grace periods stay inside the analyzed
+// supports, deterministic policies hit the Theorem 4 point, the mean-hint
+// switchover follows the thresholds, backoff scales B, and the hybrid picks
+// the mode Section 5.3 prescribes.
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+
+namespace {
+
+using namespace txc::core;
+using txc::sim::Rng;
+
+ConflictContext make_context(double abort_cost, int chain, double mean) {
+  ConflictContext context;
+  context.abort_cost = abort_cost;
+  context.chain_length = chain;
+  context.mean_hint = mean;
+  return context;
+}
+
+TEST(NoDelayPolicy, AlwaysZero) {
+  NoDelayPolicy policy;
+  Rng rng{1};
+  EXPECT_EQ(policy.grace_period(make_context(100, 2, 10), rng), 0.0);
+  EXPECT_EQ(policy.name(), "NO_DELAY");
+}
+
+TEST(FixedDelayPolicy, ReturnsConfiguredDelay) {
+  FixedDelayPolicy policy{37.5};
+  Rng rng{1};
+  EXPECT_EQ(policy.grace_period(make_context(100, 2, 10), rng), 37.5);
+  EXPECT_EQ(policy.grace_period(make_context(1, 8, 99), rng), 37.5);
+}
+
+TEST(DeterministicWinsPolicy, WaitsBOverKMinusOne) {
+  DeterministicWinsPolicy policy;
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(policy.grace_period(make_context(100, 2, 0), rng), 100.0);
+  EXPECT_DOUBLE_EQ(policy.grace_period(make_context(100, 5, 0), rng), 25.0);
+  EXPECT_EQ(policy.mode(), ResolutionMode::kRequestorWins);
+}
+
+TEST(DeterministicAbortsPolicy, WaitsB) {
+  DeterministicAbortsPolicy policy;
+  Rng rng{1};
+  EXPECT_DOUBLE_EQ(policy.grace_period(make_context(64, 4, 0), rng), 64.0);
+  EXPECT_EQ(policy.mode(), ResolutionMode::kRequestorAborts);
+}
+
+TEST(RandomizedWinsPolicy, SamplesWithinSupport) {
+  RandomizedWinsPolicy policy{/*use_mean_hint=*/false};
+  Rng rng{7};
+  for (const int k : {2, 3, 8}) {
+    const double B = 200.0;
+    const double support = B / (k - 1.0);
+    for (int i = 0; i < 2000; ++i) {
+      const double grace = policy.grace_period(make_context(B, k, 0), rng);
+      ASSERT_GE(grace, 0.0);
+      ASSERT_LE(grace, support * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(RandomizedWinsPolicy, UsesMeanDensityBelowThreshold) {
+  RandomizedWinsPolicy policy{/*use_mean_hint=*/true};
+  Rng rng{8};
+  const double B = 1000.0;
+  const double mu = 10.0;  // far below 2(ln4-1) B
+  // The mean-constrained density has p(0) = 0, so small grace periods are
+  // rare; the unconstrained uniform spreads evenly.  Compare the frequency of
+  // draws in the lowest decile.
+  int low_with_mean = 0;
+  int low_without = 0;
+  RandomizedWinsPolicy unconstrained{/*use_mean_hint=*/false};
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (policy.grace_period(make_context(B, 2, mu), rng) < 0.1 * B)
+      ++low_with_mean;
+    if (unconstrained.grace_period(make_context(B, 2, mu), rng) < 0.1 * B)
+      ++low_without;
+  }
+  EXPECT_LT(low_with_mean, low_without / 2);
+}
+
+TEST(RandomizedWinsPolicy, FallsBackAboveThreshold) {
+  // With mu/B far above the threshold the policy must sample the uniform
+  // density: the empirical mean of draws is support/2.
+  RandomizedWinsPolicy policy{/*use_mean_hint=*/true};
+  Rng rng{9};
+  const double B = 100.0;
+  const double mu = 5.0 * B;
+  double sum = 0.0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    sum += policy.grace_period(make_context(B, 2, mu), rng);
+  }
+  EXPECT_NEAR(sum / trials, B / 2.0, 1.5);
+}
+
+TEST(RandomizedAbortsPolicy, SamplesWithinSupport) {
+  RandomizedAbortsPolicy policy{/*use_mean_hint=*/true};
+  Rng rng{10};
+  for (const int k : {2, 3, 8}) {
+    const double B = 150.0;
+    const double support = B / (k - 1.0);
+    for (int i = 0; i < 2000; ++i) {
+      const double grace = policy.grace_period(make_context(B, k, 20.0), rng);
+      ASSERT_GE(grace, 0.0);
+      ASSERT_LE(grace, support * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(HybridPolicy, ModeSelectionFollowsSection53) {
+  EXPECT_EQ(HybridPolicy::mode_for(2), ResolutionMode::kRequestorAborts);
+  EXPECT_EQ(HybridPolicy::mode_for(3), ResolutionMode::kRequestorWins);
+  EXPECT_EQ(HybridPolicy::mode_for(8), ResolutionMode::kRequestorWins);
+}
+
+TEST(BackoffPolicy, ScalesAbortCostPerAttempt) {
+  auto inner = std::make_shared<DeterministicWinsPolicy>();
+  BackoffPolicy backoff{inner, 2.0};
+  Rng rng{11};
+  ConflictContext context = make_context(100.0, 2, 0);
+  context.attempt = 0;
+  EXPECT_DOUBLE_EQ(backoff.grace_period(context, rng), 100.0);
+  context.attempt = 3;
+  EXPECT_DOUBLE_EQ(backoff.grace_period(context, rng), 800.0);
+  EXPECT_EQ(backoff.name(), "DET_WINS+BACKOFF");
+}
+
+TEST(BackoffPolicy, CapsDoublings) {
+  auto inner = std::make_shared<DeterministicWinsPolicy>();
+  BackoffPolicy backoff{inner, 2.0, /*max_doublings=*/4};
+  Rng rng{12};
+  ConflictContext context = make_context(1.0, 2, 0);
+  context.attempt = 100;
+  EXPECT_DOUBLE_EQ(backoff.grace_period(context, rng), 16.0);
+}
+
+TEST(Factory, BuildsEveryKind) {
+  for (const auto kind :
+       {StrategyKind::kNoDelay, StrategyKind::kFixedTuned,
+        StrategyKind::kDetWins, StrategyKind::kDetAborts,
+        StrategyKind::kRandWins, StrategyKind::kRandWinsMean,
+        StrategyKind::kRandWinsPower, StrategyKind::kRandAborts,
+        StrategyKind::kRandAbortsMean, StrategyKind::kHybrid}) {
+    const auto policy = make_policy(kind, 12.0);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+    Rng rng{13};
+    EXPECT_GE(policy->grace_period(make_context(50.0, 2, 25.0), rng), 0.0);
+  }
+}
+
+TEST(MeanProfiler, WarmsUpThenReportsMean) {
+  MeanProfiler profiler{/*min_samples=*/4};
+  EXPECT_FALSE(profiler.mean_hint().has_value());
+  for (const double len : {10.0, 20.0, 30.0}) profiler.record_commit_length(len);
+  EXPECT_FALSE(profiler.mean_hint().has_value());
+  profiler.record_commit_length(40.0);
+  ASSERT_TRUE(profiler.mean_hint().has_value());
+  EXPECT_DOUBLE_EQ(*profiler.mean_hint(), 25.0);
+}
+
+TEST(MeanProfiler, DecayTracksPhaseChange) {
+  MeanProfiler profiler{/*min_samples=*/1, /*decay=*/0.5};
+  for (int i = 0; i < 20; ++i) profiler.record_commit_length(100.0);
+  for (int i = 0; i < 20; ++i) profiler.record_commit_length(10.0);
+  ASSERT_TRUE(profiler.mean_hint().has_value());
+  EXPECT_NEAR(*profiler.mean_hint(), 10.0, 1.0);  // old phase forgotten
+}
+
+TEST(MeanProfiler, ResetClearsState) {
+  MeanProfiler profiler{1};
+  profiler.record_commit_length(5.0);
+  profiler.reset();
+  EXPECT_FALSE(profiler.mean_hint().has_value());
+  EXPECT_EQ(profiler.samples(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OraclePolicy — the offline optimum given remaining_hint
+// ---------------------------------------------------------------------------
+
+TEST(OraclePolicy, WaitsWhenCommitIsCheaper) {
+  OraclePolicy policy;
+  Rng rng{1};
+  ConflictContext context = make_context(/*B=*/100, /*k=*/2, /*mu=*/0);
+  context.mean_hint.reset();
+  context.remaining_hint = 40.0;  // (k-1)*40 = 40 <= 100: wait it out
+  EXPECT_GT(policy.grace_period(context, rng), 40.0 - 1e-9);
+}
+
+TEST(OraclePolicy, AbortsWhenAbortIsCheaper) {
+  OraclePolicy policy;
+  Rng rng{1};
+  ConflictContext context = make_context(100, 2, 0);
+  context.mean_hint.reset();
+  context.remaining_hint = 150.0;  // 150 > 100: abort immediately
+  EXPECT_EQ(policy.grace_period(context, rng), 0.0);
+}
+
+TEST(OraclePolicy, ChainLengthWeightsTheDecision) {
+  OraclePolicy policy;
+  Rng rng{1};
+  ConflictContext context = make_context(100, 4, 0);
+  context.mean_hint.reset();
+  context.remaining_hint = 40.0;  // (k-1)*40 = 120 > 100: abort
+  EXPECT_EQ(policy.grace_period(context, rng), 0.0);
+  context.remaining_hint = 30.0;  // 90 <= 100: wait
+  EXPECT_GT(policy.grace_period(context, rng), 0.0);
+}
+
+TEST(OraclePolicy, RequestorAbortsModeIgnoresChainWeight) {
+  OraclePolicy policy{ResolutionMode::kRequestorAborts};
+  Rng rng{1};
+  ConflictContext context = make_context(100, 4, 0);
+  context.mean_hint.reset();
+  context.remaining_hint = 90.0;  // D <= B: wait regardless of k
+  EXPECT_GT(policy.grace_period(context, rng), 0.0);
+}
+
+TEST(OraclePolicy, NoHintFallsBackToNoDelay) {
+  OraclePolicy policy;
+  Rng rng{1};
+  ConflictContext context = make_context(100, 2, 0);
+  context.mean_hint.reset();
+  EXPECT_EQ(policy.grace_period(context, rng), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveTunedPolicy — learns the fixed delay from outcome feedback
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveTuned, BootstrapsWithInitialDelay) {
+  AdaptiveTunedPolicy::Params params;
+  params.initial_delay = 33.0;
+  params.min_samples = 4;
+  AdaptiveTunedPolicy policy{params};
+  Rng rng{1};
+  ConflictContext context = make_context(1000, 2, 0);
+  context.mean_hint.reset();
+  EXPECT_DOUBLE_EQ(policy.grace_period(context, rng), 33.0);
+}
+
+TEST(AdaptiveTuned, LearnsFromExactSamples) {
+  AdaptiveTunedPolicy::Params params;
+  params.alpha = 0.5;
+  params.min_samples = 2;
+  params.initial_delay = 1.0;
+  AdaptiveTunedPolicy policy{params};
+  Rng rng{1};
+  for (int i = 0; i < 50; ++i) {
+    policy.observe({/*committed=*/true, /*grace=*/100.0, /*waited=*/60.0, 2});
+  }
+  ConflictContext context = make_context(10000, 2, 0);
+  context.mean_hint.reset();
+  EXPECT_NEAR(policy.grace_period(context, rng), 60.0, 1.0);
+  EXPECT_NEAR(policy.learned_delay(), 60.0, 1.0);
+}
+
+TEST(AdaptiveTuned, CensoredFeedbackRaisesDelay) {
+  AdaptiveTunedPolicy::Params params;
+  params.alpha = 0.3;
+  params.min_samples = 2;
+  params.initial_delay = 10.0;
+  AdaptiveTunedPolicy policy{params};
+  for (int i = 0; i < 30; ++i) {
+    policy.observe({/*committed=*/false, /*grace=*/50.0, /*waited=*/50.0, 2});
+  }
+  EXPECT_GT(policy.learned_delay(), 50.0)
+      << "expiries mean the delay was too short";
+}
+
+TEST(AdaptiveTuned, CapNeverExceedsDeterministicOptimum) {
+  AdaptiveTunedPolicy::Params params;
+  params.min_samples = 1;
+  AdaptiveTunedPolicy policy{params};
+  Rng rng{1};
+  // Learn an absurdly large delay...
+  for (int i = 0; i < 100; ++i) {
+    policy.observe({true, 1e6, 1e6, 2});
+  }
+  // ... the played grace period must still respect B/(k-1).
+  ConflictContext context = make_context(/*B=*/200, /*k=*/3, 0);
+  context.mean_hint.reset();
+  EXPECT_LE(policy.grace_period(context, rng), 200.0 / 2 + 1e-9);
+}
+
+TEST(AdaptiveTuned, FeedbackSampleCounting) {
+  AdaptiveTunedPolicy policy;
+  EXPECT_EQ(policy.feedback_samples(), 0u);
+  policy.observe({true, 10, 5, 2});
+  policy.observe({false, 10, 10, 2});
+  EXPECT_EQ(policy.feedback_samples(), 2u);
+}
+
+TEST(PolicyFactory, NewKindsConstructAndName) {
+  EXPECT_EQ(make_policy(StrategyKind::kOracle)->name(), "ORACLE");
+  EXPECT_EQ(make_policy(StrategyKind::kAdaptiveTuned)->name(),
+            "DELAY_ADAPTIVE");
+  EXPECT_STREQ(to_string(StrategyKind::kOracle), "ORACLE");
+  EXPECT_STREQ(to_string(StrategyKind::kAdaptiveTuned), "DELAY_ADAPTIVE");
+}
+
+TEST(PolicyFactory, DefaultObserveIsNoop) {
+  // Non-adaptive policies must accept feedback silently (the simulator calls
+  // observe unconditionally).
+  const auto policy = make_policy(StrategyKind::kRandWins);
+  policy->observe({true, 10, 5, 2});
+  policy->observe({false, 10, 10, 3});
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests of conflict-trace recording (HTM simulator side) and offline replay
+// (workload side): traces are recorded faithfully, OPT lower-bounds every
+// policy, the competitive guarantees hold on recorded traces, and the
+// oracle replays to (near) OPT.
+#include "workload/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+
+namespace {
+
+using namespace txc;
+using workload::ConflictSample;
+using workload::ReplayResult;
+
+std::vector<ConflictSample> synthetic_trace(std::uint64_t seed,
+                                            std::size_t count) {
+  sim::Rng rng{seed};
+  std::vector<ConflictSample> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ConflictSample sample;
+    sample.abort_cost = rng.uniform(50.0, 500.0);
+    sample.chain_length = static_cast<int>(rng.uniform_int(2, 5));
+    sample.remaining = rng.exponential(120.0);
+    trace.push_back(sample);
+  }
+  return trace;
+}
+
+std::vector<ConflictSample> recorded_trace(core::StrategyKind kind,
+                                           std::uint64_t commits) {
+  htm::HtmConfig config;
+  config.cores = 8;
+  config.policy = core::make_policy(kind);
+  config.record_conflicts = true;
+  config.seed = 42;
+  htm::HtmSystem system{config, std::make_shared<ds::TxAppWorkload>()};
+  (void)system.run(commits);
+  std::vector<ConflictSample> trace;
+  trace.reserve(system.conflict_trace().size());
+  for (const htm::ConflictRecord& record : system.conflict_trace()) {
+    trace.push_back({record.abort_cost, record.chain_length,
+                     record.remaining});
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecording, DisabledByDefault) {
+  htm::HtmConfig config;
+  config.cores = 8;
+  config.policy = core::make_policy(core::StrategyKind::kRandWins);
+  htm::HtmSystem system{config, std::make_shared<ds::TxAppWorkload>()};
+  (void)system.run(1000);
+  EXPECT_TRUE(system.conflict_trace().empty());
+}
+
+TEST(TraceRecording, RecordsPlausibleDecisionPoints) {
+  const auto trace = recorded_trace(core::StrategyKind::kRandWins, 3000);
+  ASSERT_GT(trace.size(), 100u) << "contended run must produce conflicts";
+  for (const ConflictSample& sample : trace) {
+    EXPECT_GT(sample.abort_cost, 0.0);
+    EXPECT_GE(sample.chain_length, 2);
+    EXPECT_LE(sample.chain_length, 8);
+    EXPECT_GT(sample.remaining, 0.0);
+    EXPECT_LT(sample.remaining, 10000.0);
+  }
+}
+
+TEST(TraceRecording, DeterministicGivenSeed) {
+  const auto a = recorded_trace(core::StrategyKind::kRandWins, 1500);
+  const auto b = recorded_trace(core::StrategyKind::kRandWins, 1500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].abort_cost, b[i].abort_cost);
+    EXPECT_EQ(a[i].remaining, b[i].remaining);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+TEST(Replay, OptimalLowerBoundsEveryPolicy) {
+  const auto trace = synthetic_trace(7, 3000);
+  for (const auto kind :
+       {core::StrategyKind::kNoDelay, core::StrategyKind::kDetWins,
+        core::StrategyKind::kRandWins, core::StrategyKind::kRandAborts,
+        core::StrategyKind::kHybrid}) {
+    const auto policy = core::make_policy(kind);
+    const ReplayResult result = replay_trace(*policy, trace);
+    EXPECT_GE(result.ratio_vs_optimal(), 1.0 - 1e-9)
+        << core::to_string(kind);
+  }
+}
+
+TEST(Replay, UniformWinsHonorsItsGuaranteeOnRecordedTraces) {
+  // Theorem 5: expected conflict cost <= 2 * OPT per conflict, hence also
+  // in aggregate — on a trace from an actual simulator run.
+  const auto trace = recorded_trace(core::StrategyKind::kRandWins, 4000);
+  const auto policy = core::make_policy(core::StrategyKind::kRandWins);
+  const ReplayResult result = replay_trace(*policy, trace, 3, 64);
+  EXPECT_LE(result.ratio_vs_optimal(), 2.0 + 0.05);
+}
+
+TEST(Replay, DetWinsHonorsTheorem4OnRecordedTraces) {
+  const auto trace = recorded_trace(core::StrategyKind::kDetWins, 4000);
+  const auto policy = core::make_policy(core::StrategyKind::kDetWins);
+  const ReplayResult result = replay_trace(*policy, trace, 3, 1);
+  // Ratio 2 + 1/(k-1) <= 3 for every k >= 2.
+  EXPECT_LE(result.ratio_vs_optimal(), 3.0 + 1e-9);
+}
+
+TEST(Replay, OracleReplaysToOptimal) {
+  // Feed the oracle the recorded remaining time: its cost equals OPT.
+  const auto trace = synthetic_trace(11, 2000);
+  core::OraclePolicy oracle;
+  sim::Rng rng{5};
+  double oracle_total = 0.0;
+  for (const ConflictSample& sample : trace) {
+    core::ConflictContext context;
+    context.abort_cost = sample.abort_cost;
+    context.chain_length = sample.chain_length;
+    context.remaining_hint = sample.remaining;
+    const double grace = oracle.grace_period(context, rng);
+    oracle_total += core::conflict_cost(core::ResolutionMode::kRequestorWins,
+                                        grace, sample.remaining,
+                                        sample.chain_length,
+                                        sample.abort_cost);
+  }
+  const double opt = workload::offline_optimal_total(
+      core::ResolutionMode::kRequestorWins, trace);
+  EXPECT_NEAR(oracle_total / opt, 1.0, 1e-9);
+}
+
+TEST(Replay, NoDelayCostsExactlyBPlusNothing) {
+  // NO_DELAY always aborts at grace 0: RW cost is exactly B per conflict.
+  const std::vector<ConflictSample> trace = {{100.0, 2, 50.0},
+                                             {200.0, 3, 10.0}};
+  const auto policy = core::make_policy(core::StrategyKind::kNoDelay);
+  const ReplayResult result = replay_trace(*policy, trace, 1, 1);
+  EXPECT_DOUBLE_EQ(result.total_cost, 300.0);
+}
+
+TEST(Replay, RatioComputationSane) {
+  const std::vector<ConflictSample> trace = {{100.0, 2, 50.0}};
+  // OPT = min((k-1)D, B) = 50.
+  EXPECT_DOUBLE_EQ(workload::offline_optimal_total(
+                       core::ResolutionMode::kRequestorWins, trace),
+                   50.0);
+  const auto policy = core::make_policy(core::StrategyKind::kNoDelay);
+  const ReplayResult result = replay_trace(*policy, trace, 1, 1);
+  EXPECT_DOUBLE_EQ(result.ratio_vs_optimal(), 100.0 / 50.0);
+  EXPECT_DOUBLE_EQ(result.mean_cost(), 100.0);
+}
+
+TEST(Replay, EmptyTraceIsHarmless) {
+  const std::vector<ConflictSample> trace;
+  const auto policy = core::make_policy(core::StrategyKind::kRandWins);
+  const ReplayResult result = replay_trace(*policy, trace);
+  EXPECT_EQ(result.conflicts, 0u);
+  EXPECT_DOUBLE_EQ(result.mean_cost(), 0.0);
+  EXPECT_DOUBLE_EQ(result.ratio_vs_optimal(), 0.0);
+}
+
+}  // namespace

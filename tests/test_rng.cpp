@@ -1,0 +1,171 @@
+// Unit tests for the deterministic RNG: reproducibility, range contracts, and
+// the first two moments of every distribution the workloads rely on.
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/stats.hpp"
+
+namespace {
+
+using txc::sim::Rng;
+using txc::sim::RunningStats;
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a{77};
+  const auto first = a();
+  a.reseed(77);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{5};
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng{6};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 9.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllResidues) {
+  Rng rng{8};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformBelowZeroAndOne) {
+  Rng rng{9};
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{10};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{11};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(42.0));
+  EXPECT_NEAR(stats.mean(), 42.0, 0.5);
+  // Exponential variance = mean^2.
+  EXPECT_NEAR(stats.variance(), 42.0 * 42.0, 42.0 * 42.0 * 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{12};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, GeometricMeanMatchesInverseP) {
+  Rng rng{13};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i)
+    stats.add(static_cast<double>(rng.geometric(0.02)));
+  EXPECT_NEAR(stats.mean(), 50.0, 1.0);
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST(Rng, GeometricDegenerateP) {
+  Rng rng{14};
+  EXPECT_EQ(rng.geometric(1.0), 1u);
+  EXPECT_EQ(rng.geometric(1.5), 1u);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng{15};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i)
+    stats.add(static_cast<double>(rng.poisson(4.0)));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 4.0, 0.2);
+}
+
+TEST(Rng, PoissonLargeMeanUsesSplitPath) {
+  Rng rng{16};
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i)
+    stats.add(static_cast<double>(rng.poisson(500.0)));
+  EXPECT_NEAR(stats.mean(), 500.0, 2.0);
+  EXPECT_NEAR(stats.variance(), 500.0, 25.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{17};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{18};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent{19};
+  Rng child_a = parent.split();
+  Rng child_b = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (child_a() == child_b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace

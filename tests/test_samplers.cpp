@@ -1,0 +1,198 @@
+// Sampler-distribution property tests: for every density family and a grid
+// of (B, k) parameters, inverse-CDF sampling must reproduce the analytic
+// CDF (Kolmogorov–Smirnov), quantile must invert cdf, and the policy layer
+// must sample from exactly the density its theorem prescribes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/densities.hpp"
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace txc::core;
+using txc::sim::Rng;
+using txc::sim::Samples;
+
+constexpr int kDraws = 20000;
+// KS critical value at alpha ~ 1e-3 for n = 20000 draws: 1.95 / sqrt(n).
+const double kKsBound = 1.95 / std::sqrt(static_cast<double>(kDraws));
+
+template <typename Density>
+void expect_sampler_matches_cdf(const Density& density, std::uint64_t seed) {
+  Rng rng{seed};
+  Samples samples;
+  samples.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) samples.add(density.sample(rng));
+  const double ks =
+      samples.ks_statistic([&](double x) { return density.cdf(x); });
+  EXPECT_LT(ks, kKsBound) << density.name();
+}
+
+template <typename Density>
+void expect_quantile_inverts_cdf(const Density& density) {
+  for (const double u : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double x = density.quantile(u);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, density.support_max() * (1.0 + 1e-9));
+    EXPECT_NEAR(density.cdf(x), u, 1e-6) << density.name() << " at u = " << u;
+  }
+}
+
+class SamplerGrid
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(SamplerGrid, UniformWinsSamplesItsCdf) {
+  const auto [B, k] = GetParam();
+  expect_sampler_matches_cdf(UniformWinsDensity{B, k}, 11);
+  expect_quantile_inverts_cdf(UniformWinsDensity{B, k});
+}
+
+TEST_P(SamplerGrid, PowerWinsSamplesItsCdf) {
+  const auto [B, k] = GetParam();
+  expect_sampler_matches_cdf(PowerWinsDensity{B, k}, 13);
+  expect_quantile_inverts_cdf(PowerWinsDensity{B, k});
+}
+
+TEST_P(SamplerGrid, ExpAbortsSamplesItsCdf) {
+  const auto [B, k] = GetParam();
+  expect_sampler_matches_cdf(ExpAbortsDensity{B, k}, 17);
+  expect_quantile_inverts_cdf(ExpAbortsDensity{B, k});
+}
+
+TEST_P(SamplerGrid, ExpMeanAbortsSamplesItsCdf) {
+  const auto [B, k] = GetParam();
+  expect_sampler_matches_cdf(ExpMeanAbortsDensity{B, k}, 19);
+  expect_quantile_inverts_cdf(ExpMeanAbortsDensity{B, k});
+}
+
+TEST_P(SamplerGrid, PowerMeanWinsSamplesItsCdf) {
+  const auto [B, k] = GetParam();
+  if (k == 2) GTEST_SKIP() << "k = 2 uses the log form";
+  expect_sampler_matches_cdf(PowerMeanWinsDensity{B, k}, 23);
+  expect_quantile_inverts_cdf(PowerMeanWinsDensity{B, k});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, SamplerGrid,
+    ::testing::Combine(::testing::Values(10.0, 100.0, 5000.0),
+                       ::testing::Values(2, 3, 8)),
+    [](const auto& info) {
+      return "B" + std::to_string(static_cast<int>(std::get<0>(info.param))) +
+             "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SamplerLogMeanWins, SamplesItsCdf) {
+  for (const double B : {10.0, 100.0, 5000.0}) {
+    expect_sampler_matches_cdf(LogMeanWinsDensity{B}, 29);
+    expect_quantile_inverts_cdf(LogMeanWinsDensity{B});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Policy layer draws from the prescribed density
+// ---------------------------------------------------------------------------
+
+ConflictContext context_of(double B, int k) {
+  ConflictContext context;
+  context.abort_cost = B;
+  context.chain_length = k;
+  return context;
+}
+
+TEST(PolicySampling, RandWinsIsUniformOnItsSupport) {
+  RandomizedWinsPolicy policy{/*use_mean_hint=*/false};
+  const UniformWinsDensity density{300.0, 3};
+  Rng rng{31};
+  Samples samples;
+  for (int i = 0; i < kDraws; ++i) {
+    samples.add(policy.grace_period(context_of(300.0, 3), rng));
+  }
+  EXPECT_LT(samples.ks_statistic([&](double x) { return density.cdf(x); }),
+            kKsBound);
+}
+
+TEST(PolicySampling, RandWinsMeanSwitchesAtThreshold) {
+  RandomizedWinsPolicy policy{/*use_mean_hint=*/true};
+  Rng rng{37};
+  // Below the threshold: draws follow the mean-constrained log density.
+  ConflictContext below = context_of(1000.0, 2);
+  below.mean_hint = 10.0;  // mu/B = 0.01 << 2(ln4 - 1)
+  const LogMeanWinsDensity constrained{1000.0};
+  Samples constrained_draws;
+  for (int i = 0; i < kDraws; ++i) {
+    constrained_draws.add(policy.grace_period(below, rng));
+  }
+  EXPECT_LT(constrained_draws.ks_statistic(
+                [&](double x) { return constrained.cdf(x); }),
+            kKsBound);
+  // Above the threshold: falls back to uniform.
+  ConflictContext above = context_of(1000.0, 2);
+  above.mean_hint = 5000.0;
+  const UniformWinsDensity uniform{1000.0, 2};
+  Samples fallback_draws;
+  for (int i = 0; i < kDraws; ++i) {
+    fallback_draws.add(policy.grace_period(above, rng));
+  }
+  EXPECT_LT(fallback_draws.ks_statistic(
+                [&](double x) { return uniform.cdf(x); }),
+            kKsBound);
+}
+
+TEST(PolicySampling, RandAbortsIsExponentialOnItsSupport) {
+  RandomizedAbortsPolicy policy{/*use_mean_hint=*/false};
+  const ExpAbortsDensity density{150.0, 4};
+  Rng rng{41};
+  Samples samples;
+  for (int i = 0; i < kDraws; ++i) {
+    samples.add(policy.grace_period(context_of(150.0, 4), rng));
+  }
+  EXPECT_LT(samples.ks_statistic([&](double x) { return density.cdf(x); }),
+            kKsBound);
+}
+
+TEST(PolicySampling, BackoffScalesTheEffectiveSupport) {
+  // Attempt a doubles B: the max draw over many samples must (nearly)
+  // double, and the draws must match the density at the scaled B.
+  const auto inner = std::make_shared<RandomizedWinsPolicy>(false);
+  BackoffPolicy backoff{inner, 2.0};
+  Rng rng{43};
+  ConflictContext context = context_of(100.0, 2);
+  context.attempt = 3;  // B' = 800
+  const UniformWinsDensity scaled{800.0, 2};
+  Samples samples;
+  for (int i = 0; i < kDraws; ++i) {
+    samples.add(backoff.grace_period(context, rng));
+  }
+  EXPECT_LT(samples.ks_statistic([&](double x) { return scaled.cdf(x); }),
+            kKsBound);
+}
+
+TEST(PolicySampling, HybridDrawsFromTheModeItSelects) {
+  HybridPolicy policy;
+  Rng rng{47};
+  // k = 2 -> requestor aborts -> exponential density.
+  const ExpAbortsDensity aborts_density{200.0, 2};
+  Samples aborts_draws;
+  for (int i = 0; i < kDraws; ++i) {
+    aborts_draws.add(policy.grace_period(context_of(200.0, 2), rng));
+  }
+  EXPECT_LT(aborts_draws.ks_statistic(
+                [&](double x) { return aborts_density.cdf(x); }),
+            kKsBound);
+  // k = 4 -> requestor wins -> uniform density.
+  const UniformWinsDensity wins_density{200.0, 4};
+  Samples wins_draws;
+  for (int i = 0; i < kDraws; ++i) {
+    wins_draws.add(policy.grace_period(context_of(200.0, 4), rng));
+  }
+  EXPECT_LT(wins_draws.ks_statistic(
+                [&](double x) { return wins_density.cdf(x); }),
+            kKsBound);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Unit tests for streaming statistics, histograms, and the KS helper.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace {
+
+using txc::sim::Histogram;
+using txc::sim::Rng;
+using txc::sim::RunningStats;
+using txc::sim::Samples;
+
+TEST(RunningStats, EmptyIsNeutral) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(stats.min()));
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of the classic 2,4,4,4,5,5,7,9 set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng{1};
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram hist{0.0, 10.0, 10};
+  hist.add(-1.0);   // underflow
+  hist.add(0.0);    // bin 0
+  hist.add(9.999);  // bin 9
+  hist.add(10.0);   // overflow
+  hist.add(5.5);    // bin 5
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.bin(0), 1u);
+  EXPECT_EQ(hist.bin(9), 1u);
+  EXPECT_EQ(hist.bin(5), 1u);
+  EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram hist{0.0, 1.0, 100};
+  Rng rng{2};
+  for (int i = 0; i < 100000; ++i) hist.add(rng.uniform01());
+  EXPECT_NEAR(hist.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(hist.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, RenderIsNonEmpty) {
+  Histogram hist{0.0, 1.0, 4};
+  hist.add(0.1);
+  EXPECT_FALSE(hist.render().empty());
+}
+
+TEST(Samples, QuantileInterpolation) {
+  Samples s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(Samples, KsStatisticDetectsMatchAndMismatch) {
+  Rng rng{3};
+  Samples uniform;
+  for (int i = 0; i < 20000; ++i) uniform.add(rng.uniform01());
+  const double ks_match = uniform.ks_statistic([](double x) { return x; });
+  EXPECT_LT(ks_match, 0.02);
+  // The same samples against a mismatched CDF (x^2) must show a large gap.
+  const double ks_mismatch =
+      uniform.ks_statistic([](double x) { return x * x; });
+  EXPECT_GT(ks_mismatch, 0.2);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests of the TL2-style STM with the grace-period contention manager:
+// single-thread semantics, multi-thread atomicity/isolation (real threads),
+// and the policy hook.
+#include "stm/tl2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::stm;
+
+std::shared_ptr<const core::GracePeriodPolicy> default_policy() {
+  return core::make_policy(core::StrategyKind::kRandAborts);
+}
+
+TEST(Stm, SingleThreadReadWrite) {
+  Stm stm{default_policy()};
+  Cell cell;
+  stm.atomically([&](Tx& tx) {
+    EXPECT_EQ(tx.read(cell), 0u);
+    tx.write(cell, 41);
+    EXPECT_EQ(tx.read(cell), 41u) << "write-own-read must see the buffer";
+    tx.write(cell, 42);
+  });
+  EXPECT_EQ(Stm::read_committed(cell), 42u);
+  EXPECT_EQ(stm.stats().commits.load(), 1u);
+  EXPECT_EQ(stm.stats().aborts.load(), 0u);
+}
+
+TEST(Stm, ReadOnlyTransactionCommitsWithoutLocks) {
+  Stm stm{default_policy()};
+  Cell cell;
+  cell.value.store(7);
+  std::uint64_t seen = 0;
+  stm.atomically([&](Tx& tx) { seen = tx.read(cell); });
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(stm.stats().commits.load(), 1u);
+}
+
+TEST(Stm, MultiCellTransactionIsAtomic) {
+  Stm stm{default_policy()};
+  Cell a;
+  Cell b;
+  a.value.store(100);
+  stm.atomically([&](Tx& tx) {
+    const std::uint64_t amount = 30;
+    tx.write(a, tx.read(a) - amount);
+    tx.write(b, tx.read(b) + amount);
+  });
+  EXPECT_EQ(Stm::read_committed(a), 70u);
+  EXPECT_EQ(Stm::read_committed(b), 30u);
+}
+
+TEST(Stm, ConcurrentCounterLosesNoUpdates) {
+  Stm stm{default_policy()};
+  Cell counter;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        stm.atomically([&](Tx& tx) { tx.write(counter, tx.read(counter) + 1); });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(Stm::read_committed(counter),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(stm.stats().commits.load(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Stm, BankTransferConservesTotal) {
+  // The classic isolation test: concurrent transfers between accounts must
+  // conserve the total balance at every committed snapshot.
+  Stm stm{default_policy()};
+  constexpr int kAccounts = 16;
+  constexpr std::uint64_t kInitial = 1000;
+  std::vector<Cell> accounts(kAccounts);
+  for (auto& account : accounts) account.value.store(kInitial);
+
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      sim::Rng rng{static_cast<std::uint64_t>(t) + 1};
+      for (int i = 0; i < 3000; ++i) {
+        const auto from = static_cast<int>(rng.uniform_below(kAccounts));
+        auto to = static_cast<int>(rng.uniform_below(kAccounts - 1));
+        if (to >= from) ++to;
+        stm.atomically([&](Tx& tx) {
+          const std::uint64_t balance = tx.read(accounts[from]);
+          const std::uint64_t amount = balance % 10;
+          tx.write(accounts[from], balance - amount);
+          tx.write(accounts[to], tx.read(accounts[to]) + amount);
+        });
+        // Transactional audit: the snapshot total must be exact.
+        std::uint64_t total = 0;
+        stm.atomically([&](Tx& tx) {
+          total = 0;
+          for (const auto& account : accounts) total += tx.read(account);
+        });
+        if (total != kAccounts * kInitial) violation.store(true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(violation.load());
+  std::uint64_t final_total = 0;
+  for (const auto& account : accounts) final_total += Stm::read_committed(account);
+  EXPECT_EQ(final_total, kAccounts * kInitial);
+}
+
+TEST(Stm, HighContentionRemainsAtomic) {
+  Stm stm{default_policy()};
+  Cell hot;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4000; ++i) {
+        stm.atomically([&](Tx& tx) { tx.write(hot, tx.read(hot) + 1); });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Whether or not the host scheduler produced real overlap (a single-core
+  // machine may not), no increment may be lost; lock-wait/abort counters are
+  // informational (they are exercised deterministically by the commit path
+  // when overlap does occur).
+  EXPECT_EQ(Stm::read_committed(hot), 16000u);
+  EXPECT_GE(stm.stats().commits.load(), 16000u);
+}
+
+TEST(Stm, NoDelayPolicyStillMakesProgress) {
+  Stm stm{core::make_policy(core::StrategyKind::kNoDelay)};
+  Cell hot;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        stm.atomically([&](Tx& tx) { tx.write(hot, tx.read(hot) + 1); });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(Stm::read_committed(hot), 8000u);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Integration tests of the Figure 2 synthetic experiment: the measured
+// average-cost ratios of each strategy must land where Section 8.1 says they
+// do ("the cost of RRW and RRA is (almost) exactly 2, respectively e/(e-1)
+// times the optimal cost, as predicted").
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/math.hpp"
+#include "core/policy.hpp"
+
+namespace {
+
+using namespace txc::core;
+using namespace txc::workload;
+
+SyntheticConfig high_b_config() {
+  SyntheticConfig config;
+  config.abort_cost = 2000.0;  // Figure 2a
+  config.mean = 500.0;
+  config.trials = 60000;
+  return config;
+}
+
+SyntheticConfig low_b_config() {
+  SyntheticConfig config;
+  config.abort_cost = 200.0;  // Figure 2b
+  config.mean = 500.0;
+  config.trials = 60000;
+  return config;
+}
+
+TEST(Synthetic, DetNearOptimalWithHighFixedCost) {
+  // Figure 2a observation: with B >> mu and benign distributions DET
+  // (almost) never aborts, so its cost is near OPT.
+  const auto config = high_b_config();
+  const LengthDistribution lengths{LengthShape::kExponential, config.mean};
+  const auto policy = make_policy(StrategyKind::kDetWins);
+  const auto result = run_synthetic(*policy, lengths, config);
+  EXPECT_LT(result.average_ratio(), 1.1);
+  EXPECT_LT(result.abort_fraction, 0.02);
+}
+
+TEST(Synthetic, RrwPaysAlmostExactlyTwiceOpt) {
+  const auto config = high_b_config();
+  const LengthDistribution lengths{LengthShape::kUniform, config.mean};
+  const auto policy = make_policy(StrategyKind::kRandWins);
+  const auto result = run_synthetic(*policy, lengths, config);
+  EXPECT_NEAR(result.average_ratio(), 2.0, 0.05);
+}
+
+TEST(Synthetic, RraPaysAlmostExactlyEOverEMinusOne) {
+  const auto config = high_b_config();
+  const LengthDistribution lengths{LengthShape::kUniform, config.mean};
+  const auto policy = make_policy(StrategyKind::kRandAborts);
+  const auto result = run_synthetic(*policy, lengths, config);
+  EXPECT_NEAR(result.average_ratio(), kE / (kE - 1.0), 0.05);
+}
+
+TEST(Synthetic, MeanHintImprovesBothFamiliesWithHighB) {
+  // Figure 2a observation: RRW(mu) and RRA(mu) beat RRW and RRA because
+  // mu/B = 0.25 satisfies both threshold inequalities.
+  const auto config = high_b_config();
+  ASSERT_LT(config.mean / config.abort_cost, mean_threshold_wins(2));
+  for (const auto shape :
+       {LengthShape::kGeometric, LengthShape::kExponential,
+        LengthShape::kUniform, LengthShape::kNormal, LengthShape::kPoisson}) {
+    const LengthDistribution lengths{shape, config.mean};
+    const auto rrw = run_synthetic(*make_policy(StrategyKind::kRandWins),
+                                   lengths, config);
+    const auto rrw_mean = run_synthetic(
+        *make_policy(StrategyKind::kRandWinsMean), lengths, config);
+    EXPECT_LT(rrw_mean.average_ratio(), rrw.average_ratio())
+        << to_string(shape);
+    const auto rra = run_synthetic(*make_policy(StrategyKind::kRandAborts),
+                                   lengths, config);
+    const auto rra_mean = run_synthetic(
+        *make_policy(StrategyKind::kRandAbortsMean), lengths, config);
+    EXPECT_LT(rra_mean.average_ratio(), rra.average_ratio())
+        << to_string(shape);
+  }
+}
+
+TEST(Synthetic, LowBDegradesDetAndDisablesMeanHint) {
+  // Figure 2b: mu/B = 2.5 violates the thresholds, so the constrained
+  // strategies coincide with the unconstrained ones; DET aborts often.
+  const auto config = low_b_config();
+  ASSERT_GT(config.mean / config.abort_cost, mean_threshold_wins(2));
+  ASSERT_GT(config.mean / config.abort_cost, mean_threshold_aborts(2));
+  const LengthDistribution lengths{LengthShape::kExponential, config.mean};
+
+  const auto det =
+      run_synthetic(*make_policy(StrategyKind::kDetWins), lengths, config);
+  EXPECT_GT(det.abort_fraction, 0.3);
+
+  const auto rrw =
+      run_synthetic(*make_policy(StrategyKind::kRandWins), lengths, config);
+  auto mean_config = config;
+  const auto rrw_mean = run_synthetic(
+      *make_policy(StrategyKind::kRandWinsMean), lengths, mean_config);
+  // Same underlying density -> statistically identical ratios.
+  EXPECT_NEAR(rrw_mean.average_ratio(), rrw.average_ratio(), 0.03);
+}
+
+TEST(Synthetic, RequestorAbortsOutperformsWinsAtKTwo) {
+  // Section 5.3 and the Figure 2b discussion: RA variants beat RW variants.
+  const auto config = low_b_config();
+  const LengthDistribution lengths{LengthShape::kNormal, config.mean};
+  const auto rrw =
+      run_synthetic(*make_policy(StrategyKind::kRandWins), lengths, config);
+  const auto rra =
+      run_synthetic(*make_policy(StrategyKind::kRandAborts), lengths, config);
+  EXPECT_LT(rra.average_ratio(), rrw.average_ratio());
+}
+
+TEST(Synthetic, DetWorstCaseHitsTheorem4Ratio) {
+  // Figure 2c: against the adversarial remaining-time distribution DET pays
+  // (2 + 1/(k-1)) OPT = 3 OPT at k = 2, while randomized strategies stay at
+  // their guaranteed ratios.
+  auto config = high_b_config();
+  config.trials = 20000;
+  const auto det = run_synthetic_det_worst_case(
+      *make_policy(StrategyKind::kDetWins), config);
+  EXPECT_NEAR(det.average_ratio(), 3.0, 1e-9);
+
+  const auto rrw = run_synthetic_det_worst_case(
+      *make_policy(StrategyKind::kRandWins), config);
+  EXPECT_LT(rrw.average_ratio(), 2.05);
+
+  const auto rra = run_synthetic_det_worst_case(
+      *make_policy(StrategyKind::kRandAborts), config);
+  EXPECT_LT(rra.average_ratio(), kE / (kE - 1.0) + 0.05);
+}
+
+TEST(Synthetic, HybridMatchesAbortsAtKTwo) {
+  const auto config = high_b_config();
+  const LengthDistribution lengths{LengthShape::kExponential, config.mean};
+  const auto hybrid =
+      run_synthetic(*make_policy(StrategyKind::kHybrid), lengths, config);
+  const auto rra = run_synthetic(*make_policy(StrategyKind::kRandAbortsMean),
+                                 lengths, config);
+  EXPECT_NEAR(hybrid.average_ratio(), rra.average_ratio(), 0.03);
+}
+
+TEST(Synthetic, DeterministicSeedReproducibility) {
+  const auto config = high_b_config();
+  const LengthDistribution lengths{LengthShape::kGeometric, config.mean};
+  const auto policy = make_policy(StrategyKind::kRandWins);
+  const auto a = run_synthetic(*policy, lengths, config);
+  const auto b = run_synthetic(*policy, lengths, config);
+  EXPECT_DOUBLE_EQ(a.strategy_cost.sum(), b.strategy_cost.sum());
+  EXPECT_DOUBLE_EQ(a.abort_fraction, b.abort_fraction);
+}
+
+TEST(Synthetic, LengthDistributionMeans) {
+  txc::sim::Rng rng{33};
+  for (const auto shape :
+       {LengthShape::kGeometric, LengthShape::kNormal, LengthShape::kUniform,
+        LengthShape::kExponential, LengthShape::kPoisson}) {
+    const LengthDistribution lengths{shape, 500.0};
+    txc::sim::RunningStats stats;
+    for (int i = 0; i < 100000; ++i) stats.add(lengths.sample(rng));
+    EXPECT_NEAR(stats.mean(), 500.0, 10.0) << to_string(shape);
+    EXPECT_GE(stats.min(), 1.0) << to_string(shape);
+  }
+}
+
+TEST(Synthetic, BimodalDistributionHasTwoModes) {
+  txc::sim::Rng rng{34};
+  const LengthDistribution lengths{LengthShape::kBimodal, 500.0};
+  int shorts = 0;
+  int longs = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = lengths.sample(rng);
+    if (v < 100.0) ++shorts;
+    if (v > 900.0) ++longs;
+  }
+  EXPECT_NEAR(shorts, 5000, 300);
+  EXPECT_NEAR(longs, 5000, 300);
+}
+
+}  // namespace

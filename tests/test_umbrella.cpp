@@ -1,0 +1,54 @@
+// Compilation and smoke test of the umbrella header: every public module
+// must be includable together, and the README's minimal usage snippet must
+// work verbatim against it.
+#include "txconflict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace {
+
+TEST(Umbrella, ReadmeSnippetCompilesAndRuns) {
+  auto policy = txc::core::make_policy(txc::core::StrategyKind::kRandWins);
+
+  txc::core::ConflictContext ctx;
+  ctx.abort_cost = 200.0;
+  ctx.chain_length = 2;
+  ctx.mean_hint = 60.0;
+
+  txc::sim::Rng rng{42};
+  const double grace = policy->grace_period(ctx, rng);
+  EXPECT_GE(grace, 0.0);
+  EXPECT_LE(grace, 200.0);
+}
+
+TEST(Umbrella, HeaderDocExampleRuns) {
+  auto policy = txc::core::make_policy(txc::core::StrategyKind::kRandWins);
+  txc::htm::HtmConfig config;
+  config.policy = policy;
+  txc::htm::HtmSystem sim{config,
+                          std::make_shared<txc::ds::TxAppWorkload>()};
+  const auto stats = sim.run(1000);
+  EXPECT_EQ(stats.commits, 1000u);
+}
+
+TEST(Umbrella, CrossModuleTypesInteroperate) {
+  // One object from each layer, composed.
+  txc::workload::ZipfSampler zipf{8, 1.0};
+  txc::sim::Rng rng{7};
+  txc::core::EwmaEstimator ewma{0.1};
+  for (int i = 0; i < 100; ++i) {
+    ewma.add(static_cast<double>(zipf.sample(rng)));
+  }
+  EXPECT_GE(ewma.mean(), 0.0);
+  EXPECT_LT(ewma.mean(), 8.0);
+
+  txc::stm::Stm stm{txc::core::make_policy(
+      txc::core::StrategyKind::kRandAborts)};
+  txc::stm::TxStack stack{stm, 16};
+  EXPECT_TRUE(stack.push(1));
+  EXPECT_EQ(stack.pop(), 1u);
+}
+
+}  // namespace

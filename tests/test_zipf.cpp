@@ -1,0 +1,106 @@
+// Tests for the Zipf sampler: normalization, rank ordering, the uniform
+// degenerate case, empirical frequency agreement, and determinism.
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace {
+
+using txc::sim::Rng;
+using txc::workload::ZipfSampler;
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (const double s : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfSampler zipf{64, s};
+    double total = 0.0;
+    for (std::uint32_t i = 0; i < 64; ++i) total += zipf.probability(i);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s = " << s;
+  }
+}
+
+TEST(Zipf, ProbabilityDecreasesWithRank) {
+  ZipfSampler zipf{100, 1.0};
+  for (std::uint32_t i = 1; i < 100; ++i) {
+    EXPECT_GT(zipf.probability(i - 1), zipf.probability(i));
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  ZipfSampler zipf{32, 0.0};
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(zipf.probability(i), 1.0 / 32.0, 1e-12);
+  }
+}
+
+TEST(Zipf, RatioMatchesPowerLaw) {
+  // P(0)/P(i) = (i+1)^s exactly.
+  ZipfSampler zipf{64, 1.5};
+  for (const std::uint32_t i : {1u, 3u, 7u, 31u}) {
+    EXPECT_NEAR(zipf.probability(0) / zipf.probability(i),
+                std::pow(static_cast<double>(i + 1), 1.5), 1e-9);
+  }
+}
+
+TEST(Zipf, OutOfRangeProbabilityIsZero) {
+  ZipfSampler zipf{8, 1.0};
+  EXPECT_EQ(zipf.probability(8), 0.0);
+  EXPECT_EQ(zipf.probability(1000), 0.0);
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatch) {
+  ZipfSampler zipf{16, 1.0};
+  Rng rng{42};
+  std::vector<std::uint64_t> counts(16, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const double expected = zipf.probability(i) * kDraws;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected,
+                5.0 * std::sqrt(expected) + 5.0)
+        << "item " << i;
+  }
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler zipf{5, 2.0};
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 5u);
+  }
+}
+
+TEST(Zipf, SingleItemAlwaysZero) {
+  ZipfSampler zipf{1, 1.0};
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.probability(0), 1.0);
+}
+
+TEST(Zipf, DeterministicGivenSeed) {
+  ZipfSampler zipf{64, 0.8};
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b));
+  }
+}
+
+TEST(Zipf, SkewConcentratesMassOnHead) {
+  ZipfSampler mild{64, 0.5};
+  ZipfSampler heavy{64, 1.5};
+  double mild_head = 0.0;
+  double heavy_head = 0.0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    mild_head += mild.probability(i);
+    heavy_head += heavy.probability(i);
+  }
+  EXPECT_LT(mild_head, heavy_head);
+  EXPECT_GT(heavy_head, 0.7);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// txconflict — minimal command-line parsing for the tools.
+//
+// Flags are --name value or --name (boolean).  Unknown flags are an error so
+// typos fail loudly; every tool prints a usage block on --help.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace txc::cli {
+
+class Args {
+ public:
+  /// `boolean_flags`: names that take no value.
+  Args(int argc, char** argv, std::set<std::string> boolean_flags)
+      : program_(argv[0]), booleans_(std::move(boolean_flags)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected positional argument: %s\n",
+                     token.c_str());
+        std::exit(2);
+      }
+      const std::string name = token.substr(2);
+      if (booleans_.count(name) != 0) {
+        values_[name] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        std::exit(2);
+      }
+      values_[name] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  /// Exits with an error naming any flag that is not in `known`.
+  void reject_unknown(const std::set<std::string>& known) const {
+    for (const auto& [name, value] : values_) {
+      if (known.count(name) == 0) {
+        std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::string program_;
+  std::set<std::string> booleans_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace txc::cli

@@ -1,0 +1,74 @@
+// txcdensity — tabulate the paper's optimal grace-period densities.
+//
+// Emits CSV (x, pdf, cdf, quantile) for any strategy family so the closed
+// forms can be plotted or spot-checked against the paper:
+//
+//   txcdensity --family uniform-wins --B 100 --k 2
+//   txcdensity --family exp-aborts --B 500 --k 4 --points 200
+#include <cstdio>
+#include <string>
+
+#include "cli_util.hpp"
+#include "core/densities.hpp"
+
+namespace {
+
+using namespace txc::core;
+
+constexpr const char* kUsage = R"(txcdensity — density tables for the optimal strategies
+
+  --family F   uniform-wins | power-wins | log-mean-wins | power-mean-wins |
+               exp-aborts | exp-mean-aborts   (default uniform-wins)
+  --B X        abort cost (default 100)
+  --k N        conflict chain length >= 2 (default 2)
+  --points N   table resolution (default 100)
+  --help       this text
+
+Output: CSV with x, pdf(x), cdf(x), and quantile(u) at u = i/points.
+)";
+
+template <typename Density>
+void tabulate(const Density& density, int points) {
+  std::printf("x,pdf,cdf,u,quantile\n");
+  const double support = density.support_max();
+  for (int i = 0; i <= points; ++i) {
+    const double x = support * static_cast<double>(i) / points;
+    const double u = static_cast<double>(i) / points;
+    std::printf("%.6g,%.6g,%.6g,%.6g,%.6g\n", x, density.pdf(x),
+                density.cdf(x), u, density.quantile(u));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::cli::Args args{argc, argv, {"help"}};
+  if (args.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  args.reject_unknown({"family", "B", "k", "points", "help"});
+
+  const std::string family = args.get("family", "uniform-wins");
+  const double B = args.get_double("B", 100.0);
+  const int k = static_cast<int>(args.get_u64("k", 2));
+  const int points = static_cast<int>(args.get_u64("points", 100));
+
+  if (family == "uniform-wins") {
+    tabulate(UniformWinsDensity{B, k}, points);
+  } else if (family == "power-wins") {
+    tabulate(PowerWinsDensity{B, k}, points);
+  } else if (family == "log-mean-wins") {
+    tabulate(LogMeanWinsDensity{B}, points);
+  } else if (family == "power-mean-wins") {
+    tabulate(PowerMeanWinsDensity{B, k}, points);
+  } else if (family == "exp-aborts") {
+    tabulate(ExpAbortsDensity{B, k}, points);
+  } else if (family == "exp-mean-aborts") {
+    tabulate(ExpMeanAbortsDensity{B, k}, points);
+  } else {
+    std::fprintf(stderr, "unknown family: %s\n", family.c_str());
+    return 2;
+  }
+  return 0;
+}

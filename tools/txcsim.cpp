@@ -1,0 +1,183 @@
+// txcsim — run the HTM simulator from the command line.
+//
+// The one-stop driver a downstream user reaches for first: pick a workload,
+// a conflict-resolution policy, a core count, optionally the mesh NoC and
+// the shared L2, and get either a human-readable report or a CSV row
+// (--csv) suitable for scripted sweeps:
+//
+//   txcsim --workload txapp --policy RRW --cores 16 --commits 50000
+//   txcsim --workload bimodal --policy ADAPTIVE --csv
+//   for p in NO_DELAY DET RRW HYBRID; do txcsim --policy $p --csv; done
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cli_util.hpp"
+#include "core/policy.hpp"
+#include "ds/extended_workloads.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::htm;
+
+constexpr const char* kUsage = R"(txcsim — discrete-event HTM simulator driver
+
+  --workload W   stack queue txapp bimodal counter bank zipf readmostly list
+                 (default txapp)
+  --policy P     NO_DELAY DELAY_TUNED DET DET_ABORTS RRW RRW_MU RRW_OPT RRA
+                 RRA_MU HYBRID ORACLE ADAPTIVE   (default RRW)
+  --cores N      number of cores (default 8)
+  --commits N    stop after N system-wide commits (default 20000)
+  --seed N       RNG seed (default 1)
+  --mode M       wins | aborts conflict resolution (default per policy)
+  --tuned X      fixed delay for DELAY_TUNED, cycles (default 150)
+  --skew S       Zipf exponent for --workload zipf (default 0.8)
+  --noc          route remote accesses over a 2D mesh NoC
+  --l2           enable the shared L2 + memory tier
+  --profiler-mean  feed the committed-length mean to the policy
+  --fallback N   non-transactional fallback after N aborts (0 = off)
+  --csv          one CSV row on stdout (with a header line)
+  --help         this text
+)";
+
+std::shared_ptr<Workload> make_workload(const std::string& name,
+                                        std::uint32_t cores, double skew) {
+  if (name == "stack") return std::make_shared<ds::StackWorkload>(cores);
+  if (name == "queue") return std::make_shared<ds::QueueWorkload>(cores);
+  if (name == "txapp") return std::make_shared<ds::TxAppWorkload>();
+  if (name == "bimodal") {
+    return std::make_shared<ds::BimodalTxAppWorkload>(cores);
+  }
+  if (name == "counter") return std::make_shared<ds::CounterWorkload>();
+  if (name == "bank") return std::make_shared<ds::BankWorkload>();
+  if (name == "zipf") {
+    ds::ZipfTxAppWorkload::Params params;
+    params.skew = skew;
+    return std::make_shared<ds::ZipfTxAppWorkload>(params);
+  }
+  if (name == "readmostly") return std::make_shared<ds::ReadMostlyWorkload>();
+  if (name == "list") return std::make_shared<ds::ListWorkload>();
+  std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+  std::exit(2);
+}
+
+core::StrategyKind parse_policy(const std::string& name) {
+  if (name == "NO_DELAY") return core::StrategyKind::kNoDelay;
+  if (name == "DELAY_TUNED") return core::StrategyKind::kFixedTuned;
+  if (name == "DET") return core::StrategyKind::kDetWins;
+  if (name == "DET_ABORTS") return core::StrategyKind::kDetAborts;
+  if (name == "RRW") return core::StrategyKind::kRandWins;
+  if (name == "RRW_MU") return core::StrategyKind::kRandWinsMean;
+  if (name == "RRW_OPT") return core::StrategyKind::kRandWinsPower;
+  if (name == "RRA") return core::StrategyKind::kRandAborts;
+  if (name == "RRA_MU") return core::StrategyKind::kRandAbortsMean;
+  if (name == "HYBRID") return core::StrategyKind::kHybrid;
+  if (name == "ORACLE") return core::StrategyKind::kOracle;
+  if (name == "ADAPTIVE") return core::StrategyKind::kAdaptiveTuned;
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args{argc, argv,
+                 {"noc", "l2", "profiler-mean", "csv", "help"}};
+  if (args.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  args.reject_unknown({"workload", "policy", "cores", "commits", "seed",
+                       "mode", "tuned", "skew", "noc", "l2", "profiler-mean",
+                       "fallback", "csv", "help"});
+
+  const std::string workload_name = args.get("workload", "txapp");
+  const std::string policy_name = args.get("policy", "RRW");
+  const auto cores = static_cast<std::uint32_t>(args.get_u64("cores", 8));
+  const std::uint64_t commits = args.get_u64("commits", 20000);
+
+  HtmConfig config;
+  config.cores = cores;
+  config.seed = args.get_u64("seed", 1);
+  const core::StrategyKind kind = parse_policy(policy_name);
+  config.policy = core::make_policy(kind, args.get_double("tuned", 150.0));
+  if (args.has("mode")) {
+    const std::string mode = args.get("mode", "wins");
+    config.mode = mode == "aborts" ? core::ResolutionMode::kRequestorAborts
+                                   : core::ResolutionMode::kRequestorWins;
+  } else {
+    config.mode = config.policy->mode();
+  }
+  if (args.has("noc")) config.noc = noc::MeshConfig{};
+  if (args.has("l2")) config.l2 = mem::L2Config{};
+  config.use_profiler_mean = args.has("profiler-mean");
+  config.oracle_hints = kind == core::StrategyKind::kOracle;
+  config.max_attempts_before_fallback =
+      static_cast<std::uint32_t>(args.get_u64("fallback", 0));
+
+  HtmSystem system{
+      config, make_workload(workload_name, cores, args.get_double("skew", 0.8))};
+  const HtmStats stats = system.run(commits);
+
+  if (args.has("csv")) {
+    std::printf(
+        "workload,policy,mode,cores,commits,aborts,abort_rate,conflicts,"
+        "cycles,ops_per_sec,mean_tx_cycles\n");
+    std::printf("%s,%s,%s,%u,%llu,%llu,%.4f,%llu,%llu,%.0f,%.1f\n",
+                workload_name.c_str(), policy_name.c_str(),
+                core::to_string(config.mode), cores,
+                static_cast<unsigned long long>(stats.commits),
+                static_cast<unsigned long long>(stats.aborts),
+                stats.abort_rate(),
+                static_cast<unsigned long long>(stats.conflicts),
+                static_cast<unsigned long long>(stats.cycles),
+                stats.ops_per_second(), stats.mean_tx_cycles);
+    return 0;
+  }
+
+  std::printf("txcsim: %s on %u cores, policy %s (%s)\n",
+              workload_name.c_str(), cores, config.policy->name().c_str(),
+              core::to_string(config.mode));
+  std::printf("  commits        %llu\n",
+              static_cast<unsigned long long>(stats.commits));
+  std::printf("  aborts         %llu  (%.1f%% of attempts)\n",
+              static_cast<unsigned long long>(stats.aborts),
+              100.0 * stats.abort_rate());
+  std::printf("  conflicts      %llu\n",
+              static_cast<unsigned long long>(stats.conflicts));
+  std::printf("  cycles         %llu\n",
+              static_cast<unsigned long long>(stats.cycles));
+  std::printf("  throughput     %.3g ops/s @ 1 GHz\n",
+              stats.ops_per_second());
+  std::printf("  mean tx length %.1f cycles (committed)\n",
+              stats.mean_tx_cycles);
+  std::printf("  abort breakdown:");
+  std::uint64_t by_reason[kAbortReasonCount] = {};
+  for (const auto& per_core : stats.per_core) {
+    for (std::size_t r = 0; r < kAbortReasonCount; ++r) {
+      by_reason[r] += per_core.aborts_by_reason[r];
+    }
+  }
+  for (std::size_t r = 0; r < kAbortReasonCount; ++r) {
+    if (by_reason[r] == 0) continue;
+    std::printf("  %s=%llu", to_string(static_cast<AbortReason>(r)),
+                static_cast<unsigned long long>(by_reason[r]));
+  }
+  std::printf("\n");
+  if (stats.noc.has_value()) {
+    std::printf("  noc: %llu messages, mean hops %.2f, queueing %llu cycles\n",
+                static_cast<unsigned long long>(stats.noc->total_messages()),
+                stats.noc->mean_hops(),
+                static_cast<unsigned long long>(stats.noc->queueing_cycles));
+  }
+  if (stats.l2.has_value()) {
+    std::printf("  l2: hit rate %.1f%%, %llu back-invalidations\n",
+                100.0 * stats.l2->hit_rate(),
+                static_cast<unsigned long long>(
+                    stats.l2->back_invalidations));
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// txcsweep — batch parameter sweeps over the HTM simulator, CSV out.
+//
+// One invocation replaces a shell loop over txcsim: sweep thread counts and
+// policies (optionally workloads) and emit a tidy CSV ready for pandas/R:
+//
+//   txcsweep --workloads txapp,bimodal --policies NO_DELAY,DET,RRW \
+//            --threads 1,2,4,8,16 --commits-per-thread 3000
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "core/policy.hpp"
+#include "ds/extended_workloads.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::htm;
+
+constexpr const char* kUsage = R"(txcsweep — grid sweeps over the HTM simulator
+
+  --workloads W1,W2   stack queue txapp bimodal counter bank zipf readmostly
+                      list                      (default txapp)
+  --policies P1,P2    NO_DELAY DELAY_TUNED DET DET_ABORTS RRW RRW_MU RRW_OPT
+                      RRA RRA_MU HYBRID ORACLE ADAPTIVE (default NO_DELAY,DET,RRW)
+  --threads T1,T2     core counts               (default 1,2,4,8,16)
+  --commits-per-thread N                        (default 2000)
+  --seed N                                      (default 1)
+  --tuned X           DELAY_TUNED delay, cycles (default 150)
+  --noc --l2          enable the substrate extensions for every run
+  --help              this text
+
+Output: CSV, one row per (workload, policy, threads) cell.
+)";
+
+std::vector<std::string> split(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream stream{csv};
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+std::shared_ptr<Workload> make_workload(const std::string& name,
+                                        std::uint32_t cores) {
+  if (name == "stack") return std::make_shared<ds::StackWorkload>(cores);
+  if (name == "queue") return std::make_shared<ds::QueueWorkload>(cores);
+  if (name == "txapp") return std::make_shared<ds::TxAppWorkload>();
+  if (name == "bimodal") {
+    return std::make_shared<ds::BimodalTxAppWorkload>(cores);
+  }
+  if (name == "counter") return std::make_shared<ds::CounterWorkload>();
+  if (name == "bank") return std::make_shared<ds::BankWorkload>();
+  if (name == "zipf") return std::make_shared<ds::ZipfTxAppWorkload>();
+  if (name == "readmostly") return std::make_shared<ds::ReadMostlyWorkload>();
+  if (name == "list") return std::make_shared<ds::ListWorkload>();
+  std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+  std::exit(2);
+}
+
+core::StrategyKind parse_policy(const std::string& name) {
+  if (name == "NO_DELAY") return core::StrategyKind::kNoDelay;
+  if (name == "DELAY_TUNED") return core::StrategyKind::kFixedTuned;
+  if (name == "DET") return core::StrategyKind::kDetWins;
+  if (name == "DET_ABORTS") return core::StrategyKind::kDetAborts;
+  if (name == "RRW") return core::StrategyKind::kRandWins;
+  if (name == "RRW_MU") return core::StrategyKind::kRandWinsMean;
+  if (name == "RRW_OPT") return core::StrategyKind::kRandWinsPower;
+  if (name == "RRA") return core::StrategyKind::kRandAborts;
+  if (name == "RRA_MU") return core::StrategyKind::kRandAbortsMean;
+  if (name == "HYBRID") return core::StrategyKind::kHybrid;
+  if (name == "ORACLE") return core::StrategyKind::kOracle;
+  if (name == "ADAPTIVE") return core::StrategyKind::kAdaptiveTuned;
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args{argc, argv, {"noc", "l2", "help"}};
+  if (args.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  args.reject_unknown({"workloads", "policies", "threads",
+                       "commits-per-thread", "seed", "tuned", "noc", "l2",
+                       "help"});
+
+  const auto workloads = split(args.get("workloads", "txapp"));
+  const auto policies = split(args.get("policies", "NO_DELAY,DET,RRW"));
+  const auto thread_list = split(args.get("threads", "1,2,4,8,16"));
+  const std::uint64_t per_thread = args.get_u64("commits-per-thread", 2000);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const double tuned = args.get_double("tuned", 150.0);
+
+  std::printf(
+      "workload,policy,threads,commits,aborts,abort_rate,conflicts,cycles,"
+      "ops_per_sec,mean_tx_cycles\n");
+  for (const std::string& workload_name : workloads) {
+    for (const std::string& policy_name : policies) {
+      const core::StrategyKind kind = parse_policy(policy_name);
+      for (const std::string& threads_token : thread_list) {
+        const auto threads =
+            static_cast<std::uint32_t>(std::stoul(threads_token));
+        HtmConfig config;
+        config.cores = threads;
+        config.seed = seed;
+        config.policy = core::make_policy(kind, tuned);
+        config.mode = config.policy->mode();
+        config.oracle_hints = kind == core::StrategyKind::kOracle;
+        config.use_profiler_mean =
+            kind == core::StrategyKind::kRandWinsMean ||
+            kind == core::StrategyKind::kRandAbortsMean;
+        if (args.has("noc")) config.noc = noc::MeshConfig{};
+        if (args.has("l2")) config.l2 = mem::L2Config{};
+        HtmSystem system{config, make_workload(workload_name, threads)};
+        const HtmStats stats = system.run(per_thread * threads);
+        std::printf("%s,%s,%u,%llu,%llu,%.4f,%llu,%llu,%.0f,%.1f\n",
+                    workload_name.c_str(), policy_name.c_str(), threads,
+                    static_cast<unsigned long long>(stats.commits),
+                    static_cast<unsigned long long>(stats.aborts),
+                    stats.abort_rate(),
+                    static_cast<unsigned long long>(stats.conflicts),
+                    static_cast<unsigned long long>(stats.cycles),
+                    stats.ops_per_second(), stats.mean_tx_cycles);
+      }
+    }
+  }
+  return 0;
+}
