@@ -40,7 +40,7 @@ int main() {
   sim::Rng rng{5};
   int rw_aborts = 0;
   int ra_aborts = 0;
-  const int trials = 200000;
+  const int trials = txc::bench::scaled(200000);
   const double D = 0.9 * B;
   for (int i = 0; i < trials; ++i) {
     rw_aborts += (rw.sample(rng) <= D);

@@ -24,7 +24,7 @@ int main() {
         config.run_time = run_time;
         config.conflicts_per_attempt = gamma;
         config.initial_abort_cost = initial_cost;
-        config.trials = 4000;
+        config.trials = txc::bench::scaled(4000);
         const auto result = run_progress_experiment(config);
         table.print_row({bench::fmt(run_time, 0), std::to_string(gamma),
                          bench::fmt(initial_cost, 0),

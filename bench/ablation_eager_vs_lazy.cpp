@@ -111,7 +111,7 @@ int main() {
   table.print_header();
   for (const Panel& panel : panels) {
     for (const bool eager : {false, true}) {
-      const Measured measured = run_one(panel.make(), eager, panel.target);
+      const Measured measured = run_one(panel.make(), eager, txc::bench::scaled(panel.target));
       table.print_row({panel.label, eager ? "eager" : "lazy",
                        txc::bench::fmt_sci(measured.ops),
                        txc::bench::fmt(100.0 * measured.abort_rate, 1),

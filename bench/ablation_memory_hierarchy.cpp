@@ -74,7 +74,8 @@ int main() {
       params.objects = 256;
       const auto stats =
           run_one(kind, sets > 0, sets,
-                  std::make_shared<ds::ReadMostlyWorkload>(params), 30000);
+                  std::make_shared<ds::ReadMostlyWorkload>(params),
+                  txc::bench::scaled(30000));
       std::vector<std::string> row{
           sets == 0 ? "flat" : std::to_string(4 * sets * 4),
           txc::core::to_string(kind),
@@ -104,7 +105,8 @@ int main() {
           txc::core::StrategyKind::kRandWins,
           txc::core::StrategyKind::kHybrid}) {
       const auto stats = run_one(kind, with_l2, 256,
-                                 std::make_shared<ds::TxAppWorkload>(), 40000);
+                                 std::make_shared<ds::TxAppWorkload>(),
+                                 txc::bench::scaled(40000));
       row.push_back(txc::bench::fmt_sci(stats.ops_per_second()));
     }
     app_table.print_row(row);

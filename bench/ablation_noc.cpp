@@ -67,7 +67,7 @@ int main() {
     for (const auto kind :
          {txc::core::StrategyKind::kNoDelay, txc::core::StrategyKind::kDetWins,
           txc::core::StrategyKind::kRandWins}) {
-      const auto stats = run_one(16, kind, substrate, 40000);
+      const auto stats = run_one(16, kind, substrate, txc::bench::scaled(40000));
       std::vector<std::string> row{to_label(substrate),
                                    txc::core::to_string(kind)};
       row.push_back(txc::bench::fmt_sci(stats.ops_per_second()));
@@ -95,10 +95,13 @@ int main() {
                              "flat-abort%", "mesh-abort%"}};
   scaling.print_header();
   for (const std::uint32_t threads : {1u, 4u, 9u, 16u, 25u}) {
+    if (threads > txc::bench::capped(25u, 9u)) continue;
     const auto flat = run_one(threads, txc::core::StrategyKind::kRandWins,
-                              Substrate::kFlat, 3000ull * threads);
+                              Substrate::kFlat,
+                              txc::bench::scaled(3000ull) * threads);
     const auto mesh = run_one(threads, txc::core::StrategyKind::kRandWins,
-                              Substrate::kMeshContended, 3000ull * threads);
+                              Substrate::kMeshContended,
+                              txc::bench::scaled(3000ull) * threads);
     scaling.print_row({std::to_string(threads),
                        txc::bench::fmt_sci(flat.ops_per_second()),
                        txc::bench::fmt_sci(mesh.ops_per_second()),

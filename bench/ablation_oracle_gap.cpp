@@ -71,7 +71,7 @@ int main() {
     table.print_header();
     double oracle_ops = 0.0;
     for (const Row& row : rows) {
-      const auto stats = run_one(row, bimodal, 40000);
+      const auto stats = run_one(row, bimodal, txc::bench::scaled(40000));
       const double ops = stats.ops_per_second();
       if (row.kind == core::StrategyKind::kOracle) oracle_ops = ops;
       table.print_row({row.label, txc::bench::fmt_sci(ops),

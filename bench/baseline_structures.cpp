@@ -23,7 +23,7 @@ namespace {
 using namespace txc;
 
 constexpr int kThreads = 4;
-constexpr int kOpsPerThread = 10000;
+const int kOpsPerThread = txc::bench::scaled(10000);
 
 template <typename PushPop>
 double run_stack(PushPop&& ops) {

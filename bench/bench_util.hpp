@@ -6,11 +6,37 @@
 // differ: our substrate is a from-scratch simulator, see DESIGN.md §7).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace txc::bench {
+
+/// True when the bench should run a fast, tiny-workload smoke pass
+/// (`TXC_BENCH_SMOKE=1` in the environment — set by `txcbench --smoke`).
+/// Smoke runs only prove the bench executes end to end; the printed numbers
+/// are statistically meaningless.
+inline bool smoke_mode() {
+  const char* env = std::getenv("TXC_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// Scale a workload-size knob (trials, commits, ops) down for smoke runs.
+/// Full runs return `full`; smoke runs return `full / 200`, floored at 1.
+template <typename T>
+inline T scaled(T full) {
+  if (!smoke_mode()) return full;
+  return std::max<T>(T{1}, full / T{200});
+}
+
+/// Cap a sweep bound (e.g. max thread count) for smoke runs.
+template <typename T>
+inline T capped(T full, T smoke_cap) {
+  return smoke_mode() ? std::min(full, smoke_cap) : full;
+}
 
 /// Fixed-width table printer.
 class Table {

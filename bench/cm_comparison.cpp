@@ -155,7 +155,7 @@ int main() {
       "bound — comparable throughput at these scales, zero remote kills by "
       "construction");
 
-  report("Hot counter", run_counter, 4, 20000);
-  report("Array window txapp", run_array, 4, 20000);
+  report("Hot counter", run_counter, 4, txc::bench::scaled(20000));
+  report("Array window txapp", run_array, 4, txc::bench::scaled(20000));
   return 0;
 }

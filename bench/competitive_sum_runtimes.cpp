@@ -19,7 +19,7 @@ int main() {
   for (const double conflict_probability : {0.2, 0.5, 0.8, 0.95}) {
     for (const int max_chain : {2, 4}) {
       GameConfig config;
-      config.transactions = 4000;
+      config.transactions = txc::bench::scaled(4000);
       config.conflict_probability = conflict_probability;
       config.min_chain = 2;
       config.max_chain = max_chain;

@@ -97,7 +97,7 @@ int main() {
   SyntheticConfig config;
   config.abort_cost = 2000.0;
   config.mean = 500.0;
-  config.trials = 200000;
+  config.trials = txc::bench::scaled(200000);
   run_figure(config, /*det_worst_case=*/false);
 #elif TXC_FIG2_VARIANT == 1
   txc::bench::banner(
@@ -107,7 +107,7 @@ int main() {
   SyntheticConfig config;
   config.abort_cost = 200.0;
   config.mean = 500.0;
-  config.trials = 200000;
+  config.trials = txc::bench::scaled(200000);
   run_figure(config, /*det_worst_case=*/false);
 #else
   txc::bench::banner(
@@ -118,7 +118,7 @@ int main() {
   SyntheticConfig config;
   config.abort_cost = 2000.0;
   config.mean = 500.0;
-  config.trials = 100000;
+  config.trials = txc::bench::scaled(100000);
   run_figure(config, /*det_worst_case=*/true);
 #endif
   return 0;

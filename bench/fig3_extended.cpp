@@ -61,7 +61,7 @@ int main() {
                        expectations[panel]);
     // Calibrate DELAY_TUNED from a 1-thread run, as in fig3.
     const auto solo = run_one(1, txc::core::StrategyKind::kNoDelay, 0.0,
-                              panel, 3000);
+                              panel, txc::bench::scaled(3000));
     const double tuned = solo.mean_tx_cycles;
     std::printf("calibrated DELAY_TUNED: %.0f cycles\n\n", tuned);
 
@@ -70,7 +70,8 @@ int main() {
                              "abort%(ND)", "abort%(RND)"}};
     table.print_header();
     for (const std::uint32_t threads : {1u, 4u, 8u, 16u}) {
-      const std::uint64_t target = 1500ull * threads;
+      if (threads > txc::bench::capped(16u, 4u)) continue;
+      const std::uint64_t target = txc::bench::scaled(1500ull) * threads;
       std::vector<std::string> row{std::to_string(threads)};
       double abort_nd = 0.0;
       double abort_rnd = 0.0;

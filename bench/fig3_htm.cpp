@@ -53,7 +53,7 @@ HtmStats run_one(std::uint32_t threads,
 /// amount of delay based on knowledge of the dataset and implementation").
 double calibrate_tuned_delay() {
   const auto stats = run_one(1, core::make_policy(core::StrategyKind::kNoDelay),
-                             4000);
+                             txc::bench::scaled(4000));
   return stats.mean_tx_cycles;
 }
 
@@ -94,7 +94,8 @@ int main() {
                            "DELAY_RAND", "abort%(ND)", "abort%(RND)"}};
   table.print_header();
   for (const std::uint32_t threads : {1u, 2u, 4u, 8u, 12u, 16u}) {
-    const std::uint64_t target = 6000ull * threads;
+    if (threads > txc::bench::capped(16u, 4u)) continue;
+    const std::uint64_t target = txc::bench::scaled(6000ull) * threads;
     std::vector<std::string> row{std::to_string(threads)};
     double abort_nd = 0.0;
     double abort_rnd = 0.0;

@@ -27,7 +27,7 @@ struct Result {
 
 Result run(core::StrategyKind kind, unsigned threads, bool striped) {
   Stm stm{core::make_policy(kind, /*tuned_delay=*/512.0)};
-  constexpr int kOpsPerThread = 20000;
+  const int kOpsPerThread = txc::bench::scaled(20000);
   std::vector<Cell> cells(striped ? 64 : 1);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;

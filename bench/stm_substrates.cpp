@@ -72,7 +72,7 @@ int main() {
       "stripes — the RRA-family ordering carries over to both");
 
   constexpr int kThreads = 4;
-  constexpr int kOps = 20000;
+  const int kOps = txc::bench::scaled(20000);
   txc::bench::Table table{{"substrate", "policy", "Mops/s", "aborts",
                            "lock-waits"}};
   table.print_header();

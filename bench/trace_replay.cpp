@@ -75,10 +75,13 @@ int main() {
       "common case for the stable-length workloads");
 
   report("Transactional application (uniform lengths)",
-         record(std::make_shared<ds::TxAppWorkload>(), 30000));
+         record(std::make_shared<ds::TxAppWorkload>(),
+                txc::bench::scaled(30000)));
   report("Bimodal application (short/very long)",
-         record(std::make_shared<ds::BimodalTxAppWorkload>(16), 8000));
+         record(std::make_shared<ds::BimodalTxAppWorkload>(16),
+                txc::bench::scaled(8000)));
   report("Stack (short, stable)",
-         record(std::make_shared<ds::StackWorkload>(16), 30000));
+         record(std::make_shared<ds::StackWorkload>(16),
+                txc::bench::scaled(30000)));
   return 0;
 }

@@ -1,0 +1,53 @@
+// Build-sanity umbrella test.  The heavy lifting happens at compile time:
+// tests/CMakeLists.txt generates one translation unit per public header in
+// src/, each including the header twice with no other includes, so any
+// header that is not self-contained (missing includes, missing guard,
+// declaration-order bugs) breaks this binary's build.  The runtime cases
+// below assert the roster itself stays honest.
+#include "header_manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace {
+
+using txc::testing::kCheckedHeaders;
+
+TEST(BuildSanity, EveryPublicHeaderIsChecked) {
+  // The glob in tests/CMakeLists.txt must have found the whole tree: all
+  // ten subsystem directories plus the umbrella header.
+  EXPECT_GE(kCheckedHeaders.size(), 28u);
+
+  const std::set<std::string> prefixes = [] {
+    std::set<std::string> out;
+    for (std::string_view header : kCheckedHeaders) {
+      const auto slash = header.find('/');
+      if (slash != std::string_view::npos) {
+        out.emplace(header.substr(0, slash));
+      }
+    }
+    return out;
+  }();
+  for (const char* subsystem :
+       {"core", "ds", "htm", "lockfree", "mem", "noc", "sim", "stm", "sync",
+        "workload"}) {
+    EXPECT_TRUE(prefixes.count(subsystem))
+        << "no public header checked under src/" << subsystem << '/';
+  }
+  EXPECT_TRUE(std::any_of(
+      kCheckedHeaders.begin(), kCheckedHeaders.end(),
+      [](std::string_view header) { return header == "txconflict.hpp"; }))
+      << "umbrella header missing from the standalone-compile roster";
+}
+
+TEST(BuildSanity, RosterIsSortedAndUnique) {
+  EXPECT_TRUE(std::is_sorted(kCheckedHeaders.begin(), kCheckedHeaders.end()));
+  EXPECT_EQ(std::adjacent_find(kCheckedHeaders.begin(), kCheckedHeaders.end()),
+            kCheckedHeaders.end());
+}
+
+}  // namespace

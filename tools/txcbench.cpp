@@ -1,0 +1,297 @@
+// txcbench — unified bench runner and perf-trajectory reporter.
+//
+// Runs every bench binary produced under <build>/bench (the roster comes
+// from the CMake-generated bench/manifest.txt, with a directory scan as
+// fallback), times each one, and writes a machine-readable JSON report.
+// `--smoke` exports TXC_BENCH_SMOKE=1 so every bench shrinks its trial
+// counts (see bench_util.hpp) — the whole suite then finishes in seconds,
+// which is what CI archives as the perf trajectory:
+//
+//   cd build && ./tools/txcbench --smoke                 # BENCH_smoke.json
+//   ./tools/txcbench --bench-dir build/bench --filter fig3
+//   ./tools/txcbench --list
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BenchResult {
+  std::string name;
+  int exit_code = -1;
+  double wall_ms = 0.0;
+  std::size_t output_lines = 0;
+  std::string tail;  // last output lines, kept for failing benches
+};
+
+void print_usage() {
+  std::printf(
+      "txcbench — run the bench suite and emit a JSON perf report\n"
+      "\n"
+      "usage: txcbench [--smoke] [--bench-dir DIR] [--out FILE]\n"
+      "                [--filter SUBSTR] [--timeout SECONDS] [--list]\n"
+      "\n"
+      "  --smoke          run every bench in smoke mode (TXC_BENCH_SMOKE=1):\n"
+      "                   tiny trial counts, seconds instead of minutes\n"
+      "  --bench-dir DIR  directory holding the bench binaries and\n"
+      "                   manifest.txt (default: ./bench)\n"
+      "  --out FILE       JSON report path (default: BENCH_smoke.json in\n"
+      "                   smoke mode, BENCH_full.json otherwise)\n"
+      "  --filter SUBSTR  only run benches whose name contains SUBSTR\n"
+      "  --timeout SECS   per-bench wall-clock limit, enforced via the\n"
+      "                   `timeout` utility when present (default: 600)\n"
+      "  --list           print the roster and exit without running\n");
+}
+
+std::vector<std::string> load_roster(const fs::path& bench_dir) {
+  std::vector<std::string> names;
+  std::ifstream manifest(bench_dir / "manifest.txt");
+  if (manifest) {
+    std::string line;
+    while (std::getline(manifest, line)) {
+      if (!line.empty()) names.push_back(line);
+    }
+  }
+  if (names.empty()) {
+    // Fallback: any executable regular file in the directory.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(bench_dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (::access(entry.path().c_str(), X_OK) != 0) continue;
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+  }
+  return names;
+}
+
+// Single-quote a path for the popen shell so spaces and metacharacters in
+// the build directory cannot split or reinterpret the command.
+std::string shell_quote(const std::string& raw) {
+  std::string out = "'";
+  for (const char c : raw) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+BenchResult run_bench(const fs::path& bench_dir, const std::string& name,
+                      bool smoke, std::uint64_t timeout_seconds) {
+  BenchResult result;
+  result.name = name;
+
+  // Resolve the coreutils `timeout` wrapper through PATH once; warn once if
+  // the documented --timeout limit cannot be enforced.
+  static const bool has_timeout_util = [] {
+    const bool found =
+        std::system("command -v timeout >/dev/null 2>&1") == 0;
+    if (!found) {
+      std::fprintf(stderr,
+                   "warning: `timeout` utility not found; --timeout is not "
+                   "enforced\n");
+    }
+    return found;
+  }();
+
+  std::string command;
+  if (timeout_seconds > 0 && has_timeout_util) {
+    command = "timeout " + std::to_string(timeout_seconds) + " ";
+  }
+  command += shell_quote((bench_dir / name).string());
+  // google-benchmark binaries ignore TXC_BENCH_SMOKE; shorten them by flag.
+  if (smoke && name.rfind("micro_", 0) == 0) {
+    command += " --benchmark_min_time=0.01";
+  }
+  command += " 2>&1";
+
+  const auto start = std::chrono::steady_clock::now();
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    result.tail = "popen failed";
+    return result;
+  }
+  constexpr std::size_t kTailLines = 20;
+  std::vector<std::string> tail_ring;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    ++result.output_lines;
+    if (tail_ring.size() == kTailLines) {
+      tail_ring.erase(tail_ring.begin());
+    }
+    tail_ring.emplace_back(buffer);
+  }
+  const int status = ::pclose(pipe);
+  const auto end = std::chrono::steady_clock::now();
+
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+  }
+  if (result.exit_code != 0) {
+    for (const auto& line : tail_ring) result.tail += line;
+  }
+  return result;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_report(const std::string& path, bool smoke,
+                  const fs::path& bench_dir,
+                  const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::size_t failed = 0;
+  for (const auto& result : results) {
+    if (result.exit_code != 0) ++failed;
+  }
+  out << "{\n"
+      << "  \"schema\": \"txc-bench/v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"generated_unix\": " << std::time(nullptr) << ",\n"
+      << "  \"bench_dir\": \"" << json_escape(bench_dir.string()) << "\",\n"
+      << "  \"total\": " << results.size() << ",\n"
+      << "  \"failed\": " << failed << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    out << "    {\"name\": \"" << json_escape(result.name) << "\", "
+        << "\"ok\": " << (result.exit_code == 0 ? "true" : "false") << ", "
+        << "\"exit_code\": " << result.exit_code << ", "
+        << "\"wall_ms\": " << result.wall_ms << ", "
+        << "\"output_lines\": " << result.output_lines;
+    if (!result.tail.empty()) {
+      out << ", \"output_tail\": \"" << json_escape(result.tail) << "\"";
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::cli::Args args{argc, argv, {"smoke", "list", "help"}};
+  args.reject_unknown(
+      {"smoke", "list", "help", "bench-dir", "out", "filter", "timeout"});
+  if (args.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const bool smoke = args.has("smoke");
+  const fs::path bench_dir{args.get("bench-dir", "bench")};
+  const std::string filter = args.get("filter", "");
+  std::uint64_t timeout_seconds = 600;
+  try {
+    timeout_seconds = args.get_u64("timeout", timeout_seconds);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--timeout needs a number of seconds, got \"%s\"\n",
+                 args.get("timeout", "").c_str());
+    return 2;
+  }
+  const std::string out_path =
+      args.get("out", smoke ? "BENCH_smoke.json" : "BENCH_full.json");
+
+  std::vector<std::string> roster = load_roster(bench_dir);
+  if (roster.empty()) {
+    std::fprintf(stderr,
+                 "no bench binaries found under %s (build with "
+                 "-DTXC_BUILD_BENCH=ON, or pass --bench-dir)\n",
+                 bench_dir.string().c_str());
+    return 2;
+  }
+  if (!filter.empty()) {
+    const std::size_t before = roster.size();
+    std::erase_if(roster, [&](const std::string& name) {
+      return name.find(filter) == std::string::npos;
+    });
+    if (roster.empty()) {
+      std::fprintf(stderr, "--filter %s matches none of the %zu benches\n",
+                   filter.c_str(), before);
+      return 2;
+    }
+  }
+  if (args.has("list")) {
+    for (const auto& name : roster) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  if (smoke) {
+    ::setenv("TXC_BENCH_SMOKE", "1", /*overwrite=*/1);
+  }
+
+  std::vector<BenchResult> results;
+  results.reserve(roster.size());
+  for (const auto& name : roster) {
+    std::printf("[%zu/%zu] %s ...", results.size() + 1, roster.size(),
+                name.c_str());
+    std::fflush(stdout);
+    BenchResult result = run_bench(bench_dir, name, smoke, timeout_seconds);
+    std::printf(" %s (%.0f ms)\n", result.exit_code == 0 ? "ok" : "FAILED",
+                result.wall_ms);
+    results.push_back(std::move(result));
+  }
+
+  write_report(out_path, smoke, bench_dir, results);
+
+  std::size_t failed = 0;
+  for (const auto& result : results) {
+    if (result.exit_code != 0) {
+      std::fprintf(stderr, "FAILED: %s (exit %d)\n%s", result.name.c_str(),
+                   result.exit_code, result.tail.c_str());
+      ++failed;
+    }
+  }
+  std::printf("%zu/%zu benches ok; report: %s\n", results.size() - failed,
+              results.size(), out_path.c_str());
+  return failed == 0 ? 0 : 1;
+}
