@@ -5,7 +5,8 @@
 #include "core/densities.hpp"
 #include "sim/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   using namespace txc;
   using namespace txc::core;
   bench::banner(

@@ -6,7 +6,8 @@
 #include "bench_util.hpp"
 #include "workload/adversary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   using namespace txc;
   using namespace txc::workload;
   bench::banner(

@@ -79,7 +79,8 @@ Measured run_one(std::shared_ptr<Workload> workload, bool eager,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — eager vs lazy write acquisition (RRW, 16 cores)",
       "write-late transactions (txapp): identical — acquisition timing "

@@ -54,7 +54,8 @@ std::uint64_t l2_capacity_aborts(const HtmStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — shared L2 hierarchy (16 cores)",
       "with an ample L2 the strategy ordering matches the flat model (hits "

@@ -51,7 +51,8 @@ HtmStats run_one(std::uint32_t threads, core::StrategyKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — mesh NoC vs flat remote latency (txapp, 16 cores)",
       "strategy ordering is substrate-independent: delays cut the abort rate "

@@ -45,7 +45,8 @@ HtmStats run_one(const Row& row, bool bimodal, std::uint64_t target) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — oracle vs online policies (16 cores)",
       "ORACLE sets the ceiling; RRW stays within its 2x conflict-cost "

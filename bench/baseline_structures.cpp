@@ -67,7 +67,8 @@ struct LockedAdapter {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Baselines — stack throughput by implementation family (4 threads)",
       "lock-free and coarse-locked variants lead on a single hot structure "

@@ -4,30 +4,74 @@
 // prints the same rows/series the paper plots, plus the paper's qualitative
 // expectation so a reader can compare shapes at a glance (absolute numbers
 // differ: our substrate is a from-scratch simulator, see DESIGN.md §7).
+//
+// Benches accept a tiny common CLI, parsed by `init(argc, argv)`:
+//
+//   --smoke            same effect as TXC_BENCH_SMOKE=1 (tiny trial counts)
+//   --trial-divisor N  divide every scaled() workload knob by N (overrides
+//                      the smoke default of 200; N=1 forces full size)
+//   --seed N           base RNG seed, recorded in the series report and
+//                      readable via seed() for benches that thread it through
+//   --json-out FILE    write every printed table as a machine-readable
+//                      txc-bench-series/v1 JSON document on exit
+//
+// `tools/txcrepro` drives benches through these flags (one process per
+// panel, deterministic seeds, per-run JSON) instead of ad-hoc env vars; the
+// TXC_BENCH_SMOKE env path remains for `txcbench --smoke` and hand runs.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "sim/jsonio.hpp"
+
 namespace txc::bench {
 
+/// Flags shared by every bench binary; populated by init().
+struct Options {
+  bool smoke_flag = false;
+  /// 0 = no --seed given; seed() then returns its caller's fallback.
+  std::uint64_t seed = 0;
+  /// 0 = no override (smoke divides by 200, full runs by 1).
+  std::uint64_t trial_divisor = 0;
+  std::string json_out;
+  std::string bench_name = "bench";
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
 /// True when the bench should run a fast, tiny-workload smoke pass
-/// (`TXC_BENCH_SMOKE=1` in the environment — set by `txcbench --smoke`).
-/// Smoke runs only prove the bench executes end to end; the printed numbers
-/// are statistically meaningless.
+/// (`--smoke`, or `TXC_BENCH_SMOKE=1` in the environment — set by
+/// `txcbench --smoke`).  Smoke runs only prove the bench executes end to
+/// end; the printed numbers are statistically meaningless.
 inline bool smoke_mode() {
+  if (options().smoke_flag) return true;
   const char* env = std::getenv("TXC_BENCH_SMOKE");
   return env != nullptr && *env != '\0' && *env != '0';
 }
 
 /// Scale a workload-size knob (trials, commits, ops) down for smoke runs.
 /// Full runs return `full`; smoke runs return `full / 200`, floored at 1.
+/// `--trial-divisor N` overrides both (full / N, floored at 1).
 template <typename T>
 inline T scaled(T full) {
+  const std::uint64_t divisor_override = options().trial_divisor;
+  if (divisor_override > 0) {
+    // Divide in long double: casting the divisor to a narrower T could
+    // truncate it to 0 (SIGFPE) and overflow the knob's range.
+    const long double quotient = static_cast<long double>(full) /
+                                 static_cast<long double>(divisor_override);
+    return quotient < 1 ? T{1} : static_cast<T>(quotient);
+  }
   if (!smoke_mode()) return full;
   return std::max<T>(T{1}, full / T{200});
 }
@@ -38,11 +82,153 @@ inline T capped(T full, T smoke_cap) {
   return smoke_mode() ? std::min(full, smoke_cap) : full;
 }
 
-/// Fixed-width table printer.
+/// Base RNG seed for benches that thread determinism through: the --seed
+/// value when one was given, the bench's own fallback otherwise (seed 0 is
+/// reserved as "unset" — drivers pass nonzero seeds).
+inline std::uint64_t seed(std::uint64_t fallback = 1) {
+  return options().seed != 0 ? options().seed : fallback;
+}
+
+namespace detail {
+
+/// One printed table, captured for the --json-out series report.
+struct CapturedTable {
+  std::string section;  // last banner() title when the table was created
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct SeriesReport {
+  std::string section;
+  std::vector<CapturedTable> tables;
+
+  static SeriesReport& instance() {
+    static SeriesReport report;
+    return report;
+  }
+};
+
+using txc::sim::json_escape;
+
+/// Emit the captured tables as a txc-bench-series/v1 document.  Consumed by
+/// tools/txcrepro's aggregator (tools/repro/aggregate.hpp).
+inline void write_series_report() {
+  const Options& opts = options();
+  if (opts.json_out.empty()) return;
+  std::ofstream out(opts.json_out);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", opts.json_out.c_str());
+    return;
+  }
+  const SeriesReport& report = SeriesReport::instance();
+  out << "{\n"
+      << "  \"schema\": \"txc-bench-series/v1\",\n"
+      << "  \"bench\": \"" << json_escape(opts.bench_name) << "\",\n"
+      << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n"
+      << "  \"seed\": " << opts.seed << ",\n"
+      << "  \"tables\": [\n";
+  for (std::size_t t = 0; t < report.tables.size(); ++t) {
+    const CapturedTable& table = report.tables[t];
+    out << "    {\n"
+        << "      \"section\": \"" << json_escape(table.section) << "\",\n"
+        << "      \"headers\": [";
+    for (std::size_t i = 0; i < table.headers.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << json_escape(table.headers[i]) << "\"";
+    }
+    out << "],\n      \"rows\": [\n";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      out << "        [";
+      for (std::size_t i = 0; i < table.rows[r].size(); ++i) {
+        out << (i ? ", " : "") << "\"" << json_escape(table.rows[r][i])
+            << "\"";
+      }
+      out << "]" << (r + 1 < table.rows.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }"
+        << (t + 1 < report.tables.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace detail
+
+/// Parse the common bench CLI.  Call first thing in main(); safe to skip for
+/// flag-less runs (txcbench and hand invocations pass no arguments).
+inline void init(int argc, char** argv) {
+  Options& opts = options();
+  if (argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    opts.bench_name = slash != nullptr ? slash + 1 : argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag %s needs a value\n",
+                     opts.bench_name.c_str(), name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    // Strict decimal parse: a typo'd seed must fail loudly, not silently
+    // run a differently-seeded (hence irreproducible) experiment.
+    const auto need_u64 = [&](const char* name,
+                              std::uint64_t min_value) -> std::uint64_t {
+      const std::string raw = need_value(name);
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(raw.c_str(), &end, 10);
+      if (raw.empty() || raw[0] == '-' || end != raw.c_str() + raw.size() ||
+          value < min_value) {
+        std::fprintf(stderr,
+                     "%s: %s needs an integer >= %llu, got \"%s\"\n",
+                     opts.bench_name.c_str(), name,
+                     static_cast<unsigned long long>(min_value), raw.c_str());
+        std::exit(2);
+      }
+      return value;
+    };
+    if (flag == "--smoke") {
+      opts.smoke_flag = true;
+    } else if (flag == "--seed") {
+      opts.seed = need_u64("--seed", 1);  // 0 is the "unset" sentinel
+    } else if (flag == "--trial-divisor") {
+      opts.trial_divisor = need_u64("--trial-divisor", 1);
+    } else if (flag == "--json-out") {
+      opts.json_out = need_value("--json-out");
+    } else if (flag == "--help") {
+      std::printf(
+          "%s — figure-reproduction bench (see bench/bench_util.hpp)\n"
+          "usage: %s [--smoke] [--seed N] [--trial-divisor N] "
+          "[--json-out FILE]\n",
+          opts.bench_name.c_str(), opts.bench_name.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (see --help)\n",
+                   opts.bench_name.c_str(), flag.c_str());
+      std::exit(2);
+    }
+  }
+  if (!opts.json_out.empty()) {
+    // Construct the report singleton BEFORE registering the atexit hook:
+    // exit runs handlers and static destructors in reverse registration
+    // order, so anything constructed after the registration would already be
+    // destroyed when the hook fires.
+    detail::SeriesReport::instance();
+    std::atexit(detail::write_series_report);
+  }
+}
+
+/// Fixed-width table printer.  Every printed table is also captured so
+/// --json-out can replay it as a machine-readable series.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers, int width = 14)
-      : headers_(std::move(headers)), width_(width) {}
+      : headers_(std::move(headers)), width_(width) {
+    auto& report = detail::SeriesReport::instance();
+    capture_index_ = report.tables.size();
+    report.tables.push_back(
+        detail::CapturedTable{report.section, headers_, {}});
+  }
 
   void print_header() const {
     for (const auto& header : headers_) {
@@ -60,11 +246,14 @@ class Table {
       std::printf("%-*s", width_, cell.c_str());
     }
     std::printf("\n");
+    detail::SeriesReport::instance().tables[capture_index_].rows.push_back(
+        cells);
   }
 
  private:
   std::vector<std::string> headers_;
   int width_;
+  std::size_t capture_index_ = 0;
 };
 
 inline std::string fmt(double value, int precision = 2) {
@@ -84,6 +273,7 @@ inline void banner(const std::string& title, const std::string& expectation) {
   std::printf("%s\n", title.c_str());
   std::printf("----------------------------------------------------------------\n");
   std::printf("Paper expectation: %s\n\n", expectation.c_str());
+  detail::SeriesReport::instance().section = title;
 }
 
 }  // namespace txc::bench

@@ -146,7 +146,8 @@ void report(const char* title, RunResult (*runner)(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — classic contention managers vs local grace policies (TL2)",
       "global-knowledge managers (Karma/Greedy) resolve conflicts by killing "

@@ -5,7 +5,8 @@
 #include "core/policy.hpp"
 #include "workload/adversary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   using namespace txc;
   using namespace txc::workload;
   bench::banner(

@@ -88,7 +88,8 @@ void run_figure(const SyntheticConfig& config, bool det_worst_case) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
 #if TXC_FIG2_VARIANT == 0
   txc::bench::banner(
       "Figure 2a — average conflict cost, HIGH fixed cost (B=2000, mu=500)",

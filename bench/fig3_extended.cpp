@@ -42,7 +42,8 @@ HtmStats run_one(std::uint32_t threads, core::StrategyKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   const char* titles[] = {"Bank transfers (2-of-128 accounts)",
                           "Zipf-skewed txapp (s = 1.0)",
                           "Read-mostly scans (10% writers)",

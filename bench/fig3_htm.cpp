@@ -59,7 +59,8 @@ double calibrate_tuned_delay() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   const char* titles[] = {"Stack Throughput", "Queue Throughput",
                           "Transactional Application Throughput",
                           "Bimodal Transactional Application Throughput"};

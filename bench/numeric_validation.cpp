@@ -19,7 +19,8 @@ using namespace txc::core;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Theorem cross-validation — numeric minimax vs closed forms",
       "numeric game value == analytic ratio == discretized closed-form "

@@ -12,35 +12,45 @@ namespace {
 using namespace txc;
 using namespace txc::core;
 
-void report(const char* name, double measured, double analytic) {
-  std::printf("%-28s measured %-10.4f analytic %-10.4f |diff| %.5f\n", name,
-              measured, analytic, std::abs(measured - analytic));
+// One table for the whole sweep so --json-out captures every (strategy, k)
+// ratio as a series row; the row key combines both.
+const bench::Table& table() {
+  static const bench::Table t{
+      {"strategy@k", "measured", "analytic", "abs_diff"}, 20};
+  return t;
+}
+
+void report(const char* name, int k, double measured, double analytic) {
+  table().print_row({std::string(name) + "@k=" + std::to_string(k),
+                     bench::fmt(measured, 4), bench::fmt(analytic, 4),
+                     bench::fmt(std::abs(measured - analytic), 5)});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   bench::banner("Competitive-ratio validation (Theorems 1-6)",
                 "measured worst-case ratios match the closed forms to grid "
                 "resolution");
   const double B = 500.0;
+  table().print_header();
   for (const int k : {2, 3, 4, 8, 16}) {
-    std::printf("--- chain length k = %d, B = %.0f ---\n", k, B);
     {
       const auto view = make_view(UniformWinsDensity{B, k});
-      report("RRW uniform (Thm 5)",
+      report("RRW uniform (Thm 5)", k,
              worst_case_ratio(ResolutionMode::kRequestorWins, view, k, B),
              ratio_rand_wins_uniform(k));
     }
     {
       const auto view = make_view(PowerWinsDensity{B, k});
-      report("RRW power (Thm 6)",
+      report("RRW power (Thm 6)", k,
              worst_case_ratio(ResolutionMode::kRequestorWins, view, k, B),
              ratio_rand_wins_power(k));
     }
     {
       const auto view = make_view(ExpAbortsDensity{B, k});
-      report("RRA exponential (Thm 1/3)",
+      report("RRA exponential (Thm 1/3)", k,
              worst_case_ratio(ResolutionMode::kRequestorAborts, view, k, B),
              ratio_rand_aborts(k));
     }
@@ -51,7 +61,7 @@ int main() {
           conflict_cost(ResolutionMode::kRequestorWins, grace, grace, k, B);
       const double optimal =
           offline_optimal_cost(ResolutionMode::kRequestorWins, grace, k, B);
-      report("DET wins (Thm 4)", cost / optimal, ratio_det_wins(k));
+      report("DET wins (Thm 4)", k, cost / optimal, ratio_det_wins(k));
     }
     // Mean-constrained corners: ratio at D = mu equals C2.
     {
@@ -59,14 +69,14 @@ int main() {
       const DensityView view =
           k == 2 ? make_view(LogMeanWinsDensity{B})
                  : make_view(PowerMeanWinsDensity{B, k});
-      report("RRW(mu) corner (Thm 5/6)",
+      report("RRW(mu) corner (Thm 5/6)", k,
              pointwise_ratio(ResolutionMode::kRequestorWins, view, mu, k, B),
              ratio_rand_wins_mean(k, B, mu));
     }
     {
       const double mu = 0.4 * B * mean_threshold_aborts(k);
       const auto view = make_view(ExpMeanAbortsDensity{B, k});
-      report("RRA(mu) corner (Thm 2/3)",
+      report("RRA(mu) corner (Thm 2/3)", k,
              pointwise_ratio(ResolutionMode::kRequestorAborts, view, mu, k, B),
              ratio_rand_aborts_mean(k, B, mu));
     }

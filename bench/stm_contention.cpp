@@ -54,7 +54,8 @@ Result run(core::StrategyKind kind, unsigned threads, bool striped) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "STM ablation — TL2 with grace-period contention management "
       "(real threads)",

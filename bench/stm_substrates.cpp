@@ -62,7 +62,8 @@ RunResult run_bank(StmT& stm, int threads, int ops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — TL2 vs NOrec under the same grace policies (bank, 4 "
       "threads)",

@@ -66,7 +66,8 @@ void report(const char* title, const std::vector<ConflictSample>& trace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
   txc::bench::banner(
       "Ablation — offline replay of recorded conflict traces (16 cores)",
       "on identical conflict sequences every strategy respects its analytic "

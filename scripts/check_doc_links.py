@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the docs resolve to real files.
+
+Scans README.md and docs/**/*.md for inline links/images.  External links
+(http/https/mailto) are not fetched — CI must not depend on the network —
+but every relative target must exist in the tree, and heading anchors into
+Markdown files are validated against the target's headings.
+
+Usage: scripts/check_doc_links.py [ROOT]     (default: repo root)
+Exit codes: 0 all links resolve, 1 broken links, 2 usage error.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline [text](target) and ![alt](target); stops at the first unescaped ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor algorithm, to the precision the docs need."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_]", "", anchor)
+    anchor = re.sub(r"[^\w\- ]", "", anchor, flags=re.UNICODE)
+    return anchor.replace(" ", "-")
+
+
+def anchors_of(markdown_path: pathlib.Path) -> set:
+    text = markdown_path.read_text(encoding="utf-8")
+    # `# comment` lines inside fenced code blocks are not headings.
+    text = CODE_FENCE_RE.sub("", text)
+    return {github_anchor(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(md_file: pathlib.Path, root: pathlib.Path) -> list:
+    errors = []
+    text = md_file.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    text = CODE_FENCE_RE.sub("", text)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_of(md_file):
+                errors.append(f"{md_file}: broken anchor {target}")
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_file}: broken link {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_anchor(anchor) not in anchors_of(resolved):
+                errors.append(f"{md_file}: broken anchor {target}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) == 2 else ".").resolve()
+    files = [root / "README.md"] + sorted((root / "docs").rglob("*.md"))
+    files = [f for f in files if f.exists()]
+    if not files:
+        print(f"no Markdown files found under {root}", file=sys.stderr)
+        return 2
+    errors = []
+    for md_file in files:
+        errors.extend(check_file(md_file, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

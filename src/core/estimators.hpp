@@ -74,8 +74,12 @@ class EwmaEstimator {
 /// percentile of observed remaining times as a robust grace-period cap.
 class P2Quantile {
  public:
+  /// \param q  the quantile to track, in (0, 1) — e.g. 0.9 for the p90.
   explicit P2Quantile(double q) noexcept;
 
+  /// Feed one observation.  The first five samples are stored exactly; from
+  /// the sixth on, the five markers are nudged by parabolic (falling back to
+  /// linear) interpolation so memory stays O(1) regardless of stream length.
   void add(double x) noexcept;
 
   /// Current estimate; exact while fewer than 5 samples were seen.
@@ -107,12 +111,21 @@ class P2Quantile {
 /// (short) observed commits — the classic bias of ignoring censored data.
 class CensoredMeanEstimator {
  public:
+  /// \param alpha         EWMA weight per observation (memory ~ 1/alpha).
+  /// \param initial_mean  value reported (and used as the tail correction)
+  ///                      until the first observation arrives — the
+  ///                      bootstrap delay of AdaptiveTunedPolicy.
   explicit CensoredMeanEstimator(double alpha = 0.05,
                                  double initial_mean = 0.0) noexcept
       : ewma_(alpha), initial_mean_(initial_mean) {}
 
+  /// An uncensored observation: the remaining time was measured exactly
+  /// (the receiver committed within its grace period).
   void add_exact(double x) noexcept { ewma_.add(x); }
 
+  /// A right-censored observation: only X > bound is known (the grace
+  /// period expired).  Contributes bound + current mean, the conditional
+  /// expectation under an exponential tail.
   void add_censored(double bound) noexcept {
     const double current =
         ewma_.count() == 0 ? initial_mean_ : ewma_.mean();

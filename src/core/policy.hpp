@@ -62,6 +62,12 @@ class GracePeriodPolicy {
 
   /// Grace period Delta >= 0 for this conflict.  Delta == 0 means abort
   /// immediately.
+  ///
+  /// \param context  the local view of the conflict (see ConflictContext);
+  ///                 the policy must not consult anything beyond it.
+  /// \param rng      deterministic RNG stream; randomized policies draw
+  ///                 their waiting time from it, deterministic ones ignore
+  ///                 it.  Same (context, rng state) => same Delta.
   [[nodiscard]] virtual double grace_period(const ConflictContext& context,
                                             sim::Rng& rng) const = 0;
 
@@ -355,9 +361,18 @@ enum class StrategyKind {
   kAdaptiveTuned,  // self-calibrating DELAY_TUNED (outcome feedback)
 };
 
+/// Stable legend label for a strategy ("NO_DELAY", "RRW", "HYBRID", ...);
+/// matches the column names printed by the figure benches.
 [[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
 
-/// Build a policy.  `tuned_delay` is consumed only by kFixedTuned.
+/// Build a policy by legend name.
+///
+/// \param kind         which strategy to instantiate (see StrategyKind).
+/// \param tuned_delay  the operator-measured fixed delay; consumed only by
+///                     kFixedTuned (DELAY_TUNED), ignored otherwise.
+/// \return a shareable const policy — implementations are either stateless
+///         or internally synchronized for the simulator's single-threaded
+///         use, so one instance can serve many harness runs.
 [[nodiscard]] std::shared_ptr<const GracePeriodPolicy> make_policy(
     StrategyKind kind, double tuned_delay = 0.0);
 

@@ -1,0 +1,40 @@
+// txconflict — JSON string escaping shared by the report writers.
+//
+// Both wire formats this repository emits (txc-bench/v1 run reports and
+// txc-bench-series/v1 bench tables) escape strings with exactly these
+// rules; keeping the single definition here prevents the two writers from
+// drifting apart.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace txc::sim {
+
+/// Escape a string for embedding in a JSON document: quotes, backslashes,
+/// and all control characters (named escapes where JSON has them, \u00XX
+/// otherwise).  Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace txc::sim

@@ -11,6 +11,19 @@
 
 namespace txc::sim {
 
+/// Plain-value snapshot of a statistics accumulator: the five numbers a
+/// report or aggregator embeds per series (see RunningStats::summary()).
+/// Kept as a dumb struct so tools can serialize it without pulling in the
+/// accumulator state.
+struct StatsSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
 /// Welford online mean/variance accumulator with min/max tracking.
 class RunningStats {
  public:
@@ -42,6 +55,13 @@ class RunningStats {
   }
   [[nodiscard]] double max() const noexcept {
     return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  /// Snapshot for reports; an empty accumulator yields all-zero fields (not
+  /// the NaN min/max of the accessors) so serializers need no special case.
+  [[nodiscard]] StatsSummary summary() const noexcept {
+    if (count_ == 0) return StatsSummary{};
+    return StatsSummary{count_, mean(), stddev(), min_, max_, sum_};
   }
 
  private:
@@ -85,6 +105,13 @@ class Histogram {
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
 };
+
+/// One-shot summary of a value series (convenience over RunningStats).
+inline StatsSummary summarize(const std::vector<double>& values) noexcept {
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  return stats.summary();
+}
 
 /// Exact-quantile helper for moderate sample counts (sorts on demand).
 class Samples {

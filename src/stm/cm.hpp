@@ -86,6 +86,17 @@ struct CmView {
 class ContentionManager {
  public:
   virtual ~ContentionManager() = default;
+
+  /// Decide one conflict round.
+  ///
+  /// \param view  the requester's view of the conflict: its own and the
+  ///              enemy's descriptors, its attempt count, how many quanta it
+  ///              has already waited on this conflict, and the per-conflict
+  ///              scratch slot (see CmView::scratch).
+  /// \param rng   per-thread deterministic RNG for randomized managers.
+  /// \return kWait to spin one more wait_quantum(), kAbortSelf to sacrifice
+  ///         the requester, kAbortEnemy to try_kill() the holder (the STM
+  ///         falls back to waiting when that kill races a commit).
   [[nodiscard]] virtual CmDecision on_conflict(const CmView& view,
                                                sim::Rng& rng) const = 0;
   /// Spin iterations per kWait round.
@@ -182,9 +193,15 @@ class GracePolicyCm final : public ContentionManager {
   double abort_cost_;
 };
 
-/// Named constructors for benches/CLIs.
+/// The classic managers by name, for benches/CLIs (the paper's policies are
+/// adapted separately, via GracePolicyCm over any core::make_policy result).
 enum class CmKind { kPolite, kKarma, kTimestamp, kGreedy, kPolka };
+
+/// Display name of a classic manager ("Polite", "Karma", ...).
 [[nodiscard]] const char* to_string(CmKind kind) noexcept;
+
+/// Build a classic manager with its default tuning; the instance is
+/// thread-safe and meant to be shared by every thread of one Stm.
 [[nodiscard]] std::shared_ptr<const ContentionManager> make_cm(CmKind kind);
 
 }  // namespace txc::stm

@@ -1,0 +1,394 @@
+// Tests for the repro driver plumbing: the minimal JSON reader, the bench
+// roster I/O shared by txcbench/txcrepro, the multi-process worker pool, and
+// the end-to-end exit-code contract of the txcbench binary itself.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include "repro/aggregate.hpp"
+#include "repro/benchio.hpp"
+#include "repro/minijson.hpp"
+#include "repro/pool.hpp"
+#include "repro/roster.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace txc::repro;
+
+// ---------------------------------------------------------------------------
+// minijson
+// ---------------------------------------------------------------------------
+
+TEST(MiniJson, ParsesScalarsAndContainers) {
+  const json::Value doc = json::parse(
+      R"({"name": "x", "ok": true, "none": null, "n": -2.5e1,
+          "list": [1, 2, 3], "nested": {"k": "v"}})");
+  EXPECT_EQ(doc.at("name").as_string(), "x");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("none").is_null());
+  EXPECT_DOUBLE_EQ(doc.at("n").as_number(), -25.0);
+  ASSERT_EQ(doc.at("list").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("list").as_array()[2].as_number(), 3.0);
+  EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+}
+
+TEST(MiniJson, DecodesStringEscapes) {
+  const json::Value doc =
+      json::parse(R"({"s": "a\"b\\c\nd\teA"})");
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), json::ParseError);
+  EXPECT_THROW(json::parse("[1, 2,]"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\": 1} trailing"), json::ParseError);
+  EXPECT_THROW(json::parse("nul"), json::ParseError);
+  EXPECT_THROW(json::parse(R"({"s": "\uZZZZ"})"), json::ParseError);
+}
+
+TEST(MiniJson, AccessorsEnforceKinds) {
+  const json::Value doc = json::parse(R"({"a": 1})");
+  EXPECT_THROW(doc.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 7.0), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// roster
+// ---------------------------------------------------------------------------
+
+TEST(Roster, BuiltinFiguresAreWellFormed) {
+  const auto& roster = builtin_roster();
+  ASSERT_FALSE(roster.empty());
+  std::vector<std::string> seen;
+  for (const FigureSpec& figure : roster) {
+    EXPECT_FALSE(figure.panels.empty()) << figure.name;
+    for (const std::string& name : seen) EXPECT_NE(name, figure.name);
+    seen.push_back(figure.name);
+    for (const PanelSpec& panel : figure.panels) {
+      EXPECT_FALSE(panel.bench.empty());
+      EXPECT_GE(panel.max_attempts, 1) << panel.bench;
+    }
+  }
+  ASSERT_NE(find_figure("fig2"), nullptr);
+  EXPECT_EQ(find_figure("fig2")->panels.size(), 3u);
+  EXPECT_EQ(find_figure("no-such-figure"), nullptr);
+}
+
+TEST(Roster, EveryPanelIsInTheCMakeManifest) {
+  // The roster must only name benches that bench/CMakeLists.txt builds.
+  // Parse the add_bench calls straight out of the source listing.
+  const fs::path cmake_lists =
+      fs::path(TXC_TEST_SOURCE_DIR) / "bench" / "CMakeLists.txt";
+  std::ifstream in(cmake_lists);
+  ASSERT_TRUE(in) << cmake_lists;
+  std::string cmake_text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  for (const FigureSpec& figure : builtin_roster()) {
+    for (const PanelSpec& panel : figure.panels) {
+      EXPECT_NE(cmake_text.find("txc_add_bench(" + panel.bench),
+                std::string::npos)
+          << panel.bench << " is in the roster but not in bench/CMakeLists.txt";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// benchio: roster files and txc-bench/v1 reports
+// ---------------------------------------------------------------------------
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/txc_repro_test_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+void write_file(const fs::path& path, const std::string& text,
+                bool executable = false) {
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  if (executable) {
+    fs::permissions(path, fs::perms::owner_all | fs::perms::group_read |
+                              fs::perms::others_read);
+  }
+}
+
+TEST(BenchIo, LoadRosterPrefersManifest) {
+  TempDir dir;
+  write_file(dir.path() / "manifest.txt", "bench_b\nbench_a\n\n");
+  write_file(dir.path() / "stray_executable", "#!/bin/sh\nexit 0\n", true);
+  const std::vector<std::string> roster = load_roster(dir.path());
+  ASSERT_EQ(roster.size(), 2u);  // manifest wins over the directory scan
+  EXPECT_EQ(roster[0], "bench_b");
+  EXPECT_EQ(roster[1], "bench_a");
+}
+
+TEST(BenchIo, LoadRosterFallsBackToExecutableScan) {
+  TempDir dir;
+  write_file(dir.path() / "zzz", "#!/bin/sh\nexit 0\n", true);
+  write_file(dir.path() / "aaa", "#!/bin/sh\nexit 0\n", true);
+  write_file(dir.path() / "not_executable.txt", "data");
+  const std::vector<std::string> roster = load_roster(dir.path());
+  ASSERT_EQ(roster.size(), 2u);
+  EXPECT_EQ(roster[0], "aaa");  // sorted
+  EXPECT_EQ(roster[1], "zzz");
+}
+
+TEST(BenchIo, ShellQuoteNeutralizesMetacharacters) {
+  EXPECT_EQ(shell_quote("plain"), "'plain'");
+  EXPECT_EQ(shell_quote("has space"), "'has space'");
+  EXPECT_EQ(shell_quote("o'brien"), "'o'\\''brien'");
+}
+
+TEST(BenchIo, ReportRoundTrips) {
+  std::vector<BenchResult> results(2);
+  results[0].name = "alpha";
+  results[0].exit_code = 0;
+  results[0].attempts = 1;
+  results[0].wall_ms = 12.5;
+  results[0].output_lines = 3;
+  results[1].name = "beta";
+  results[1].exit_code = 1;
+  results[1].timed_out = true;
+  results[1].attempts = 2;
+  results[1].wall_ms = 900.0;
+  results[1].tail = "boom \"quoted\"\n";
+
+  TempDir dir;
+  const std::string path = (dir.path() / "report.json").string();
+  ASSERT_TRUE(write_report(path, /*smoke=*/true, "bench", results));
+
+  const std::vector<BenchResult> loaded = read_report(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "alpha");
+  EXPECT_TRUE(loaded[0].ok());
+  EXPECT_DOUBLE_EQ(loaded[0].wall_ms, 12.5);
+  EXPECT_EQ(loaded[1].name, "beta");
+  EXPECT_FALSE(loaded[1].ok());
+  EXPECT_TRUE(loaded[1].timed_out);
+  EXPECT_EQ(loaded[1].attempts, 2);
+}
+
+TEST(BenchIo, ReadReportRejectsWrongSchema) {
+  TempDir dir;
+  const std::string path = (dir.path() / "bad.json").string();
+  write_file(path, R"({"schema": "other/v9", "results": []})");
+  EXPECT_THROW(read_report(path), std::runtime_error);
+  EXPECT_THROW(read_report((dir.path() / "absent.json").string()),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// process pool
+// ---------------------------------------------------------------------------
+
+RunSpec shell_spec(const std::string& id, const std::string& script) {
+  RunSpec spec;
+  spec.id = id;
+  spec.program = "/bin/sh";
+  spec.args = {"-c", script};
+  spec.timeout_seconds = 30.0;
+  return spec;
+}
+
+TEST(ProcessPool, PropagatesExitCodesInSpecOrder) {
+  ProcessPool pool(2);
+  const auto results =
+      pool.run_all({shell_spec("ok", "exit 0"), shell_spec("fail", "exit 3")});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, "ok");
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].id, "fail");
+  EXPECT_EQ(results[1].exit_code, 3);
+  EXPECT_FALSE(results[1].ok());
+}
+
+TEST(ProcessPool, KillsRunsPastTheirDeadline) {
+  RunSpec spec = shell_spec("sleepy", "sleep 30");
+  spec.timeout_seconds = 0.2;
+  ProcessPool pool(1);
+  const auto results = pool.run_all({spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].timed_out);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_LT(results[0].wall_ms, 10000.0);  // nowhere near the 30 s sleep
+}
+
+TEST(ProcessPool, RetriesUpToTheAttemptBudget) {
+  TempDir dir;
+  // Fails on the first attempt, succeeds on the second (a marker file
+  // distinguishes attempts).
+  const std::string marker = (dir.path() / "marker").string();
+  RunSpec spec = shell_spec(
+      "flaky", "if [ -e " + marker + " ]; then exit 0; else touch " + marker +
+                   "; exit 1; fi");
+  spec.max_attempts = 3;
+  ProcessPool pool(1);
+  const auto results = pool.run_all({spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].attempts, 2);
+
+  RunSpec hopeless = shell_spec("hopeless", "exit 7");
+  hopeless.max_attempts = 3;
+  const auto hopeless_results = pool.run_all({hopeless});
+  EXPECT_EQ(hopeless_results[0].attempts, 3);
+  EXPECT_EQ(hopeless_results[0].exit_code, 7);
+}
+
+TEST(ProcessPool, RunsWorkersInParallel) {
+  ProcessPool pool(2);
+  const auto results = pool.run_all(
+      {shell_spec("a", "sleep 0.3"), shell_spec("b", "sleep 0.3")});
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_GE(pool.peak_parallelism(), 2u);
+}
+
+TEST(ProcessPool, CapturesChildOutputAndEnvironment) {
+  TempDir dir;
+  RunSpec spec = shell_spec("env", "echo \"val=$TXC_TEST_VAR\"");
+  spec.env = {{"TXC_TEST_VAR", "42"}};
+  spec.output_path = (dir.path() / "out.log").string();
+  ProcessPool pool(1);
+  const auto results = pool.run_all({spec});
+  ASSERT_TRUE(results[0].ok());
+  std::ifstream in(spec.output_path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "val=42");
+}
+
+// ---------------------------------------------------------------------------
+// baseline comparison
+// ---------------------------------------------------------------------------
+
+BenchResult make_result(const std::string& name, int exit_code,
+                        double wall_ms) {
+  BenchResult result;
+  result.name = name;
+  result.exit_code = exit_code;
+  result.wall_ms = wall_ms;
+  return result;
+}
+
+TEST(Baseline, FlagsFailuresAndWallTimeDrift) {
+  const std::vector<BenchResult> baseline = {
+      make_result("a", 0, 100.0), make_result("b", 0, 100.0),
+      make_result("c", 0, 100.0), make_result("broken_before", 1, 100.0)};
+  const std::vector<BenchResult> current = {
+      make_result("a", 0, 120.0),            // within threshold
+      make_result("b", 0, 500.0),            // 5x drift
+      make_result("c", 2, 90.0),             // regressed to failure
+      make_result("broken_before", 1, 90.0)  // was already broken: ignored
+  };
+  const auto regressions =
+      compare_to_baseline(current, baseline, BaselineConfig{});
+  ASSERT_EQ(regressions.size(), 2u);
+  EXPECT_EQ(regressions[0].bench, "b");
+  EXPECT_EQ(regressions[1].bench, "c");
+}
+
+TEST(Baseline, FlagsRegressionFromSubFloorBaseline) {
+  // An injected tiny baseline must still trip the gate when the current run
+  // is above the noise floor.
+  const std::vector<BenchResult> baseline = {make_result("a", 0, 0.01)};
+  const std::vector<BenchResult> current = {make_result("a", 0, 50.0)};
+  EXPECT_EQ(compare_to_baseline(current, baseline, BaselineConfig{}).size(),
+            1u);
+}
+
+TEST(Baseline, IgnoresNoiseAndMissingBenches) {
+  BaselineConfig config;
+  const std::vector<BenchResult> baseline = {make_result("a", 0, 2.0)};
+  // Current run faster than the floor: never a wall-time regression.
+  EXPECT_TRUE(compare_to_baseline({make_result("a", 0, 9.0)}, baseline, config)
+                  .empty());
+  // Bench absent from the baseline: skipped.
+  EXPECT_TRUE(compare_to_baseline({make_result("new", 0, 500.0)}, baseline,
+                                  config)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// txcbench end-to-end exit codes (satellite: failures/timeouts propagate)
+// ---------------------------------------------------------------------------
+
+#ifdef TXC_TXCBENCH_PATH
+
+int run_txcbench(const std::string& args) {
+  const std::string command =
+      std::string(TXC_TXCBENCH_PATH) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(TxcBenchBinary, ExitsZeroWhenAllBenchesPass) {
+  TempDir dir;
+  write_file(dir.path() / "manifest.txt", "good_a\ngood_b\n");
+  write_file(dir.path() / "good_a", "#!/bin/sh\necho row\nexit 0\n", true);
+  write_file(dir.path() / "good_b", "#!/bin/sh\nexit 0\n", true);
+  const std::string out = (dir.path() / "report.json").string();
+  EXPECT_EQ(run_txcbench("--bench-dir " + dir.path().string() + " --out " +
+                         out),
+            0);
+  const auto report = read_report(out);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_TRUE(report[0].ok());
+}
+
+TEST(TxcBenchBinary, PropagatesBenchFailureAsExitOne) {
+  TempDir dir;
+  write_file(dir.path() / "manifest.txt", "good\nbad\n");
+  write_file(dir.path() / "good", "#!/bin/sh\nexit 0\n", true);
+  write_file(dir.path() / "bad", "#!/bin/sh\necho doom\nexit 9\n", true);
+  const std::string out = (dir.path() / "report.json").string();
+  EXPECT_EQ(run_txcbench("--bench-dir " + dir.path().string() + " --out " +
+                         out),
+            1);
+  const auto report = read_report(out);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_FALSE(report[1].ok());
+  EXPECT_EQ(report[1].exit_code, 9);
+}
+
+TEST(TxcBenchBinary, PropagatesTimeoutAsExitOne) {
+  TempDir dir;
+  write_file(dir.path() / "manifest.txt", "slow\n");
+  write_file(dir.path() / "slow", "#!/bin/sh\nsleep 30\n", true);
+  const std::string out = (dir.path() / "report.json").string();
+  EXPECT_EQ(run_txcbench("--bench-dir " + dir.path().string() +
+                         " --timeout 1 --out " + out),
+            1);
+  const auto report = read_report(out);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_TRUE(report[0].timed_out);
+}
+
+TEST(TxcBenchBinary, UsageErrorsExitTwo) {
+  TempDir dir;  // empty: no manifest, no executables
+  EXPECT_EQ(run_txcbench("--bench-dir " + (dir.path() / "nope").string()), 2);
+  EXPECT_EQ(run_txcbench("--no-such-flag"), 2);
+}
+
+#endif  // TXC_TXCBENCH_PATH
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Golden-file tests for the figure aggregator: canned txc-bench-series/v1
+// input must render to byte-identical CSV and Markdown.  The fixtures live
+// in tests/data/repro/; regenerate them after an intentional format change
+// with
+//
+//   TXC_REGOLDEN=1 ./build/tests/test_repro_aggregate
+//
+// and review the diff like any other code change.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "repro/aggregate.hpp"
+#include "repro/roster.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace txc::repro;
+
+const fs::path kDataDir = fs::path(TXC_TEST_SOURCE_DIR) / "tests" / "data" /
+                          "repro";
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Compare against a golden file; under TXC_REGOLDEN=1 rewrite it instead.
+void expect_matches_golden(const std::string& actual,
+                           const std::string& golden_name) {
+  const fs::path golden_path = kDataDir / golden_name;
+  const char* regolden = std::getenv("TXC_REGOLDEN");
+  if (regolden != nullptr && *regolden == '1') {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  EXPECT_EQ(actual, read_file(golden_path))
+      << "aggregator output drifted from " << golden_path
+      << " (if intentional: TXC_REGOLDEN=1 ./tests/test_repro_aggregate and "
+         "review the diff)";
+}
+
+/// The canned figure: one healthy panel with two tables (awkward cells
+/// included: commas, quotes, pipes, non-numeric entries), one failed panel.
+FigureSpec canned_figure() {
+  FigureSpec figure;
+  figure.name = "figx";
+  figure.title = "Figure X — canned aggregation fixture";
+  figure.panels = {
+      {"panel_alpha", "healthy panel with two tables", 2},
+      {"panel_beta", "panel whose bench failed", 1},
+  };
+  return figure;
+}
+
+std::vector<PanelData> canned_panels(const FigureSpec& figure) {
+  std::vector<PanelData> panels(2);
+  panels[0].spec = figure.panels[0];
+  panels[0].run.name = "panel_alpha";
+  panels[0].run.exit_code = 0;
+  panels[0].run.attempts = 1;
+  panels[0].run.wall_ms = 123.0;
+  panels[0].has_series = true;
+  panels[0].series =
+      read_series((kDataDir / "panel_alpha.series.json").string());
+
+  panels[1].spec = figure.panels[1];
+  panels[1].run.name = "panel_beta";
+  panels[1].run.exit_code = 9;
+  panels[1].run.timed_out = true;
+  panels[1].run.attempts = 2;
+  panels[1].run.wall_ms = 45.0;
+  panels[1].has_series = false;
+  return panels;
+}
+
+TEST(ReproAggregate, ParsesCannedSeries) {
+  const SeriesDoc series =
+      read_series((kDataDir / "panel_alpha.series.json").string());
+  EXPECT_EQ(series.bench, "panel_alpha");
+  EXPECT_TRUE(series.smoke);
+  EXPECT_EQ(series.seed, 42u);
+  ASSERT_EQ(series.tables.size(), 2u);
+  EXPECT_EQ(series.tables[0].headers.size(), 4u);
+  ASSERT_EQ(series.tables[0].rows.size(), 3u);
+  EXPECT_EQ(series.tables[0].rows[0][0], "geometric");
+  // The second table carries the awkward cells.
+  EXPECT_EQ(series.tables[1].section, "ratios, quoted \"section\" | piped");
+}
+
+TEST(ReproAggregate, RejectsWrongSchema) {
+  EXPECT_THROW(parse_series(R"({"schema": "txc-bench/v1", "tables": []})",
+                            "inline"),
+               std::runtime_error);
+}
+
+TEST(ReproAggregate, CsvMatchesGolden) {
+  const FigureSpec figure = canned_figure();
+  expect_matches_golden(render_figure_csv(figure, canned_panels(figure)),
+                        "figx.golden.csv");
+}
+
+TEST(ReproAggregate, MarkdownMatchesGolden) {
+  const FigureSpec figure = canned_figure();
+  expect_matches_golden(
+      render_figure_markdown(figure, canned_panels(figure), /*smoke=*/true),
+      "figx.golden.md");
+}
+
+}  // namespace

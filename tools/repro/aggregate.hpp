@@ -1,0 +1,311 @@
+// txconflict — aggregation of per-run bench series into figure tables.
+//
+// Consumes the txc-bench-series/v1 documents the bench binaries emit under
+// --json-out (see bench/bench_util.hpp) and renders, per figure, the two
+// artifacts docs/REPRODUCING.md points readers at:
+//
+//   docs/results/<figure>.md   — human-readable panel tables + run status
+//   docs/results/<figure>.csv  — tidy (long-form) data: one value per line,
+//                                keyed by panel / table / row / column
+//
+// Rendering is deliberately timestamp-free and byte-deterministic for fixed
+// inputs — tests/test_repro_aggregate.cpp holds golden files against it.
+// Baseline comparison (the CI perf-drift gate) lives here too, over the
+// txc-bench/v1 reports from tools/repro/benchio.hpp.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/benchio.hpp"
+#include "repro/minijson.hpp"
+#include "repro/roster.hpp"
+#include "sim/stats.hpp"
+
+namespace txc::repro {
+
+/// One captured bench table (mirror of bench_util's CapturedTable).
+struct SeriesTable {
+  std::string section;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// One bench run's series report.
+struct SeriesDoc {
+  std::string bench;
+  bool smoke = false;
+  std::uint64_t seed = 0;
+  std::vector<SeriesTable> tables;
+};
+
+/// Everything the renderer knows about one panel of a figure.
+struct PanelData {
+  PanelSpec spec;
+  BenchResult run;        // exit code / timing, as a txc-bench/v1 row
+  bool has_series = false;
+  SeriesDoc series;
+};
+
+/// Parse a txc-bench-series/v1 document.  Throws on malformed input or a
+/// wrong schema tag.
+inline SeriesDoc parse_series(const std::string& text,
+                              const std::string& origin) {
+  const json::Value doc = json::parse(text);
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "txc-bench-series/v1") {
+    throw std::runtime_error(origin + " is not a txc-bench-series/v1 report " +
+                             "(schema \"" + schema + "\")");
+  }
+  SeriesDoc series;
+  series.bench = doc.string_or("bench", "");
+  series.smoke = doc.has("smoke") && doc.at("smoke").as_bool();
+  series.seed = static_cast<std::uint64_t>(doc.number_or("seed", 0));
+  for (const json::Value& entry : doc.at("tables").as_array()) {
+    SeriesTable table;
+    table.section = entry.string_or("section", "");
+    for (const json::Value& header : entry.at("headers").as_array()) {
+      table.headers.push_back(header.as_string());
+    }
+    for (const json::Value& row : entry.at("rows").as_array()) {
+      std::vector<std::string> cells;
+      for (const json::Value& cell : row.as_array()) {
+        cells.push_back(cell.as_string());
+      }
+      table.rows.push_back(std::move(cells));
+    }
+    series.tables.push_back(std::move(table));
+  }
+  return series;
+}
+
+/// Read + parse a series report from disk.
+inline SeriesDoc read_series(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read series report " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_series(buffer.str(), path);
+}
+
+namespace detail {
+
+/// RFC-4180 style field quoting, applied only when needed.
+inline std::string csv_field(const std::string& raw) {
+  if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
+  std::string out = "\"";
+  for (const char c : raw) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Escape Markdown table-cell metacharacters.
+inline std::string md_cell(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '|') out += "\\|";
+    else if (c == '\n') out += ' ';
+    else out += c;
+  }
+  return out;
+}
+
+/// Parse a cell as a number; returns false for labels / non-numeric cells.
+inline bool numeric_cell(const std::string& cell, double* value) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(cell.c_str(), &end);
+  if (end == nullptr || end == cell.c_str() || *end != '\0') return false;
+  *value = parsed;
+  return true;
+}
+
+inline std::string fmt_ms(double ms) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.0f", ms);
+  return buffer;
+}
+
+inline std::string fmt_stat(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+}  // namespace detail
+
+/// Tidy CSV: header + one line per (panel, table, row, column) value.  The
+/// first column of every bench table is its row key; remaining columns are
+/// emitted as (column, value) pairs against that key.
+inline std::string render_figure_csv(const FigureSpec& figure,
+                                     const std::vector<PanelData>& panels) {
+  std::ostringstream out;
+  out << "figure,panel,table,section,row,column,value\n";
+  for (const PanelData& panel : panels) {
+    if (!panel.has_series) continue;
+    for (std::size_t t = 0; t < panel.series.tables.size(); ++t) {
+      const SeriesTable& table = panel.series.tables[t];
+      if (table.headers.empty()) continue;
+      for (const auto& row : table.rows) {
+        if (row.empty()) continue;
+        const std::string& key = row[0];
+        const std::size_t columns =
+            std::min(row.size(), table.headers.size());
+        for (std::size_t c = 1; c < columns; ++c) {
+          out << detail::csv_field(figure.name) << ','
+              << detail::csv_field(panel.spec.bench) << ',' << (t + 1) << ','
+              << detail::csv_field(table.section) << ','
+              << detail::csv_field(key) << ','
+              << detail::csv_field(table.headers[c]) << ','
+              << detail::csv_field(row[c]) << '\n';
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+/// Figure Markdown: one section per panel with run status, every captured
+/// table rendered as a Markdown table, and a per-column mean footer (via
+/// sim::RunningStats) for quick cross-run eyeballing.
+inline std::string render_figure_markdown(const FigureSpec& figure,
+                                          const std::vector<PanelData>& panels,
+                                          bool smoke) {
+  std::ostringstream out;
+  out << "# " << figure.title << "\n\n"
+      << "_Generated by `txcrepro` (mode: " << (smoke ? "smoke" : "full")
+      << "). Regenerate with `./build/tools/txcrepro --figure " << figure.name
+      << (smoke ? " --smoke" : "") << "`; do not edit by hand._\n";
+  for (const PanelData& panel : panels) {
+    out << "\n## Panel `" << panel.spec.bench << "`\n\n"
+        << panel.spec.description << "\n\n";
+    if (panel.run.ok()) {
+      out << "- status: ok (exit 0, " << panel.run.attempts
+          << (panel.run.attempts == 1 ? " attempt, " : " attempts, ")
+          << detail::fmt_ms(panel.run.wall_ms) << " ms)\n";
+    } else {
+      out << "- status: **FAILED** (exit " << panel.run.exit_code
+          << (panel.run.timed_out ? ", timed out" : "") << ", "
+          << panel.run.attempts
+          << (panel.run.attempts == 1 ? " attempt, " : " attempts, ")
+          << detail::fmt_ms(panel.run.wall_ms) << " ms)\n";
+    }
+    if (!panel.has_series) {
+      out << "- no series report captured\n";
+      continue;
+    }
+    out << "- seed: " << panel.series.seed << "\n";
+    for (std::size_t t = 0; t < panel.series.tables.size(); ++t) {
+      const SeriesTable& table = panel.series.tables[t];
+      out << "\n### Table " << (t + 1);
+      if (!table.section.empty()) {
+        out << " — " << detail::md_cell(table.section);
+      }
+      out << "\n\n|";
+      for (const auto& header : table.headers) {
+        out << ' ' << detail::md_cell(header) << " |";
+      }
+      out << "\n|";
+      for (std::size_t i = 0; i < table.headers.size(); ++i) {
+        out << " --- |";
+      }
+      out << "\n";
+      for (const auto& row : table.rows) {
+        out << "|";
+        for (std::size_t c = 0; c < table.headers.size(); ++c) {
+          out << ' ' << (c < row.size() ? detail::md_cell(row[c]) : "")
+              << " |";
+        }
+        out << "\n";
+      }
+      // Column means over the numeric cells, one summary line per table.
+      std::vector<std::string> mean_notes;
+      for (std::size_t c = 1; c < table.headers.size(); ++c) {
+        sim::RunningStats stats;
+        for (const auto& row : table.rows) {
+          double value = 0.0;
+          if (c < row.size() && detail::numeric_cell(row[c], &value)) {
+            stats.add(value);
+          }
+        }
+        const sim::StatsSummary summary = stats.summary();
+        if (summary.count > 0) {
+          mean_notes.push_back(table.headers[c] + "=" +
+                               detail::fmt_stat(summary.mean));
+        }
+      }
+      if (!mean_notes.empty()) {
+        out << "\n_Column means: ";
+        for (std::size_t i = 0; i < mean_notes.size(); ++i) {
+          out << (i ? "; " : "") << mean_notes[i];
+        }
+        out << "_\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+/// One detected perf/correctness regression against a baseline report.
+struct Regression {
+  std::string bench;
+  std::string what;
+};
+
+struct BaselineConfig {
+  /// Current wall time must exceed baseline * threshold to count.
+  double wall_ratio_threshold = 1.5;
+  /// A current run faster than this is noise, never a wall-time regression
+  /// (the baseline side is NOT floored: regressing from a sub-floor baseline
+  /// to a slow run must still trip the gate).
+  double min_wall_ms = 10.0;
+};
+
+/// Compare a fresh run against an archived txc-bench/v1 report.  Only
+/// benches present in both are compared; a bench that regressed from ok to
+/// failed is always a regression, wall-time drift only above the config
+/// thresholds.
+inline std::vector<Regression> compare_to_baseline(
+    const std::vector<BenchResult>& current,
+    const std::vector<BenchResult>& baseline, const BaselineConfig& config) {
+  std::vector<Regression> regressions;
+  for (const BenchResult& now : current) {
+    const BenchResult* base = nullptr;
+    for (const BenchResult& candidate : baseline) {
+      if (candidate.name == now.name) {
+        base = &candidate;
+        break;
+      }
+    }
+    if (base == nullptr || !base->ok()) continue;
+    if (!now.ok()) {
+      regressions.push_back(
+          {now.name, now.timed_out
+                         ? "timed out (baseline passed)"
+                         : "failed with exit " + std::to_string(now.exit_code) +
+                               " (baseline passed)"});
+      continue;
+    }
+    if (now.wall_ms < config.min_wall_ms) {
+      continue;
+    }
+    if (now.wall_ms > base->wall_ms * config.wall_ratio_threshold) {
+      char note[160];
+      std::snprintf(note, sizeof(note),
+                    "wall time %.0f ms vs baseline %.0f ms (%.2fx > %.2fx "
+                    "threshold)",
+                    now.wall_ms, base->wall_ms, now.wall_ms / base->wall_ms,
+                    config.wall_ratio_threshold);
+      regressions.push_back({now.name, note});
+    }
+  }
+  return regressions;
+}
+
+}  // namespace txc::repro

@@ -1,0 +1,166 @@
+// txconflict — shared I/O for the bench drivers (txcbench, txcrepro).
+//
+// Owns the txc-bench/v1 report schema end to end: the roster discovery that
+// decides which bench binaries exist, the writer both drivers use to emit a
+// report, and the reader txcrepro's --baseline mode uses to compare a fresh
+// run against an archived report.  Keeping the schema in one header is what
+// lets CI gate on perf drift between any two reports regardless of which
+// driver produced them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "repro/minijson.hpp"
+#include "sim/jsonio.hpp"
+
+namespace txc::repro {
+
+namespace fs = std::filesystem;
+
+/// Outcome of one bench execution, as recorded in a txc-bench/v1 report.
+struct BenchResult {
+  std::string name;
+  int exit_code = -1;
+  bool timed_out = false;
+  int attempts = 1;
+  double wall_ms = 0.0;
+  std::size_t output_lines = 0;
+  std::string tail;  // last output lines, kept for failing benches
+
+  [[nodiscard]] bool ok() const noexcept {
+    return exit_code == 0 && !timed_out;
+  }
+};
+
+/// Load the bench roster: the CMake-generated manifest.txt when present,
+/// otherwise any executable regular file in the directory (sorted).
+inline std::vector<std::string> load_roster(const fs::path& bench_dir) {
+  std::vector<std::string> names;
+  std::ifstream manifest(bench_dir / "manifest.txt");
+  if (manifest) {
+    std::string line;
+    while (std::getline(manifest, line)) {
+      if (!line.empty()) names.push_back(line);
+    }
+  }
+  if (names.empty()) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(bench_dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (::access(entry.path().c_str(), X_OK) != 0) continue;
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+  }
+  return names;
+}
+
+/// Single-quote a path for a shell so spaces and metacharacters in the build
+/// directory cannot split or reinterpret the command.
+inline std::string shell_quote(const std::string& raw) {
+  std::string out = "'";
+  for (const char c : raw) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+using txc::sim::json_escape;
+
+inline std::size_t count_failed(const std::vector<BenchResult>& results) {
+  std::size_t failed = 0;
+  for (const auto& result : results) {
+    if (!result.ok()) ++failed;
+  }
+  return failed;
+}
+
+/// Serialize a txc-bench/v1 report.  `generated_unix` is a parameter (not
+/// time(nullptr)) so tests can produce byte-stable documents.
+inline std::string render_report(bool smoke, const std::string& bench_dir,
+                                 const std::vector<BenchResult>& results,
+                                 std::time_t generated_unix) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema\": \"txc-bench/v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"generated_unix\": " << generated_unix << ",\n"
+      << "  \"bench_dir\": \"" << json_escape(bench_dir) << "\",\n"
+      << "  \"total\": " << results.size() << ",\n"
+      << "  \"failed\": " << count_failed(results) << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    out << "    {\"name\": \"" << json_escape(result.name) << "\", "
+        << "\"ok\": " << (result.ok() ? "true" : "false") << ", "
+        << "\"exit_code\": " << result.exit_code << ", "
+        << "\"timed_out\": " << (result.timed_out ? "true" : "false") << ", "
+        << "\"attempts\": " << result.attempts << ", "
+        << "\"wall_ms\": " << result.wall_ms << ", "
+        << "\"output_lines\": " << result.output_lines;
+    if (!result.tail.empty()) {
+      out << ", \"output_tail\": \"" << json_escape(result.tail) << "\"";
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Write a txc-bench/v1 report; returns false when the path is unwritable.
+inline bool write_report(const std::string& path, bool smoke,
+                         const std::string& bench_dir,
+                         const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_report(smoke, bench_dir, results, std::time(nullptr));
+  return out.good();
+}
+
+/// Parse a txc-bench/v1 report back into results (for --baseline).  Throws
+/// std::runtime_error / json::ParseError on malformed or mis-schema'd input.
+inline std::vector<BenchResult> read_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read report " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "txc-bench/v1") {
+    throw std::runtime_error(path + " is not a txc-bench/v1 report (schema \"" +
+                             schema + "\")");
+  }
+  std::vector<BenchResult> results;
+  for (const json::Value& entry : doc.at("results").as_array()) {
+    BenchResult result;
+    result.name = entry.at("name").as_string();
+    result.exit_code = static_cast<int>(entry.number_or("exit_code", -1));
+    result.timed_out =
+        entry.has("timed_out") && entry.at("timed_out").as_bool();
+    result.attempts = static_cast<int>(entry.number_or("attempts", 1));
+    result.wall_ms = entry.number_or("wall_ms", 0.0);
+    result.output_lines =
+        static_cast<std::size_t>(entry.number_or("output_lines", 0));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace txc::repro

@@ -1,0 +1,298 @@
+// txconflict — minimal recursive-descent JSON reader for the repro tooling.
+//
+// The repro driver only ever parses documents this repository itself emits
+// (txc-bench/v1 reports and txc-bench-series/v1 tables), so this is a small,
+// strict subset parser: UTF-8 passthrough, \uXXXX decoded only for ASCII,
+// numbers via strtod.  Errors throw ParseError with a byte offset.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace txc::repro::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value.  Accessors throw std::runtime_error on kind mismatch so
+/// schema drift in a report fails loudly instead of reading zeros.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  [[nodiscard]] bool as_bool() const {
+    require(Kind::kBool, "bool");
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    require(Kind::kNumber, "number");
+    return number_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    require(Kind::kString, "string");
+    return string_;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    require(Kind::kArray, "array");
+    return *array_;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    require(Kind::kObject, "object");
+    return *object_;
+  }
+
+  /// Object member lookup; throws when missing.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const Object& obj = as_object();
+    const auto it = obj.find(key);
+    if (it == obj.end()) {
+      throw std::runtime_error("missing JSON key \"" + key + "\"");
+    }
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    const Object& obj = as_object();
+    return obj.find(key) != obj.end();
+  }
+  /// Optional lookup with a fallback for absent keys.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const {
+    return has(key) ? at(key).as_number() : fallback;
+  }
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const {
+    return has(key) ? at(key).as_string() : fallback;
+  }
+
+ private:
+  void require(Kind kind, const char* what) const {
+    if (kind_ != kind) {
+      throw std::runtime_error(std::string("JSON value is not a ") + what);
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError("trailing content after JSON document", pos_);
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw ParseError("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value{parse_string()};
+      case 't':
+        if (consume_literal("true")) return Value{true};
+        throw ParseError("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return Value{false};
+        throw ParseError("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return Value{};
+        throw ParseError("bad literal", pos_);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(members)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{std::move(members)};
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(items)};
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{std::move(items)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw ParseError("unterminated string", pos_);
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        throw ParseError("unterminated escape", pos_);
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            throw ParseError("short \\u escape", pos_);
+          }
+          const std::string digits = text_.substr(pos_, 4);
+          char* end = nullptr;
+          const unsigned long code = std::strtoul(digits.c_str(), &end, 16);
+          if (end != digits.c_str() + 4) {
+            throw ParseError("bad \\u escape \"" + digits + "\"", pos_);
+          }
+          pos_ += 4;
+          if (code > 0x7f) {
+            // The repro reports only ever escape control characters; keep
+            // non-ASCII escapes visibly lossy rather than mis-decoded.
+            out += '?';
+          } else {
+            out += static_cast<char>(code);
+          }
+          break;
+        }
+        default: throw ParseError("bad escape", pos_ - 1);
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) throw ParseError("expected a value", start);
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      throw ParseError("bad number \"" + token + "\"", start);
+    }
+    return Value{value};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parse one complete JSON document; throws ParseError on malformed input.
+inline Value parse(const std::string& text) {
+  return detail::Parser{text}.parse_document();
+}
+
+}  // namespace txc::repro::json

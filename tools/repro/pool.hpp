@@ -1,0 +1,214 @@
+// txconflict — multi-process worker pool for the repro driver.
+//
+// Each run is a fork/exec of one bench binary with its stdout+stderr
+// captured to a file; the pool shards the queue across up to `workers`
+// concurrent children, enforces a per-run wall-clock deadline (SIGKILL on
+// expiry), and re-queues failed runs up to the spec's attempt budget.  No
+// shell is involved, so bench paths and arguments are never reinterpreted.
+//
+// The pool is deliberately poll-based (waitpid WNOHANG + a short sleep): the
+// runs it manages last seconds to minutes, so a 2 ms scheduling granularity
+// is invisible, and it avoids signal-handler state entirely.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace txc::repro {
+
+/// One process to run: program, arguments, extra environment, capture file.
+struct RunSpec {
+  std::string id;       // display / result name
+  std::string program;  // path to the executable
+  std::vector<std::string> args;
+  /// Extra environment entries exported to the child (on top of the parent
+  /// environment), e.g. {"TXC_BENCH_SMOKE", "1"}.
+  std::vector<std::pair<std::string, std::string>> env;
+  /// File receiving the child's stdout+stderr (truncated per attempt, so the
+  /// surviving content is always the final attempt's output).  Empty keeps
+  /// the parent's streams.
+  std::string output_path;
+  double timeout_seconds = 600.0;
+  int max_attempts = 1;
+};
+
+struct RunResult {
+  std::string id;
+  int exit_code = -1;
+  bool timed_out = false;
+  int attempts = 0;
+  double wall_ms = 0.0;  // wall time of the final attempt
+
+  [[nodiscard]] bool ok() const noexcept {
+    return exit_code == 0 && !timed_out;
+  }
+};
+
+class ProcessPool {
+ public:
+  explicit ProcessPool(std::size_t workers)
+      : workers_(workers == 0 ? 1 : workers) {}
+
+  /// Runs every spec to completion (results in spec order).  `on_finish` is
+  /// called once per final result, in completion order, for progress output.
+  std::vector<RunResult> run_all(
+      const std::vector<RunSpec>& specs,
+      const std::function<void(const RunSpec&, const RunResult&)>& on_finish =
+          {}) {
+    using Clock = std::chrono::steady_clock;
+    struct Active {
+      std::size_t index;
+      int attempt;
+      Clock::time_point start;
+      Clock::time_point deadline;
+      bool killed = false;
+    };
+
+    std::vector<RunResult> results(specs.size());
+    std::vector<std::pair<std::size_t, int>> queue;  // (spec index, attempt)
+    queue.reserve(specs.size());
+    for (std::size_t i = specs.size(); i > 0; --i) {
+      queue.emplace_back(i - 1, 1);  // popped from the back, so spec order
+    }
+    std::map<pid_t, Active> active;
+    peak_parallelism_ = 0;
+
+    while (!queue.empty() || !active.empty()) {
+      while (!queue.empty() && active.size() < workers_) {
+        const auto [index, attempt] = queue.back();
+        queue.pop_back();
+        const pid_t pid = spawn(specs[index]);
+        const auto now = Clock::now();
+        auto deadline = Clock::time_point::max();
+        if (specs[index].timeout_seconds > 0) {
+          deadline = now + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   specs[index].timeout_seconds));
+        }
+        if (pid < 0) {
+          // fork failed (e.g. transient EAGAIN): spend an attempt like any
+          // other failure, and only finalize once the budget is exhausted.
+          if (attempt < specs[index].max_attempts) {
+            queue.emplace_back(index, attempt + 1);
+            continue;
+          }
+          results[index] = RunResult{specs[index].id, -1, false, attempt, 0.0};
+          if (on_finish) on_finish(specs[index], results[index]);
+          continue;
+        }
+        active.emplace(pid, Active{index, attempt, now, deadline});
+        peak_parallelism_ = std::max(peak_parallelism_, active.size());
+      }
+      if (active.empty()) continue;
+
+      // Reap only the pool's own children (waitpid per pid, never -1): a
+      // wait on -1 could steal the status of an unrelated child the caller
+      // owns (a popen pipe, another pool) and break its waitpid/pclose.
+      int status = 0;
+      pid_t reaped = 0;
+      bool reap_failed = false;
+      for (const auto& [pid, slot] : active) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r != 0) {
+          reaped = pid;
+          reap_failed = r < 0;  // ECHILD etc.: treat as a lost child
+          break;
+        }
+      }
+      if (reaped > 0) {
+        const auto it = active.find(reaped);
+        const Active slot = it->second;
+        active.erase(it);
+        const RunSpec& spec = specs[slot.index];
+
+        RunResult result;
+        result.id = spec.id;
+        result.attempts = slot.attempt;
+        // A kill was *attempted* at the deadline, but the child may have
+        // exited cleanly in the race window before the SIGKILL landed — only
+        // count a timeout when the wait status shows the kill took effect.
+        result.timed_out = slot.killed && WIFSIGNALED(status);
+        result.wall_ms = std::chrono::duration<double, std::milli>(
+                             Clock::now() - slot.start)
+                             .count();
+        if (reap_failed) {
+          result.exit_code = -1;  // child vanished; status is meaningless
+          result.timed_out = false;
+        } else if (WIFEXITED(status)) {
+          result.exit_code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+          result.exit_code = 128 + WTERMSIG(status);
+        }
+        if (!result.ok() && slot.attempt < spec.max_attempts) {
+          queue.emplace_back(slot.index, slot.attempt + 1);
+          continue;
+        }
+        results[slot.index] = result;
+        if (on_finish) on_finish(spec, result);
+        continue;
+      }
+
+      // No child ready: enforce deadlines, then yield briefly.
+      const auto now = Clock::now();
+      for (auto& [pid, slot] : active) {
+        if (!slot.killed && now >= slot.deadline) {
+          slot.killed = true;
+          ::kill(pid, SIGKILL);
+        }
+      }
+      ::usleep(2000);
+    }
+    return results;
+  }
+
+  /// Highest number of concurrently live children seen by the last run_all.
+  [[nodiscard]] std::size_t peak_parallelism() const noexcept {
+    return peak_parallelism_;
+  }
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+ private:
+  static pid_t spawn(const RunSpec& spec) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+
+    // Child.  Only async-signal-safe calls until exec.
+    if (!spec.output_path.empty()) {
+      const int fd = ::open(spec.output_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    for (const auto& [key, value] : spec.env) {
+      ::setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+    std::vector<char*> argv;
+    argv.reserve(spec.args.size() + 2);
+    argv.push_back(const_cast<char*>(spec.program.c_str()));
+    for (const auto& arg : spec.args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(spec.program.c_str(), argv.data());
+    ::_exit(127);  // exec failed
+  }
+
+  std::size_t workers_;
+  std::size_t peak_parallelism_ = 0;
+};
+
+}  // namespace txc::repro

@@ -1,0 +1,110 @@
+// txconflict — the declarative figure-reproduction roster.
+//
+// Maps every figure (and figure-adjacent experiment family) of the paper to
+// the bench binaries that regenerate its panels, plus what the aggregator
+// should expect back: how many data tables each panel emits and roughly how
+// long it may run.  tools/txcrepro walks this roster; docs/REPRODUCING.md is
+// the narrative twin and must stay in sync (the repro-smoke CI job runs one
+// panel per figure straight off this table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace txc::repro {
+
+/// One bench binary contributing one panel to a figure.
+struct PanelSpec {
+  std::string bench;        // binary name under <build>/bench
+  std::string description;  // what the panel shows, legend-level
+  /// Minimum number of captured tables the panel's series report must carry
+  /// for the run to count as reproduced (0 = presence of the report only).
+  std::size_t min_tables = 1;
+  /// Full-run wall-clock budget in seconds (smoke runs share one short cap).
+  double full_timeout_seconds = 1800.0;
+  /// Attempt budget: >1 for panels with inherent run-to-run variance where a
+  /// transient failure (e.g. an over-subscribed CI machine) merits a retry.
+  int max_attempts = 2;
+};
+
+/// One figure: a named family of panels aggregated into one CSV/Markdown
+/// table pair under docs/results/.
+struct FigureSpec {
+  std::string name;   // CLI name: --figure <name>
+  std::string title;  // heading used in the generated Markdown
+  std::vector<PanelSpec> panels;
+};
+
+/// The built-in experiment roster, in paper order.
+inline const std::vector<FigureSpec>& builtin_roster() {
+  static const std::vector<FigureSpec> roster = {
+      {"fig2",
+       "Figure 2 — synthetic conflict costs (Section 8.1)",
+       {
+           {"fig2a_synthetic_highB",
+            "average conflict cost, high fixed cost (B=2000, mu=500)", 2},
+           {"fig2b_synthetic_lowB",
+            "average conflict cost, low fixed cost (B=200, mu=500)", 2},
+           {"fig2c_adversarial_det",
+            "worst-case remaining-time distribution for DET (B=2000)", 2},
+       }},
+      {"fig3",
+       "Figure 3 — HTM data-structure throughput (Section 8.2)",
+       {
+           {"fig3_stack", "transactional stack throughput vs threads", 1},
+           {"fig3_queue", "transactional queue throughput vs threads", 1},
+           {"fig3_txapp", "mixed transactional application workload", 1},
+           {"fig3_bimodal", "bimodal transaction-length workload", 1},
+           {"fig3_extended",
+            "extended data-structure panels beyond the paper's four", 1},
+       }},
+      {"ablations",
+       "Ablations — simulator and policy sensitivity studies",
+       {
+           {"ablation_abort_probability",
+            "commit/abort mix as the grace period varies", 1},
+           {"ablation_backoff_progress",
+            "Section 7 backoff decorator progress guarantee", 1},
+           {"ablation_eager_vs_lazy", "eager vs lazy conflict detection", 1},
+           {"ablation_memory_hierarchy",
+            "sensitivity to cache/L2 latency parameters", 1},
+           {"ablation_noc", "sensitivity to the mesh NoC geometry", 1},
+           {"ablation_oracle_gap",
+            "distance between online policies and the offline OPT", 1},
+           {"ablation_rw_vs_ra",
+            "requestor-wins vs requestor-aborts across chain lengths", 1},
+       }},
+      {"validation",
+       "Validation — closed-form ratios vs measured behavior",
+       {
+           {"numeric_validation",
+            "numeric minimax solver vs closed-form densities", 1},
+           {"ratio_validation",
+            "measured competitive ratios vs Theorems 1-6", 1},
+           {"competitive_sum_runtimes",
+            "sum-of-runtimes competitiveness (Section 6)", 1},
+       }},
+      {"stm",
+       "STM — contention managers and substrates (Section 8.3)",
+       {
+           {"cm_comparison",
+            "grace-period policies vs classic contention managers", 1},
+           {"stm_contention", "TL2 under variable contention", 1},
+           {"stm_substrates", "TL2-style vs NOrec-style substrates", 1},
+           {"baseline_structures",
+            "locked / lock-free baseline structures", 1},
+           {"trace_replay", "recorded-trace replay through the policies", 1},
+       }},
+  };
+  return roster;
+}
+
+/// Find a figure by CLI name; returns nullptr when unknown.
+inline const FigureSpec* find_figure(const std::string& name) {
+  for (const FigureSpec& figure : builtin_roster()) {
+    if (figure.name == name) return &figure;
+  }
+  return nullptr;
+}
+
+}  // namespace txc::repro

@@ -10,36 +10,28 @@
 //   cd build && ./tools/txcbench --smoke                 # BENCH_smoke.json
 //   ./tools/txcbench --bench-dir build/bench --filter fig3
 //   ./tools/txcbench --list
+//
+// Exit code: 0 when every bench passed, 1 when any bench failed or timed
+// out (the failure is also recorded in the JSON report), 2 on usage errors.
+// Roster/report plumbing is shared with tools/txcrepro via repro/benchio.hpp.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <ctime>
-#include <filesystem>
-#include <fstream>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "cli_util.hpp"
+#include "repro/benchio.hpp"
 
-#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 namespace {
 
 namespace fs = std::filesystem;
-
-struct BenchResult {
-  std::string name;
-  int exit_code = -1;
-  double wall_ms = 0.0;
-  std::size_t output_lines = 0;
-  std::string tail;  // last output lines, kept for failing benches
-};
+using txc::repro::BenchResult;
 
 void print_usage() {
   std::printf(
@@ -57,44 +49,10 @@ void print_usage() {
       "  --filter SUBSTR  only run benches whose name contains SUBSTR\n"
       "  --timeout SECS   per-bench wall-clock limit, enforced via the\n"
       "                   `timeout` utility when present (default: 600)\n"
-      "  --list           print the roster and exit without running\n");
-}
-
-std::vector<std::string> load_roster(const fs::path& bench_dir) {
-  std::vector<std::string> names;
-  std::ifstream manifest(bench_dir / "manifest.txt");
-  if (manifest) {
-    std::string line;
-    while (std::getline(manifest, line)) {
-      if (!line.empty()) names.push_back(line);
-    }
-  }
-  if (names.empty()) {
-    // Fallback: any executable regular file in the directory.
-    std::error_code ec;
-    for (const auto& entry : fs::directory_iterator(bench_dir, ec)) {
-      if (!entry.is_regular_file()) continue;
-      if (::access(entry.path().c_str(), X_OK) != 0) continue;
-      names.push_back(entry.path().filename().string());
-    }
-    std::sort(names.begin(), names.end());
-  }
-  return names;
-}
-
-// Single-quote a path for the popen shell so spaces and metacharacters in
-// the build directory cannot split or reinterpret the command.
-std::string shell_quote(const std::string& raw) {
-  std::string out = "'";
-  for (const char c : raw) {
-    if (c == '\'') {
-      out += "'\\''";
-    } else {
-      out += c;
-    }
-  }
-  out += "'";
-  return out;
+      "  --list           print the roster and exit without running\n"
+      "\n"
+      "exit code: 0 all benches ok, 1 any bench failed or timed out,\n"
+      "2 usage error\n");
 }
 
 BenchResult run_bench(const fs::path& bench_dir, const std::string& name,
@@ -115,11 +73,12 @@ BenchResult run_bench(const fs::path& bench_dir, const std::string& name,
     return found;
   }();
 
+  const bool timeout_wrapped = timeout_seconds > 0 && has_timeout_util;
   std::string command;
-  if (timeout_seconds > 0 && has_timeout_util) {
+  if (timeout_wrapped) {
     command = "timeout " + std::to_string(timeout_seconds) + " ";
   }
-  command += shell_quote((bench_dir / name).string());
+  command += txc::repro::shell_quote((bench_dir / name).string());
   // google-benchmark binaries ignore TXC_BENCH_SMOKE; shorten them by flag.
   if (smoke && name.rfind("micro_", 0) == 0) {
     command += " --benchmark_min_time=0.01";
@@ -152,68 +111,15 @@ BenchResult run_bench(const fs::path& bench_dir, const std::string& name,
   } else if (WIFSIGNALED(status)) {
     result.exit_code = 128 + WTERMSIG(status);
   }
-  if (result.exit_code != 0) {
+  // `timeout` exits 124 on expiry.  137 (128+SIGKILL) is deliberately NOT
+  // mapped here: without --kill-after it can only come from an external
+  // kill (e.g. the OOM killer), which must surface as a failure, not as a
+  // timeout.
+  result.timed_out = timeout_wrapped && result.exit_code == 124;
+  if (!result.ok()) {
     for (const auto& line : tail_ring) result.tail += line;
   }
   return result;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char hex[8];
-          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
-          out += hex;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void write_report(const std::string& path, bool smoke,
-                  const fs::path& bench_dir,
-                  const std::vector<BenchResult>& results) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::size_t failed = 0;
-  for (const auto& result : results) {
-    if (result.exit_code != 0) ++failed;
-  }
-  out << "{\n"
-      << "  \"schema\": \"txc-bench/v1\",\n"
-      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
-      << "  \"generated_unix\": " << std::time(nullptr) << ",\n"
-      << "  \"bench_dir\": \"" << json_escape(bench_dir.string()) << "\",\n"
-      << "  \"total\": " << results.size() << ",\n"
-      << "  \"failed\": " << failed << ",\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& result = results[i];
-    out << "    {\"name\": \"" << json_escape(result.name) << "\", "
-        << "\"ok\": " << (result.exit_code == 0 ? "true" : "false") << ", "
-        << "\"exit_code\": " << result.exit_code << ", "
-        << "\"wall_ms\": " << result.wall_ms << ", "
-        << "\"output_lines\": " << result.output_lines;
-    if (!result.tail.empty()) {
-      out << ", \"output_tail\": \"" << json_escape(result.tail) << "\"";
-    }
-    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -241,7 +147,7 @@ int main(int argc, char** argv) {
   const std::string out_path =
       args.get("out", smoke ? "BENCH_smoke.json" : "BENCH_full.json");
 
-  std::vector<std::string> roster = load_roster(bench_dir);
+  std::vector<std::string> roster = txc::repro::load_roster(bench_dir);
   if (roster.empty()) {
     std::fprintf(stderr,
                  "no bench binaries found under %s (build with "
@@ -276,18 +182,26 @@ int main(int argc, char** argv) {
                 name.c_str());
     std::fflush(stdout);
     BenchResult result = run_bench(bench_dir, name, smoke, timeout_seconds);
-    std::printf(" %s (%.0f ms)\n", result.exit_code == 0 ? "ok" : "FAILED",
+    std::printf(" %s (%.0f ms)\n",
+                result.ok() ? "ok"
+                : result.timed_out ? "TIMED OUT"
+                                   : "FAILED",
                 result.wall_ms);
     results.push_back(std::move(result));
   }
 
-  write_report(out_path, smoke, bench_dir, results);
+  if (!txc::repro::write_report(out_path, smoke, bench_dir.string(),
+                                results)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
 
   std::size_t failed = 0;
   for (const auto& result : results) {
-    if (result.exit_code != 0) {
-      std::fprintf(stderr, "FAILED: %s (exit %d)\n%s", result.name.c_str(),
-                   result.exit_code, result.tail.c_str());
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAILED: %s (exit %d%s)\n%s", result.name.c_str(),
+                   result.exit_code, result.timed_out ? ", timed out" : "",
+                   result.tail.c_str());
       ++failed;
     }
   }

@@ -1,0 +1,337 @@
+// txcrepro — parallel figure-reproduction driver.
+//
+// Bridges "the benches compile" to "the paper's figures regenerate with one
+// command": walks the declarative roster in tools/repro/roster.hpp, runs
+// every panel's bench binary in a multi-process worker pool (per-run
+// timeouts, retries, deterministic seeds), aggregates the emitted
+// txc-bench-series/v1 tables into per-figure CSV + Markdown under
+// docs/results/, and optionally gates on perf drift against an archived
+// txc-bench/v1 report.
+//
+//   ./build/tools/txcrepro --figure fig2 --smoke     # one figure, seconds
+//   ./build/tools/txcrepro --figure all              # the full roster
+//   ./build/tools/txcrepro --figure fig3 --smoke --baseline BENCH_smoke.json
+//
+// Exit codes: 0 reproduced, 1 panel failures / missing series, 2 usage,
+// 3 baseline regression.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "repro/aggregate.hpp"
+#include "repro/benchio.hpp"
+#include "repro/pool.hpp"
+#include "repro/roster.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace txc::repro;
+
+void print_usage() {
+  std::printf(
+      "txcrepro — reproduce the paper's figures with a multi-process worker "
+      "pool\n"
+      "\n"
+      "usage: txcrepro [--figure NAME[,NAME...]] [--smoke] [--jobs N]\n"
+      "                [--bench-dir DIR] [--out-dir DIR] [--max-panels N]\n"
+      "                [--timeout SECS] [--retries N] [--seed N]\n"
+      "                [--trial-divisor N] [--baseline FILE]\n"
+      "                [--regress-threshold X] [--min-wall-ms MS] [--list]\n"
+      "\n"
+      "  --figure NAMES   comma-separated figures to reproduce, or 'all'\n"
+      "                   (default).  See --list for the roster.\n"
+      "  --smoke          tiny trial counts (--smoke per bench); seconds\n"
+      "                   instead of hours, shapes only\n"
+      "  --jobs N         worker processes (default: min(cores, runs),\n"
+      "                   at least 2 when there are >= 2 runs)\n"
+      "  --bench-dir DIR  bench binaries + manifest.txt (default: ./bench,\n"
+      "                   falling back to ./build/bench)\n"
+      "  --out-dir DIR    where <figure>.md/<figure>.csv land\n"
+      "                   (default: docs/results)\n"
+      "  --max-panels N   run only the first N panels of each figure\n"
+      "                   (CI smoke: one panel per figure)\n"
+      "  --timeout SECS   per-run wall clock override (default: 120 smoke,\n"
+      "                   roster budget otherwise)\n"
+      "  --retries N      attempt budget override per run\n"
+      "  --seed N         base seed; run i gets seed N+i (default: 42)\n"
+      "  --trial-divisor N  forwarded to benches: divide workload knobs by N\n"
+      "  --baseline FILE  archived txc-bench/v1 report to gate against\n"
+      "  --regress-threshold X  wall-time ratio counting as drift "
+      "(default 1.5)\n"
+      "  --min-wall-ms MS ignore runs faster than this in drift checks\n"
+      "                   (default 10)\n"
+      "  --list           print the figure/panel roster and exit\n");
+}
+
+// Default bench dir: works from the build tree (./bench) and from the repo
+// root (./build/bench).  The manifest distinguishes a binary dir from the
+// bench *source* dir, which also exists at the repo root.
+fs::path resolve_bench_dir(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  for (const char* candidate : {"bench", "build/bench"}) {
+    if (fs::exists(fs::path(candidate) / "manifest.txt")) {
+      return candidate;
+    }
+  }
+  return "bench";
+}
+
+std::vector<std::string> split_csv(const std::string& raw) {
+  std::vector<std::string> out;
+  std::stringstream stream(raw);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::cli::Args args{argc, argv, {"smoke", "list", "help"}};
+  args.reject_unknown({"smoke", "list", "help", "figure", "jobs", "bench-dir",
+                       "out-dir", "max-panels", "timeout", "retries", "seed",
+                       "trial-divisor", "baseline", "regress-threshold",
+                       "min-wall-ms"});
+  if (args.has("help")) {
+    print_usage();
+    return 0;
+  }
+  if (args.has("list")) {
+    for (const FigureSpec& figure : builtin_roster()) {
+      std::printf("%-12s %s\n", figure.name.c_str(), figure.title.c_str());
+      for (const PanelSpec& panel : figure.panels) {
+        std::printf("  %-28s %s\n", panel.bench.c_str(),
+                    panel.description.c_str());
+      }
+    }
+    return 0;
+  }
+
+  const bool smoke = args.has("smoke");
+  const fs::path bench_dir = resolve_bench_dir(args.get("bench-dir", ""));
+  const fs::path out_dir{args.get("out-dir", "docs/results")};
+  const fs::path run_dir = out_dir / "runs";
+  const std::uint64_t base_seed = args.get_u64("seed", 42);
+  const std::uint64_t max_panels = args.get_u64("max-panels", 0);
+  const std::uint64_t trial_divisor = args.get_u64("trial-divisor", 0);
+  const double timeout_override = args.get_double("timeout", 0.0);
+  const std::uint64_t retries_override = args.get_u64("retries", 0);
+
+  // Select figures.
+  std::vector<const FigureSpec*> figures;
+  const std::string figure_arg = args.get("figure", "all");
+  if (figure_arg == "all") {
+    for (const FigureSpec& figure : builtin_roster()) figures.push_back(&figure);
+  } else {
+    for (const std::string& name : split_csv(figure_arg)) {
+      const FigureSpec* figure = find_figure(name);
+      if (figure == nullptr) {
+        std::fprintf(stderr,
+                     "unknown figure \"%s\" (see txcrepro --list)\n",
+                     name.c_str());
+        return 2;
+      }
+      // Dedupe: a repeated figure would race two children onto the same
+      // per-panel log/series paths.
+      if (std::find(figures.begin(), figures.end(), figure) ==
+          figures.end()) {
+        figures.push_back(figure);
+      }
+    }
+  }
+  if (figures.empty()) {
+    std::fprintf(stderr, "no figures selected\n");
+    return 2;
+  }
+
+  std::error_code ec;
+  fs::create_directories(run_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", run_dir.string().c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+
+  // Build the run list: one process per panel, deterministic per-run seeds.
+  struct PlannedRun {
+    const FigureSpec* figure;
+    const PanelSpec* panel;
+    std::string series_path;
+  };
+  std::vector<PlannedRun> planned;
+  std::vector<RunSpec> specs;
+  std::size_t missing_binaries = 0;
+  for (const FigureSpec* figure : figures) {
+    std::size_t taken = 0;
+    for (const PanelSpec& panel : figure->panels) {
+      if (max_panels > 0 && taken >= max_panels) break;
+      ++taken;
+      const fs::path binary = bench_dir / panel.bench;
+      if (!fs::exists(binary)) {
+        std::fprintf(stderr, "missing bench binary: %s\n",
+                     binary.string().c_str());
+        ++missing_binaries;
+        continue;
+      }
+      RunSpec spec;
+      spec.id = panel.bench;
+      spec.program = binary.string();
+      const std::string series_path =
+          (run_dir / (panel.bench + ".series.json")).string();
+      spec.args = {"--json-out", series_path, "--seed",
+                   std::to_string(base_seed + specs.size())};
+      if (smoke) spec.args.push_back("--smoke");
+      if (trial_divisor > 0) {
+        spec.args.push_back("--trial-divisor");
+        spec.args.push_back(std::to_string(trial_divisor));
+      }
+      spec.output_path = (run_dir / (panel.bench + ".log")).string();
+      spec.timeout_seconds = timeout_override > 0 ? timeout_override
+                             : smoke              ? 120.0
+                                     : panel.full_timeout_seconds;
+      spec.max_attempts = retries_override > 0
+                              ? static_cast<int>(retries_override)
+                              : panel.max_attempts;
+      planned.push_back({figure, &panel, series_path});
+      specs.push_back(std::move(spec));
+    }
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr,
+                 "no runnable panels (bench dir: %s — build with "
+                 "-DTXC_BUILD_BENCH=ON or pass --bench-dir)\n",
+                 bench_dir.string().c_str());
+    return 2;
+  }
+
+  std::size_t jobs = args.get_u64("jobs", 0);
+  if (jobs == 0) {
+    const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(cores, specs.size());
+    if (specs.size() >= 2) jobs = std::max<std::size_t>(jobs, 2);
+  }
+  std::printf("txcrepro: %zu run(s) across %zu figure(s), %zu worker "
+              "process(es), mode=%s\n",
+              specs.size(), figures.size(), jobs, smoke ? "smoke" : "full");
+
+  ProcessPool pool(jobs);
+  std::size_t done = 0;
+  const std::vector<RunResult> run_results = pool.run_all(
+      specs, [&](const RunSpec& spec, const RunResult& result) {
+        ++done;
+        std::printf("[%zu/%zu] %-28s %s (exit %d%s, %d attempt%s, %.0f ms)\n",
+                    done, specs.size(), spec.id.c_str(),
+                    result.ok() ? "ok" : "FAILED", result.exit_code,
+                    result.timed_out ? ", timed out" : "", result.attempts,
+                    result.attempts == 1 ? "" : "s", result.wall_ms);
+        std::fflush(stdout);
+      });
+  std::printf("peak parallelism: %zu process(es)\n", pool.peak_parallelism());
+
+  // Aggregate: per figure, collect panel data and render CSV + Markdown.
+  std::size_t failed_panels = missing_binaries;
+  std::vector<BenchResult> current_report;
+  for (const FigureSpec* figure : figures) {
+    std::vector<PanelData> panels;
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      if (planned[i].figure != figure) continue;
+      const RunResult& run = run_results[i];
+      PanelData data;
+      data.spec = *planned[i].panel;
+      data.run.name = run.id;
+      data.run.exit_code = run.exit_code;
+      data.run.timed_out = run.timed_out;
+      data.run.attempts = run.attempts;
+      data.run.wall_ms = run.wall_ms;
+      current_report.push_back(data.run);
+      if (!run.ok()) {
+        ++failed_panels;
+      } else {
+        try {
+          data.series = read_series(planned[i].series_path);
+          data.has_series = true;
+          if (data.series.tables.size() < data.spec.min_tables) {
+            std::fprintf(stderr,
+                         "%s: expected >= %zu series table(s), got %zu\n",
+                         data.spec.bench.c_str(), data.spec.min_tables,
+                         data.series.tables.size());
+            ++failed_panels;
+          }
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "%s: %s\n", data.spec.bench.c_str(),
+                       error.what());
+          ++failed_panels;
+        }
+      }
+      panels.push_back(std::move(data));
+    }
+    if (panels.empty()) continue;
+
+    const std::string csv = render_figure_csv(*figure, panels);
+    const std::string md = render_figure_markdown(*figure, panels, smoke);
+    const fs::path csv_path = out_dir / (figure->name + ".csv");
+    const fs::path md_path = out_dir / (figure->name + ".md");
+    for (const auto& [path, text] :
+         {std::pair{csv_path, &csv}, std::pair{md_path, &md}}) {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+        return 2;
+      }
+      out << *text;
+    }
+    std::printf("wrote %s and %s\n", md_path.string().c_str(),
+                csv_path.string().c_str());
+  }
+
+  // Archive the run outcomes as a txc-bench/v1 report (baseline input for
+  // future invocations and the CI artifact).
+  const std::string report_path =
+      (run_dir / (smoke ? "REPRO_smoke.json" : "REPRO_full.json")).string();
+  if (!write_report(report_path, smoke, bench_dir.string(), current_report)) {
+    std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+    return 2;
+  }
+  std::printf("run report: %s\n", report_path.c_str());
+
+  // Baseline gate.
+  if (args.has("baseline")) {
+    BaselineConfig config;
+    config.wall_ratio_threshold = args.get_double("regress-threshold", 1.5);
+    config.min_wall_ms = args.get_double("min-wall-ms", 10.0);
+    std::vector<BenchResult> baseline;
+    try {
+      baseline = read_report(args.get("baseline", ""));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "baseline: %s\n", error.what());
+      return 2;
+    }
+    const std::vector<Regression> regressions =
+        compare_to_baseline(current_report, baseline, config);
+    if (!regressions.empty()) {
+      for (const Regression& regression : regressions) {
+        std::fprintf(stderr, "REGRESSION: %s — %s\n",
+                     regression.bench.c_str(), regression.what.c_str());
+      }
+      return 3;
+    }
+    std::printf("baseline: no regressions against %s\n",
+                args.get("baseline", "").c_str());
+  }
+
+  if (failed_panels > 0) {
+    std::fprintf(stderr, "%zu panel(s) failed to reproduce\n", failed_panels);
+    return 1;
+  }
+  std::printf("all %zu panel(s) reproduced\n", specs.size());
+  return 0;
+}
