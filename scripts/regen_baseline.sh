@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in txc-bench/v1 baselines the CI `perf-gate` job
+# compares every push against:
+#   docs/results/baseline.smoke.json — one smoke panel per figure (cheap
+#       correctness gate; wall times mostly under the gate's noise floor)
+#   docs/results/baseline.stm.json   — the STM fast-path microbench at full
+#       depth (~0.5 s), so the zero-allocation refactor's win is actually
+#       wall-time-gated, not noise-floored away
+#
+# Run this (and commit the results) whenever:
+#   * a bench is added to / removed from the repro roster,
+#   * a deliberate perf change shifts wall times (faster OR slower), or
+#   * the gate's invocations below change.
+#
+# The invocations must stay in lock-step with the perf-gate job in
+# .github/workflows/ci.yml: same figures, same --max-panels, same --jobs
+# (sequential — parallel panels inflate each other's wall time), same
+# depth.  The gate tolerates machine-to-machine variance via a generous
+# --regress-threshold and a --min-wall-ms noise floor (set in ci.yml, not
+# here: thresholds gate, the baseline just records).
+#
+# Usage: scripts/regen_baseline.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if [ ! -x "$build_dir/tools/txcrepro" ]; then
+  echo "building $build_dir (Release) ..."
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" --target txcrepro >/dev/null
+  # Bench binaries are what txcrepro actually runs.
+  cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+"./$build_dir/tools/txcrepro" --figure all --smoke --max-panels 1 --jobs 1 \
+  --out-dir "$out_dir/smoke"
+cp "$out_dir/smoke/runs/REPRO_smoke.json" docs/results/baseline.smoke.json
+
+"./$build_dir/tools/txcrepro" --figure stm --max-panels 1 --jobs 1 \
+  --trial-divisor 1 --out-dir "$out_dir/stm"
+cp "$out_dir/stm/runs/REPRO_full.json" docs/results/baseline.stm.json
+
+for baseline in baseline.smoke.json baseline.stm.json; do
+  echo "wrote docs/results/$baseline:"
+  python3 -m json.tool "docs/results/$baseline"
+done
+echo "review the wall_ms deltas and commit both files."

@@ -5,10 +5,88 @@
 // deciding the grace period length."
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
 namespace txc::core {
+
+/// Raw monotone cycle stamp for attempt timing: rdtsc on x86-64, the virtual
+/// counter register on aarch64, steady_clock nanoseconds elsewhere.  Only
+/// differences are meaningful; the unit ("cycles") is whatever the hardware
+/// counter ticks in.  Deliberately unserialized — a fence per transaction
+/// would cost more than the measurement is worth, and attempt timing
+/// tolerates a few out-of-order ticks.
+[[nodiscard]] inline std::uint64_t cycle_now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t virtual_timer = 0;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(virtual_timer));
+  return virtual_timer;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Cycle-accurate attempt accounting for the STM fast path.  An instance
+/// attached via Stm::attach_profile / Norec::attach_profile receives every
+/// attempt's duration (commit and abort separately) from all threads;
+/// counters are relaxed atomics, so means are cheap to read live and exact
+/// after threads joined.  mean_commit_cycles() is the natural feed for
+/// MeanProfiler-backed policies when lengths are measured in cycles.
+class AttemptProfile {
+ public:
+  void record_commit(std::uint64_t cycles) noexcept {
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    commit_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+  }
+  void record_abort(std::uint64_t cycles) noexcept {
+    aborts_.fetch_add(1, std::memory_order_relaxed);
+    abort_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t commits() const noexcept {
+    return commits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t aborts() const noexcept {
+    return aborts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean_commit_cycles() const noexcept {
+    const std::uint64_t n = commits();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        commit_cycles_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+  [[nodiscard]] double mean_abort_cycles() const noexcept {
+    const std::uint64_t n = aborts();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        abort_cycles_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  void reset() noexcept {
+    commits_.store(0, std::memory_order_relaxed);
+    aborts_.store(0, std::memory_order_relaxed);
+    commit_cycles_.store(0, std::memory_order_relaxed);
+    abort_cycles_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> commit_cycles_{0};
+  std::atomic<std::uint64_t> abort_cycles_{0};
+};
 
 /// Streams committed-transaction lengths and exposes the empirical mean once
 /// enough samples accumulated.  An optional exponential decay lets the

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -60,6 +61,39 @@ struct TxDescriptor {
         std::memory_order_acq_rel);
   }
 };
+
+/// Fixed slab backing every thread's TxDescriptor.  Stripes publish raw
+/// descriptor pointers and enemies chase them after the holder released, so
+/// descriptors must never be freed while any transaction might still probe
+/// them; a static, cache-line-aligned slab gives each descriptor its own
+/// line (remote status/priority reads do not false-share with a neighbor
+/// thread's descriptor) and keeps publication entirely off the heap.
+/// Threads past the slab capacity get an intentionally-leaked heap
+/// descriptor: a one-time 64-byte allocation per overflow thread keeps the
+/// never-freed invariant (a thread_local would be destroyed at thread exit,
+/// exactly the use-after-free the slab exists to prevent) at the cost of
+/// one alloc outside the steady-state zero-allocation guarantee.
+inline constexpr std::size_t kDescriptorSlabSize = 256;
+
+namespace detail {
+struct alignas(64) PaddedTxDescriptor {
+  TxDescriptor descriptor;
+};
+}  // namespace detail
+
+/// The calling thread's slab-backed descriptor, assigned on first use and
+/// reused across every transaction (and every Stm instance) of the thread.
+[[nodiscard]] inline TxDescriptor& thread_descriptor() noexcept {
+  static detail::PaddedTxDescriptor slab[kDescriptorSlabSize];
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local TxDescriptor* mine = [] {
+    const std::size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kDescriptorSlabSize) return &slab[slot].descriptor;
+    return &(new detail::PaddedTxDescriptor)->descriptor;  // leaked by design
+  }();
+  return *mine;
+}
 
 /// What a manager decides at a conflict.
 enum class CmDecision {
@@ -105,6 +139,10 @@ class ContentionManager {
     (void)view;
     return 64;
   }
+  /// Whether decisions consult descriptor seniority (start_time/priority).
+  /// Managers that decide purely locally (GracePolicyCm) return false and
+  /// spare every transaction one fetch_add on the shared start ticket.
+  [[nodiscard]] virtual bool needs_seniority() const noexcept { return true; }
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -184,6 +222,10 @@ class GracePolicyCm final : public ContentionManager {
                                        sim::Rng& rng) const override;
   [[nodiscard]] std::uint64_t wait_quantum(
       const CmView& view) const noexcept override;
+  /// Decisions are "local, immediate, unchangeable": no global seniority.
+  [[nodiscard]] bool needs_seniority() const noexcept override {
+    return false;
+  }
   [[nodiscard]] std::string name() const override {
     return "Grace(" + policy_->name() + ")";
   }

@@ -8,6 +8,11 @@
 //
 // All containers are bounded (fixed cell arrays): the STM manages conflict,
 // not allocation.  Capacity exhaustion is reported, never UB.
+//
+// Every operation passes its lambda straight to the template
+// Stm::atomically overload, so container transactions ride the
+// zero-allocation fast path (no std::function, reusable per-thread
+// TxBuffers — see stm/tx_buffers.hpp).
 #pragma once
 
 #include <cstdint>

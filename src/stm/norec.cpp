@@ -15,6 +15,15 @@ thread_local sim::Rng tl_rng{0x4E0EECULL ^
 Norec::Norec(std::shared_ptr<const core::GracePeriodPolicy> policy)
     : policy_(std::move(policy)) {}
 
+void Norec::atomically(const std::function<void(NorecTx&)>& body) {
+  atomically([&body](NorecTx& tx) { body(tx); });
+}
+
+TxBuffers& Norec::thread_buffers() noexcept {
+  thread_local TxBuffers buffers;
+  return buffers;
+}
+
 std::optional<std::uint64_t> Norec::await_even(std::uint32_t attempt) {
   std::uint64_t state = seqlock_.load(std::memory_order_acquire);
   if ((state & 1) == 0) return state;
@@ -39,8 +48,8 @@ std::optional<std::uint64_t> Norec::validate(NorecTx& tx) {
     if (!even.has_value()) return std::nullopt;
     const std::uint64_t base = *even;
     bool consistent = true;
-    for (const auto& [cell, logged] : tx.read_log_) {
-      if (cell->value.load(std::memory_order_acquire) != logged) {
+    for (const ReadLogEntry& logged : tx.buffers_->read_log) {
+      if (logged.cell->value.load(std::memory_order_acquire) != logged.value) {
         consistent = false;
         break;
       }
@@ -54,8 +63,10 @@ std::optional<std::uint64_t> Norec::validate(NorecTx& tx) {
 }
 
 std::uint64_t NorecTx::read(const Cell& cell) {
-  const auto buffered = write_set_.find(const_cast<Cell*>(&cell));
-  if (buffered != write_set_.end()) return buffered->second;
+  if (const std::uint64_t* buffered =
+          buffers_->write_set.find(const_cast<Cell*>(&cell))) {
+    return *buffered;
+  }
 
   // NOrec read protocol: sample the value under a stable even seqlock; if
   // the clock moved since our snapshot, re-validate the whole read log and
@@ -74,17 +85,18 @@ std::uint64_t NorecTx::read(const Cell& cell) {
       // the log entry matches the validated state.
       continue;
     }
-    read_log_.emplace_back(&cell, value);
+    buffers_->read_log.push_back(ReadLogEntry{&cell, value});
     return value;
   }
 }
 
 void NorecTx::write(Cell& cell, std::uint64_t value) {
-  write_set_[&cell] = value;
+  buffers_->write_set.upsert(&cell) = value;
 }
 
 bool Norec::try_commit(NorecTx& tx) {
-  if (tx.write_set_.empty()) return true;  // read-only: always consistent
+  TxBuffers& buffers = *tx.buffers_;
+  if (buffers.write_set.empty()) return true;  // read-only: always consistent
 
   // Acquire the global lock at a state our reads are valid against.
   std::uint64_t base = tx.snapshot_;
@@ -99,32 +111,11 @@ bool Norec::try_commit(NorecTx& tx) {
   }
 
   // Exclusive: write back and release with the next even value.
-  for (auto& [cell, value] : tx.write_set_) {
-    cell->value.store(value, std::memory_order_release);
+  for (const auto& entry : buffers.write_set) {
+    entry.key->value.store(entry.value, std::memory_order_release);
   }
   seqlock_.store(base + 2, std::memory_order_release);
   return true;
-}
-
-void Norec::atomically(const std::function<void(NorecTx&)>& body) {
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    std::uint64_t snapshot = seqlock_.load(std::memory_order_acquire);
-    while (snapshot & 1) {
-      snapshot = seqlock_.load(std::memory_order_acquire);
-    }
-    NorecTx tx{*this, attempt, snapshot};
-    try {
-      body(tx);
-    } catch (const TxAbort&) {
-      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (try_commit(tx)) {
-      stats_.commits.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-  }
 }
 
 }  // namespace txc::stm

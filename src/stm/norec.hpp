@@ -12,6 +12,11 @@
 // the HTM simulator and TL2 (requestor-aborts flavor: it can only sacrifice
 // itself), so the policies can be compared across three substrates with
 // genuinely different conflict anatomies.
+//
+// Hot path: like TL2, atomically() is a template (no std::function) and
+// every attempt reuses the thread's TxBuffers — the value log and write set
+// are cleared, never freed, between attempts, so steady-state transactions
+// allocate nothing.  Transactions are flat (no nesting).
 #pragma once
 
 #include <atomic>
@@ -19,18 +24,19 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <vector>
 
 #include "core/policy.hpp"
+#include "core/profiler.hpp"
 #include "sim/rng.hpp"
 #include "stm/tl2.hpp"  // Cell, TxAbort, StmStats
+#include "stm/tx_buffers.hpp"
 
 namespace txc::stm {
 
 class Norec;
 
-/// Per-attempt NOrec transaction context.
+/// Per-attempt NOrec transaction context.  Borrows the thread's TxBuffers;
+/// owns nothing.
 class NorecTx {
  public:
   /// Transactional read with value-based validation.
@@ -43,14 +49,14 @@ class NorecTx {
 
  private:
   friend class Norec;
-  NorecTx(Norec& stm, std::uint32_t attempt, std::uint64_t snapshot)
-      : stm_(stm), attempt_(attempt), snapshot_(snapshot) {}
+  NorecTx(Norec& stm, std::uint32_t attempt, std::uint64_t snapshot,
+          TxBuffers* buffers) noexcept
+      : stm_(stm), attempt_(attempt), snapshot_(snapshot), buffers_(buffers) {}
 
   Norec& stm_;
   std::uint32_t attempt_;
   std::uint64_t snapshot_;  // even seqlock value this attempt is based on
-  std::vector<std::pair<const Cell*, std::uint64_t>> read_log_;
-  std::unordered_map<Cell*, std::uint64_t> write_set_;
+  TxBuffers* buffers_;
 };
 
 class Norec {
@@ -60,7 +66,44 @@ class Norec {
   explicit Norec(std::shared_ptr<const core::GracePeriodPolicy> policy);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
+  /// Template fast path: direct body invocation, reusable thread buffers.
+  template <typename Body>
+  void atomically(Body&& body) {
+    TxBuffers& buffers = thread_buffers();
+    TxBuffersScope scope{buffers};  // debug: reject nested transactions
+    core::AttemptProfile* const profile = profile_;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      buffers.clear();
+      const std::uint64_t started = profile ? core::cycle_now() : 0;
+      std::uint64_t snapshot = seqlock_.load(std::memory_order_acquire);
+      while (snapshot & 1) {
+        snapshot = seqlock_.load(std::memory_order_acquire);
+      }
+      NorecTx tx{*this, attempt, snapshot, &buffers};
+      bool unwound = false;
+      try {
+        body(tx);
+      } catch (const TxAbort&) {
+        unwound = true;
+      }
+      if (!unwound && try_commit(tx)) {
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        if (profile) profile->record_commit(core::cycle_now() - started);
+        return;
+      }
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      if (profile) profile->record_abort(core::cycle_now() - started);
+    }
+  }
+
+  /// Type-erased compatibility overload (lambdas use the template above).
   void atomically(const std::function<void(NorecTx&)>& body);
+
+  /// Attach (or detach, with nullptr) a cycle-accurate attempt profile.
+  /// Attach before spawning workers; the profile must outlive them.
+  void attach_profile(core::AttemptProfile* profile) noexcept {
+    profile_ = profile;
+  }
 
   [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
 
@@ -72,6 +115,10 @@ class Norec {
 
  private:
   friend class NorecTx;
+
+  /// The calling thread's reusable transaction buffers (distinct from TL2's
+  /// so interleaving substrates on one thread stays safe).
+  [[nodiscard]] static TxBuffers& thread_buffers() noexcept;
 
   /// Wait for the seqlock to go even; returns the even value, or nullopt if
   /// the grace period expired first.
@@ -87,6 +134,7 @@ class Norec {
   std::shared_ptr<const core::GracePeriodPolicy> policy_;
   std::atomic<std::uint64_t> seqlock_{0};  // even: free; odd: committing
   StmStats stats_;
+  core::AttemptProfile* profile_ = nullptr;
 };
 
 }  // namespace txc::stm

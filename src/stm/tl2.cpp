@@ -12,12 +12,6 @@ thread_local sim::Rng tl_rng{0xC0FFEE ^
                              std::hash<std::thread::id>{}(
                                  std::this_thread::get_id())};
 
-/// One descriptor per thread, reused across transactions.  Enemies may hold
-/// a pointer briefly after release; kills CAS kActive -> kAborted, so a
-/// stale kill can at worst abort the thread's *next* attempt once — a
-/// benign spurious abort (real systems version their descriptors).
-thread_local TxDescriptor tl_descriptor;
-
 bool locked(std::uint64_t versioned_lock) noexcept {
   return (versioned_lock & kLockBit) != 0;
 }
@@ -34,11 +28,19 @@ std::uint64_t version_of(std::uint64_t versioned_lock) noexcept {
 std::uint64_t Tx::read(const Cell& cell) {
   // Remote kill check: a manager may have sacrificed us while we held locks
   // in an earlier commit attempt or while we were waiting.
-  if (descriptor_->load_status() == TxStatus::kAborted) throw TxAbort{};
+  if (descriptor_->load_status() == TxStatus::kAborted) {
+    publish_priority();
+    throw TxAbort{};
+  }
 
-  // Write-own-read: serve from the write buffer.
-  const auto buffered = write_set_.find(const_cast<Cell*>(&cell));
-  if (buffered != write_set_.end()) return buffered->second;
+  // Write-own-read: serve from the write buffer (skip the probe entirely for
+  // the common read-before-write shape, where the buffer is still empty).
+  if (!buffers_->write_set.empty()) {
+    if (const std::uint64_t* buffered =
+            buffers_->write_set.find(const_cast<Cell*>(&cell))) {
+      return *buffered;
+    }
+  }
 
   Stm::Stripe& stripe = stm_.stripe_for(&cell);
   // TL2 read protocol: sample the lock, read, re-sample; the stripe must be
@@ -55,38 +57,80 @@ std::uint64_t Tx::read(const Cell& cell) {
     if (locked(before) && stm_.resolve_conflict(stripe, *this)) {
       return read(cell);
     }
+    publish_priority();
     throw TxAbort{};
   }
-  read_set_.push_back(&cell);
-  // Karma-style managers rank transactions by work performed.
-  descriptor_->priority.fetch_add(1, std::memory_order_relaxed);
+  // Deduplicated: re-reading a cell must not validate its stripe twice at
+  // commit (nor double-count it in read-set statistics).
+  buffers_->read_set.insert(&cell);
+  // Karma-style managers rank transactions by work performed (every read
+  // counts, repeated or not); published lazily by publish_priority().
+  ++pending_priority_;
   return value;
 }
 
-void Tx::write(Cell& cell, std::uint64_t value) { write_set_[&cell] = value; }
+void Tx::write(Cell& cell, std::uint64_t value) {
+  buffers_->write_set.upsert(&cell) = value;
+}
 
 // ---------------------------------------------------------------------------
 // Stm
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Smallest power of two >= requested (so stripe lookup is a mask, not a
+/// 64-bit division — two divisions per transaction on the old path).
+std::size_t round_up_pow2(std::size_t requested) noexcept {
+  std::size_t size = 1;
+  while (size < requested) size <<= 1;
+  return size;
+}
+
+}  // namespace
+
 Stm::Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
          std::size_t stripes)
     : cm_(std::make_shared<GracePolicyCm>(std::move(policy))),
-      stripes_(stripes) {}
+      stripes_(round_up_pow2(stripes)),
+      stripe_mask_(stripes_.size() - 1) {}
 
 Stm::Stm(std::shared_ptr<const ContentionManager> cm, std::size_t stripes)
-    : cm_(std::move(cm)), stripes_(stripes) {}
+    : cm_(std::move(cm)),
+      stripes_(round_up_pow2(stripes)),
+      stripe_mask_(stripes_.size() - 1) {}
+
+void Stm::atomically(const std::function<void(Tx&)>& body) {
+  // Route through the template; the lambda adds one indirect call per
+  // attempt (the price of type erasure) but shares the same fast path.
+  atomically([&body](Tx& tx) { body(tx); });
+}
+
+TxBuffers& Stm::thread_buffers() noexcept {
+  thread_local TxBuffers buffers;
+  return buffers;
+}
+
+void Stm::begin_transaction(TxDescriptor& descriptor) noexcept {
+  // Purely local managers never inspect seniority: skip the shared-ticket
+  // RMW entirely (the descriptor still publishes for status/kill handling).
+  if (!cm_->needs_seniority()) return;
+  // Seniority is assigned once per *transaction* and survives its retries:
+  // Timestamp/Greedy rely on long-suffering transactions aging into
+  // priority.  Karma work-credit likewise accumulates across attempts.
+  descriptor.start_time.store(
+      start_ticket_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  descriptor.priority.store(0, std::memory_order_relaxed);
+}
 
 Stm::Stripe& Stm::stripe_for(const void* address) noexcept {
-  // Mix the address bits; cells are at least 8 bytes apart.
-  auto mixed = reinterpret_cast<std::uintptr_t>(address) >> 3;
-  mixed ^= mixed >> 16;
-  mixed *= 0x9E3779B97F4A7C15ULL;
-  mixed ^= mixed >> 32;
-  return stripes_[mixed % stripes_.size()];
+  return stripes_[mix_pointer(address) & stripe_mask_];
 }
 
 bool Stm::resolve_conflict(Stripe& stripe, Tx& tx) {
+  // Managers may compare work credit (Karma/Polka); make ours visible.
+  tx.publish_priority();
   stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
   double scratch = -1.0;  // per-conflict budget for randomized managers
   std::uint64_t waits = 0;
@@ -129,7 +173,11 @@ bool Stm::resolve_conflict(Stripe& stripe, Tx& tx) {
 }
 
 bool Stm::try_commit(Tx& tx) {
-  if (tx.write_set_.empty()) {
+  // About to become inspectable (stripes publish our descriptor as holder):
+  // flush the attempt's accumulated work credit first.
+  tx.publish_priority();
+  TxBuffers& buffers = *tx.buffers_;
+  if (buffers.write_set.empty()) {
     // Read-only: already validated; close the kill window.
     auto active = static_cast<std::uint32_t>(TxStatus::kActive);
     return tx.descriptor_->status.compare_exchange_strong(
@@ -138,12 +186,13 @@ bool Stm::try_commit(Tx& tx) {
   }
 
   // Phase 1: lock the write set (any order; failure -> contention manager ->
-  // self-abort, which also guarantees deadlock freedom).
-  std::vector<Stripe*> acquired;
-  acquired.reserve(tx.write_set_.size());
+  // self-abort, which also guarantees deadlock freedom).  The acquired list
+  // lives in the thread's reusable commit scratch, not a fresh vector.
+  auto& acquired = buffers.commit_scratch;
   const auto release_all = [&] {
     // Restore each stripe to unlocked with its pre-acquisition version.
-    for (Stripe* stripe : acquired) {
+    for (void* raw : acquired) {
+      auto* stripe = static_cast<Stripe*>(raw);
       stripe->holder.store(nullptr, std::memory_order_release);
       const std::uint64_t current =
           stripe->versioned_lock.load(std::memory_order_relaxed);
@@ -151,10 +200,10 @@ bool Stm::try_commit(Tx& tx) {
                                    std::memory_order_release);
     }
   };
-  for (auto& [cell, value] : tx.write_set_) {
-    Stripe& stripe = stripe_for(cell);
+  for (const auto& entry : buffers.write_set) {
+    Stripe& stripe = stripe_for(entry.key);
     bool already_ours = false;
-    for (Stripe* held : acquired) already_ours |= (held == &stripe);
+    for (void* held : acquired) already_ours |= (held == &stripe);
     if (already_ours) continue;
     while (true) {
       if (tx.descriptor_->load_status() == TxStatus::kAborted) {
@@ -194,30 +243,33 @@ bool Stm::try_commit(Tx& tx) {
   const std::uint64_t write_version =
       clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
-  // Phase 3: validate the read set (skip when no one else committed since we
-  // started — the TL2 fast path).
+  // Phase 3: validate the (deduplicated) read set — skip when no one else
+  // committed since we started, the TL2 fast path.
   if (write_version != tx.read_version_ + 1) {
-    for (const Cell* cell : tx.read_set_) {
+    const bool valid = buffers.read_set.all_of([&](const Cell* cell) {
       const Stripe& stripe = stripe_for(cell);
       const std::uint64_t state =
           stripe.versioned_lock.load(std::memory_order_acquire);
       bool ours = false;
-      for (Stripe* held : acquired) ours |= (held == &stripe);
-      if ((locked(state) && !ours) || version_of(state) > tx.read_version_) {
-        tx.descriptor_->status.store(
-            static_cast<std::uint32_t>(TxStatus::kAborted),
-            std::memory_order_release);
-        release_all();
-        return false;
-      }
+      for (void* held : acquired) ours |= (held == &stripe);
+      return !((locked(state) && !ours) ||
+               version_of(state) > tx.read_version_);
+    });
+    if (!valid) {
+      tx.descriptor_->status.store(
+          static_cast<std::uint32_t>(TxStatus::kAborted),
+          std::memory_order_release);
+      release_all();
+      return false;
     }
   }
 
   // Phase 4: write back and release with the new version.
-  for (auto& [cell, value] : tx.write_set_) {
-    cell->value.store(value, std::memory_order_release);
+  for (const auto& entry : buffers.write_set) {
+    entry.key->value.store(entry.value, std::memory_order_release);
   }
-  for (Stripe* stripe : acquired) {
+  for (void* raw : acquired) {
+    auto* stripe = static_cast<Stripe*>(raw);
     stripe->holder.store(nullptr, std::memory_order_release);
     stripe->versioned_lock.store(write_version << 1,
                                  std::memory_order_release);
@@ -226,34 +278,6 @@ bool Stm::try_commit(Tx& tx) {
       static_cast<std::uint32_t>(TxStatus::kCommitted),
       std::memory_order_release);
   return true;
-}
-
-void Stm::atomically(const std::function<void(Tx&)>& body) {
-  TxDescriptor& descriptor = tl_descriptor;
-  // Seniority is assigned once per *transaction* and survives its retries:
-  // Timestamp/Greedy rely on long-suffering transactions aging into
-  // priority.  Karma work-credit likewise accumulates across attempts.
-  descriptor.start_time.store(
-      start_ticket_.fetch_add(1, std::memory_order_relaxed) + 1,
-      std::memory_order_relaxed);
-  descriptor.priority.store(0, std::memory_order_relaxed);
-  for (std::uint32_t attempt = 0;; ++attempt) {
-    descriptor.status.store(static_cast<std::uint32_t>(TxStatus::kActive),
-                            std::memory_order_release);
-    Tx tx{*this, attempt, clock_.load(std::memory_order_acquire)};
-    tx.descriptor_ = &descriptor;
-    try {
-      body(tx);
-    } catch (const TxAbort&) {
-      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (try_commit(tx)) {
-      stats_.commits.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
-  }
 }
 
 }  // namespace txc::stm

@@ -19,18 +19,28 @@
 // before sacrificing itself — the requestor-aborts flavor of the
 // transactional conflict problem (in an STM the requestor cannot abort the
 // lock holder remotely, so requestor-aborts is the natural mode).
+//
+// Hot path: atomically() is a template over the transaction body (no
+// std::function indirection) and every attempt runs on the calling thread's
+// reusable TxBuffers — open-addressing flat read/write sets cleared, not
+// freed, between attempts (stm/tx_buffers.hpp).  Steady-state transactions
+// perform zero heap allocations; docs/ARCHITECTURE.md ("The zero-allocation
+// STM fast path") has the memory-layout diagram.  Transactions are flat:
+// nesting an atomically() inside a transaction body is not supported (the
+// thread's buffers and descriptor are single-occupancy).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/policy.hpp"
+#include "core/profiler.hpp"
 #include "sim/rng.hpp"
 #include "stm/cm.hpp"
+#include "stm/tx_buffers.hpp"
 
 namespace txc::stm {
 
@@ -52,7 +62,8 @@ class Stm;
 /// Thrown internally to unwind an attempt; user code never sees it.
 struct TxAbort {};
 
-/// Per-attempt transaction context.  Obtained from Stm::atomically.
+/// Per-attempt transaction context.  Obtained from Stm::atomically.  Holds
+/// borrowed views of the thread's descriptor and TxBuffers; owns nothing.
 class Tx {
  public:
   /// Transactional read with TL2 pre/post validation.
@@ -65,15 +76,33 @@ class Tx {
 
  private:
   friend class Stm;
-  Tx(Stm& stm, std::uint32_t attempt, std::uint64_t read_version)
-      : stm_(stm), attempt_(attempt), read_version_(read_version) {}
+  Tx(Stm& stm, std::uint32_t attempt, std::uint64_t read_version,
+     TxDescriptor* descriptor, TxBuffers* buffers) noexcept
+      : stm_(stm),
+        attempt_(attempt),
+        read_version_(read_version),
+        descriptor_(descriptor),
+        buffers_(buffers) {}
+
+  /// Flush locally-accumulated Karma work credit to the shared descriptor.
+  /// Reads bump a plain counter (no atomic RMW per read); the total is
+  /// published at every point where another thread may inspect the
+  /// descriptor — before lock acquisition, before consulting the contention
+  /// manager, and before unwinding an attempt (credit survives aborts).
+  void publish_priority() noexcept {
+    if (pending_priority_ != 0) {
+      descriptor_->priority.fetch_add(pending_priority_,
+                                      std::memory_order_relaxed);
+      pending_priority_ = 0;
+    }
+  }
 
   Stm& stm_;
   std::uint32_t attempt_;
   std::uint64_t read_version_;
-  TxDescriptor* descriptor_ = nullptr;
-  std::vector<const Cell*> read_set_;
-  std::unordered_map<Cell*, std::uint64_t> write_set_;
+  TxDescriptor* descriptor_;
+  TxBuffers* buffers_;
+  std::uint64_t pending_priority_ = 0;
 };
 
 class Stm {
@@ -91,7 +120,49 @@ class Stm {
                std::size_t stripes = 1 << 16);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
+  /// Template fast path: the body is invoked directly (no std::function) and
+  /// read/write sets come from the calling thread's reusable TxBuffers.
+  template <typename Body>
+  void atomically(Body&& body) {
+    TxDescriptor& descriptor = thread_descriptor();
+    TxBuffers& buffers = thread_buffers();
+    TxBuffersScope scope{buffers};  // debug: reject nested transactions
+    begin_transaction(descriptor);
+    core::AttemptProfile* const profile = profile_;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      buffers.clear();
+      const std::uint64_t started = profile ? core::cycle_now() : 0;
+      descriptor.status.store(static_cast<std::uint32_t>(TxStatus::kActive),
+                              std::memory_order_release);
+      Tx tx{*this, attempt, clock_.load(std::memory_order_acquire),
+            &descriptor, &buffers};
+      bool unwound = false;
+      try {
+        body(tx);
+      } catch (const TxAbort&) {
+        unwound = true;
+      }
+      if (!unwound && try_commit(tx)) {
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        if (profile) profile->record_commit(core::cycle_now() - started);
+        return;
+      }
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      if (profile) profile->record_abort(core::cycle_now() - started);
+    }
+  }
+
+  /// Type-erased compatibility overload for callers that already hold a
+  /// std::function (pays one indirect call per attempt; lambdas resolve to
+  /// the template above and skip it).
   void atomically(const std::function<void(Tx&)>& body);
+
+  /// Attach (or detach, with nullptr) a cycle-accurate attempt profile.
+  /// Not thread-safe against in-flight transactions: attach before spawning
+  /// workers.  The profile must outlive every transaction that sees it.
+  void attach_profile(core::AttemptProfile* profile) noexcept {
+    profile_ = profile;
+  }
 
   [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
 
@@ -107,11 +178,17 @@ class Stm {
   struct Stripe {
     std::atomic<std::uint64_t> versioned_lock{0};  // LSB locked, rest version
     /// Descriptor of the lock holder, published while locked so contention
-    /// managers can inspect and kill it.  Points at thread-local storage;
-    /// only dereferenced while the stripe is locked (the holder is alive).
+    /// managers can inspect and kill it.  Points at slab storage
+    /// (stm::thread_descriptor); only dereferenced while the stripe is
+    /// locked (the holder is alive).
     std::atomic<TxDescriptor*> holder{nullptr};
   };
 
+  /// The calling thread's reusable transaction buffers (shared across Stm
+  /// instances — transactions are flat, so at most one is live per thread).
+  [[nodiscard]] static TxBuffers& thread_buffers() noexcept;
+  /// Stamp per-transaction seniority onto the thread's descriptor.
+  void begin_transaction(TxDescriptor& descriptor) noexcept;
   [[nodiscard]] Stripe& stripe_for(const void* address) noexcept;
   [[nodiscard]] bool try_commit(Tx& tx);
   /// Run the contention manager against a held stripe until the lock clears
@@ -120,10 +197,12 @@ class Stm {
   [[nodiscard]] bool resolve_conflict(Stripe& stripe, Tx& tx);
 
   std::shared_ptr<const ContentionManager> cm_;
-  std::vector<Stripe> stripes_;
+  std::vector<Stripe> stripes_;  // power-of-two sized; see stripe_mask_
+  std::uint64_t stripe_mask_ = 0;
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> start_ticket_{0};  // Timestamp/Greedy seniority
   StmStats stats_;
+  core::AttemptProfile* profile_ = nullptr;
 };
 
 }  // namespace txc::stm

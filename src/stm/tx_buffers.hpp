@@ -1,0 +1,357 @@
+// txconflict — reusable per-thread transaction buffers (the zero-allocation
+// STM fast path).
+//
+// Before this header existed, every TL2/NOrec *attempt* constructed a fresh
+// std::vector read set and std::unordered_map write set, so bench results
+// measured allocator behavior as much as conflict policy.  TxBuffers bundles
+// the hot-path containers all substrates need — an open-addressing flat map
+// keyed by Cell*, a deduplicating flat pointer set, and small-inline-capacity
+// logs — with one shared lifecycle: storage starts inline (no heap at all
+// for small transactions), grows geometrically into the heap when a
+// transaction outgrows it, and is *cleared, never freed* between attempts.
+// After a short warm-up a thread reaches its high-water capacity and every
+// later transaction runs without touching the allocator (proved by
+// tests/test_stm_alloc.cpp against the global operator new).
+//
+// Clearing is O(1): the hash index is epoch-stamped (a bucket is live only if
+// its epoch matches the container's), so clear() bumps the epoch and resets
+// the entry count instead of scrubbing memory.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace txc::stm {
+
+/// Mix pointer bits into a well-distributed hash (cells are >= 8B apart, so
+/// the low 3 bits carry no information).  Same recipe as Stm::stripe_for.
+[[nodiscard]] inline std::uint64_t mix_pointer(const void* pointer) noexcept {
+  auto mixed = reinterpret_cast<std::uintptr_t>(pointer) >> 3;
+  mixed ^= mixed >> 16;
+  mixed *= 0x9E3779B97F4A7C15ULL;
+  mixed ^= mixed >> 32;
+  return mixed;
+}
+
+/// Vector with InlineCapacity elements of in-object storage and retained
+/// (cleared-not-freed) heap growth.  Restricted to trivially copyable
+/// payloads so growth is a memcpy and clear() need not run destructors.
+template <typename T, std::size_t InlineCapacity>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec payloads must be trivially copyable");
+  static_assert(InlineCapacity > 0);
+
+ public:
+  SmallVec() noexcept = default;
+  ~SmallVec() {
+    if (on_heap()) ::operator delete(data_);
+  }
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t index) noexcept {
+    return data_[index];
+  }
+  [[nodiscard]] const T& operator[](std::size_t index) const noexcept {
+    return data_[index];
+  }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool on_heap() const noexcept { return data_ != inline_storage(); }
+
+  /// Forget the contents but keep the high-water storage.
+  void clear() noexcept { size_ = 0; }
+
+  /// Return to the pristine inline state (frees heap growth).  Not used on
+  /// the hot path; lets long-lived threads drop a one-off giant transaction.
+  void release() noexcept {
+    if (on_heap()) {
+      ::operator delete(data_);
+      data_ = inline_storage();
+      capacity_ = InlineCapacity;
+    }
+    size_ = 0;
+  }
+
+ private:
+  void grow(std::size_t next_capacity) {
+    T* bigger = static_cast<T*>(::operator new(next_capacity * sizeof(T)));
+    std::memcpy(bigger, data_, size_ * sizeof(T));
+    if (on_heap()) ::operator delete(data_);
+    data_ = bigger;
+    capacity_ = next_capacity;
+  }
+
+  [[nodiscard]] T* inline_storage() noexcept {
+    return reinterpret_cast<T*>(inline_bytes_);
+  }
+  [[nodiscard]] const T* inline_storage() const noexcept {
+    return reinterpret_cast<const T*>(inline_bytes_);
+  }
+
+  alignas(T) unsigned char inline_bytes_[InlineCapacity * sizeof(T)];
+  T* data_ = inline_storage();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = InlineCapacity;
+};
+
+/// Open-addressing hash map keyed by a pointer type, tuned for the STM write
+/// set: entries live in a compact insertion-ordered SmallVec (so write-back
+/// iterates contiguous memory), the hash index maps key -> entry slot with
+/// linear probing, and clear() is O(1) via epoch stamping.  No erase — a
+/// transaction only ever adds to its footprint.
+template <typename Key, typename Value, std::size_t InlineCapacity>
+class FlatPtrMap {
+  static_assert(std::is_pointer_v<Key>, "FlatPtrMap keys are pointers");
+
+ public:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  FlatPtrMap() noexcept { reset_buckets(); }
+  ~FlatPtrMap() {
+    if (buckets_ != inline_buckets_) ::operator delete(buckets_);
+  }
+  FlatPtrMap(const FlatPtrMap&) = delete;
+  FlatPtrMap& operator=(const FlatPtrMap&) = delete;
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  [[nodiscard]] Value* find(Key key) noexcept {
+    const std::size_t mask = bucket_count_ - 1;
+    for (std::size_t probe = mix_pointer(key) & mask;; probe = (probe + 1) & mask) {
+      Bucket& bucket = buckets_[probe];
+      if (bucket.epoch != epoch_) return nullptr;  // empty this epoch
+      Entry& entry = entries_[bucket.index];
+      if (entry.key == key) return &entry.value;
+    }
+  }
+
+  /// Value slot for `key`, inserting a default-constructed entry when absent
+  /// (`inserted` reports which).  References stay valid until the map grows.
+  [[nodiscard]] Value& upsert(Key key, bool* inserted = nullptr) {
+    const std::size_t mask = bucket_count_ - 1;
+    for (std::size_t probe = mix_pointer(key) & mask;; probe = (probe + 1) & mask) {
+      Bucket& bucket = buckets_[probe];
+      if (bucket.epoch != epoch_) {
+        bucket.epoch = epoch_;
+        bucket.index = static_cast<std::uint32_t>(entries_.size());
+        entries_.push_back(Entry{key, Value{}});
+        if (inserted != nullptr) *inserted = true;
+        Value& slot = entries_[bucket.index].value;
+        // Grow at 3/4 load so probes always terminate on an empty bucket.
+        // The slot reference survives: growth moves buckets, not entries.
+        if ((entries_.size() + 1) * 4 > bucket_count_ * 3) grow_buckets();
+        return slot;
+      }
+      Entry& entry = entries_[bucket.index];
+      if (entry.key == key) {
+        if (inserted != nullptr) *inserted = false;
+        return entry.value;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return bucket_count_;
+  }
+  [[nodiscard]] Entry* begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] Entry* end() noexcept { return entries_.end(); }
+  [[nodiscard]] const Entry* begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] const Entry* end() const noexcept { return entries_.end(); }
+
+  /// O(1): bump the epoch (stale buckets read as empty) and forget entries.
+  void clear() noexcept {
+    entries_.clear();
+    if (++epoch_ == 0) {  // epoch wrapped: old stamps would alias as live
+      std::memset(static_cast<void*>(buckets_), 0,
+                  bucket_count_ * sizeof(Bucket));
+      epoch_ = 1;
+    }
+  }
+
+  /// Back to the pristine inline state (frees heap growth).
+  void release() noexcept {
+    entries_.release();
+    if (buckets_ != inline_buckets_) {
+      ::operator delete(buckets_);
+      buckets_ = inline_buckets_;
+      bucket_count_ = kInlineBuckets;
+    }
+    reset_buckets();
+  }
+
+ private:
+  // Two buckets per inline entry keeps the inline load factor under 1/2.
+  static constexpr std::size_t kInlineBuckets = 2 * InlineCapacity;
+  static_assert((InlineCapacity & (InlineCapacity - 1)) == 0,
+                "InlineCapacity must be a power of two");
+
+  struct Bucket {
+    std::uint32_t index;  // into entries_
+    std::uint32_t epoch;  // live iff equal to the map's current epoch
+  };
+
+  void reset_buckets() noexcept {
+    std::memset(static_cast<void*>(buckets_), 0,
+                bucket_count_ * sizeof(Bucket));
+    epoch_ = 1;
+  }
+
+  void grow_buckets() {
+    const std::size_t next_count = bucket_count_ * 2;
+    auto* bigger =
+        static_cast<Bucket*>(::operator new(next_count * sizeof(Bucket)));
+    std::memset(static_cast<void*>(bigger), 0, next_count * sizeof(Bucket));
+    const std::size_t mask = next_count - 1;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      std::size_t probe = mix_pointer(entries_[i].key) & mask;
+      while (bigger[probe].epoch == 1) probe = (probe + 1) & mask;
+      bigger[probe] = Bucket{i, 1};
+    }
+    if (buckets_ != inline_buckets_) ::operator delete(buckets_);
+    buckets_ = bigger;
+    bucket_count_ = next_count;
+    epoch_ = 1;
+  }
+
+  SmallVec<Entry, InlineCapacity> entries_;
+  Bucket inline_buckets_[kInlineBuckets];
+  Bucket* buckets_ = inline_buckets_;
+  std::size_t bucket_count_ = kInlineBuckets;
+  std::uint32_t epoch_ = 1;
+};
+
+/// Deduplicating pointer set on FlatPtrMap: insert() reports first-time
+/// membership; iteration yields keys in first-insertion order.  Used for the
+/// TL2 read set, where repeated reads of one cell must validate one stripe
+/// once at commit, not once per read.
+template <typename Key, std::size_t InlineCapacity>
+class FlatPtrSet {
+  struct Empty {};
+
+ public:
+  /// True when `key` was newly inserted (false: already a member).
+  bool insert(Key key) {
+    bool inserted = false;
+    (void)map_.upsert(key, &inserted);
+    return inserted;
+  }
+
+  [[nodiscard]] bool contains(Key key) noexcept {
+    return map_.find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  void clear() noexcept { map_.clear(); }
+  void release() noexcept { map_.release(); }
+
+  /// Iterate members in insertion order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& entry : map_) fn(entry.key);
+  }
+
+  /// True iff `fn` holds for every member; stops at the first false (the
+  /// commit-validation shape: one stale stripe aborts, no point scanning on).
+  template <typename Fn>
+  [[nodiscard]] bool all_of(Fn&& fn) const {
+    for (const auto& entry : map_) {
+      if (!fn(entry.key)) return false;
+    }
+    return true;
+  }
+
+ private:
+  FlatPtrMap<Key, Empty, InlineCapacity> map_;
+};
+
+struct Cell;  // defined in stm/tl2.hpp
+
+/// One NOrec value-log record: the location and the value it held when read.
+struct ReadLogEntry {
+  const Cell* cell;
+  std::uint64_t value;
+};
+
+/// The reusable per-thread transaction context shared by the STM substrates.
+/// Each substrate's atomically() fetches its thread's TxBuffers once per
+/// transaction, calls clear() before every attempt, and never frees between
+/// attempts — the buffers carry their high-water capacity for the thread's
+/// lifetime.  Inline capacities cover the repository's workloads (containers,
+/// benches: a handful of cells per transaction); a count_range over hundreds
+/// of cells grows once and stays grown.
+struct TxBuffers {
+  /// Buffered writes (TL2 and NOrec): cell -> pending value.
+  FlatPtrMap<Cell*, std::uint64_t, 32> write_set;
+  /// TL2 read set: stripes to validate at commit, deduplicated.
+  FlatPtrSet<const Cell*, 64> read_set;
+  /// NOrec value log: (cell, observed value), append-only within an attempt.
+  SmallVec<ReadLogEntry, 64> read_log;
+  /// TL2 commit scratch: acquired stripes (stored as void* because Stripe is
+  /// private to Stm; only tl2.cpp reads it back).
+  SmallVec<void*, 32> commit_scratch;
+  /// Debug-only occupancy marker: set while an atomically() owns these
+  /// buffers so a nested transaction on the same thread asserts instead of
+  /// silently corrupting the outer attempt's read/write sets.
+  bool in_use = false;
+
+  /// Forget the previous attempt; keep all storage.
+  void clear() noexcept {
+    write_set.clear();
+    read_set.clear();
+    read_log.clear();
+    commit_scratch.clear();
+  }
+
+  /// Free heap growth and return to the all-inline state.
+  void release() noexcept {
+    write_set.release();
+    read_set.release();
+    read_log.release();
+    commit_scratch.release();
+  }
+};
+
+/// RAII occupancy guard for TxBuffers (debug builds only; compiles to
+/// nothing under NDEBUG).  Catches the unsupported nested-transaction shape
+/// loudly — exception-safe, since user exceptions may unwind atomically().
+class TxBuffersScope {
+ public:
+#ifndef NDEBUG
+  explicit TxBuffersScope(TxBuffers& buffers) noexcept : buffers_(buffers) {
+    assert(!buffers_.in_use &&
+           "nested atomically() on one thread is not supported (flat "
+           "transactions only)");
+    buffers_.in_use = true;
+  }
+  ~TxBuffersScope() { buffers_.in_use = false; }
+
+ private:
+  TxBuffers& buffers_;
+#else
+  explicit TxBuffersScope(TxBuffers&) noexcept {}
+#endif
+  TxBuffersScope(const TxBuffersScope&) = delete;
+  TxBuffersScope& operator=(const TxBuffersScope&) = delete;
+};
+
+}  // namespace txc::stm

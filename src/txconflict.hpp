@@ -46,6 +46,7 @@
 #include "stm/containers.hpp"
 #include "stm/norec.hpp"
 #include "stm/tl2.hpp"
+#include "stm/tx_buffers.hpp"
 #include "sync/locked_containers.hpp"
 #include "sync/locks.hpp"
 #include "workload/adversary.hpp"

@@ -116,4 +116,74 @@ TEST(ReproAggregate, MarkdownMatchesGolden) {
       "figx.golden.md");
 }
 
+// ---------------------------------------------------------------------------
+// drift table (txcrepro --drift-out)
+// ---------------------------------------------------------------------------
+
+TEST(ReproDrift, RendersVerdictPerBench) {
+  BenchResult steady;   // ok in both, small drift: within threshold
+  steady.name = "bench_steady";
+  steady.exit_code = 0;
+  steady.wall_ms = 120.0;
+  BenchResult slowed;   // ok in both, 3x the baseline: regression
+  slowed.name = "bench_slowed";
+  slowed.exit_code = 0;
+  slowed.wall_ms = 300.0;
+  BenchResult fresh;    // no baseline entry
+  fresh.name = "bench_new";
+  fresh.exit_code = 0;
+  fresh.wall_ms = 50.0;
+  BenchResult noisy;    // under the noise floor, hugely "slower": still ok
+  noisy.name = "bench_noisy";
+  noisy.exit_code = 0;
+  noisy.wall_ms = 5.0;
+
+  BenchResult base_steady = steady;
+  base_steady.wall_ms = 100.0;
+  BenchResult base_slowed = slowed;
+  base_slowed.wall_ms = 100.0;
+  BenchResult base_noisy = noisy;
+  base_noisy.wall_ms = 1.0;
+
+  const std::vector<BenchResult> current{steady, slowed, fresh, noisy};
+  const std::vector<BenchResult> baseline{base_steady, base_slowed,
+                                          base_noisy};
+  BaselineConfig config;
+  config.wall_ratio_threshold = 1.5;
+  config.min_wall_ms = 10.0;
+  const auto regressions = compare_to_baseline(current, baseline, config);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].bench, "bench_slowed");
+
+  const std::string markdown =
+      render_drift_markdown(current, baseline, regressions, config);
+  EXPECT_NE(markdown.find("| bench_steady | 120 | 100 | 1.20x | ok |"),
+            std::string::npos)
+      << markdown;
+  EXPECT_NE(
+      markdown.find("| bench_slowed | 300 | 100 | 3.00x | **REGRESSED** |"),
+      std::string::npos)
+      << markdown;
+  EXPECT_NE(markdown.find("| bench_new | 50 | — | — | new (no baseline) |"),
+            std::string::npos)
+      << markdown;
+  EXPECT_NE(markdown.find("ok (under noise floor)"), std::string::npos)
+      << markdown;
+  EXPECT_NE(markdown.find("1 regression(s):"), std::string::npos) << markdown;
+}
+
+TEST(ReproDrift, CleanRunSaysNoRegressions) {
+  BenchResult result;
+  result.name = "bench";
+  result.exit_code = 0;
+  result.wall_ms = 100.0;
+  const std::vector<BenchResult> current{result};
+  const std::vector<BenchResult> baseline{result};
+  const BaselineConfig config;
+  const std::string markdown = render_drift_markdown(
+      current, baseline, compare_to_baseline(current, baseline, config),
+      config);
+  EXPECT_NE(markdown.find("No regressions."), std::string::npos) << markdown;
+}
+
 }  // namespace

@@ -1,0 +1,152 @@
+// Zero-allocation guarantee of the STM fast path: after a warm-up that lets
+// the thread's TxBuffers reach their high-water capacity, transactions must
+// not touch the global allocator at all — that is the whole point of the
+// cleared-not-freed buffer lifecycle (stm/tx_buffers.hpp).
+//
+// Methodology: this binary replaces the global operator new/delete with
+// counting forwarders (legal per [replacement.functions]; ASan still sees
+// the underlying malloc, so the suite stays TXC_SANITIZE-clean).  Each test
+// runs a warm-up phase, snapshots the counter, runs a steady-state phase,
+// and asserts the counter did not move.  Counters are collected before any
+// gtest assertion machinery runs so expectation objects cannot pollute the
+// measurement window.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "stm/containers.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Replacement global allocation functions ([new.delete.single]); the
+// matching deletes must be replaced alongside or the counts would pair a
+// counting new with a default delete.
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace txc;
+using namespace txc::stm;
+
+std::uint64_t allocations() {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+TEST(StmAllocation, SteadyStateCounterTransactionsAllocateNothing) {
+  Stm stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  Cell counter;
+  // Warm-up: buffer growth, stripe-table faults, policy internals.
+  for (int i = 0; i < 1000; ++i) {
+    stm.atomically([&](Tx& tx) { tx.write(counter, tx.read(counter) + 1); });
+  }
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10000; ++i) {
+    stm.atomically([&](Tx& tx) { tx.write(counter, tx.read(counter) + 1); });
+  }
+  const std::uint64_t after = allocations();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state transactions must not reach operator new";
+  EXPECT_EQ(Stm::read_committed(counter), 11000u);
+}
+
+TEST(StmAllocation, SteadyStateHoldsForLargeFootprints) {
+  // Footprint larger than every inline capacity: the buffers grow during
+  // warm-up and must then stay grown (cleared, never freed).
+  Stm stm{core::make_policy(core::StrategyKind::kRandAborts)};
+  std::vector<Cell> cells(512);
+  const auto big_transaction = [&] {
+    stm.atomically([&](Tx& tx) {
+      std::uint64_t sum = 0;
+      for (auto& cell : cells) sum += tx.read(cell);
+      for (std::size_t i = 0; i < 128; ++i) tx.write(cells[i], sum + i);
+    });
+  };
+  for (int i = 0; i < 20; ++i) big_transaction();
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 200; ++i) big_transaction();
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(StmAllocation, RepeatedReadsDoNotGrowTheReadSet) {
+  // The dedupe fix: re-reading one cell thousands of times in one
+  // transaction used to append a read-set entry per read; now membership is
+  // checked first, so even a fresh (unwarmed) transaction context must not
+  // grow past the inline read-set capacity.
+  Stm stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  Cell cell;
+  stm.atomically([&](Tx& tx) {  // warm-up: first-touch growth, if any
+    for (int i = 0; i < 10; ++i) (void)tx.read(cell);
+  });
+  const std::uint64_t before = allocations();
+  stm.atomically([&](Tx& tx) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 100000; ++i) sum += tx.read(cell);
+    tx.write(cell, sum);
+  });
+  EXPECT_EQ(allocations() - before, 0u)
+      << "duplicate reads must dedupe, not accumulate";
+}
+
+TEST(StmAllocation, NorecSteadyStateAllocatesNothing) {
+  Norec norec{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  std::vector<Cell> cells(32);
+  const auto transaction = [&] {
+    norec.atomically([&](NorecTx& tx) {
+      std::uint64_t sum = 0;
+      for (auto& cell : cells) sum += tx.read(cell);
+      tx.write(cells[0], sum + 1);
+    });
+  };
+  for (int i = 0; i < 100; ++i) transaction();
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 5000; ++i) transaction();
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(StmAllocation, TransactionalContainersRideTheFastPath) {
+  Stm stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  TxQueue queue{stm, 64};
+  for (int i = 0; i < 200; ++i) {  // warm-up
+    (void)queue.enqueue(static_cast<std::uint64_t>(i));
+    (void)queue.dequeue();
+  }
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 5000; ++i) {
+    (void)queue.enqueue(static_cast<std::uint64_t>(i));
+    (void)queue.dequeue();
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+}  // namespace

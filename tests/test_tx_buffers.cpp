@@ -1,0 +1,279 @@
+// Tests of the reusable transaction buffers behind the STM fast path:
+// SmallVec inline->heap growth, FlatPtrMap/FlatPtrSet probing (including
+// collision-heavy fill patterns that force long probe chains and bucket
+// growth), epoch-based clear/reuse semantics, and release().  The whole
+// suite runs ASan-clean under TXC_SANITIZE — the raw ::operator new storage
+// management is exactly what sanitizers exist to audit.
+#include "stm/tx_buffers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "stm/tl2.hpp"  // Cell (TxBuffers members are keyed by Cell*)
+
+namespace {
+
+using namespace txc::stm;
+
+// ---------------------------------------------------------------------------
+// SmallVec
+// ---------------------------------------------------------------------------
+
+TEST(SmallVec, StaysInlineUpToCapacity) {
+  SmallVec<std::uint64_t, 8> vec;
+  for (std::uint64_t i = 0; i < 8; ++i) vec.push_back(i);
+  EXPECT_EQ(vec.size(), 8u);
+  EXPECT_FALSE(vec.on_heap());
+  EXPECT_EQ(vec.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(vec[i], i);
+}
+
+TEST(SmallVec, GrowsToHeapPreservingContents) {
+  SmallVec<std::uint64_t, 4> vec;
+  for (std::uint64_t i = 0; i < 100; ++i) vec.push_back(i * 3);
+  EXPECT_EQ(vec.size(), 100u);
+  EXPECT_TRUE(vec.on_heap());
+  EXPECT_GE(vec.capacity(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(vec[i], i * 3);
+}
+
+TEST(SmallVec, ClearKeepsHighWaterCapacity) {
+  SmallVec<std::uint64_t, 4> vec;
+  for (std::uint64_t i = 0; i < 50; ++i) vec.push_back(i);
+  const std::size_t high_water = vec.capacity();
+  vec.clear();
+  EXPECT_EQ(vec.size(), 0u);
+  EXPECT_EQ(vec.capacity(), high_water) << "clear must not free";
+  // Refill within capacity: no further growth required.
+  for (std::uint64_t i = 0; i < 50; ++i) vec.push_back(i + 1);
+  EXPECT_EQ(vec.capacity(), high_water);
+  EXPECT_EQ(vec[49], 50u);
+}
+
+TEST(SmallVec, ReleaseReturnsToInlineState) {
+  SmallVec<std::uint64_t, 4> vec;
+  for (std::uint64_t i = 0; i < 50; ++i) vec.push_back(i);
+  vec.release();
+  EXPECT_EQ(vec.size(), 0u);
+  EXPECT_FALSE(vec.on_heap());
+  EXPECT_EQ(vec.capacity(), 4u);
+  vec.push_back(9);
+  EXPECT_EQ(vec[0], 9u);
+}
+
+TEST(SmallVec, RangeForIteratesInsertionOrder) {
+  SmallVec<int, 2> vec;
+  for (int i = 0; i < 9; ++i) vec.push_back(i);
+  int expected = 0;
+  for (const int value : vec) EXPECT_EQ(value, expected++);
+  EXPECT_EQ(expected, 9);
+}
+
+// ---------------------------------------------------------------------------
+// FlatPtrMap
+// ---------------------------------------------------------------------------
+
+TEST(FlatPtrMap, FindOnEmptyReturnsNull) {
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  Cell cell;
+  EXPECT_EQ(map.find(&cell), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatPtrMap, UpsertInsertsAndOverwrites) {
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  Cell cell;
+  bool inserted = false;
+  map.upsert(&cell, &inserted) = 41;
+  EXPECT_TRUE(inserted);
+  map.upsert(&cell, &inserted) = 42;
+  EXPECT_FALSE(inserted) << "second upsert of one key must hit the old slot";
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(&cell), nullptr);
+  EXPECT_EQ(*map.find(&cell), 42u);
+}
+
+TEST(FlatPtrMap, ManyKeysForceBucketGrowthAndStayFindable) {
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  std::vector<Cell> cells(500);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    map.upsert(&cells[i]) = i;
+  }
+  EXPECT_EQ(map.size(), cells.size());
+  EXPECT_GT(map.bucket_count(), 500u) << "load factor must stay under 3/4";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_NE(map.find(&cells[i]), nullptr) << "key " << i;
+    EXPECT_EQ(*map.find(&cells[i]), i);
+  }
+  Cell absent;
+  EXPECT_EQ(map.find(&absent), nullptr);
+}
+
+TEST(FlatPtrMap, CollisionHeavyProbeChainsResolve) {
+  // Adjacent Cells in one array differ only in low address bits — after the
+  // >>3 in mix_pointer, consecutive integers.  With a tiny bucket count this
+  // is the densest collision pattern the write set can see: every probe
+  // sequence overlaps its neighbors'.
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  std::vector<Cell> cells(64);
+  for (std::size_t round = 0; round < 3; ++round) {
+    map.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      map.upsert(&cells[i]) = round * 1000 + i;
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      ASSERT_NE(map.find(&cells[i]), nullptr);
+      EXPECT_EQ(*map.find(&cells[i]), round * 1000 + i);
+    }
+  }
+}
+
+TEST(FlatPtrMap, IterationYieldsInsertionOrder) {
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  std::vector<Cell> cells(20);
+  for (std::size_t i = 0; i < cells.size(); ++i) map.upsert(&cells[i]) = i;
+  std::size_t index = 0;
+  for (const auto& entry : map) {
+    EXPECT_EQ(entry.key, &cells[index]);
+    EXPECT_EQ(entry.value, index);
+    ++index;
+  }
+  EXPECT_EQ(index, cells.size());
+}
+
+TEST(FlatPtrMap, ClearForgetsEntriesButKeepsStorage) {
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  std::vector<Cell> cells(100);
+  for (auto& cell : cells) map.upsert(&cell) = 7;
+  const std::size_t grown_buckets = map.bucket_count();
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.bucket_count(), grown_buckets) << "clear must not shrink";
+  for (auto& cell : cells) {
+    EXPECT_EQ(map.find(&cell), nullptr) << "stale entry visible after clear";
+  }
+  // Reuse after clear: fresh values, no cross-talk.
+  map.upsert(&cells[0]) = 99;
+  EXPECT_EQ(*map.find(&cells[0]), 99u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatPtrMap, ManyClearCyclesNeverLeakStaleEntries) {
+  // Epoch-stamped clearing: each cycle must behave like a fresh map even
+  // though no memory is scrubbed.  Mirror against std::unordered_map.
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  std::vector<Cell> cells(32);
+  txc::sim::Rng rng{2024};
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    map.clear();
+    std::unordered_map<Cell*, std::uint64_t> mirror;
+    const std::size_t inserts = rng.uniform_below(cells.size()) + 1;
+    for (std::size_t i = 0; i < inserts; ++i) {
+      Cell* key = &cells[rng.uniform_below(cells.size())];
+      const std::uint64_t value = rng();
+      map.upsert(key) = value;
+      mirror[key] = value;
+    }
+    ASSERT_EQ(map.size(), mirror.size());
+    for (auto& cell : cells) {
+      const auto expected = mirror.find(&cell);
+      std::uint64_t* actual = map.find(&cell);
+      if (expected == mirror.end()) {
+        ASSERT_EQ(actual, nullptr);
+      } else {
+        ASSERT_NE(actual, nullptr);
+        ASSERT_EQ(*actual, expected->second);
+      }
+    }
+  }
+}
+
+TEST(FlatPtrMap, ReleaseReturnsToInlineBuckets) {
+  FlatPtrMap<Cell*, std::uint64_t, 4> map;
+  std::vector<Cell> cells(100);
+  for (auto& cell : cells) map.upsert(&cell) = 1;
+  map.release();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.bucket_count(), 8u);  // 2 * InlineCapacity
+  map.upsert(&cells[5]) = 5;
+  EXPECT_EQ(*map.find(&cells[5]), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// FlatPtrSet
+// ---------------------------------------------------------------------------
+
+TEST(FlatPtrSet, InsertReportsFirstMembership) {
+  FlatPtrSet<const Cell*, 4> set;
+  Cell cell;
+  EXPECT_TRUE(set.insert(&cell));
+  EXPECT_FALSE(set.insert(&cell)) << "duplicate insert must dedupe";
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(&cell));
+}
+
+TEST(FlatPtrSet, ForEachVisitsEachMemberOnce) {
+  FlatPtrSet<const Cell*, 4> set;
+  std::vector<Cell> cells(50);
+  for (int round = 0; round < 3; ++round) {  // repeated inserts
+    for (const auto& cell : cells) set.insert(&cell);
+  }
+  EXPECT_EQ(set.size(), cells.size());
+  std::unordered_set<const Cell*> seen;
+  set.for_each([&](const Cell* cell) {
+    EXPECT_TRUE(seen.insert(cell).second) << "member visited twice";
+  });
+  EXPECT_EQ(seen.size(), cells.size());
+}
+
+TEST(FlatPtrSet, ClearThenReuse) {
+  FlatPtrSet<const Cell*, 4> set;
+  std::vector<Cell> cells(20);
+  for (const auto& cell : cells) set.insert(&cell);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(&cells[0]));
+  EXPECT_TRUE(set.insert(&cells[0]));
+}
+
+// ---------------------------------------------------------------------------
+// TxBuffers
+// ---------------------------------------------------------------------------
+
+TEST(TxBuffers, ClearResetsEveryComponent) {
+  TxBuffers buffers;
+  std::vector<Cell> cells(4);
+  buffers.write_set.upsert(&cells[0]) = 1;
+  buffers.read_set.insert(&cells[1]);
+  buffers.read_log.push_back(ReadLogEntry{&cells[2], 3});
+  buffers.commit_scratch.push_back(&cells[3]);
+  buffers.clear();
+  EXPECT_TRUE(buffers.write_set.empty());
+  EXPECT_TRUE(buffers.read_set.empty());
+  EXPECT_TRUE(buffers.read_log.empty());
+  EXPECT_TRUE(buffers.commit_scratch.empty());
+}
+
+TEST(TxBuffers, ReleaseAfterGiantTransactionFreesHeap) {
+  TxBuffers buffers;
+  std::vector<Cell> cells(2000);
+  for (auto& cell : cells) {
+    buffers.write_set.upsert(&cell) = 1;
+    buffers.read_set.insert(&cell);
+    buffers.read_log.push_back(ReadLogEntry{&cell, 1});
+  }
+  buffers.release();
+  EXPECT_TRUE(buffers.write_set.empty());
+  EXPECT_TRUE(buffers.read_set.empty());
+  EXPECT_FALSE(buffers.read_log.on_heap());
+  // Still usable after release.
+  buffers.write_set.upsert(&cells[0]) = 2;
+  EXPECT_EQ(*buffers.write_set.find(&cells[0]), 2u);
+}
+
+}  // namespace

@@ -308,4 +308,73 @@ inline std::vector<Regression> compare_to_baseline(
   return regressions;
 }
 
+/// Render the baseline comparison as a Markdown drift table — one row per
+/// current bench with its wall time, the baseline's, the ratio, and a
+/// verdict.  Written by `txcrepro --drift-out` and appended to the CI step
+/// summary by the perf-gate job, pass or fail, so every run leaves a
+/// human-readable perf trajectory.
+inline std::string render_drift_markdown(
+    const std::vector<BenchResult>& current,
+    const std::vector<BenchResult>& baseline,
+    const std::vector<Regression>& regressions, const BaselineConfig& config) {
+  std::ostringstream out;
+  out << "### Perf gate: drift vs baseline\n\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "Thresholds: wall-time ratio > %.2fx regresses; current runs "
+                "under %.0f ms are noise.\n\n",
+                config.wall_ratio_threshold, config.min_wall_ms);
+  out << line;
+  out << "| bench | current ms | baseline ms | ratio | verdict |\n"
+      << "| --- | ---: | ---: | ---: | --- |\n";
+  for (const BenchResult& now : current) {
+    const BenchResult* base = nullptr;
+    for (const BenchResult& candidate : baseline) {
+      if (candidate.name == now.name) {
+        base = &candidate;
+        break;
+      }
+    }
+    const Regression* regressed = nullptr;
+    for (const Regression& regression : regressions) {
+      if (regression.bench == now.name) {
+        regressed = &regression;
+        break;
+      }
+    }
+    const char* verdict = "ok";
+    if (regressed != nullptr) {
+      verdict = "**REGRESSED**";
+    } else if (base == nullptr) {
+      verdict = "new (no baseline)";
+    } else if (!base->ok()) {
+      // Covers a currently-failing bench too: baseline-failed benches are
+      // never regressions (base ok + now failed always regresses above).
+      verdict = "skipped (baseline failed)";
+    } else if (now.wall_ms < config.min_wall_ms) {
+      verdict = "ok (under noise floor)";
+    }
+    if (base != nullptr && base->wall_ms > 0.0) {
+      std::snprintf(line, sizeof(line),
+                    "| %s | %.0f | %.0f | %.2fx | %s |\n", now.name.c_str(),
+                    now.wall_ms, base->wall_ms, now.wall_ms / base->wall_ms,
+                    verdict);
+    } else {
+      std::snprintf(line, sizeof(line), "| %s | %.0f | — | — | %s |\n",
+                    now.name.c_str(), now.wall_ms, verdict);
+    }
+    out << line;
+  }
+  out << "\n";
+  if (regressions.empty()) {
+    out << "No regressions.\n";
+  } else {
+    out << regressions.size() << " regression(s):\n\n";
+    for (const Regression& regression : regressions) {
+      out << "- `" << regression.bench << "` — " << regression.what << "\n";
+    }
+  }
+  return out.str();
+}
+
 }  // namespace txc::repro

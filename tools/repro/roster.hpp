@@ -87,6 +87,11 @@ inline const std::vector<FigureSpec>& builtin_roster() {
       {"stm",
        "STM — contention managers and substrates (Section 8.3)",
        {
+           // First panel: the perf-sensitive fast-path microbench, so smoke
+           // CI (--max-panels 1) and the perf-gate baseline both cover it.
+           {"micro_stm_fastpath",
+            "zero-allocation TxBuffers fast path vs pre-refactor hot path",
+            2},
            {"cm_comparison",
             "grace-period policies vs classic contention managers", 1},
            {"stm_contention", "TL2 under variable contention", 1},

@@ -43,7 +43,8 @@ void print_usage() {
       "                [--bench-dir DIR] [--out-dir DIR] [--max-panels N]\n"
       "                [--timeout SECS] [--retries N] [--seed N]\n"
       "                [--trial-divisor N] [--baseline FILE]\n"
-      "                [--regress-threshold X] [--min-wall-ms MS] [--list]\n"
+      "                [--regress-threshold X] [--min-wall-ms MS]\n"
+      "                [--drift-out FILE] [--list]\n"
       "\n"
       "  --figure NAMES   comma-separated figures to reproduce, or 'all'\n"
       "                   (default).  See --list for the roster.\n"
@@ -67,6 +68,8 @@ void print_usage() {
       "(default 1.5)\n"
       "  --min-wall-ms MS ignore runs faster than this in drift checks\n"
       "                   (default 10)\n"
+      "  --drift-out FILE write the --baseline comparison as a Markdown\n"
+      "                   drift table (pass or fail; CI step summaries)\n"
       "  --list           print the figure/panel roster and exit\n");
 }
 
@@ -100,7 +103,7 @@ int main(int argc, char** argv) {
   args.reject_unknown({"smoke", "list", "help", "figure", "jobs", "bench-dir",
                        "out-dir", "max-panels", "timeout", "retries", "seed",
                        "trial-divisor", "baseline", "regress-threshold",
-                       "min-wall-ms"});
+                       "min-wall-ms", "drift-out"});
   if (args.has("help")) {
     print_usage();
     return 0;
@@ -317,6 +320,17 @@ int main(int argc, char** argv) {
     }
     const std::vector<Regression> regressions =
         compare_to_baseline(current_report, baseline, config);
+    const std::string drift_path = args.get("drift-out", "");
+    if (!drift_path.empty()) {
+      std::ofstream drift(drift_path);
+      if (!drift) {
+        std::fprintf(stderr, "cannot write %s\n", drift_path.c_str());
+        return 2;
+      }
+      drift << render_drift_markdown(current_report, baseline, regressions,
+                                     config);
+      std::printf("drift table: %s\n", drift_path.c_str());
+    }
     if (!regressions.empty()) {
       for (const Regression& regression : regressions) {
         std::fprintf(stderr, "REGRESSION: %s — %s\n",
