@@ -1,0 +1,166 @@
+// Cross-substrate conflict arbitration — the roster figure of the
+// src/conflict refactor: ONE arbiter instance per row runs unmodified on
+// four substrates with genuinely different conflict anatomies, producing a
+// single comparison table:
+//
+//   TL2     striped write locks, kill protocol, real threads (wall clock);
+//   NOrec   one anonymous global seqlock, no kills, real threads;
+//   HTM     the discrete-event simulator's transactional conflict events
+//           (simulated clock, mixed transactional application);
+//   HTM-FB  the same simulator with the fallback-lock path engaged after
+//           repeated aborts — the arbiter also chooses the grace a receiver
+//           gets before the non-transactional slow path clobbers it.
+//
+// Each arbiter instance is shared across its four runs (adaptive arbiters
+// keep learning across substrates — exactly the deployment story of the
+// conflict layer).  Throughput is Mops/s of wall clock for the threaded
+// substrates and Mops/s of *simulated* time for the simulator ones, so
+// compare down columns (policies within a substrate), not across substrate
+// rows.
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "conflict/adaptive.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
+#include "core/policy.hpp"
+#include "ds/workloads.hpp"
+#include "htm/htm.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using conflict::ConflictArbiter;
+
+struct CellResult {
+  double mops = 0.0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+template <typename StmT, typename TxT>
+CellResult run_threaded(StmT& stm, int threads, int ops_per_thread) {
+  constexpr int kAccounts = 32;
+  std::vector<stm::Cell> accounts(kAccounts);
+  for (auto& account : accounts) account.value = 1000;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sim::Rng rng{txc::bench::seed(7) * 131 + static_cast<std::uint64_t>(t)};
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const auto from = rng.uniform_below(kAccounts);
+        auto to = rng.uniform_below(kAccounts - 1);
+        if (to >= from) ++to;
+        stm.atomically([&](TxT& tx) {
+          const std::uint64_t a = tx.read(accounts[from]);
+          const std::uint64_t b = tx.read(accounts[to]);
+          tx.write(accounts[from], a - 1);
+          tx.write(accounts[to], b + 1);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  CellResult result;
+  result.commits = stm.stats().commits.load();
+  result.aborts = stm.stats().aborts.load();
+  result.mops = static_cast<double>(result.commits) / (seconds * 1e6);
+  return result;
+}
+
+CellResult run_simulated(const std::shared_ptr<const ConflictArbiter>& arbiter,
+                         std::uint64_t commits,
+                         std::uint32_t max_attempts_before_fallback) {
+  htm::HtmConfig config;
+  config.cores = 8;
+  config.arbiter = arbiter;
+  config.max_attempts_before_fallback = max_attempts_before_fallback;
+  config.seed = txc::bench::seed(42);
+  htm::HtmSystem system{config, std::make_shared<ds::TxAppWorkload>()};
+  const auto stats = system.run(commits);
+  CellResult result;
+  result.commits = stats.commits;
+  result.aborts = stats.aborts;
+  result.mops = stats.ops_per_second() / 1e6;  // simulated clock at 1 GHz
+  return result;
+}
+
+struct Contender {
+  std::string label;
+  std::shared_ptr<const ConflictArbiter> arbiter;
+};
+
+std::vector<Contender> roster() {
+  using core::StrategyKind;
+  const auto grace = [](StrategyKind kind) {
+    return std::make_shared<conflict::GraceArbiter>(core::make_policy(kind));
+  };
+  std::vector<Contender> result;
+  result.push_back({"Grace(NONE)", grace(StrategyKind::kNoDelay)});
+  result.push_back({"Grace(DET_A)", grace(StrategyKind::kDetAborts)});
+  result.push_back({"Grace(RRA)", grace(StrategyKind::kRandAborts)});
+  result.push_back({"Grace(DET_W)", grace(StrategyKind::kDetWins)});
+  result.push_back({"Grace(HYBRID)", grace(StrategyKind::kHybrid)});
+  result.push_back({"Karma", conflict::make_cm(conflict::CmKind::kKarma)});
+  result.push_back({"Greedy", conflict::make_cm(conflict::CmKind::kGreedy)});
+  result.push_back({"Polka", conflict::make_cm(conflict::CmKind::kPolka)});
+  result.push_back({"ADAPTIVE",
+                    std::make_shared<conflict::AdaptiveArbiter>()});
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
+  txc::bench::banner(
+      "Cross-substrate arbitration — one arbiter instance on TL2, NOrec, "
+      "the HTM simulator, and its fallback-lock path",
+      "the conflict layer's contract: the same decision procedure (grace "
+      "policies, classic managers, the adaptive learner) arbitrates every "
+      "substrate; requestor-aborts graces rank consistently on the spin "
+      "substrates, seniority managers only differentiate where descriptors "
+      "exist (TL2 and the simulator), and the adaptive arbiter tracks the "
+      "workload on all four.  Compare within a substrate column; wall-clock "
+      "and simulated Mops/s are different clocks");
+
+  const int kThreads = 4;
+  const int kOpsPerThread = txc::bench::scaled(20000);
+  const std::uint64_t kSimCommits = txc::bench::scaled(12000);
+
+  txc::bench::Table table{
+      {"arbiter", "substrate", "Mops/s", "commits", "aborts"}};
+  table.print_header();
+  for (const Contender& contender : roster()) {
+    const auto print = [&](const char* substrate, const CellResult& cell) {
+      table.print_row({contender.label, substrate,
+                       txc::bench::fmt(cell.mops, 2),
+                       txc::bench::fmt_sci(static_cast<double>(cell.commits)),
+                       txc::bench::fmt_sci(static_cast<double>(cell.aborts))});
+    };
+    {
+      stm::Stm tl2{contender.arbiter};
+      print("TL2",
+            run_threaded<stm::Stm, stm::Tx>(tl2, kThreads, kOpsPerThread));
+    }
+    {
+      stm::Norec norec{contender.arbiter};
+      print("NOrec", run_threaded<stm::Norec, stm::NorecTx>(norec, kThreads,
+                                                            kOpsPerThread));
+    }
+    print("HTM", run_simulated(contender.arbiter, kSimCommits,
+                               /*max_attempts_before_fallback=*/0));
+    print("HTM-FB", run_simulated(contender.arbiter, kSimCommits,
+                                  /*max_attempts_before_fallback=*/4));
+  }
+  return 0;
+}

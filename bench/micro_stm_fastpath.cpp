@@ -142,10 +142,10 @@ class LegacyStm {
       CmView view;
       view.self = tx.descriptor_;
       view.enemy = stripe.holder.load(std::memory_order_acquire);
-      view.attempt = tx.attempt_;
+      view.context.attempt = tx.attempt_;
       view.waits_so_far = waits;
       view.scratch = &scratch;
-      switch (cm_->on_conflict(view, tl_rng)) {
+      switch (cm_->decide(view, tl_rng)) {
         case CmDecision::kAbortSelf:
           return false;
         case CmDecision::kAbortEnemy: {

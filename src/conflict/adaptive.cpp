@@ -1,0 +1,57 @@
+#include "conflict/adaptive.hpp"
+
+namespace txc::conflict {
+
+using detail::SpinGuard;
+
+AdaptiveArbiter::AdaptiveArbiter() : AdaptiveArbiter(Params{}) {}
+
+double AdaptiveArbiter::budget(const ConflictView& view, sim::Rng&) const {
+  double mean = params_.initial_mean;
+  bool ready = false;
+  {
+    SpinGuard guard{estimator_lock_};
+    mean = estimator_.mean();
+    ready = estimator_.count() >= params_.min_samples;
+  }
+  const double weight = wait_weight(view);
+  const double abort_cost =
+      view.context.abort_cost > 0.0 ? view.context.abort_cost : 1.0;
+  if (ready && mean * weight > abort_cost) {
+    return 0.0;  // immediate-abort regime: waiting is expected to lose
+  }
+  const double cap = abort_cost / weight;
+  const double grace = params_.headroom * mean;
+  return grace > cap ? cap : grace;
+}
+
+void AdaptiveArbiter::feedback(
+    const core::ConflictOutcome& outcome) const noexcept {
+  SpinGuard guard{estimator_lock_};
+  if (outcome.committed) {
+    estimator_.add_exact(outcome.waited);
+  } else {
+    estimator_.add_censored(outcome.grace);
+  }
+}
+
+double AdaptiveArbiter::learned_mean() const noexcept {
+  SpinGuard guard{estimator_lock_};
+  return estimator_.mean();
+}
+
+std::size_t AdaptiveArbiter::feedback_samples() const noexcept {
+  SpinGuard guard{estimator_lock_};
+  return estimator_.count();
+}
+
+bool AdaptiveArbiter::in_immediate_regime(double abort_cost,
+                                          int chain_length) const noexcept {
+  ConflictView view;
+  view.context.abort_cost = abort_cost;
+  view.context.chain_length = chain_length;
+  sim::Rng rng{0};  // budget() is deterministic; the stream is unused
+  return budget(view, rng) < 1.0;
+}
+
+}  // namespace txc::conflict

@@ -1,0 +1,102 @@
+// txconflict — the adaptive conflict arbiter.
+//
+// AdaptiveArbiter is the layer's native learner: it estimates the mean
+// remaining time D of conflicting transactions online from outcome feedback
+// (exact samples when the enemy commits within the wait, right-censored
+// samples when the budget expires — core::CensoredMeanEstimator keeps the
+// censoring from biasing the mean down) and switches regime per the paper's
+// threshold analysis.  Waiting D costs w·D where w is the number of delayed
+// transactions per unit time (k-1 under requestor-wins, 1 under
+// requestor-aborts), aborting costs B, so:
+//
+//   learned mean m with  w·m >  B   →  immediate-abort regime (Delta = 0);
+//   otherwise                       →  grace-period regime, Delta =
+//                                      min(headroom·m, B/w) — tail headroom
+//                                      over the mean, capped at the point
+//                                      where waiting is certainly dominated.
+//
+// Until min_samples observations arrive it bootstraps in the grace regime
+// with initial_mean, mirroring AdaptiveTunedPolicy's bootstrap delay.
+// Unlike that policy (which assumed the simulator's single thread), the
+// estimator here is guarded by a tiny spinlock so one instance can serve
+// every thread of every substrate at once; the lock is uncontended off the
+// conflict path and never allocates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "conflict/arbiter.hpp"
+#include "core/estimators.hpp"
+#include "core/policy.hpp"
+
+namespace txc::conflict {
+
+class AdaptiveArbiter final : public BudgetedArbiter {
+ public:
+  struct Params {
+    double alpha = 0.05;           // EWMA weight per observation
+    double initial_mean = 128.0;   // bootstrap estimate of D before feedback
+    std::size_t min_samples = 32;  // feedback needed before trusting m
+    /// Tail headroom over the learned mean in the grace regime (a mean-sized
+    /// budget censors half the observations; 2x keeps the feedback stream
+    /// informative).
+    double headroom = 2.0;
+  };
+
+  /// Default-constructs with Params{} (defined out of line: a nested class's
+  /// default member initializers cannot be referenced inside the enclosing
+  /// class definition).
+  AdaptiveArbiter();
+  explicit AdaptiveArbiter(
+      Params params,
+      core::ResolutionMode mode =
+          core::ResolutionMode::kRequestorAborts) noexcept
+      : params_(params),
+        mode_(mode),
+        estimator_(params.alpha, params.initial_mean) {}
+
+  void feedback(const core::ConflictOutcome& outcome) const noexcept override;
+  [[nodiscard]] std::string name() const override { return "ADAPTIVE"; }
+
+  /// Current learned mean of the remaining-time distribution (tests/benches).
+  [[nodiscard]] double learned_mean() const noexcept;
+  [[nodiscard]] std::size_t feedback_samples() const noexcept;
+  /// Whether a conflict with abort cost B and chain length k would be
+  /// resolved immediately under the current estimate (tests).
+  [[nodiscard]] bool in_immediate_regime(double abort_cost,
+                                         int chain_length) const noexcept;
+
+ protected:
+  /// The per-conflict budget under the current regime (0 in the
+  /// immediate-abort regime).
+  [[nodiscard]] double budget(const ConflictView& view,
+                              sim::Rng& rng) const override;
+  [[nodiscard]] core::ResolutionMode flavor(
+      const ConflictView&) const override {
+    return mode_;
+  }
+
+ private:
+  /// Cost of one unit of waiting relative to the abort cost, per the
+  /// resolution flavor: k-1 transactions stall under requestor-wins, one
+  /// under requestor-aborts.
+  [[nodiscard]] double wait_weight(const ConflictView& view) const noexcept {
+    return mode_ == core::ResolutionMode::kRequestorWins
+               ? static_cast<double>(view.context.chain_length - 1 > 0
+                                         ? view.context.chain_length - 1
+                                         : 1)
+               : 1.0;
+  }
+
+  Params params_;
+  core::ResolutionMode mode_;
+  /// Spinlock-guarded learning state: arbiters are shared const across every
+  /// thread of every substrate, so unlike AdaptiveTunedPolicy (simulator-
+  /// only, single-threaded) the estimator must be synchronized.
+  mutable std::atomic_flag estimator_lock_ = ATOMIC_FLAG_INIT;
+  mutable core::CensoredMeanEstimator estimator_;
+};
+
+}  // namespace txc::conflict

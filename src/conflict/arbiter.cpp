@@ -1,0 +1,63 @@
+#include "conflict/arbiter.hpp"
+
+namespace txc::conflict {
+
+namespace {
+
+/// Round cap for the default grace_grant() replay.  Arbiters that never stop
+/// waiting (Greedy's younger side) would otherwise loop forever; at the cap
+/// the requestor gives up on the grant — in the simulator the stall is
+/// usually resolved much earlier by the receiver finishing and waking its
+/// waiters, so the cap only bounds pathological stalls.
+constexpr std::uint64_t kGrantRoundCap = 1024;
+
+}  // namespace
+
+GraceGrant ConflictArbiter::grace_grant(const ConflictView& view,
+                                        sim::Rng& rng) const {
+  ConflictView replay = view;
+  double scratch = -1.0;
+  if (replay.scratch == nullptr) replay.scratch = &scratch;
+  double budget = 0.0;
+  for (std::uint64_t round = 0; round < kGrantRoundCap; ++round) {
+    replay.waits_so_far = round;
+    const Decision decision = decide(replay, rng);
+    if (decision != Decision::kWait) return {budget, decision};
+    budget += static_cast<double>(wait_quantum(replay));
+  }
+  return {budget, Decision::kAbortSelf};
+}
+
+// ---------------------------------------------------------------------------
+// BudgetedArbiter
+// ---------------------------------------------------------------------------
+
+double BudgetedArbiter::cached_budget(const ConflictView& view,
+                                      sim::Rng& rng) const {
+  if (view.scratch != nullptr && *view.scratch >= 0.0) return *view.scratch;
+  const double grace = budget(view, rng);
+  if (view.scratch != nullptr) *view.scratch = grace;
+  return grace;
+}
+
+Decision BudgetedArbiter::expiry_verdict(const ConflictView& view) const {
+  return flavor(view) == core::ResolutionMode::kRequestorWins &&
+                 view.can_abort_enemy
+             ? Decision::kAbortEnemy
+             : Decision::kAbortSelf;
+}
+
+Decision BudgetedArbiter::decide(const ConflictView& view,
+                                 sim::Rng& rng) const {
+  const double grace = cached_budget(view, rng);
+  const double waited = static_cast<double>(view.waits_so_far) *
+                        static_cast<double>(wait_quantum(view));
+  return waited < grace ? Decision::kWait : expiry_verdict(view);
+}
+
+GraceGrant BudgetedArbiter::grace_grant(const ConflictView& view,
+                                        sim::Rng& rng) const {
+  return {cached_budget(view, rng), expiry_verdict(view)};
+}
+
+}  // namespace txc::conflict

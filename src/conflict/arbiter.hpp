@@ -1,0 +1,192 @@
+// txconflict — the substrate-agnostic conflict-arbitration interface.
+//
+// The paper's central claim is that purely *local* grace-period decisions
+// compete with global-knowledge contention managers.  Before this layer
+// existed each substrate wired conflict resolution differently (TL2 consumed
+// GracePeriodPolicy directly, the Scherer–Scott managers were TL2-only, and
+// NOrec, the HTM fallback path, and the simulator's conflict events each had
+// ad-hoc decision code), so cross-substrate comparisons were not
+// apples-to-apples.  A ConflictArbiter is the one decision procedure every
+// conflict site consults:
+//
+//   TL2          a transaction hits a held write-lock stripe
+//   NOrec        a transaction finds the global commit seqlock held
+//   HTM sim      a coherence request clashes with a transactional line
+//   HTM fallback a non-transactional slow-path access clashes with an
+//                in-flight transaction
+//
+// Each site builds a ConflictView (what the decision is allowed to see) and
+// asks the arbiter to WAIT one quantum, ABORT SELF, or ABORT THE ENEMY, then
+// reports the outcome back through feedback() so adaptive arbiters can learn
+// the transaction-length distribution online.  Spin substrates call decide()
+// round by round; the discrete-event simulator uses the one-shot grace_grant()
+// form (a whole grace budget plus the expiry verdict) so it can schedule a
+// single deadline event.  docs/ARCHITECTURE.md ("The conflict-time data
+// flow") has the end-to-end diagram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "conflict/descriptor.hpp"
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+
+namespace txc::conflict {
+
+namespace detail {
+
+/// Scoped spin-guard for arbiters' shared mutable state (learning
+/// estimators, stateful wrapped policies).  The critical sections are a few
+/// arithmetic operations, so plain test-and-set spinning is cheaper than any
+/// blocking primitive and — crucially for the steady-state guarantee —
+/// cannot allocate.
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& flag) noexcept : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace detail
+
+/// What an arbiter decides at one conflict round.
+enum class Decision {
+  kWait,        // spin/stall one quantum, then re-evaluate
+  kAbortSelf,   // sacrifice the requesting transaction
+  kAbortEnemy,  // kill the holder/receiver (sites that cannot — e.g. NOrec's
+                // anonymous seqlock holder — map this to kWait)
+};
+
+/// Everything an arbiter may see at one conflict round.  Substrates fill in
+/// what they know; absent knowledge keeps the defaults (a null descriptor, a
+/// chain of 2, ...), and arbiters must degrade gracefully when a field is
+/// missing — that is what makes one implementation portable across sites.
+struct ConflictView {
+  /// Requestor's descriptor (null when the substrate publishes none).
+  const TxDescriptor* self = nullptr;
+  /// Holder/receiver's descriptor; null when the holder is anonymous (NOrec)
+  /// or released between detection and inspection.
+  const TxDescriptor* enemy = nullptr;
+  /// Consecutive kWait rounds already spent on this conflict.
+  std::uint64_t waits_so_far = 0;
+  /// Caller-owned per-conflict scratch, initialized to a negative value when
+  /// the conflict is first detected.  Randomized arbiters use it to draw
+  /// their budget exactly once per conflict (GraceArbiter stores Delta).
+  double* scratch = nullptr;
+  /// Whether this site can deliver a kAbortEnemy verdict (TL2 can kill a
+  /// lock holder, the simulator can abort a receiver; NOrec cannot).
+  bool can_abort_enemy = true;
+  /// The paper's local decision inputs: abort cost B, chain length k, the
+  /// receiver's attempt count, and the optional profiler/oracle hints.
+  core::ConflictContext context;
+};
+
+/// One-shot grant for deadline-based substrates: wait `grace` cycles, and if
+/// the enemy has not finished by then apply `expiry_verdict` (never kWait).
+struct GraceGrant {
+  double grace = 0.0;
+  Decision expiry_verdict = Decision::kAbortSelf;
+};
+
+/// A conflict-arbitration algorithm.  Implementations must be thread-safe:
+/// one instance is shared by every thread of a substrate — and may be shared
+/// by several substrates at once (the cross-substrate bench does exactly
+/// that).  decide(), wait_quantum(), grace_grant() and feedback() must not
+/// allocate: they sit on the steady-state hot path of the zero-allocation
+/// STM (tests/test_conflict_arbiter.cpp enforces this; name() is exempt).
+class ConflictArbiter {
+ public:
+  virtual ~ConflictArbiter() = default;
+
+  /// Decide one conflict round.
+  ///
+  /// \param view  the requestor's local view of the conflict (see
+  ///              ConflictView).
+  /// \param rng   per-thread deterministic RNG for randomized arbiters.
+  /// \return kWait to spin one more wait_quantum(), kAbortSelf to sacrifice
+  ///         the requestor, kAbortEnemy to kill the holder (sites fall back
+  ///         to waiting when the kill races a commit or is impossible).
+  [[nodiscard]] virtual Decision decide(const ConflictView& view,
+                                        sim::Rng& rng) const = 0;
+
+  /// Spin iterations (spin substrates) / cycles (simulator) per kWait round.
+  [[nodiscard]] virtual std::uint64_t wait_quantum(
+      const ConflictView& view) const noexcept {
+    (void)view;
+    return 64;
+  }
+
+  /// One-shot form for deadline-based substrates: the whole grace budget
+  /// plus the verdict to apply at expiry.  The default implementation
+  /// replays decide() rounds against a frozen view (descriptor fields do not
+  /// advance mid-grant) and is capped, so arbiters that would wait forever
+  /// (Greedy's younger side) receive a long-but-finite stall.  Arbiters with
+  /// a closed-form budget (GraceArbiter, AdaptiveArbiter) override this.
+  [[nodiscard]] virtual GraceGrant grace_grant(const ConflictView& view,
+                                               sim::Rng& rng) const;
+
+  /// Whether decisions consult descriptor seniority (start_time/priority).
+  /// Arbiters that decide purely locally (GraceArbiter, AdaptiveArbiter)
+  /// return false and spare every transaction one fetch_add on the
+  /// substrate's shared start ticket.
+  [[nodiscard]] virtual bool needs_seniority() const noexcept { return true; }
+
+  /// Outcome feedback (optional).  Called by the conflict site when a
+  /// granted wait resolves: the enemy committed within the wait (an exact
+  /// sample of its remaining time) or the budget expired (a censored
+  /// sample).  Adaptive arbiters learn the length distribution from this
+  /// stream; the default implementation ignores it.
+  virtual void feedback(const core::ConflictOutcome& outcome) const noexcept {
+    (void)outcome;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Intermediate base for arbiters whose decision shape is "wait out a
+/// per-conflict budget, then apply a flavor-derived verdict" — the shape of
+/// both GraceArbiter and AdaptiveArbiter.  The base owns the shared
+/// mechanics (scratch-cached budget, waits×quantum clock, verdict from
+/// flavor + can_abort_enemy); subclasses supply budget() and flavor().
+class BudgetedArbiter : public ConflictArbiter {
+ public:
+  [[nodiscard]] Decision decide(const ConflictView& view,
+                                sim::Rng& rng) const final;
+  [[nodiscard]] GraceGrant grace_grant(const ConflictView& view,
+                                       sim::Rng& rng) const final;
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const ConflictView&) const noexcept override {
+    return 32;
+  }
+  /// Budgeted decisions are local (context-only); no seniority consulted.
+  [[nodiscard]] bool needs_seniority() const noexcept override {
+    return false;
+  }
+
+ protected:
+  /// The grace budget for this conflict (cycles / spin iterations).  Called
+  /// once per conflict when the site provides scratch; must not allocate.
+  [[nodiscard]] virtual double budget(const ConflictView& view,
+                                      sim::Rng& rng) const = 0;
+  /// Which resolution flavor the verdict realizes at budget expiry.
+  [[nodiscard]] virtual core::ResolutionMode flavor(
+      const ConflictView& view) const = 0;
+
+ private:
+  /// budget(), drawn once per conflict and parked in the caller's scratch.
+  [[nodiscard]] double cached_budget(const ConflictView& view,
+                                     sim::Rng& rng) const;
+  /// flavor() + the site's kill capability → the terminal verdict.
+  [[nodiscard]] Decision expiry_verdict(const ConflictView& view) const;
+};
+
+}  // namespace txc::conflict

@@ -1,0 +1,87 @@
+// txconflict — substrate-agnostic transaction descriptors.
+//
+// A TxDescriptor is the minimal shared state a conflict arbiter may inspect
+// about a transaction that is not its own: lifecycle status (with a remote
+// kill protocol), a manager-specific priority, and a seniority stamp.  The
+// type grew up inside the TL2 contention managers (descriptors are published
+// on acquired write locks) but nothing about it is TL2-specific: the HTM
+// simulator publishes one per core so the same seniority-based arbiters run
+// there unmodified, and any future substrate can do the same.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace txc::conflict {
+
+/// Lifecycle of one transaction attempt.  kActive transactions can be killed
+/// remotely; the kActive -> kCommitting transition closes the kill window
+/// before write-back begins.
+enum class TxStatus : std::uint32_t {
+  kActive = 0,
+  kCommitting = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+/// Per-transaction descriptor, published wherever enemies may inspect and
+/// (attempt to) kill the owner: TL2 stripes while write-locked, the HTM
+/// simulator's per-core table while an attempt is in flight.
+struct TxDescriptor {
+  std::atomic<std::uint32_t> status{
+      static_cast<std::uint32_t>(TxStatus::kAborted)};
+  /// Manager-specific priority (Karma/Polka: cumulative work; Greedy /
+  /// Timestamp: not used — they order by start_time).
+  std::atomic<std::uint64_t> priority{0};
+  /// Monotone start stamp of the transaction's *first* attempt (retries keep
+  /// it, so long-suffering transactions age into higher seniority).
+  std::atomic<std::uint64_t> start_time{0};
+
+  [[nodiscard]] TxStatus load_status() const noexcept {
+    return static_cast<TxStatus>(status.load(std::memory_order_acquire));
+  }
+  /// Remote kill: succeeds only while the victim is still kActive.
+  bool try_kill() noexcept {
+    auto expected = static_cast<std::uint32_t>(TxStatus::kActive);
+    return status.compare_exchange_strong(
+        expected, static_cast<std::uint32_t>(TxStatus::kAborted),
+        std::memory_order_acq_rel);
+  }
+};
+
+/// Fixed slab backing every thread's TxDescriptor.  Stripes publish raw
+/// descriptor pointers and enemies chase them after the holder released, so
+/// descriptors must never be freed while any transaction might still probe
+/// them; a static, cache-line-aligned slab gives each descriptor its own
+/// line (remote status/priority reads do not false-share with a neighbor
+/// thread's descriptor) and keeps publication entirely off the heap.
+/// Threads past the slab capacity get an intentionally-leaked heap
+/// descriptor: a one-time 64-byte allocation per overflow thread keeps the
+/// never-freed invariant (a thread_local would be destroyed at thread exit,
+/// exactly the use-after-free the slab exists to prevent) at the cost of
+/// one alloc outside the steady-state zero-allocation guarantee.
+inline constexpr std::size_t kDescriptorSlabSize = 256;
+
+namespace detail {
+struct alignas(64) PaddedTxDescriptor {
+  TxDescriptor descriptor;
+};
+}  // namespace detail
+
+/// The calling thread's slab-backed descriptor, assigned on first use and
+/// reused across every transaction (and every substrate instance) of the
+/// thread.
+[[nodiscard]] inline TxDescriptor& thread_descriptor() noexcept {
+  static detail::PaddedTxDescriptor slab[kDescriptorSlabSize];
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local TxDescriptor* mine = [] {
+    const std::size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kDescriptorSlabSize) return &slab[slot].descriptor;
+    return &(new detail::PaddedTxDescriptor)->descriptor;  // leaked by design
+  }();
+  return *mine;
+}
+
+}  // namespace txc::conflict

@@ -1,0 +1,79 @@
+// txconflict — the paper's local grace-period decision as a conflict
+// arbiter.
+//
+// GraceArbiter adapts any core::GracePeriodPolicy to the ConflictArbiter
+// interface: draw a grace period Delta from the policy once per conflict,
+// wait it out in quanta, then apply the expiry verdict.  No global knowledge
+// is consulted — exactly the "local, immediate, unchangeable" regime of the
+// paper — which is why needs_seniority() is false and the wrapped policy
+// only ever sees the ConflictView's context.
+//
+// The expiry verdict is mode-aware: a requestor-wins policy kills the enemy
+// when the grace expires (on substrates that can — TL2's kill protocol, the
+// simulator's receiver abort), a requestor-aborts policy sacrifices the
+// requestor.  Sites that cannot kill (NOrec) force the self-abort flavor via
+// ConflictView::can_abort_enemy.  An explicit mode override pins the flavor
+// regardless of the policy's own preference — the simulator uses it so
+// HtmConfig::mode keeps meaning what it always meant.
+//
+// Thread-safety: the arbiter contract is "shared by every thread of every
+// substrate", but stateful policies (AdaptiveTunedPolicy) were written for
+// the single-threaded simulator and mutate an unsynchronized estimator in
+// observe().  The adapter therefore serializes grace_period()/observe()
+// behind a tiny spinlock — uncontended off the conflict path, allocation-
+// free, and invisible to the simulator (one thread, no contention).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "conflict/arbiter.hpp"
+#include "core/policy.hpp"
+
+namespace txc::conflict {
+
+class GraceArbiter : public BudgetedArbiter {
+ public:
+  explicit GraceArbiter(
+      std::shared_ptr<const core::GracePeriodPolicy> policy,
+      std::optional<core::ResolutionMode> mode_override = std::nullopt) noexcept
+      : policy_(std::move(policy)), mode_override_(mode_override) {}
+
+  void feedback(const core::ConflictOutcome& outcome) const noexcept override {
+    detail::SpinGuard guard{policy_lock_};
+    policy_->observe(outcome);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "Grace(" + policy_->name() + ")";
+  }
+
+  [[nodiscard]] const core::GracePeriodPolicy& policy() const noexcept {
+    return *policy_;
+  }
+
+ protected:
+  /// The per-conflict grace budget Delta, drawn from the wrapped policy
+  /// (serialized against observe(): stateful policies read the estimator
+  /// their feedback mutates).
+  [[nodiscard]] double budget(const ConflictView& view,
+                              sim::Rng& rng) const override {
+    detail::SpinGuard guard{policy_lock_};
+    return policy_->grace_period(view.context, rng);
+  }
+  /// The override, or the policy's per-conflict flavor (HybridPolicy
+  /// switches on chain length).
+  [[nodiscard]] core::ResolutionMode flavor(
+      const ConflictView& view) const override {
+    return mode_override_.has_value() ? *mode_override_
+                                      : policy_->mode_for(view.context);
+  }
+
+ private:
+  std::shared_ptr<const core::GracePeriodPolicy> policy_;
+  std::optional<core::ResolutionMode> mode_override_;
+  mutable std::atomic_flag policy_lock_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace txc::conflict

@@ -1,14 +1,20 @@
-#include "stm/cm.hpp"
+#include "conflict/managers.hpp"
 
-namespace txc::stm {
+namespace txc::conflict {
 
 namespace {
 
-/// Enemy vanished (released or never published): retrying the lock is all
-/// that is needed — a single quantum wait re-checks.
-bool enemy_gone(const CmView& view) noexcept {
+/// Enemy vanished (released, never published, or anonymous): retrying the
+/// lock is all that is needed — a single quantum wait re-checks.
+bool enemy_gone(const ConflictView& view) noexcept {
   return view.enemy == nullptr ||
          view.enemy->load_status() != TxStatus::kActive;
+}
+
+/// Substrate published no descriptor for us: there is nothing to weigh a
+/// live enemy against, so the portable degradation is to wait.
+bool self_unknown(const ConflictView& view) noexcept {
+  return view.self == nullptr;
 }
 
 }  // namespace
@@ -17,13 +23,13 @@ bool enemy_gone(const CmView& view) noexcept {
 // Polite
 // ---------------------------------------------------------------------------
 
-CmDecision PoliteCm::on_conflict(const CmView& view, sim::Rng&) const {
-  if (enemy_gone(view)) return CmDecision::kWait;
-  return view.waits_so_far >= max_rounds_ ? CmDecision::kAbortEnemy
-                                          : CmDecision::kWait;
+Decision PoliteCm::decide(const ConflictView& view, sim::Rng&) const {
+  if (enemy_gone(view)) return Decision::kWait;
+  return view.waits_so_far >= max_rounds_ ? Decision::kAbortEnemy
+                                          : Decision::kWait;
 }
 
-std::uint64_t PoliteCm::wait_quantum(const CmView& view) const noexcept {
+std::uint64_t PoliteCm::wait_quantum(const ConflictView& view) const noexcept {
   // Exponential: 2^round quanta, capped at 2^max_rounds.
   const std::uint64_t round =
       view.waits_so_far < max_rounds_ ? view.waits_so_far : max_rounds_;
@@ -34,91 +40,66 @@ std::uint64_t PoliteCm::wait_quantum(const CmView& view) const noexcept {
 // Karma
 // ---------------------------------------------------------------------------
 
-CmDecision KarmaCm::on_conflict(const CmView& view, sim::Rng&) const {
-  if (enemy_gone(view)) return CmDecision::kWait;
+Decision KarmaCm::decide(const ConflictView& view, sim::Rng&) const {
+  if (enemy_gone(view) || self_unknown(view)) return Decision::kWait;
   const std::uint64_t mine =
       view.self->priority.load(std::memory_order_relaxed) + view.waits_so_far;
   const std::uint64_t theirs =
       view.enemy->priority.load(std::memory_order_relaxed);
-  return mine > theirs ? CmDecision::kAbortEnemy : CmDecision::kWait;
+  return mine > theirs ? Decision::kAbortEnemy : Decision::kWait;
 }
 
 // ---------------------------------------------------------------------------
 // Timestamp
 // ---------------------------------------------------------------------------
 
-CmDecision TimestampCm::on_conflict(const CmView& view, sim::Rng&) const {
-  if (enemy_gone(view)) return CmDecision::kWait;
+Decision TimestampCm::decide(const ConflictView& view, sim::Rng&) const {
+  if (enemy_gone(view)) return Decision::kWait;
+  if (self_unknown(view)) {
+    // No seniority of our own to claim: fall back to the patience budget.
+    return view.waits_so_far >= patience_ ? Decision::kAbortSelf
+                                          : Decision::kWait;
+  }
   const std::uint64_t mine =
       view.self->start_time.load(std::memory_order_relaxed);
   const std::uint64_t theirs =
       view.enemy->start_time.load(std::memory_order_relaxed);
-  if (mine < theirs) return CmDecision::kAbortEnemy;  // seniority wins
-  return view.waits_so_far >= patience_ ? CmDecision::kAbortSelf
-                                        : CmDecision::kWait;
+  if (mine < theirs) return Decision::kAbortEnemy;  // seniority wins
+  return view.waits_so_far >= patience_ ? Decision::kAbortSelf
+                                        : Decision::kWait;
 }
 
 // ---------------------------------------------------------------------------
 // Greedy
 // ---------------------------------------------------------------------------
 
-CmDecision GreedyCm::on_conflict(const CmView& view, sim::Rng&) const {
-  if (enemy_gone(view)) return CmDecision::kWait;
+Decision GreedyCm::decide(const ConflictView& view, sim::Rng&) const {
+  if (enemy_gone(view) || self_unknown(view)) return Decision::kWait;
   const std::uint64_t mine =
       view.self->start_time.load(std::memory_order_relaxed);
   const std::uint64_t theirs =
       view.enemy->start_time.load(std::memory_order_relaxed);
-  return mine < theirs ? CmDecision::kAbortEnemy : CmDecision::kWait;
+  return mine < theirs ? Decision::kAbortEnemy : Decision::kWait;
 }
 
 // ---------------------------------------------------------------------------
 // Polka
 // ---------------------------------------------------------------------------
 
-CmDecision PolkaCm::on_conflict(const CmView& view, sim::Rng&) const {
-  if (enemy_gone(view)) return CmDecision::kWait;
+Decision PolkaCm::decide(const ConflictView& view, sim::Rng&) const {
+  if (enemy_gone(view) || self_unknown(view)) return Decision::kWait;
   const std::uint64_t mine =
       view.self->priority.load(std::memory_order_relaxed);
   const std::uint64_t theirs =
       view.enemy->priority.load(std::memory_order_relaxed);
   const std::uint64_t gap = theirs > mine ? theirs - mine : 0;
-  return view.waits_so_far > gap ? CmDecision::kAbortEnemy : CmDecision::kWait;
+  return view.waits_so_far > gap ? Decision::kAbortEnemy : Decision::kWait;
 }
 
-std::uint64_t PolkaCm::wait_quantum(const CmView& view) const noexcept {
+std::uint64_t PolkaCm::wait_quantum(const ConflictView& view) const noexcept {
   const std::uint64_t round =
       view.waits_so_far < 12 ? view.waits_so_far : 12;
   return std::uint64_t{16} << round;
-}
-
-// ---------------------------------------------------------------------------
-// GracePolicyCm
-// ---------------------------------------------------------------------------
-
-CmDecision GracePolicyCm::on_conflict(const CmView& view,
-                                      sim::Rng& rng) const {
-  // Local decision: no enemy inspection at all.  The wrapped policy draws
-  // Delta exactly once per conflict (cached in the caller's scratch); the
-  // manager waits in quanta until Delta is exhausted, then self-aborts —
-  // requestor-aborts semantics, the paper's STM case.
-  double grace;
-  if (view.scratch != nullptr && *view.scratch >= 0.0) {
-    grace = *view.scratch;
-  } else {
-    core::ConflictContext context;
-    context.abort_cost = abort_cost_;
-    context.chain_length = 2;
-    context.attempt = view.attempt;
-    grace = policy_->grace_period(context, rng);
-    if (view.scratch != nullptr) *view.scratch = grace;
-  }
-  const double waited = static_cast<double>(view.waits_so_far) *
-                        static_cast<double>(wait_quantum(view));
-  return waited < grace ? CmDecision::kWait : CmDecision::kAbortSelf;
-}
-
-std::uint64_t GracePolicyCm::wait_quantum(const CmView&) const noexcept {
-  return 32;
 }
 
 // ---------------------------------------------------------------------------
@@ -136,7 +117,7 @@ const char* to_string(CmKind kind) noexcept {
   return "?";
 }
 
-std::shared_ptr<const ContentionManager> make_cm(CmKind kind) {
+std::shared_ptr<const ConflictArbiter> make_cm(CmKind kind) {
   switch (kind) {
     case CmKind::kPolite: return std::make_shared<PoliteCm>();
     case CmKind::kKarma: return std::make_shared<KarmaCm>();
@@ -147,4 +128,4 @@ std::shared_ptr<const ContentionManager> make_cm(CmKind kind) {
   return std::make_shared<PoliteCm>();
 }
 
-}  // namespace txc::stm
+}  // namespace txc::conflict

@@ -1,0 +1,103 @@
+// txconflict — the canonical contention managers as conflict arbiters.
+//
+// The paper positions its grace-period policies against the STM contention-
+// manager literature: "contention managers (for instance in software TM) are
+// usually assumed to have global knowledge about the set of running
+// transactions... by contrast, in our setting, decisions are entirely local"
+// (Section 1, Implications).  To make that comparison concrete this module
+// implements the canonical managers of Scherer & Scott (PODC 2005) — Polite,
+// Karma, Timestamp, Greedy, Polka — against the substrate-agnostic
+// ConflictArbiter interface, so the same instances run on TL2 write-lock
+// conflicts, NOrec's commit seqlock, and the HTM simulator's conflict
+// events.
+//
+// Global knowledge reaches a manager through the descriptors in its
+// ConflictView.  A substrate that publishes none (NOrec's seqlock holder is
+// anonymous) degrades every manager to polite waiting: with no enemy to
+// weigh or kill, the only sensible local move is to wait for the lock to
+// clear — which the seqlock protocol guarantees happens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "conflict/arbiter.hpp"
+
+namespace txc::conflict {
+
+/// Polite (Scherer & Scott): back off politely for a bounded number of
+/// exponentially growing intervals, then get impolite and kill the enemy.
+class PoliteCm final : public ConflictArbiter {
+ public:
+  explicit PoliteCm(std::uint64_t max_rounds = 8) noexcept
+      : max_rounds_(max_rounds) {}
+  [[nodiscard]] Decision decide(const ConflictView& view,
+                                sim::Rng& rng) const override;
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const ConflictView& view) const noexcept override;
+  [[nodiscard]] std::string name() const override { return "Polite"; }
+
+ private:
+  std::uint64_t max_rounds_;
+};
+
+/// Karma: priority = cumulative work done (reads opened), kept across
+/// aborts.  Kill the enemy once our priority plus the number of waits
+/// exceeds its priority; wait otherwise.
+class KarmaCm final : public ConflictArbiter {
+ public:
+  [[nodiscard]] Decision decide(const ConflictView& view,
+                                sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Karma"; }
+};
+
+/// Timestamp: the older transaction (earlier first-attempt start) wins; the
+/// younger waits, and after a patience budget sacrifices itself.
+class TimestampCm final : public ConflictArbiter {
+ public:
+  explicit TimestampCm(std::uint64_t patience = 16) noexcept
+      : patience_(patience) {}
+  [[nodiscard]] Decision decide(const ConflictView& view,
+                                sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Timestamp"; }
+
+ private:
+  std::uint64_t patience_;
+};
+
+/// Greedy (Guerraoui, Herlihy, Pochon): like Timestamp but never aborts
+/// itself — the younger transaction waits until the older finishes or is
+/// itself killed; the older kills on sight.  Priority inversion is bounded
+/// because timestamps are unique and kept across retries.
+class GreedyCm final : public ConflictArbiter {
+ public:
+  [[nodiscard]] Decision decide(const ConflictView& view,
+                                sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "Greedy"; }
+};
+
+/// Polka = Polite + Karma: Karma's priority gap sets how many exponentially
+/// growing backoff rounds to tolerate before killing the enemy.
+class PolkaCm final : public ConflictArbiter {
+ public:
+  [[nodiscard]] Decision decide(const ConflictView& view,
+                                sim::Rng& rng) const override;
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const ConflictView& view) const noexcept override;
+  [[nodiscard]] std::string name() const override { return "Polka"; }
+};
+
+/// The classic managers by name, for benches/CLIs (the paper's policies are
+/// adapted separately, via GraceArbiter over any core::make_policy result).
+enum class CmKind { kPolite, kKarma, kTimestamp, kGreedy, kPolka };
+
+/// Display name of a classic manager ("Polite", "Karma", ...).
+[[nodiscard]] const char* to_string(CmKind kind) noexcept;
+
+/// Build a classic manager with its default tuning; the instance is
+/// thread-safe and meant to be shared by every thread of every substrate
+/// it arbitrates for.
+[[nodiscard]] std::shared_ptr<const ConflictArbiter> make_cm(CmKind kind);
+
+}  // namespace txc::conflict

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "conflict/grace.hpp"
+
 namespace txc::htm {
 
 // ---------------------------------------------------------------------------
@@ -18,6 +20,12 @@ struct HtmSystem::Core {
   mem::L1Cache l1;
   sim::Rng rng;
   CoreStats stats;
+
+  /// Published so seniority-based arbiters can weigh this core's attempt
+  /// against an enemy's.  Pure bookkeeping for ConflictViews: kills are
+  /// delivered through abort_core, never through the descriptor CAS (the
+  /// simulator is single-threaded).
+  conflict::TxDescriptor descriptor;
 
   Transaction tx;
   std::size_t op_index = 0;
@@ -38,9 +46,13 @@ struct HtmSystem::Core {
   Tick grace_start = 0;
   int grace_chain = 2;
 
-  /// Requestor-side (requestor-aborts mode): the grace period this core
+  /// Requestor-side (requestor-at-risk stalls): the grace period this core
   /// granted itself before self-aborting, for outcome feedback.
   double requested_grace = 0.0;
+  /// Whether the current stall is a self-timeout wait (kAbortSelf verdict)
+  /// as opposed to waiting behind a receiver's grace period; decides which
+  /// side's feedback wake_waiters owes on the receiver's commit.
+  bool self_timeout_stall = false;
 
   /// Requestor-side: the core whose transaction we are stalled on, or -1.
   int waiting_on = -1;
@@ -65,7 +77,15 @@ HtmSystem::HtmSystem(HtmConfig config, std::shared_ptr<Workload> workload)
       workload_(std::move(workload)),
       directory_(config_.cores) {
   assert(config_.cores >= 1 && config_.cores <= mem::kMaxCores);
-  assert(config_.policy != nullptr && "HtmConfig::policy must be set");
+  assert((config_.policy != nullptr || config_.arbiter != nullptr) &&
+         "HtmConfig::policy or HtmConfig::arbiter must be set");
+  // Pinning the GraceArbiter wrap to config_.mode (instead of the policy's
+  // own flavor) keeps HtmConfig::mode authoritative, as it always was.
+  arbiter_ = config_.arbiter != nullptr
+                 ? config_.arbiter
+                 : std::make_shared<conflict::GraceArbiter>(config_.policy,
+                                                            config_.mode);
+  needs_seniority_ = arbiter_->needs_seniority();
   if (config_.noc.has_value()) {
     // Ensure the mesh holds at least one tile per core.
     noc::MeshConfig mesh = *config_.noc;
@@ -100,6 +120,14 @@ void HtmSystem::start_next_transaction(CoreId core) {
   Core& c = *cores_[core];
   c.attempt = 0;
   c.fallback = false;
+  // Seniority is assigned once per transaction and survives its retries
+  // (Timestamp/Greedy age long-suffering transactions into priority); work
+  // credit likewise accumulates across attempts.  Purely local arbiters
+  // never look, so skip the bookkeeping.
+  if (needs_seniority_) {
+    c.descriptor.start_time.store(++start_ticket_, std::memory_order_relaxed);
+    c.descriptor.priority.store(0, std::memory_order_relaxed);
+  }
   c.tx = workload_->next_transaction(core, c.rng);
   const std::uint64_t think = workload_->think_time(core, c.rng);
   schedule_guarded(core, think, [this, core] { begin_attempt(core); });
@@ -108,6 +136,9 @@ void HtmSystem::start_next_transaction(CoreId core) {
 void HtmSystem::begin_attempt(CoreId core) {
   Core& c = *cores_[core];
   c.in_tx = !c.fallback;
+  c.descriptor.status.store(
+      static_cast<std::uint32_t>(conflict::TxStatus::kActive),
+      std::memory_order_relaxed);
   c.tx_start = queue_.now();
   c.op_index = 0;
   c.committing = false;
@@ -212,11 +243,13 @@ void HtmSystem::access(CoreId core) {
   const std::vector<CoreId> receivers =
       conflicting_receivers(core, op.line, request_exclusive);
   if (!c.in_tx) {
-    // Non-transactional (fallback) access: real HTMs abort any transaction
-    // whose transactional line is touched non-transactionally — this is what
-    // makes the lock-free slow path safe.
+    // The fallback-lock path: a non-transactional slow-path access always
+    // wins against speculating transactions (real HTMs abort any
+    // transaction whose transactional line is touched non-transactionally —
+    // that is what makes the slow path safe), but the arbiter chooses how
+    // much grace each conflicting receiver gets to try to commit first.
     for (const CoreId receiver : receivers) {
-      abort_core(receiver, AbortReason::kNonTxConflict);
+      if (arbitrate_fallback_conflict(core, receiver)) return;  // deferred
     }
     perform_access(core, op);
     return;
@@ -338,6 +371,13 @@ void HtmSystem::perform_access(CoreId core, const TxOp& op) {
     } else {
       entry->tx_read = true;
     }
+    // Karma-style arbiters rank transactions by work performed; every
+    // transactional access is one unit of credit (kept across aborts —
+    // start_next_transaction resets it, begin_attempt does not).  Purely
+    // local arbiters never look, so skip the credit like the reset.
+    if (needs_seniority_) {
+      c.descriptor.priority.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Value semantics: buffered inside the transaction, direct otherwise.
@@ -375,30 +415,39 @@ void HtmSystem::perform_access(CoreId core, const TxOp& op) {
 // Conflict resolution — the decision point the paper studies
 // ---------------------------------------------------------------------------
 
-core::ConflictContext HtmSystem::make_context(CoreId receiver,
-                                              CoreId requestor) const {
-  const Core& r = *cores_[receiver];
-  const Core& a = *cores_[requestor];
-  core::ConflictContext context;
+core::ConflictContext HtmSystem::make_context_at(CoreId at_risk,
+                                                 CoreId receiver,
+                                                 CoreId requestor) const {
   // Section 4, footnote 1: B is the time the transaction at risk has already
   // been running plus a fixed cleanup cost.  Under requestor-wins the
-  // receiver is at risk; under requestor-aborts the requestor is.
-  const Core& at_risk =
-      config_.mode == core::ResolutionMode::kRequestorWins ? r : a;
+  // receiver is at risk; under requestor-aborts the requestor is; the
+  // fallback-lock path always puts the receiver at risk.
+  core::ConflictContext context;
   context.abort_cost =
       config_.abort_cost_cleanup +
-      static_cast<double>(queue_.now() - at_risk.tx_start);
+      static_cast<double>(queue_.now() - cores_[at_risk]->tx_start);
   context.chain_length = chain_length(requestor, receiver);
-  context.attempt = at_risk.attempt;
+  context.attempt = cores_[at_risk]->attempt;
   if (config_.use_profiler_mean) context.mean_hint = profiler_.mean_hint();
   if (config_.oracle_hints) {
-    context.remaining_hint = ideal_remaining_cycles(at_risk.id);
+    context.remaining_hint = ideal_remaining_cycles(at_risk);
   }
   if (config_.record_conflicts) {
     conflict_trace_.push_back({context.abort_cost, context.chain_length,
-                               ideal_remaining_cycles(at_risk.id)});
+                               ideal_remaining_cycles(at_risk)});
   }
   return context;
+}
+
+conflict::ConflictView HtmSystem::make_view(
+    const core::ConflictContext& context, CoreId requestor,
+    CoreId receiver) const {
+  conflict::ConflictView view;
+  view.self = &cores_[requestor]->descriptor;
+  view.enemy = &cores_[receiver]->descriptor;
+  view.can_abort_enemy = true;  // the simulator can abort receivers remotely
+  view.context = context;
+  return view;
 }
 
 double HtmSystem::ideal_remaining_cycles(CoreId core) const {
@@ -490,54 +539,95 @@ void HtmSystem::handle_conflict(CoreId requestor, CoreId receiver) {
     return;
   }
 
-  if (config_.mode == core::ResolutionMode::kRequestorWins) {
+  // Assumption (b): at most one grace period at a time.  While the receiver
+  // is already inside one, further requestors stall behind it without
+  // consulting the arbiter again (their wake comes from the receiver
+  // finishing or the deadline firing).
+  if (config_.mode == core::ResolutionMode::kRequestorWins &&
+      r.grace_deadline.has_value()) {
+    a.waiting_on = static_cast<int>(receiver);
+    ++a.stall_epoch;
+    a.stall_start = queue_.now();
+    a.self_timeout_stall = false;
+    return;
+  }
+
+  // One arbiter consultation per conflict: the grant carries the whole
+  // grace budget plus which side dies at expiry.  The context (abort cost B
+  // = the at-risk transaction's elapsed time) and the RNG stream belong to
+  // the at-risk core — assumed from config_.mode, which is exact for
+  // policy-driven configs (their GraceArbiter wrap is pinned to that mode,
+  // preserving the historical streams).  An explicit arbiter may return the
+  // other flavor; then the grant was computed against the wrong B, so it is
+  // recomputed once with the verdict's at-risk side (a second draw — fine,
+  // no stream parity exists for explicit arbiters).
+  const CoreId assumed_at_risk =
+      config_.mode == core::ResolutionMode::kRequestorWins ? receiver
+                                                           : requestor;
+  core::ConflictContext context =
+      make_context_at(assumed_at_risk, receiver, requestor);
+  conflict::GraceGrant grant = arbiter_->grace_grant(
+      make_view(context, requestor, receiver), cores_[assumed_at_risk]->rng);
+  const CoreId verdict_at_risk =
+      grant.expiry_verdict == conflict::Decision::kAbortEnemy ? receiver
+                                                              : requestor;
+  if (verdict_at_risk != assumed_at_risk) {
+    context = make_context_at(verdict_at_risk, receiver, requestor);
+    grant = arbiter_->grace_grant(make_view(context, requestor, receiver),
+                                  cores_[verdict_at_risk]->rng);
+    // One correction only: the re-grant's verdict is final (budgeted
+    // arbiters have a context-independent flavor, so it cannot flip back).
+  }
+
+  if (grant.expiry_verdict == conflict::Decision::kAbortEnemy) {
+    // Receiver-at-risk flavor: the receiver gets the grace, the requestor
+    // stalls, and at expiry the receiver is aborted.
     if (!r.grace_deadline.has_value()) {
-      const core::ConflictContext context = make_context(receiver, requestor);
-      const double grace = config_.policy->grace_period(context, r.rng);
-      if (grace < 1.0) {
+      if (grant.grace < 1.0) {
         // Abort the receiver immediately; the requestor retries.
         abort_core(receiver, AbortReason::kConflictImmediate);
         schedule_guarded(requestor, 1,
                          [this, requestor] { retry_access(requestor); });
         return;
       }
-      const Tick deadline = queue_.now() + static_cast<Tick>(grace);
+      const Tick deadline = queue_.now() + static_cast<Tick>(grant.grace);
       r.grace_deadline = deadline;
-      r.granted_grace = grace;
+      r.granted_grace = grant.grace;
       r.grace_start = queue_.now();
       r.grace_chain = context.chain_length;
-      schedule_guarded(receiver, static_cast<Tick>(grace), [this, receiver] {
-        Core& victim = *cores_[receiver];
-        if (victim.in_tx && victim.grace_deadline.has_value()) {
-          // Expiry: a censored observation (the receiver needed more than the
-          // full grace period).
-          config_.policy->observe({/*committed=*/false, victim.granted_grace,
-                                   victim.granted_grace, victim.grace_chain});
-          abort_core(receiver, AbortReason::kConflictGraceExpired);
-        }
-      });
+      schedule_guarded(
+          receiver, static_cast<Tick>(grant.grace), [this, receiver] {
+            Core& victim = *cores_[receiver];
+            if (victim.in_tx && victim.grace_deadline.has_value()) {
+              // Expiry: a censored observation (the receiver needed more
+              // than the full grace period).
+              arbiter_->feedback({/*committed=*/false, victim.granted_grace,
+                                  victim.granted_grace, victim.grace_chain});
+              abort_core(receiver, AbortReason::kConflictGraceExpired);
+            }
+          });
     }
     // Stall the requestor until the receiver commits or aborts.
     a.waiting_on = static_cast<int>(receiver);
     ++a.stall_epoch;
     a.stall_start = queue_.now();
+    a.self_timeout_stall = false;
     return;
   }
 
-  // Requestor aborts: the requestor waits out a grace period of its own
-  // choosing, then sacrifices itself if the receiver has not committed.
-  const core::ConflictContext context = make_context(receiver, requestor);
-  const double grace = config_.policy->grace_period(context, a.rng);
-  if (grace < 1.0) {
+  // Requestor-at-risk flavor: the requestor waits out a grace period of its
+  // own choosing, then sacrifices itself if the receiver has not committed.
+  if (grant.grace < 1.0) {
     abort_core(requestor, AbortReason::kSelfTimeout);
     return;
   }
   a.waiting_on = static_cast<int>(receiver);
   const std::uint64_t epoch = ++a.stall_epoch;
   a.stall_start = queue_.now();
-  a.requested_grace = grace;
+  a.self_timeout_stall = true;
+  a.requested_grace = grant.grace;
   a.grace_chain = context.chain_length;
-  schedule_guarded(requestor, static_cast<Tick>(grace),
+  schedule_guarded(requestor, static_cast<Tick>(grant.grace),
                    [this, requestor, receiver, epoch] {
                      Core& self = *cores_[requestor];
                      if (self.waiting_on == static_cast<int>(receiver) &&
@@ -545,13 +635,59 @@ void HtmSystem::handle_conflict(CoreId requestor, CoreId receiver) {
                        self.waiting_on = -1;
                        self.stats.stall_cycles +=
                            queue_.now() - self.stall_start;
-                       config_.policy->observe({/*committed=*/false,
-                                                self.requested_grace,
-                                                self.requested_grace,
-                                                self.grace_chain});
+                       arbiter_->feedback({/*committed=*/false,
+                                           self.requested_grace,
+                                           self.requested_grace,
+                                           self.grace_chain});
                        abort_core(requestor, AbortReason::kSelfTimeout);
                      }
                    });
+}
+
+bool HtmSystem::arbitrate_fallback_conflict(CoreId requestor,
+                                            CoreId receiver) {
+  Core& a = *cores_[requestor];
+  Core& r = *cores_[receiver];
+  ++a.stats.conflicts_as_requestor;
+  ++r.stats.conflicts_as_receiver;
+  // Assumption (b): at most one grace period at a time — an active deadline
+  // already bounds the receiver, so the fallback just retries after it.
+  if (!r.grace_deadline.has_value()) {
+    // The receiver is always the transaction at risk here (the fallback
+    // cannot abort), so the context is pinned to it whatever config_.mode
+    // says; the expiry verdict of the grant is ignored for the same reason.
+    const core::ConflictContext context =
+        make_context_at(receiver, receiver, requestor);
+    const conflict::ConflictView view =
+        make_view(context, requestor, receiver);
+    const conflict::GraceGrant grant = arbiter_->grace_grant(view, r.rng);
+    if (grant.grace < 1.0) {
+      abort_core(receiver, AbortReason::kNonTxConflict);
+      return false;  // cleared on the spot: the access proceeds this tick
+    }
+    const Tick deadline = queue_.now() + static_cast<Tick>(grant.grace);
+    r.grace_deadline = deadline;
+    r.granted_grace = grant.grace;
+    r.grace_start = queue_.now();
+    r.grace_chain = context.chain_length;
+    schedule_guarded(
+        receiver, static_cast<Tick>(grant.grace), [this, receiver] {
+          Core& victim = *cores_[receiver];
+          if (victim.in_tx && victim.grace_deadline.has_value()) {
+            arbiter_->feedback({/*committed=*/false, victim.granted_grace,
+                                victim.granted_grace, victim.grace_chain});
+            abort_core(receiver, AbortReason::kNonTxConflict);
+          }
+        });
+  }
+  // Retry the fallback access just after the deadline; if the receiver
+  // commits earlier the retry simply finds no conflict.
+  const Tick resume = *r.grace_deadline >= queue_.now()
+                          ? *r.grace_deadline - queue_.now() + 1
+                          : 1;
+  schedule_guarded(requestor, resume,
+                   [this, requestor] { retry_access(requestor); });
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -574,11 +710,14 @@ void HtmSystem::commit(CoreId core) {
     profiler_.record_commit_length(tx_cycles);
     if (c.grace_deadline.has_value()) {
       // Receiver committed inside its grace period: an exact sample of the
-      // remaining time D the policy was gambling on.
-      config_.policy->observe(
+      // remaining time D the arbiter was gambling on.
+      arbiter_->feedback(
           {/*committed=*/true, c.granted_grace,
            static_cast<double>(queue_.now() - c.grace_start), c.grace_chain});
     }
+    c.descriptor.status.store(
+        static_cast<std::uint32_t>(conflict::TxStatus::kCommitted),
+        std::memory_order_relaxed);
     c.in_tx = false;
     c.fallback = false;
     c.committing = false;
@@ -599,6 +738,9 @@ void HtmSystem::abort_core(CoreId core, AbortReason reason) {
   }
   c.l1.abort_transaction();
   c.write_buffer.clear();
+  c.descriptor.status.store(
+      static_cast<std::uint32_t>(conflict::TxStatus::kAborted),
+      std::memory_order_relaxed);
   c.in_tx = false;
   c.grace_deadline.reset();
   if (c.waiting_on >= 0) {
@@ -635,11 +777,12 @@ void HtmSystem::wake_waiters(CoreId core, bool receiver_committed) {
     waiter.waiting_on = -1;
     ++waiter.stall_epoch;
     waiter.stats.stall_cycles += queue_.now() - waiter.stall_start;
-    if (receiver_committed &&
-        config_.mode == core::ResolutionMode::kRequestorAborts) {
-      // Requestor-aborts: the waiter chose this grace period and the
-      // receiver's commit resolved it — an exact sample of D.
-      config_.policy->observe(
+    if (receiver_committed && waiter.self_timeout_stall) {
+      // Requestor-at-risk stall: the waiter chose this grace period and the
+      // receiver's commit resolved it — an exact sample of D.  (Waiters
+      // stalled behind a receiver's grace get no feedback here: the
+      // receiver's own commit-path feedback covers that grant.)
+      arbiter_->feedback(
           {/*committed=*/true, waiter.requested_grace,
            static_cast<double>(queue_.now() - waiter.stall_start),
            waiter.grace_chain});

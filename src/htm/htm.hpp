@@ -4,9 +4,12 @@
 // grafted onto its directory MSI protocol; see DESIGN.md §7).  The simulator
 // models n cores with private L1 caches carrying transactional bits and a
 // shared directory.  Conflicts are detected eagerly on coherence requests
-// (Algorithm 1); resolution is requestor-wins or requestor-aborts, and the
-// receiver's grace period is chosen by a pluggable core::GracePeriodPolicy —
-// the exact decision point the paper studies.
+// (Algorithm 1); resolution is requestor-wins or requestor-aborts, and every
+// decision point — the transactional conflict events and the
+// fallback-lock path — consults a pluggable conflict::ConflictArbiter (a
+// plain core::GracePeriodPolicy is wrapped in a GraceArbiter), the exact
+// decision the paper studies.  Each core publishes a conflict::TxDescriptor
+// so seniority-based arbiters (Karma, Greedy, ...) run here unmodified.
 //
 // Modeled effects:
 //   * latency classes: L1 hit vs remote (directory + L2) round trips,
@@ -20,9 +23,10 @@
 //   * waits-for cycle detection: all transactions in a cycle abort
 //     (Section 3.2, assumption (c) and reference [2]);
 //   * capacity aborts on transactional-line eviction;
-//   * non-transactional (fallback) accesses abort conflicting transactions
-//     unconditionally, modelling the lock-free slow path of the paper's
-//     stack/queue benchmarks;
+//   * non-transactional (fallback) accesses win against conflicting
+//     transactions — modelling the lock-free slow path of the paper's
+//     stack/queue benchmarks — but the arbiter chooses how much grace a
+//     conflicting receiver gets before it is aborted;
 //   * value semantics: reads/writes/RMWs are buffered per transaction and
 //     applied atomically at commit, so tests can verify atomicity and
 //     isolation end to end.
@@ -36,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "conflict/arbiter.hpp"
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
 #include "mem/cache.hpp"
@@ -118,6 +123,16 @@ struct HtmConfig {
 
   core::ResolutionMode mode = core::ResolutionMode::kRequestorWins;
   std::shared_ptr<const core::GracePeriodPolicy> policy;
+
+  /// Conflict arbitration.  When set, every conflict decision point — the
+  /// transactional conflict events and the fallback-lock path — consults
+  /// this substrate-agnostic arbiter (the same instance can simultaneously
+  /// serve TL2 and NOrec; see bench/cross_substrate_arbiter.cpp).  When
+  /// unset, `policy` is wrapped in a conflict::GraceArbiter pinned to
+  /// `mode`, which reproduces the historical policy-driven behavior
+  /// exactly.  `mode` additionally keeps choosing the cycle-breaking flavor
+  /// and which core's RNG stream feeds randomized decisions.
+  std::shared_ptr<const conflict::ConflictArbiter> arbiter;
 
   /// After this many aborts of one transaction, execute it on the
   /// non-transactional slow path (0 disables the fallback).
@@ -286,15 +301,36 @@ class HtmSystem {
                                                           LineId line,
                                                           bool is_write) const;
   void handle_conflict(CoreId requestor, CoreId receiver);
+  /// Arbitrate one non-transactional (fallback) access against a
+  /// conflicting transactional receiver: the fallback always wins
+  /// eventually (it is the slow path's progress guarantee), the arbiter
+  /// only chooses how much grace the receiver gets first.  Returns true
+  /// when the access was deferred (a retry is scheduled).
+  [[nodiscard]] bool arbitrate_fallback_conflict(CoreId requestor,
+                                                 CoreId receiver);
   [[nodiscard]] int chain_length(CoreId requestor, CoreId receiver) const;
   [[nodiscard]] bool creates_cycle(CoreId requestor, CoreId receiver) const;
-  [[nodiscard]] core::ConflictContext make_context(CoreId receiver,
-                                                   CoreId requestor) const;
+  /// The at-risk transaction's local view of the conflict: abort cost B
+  /// (elapsed + cleanup), chain length k, attempt count, optional hints.
+  [[nodiscard]] core::ConflictContext make_context_at(CoreId at_risk,
+                                                      CoreId receiver,
+                                                      CoreId requestor) const;
+  /// The requestor's ConflictView over `context`: both cores' descriptors
+  /// plus the simulator's ability to abort receivers remotely.
+  [[nodiscard]] conflict::ConflictView make_view(
+      const core::ConflictContext& context, CoreId requestor,
+      CoreId receiver) const;
   /// Remaining cycles of the core's current attempt if it ran in isolation
   /// from here on (oracle hint; accesses approximated as L1 hits).
   [[nodiscard]] double ideal_remaining_cycles(CoreId core) const;
 
   HtmConfig config_;
+  /// The resolved arbiter (config_.arbiter, or the GraceArbiter wrap of
+  /// config_.policy).
+  std::shared_ptr<const conflict::ConflictArbiter> arbiter_;
+  /// Cached arbiter_->needs_seniority(): gates the per-access work credit
+  /// and the per-transaction seniority stamp.
+  bool needs_seniority_ = false;
   std::shared_ptr<Workload> workload_;
   sim::EventQueue queue_;
   mem::Directory directory_;
@@ -303,11 +339,13 @@ class HtmSystem {
   std::vector<std::unique_ptr<Core>> cores_;
   std::unordered_map<LineId, std::uint64_t> memory_values_;
   core::MeanProfiler profiler_;
-  /// Instrumentation only (written from the const make_context path).
+  /// Instrumentation only (written from the const make_context_at path).
   mutable std::vector<ConflictRecord> conflict_trace_;
   sim::RunningStats committed_tx_cycles_;
   std::uint64_t total_commits_ = 0;
   std::uint64_t commit_target_ = 0;
+  /// Seniority ticket for the per-core descriptors (Timestamp/Greedy).
+  std::uint64_t start_ticket_ = 0;
 };
 
 }  // namespace txc::htm

@@ -1,249 +1,56 @@
-// txconflict — classic software-TM contention managers.
+// txconflict — compatibility surface over the conflict-arbitration layer.
 //
-// The paper positions its grace-period policies against the STM contention-
-// manager literature: "contention managers (for instance in software TM) are
-// usually assumed to have global knowledge about the set of running
-// transactions... by contrast, in our setting, decisions are entirely local"
-// (Section 1, Implications).  To make that comparison concrete this module
-// implements the canonical managers of Scherer & Scott (PODC 2005) — Polite,
-// Karma, Timestamp, Greedy, Polka — adapted to the repository's TL2 write-
-// lock conflicts, plus an adapter that runs any of the paper's local
-// GracePeriodPolicy decisions as a contention manager.
-//
-// Conflict model: transactions publish a TxDescriptor while holding write
-// locks; a transaction that hits a held lock sees the holder's descriptor
-// (priority, start time, status) and the manager decides to WAIT a quantum,
-// ABORT SELF, or ABORT THE ENEMY (a CAS on the enemy's status, honored by
-// the holder before its write-back).
+// The contention-management machinery that used to live here (descriptors,
+// the decision interface, the Scherer–Scott managers, the grace-period
+// adapter) was generalized into src/conflict/ so that one arbiter instance
+// serves TL2, NOrec, the HTM fallback path, and the simulator alike.  This
+// header keeps the historical txc::stm spellings alive for existing callers;
+// new code should include conflict/ directly and use the txc::conflict
+// names.  Note there is no TL2-only escape hatch left: needs_seniority() is
+// part of the substrate-agnostic ConflictArbiter interface and every
+// substrate that assigns seniority honors it.
 #pragma once
 
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <string>
-
-#include "core/policy.hpp"
-#include "sim/rng.hpp"
+#include "conflict/adaptive.hpp"
+#include "conflict/arbiter.hpp"
+#include "conflict/descriptor.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
 
 namespace txc::stm {
 
-/// Lifecycle of one transaction attempt.  kActive transactions can be killed
-/// remotely; the kActive -> kCommitting transition closes the kill window
-/// before write-back begins.
-enum class TxStatus : std::uint32_t {
-  kActive = 0,
-  kCommitting = 1,
-  kCommitted = 2,
-  kAborted = 3,
-};
+using conflict::kDescriptorSlabSize;
+using conflict::thread_descriptor;
+using conflict::TxDescriptor;
+using conflict::TxStatus;
 
-/// Per-thread transaction descriptor, published on acquired write locks so
-/// enemies can inspect and (attempt to) kill the holder.
-struct TxDescriptor {
-  std::atomic<std::uint32_t> status{
-      static_cast<std::uint32_t>(TxStatus::kAborted)};
-  /// Manager-specific priority (Karma/Polka: cumulative work; Greedy /
-  /// Timestamp: not used — they order by start_time).
-  std::atomic<std::uint64_t> priority{0};
-  /// Monotone start stamp of the transaction's *first* attempt (retries keep
-  /// it, so long-suffering transactions age into higher seniority).
-  std::atomic<std::uint64_t> start_time{0};
+/// A contention manager is a conflict arbiter by another (historical) name.
+using ContentionManager = conflict::ConflictArbiter;
+using CmDecision = conflict::Decision;
+using CmView = conflict::ConflictView;
 
-  [[nodiscard]] TxStatus load_status() const noexcept {
-    return static_cast<TxStatus>(status.load(std::memory_order_acquire));
-  }
-  /// Remote kill: succeeds only while the victim is still kActive.
-  bool try_kill() noexcept {
-    auto expected = static_cast<std::uint32_t>(TxStatus::kActive);
-    return status.compare_exchange_strong(
-        expected, static_cast<std::uint32_t>(TxStatus::kAborted),
-        std::memory_order_acq_rel);
-  }
-};
+using conflict::GreedyCm;
+using conflict::KarmaCm;
+using conflict::PoliteCm;
+using conflict::PolkaCm;
+using conflict::TimestampCm;
 
-/// Fixed slab backing every thread's TxDescriptor.  Stripes publish raw
-/// descriptor pointers and enemies chase them after the holder released, so
-/// descriptors must never be freed while any transaction might still probe
-/// them; a static, cache-line-aligned slab gives each descriptor its own
-/// line (remote status/priority reads do not false-share with a neighbor
-/// thread's descriptor) and keeps publication entirely off the heap.
-/// Threads past the slab capacity get an intentionally-leaked heap
-/// descriptor: a one-time 64-byte allocation per overflow thread keeps the
-/// never-freed invariant (a thread_local would be destroyed at thread exit,
-/// exactly the use-after-free the slab exists to prevent) at the cost of
-/// one alloc outside the steady-state zero-allocation guarantee.
-inline constexpr std::size_t kDescriptorSlabSize = 256;
-
-namespace detail {
-struct alignas(64) PaddedTxDescriptor {
-  TxDescriptor descriptor;
-};
-}  // namespace detail
-
-/// The calling thread's slab-backed descriptor, assigned on first use and
-/// reused across every transaction (and every Stm instance) of the thread.
-[[nodiscard]] inline TxDescriptor& thread_descriptor() noexcept {
-  static detail::PaddedTxDescriptor slab[kDescriptorSlabSize];
-  static std::atomic<std::size_t> next_slot{0};
-  thread_local TxDescriptor* mine = [] {
-    const std::size_t slot =
-        next_slot.fetch_add(1, std::memory_order_relaxed);
-    if (slot < kDescriptorSlabSize) return &slab[slot].descriptor;
-    return &(new detail::PaddedTxDescriptor)->descriptor;  // leaked by design
-  }();
-  return *mine;
-}
-
-/// What a manager decides at a conflict.
-enum class CmDecision {
-  kWait,        // spin one quantum, then re-evaluate
-  kAbortSelf,   // sacrifice the requesting transaction
-  kAbortEnemy,  // kill the lock holder (falls back to wait if the kill races)
-};
-
-/// Everything a manager sees at a conflict.  `enemy` may be null when the
-/// holder released between detection and inspection.
-struct CmView {
-  const TxDescriptor* self = nullptr;
-  const TxDescriptor* enemy = nullptr;
-  std::uint32_t attempt = 0;       // self's abort count for this transaction
-  std::uint64_t waits_so_far = 0;  // consecutive kWait rounds on this conflict
-  /// Caller-owned per-conflict scratch, initialized to a negative value when
-  /// the conflict is first detected.  Randomized managers use it to draw
-  /// their budget exactly once per conflict (GracePolicyCm stores Delta).
-  double* scratch = nullptr;
-};
-
-/// A contention-management algorithm.  Implementations must be thread-safe:
-/// one instance is shared by every thread of an Stm.
-class ContentionManager {
+/// The paper's local decision as a contention manager — the historical
+/// adapter name, preserving the pre-refactor contract: requestor-aborts
+/// regardless of the wrapped policy's own flavor (under the classic adapter
+/// an STM requestor only ever sacrificed itself).  New code should use
+/// conflict::GraceArbiter directly, which is mode-aware: requestor-wins
+/// policies kill the lock holder after their grace period.
+class GracePolicyCm final : public conflict::GraceArbiter {
  public:
-  virtual ~ContentionManager() = default;
-
-  /// Decide one conflict round.
-  ///
-  /// \param view  the requester's view of the conflict: its own and the
-  ///              enemy's descriptors, its attempt count, how many quanta it
-  ///              has already waited on this conflict, and the per-conflict
-  ///              scratch slot (see CmView::scratch).
-  /// \param rng   per-thread deterministic RNG for randomized managers.
-  /// \return kWait to spin one more wait_quantum(), kAbortSelf to sacrifice
-  ///         the requester, kAbortEnemy to try_kill() the holder (the STM
-  ///         falls back to waiting when that kill races a commit).
-  [[nodiscard]] virtual CmDecision on_conflict(const CmView& view,
-                                               sim::Rng& rng) const = 0;
-  /// Spin iterations per kWait round.
-  [[nodiscard]] virtual std::uint64_t wait_quantum(
-      const CmView& view) const noexcept {
-    (void)view;
-    return 64;
-  }
-  /// Whether decisions consult descriptor seniority (start_time/priority).
-  /// Managers that decide purely locally (GracePolicyCm) return false and
-  /// spare every transaction one fetch_add on the shared start ticket.
-  [[nodiscard]] virtual bool needs_seniority() const noexcept { return true; }
-  [[nodiscard]] virtual std::string name() const = 0;
+  explicit GracePolicyCm(
+      std::shared_ptr<const core::GracePeriodPolicy> policy) noexcept
+      : GraceArbiter(std::move(policy),
+                     core::ResolutionMode::kRequestorAborts) {}
 };
 
-/// Polite (Scherer & Scott): back off politely for a bounded number of
-/// exponentially growing intervals, then get impolite and kill the enemy.
-class PoliteCm final : public ContentionManager {
- public:
-  explicit PoliteCm(std::uint64_t max_rounds = 8) noexcept
-      : max_rounds_(max_rounds) {}
-  [[nodiscard]] CmDecision on_conflict(const CmView& view,
-                                       sim::Rng& rng) const override;
-  [[nodiscard]] std::uint64_t wait_quantum(
-      const CmView& view) const noexcept override;
-  [[nodiscard]] std::string name() const override { return "Polite"; }
-
- private:
-  std::uint64_t max_rounds_;
-};
-
-/// Karma: priority = cumulative work done (reads opened), kept across
-/// aborts.  Kill the enemy once our priority plus the number of waits
-/// exceeds its priority; wait otherwise.
-class KarmaCm final : public ContentionManager {
- public:
-  [[nodiscard]] CmDecision on_conflict(const CmView& view,
-                                       sim::Rng& rng) const override;
-  [[nodiscard]] std::string name() const override { return "Karma"; }
-};
-
-/// Timestamp: the older transaction (earlier first-attempt start) wins; the
-/// younger waits, and after a patience budget sacrifices itself.
-class TimestampCm final : public ContentionManager {
- public:
-  explicit TimestampCm(std::uint64_t patience = 16) noexcept
-      : patience_(patience) {}
-  [[nodiscard]] CmDecision on_conflict(const CmView& view,
-                                       sim::Rng& rng) const override;
-  [[nodiscard]] std::string name() const override { return "Timestamp"; }
-
- private:
-  std::uint64_t patience_;
-};
-
-/// Greedy (Guerraoui, Herlihy, Pochon): like Timestamp but never aborts
-/// itself — the younger transaction waits until the older finishes or is
-/// itself killed; the older kills on sight.  Priority inversion is bounded
-/// because timestamps are unique and kept across retries.
-class GreedyCm final : public ContentionManager {
- public:
-  [[nodiscard]] CmDecision on_conflict(const CmView& view,
-                                       sim::Rng& rng) const override;
-  [[nodiscard]] std::string name() const override { return "Greedy"; }
-};
-
-/// Polka = Polite + Karma: Karma's priority gap sets how many exponentially
-/// growing backoff rounds to tolerate before killing the enemy.
-class PolkaCm final : public ContentionManager {
- public:
-  [[nodiscard]] CmDecision on_conflict(const CmView& view,
-                                       sim::Rng& rng) const override;
-  [[nodiscard]] std::uint64_t wait_quantum(
-      const CmView& view) const noexcept override;
-  [[nodiscard]] std::string name() const override { return "Polka"; }
-};
-
-/// The paper's local decision as a contention manager: draw a grace period
-/// Delta from the wrapped GracePeriodPolicy once per conflict, wait it out in
-/// quanta, then abort self (requestor-aborts semantics — an STM requestor
-/// cannot be aborted by the holder).  No global knowledge is consulted:
-/// exactly the "local, immediate, unchangeable" regime of the paper.
-class GracePolicyCm final : public ContentionManager {
- public:
-  GracePolicyCm(std::shared_ptr<const core::GracePeriodPolicy> policy,
-                double abort_cost_estimate = 256.0) noexcept
-      : policy_(std::move(policy)), abort_cost_(abort_cost_estimate) {}
-  [[nodiscard]] CmDecision on_conflict(const CmView& view,
-                                       sim::Rng& rng) const override;
-  [[nodiscard]] std::uint64_t wait_quantum(
-      const CmView& view) const noexcept override;
-  /// Decisions are "local, immediate, unchangeable": no global seniority.
-  [[nodiscard]] bool needs_seniority() const noexcept override {
-    return false;
-  }
-  [[nodiscard]] std::string name() const override {
-    return "Grace(" + policy_->name() + ")";
-  }
-
- private:
-  std::shared_ptr<const core::GracePeriodPolicy> policy_;
-  double abort_cost_;
-};
-
-/// The classic managers by name, for benches/CLIs (the paper's policies are
-/// adapted separately, via GracePolicyCm over any core::make_policy result).
-enum class CmKind { kPolite, kKarma, kTimestamp, kGreedy, kPolka };
-
-/// Display name of a classic manager ("Polite", "Karma", ...).
-[[nodiscard]] const char* to_string(CmKind kind) noexcept;
-
-/// Build a classic manager with its default tuning; the instance is
-/// thread-safe and meant to be shared by every thread of one Stm.
-[[nodiscard]] std::shared_ptr<const ContentionManager> make_cm(CmKind kind);
+using conflict::CmKind;
+using conflict::make_cm;
+using conflict::to_string;
 
 }  // namespace txc::stm

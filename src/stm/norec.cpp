@@ -1,6 +1,9 @@
 #include "stm/norec.hpp"
 
+#include <functional>
 #include <thread>
+
+#include "conflict/grace.hpp"
 
 namespace txc::stm {
 
@@ -13,11 +16,11 @@ thread_local sim::Rng tl_rng{0x4E0EECULL ^
 }  // namespace
 
 Norec::Norec(std::shared_ptr<const core::GracePeriodPolicy> policy)
-    : policy_(std::move(policy)) {}
+    : Norec(std::make_shared<conflict::GraceArbiter>(
+          std::move(policy), core::ResolutionMode::kRequestorAborts)) {}
 
-void Norec::atomically(const std::function<void(NorecTx&)>& body) {
-  atomically([&body](NorecTx& tx) { body(tx); });
-}
+Norec::Norec(std::shared_ptr<const conflict::ConflictArbiter> arbiter)
+    : arbiter_(std::move(arbiter)) {}
 
 TxBuffers& Norec::thread_buffers() noexcept {
   thread_local TxBuffers buffers;
@@ -28,18 +31,50 @@ std::optional<std::uint64_t> Norec::await_even(std::uint32_t attempt) {
   std::uint64_t state = seqlock_.load(std::memory_order_acquire);
   if ((state & 1) == 0) return state;
   stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
-  core::ConflictContext context;
-  context.abort_cost = 256.0;
-  context.chain_length = 2;
-  context.attempt = attempt;
-  const double grace = policy_->grace_period(context, tl_rng);
-  for (double spun = 0.0; spun < grace; spun += 1.0) {
-    state = seqlock_.load(std::memory_order_acquire);
-    if ((state & 1) == 0) return state;
+  double scratch = -1.0;  // per-conflict budget for randomized arbiters
+  conflict::ConflictView view;
+  // The seqlock holder is anonymous: no descriptors, no kill — seniority
+  // arbiters degrade to waiting and kAbortEnemy verdicts map to kWait.
+  view.scratch = &scratch;
+  view.can_abort_enemy = false;
+  view.context.abort_cost = kAbortCostEstimate;
+  view.context.chain_length = 2;
+  view.context.attempt = attempt;
+  double spun = 0.0;  // seqlock probes actually waited
+  const auto report = [&](bool enemy_finished) {
+    core::ConflictOutcome outcome;
+    outcome.committed = enemy_finished;
+    outcome.grace = scratch >= 0.0 ? scratch : spun;
+    outcome.waited = spun;
+    outcome.chain_length = view.context.chain_length;
+    arbiter_->feedback(outcome);
+  };
+  while (true) {
+    switch (arbiter_->decide(view, tl_rng)) {
+      case conflict::Decision::kAbortSelf:
+        state = seqlock_.load(std::memory_order_acquire);
+        if ((state & 1) == 0) {  // freed at the last instant
+          report(/*enemy_finished=*/true);
+          return state;
+        }
+        report(/*enemy_finished=*/false);
+        return std::nullopt;  // budget exhausted: requestor aborts
+      case conflict::Decision::kAbortEnemy:  // cannot kill: degrade to wait
+      case conflict::Decision::kWait:
+        break;
+    }
+    const std::uint64_t quantum = arbiter_->wait_quantum(view);
+    for (std::uint64_t spin = 0; spin < quantum; ++spin) {
+      state = seqlock_.load(std::memory_order_acquire);
+      if ((state & 1) == 0) {
+        spun += static_cast<double>(spin);
+        report(/*enemy_finished=*/true);
+        return state;
+      }
+    }
+    spun += static_cast<double>(quantum);
+    ++view.waits_so_far;
   }
-  state = seqlock_.load(std::memory_order_acquire);
-  if ((state & 1) == 0) return state;
-  return std::nullopt;  // grace expired: requestor aborts
 }
 
 std::optional<std::uint64_t> Norec::validate(NorecTx& tx) {

@@ -8,10 +8,14 @@
 //
 // Why it is here: the paper's conflict decision is *where to wait and for how
 // long*, and NOrec has exactly one wait point — the global commit lock.  A
-// requestor that finds the lock held consults the same GracePeriodPolicy as
-// the HTM simulator and TL2 (requestor-aborts flavor: it can only sacrifice
-// itself), so the policies can be compared across three substrates with
-// genuinely different conflict anatomies.
+// requestor that finds the lock held consults the same
+// conflict::ConflictArbiter instance as TL2, the HTM fallback path, and the
+// simulator, so arbitration schemes can be compared across substrates with
+// genuinely different conflict anatomies.  NOrec's seqlock holder is
+// anonymous (no descriptor is published and it cannot be killed), so the
+// site sets ConflictView::can_abort_enemy = false, maps a kAbortEnemy
+// verdict to waiting, and seniority-based arbiters degrade to polite
+// spinning — the portable-degradation contract of the conflict layer.
 //
 // Hot path: like TL2, atomically() is a template (no std::function) and
 // every attempt reuses the thread's TxBuffers — the value log and write set
@@ -21,10 +25,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 
+#include "conflict/arbiter.hpp"
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
 #include "sim/rng.hpp"
@@ -62,8 +66,13 @@ class NorecTx {
 class Norec {
  public:
   /// `policy` decides how long to wait for the global commit lock before
-  /// self-aborting (requestor-aborts: the lock holder cannot be killed).
+  /// self-aborting (requestor-aborts: the lock holder cannot be killed);
+  /// wrapped in a conflict::GraceArbiter.
   explicit Norec(std::shared_ptr<const core::GracePeriodPolicy> policy);
+
+  /// Full arbitration mode: the seqlock wait point is decided by `arbiter`.
+  /// The holder is anonymous, so kAbortEnemy verdicts degrade to waiting.
+  explicit Norec(std::shared_ptr<const conflict::ConflictArbiter> arbiter);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
   /// Template fast path: direct body invocation, reusable thread buffers.
@@ -96,9 +105,6 @@ class Norec {
     }
   }
 
-  /// Type-erased compatibility overload (lambdas use the template above).
-  void atomically(const std::function<void(NorecTx&)>& body);
-
   /// Attach (or detach, with nullptr) a cycle-accurate attempt profile.
   /// Attach before spawning workers; the profile must outlive them.
   void attach_profile(core::AttemptProfile* profile) noexcept {
@@ -121,8 +127,12 @@ class Norec {
   [[nodiscard]] static TxBuffers& thread_buffers() noexcept;
 
   /// Wait for the seqlock to go even; returns the even value, or nullopt if
-  /// the grace period expired first.
+  /// the arbiter sacrificed the requestor first.  Resolved waits are
+  /// reported back through ConflictArbiter::feedback.
   [[nodiscard]] std::optional<std::uint64_t> await_even(std::uint32_t attempt);
+
+  /// Abort cost estimate B handed to the arbiter at every conflict.
+  static constexpr double kAbortCostEstimate = 256.0;
 
   /// Value-based validation: re-read every logged location under a stable
   /// even seqlock.  Returns the seqlock value validated against, or nullopt
@@ -131,7 +141,7 @@ class Norec {
 
   [[nodiscard]] bool try_commit(NorecTx& tx);
 
-  std::shared_ptr<const core::GracePeriodPolicy> policy_;
+  std::shared_ptr<const conflict::ConflictArbiter> arbiter_;
   std::atomic<std::uint64_t> seqlock_{0};  // even: free; odd: committing
   StmStats stats_;
   core::AttemptProfile* profile_ = nullptr;

@@ -1,6 +1,9 @@
 #include "stm/tl2.hpp"
 
+#include <functional>
 #include <thread>
+
+#include "conflict/grace.hpp"
 
 namespace txc::stm {
 
@@ -91,20 +94,20 @@ std::size_t round_up_pow2(std::size_t requested) noexcept {
 
 Stm::Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
          std::size_t stripes)
-    : cm_(std::make_shared<GracePolicyCm>(std::move(policy))),
+    // The historical STM regime: requestor-aborts, regardless of the
+    // policy's own flavor (an explicit override, so e.g. a DELAY_TUNED
+    // policy behaves here exactly as it always did).  Construct a
+    // GraceArbiter without the override to let requestor-wins policies kill
+    // the holder after their grace period.
+    : Stm(std::make_shared<conflict::GraceArbiter>(
+              std::move(policy), core::ResolutionMode::kRequestorAborts),
+          stripes) {}
+
+Stm::Stm(std::shared_ptr<const conflict::ConflictArbiter> arbiter,
+         std::size_t stripes)
+    : arbiter_(std::move(arbiter)),
       stripes_(round_up_pow2(stripes)),
       stripe_mask_(stripes_.size() - 1) {}
-
-Stm::Stm(std::shared_ptr<const ContentionManager> cm, std::size_t stripes)
-    : cm_(std::move(cm)),
-      stripes_(round_up_pow2(stripes)),
-      stripe_mask_(stripes_.size() - 1) {}
-
-void Stm::atomically(const std::function<void(Tx&)>& body) {
-  // Route through the template; the lambda adds one indirect call per
-  // attempt (the price of type erasure) but shares the same fast path.
-  atomically([&body](Tx& tx) { body(tx); });
-}
 
 TxBuffers& Stm::thread_buffers() noexcept {
   thread_local TxBuffers buffers;
@@ -112,9 +115,9 @@ TxBuffers& Stm::thread_buffers() noexcept {
 }
 
 void Stm::begin_transaction(TxDescriptor& descriptor) noexcept {
-  // Purely local managers never inspect seniority: skip the shared-ticket
+  // Purely local arbiters never inspect seniority: skip the shared-ticket
   // RMW entirely (the descriptor still publishes for status/kill handling).
-  if (!cm_->needs_seniority()) return;
+  if (!arbiter_->needs_seniority()) return;
   // Seniority is assigned once per *transaction* and survives its retries:
   // Timestamp/Greedy rely on long-suffering transactions aging into
   // priority.  Karma work-credit likewise accumulates across attempts.
@@ -129,46 +132,68 @@ Stm::Stripe& Stm::stripe_for(const void* address) noexcept {
 }
 
 bool Stm::resolve_conflict(Stripe& stripe, Tx& tx) {
-  // Managers may compare work credit (Karma/Polka); make ours visible.
+  // Arbiters may compare work credit (Karma/Polka); make ours visible.
   tx.publish_priority();
   stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
-  double scratch = -1.0;  // per-conflict budget for randomized managers
-  std::uint64_t waits = 0;
+  double scratch = -1.0;  // per-conflict budget for randomized arbiters
+  conflict::ConflictView view;
+  view.self = tx.descriptor_;
+  view.scratch = &scratch;
+  view.can_abort_enemy = true;  // the descriptor kill protocol
+  view.context.abort_cost = kAbortCostEstimate;
+  view.context.chain_length = 2;
+  view.context.attempt = tx.attempt_;
+  double spun = 0.0;         // spin iterations actually waited
+  bool killed_enemy = false;  // a forced finish is not a remaining-time sample
+  // Outcome feedback: the holder finishing within our wait is an exact
+  // sample of its remaining time; giving up is a censored one (it needed
+  // more than the budget we spent).  Kills are excluded — the holder did
+  // not run to completion, so its "remaining time" was never observed.
+  const auto report = [&](bool enemy_finished) {
+    if (killed_enemy) return;
+    core::ConflictOutcome outcome;
+    outcome.committed = enemy_finished;
+    outcome.grace = scratch >= 0.0 ? scratch : spun;
+    outcome.waited = spun;
+    outcome.chain_length = view.context.chain_length;
+    arbiter_->feedback(outcome);
+  };
   while (true) {
     if (!locked(stripe.versioned_lock.load(std::memory_order_acquire))) {
+      report(/*enemy_finished=*/true);
       return true;
     }
     if (tx.descriptor_->load_status() == TxStatus::kAborted) {
       return false;  // we were remotely killed while waiting
     }
-    CmView view;
-    view.self = tx.descriptor_;
     view.enemy = stripe.holder.load(std::memory_order_acquire);
-    view.attempt = tx.attempt_;
-    view.waits_so_far = waits;
-    view.scratch = &scratch;
-    switch (cm_->on_conflict(view, tl_rng)) {
-      case CmDecision::kAbortSelf:
+    switch (arbiter_->decide(view, tl_rng)) {
+      case conflict::Decision::kAbortSelf:
+        report(/*enemy_finished=*/false);
         return false;
-      case CmDecision::kAbortEnemy: {
+      case conflict::Decision::kAbortEnemy: {
         TxDescriptor* enemy = stripe.holder.load(std::memory_order_acquire);
         if (enemy != nullptr && enemy->try_kill()) {
           stats_.remote_kills.fetch_add(1, std::memory_order_relaxed);
+          killed_enemy = true;
         }
         // Fall through to waiting: the victim notices at its next status
         // check and releases its locks.
         break;
       }
-      case CmDecision::kWait:
+      case conflict::Decision::kWait:
         break;
     }
-    const std::uint64_t quantum = cm_->wait_quantum(view);
+    const std::uint64_t quantum = arbiter_->wait_quantum(view);
     for (std::uint64_t spin = 0; spin < quantum; ++spin) {
       if (!locked(stripe.versioned_lock.load(std::memory_order_acquire))) {
+        spun += static_cast<double>(spin);
+        report(/*enemy_finished=*/true);
         return true;
       }
     }
-    ++waits;
+    spun += static_cast<double>(quantum);
+    ++view.waits_so_far;
   }
 }
 

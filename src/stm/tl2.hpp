@@ -13,12 +13,18 @@
 //   * commit: acquire write locks, bump the clock, validate the read set,
 //     write back, release with the new version.
 //
-// The contention-manager hook is where the paper plugs in: when a read or a
-// lock acquisition hits a locked stripe, the transaction consults a
-// core::GracePeriodPolicy for how long to keep waiting for the lock holder
-// before sacrificing itself — the requestor-aborts flavor of the
-// transactional conflict problem (in an STM the requestor cannot abort the
-// lock holder remotely, so requestor-aborts is the natural mode).
+// The conflict-arbitration hook is where the paper plugs in: when a read or
+// a lock acquisition hits a locked stripe, the transaction builds a
+// conflict::ConflictView (its own and the holder's descriptors, the abort
+// cost estimate, how long it has waited) and asks the shared ConflictArbiter
+// to wait a quantum, abort itself, or kill the holder; resolved conflicts
+// are reported back through the arbiter's feedback channel so adaptive
+// arbiters learn the transaction-length distribution online.  The
+// policy-taking constructor wraps a core::GracePeriodPolicy in a
+// requestor-aborts conflict::GraceArbiter — the paper's classic STM regime,
+// where the requestor only ever sacrifices itself; pass an arbiter directly
+// to run requestor-wins policies (which kill the holder after the grace
+// period via the descriptor kill protocol) or any other arbitration scheme.
 //
 // Hot path: atomically() is a template over the transaction body (no
 // std::function indirection) and every attempt runs on the calling thread's
@@ -32,7 +38,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -53,8 +58,8 @@ struct Cell {
 struct StmStats {
   std::atomic<std::uint64_t> commits{0};
   std::atomic<std::uint64_t> aborts{0};
-  std::atomic<std::uint64_t> lock_waits{0};    // contention-manager invocations
-  std::atomic<std::uint64_t> remote_kills{0};  // enemies aborted by a manager
+  std::atomic<std::uint64_t> lock_waits{0};    // conflict-arbiter invocations
+  std::atomic<std::uint64_t> remote_kills{0};  // enemies killed by the arbiter
 };
 
 class Stm;
@@ -109,14 +114,16 @@ class Stm {
  public:
   /// `policy` decides how long a blocked transaction waits for a lock holder
   /// (in spin iterations ~ "cycles") before aborting itself — the paper's
-  /// local grace-period regime, run through the GracePolicyCm adapter.
+  /// local grace-period regime, wrapped in a requestor-aborts
+  /// conflict::GraceArbiter.
   explicit Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
                std::size_t stripes = 1 << 16);
 
-  /// Full contention-manager mode: conflicts are resolved by `cm`, which may
-  /// wait, abort the requestor, or remotely kill the lock holder (the classic
-  /// global-knowledge managers of Scherer & Scott).
-  explicit Stm(std::shared_ptr<const ContentionManager> cm,
+  /// Full arbitration mode: conflicts are resolved by `arbiter`, which may
+  /// wait, abort the requestor, or remotely kill the lock holder (the
+  /// classic global-knowledge managers of Scherer & Scott, a mode-aware
+  /// GraceArbiter, the learning AdaptiveArbiter, ...).
+  explicit Stm(std::shared_ptr<const conflict::ConflictArbiter> arbiter,
                std::size_t stripes = 1 << 16);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
@@ -152,11 +159,6 @@ class Stm {
     }
   }
 
-  /// Type-erased compatibility overload for callers that already hold a
-  /// std::function (pays one indirect call per attempt; lambdas resolve to
-  /// the template above and skip it).
-  void atomically(const std::function<void(Tx&)>& body);
-
   /// Attach (or detach, with nullptr) a cycle-accurate attempt profile.
   /// Not thread-safe against in-flight transactions: attach before spawning
   /// workers.  The profile must outlive every transaction that sees it.
@@ -191,12 +193,17 @@ class Stm {
   void begin_transaction(TxDescriptor& descriptor) noexcept;
   [[nodiscard]] Stripe& stripe_for(const void* address) noexcept;
   [[nodiscard]] bool try_commit(Tx& tx);
-  /// Run the contention manager against a held stripe until the lock clears
-  /// (true: retry the operation) or the manager sacrifices the requestor /
-  /// the requestor was remotely killed (false: abort).
+  /// Run the conflict arbiter against a held stripe until the lock clears
+  /// (true: retry the operation) or the arbiter sacrifices the requestor /
+  /// the requestor was remotely killed (false: abort).  Resolved conflicts
+  /// are reported back through ConflictArbiter::feedback.
   [[nodiscard]] bool resolve_conflict(Stripe& stripe, Tx& tx);
 
-  std::shared_ptr<const ContentionManager> cm_;
+  /// Abort cost estimate B handed to the arbiter at every conflict (spin
+  /// iterations; matches the historical GracePolicyCm default).
+  static constexpr double kAbortCostEstimate = 256.0;
+
+  std::shared_ptr<const conflict::ConflictArbiter> arbiter_;
   std::vector<Stripe> stripes_;  // power-of-two sized; see stripe_mask_
   std::uint64_t stripe_mask_ = 0;
   std::atomic<std::uint64_t> clock_{0};

@@ -13,6 +13,9 @@
 // Layering (each header is independently includable):
 //   core      grace-period policies, optimal densities, cost model,
 //             estimators, numeric minimax solver
+//   conflict  substrate-agnostic conflict arbitration: descriptors, the
+//             ConflictArbiter interface, the canonical contention managers,
+//             the grace-period adapter, the adaptive learner
 //   sim       discrete-event kernel, RNG, statistics
 //   workload  length distributions, Zipf, synthetic + adversarial games,
 //             trace replay
@@ -24,6 +27,11 @@
 //   lockfree  Treiber stack, Michael–Scott queue
 #pragma once
 
+#include "conflict/adaptive.hpp"
+#include "conflict/arbiter.hpp"
+#include "conflict/descriptor.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
 #include "core/cost_model.hpp"
 #include "core/densities.hpp"
 #include "core/estimators.hpp"

@@ -1,19 +1,27 @@
-// Tests of the classic contention managers: decision logic per algorithm
-// (unit-level, on hand-built descriptors), the kill/status protocol, and
-// multi-threaded TL2 integration — atomicity must hold under every manager.
-#include "stm/cm.hpp"
+// Tests of the classic contention managers behind the conflict-arbitration
+// interface: decision logic per algorithm (unit-level, on hand-built
+// descriptors), the kill/status protocol, the GraceArbiter adapter's
+// mode-aware verdicts, and multi-threaded TL2 integration — atomicity must
+// hold under every manager.  (Cross-substrate conformance — every arbiter on
+// every substrate — lives in test_conflict_arbiter.cpp.)
+#include "conflict/managers.hpp"
 
 #include <gtest/gtest.h>
 
 #include <thread>
 #include <vector>
 
+#include "conflict/grace.hpp"
+#include "core/policy.hpp"
 #include "stm/tl2.hpp"
 
 namespace {
 
-using namespace txc::stm;
+using namespace txc::conflict;
 using txc::sim::Rng;
+using txc::stm::Cell;
+using txc::stm::Stm;
+using txc::stm::Tx;
 
 struct Arena {
   TxDescriptor self;
@@ -30,14 +38,14 @@ struct Arena {
     enemy.start_time.store(enemy_start);
   }
 
-  [[nodiscard]] CmView view(std::uint64_t waits = 0,
-                            std::uint32_t attempt = 0) {
-    CmView v;
+  [[nodiscard]] ConflictView view(std::uint64_t waits = 0,
+                                  std::uint32_t attempt = 0) {
+    ConflictView v;
     v.self = &self;
     v.enemy = &enemy;
-    v.attempt = attempt;
     v.waits_so_far = waits;
     v.scratch = &scratch;
+    v.context.attempt = attempt;
     return v;
   }
 };
@@ -69,9 +77,9 @@ TEST(Polite, WaitsThenKills) {
   PoliteCm cm{/*max_rounds=*/3};
   Rng rng{1};
   Arena arena{0, 0};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(2), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(3), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(arena.view(0), rng), Decision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(2), rng), Decision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(3), rng), Decision::kAbortEnemy);
 }
 
 TEST(Polite, BackoffGrowsExponentially) {
@@ -87,10 +95,10 @@ TEST(Polite, GoneEnemyJustWaits) {
   Rng rng{1};
   Arena arena{0, 0};
   arena.enemy.status.store(static_cast<std::uint32_t>(TxStatus::kCommitted));
-  EXPECT_EQ(cm.on_conflict(arena.view(10), rng), CmDecision::kWait);
-  CmView no_enemy = arena.view(10);
+  EXPECT_EQ(cm.decide(arena.view(10), rng), Decision::kWait);
+  ConflictView no_enemy = arena.view(10);
   no_enemy.enemy = nullptr;
-  EXPECT_EQ(cm.on_conflict(no_enemy, rng), CmDecision::kWait);
+  EXPECT_EQ(cm.decide(no_enemy, rng), Decision::kWait);
 }
 
 // ---------------------------------------------------------------------------
@@ -101,14 +109,14 @@ TEST(Karma, HigherPriorityKills) {
   KarmaCm cm;
   Rng rng{1};
   Arena arena{/*self=*/10, /*enemy=*/3};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(arena.view(0), rng), Decision::kAbortEnemy);
 }
 
 TEST(Karma, LowerPriorityWaits) {
   KarmaCm cm;
   Rng rng{1};
   Arena arena{3, 10};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(0), rng), Decision::kWait);
 }
 
 TEST(Karma, WaitsAccumulateIntoPriority) {
@@ -117,8 +125,8 @@ TEST(Karma, WaitsAccumulateIntoPriority) {
   KarmaCm cm;
   Rng rng{1};
   Arena arena{3, 10};
-  EXPECT_EQ(cm.on_conflict(arena.view(7), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(8), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(arena.view(7), rng), Decision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(8), rng), Decision::kAbortEnemy);
 }
 
 // ---------------------------------------------------------------------------
@@ -129,16 +137,16 @@ TEST(Timestamp, OlderKillsYounger) {
   TimestampCm cm;
   Rng rng{1};
   Arena arena{0, 0, /*self_start=*/1, /*enemy_start=*/5};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(arena.view(0), rng), Decision::kAbortEnemy);
 }
 
 TEST(Timestamp, YoungerWaitsThenSelfAborts) {
   TimestampCm cm{/*patience=*/4};
   Rng rng{1};
   Arena arena{0, 0, /*self_start=*/5, /*enemy_start=*/1};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(3), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(4), rng), CmDecision::kAbortSelf);
+  EXPECT_EQ(cm.decide(arena.view(0), rng), Decision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(3), rng), Decision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(4), rng), Decision::kAbortSelf);
 }
 
 // ---------------------------------------------------------------------------
@@ -149,10 +157,10 @@ TEST(Greedy, OlderKillsYoungerNeverSelfAborts) {
   GreedyCm cm;
   Rng rng{1};
   Arena older{0, 0, 1, 5};
-  EXPECT_EQ(cm.on_conflict(older.view(0), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(older.view(0), rng), Decision::kAbortEnemy);
   Arena younger{0, 0, 5, 1};
   for (const std::uint64_t waits : {0u, 100u, 100000u}) {
-    EXPECT_EQ(cm.on_conflict(younger.view(waits), rng), CmDecision::kWait);
+    EXPECT_EQ(cm.decide(younger.view(waits), rng), Decision::kWait);
   }
 }
 
@@ -164,67 +172,147 @@ TEST(Polka, ToleratesBackoffRoundsEqualToPriorityGap) {
   PolkaCm cm;
   Rng rng{1};
   Arena arena{/*self=*/2, /*enemy=*/6};  // gap 4
-  EXPECT_EQ(cm.on_conflict(arena.view(4), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(5), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(arena.view(4), rng), Decision::kWait);
+  EXPECT_EQ(cm.decide(arena.view(5), rng), Decision::kAbortEnemy);
 }
 
 TEST(Polka, KillsImmediatelyWhenAhead) {
   PolkaCm cm;
   Rng rng{1};
   Arena arena{9, 2};  // gap 0 (we are ahead)
-  EXPECT_EQ(cm.on_conflict(arena.view(1), rng), CmDecision::kAbortEnemy);
+  EXPECT_EQ(cm.decide(arena.view(1), rng), Decision::kAbortEnemy);
 }
 
 // ---------------------------------------------------------------------------
-// GracePolicyCm
+// Anonymous substrates: no descriptors published (the NOrec shape)
 // ---------------------------------------------------------------------------
 
-TEST(GracePolicyCm, NoDelayAbortsSelfImmediately) {
-  GracePolicyCm cm{std::make_shared<txc::core::NoDelayPolicy>()};
+TEST(Managers, DegradeToWaitingWithoutDescriptors) {
+  // A substrate that publishes neither descriptor (NOrec's seqlock holder is
+  // anonymous) must get a kWait from every seniority-based manager — there
+  // is nothing to weigh and nothing to kill.
   Rng rng{1};
-  Arena arena{0, 0};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kAbortSelf);
+  ConflictView bare;  // self == enemy == nullptr
+  for (const auto kind : {CmKind::kPolite, CmKind::kKarma, CmKind::kTimestamp,
+                          CmKind::kGreedy, CmKind::kPolka}) {
+    EXPECT_EQ(make_cm(kind)->decide(bare, rng), Decision::kWait)
+        << to_string(kind);
+  }
 }
 
-TEST(GracePolicyCm, FixedDelayWaitsOutTheBudgetThenAborts) {
-  // 100-cycle budget at 32-cycle quanta: rounds 0-3 wait, round 4 aborts.
-  GracePolicyCm cm{std::make_shared<txc::core::FixedDelayPolicy>(100.0)};
+// ---------------------------------------------------------------------------
+// GraceArbiter (the paper's local decision behind the arbiter interface)
+// ---------------------------------------------------------------------------
+
+TEST(GraceArbiter, NoDelayResolvesImmediately) {
+  // Requestor-aborts flavor: sacrifice self on the spot.
+  GraceArbiter aborts{std::make_shared<txc::core::NoDelayPolicy>(
+      txc::core::ResolutionMode::kRequestorAborts)};
   Rng rng{1};
   Arena arena{0, 0};
-  EXPECT_EQ(cm.on_conflict(arena.view(0), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(3), rng), CmDecision::kWait);
-  EXPECT_EQ(cm.on_conflict(arena.view(4), rng), CmDecision::kAbortSelf);
+  EXPECT_EQ(aborts.decide(arena.view(0), rng), Decision::kAbortSelf);
+  // Requestor-wins flavor: kill the enemy on the spot.
+  GraceArbiter wins{std::make_shared<txc::core::NoDelayPolicy>(
+      txc::core::ResolutionMode::kRequestorWins)};
+  Arena arena2{0, 0};
+  EXPECT_EQ(wins.decide(arena2.view(0), rng), Decision::kAbortEnemy);
 }
 
-TEST(GracePolicyCm, RandomBudgetDrawnOncePerConflict) {
+TEST(GraceArbiter, FixedDelayWaitsOutTheBudgetThenResolves) {
+  // 100-cycle budget at 32-cycle quanta: rounds 0-3 wait, round 4 resolves —
+  // with the verdict chosen by the policy's resolution flavor.
+  GraceArbiter wins{std::make_shared<txc::core::FixedDelayPolicy>(
+      100.0, txc::core::ResolutionMode::kRequestorWins)};
+  Rng rng{1};
+  Arena arena{0, 0};
+  EXPECT_EQ(wins.decide(arena.view(0), rng), Decision::kWait);
+  EXPECT_EQ(wins.decide(arena.view(3), rng), Decision::kWait);
+  EXPECT_EQ(wins.decide(arena.view(4), rng), Decision::kAbortEnemy);
+
+  GraceArbiter aborts{std::make_shared<txc::core::FixedDelayPolicy>(
+      100.0, txc::core::ResolutionMode::kRequestorAborts)};
+  Arena arena2{0, 0};
+  EXPECT_EQ(aborts.decide(arena2.view(3), rng), Decision::kWait);
+  EXPECT_EQ(aborts.decide(arena2.view(4), rng), Decision::kAbortSelf);
+}
+
+TEST(GraceArbiter, ModeOverridePinsTheVerdict) {
+  // The substrate convenience constructors (Stm/Norec from a policy, the
+  // simulator's HtmConfig::mode) pin the flavor regardless of the policy's
+  // own preference.
+  GraceArbiter pinned{std::make_shared<txc::core::FixedDelayPolicy>(
+                          100.0, txc::core::ResolutionMode::kRequestorWins),
+                      txc::core::ResolutionMode::kRequestorAborts};
+  Rng rng{1};
+  Arena arena{0, 0};
+  EXPECT_EQ(pinned.decide(arena.view(4), rng), Decision::kAbortSelf);
+}
+
+TEST(GraceArbiter, HonorsSitesThatCannotKill) {
+  // A requestor-wins policy on a substrate without a kill protocol (NOrec's
+  // anonymous seqlock holder) must degrade to sacrificing the requestor.
+  GraceArbiter wins{std::make_shared<txc::core::FixedDelayPolicy>(
+      100.0, txc::core::ResolutionMode::kRequestorWins)};
+  Rng rng{1};
+  Arena arena{0, 100};
+  ConflictView view = arena.view(4);
+  view.can_abort_enemy = false;
+  EXPECT_EQ(wins.decide(view, rng), Decision::kAbortSelf);
+}
+
+TEST(GraceArbiter, RandomBudgetDrawnOncePerConflict) {
   // With the uniform RRW policy the budget is random, but within one
   // conflict (one scratch) consecutive decisions must be consistent with a
-  // single draw: once it waits at round w, it must also have waited at all
+  // single draw: once it resolves at round w, it must have waited at all
   // rounds < w.
-  GracePolicyCm cm{
-      std::make_shared<txc::core::RandomizedWinsPolicy>(false)};
+  GraceArbiter cm{std::make_shared<txc::core::RandomizedWinsPolicy>(false)};
   Rng rng{7};
   for (int trial = 0; trial < 100; ++trial) {
     Arena arena{0, 0};
-    bool aborted = false;
+    bool resolved = false;
     for (std::uint64_t w = 0; w < 64; ++w) {
-      const CmDecision decision = cm.on_conflict(arena.view(w), rng);
-      if (decision == CmDecision::kAbortSelf) {
-        aborted = true;
+      const Decision decision = cm.decide(arena.view(w), rng);
+      if (decision != Decision::kWait) {
+        resolved = true;
       } else {
-        EXPECT_FALSE(aborted) << "wait after abort within one conflict";
+        EXPECT_FALSE(resolved) << "wait after a terminal verdict";
       }
     }
   }
 }
 
-TEST(GracePolicyCm, NeverKillsTheEnemy) {
-  GracePolicyCm cm{std::make_shared<txc::core::FixedDelayPolicy>(1e9)};
+TEST(GraceArbiter, GrantMatchesTheDecideLoop) {
+  // The one-shot grant (used by the discrete-event simulator) must agree
+  // with what the round-based decide loop would have done.
+  GraceArbiter cm{std::make_shared<txc::core::FixedDelayPolicy>(
+      100.0, txc::core::ResolutionMode::kRequestorWins)};
   Rng rng{1};
-  Arena arena{0, 100};
-  for (std::uint64_t w = 0; w < 50; ++w) {
-    EXPECT_NE(cm.on_conflict(arena.view(w), rng), CmDecision::kAbortEnemy);
-  }
+  Arena arena{0, 0};
+  const GraceGrant grant = cm.grace_grant(arena.view(0), rng);
+  EXPECT_DOUBLE_EQ(grant.grace, 100.0);
+  EXPECT_EQ(grant.expiry_verdict, Decision::kAbortEnemy);
+}
+
+TEST(DefaultGrantReplay, ClassicManagerGetsAFiniteGrant) {
+  // Managers without a closed-form budget use the base-class replay: the
+  // grant must be finite even for managers that would wait a long time, and
+  // must carry the verdict the loop ended on.
+  Rng rng{1};
+  Arena arena{0, 0, /*self_start=*/1, /*enemy_start=*/5};  // we are older
+  const GraceGrant older = TimestampCm{}.grace_grant(arena.view(0), rng);
+  EXPECT_DOUBLE_EQ(older.grace, 0.0);
+  EXPECT_EQ(older.expiry_verdict, Decision::kAbortEnemy);
+
+  Arena younger{0, 0, /*self_start=*/5, /*enemy_start=*/1};
+  const GraceGrant patience =
+      TimestampCm{/*patience=*/4}.grace_grant(younger.view(0), rng);
+  EXPECT_GT(patience.grace, 0.0);
+  EXPECT_EQ(patience.expiry_verdict, Decision::kAbortSelf);
+
+  // Greedy's younger side would wait forever; the replay cap bounds it.
+  const GraceGrant capped = GreedyCm{}.grace_grant(younger.view(0), rng);
+  EXPECT_GT(capped.grace, 0.0);
+  EXPECT_EQ(capped.expiry_verdict, Decision::kAbortSelf);
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +325,7 @@ TEST(CmFactory, AllKindsConstructWithMatchingNames) {
     const auto cm = make_cm(kind);
     ASSERT_NE(cm, nullptr);
     EXPECT_EQ(cm->name(), to_string(kind));
+    EXPECT_TRUE(cm->needs_seniority()) << "classic managers weigh seniority";
   }
 }
 

@@ -100,6 +100,15 @@ inline const std::vector<FigureSpec>& builtin_roster() {
             "locked / lock-free baseline structures", 1},
            {"trace_replay", "recorded-trace replay through the policies", 1},
        }},
+      {"arbiter",
+       "Cross-substrate — one arbiter roster on TL2, NOrec, HTM, and the "
+       "fallback-lock path",
+       {
+           {"cross_substrate_arbiter",
+            "the same ConflictArbiter instances arbitrating four substrates "
+            "in one table",
+            1},
+       }},
   };
   return roster;
 }
