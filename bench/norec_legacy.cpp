@@ -1,0 +1,145 @@
+#include "norec_legacy.hpp"
+
+#include <functional>
+#include <thread>
+
+#include "conflict/grace.hpp"
+
+namespace legacy_norec {
+
+using txc::stm::Cell;
+using txc::stm::ReadLogEntry;
+using txc::stm::TxAbort;
+using txc::stm::TxBuffers;
+
+namespace {
+
+thread_local txc::sim::Rng tl_rng{0x4E0EECULL ^
+                                  std::hash<std::thread::id>{}(
+                                      std::this_thread::get_id())};
+
+}  // namespace
+
+AnonNorec::AnonNorec(
+    std::shared_ptr<const txc::core::GracePeriodPolicy> policy)
+    : arbiter_(std::make_shared<txc::conflict::GraceArbiter>(
+          std::move(policy), txc::core::ResolutionMode::kRequestorAborts)) {}
+
+TxBuffers& AnonNorec::thread_buffers() noexcept {
+  thread_local TxBuffers buffers;
+  return buffers;
+}
+
+std::optional<std::uint64_t> AnonNorec::await_even(std::uint32_t attempt) {
+  std::uint64_t state = seqlock_.load(std::memory_order_acquire);
+  if ((state & 1) == 0) return state;
+  stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
+  double scratch = -1.0;
+  txc::conflict::ConflictView view;
+  // The seqlock holder is anonymous: no descriptors, no kill.
+  view.scratch = &scratch;
+  view.can_abort_enemy = false;
+  view.context.abort_cost = kAbortCostEstimate;
+  view.context.chain_length = 2;
+  view.context.attempt = attempt;
+  double spun = 0.0;
+  const auto report = [&](bool enemy_finished) {
+    txc::core::ConflictOutcome outcome;
+    outcome.committed = enemy_finished;
+    outcome.grace = scratch >= 0.0 ? scratch : spun;
+    outcome.waited = spun;
+    outcome.chain_length = view.context.chain_length;
+    arbiter_->feedback(outcome);
+  };
+  while (true) {
+    switch (arbiter_->decide(view, tl_rng)) {
+      case txc::conflict::Decision::kAbortSelf:
+        state = seqlock_.load(std::memory_order_acquire);
+        if ((state & 1) == 0) {
+          report(/*enemy_finished=*/true);
+          return state;
+        }
+        report(/*enemy_finished=*/false);
+        return std::nullopt;
+      case txc::conflict::Decision::kAbortEnemy:  // cannot kill: wait
+      case txc::conflict::Decision::kWait:
+        break;
+    }
+    const std::uint64_t quantum = arbiter_->wait_quantum(view);
+    for (std::uint64_t spin = 0; spin < quantum; ++spin) {
+      state = seqlock_.load(std::memory_order_acquire);
+      if ((state & 1) == 0) {
+        spun += static_cast<double>(spin);
+        report(/*enemy_finished=*/true);
+        return state;
+      }
+    }
+    spun += static_cast<double>(quantum);
+    ++view.waits_so_far;
+  }
+}
+
+std::optional<std::uint64_t> AnonNorec::validate(AnonNorecTx& tx) {
+  while (true) {
+    const auto even = await_even(tx.attempt_);
+    if (!even.has_value()) return std::nullopt;
+    const std::uint64_t base = *even;
+    bool consistent = true;
+    for (const ReadLogEntry& logged : tx.buffers_->read_log) {
+      if (logged.cell->value.load(std::memory_order_acquire) !=
+          logged.value) {
+        consistent = false;
+        break;
+      }
+    }
+    if (seqlock_.load(std::memory_order_acquire) != base) continue;
+    if (!consistent) return std::nullopt;
+    return base;
+  }
+}
+
+std::uint64_t AnonNorecTx::read(const Cell& cell) {
+  if (const std::uint64_t* buffered =
+          buffers_->write_set.find(const_cast<Cell*>(&cell))) {
+    return *buffered;
+  }
+  while (true) {
+    const auto even = stm_.await_even(attempt_);
+    if (!even.has_value()) throw TxAbort{};
+    const std::uint64_t base = *even;
+    const std::uint64_t value = cell.value.load(std::memory_order_acquire);
+    if (stm_.seqlock_.load(std::memory_order_acquire) != base) continue;
+    if (base != snapshot_) {
+      const auto validated = stm_.validate(*this);
+      if (!validated.has_value()) throw TxAbort{};
+      snapshot_ = *validated;
+      continue;
+    }
+    buffers_->read_log.push_back(ReadLogEntry{&cell, value});
+    return value;
+  }
+}
+
+void AnonNorecTx::write(Cell& cell, std::uint64_t value) {
+  buffers_->write_set.upsert(&cell) = value;
+}
+
+bool AnonNorec::try_commit(AnonNorecTx& tx) {
+  TxBuffers& buffers = *tx.buffers_;
+  if (buffers.write_set.empty()) return true;
+  std::uint64_t base = tx.snapshot_;
+  while (!seqlock_.compare_exchange_weak(base, base + 1,
+                                         std::memory_order_acq_rel)) {
+    const auto validated = validate(tx);
+    if (!validated.has_value()) return false;
+    tx.snapshot_ = *validated;
+    base = tx.snapshot_;
+  }
+  for (const auto& entry : buffers.write_set) {
+    entry.key->value.store(entry.value, std::memory_order_release);
+  }
+  seqlock_.store(base + 2, std::memory_order_release);
+  return true;
+}
+
+}  // namespace legacy_norec

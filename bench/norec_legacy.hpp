@@ -1,0 +1,101 @@
+// Frozen pre-committer-descriptor NOrec (verbatim at PR 4, minus renames),
+// for bench/micro_stm_fastpath.cpp's before/after comparison.
+//
+// This is the anonymous-seqlock substrate exactly as it stood before the
+// committer-descriptor protocol landed: the arbitration wait path is intact
+// (same GraceArbiter plumbing, optional-returning await_even consulted on
+// every read), but the seqlock holder publishes no descriptor, cannot be
+// killed, and the commit path carries no kill window — one CAS, the
+// write-back loop, one release store.  Comparing it against the live
+// txc::stm::Norec therefore isolates exactly what the committer-descriptor
+// protocol added: the descriptor publish/clear stores, the kill-window
+// status CAS, the per-attempt status store, and the seniority/credit
+// plumbing.
+//
+// The translation-unit structure deliberately mirrors the live substrate
+// (template atomically() here, protocol methods out-of-line in
+// norec_legacy.cpp) so the ratio measures the protocol, not inlining luck.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "conflict/arbiter.hpp"
+#include "core/policy.hpp"
+#include "stm/tl2.hpp"  // Cell, TxAbort, StmStats
+#include "stm/tx_buffers.hpp"
+
+namespace legacy_norec {
+
+class AnonNorec;
+
+class AnonNorecTx {
+ public:
+  [[nodiscard]] std::uint64_t read(const txc::stm::Cell& cell);
+  void write(txc::stm::Cell& cell, std::uint64_t value);
+
+ private:
+  friend class AnonNorec;
+  AnonNorecTx(AnonNorec& stm, std::uint32_t attempt, std::uint64_t snapshot,
+              txc::stm::TxBuffers* buffers) noexcept
+      : stm_(stm), attempt_(attempt), snapshot_(snapshot), buffers_(buffers) {}
+
+  AnonNorec& stm_;
+  std::uint32_t attempt_;
+  std::uint64_t snapshot_;
+  txc::stm::TxBuffers* buffers_;
+};
+
+class AnonNorec {
+ public:
+  explicit AnonNorec(
+      std::shared_ptr<const txc::core::GracePeriodPolicy> policy);
+
+  template <typename Body>
+  void atomically(Body&& body) {
+    txc::stm::TxBuffers& buffers = thread_buffers();
+    txc::stm::TxBuffersScope scope{buffers};
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      buffers.clear();
+      std::uint64_t snapshot = seqlock_.load(std::memory_order_acquire);
+      while (snapshot & 1) {
+        snapshot = seqlock_.load(std::memory_order_acquire);
+      }
+      AnonNorecTx tx{*this, attempt, snapshot, &buffers};
+      bool unwound = false;
+      try {
+        body(tx);
+      } catch (const txc::stm::TxAbort&) {
+        unwound = true;
+      }
+      if (!unwound && try_commit(tx)) {
+        stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t read_committed(
+      const txc::stm::Cell& cell) {
+    return cell.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class AnonNorecTx;
+
+  static txc::stm::TxBuffers& thread_buffers() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> await_even(std::uint32_t attempt);
+  [[nodiscard]] std::optional<std::uint64_t> validate(AnonNorecTx& tx);
+  [[nodiscard]] bool try_commit(AnonNorecTx& tx);
+
+  static constexpr double kAbortCostEstimate = 256.0;
+
+  std::shared_ptr<const txc::conflict::ConflictArbiter> arbiter_;
+  std::atomic<std::uint64_t> seqlock_{0};
+  txc::stm::StmStats stats_;
+};
+
+}  // namespace legacy_norec

@@ -50,6 +50,35 @@ struct TxDescriptor {
   }
 };
 
+/// Owner-side lazy credit publication: flush a locally-accumulated work
+/// counter (reads performed, etc.) into the descriptor's priority and
+/// reset it.  The owner is the only writer of its own priority (enemies
+/// just load it), so a load+store pair beats a fetch_add RMW.  Shared by
+/// every substrate that accrues Karma-style credit (TL2, NOrec).
+inline void publish_credit(TxDescriptor& descriptor,
+                           std::uint64_t& pending) noexcept {
+  if (pending != 0) {
+    descriptor.priority.store(
+        descriptor.priority.load(std::memory_order_relaxed) + pending,
+        std::memory_order_relaxed);
+    pending = 0;
+  }
+}
+
+/// Stamp per-transaction seniority from a substrate's shared start ticket.
+/// Assigned once per *transaction* and kept across its retries:
+/// Timestamp/Greedy rely on long-suffering transactions aging into
+/// priority, and Karma work-credit likewise accumulates across attempts
+/// (the priority reset here is per-transaction, not per-attempt).
+inline void stamp_seniority(
+    TxDescriptor& descriptor,
+    std::atomic<std::uint64_t>& start_ticket) noexcept {
+  descriptor.start_time.store(
+      start_ticket.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  descriptor.priority.store(0, std::memory_order_relaxed);
+}
+
 /// Fixed slab backing every thread's TxDescriptor.  Stripes publish raw
 /// descriptor pointers and enemies chase them after the holder released, so
 /// descriptors must never be freed while any transaction might still probe

@@ -1,0 +1,126 @@
+// txconflict — the shared spin-site arbitration driver.
+//
+// A *spin site* is a conflict site that waits by actually spinning on shared
+// memory: TL2 transactions probing a held versioned write-lock stripe,
+// NOrec transactions probing the odd global commit seqlock.  (The
+// discrete-event simulator is not a spin site — it consumes arbiters through
+// the one-shot grace_grant() form instead.)  Before this driver existed the
+// two spin sites each carried a private copy of the same ~30-line
+// arbitration shape — scratch/view setup, the outcome-report lambda, the
+// decide switch, the quantum spin with early-exit accounting — diverging
+// only in what they probe and how they kill.  drive_spin_site() owns that
+// shape once; a substrate contributes a small Site object with five
+// customization points:
+//
+//   resolved()        validation re-probe: has the conflict cleared?  (TL2:
+//                     the stripe lock bit dropped; NOrec: the seqlock went
+//                     even.)  Called at every spin iteration; a Site may
+//                     latch what it observed (NOrec records the even value
+//                     the caller resumes from).
+//   self_killed()     remote-kill unwinding: was the *requestor* killed
+//                     while waiting?  The driver returns kSelfKilled without
+//                     reporting feedback — the conflict did not resolve, the
+//                     requestor was removed from it.
+//   enemy()           enemy-descriptor probe: the holder's TxDescriptor, or
+//                     nullptr while the site has none published (released
+//                     between detection and inspection, or not yet
+//                     published).  Re-probed every round: holders change.
+//   kill()            kill protocol: deliver a kAbortEnemy verdict (re-probe
+//                     the holder, CAS its status, count the kill).  Returns
+//                     whether the kill landed; the driver keeps waiting
+//                     either way — the victim unwinds itself and releases.
+//   prime(view)       one-time view setup: self descriptor, kill
+//                     capability, and the paper's ConflictContext (abort
+//                     cost B, chain length k, attempt number).
+//
+// plus one knob, suppress_feedback_after_kill(): when the driver killed the
+// enemy, the observed wait is a *forced* finish, not a sample of the
+// enemy's remaining time, and sites that learn from feedback suppress it.
+// Both STM spin sites suppress; the knob exists so a future site that wants
+// censored kill samples can keep them.
+//
+// The driver guarantees the arbiter contract the conformance suite
+// (tests/test_conflict_arbiter.cpp) checks for: one budget draw per conflict
+// (the scratch slot), exact early-exit spin accounting in the feedback
+// outcome, a last-instant resolved() re-probe before honoring kAbortSelf,
+// and no heap allocation anywhere on the path
+// (tests/test_stm_alloc.cpp pins that under real contention).
+#pragma once
+
+#include <cstdint>
+
+#include "conflict/arbiter.hpp"
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+
+namespace txc::conflict {
+
+/// How one driven conflict ended, from the requestor's point of view.
+enum class SpinResult {
+  kEnemyFinished,  // the site resolved (lock cleared): retry the operation
+  kSelfAbort,      // the arbiter sacrificed the requestor
+  kSelfKilled,     // the requestor was remotely killed while waiting
+};
+
+/// Drive one conflict at a spin site to resolution.  `site` supplies the
+/// substrate-specific probes (see the header comment for the Site concept);
+/// the driver owns the decide loop, the quantum spin, and the outcome
+/// feedback.  Allocation-free; called on the STM hot path.
+template <typename Site>
+[[nodiscard]] SpinResult drive_spin_site(const ConflictArbiter& arbiter,
+                                         Site& site, sim::Rng& rng) {
+  double scratch = -1.0;  // per-conflict budget slot for randomized arbiters
+  ConflictView view;
+  view.scratch = &scratch;
+  site.prime(view);
+  double spun = 0.0;          // spin iterations actually waited
+  bool killed_enemy = false;  // a forced finish is not a remaining-time sample
+  // Outcome feedback: the enemy finishing within our wait is an exact sample
+  // of its remaining time; giving up is a censored one (it needed more than
+  // the budget we spent).
+  const auto report = [&](bool enemy_finished) {
+    if (killed_enemy && site.suppress_feedback_after_kill()) return;
+    core::ConflictOutcome outcome;
+    outcome.committed = enemy_finished;
+    outcome.grace = scratch >= 0.0 ? scratch : spun;
+    outcome.waited = spun;
+    outcome.chain_length = view.context.chain_length;
+    arbiter.feedback(outcome);
+  };
+  while (true) {
+    if (site.resolved()) {
+      report(/*enemy_finished=*/true);
+      return SpinResult::kEnemyFinished;
+    }
+    if (site.self_killed()) return SpinResult::kSelfKilled;
+    view.enemy = site.enemy();
+    switch (arbiter.decide(view, rng)) {
+      case Decision::kAbortSelf:
+        if (site.resolved()) {  // freed at the last instant
+          report(/*enemy_finished=*/true);
+          return SpinResult::kEnemyFinished;
+        }
+        report(/*enemy_finished=*/false);
+        return SpinResult::kSelfAbort;
+      case Decision::kAbortEnemy:
+        if (site.kill()) killed_enemy = true;
+        // Fall through to waiting: the victim notices at its next status
+        // check and releases whatever it holds.
+        break;
+      case Decision::kWait:
+        break;
+    }
+    const std::uint64_t quantum = arbiter.wait_quantum(view);
+    for (std::uint64_t spin = 0; spin < quantum; ++spin) {
+      if (site.resolved()) {
+        spun += static_cast<double>(spin);
+        report(/*enemy_finished=*/true);
+        return SpinResult::kEnemyFinished;
+      }
+    }
+    spun += static_cast<double>(quantum);
+    ++view.waits_so_far;
+  }
+}
+
+}  // namespace txc::conflict

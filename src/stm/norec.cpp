@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "conflict/grace.hpp"
+#include "conflict/spin_site.hpp"
 
 namespace txc::stm {
 
@@ -20,66 +21,74 @@ Norec::Norec(std::shared_ptr<const core::GracePeriodPolicy> policy)
           std::move(policy), core::ResolutionMode::kRequestorAborts)) {}
 
 Norec::Norec(std::shared_ptr<const conflict::ConflictArbiter> arbiter)
-    : arbiter_(std::move(arbiter)) {}
+    : arbiter_(std::move(arbiter)),
+      needs_seniority_(arbiter_->needs_seniority()) {}
 
 TxBuffers& Norec::thread_buffers() noexcept {
   thread_local TxBuffers buffers;
   return buffers;
 }
 
-std::optional<std::uint64_t> Norec::await_even(std::uint32_t attempt) {
-  std::uint64_t state = seqlock_.load(std::memory_order_acquire);
-  if ((state & 1) == 0) return state;
+void Norec::begin_transaction(TxDescriptor& descriptor) noexcept {
+  // Purely local arbiters never inspect seniority: skip the shared-ticket
+  // RMW entirely (the descriptor still publishes for status/kill handling).
+  if (!needs_seniority_) return;
+  conflict::stamp_seniority(descriptor, start_ticket_);
+}
+
+std::optional<std::uint64_t> Norec::await_even_contended(NorecTx& tx) {
+  // Engaging arbitration: seniority arbiters may weigh our credit against
+  // the committer's, so flush it first.
+  tx.publish_priority();
   stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
-  double scratch = -1.0;  // per-conflict budget for randomized arbiters
-  conflict::ConflictView view;
-  // The seqlock holder is anonymous: no descriptors, no kill — seniority
-  // arbiters degrade to waiting and kAbortEnemy verdicts map to kWait.
-  view.scratch = &scratch;
-  view.can_abort_enemy = false;
-  view.context.abort_cost = kAbortCostEstimate;
-  view.context.chain_length = 2;
-  view.context.attempt = attempt;
-  double spun = 0.0;  // seqlock probes actually waited
-  const auto report = [&](bool enemy_finished) {
-    core::ConflictOutcome outcome;
-    outcome.committed = enemy_finished;
-    outcome.grace = scratch >= 0.0 ? scratch : spun;
-    outcome.waited = spun;
-    outcome.chain_length = view.context.chain_length;
-    arbiter_->feedback(outcome);
-  };
-  while (true) {
-    switch (arbiter_->decide(view, tl_rng)) {
-      case conflict::Decision::kAbortSelf:
-        state = seqlock_.load(std::memory_order_acquire);
-        if ((state & 1) == 0) {  // freed at the last instant
-          report(/*enemy_finished=*/true);
-          return state;
-        }
-        report(/*enemy_finished=*/false);
-        return std::nullopt;  // budget exhausted: requestor aborts
-      case conflict::Decision::kAbortEnemy:  // cannot kill: degrade to wait
-      case conflict::Decision::kWait:
-        break;
+  // NOrec's spin site: the odd global commit seqlock.  The committer
+  // publishes its descriptor in committer_ for the odd window, so the enemy
+  // probe and the kill protocol work exactly as on a TL2 stripe; the
+  // resolved() re-probe latches the even value the caller resumes from.
+  struct SeqlockSite {
+    Norec& stm;
+    NorecTx& tx;
+    std::uint64_t state;  // last seqlock value observed by resolved()
+    [[nodiscard]] constexpr bool suppress_feedback_after_kill() const noexcept {
+      return true;
     }
-    const std::uint64_t quantum = arbiter_->wait_quantum(view);
-    for (std::uint64_t spin = 0; spin < quantum; ++spin) {
-      state = seqlock_.load(std::memory_order_acquire);
-      if ((state & 1) == 0) {
-        spun += static_cast<double>(spin);
-        report(/*enemy_finished=*/true);
-        return state;
-      }
+    void prime(conflict::ConflictView& view) const noexcept {
+      view.self = tx.descriptor_;
+      view.can_abort_enemy = true;  // the committer-descriptor kill protocol
+      view.context.abort_cost = kAbortCostEstimate;
+      view.context.chain_length = 2;
+      view.context.attempt = tx.attempt_;
     }
-    spun += static_cast<double>(quantum);
-    ++view.waits_so_far;
+    [[nodiscard]] bool resolved() noexcept {
+      state = stm.seqlock_.load(std::memory_order_acquire);
+      return (state & 1) == 0;
+    }
+    [[nodiscard]] bool self_killed() const noexcept {
+      return tx.descriptor_->load_status() == TxStatus::kAborted;
+    }
+    [[nodiscard]] const TxDescriptor* enemy() const noexcept {
+      return stm.committer_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] bool kill() const noexcept {
+      TxDescriptor* holder = stm.committer_.load(std::memory_order_acquire);
+      if (holder == nullptr || !holder->try_kill()) return false;
+      stm.stats_.remote_kills.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  } site{*this, tx, /*state=*/1};  // overwritten by the first resolved() probe
+  switch (conflict::drive_spin_site(*arbiter_, site, tl_rng)) {
+    case conflict::SpinResult::kEnemyFinished:
+      return site.state;  // the even value the site latched
+    case conflict::SpinResult::kSelfAbort:
+    case conflict::SpinResult::kSelfKilled:
+      break;
   }
+  return std::nullopt;
 }
 
 std::optional<std::uint64_t> Norec::validate(NorecTx& tx) {
   while (true) {
-    const auto even = await_even(tx.attempt_);
+    const auto even = await_even(tx);
     if (!even.has_value()) return std::nullopt;
     const std::uint64_t base = *even;
     bool consistent = true;
@@ -107,20 +116,29 @@ std::uint64_t NorecTx::read(const Cell& cell) {
   // the clock moved since our snapshot, re-validate the whole read log and
   // advance the snapshot.
   while (true) {
-    const auto even = stm_.await_even(attempt_);
-    if (!even.has_value()) throw TxAbort{};
+    const auto even = stm_.await_even(*this);
+    if (!even.has_value()) {
+      publish_priority();  // Karma credit survives the abort
+      throw TxAbort{};
+    }
     const std::uint64_t base = *even;
     const std::uint64_t value = cell.value.load(std::memory_order_acquire);
     if (stm_.seqlock_.load(std::memory_order_acquire) != base) continue;
     if (base != snapshot_) {
       const auto validated = stm_.validate(*this);
-      if (!validated.has_value()) throw TxAbort{};
+      if (!validated.has_value()) {
+        publish_priority();
+        throw TxAbort{};
+      }
       snapshot_ = *validated;
       // The location may have changed before the new snapshot; re-read so
       // the log entry matches the validated state.
       continue;
     }
     buffers_->read_log.push_back(ReadLogEntry{&cell, value});
+    // Karma-style managers rank transactions by work performed; published
+    // lazily by publish_priority() (see Tx::read).
+    ++pending_priority_;
     return value;
   }
 }
@@ -130,6 +148,9 @@ void NorecTx::write(Cell& cell, std::uint64_t value) {
 }
 
 bool Norec::try_commit(NorecTx& tx) {
+  // About to become inspectable (the committer slot publishes our
+  // descriptor): flush the attempt's accumulated work credit first.
+  tx.publish_priority();
   TxBuffers& buffers = *tx.buffers_;
   if (buffers.write_set.empty()) return true;  // read-only: always consistent
 
@@ -145,11 +166,35 @@ bool Norec::try_commit(NorecTx& tx) {
     base = tx.snapshot_;
   }
 
-  // Exclusive: write back and release with the next even value.
+  // Exclusive.  Publish our descriptor next to the lock so waiters can
+  // weigh us (priority/seniority) and deliver kAbortEnemy — this is the
+  // extra commit-path store the committer-descriptor protocol costs
+  // (measured in bench/micro_stm_fastpath.cpp).
+  committer_.store(tx.descriptor_, std::memory_order_release);
+
+  // Close the kill window before write-back: a waiter's kill CAS
+  // (kActive -> kAborted) that landed makes this CAS fail.  Nothing has
+  // been written yet, so restoring the seqlock to its pre-acquisition even
+  // value makes the odd excursion a no-op for every reader (values are
+  // unchanged, and any other committer must still CAS from an even state).
+  auto active = static_cast<std::uint32_t>(TxStatus::kActive);
+  if (!tx.descriptor_->status.compare_exchange_strong(
+          active, static_cast<std::uint32_t>(TxStatus::kCommitting),
+          std::memory_order_acq_rel)) {
+    committer_.store(nullptr, std::memory_order_release);
+    seqlock_.store(base, std::memory_order_release);
+    return false;  // killed just before the point of no return
+  }
+
+  // Write back and release with the next even value.
   for (const auto& entry : buffers.write_set) {
     entry.key->value.store(entry.value, std::memory_order_release);
   }
+  committer_.store(nullptr, std::memory_order_release);
   seqlock_.store(base + 2, std::memory_order_release);
+  tx.descriptor_->status.store(
+      static_cast<std::uint32_t>(TxStatus::kCommitted),
+      std::memory_order_release);
   return true;
 }
 

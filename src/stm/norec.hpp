@@ -11,11 +11,23 @@
 // requestor that finds the lock held consults the same
 // conflict::ConflictArbiter instance as TL2, the HTM fallback path, and the
 // simulator, so arbitration schemes can be compared across substrates with
-// genuinely different conflict anatomies.  NOrec's seqlock holder is
-// anonymous (no descriptor is published and it cannot be killed), so the
-// site sets ConflictView::can_abort_enemy = false, maps a kAbortEnemy
-// verdict to waiting, and seniority-based arbiters degrade to polite
-// spinning — the portable-degradation contract of the conflict layer.
+// genuinely different conflict anatomies.  The wait loop itself is the
+// shared conflict::drive_spin_site() driver — the same decide/spin/feedback
+// shape TL2 uses, specialized only in what it probes (the seqlock) and whom
+// it kills (the published committer).
+//
+// The seqlock holder used to be anonymous, which degraded seniority
+// arbiters (Karma, Greedy, Timestamp) to polite waiting and made
+// kAbortEnemy impossible here.  The committer now publishes its
+// conflict::TxDescriptor next to the seqlock for the duration of the odd
+// window, so the whole roster differentiates on NOrec exactly as on TL2:
+// waiters weigh the committer's priority/seniority and may deliver a kill
+// CAS (kActive -> kAborted), which the committer observes at its own
+// status check before write-back — nothing has been written yet, so it
+// restores the seqlock to its pre-acquisition even value and unwinds.  The
+// price is two extra relaxed-ish stores and one status CAS on the commit
+// path, measured in bench/micro_stm_fastpath.cpp against a frozen
+// anonymous-seqlock copy.
 //
 // Hot path: like TL2, atomically() is a template (no std::function) and
 // every attempt reuses the thread's TxBuffers — the value log and write set
@@ -53,14 +65,27 @@ class NorecTx {
 
  private:
   friend class Norec;
+  friend struct NorecTestPeek;  // white-box kill-protocol tests
   NorecTx(Norec& stm, std::uint32_t attempt, std::uint64_t snapshot,
-          TxBuffers* buffers) noexcept
-      : stm_(stm), attempt_(attempt), snapshot_(snapshot), buffers_(buffers) {}
+          TxDescriptor* descriptor, TxBuffers* buffers) noexcept
+      : stm_(stm),
+        attempt_(attempt),
+        snapshot_(snapshot),
+        descriptor_(descriptor),
+        buffers_(buffers) {}
+
+  /// Flush locally-accumulated Karma work credit to the shared descriptor
+  /// (see Tx::publish_priority — same lazy-publication scheme).
+  void publish_priority() noexcept {
+    conflict::publish_credit(*descriptor_, pending_priority_);
+  }
 
   Norec& stm_;
   std::uint32_t attempt_;
   std::uint64_t snapshot_;  // even seqlock value this attempt is based on
+  TxDescriptor* descriptor_;
   TxBuffers* buffers_;
+  std::uint64_t pending_priority_ = 0;
 };
 
 class Norec {
@@ -71,24 +96,34 @@ class Norec {
   explicit Norec(std::shared_ptr<const core::GracePeriodPolicy> policy);
 
   /// Full arbitration mode: the seqlock wait point is decided by `arbiter`.
-  /// The holder is anonymous, so kAbortEnemy verdicts degrade to waiting.
+  /// The committer publishes its descriptor, so the full verdict set applies:
+  /// waiters may weigh the committer's seniority and kill it mid-window.
   explicit Norec(std::shared_ptr<const conflict::ConflictArbiter> arbiter);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
   /// Template fast path: direct body invocation, reusable thread buffers.
   template <typename Body>
   void atomically(Body&& body) {
+    TxDescriptor& descriptor = thread_descriptor();
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
+    [[maybe_unused]] TxThreadScope thread_scope;  // debug: across substrates
+    begin_transaction(descriptor);
     core::AttemptProfile* const profile = profile_;
     for (std::uint32_t attempt = 0;; ++attempt) {
       buffers.clear();
       const std::uint64_t started = profile ? core::cycle_now() : 0;
+      // Open the kill window: the descriptor is only inspectable (and
+      // killable) while published as the committer, but stale enemy
+      // pointers may deliver spurious kills any time we are kActive; the
+      // commit path tolerates both.
+      descriptor.status.store(static_cast<std::uint32_t>(TxStatus::kActive),
+                              std::memory_order_release);
       std::uint64_t snapshot = seqlock_.load(std::memory_order_acquire);
       while (snapshot & 1) {
         snapshot = seqlock_.load(std::memory_order_acquire);
       }
-      NorecTx tx{*this, attempt, snapshot, &buffers};
+      NorecTx tx{*this, attempt, snapshot, &descriptor, &buffers};
       bool unwound = false;
       try {
         body(tx);
@@ -121,15 +156,30 @@ class Norec {
 
  private:
   friend class NorecTx;
+  friend struct NorecTestPeek;  // white-box kill-protocol tests
 
   /// The calling thread's reusable transaction buffers (distinct from TL2's
-  /// so interleaving substrates on one thread stays safe).
+  /// so *sequential* interleaving of substrates on one thread stays safe;
+  /// nesting across substrates is rejected — the thread's descriptor is
+  /// shared, see TxThreadScope).
   [[nodiscard]] static TxBuffers& thread_buffers() noexcept;
 
+  /// Stamp per-transaction seniority onto the thread's descriptor (skipped
+  /// for purely local arbiters — see Stm::begin_transaction).
+  void begin_transaction(TxDescriptor& descriptor) noexcept;
+
   /// Wait for the seqlock to go even; returns the even value, or nullopt if
-  /// the arbiter sacrificed the requestor first.  Resolved waits are
-  /// reported back through ConflictArbiter::feedback.
-  [[nodiscard]] std::optional<std::uint64_t> await_even(std::uint32_t attempt);
+  /// the arbiter sacrificed the requestor (or the requestor was remotely
+  /// killed) first.  The quick path (seqlock already even — every read on
+  /// an uncontended run) stays small enough to inline into read(); the
+  /// contended tail runs the shared conflict::drive_spin_site driver, and
+  /// resolved waits are reported back through ConflictArbiter::feedback.
+  [[nodiscard]] std::optional<std::uint64_t> await_even(NorecTx& tx) {
+    const std::uint64_t state = seqlock_.load(std::memory_order_acquire);
+    if ((state & 1) == 0) return state;
+    return await_even_contended(tx);
+  }
+  [[nodiscard]] std::optional<std::uint64_t> await_even_contended(NorecTx& tx);
 
   /// Abort cost estimate B handed to the arbiter at every conflict.
   static constexpr double kAbortCostEstimate = 256.0;
@@ -142,7 +192,17 @@ class Norec {
   [[nodiscard]] bool try_commit(NorecTx& tx);
 
   std::shared_ptr<const conflict::ConflictArbiter> arbiter_;
+  /// arbiter_->needs_seniority(), cached at construction (see
+  /// Stm::needs_seniority_).
+  bool needs_seniority_ = true;
   std::atomic<std::uint64_t> seqlock_{0};  // even: free; odd: committing
+  /// Descriptor of the in-flight committer, published while the seqlock is
+  /// odd so waiters can weigh and kill it; null otherwise.  Points at slab
+  /// storage (conflict::thread_descriptor), so chasing a stale pointer
+  /// after release is safe — the worst outcome is a spurious kill of the
+  /// owner's next attempt, which aborts and retries.
+  std::atomic<TxDescriptor*> committer_{nullptr};
+  std::atomic<std::uint64_t> start_ticket_{0};  // Timestamp/Greedy seniority
   StmStats stats_;
   core::AttemptProfile* profile_ = nullptr;
 };

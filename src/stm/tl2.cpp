@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "conflict/grace.hpp"
+#include "conflict/spin_site.hpp"
 
 namespace txc::stm {
 
@@ -106,6 +107,7 @@ Stm::Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
 Stm::Stm(std::shared_ptr<const conflict::ConflictArbiter> arbiter,
          std::size_t stripes)
     : arbiter_(std::move(arbiter)),
+      needs_seniority_(arbiter_->needs_seniority()),
       stripes_(round_up_pow2(stripes)),
       stripe_mask_(stripes_.size() - 1) {}
 
@@ -117,14 +119,8 @@ TxBuffers& Stm::thread_buffers() noexcept {
 void Stm::begin_transaction(TxDescriptor& descriptor) noexcept {
   // Purely local arbiters never inspect seniority: skip the shared-ticket
   // RMW entirely (the descriptor still publishes for status/kill handling).
-  if (!arbiter_->needs_seniority()) return;
-  // Seniority is assigned once per *transaction* and survives its retries:
-  // Timestamp/Greedy rely on long-suffering transactions aging into
-  // priority.  Karma work-credit likewise accumulates across attempts.
-  descriptor.start_time.store(
-      start_ticket_.fetch_add(1, std::memory_order_relaxed) + 1,
-      std::memory_order_relaxed);
-  descriptor.priority.store(0, std::memory_order_relaxed);
+  if (!needs_seniority_) return;
+  conflict::stamp_seniority(descriptor, start_ticket_);
 }
 
 Stm::Stripe& Stm::stripe_for(const void* address) noexcept {
@@ -135,66 +131,47 @@ bool Stm::resolve_conflict(Stripe& stripe, Tx& tx) {
   // Arbiters may compare work credit (Karma/Polka); make ours visible.
   tx.publish_priority();
   stats_.lock_waits.fetch_add(1, std::memory_order_relaxed);
-  double scratch = -1.0;  // per-conflict budget for randomized arbiters
-  conflict::ConflictView view;
-  view.self = tx.descriptor_;
-  view.scratch = &scratch;
-  view.can_abort_enemy = true;  // the descriptor kill protocol
-  view.context.abort_cost = kAbortCostEstimate;
-  view.context.chain_length = 2;
-  view.context.attempt = tx.attempt_;
-  double spun = 0.0;         // spin iterations actually waited
-  bool killed_enemy = false;  // a forced finish is not a remaining-time sample
-  // Outcome feedback: the holder finishing within our wait is an exact
-  // sample of its remaining time; giving up is a censored one (it needed
-  // more than the budget we spent).  Kills are excluded — the holder did
-  // not run to completion, so its "remaining time" was never observed.
-  const auto report = [&](bool enemy_finished) {
-    if (killed_enemy) return;
-    core::ConflictOutcome outcome;
-    outcome.committed = enemy_finished;
-    outcome.grace = scratch >= 0.0 ? scratch : spun;
-    outcome.waited = spun;
-    outcome.chain_length = view.context.chain_length;
-    arbiter_->feedback(outcome);
-  };
-  while (true) {
-    if (!locked(stripe.versioned_lock.load(std::memory_order_acquire))) {
-      report(/*enemy_finished=*/true);
+  // TL2's spin site: a held versioned write-lock stripe.  The holder
+  // publishes its descriptor on the stripe while locked, so the enemy probe
+  // reads stripe.holder and the kill protocol CASes that descriptor.
+  struct StripeSite {
+    Stm& stm;
+    Stripe& stripe;
+    Tx& tx;
+    [[nodiscard]] constexpr bool suppress_feedback_after_kill() const noexcept {
       return true;
     }
-    if (tx.descriptor_->load_status() == TxStatus::kAborted) {
-      return false;  // we were remotely killed while waiting
+    void prime(conflict::ConflictView& view) const noexcept {
+      view.self = tx.descriptor_;
+      view.can_abort_enemy = true;  // the descriptor kill protocol
+      view.context.abort_cost = kAbortCostEstimate;
+      view.context.chain_length = 2;
+      view.context.attempt = tx.attempt_;
     }
-    view.enemy = stripe.holder.load(std::memory_order_acquire);
-    switch (arbiter_->decide(view, tl_rng)) {
-      case conflict::Decision::kAbortSelf:
-        report(/*enemy_finished=*/false);
-        return false;
-      case conflict::Decision::kAbortEnemy: {
-        TxDescriptor* enemy = stripe.holder.load(std::memory_order_acquire);
-        if (enemy != nullptr && enemy->try_kill()) {
-          stats_.remote_kills.fetch_add(1, std::memory_order_relaxed);
-          killed_enemy = true;
-        }
-        // Fall through to waiting: the victim notices at its next status
-        // check and releases its locks.
-        break;
-      }
-      case conflict::Decision::kWait:
-        break;
+    [[nodiscard]] bool resolved() const noexcept {
+      return !locked(stripe.versioned_lock.load(std::memory_order_acquire));
     }
-    const std::uint64_t quantum = arbiter_->wait_quantum(view);
-    for (std::uint64_t spin = 0; spin < quantum; ++spin) {
-      if (!locked(stripe.versioned_lock.load(std::memory_order_acquire))) {
-        spun += static_cast<double>(spin);
-        report(/*enemy_finished=*/true);
-        return true;
-      }
+    [[nodiscard]] bool self_killed() const noexcept {
+      return tx.descriptor_->load_status() == TxStatus::kAborted;
     }
-    spun += static_cast<double>(quantum);
-    ++view.waits_so_far;
+    [[nodiscard]] const TxDescriptor* enemy() const noexcept {
+      return stripe.holder.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] bool kill() const noexcept {
+      TxDescriptor* holder = stripe.holder.load(std::memory_order_acquire);
+      if (holder == nullptr || !holder->try_kill()) return false;
+      stm.stats_.remote_kills.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  } site{*this, stripe, tx};
+  switch (conflict::drive_spin_site(*arbiter_, site, tl_rng)) {
+    case conflict::SpinResult::kEnemyFinished:
+      return true;  // lock cleared: retry the operation
+    case conflict::SpinResult::kSelfAbort:
+    case conflict::SpinResult::kSelfKilled:
+      break;
   }
+  return false;
 }
 
 bool Stm::try_commit(Tx& tx) {

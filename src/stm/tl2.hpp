@@ -95,11 +95,7 @@ class Tx {
   /// descriptor — before lock acquisition, before consulting the contention
   /// manager, and before unwinding an attempt (credit survives aborts).
   void publish_priority() noexcept {
-    if (pending_priority_ != 0) {
-      descriptor_->priority.fetch_add(pending_priority_,
-                                      std::memory_order_relaxed);
-      pending_priority_ = 0;
-    }
+    conflict::publish_credit(*descriptor_, pending_priority_);
   }
 
   Stm& stm_;
@@ -134,6 +130,7 @@ class Stm {
     TxDescriptor& descriptor = thread_descriptor();
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
+    [[maybe_unused]] TxThreadScope thread_scope;  // debug: across substrates
     begin_transaction(descriptor);
     core::AttemptProfile* const profile = profile_;
     for (std::uint32_t attempt = 0;; ++attempt) {
@@ -195,8 +192,11 @@ class Stm {
   [[nodiscard]] bool try_commit(Tx& tx);
   /// Run the conflict arbiter against a held stripe until the lock clears
   /// (true: retry the operation) or the arbiter sacrifices the requestor /
-  /// the requestor was remotely killed (false: abort).  Resolved conflicts
-  /// are reported back through ConflictArbiter::feedback.
+  /// the requestor was remotely killed (false: abort).  The loop itself is
+  /// the shared conflict::drive_spin_site driver (conflict/spin_site.hpp);
+  /// this site contributes the stripe probes and the holder-descriptor kill
+  /// protocol.  Resolved conflicts are reported back through
+  /// ConflictArbiter::feedback.
   [[nodiscard]] bool resolve_conflict(Stripe& stripe, Tx& tx);
 
   /// Abort cost estimate B handed to the arbiter at every conflict (spin
@@ -204,6 +204,10 @@ class Stm {
   static constexpr double kAbortCostEstimate = 256.0;
 
   std::shared_ptr<const conflict::ConflictArbiter> arbiter_;
+  /// arbiter_->needs_seniority(), cached at construction: the answer never
+  /// changes, and begin_transaction runs once per transaction — no reason
+  /// to pay a virtual dispatch there.
+  bool needs_seniority_ = true;
   std::vector<Stripe> stripes_;  // power-of-two sized; see stripe_mask_
   std::uint64_t stripe_mask_ = 0;
   std::atomic<std::uint64_t> clock_{0};

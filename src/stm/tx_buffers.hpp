@@ -72,7 +72,9 @@ class SmallVec {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] bool on_heap() const noexcept { return data_ != inline_storage(); }
+  [[nodiscard]] bool on_heap() const noexcept {
+    return data_ != inline_storage();
+  }
 
   /// Forget the contents but keep the high-water storage.
   void clear() noexcept { size_ = 0; }
@@ -135,7 +137,8 @@ class FlatPtrMap {
   /// Pointer to the value for `key`, or nullptr when absent.
   [[nodiscard]] Value* find(Key key) noexcept {
     const std::size_t mask = bucket_count_ - 1;
-    for (std::size_t probe = mix_pointer(key) & mask;; probe = (probe + 1) & mask) {
+    for (std::size_t probe = mix_pointer(key) & mask;;
+         probe = (probe + 1) & mask) {
       Bucket& bucket = buckets_[probe];
       if (bucket.epoch != epoch_) return nullptr;  // empty this epoch
       Entry& entry = entries_[bucket.index];
@@ -147,7 +150,8 @@ class FlatPtrMap {
   /// (`inserted` reports which).  References stay valid until the map grows.
   [[nodiscard]] Value& upsert(Key key, bool* inserted = nullptr) {
     const std::size_t mask = bucket_count_ - 1;
-    for (std::size_t probe = mix_pointer(key) & mask;; probe = (probe + 1) & mask) {
+    for (std::size_t probe = mix_pointer(key) & mask;;
+         probe = (probe + 1) & mask) {
       Bucket& bucket = buckets_[probe];
       if (bucket.epoch != epoch_) {
         bucket.epoch = epoch_;
@@ -352,6 +356,39 @@ class TxBuffersScope {
 #endif
   TxBuffersScope(const TxBuffersScope&) = delete;
   TxBuffersScope& operator=(const TxBuffersScope&) = delete;
+};
+
+/// RAII cross-substrate occupancy guard (debug builds only).
+/// TxBuffersScope cannot catch a TL2 transaction nested inside a NOrec body
+/// (or vice versa) — each substrate has its own thread-local TxBuffers —
+/// but the thread's conflict::TxDescriptor is shared by both, and the inner
+/// transaction's lifecycle leaves it kCommitted, so the outer commit's
+/// kActive -> kCommitting CAS could never succeed: a silent livelock.
+/// This guard rejects *any* nesting on the thread, across substrates.
+class TxThreadScope {
+ public:
+#ifndef NDEBUG
+  TxThreadScope() noexcept {
+    assert(!in_transaction() &&
+           "nesting a transaction inside another transaction's body is not "
+           "supported, even across substrates (the thread's conflict "
+           "descriptor is single-occupancy)");
+    in_transaction() = true;
+  }
+  ~TxThreadScope() { in_transaction() = false; }
+#else
+  TxThreadScope() noexcept = default;
+#endif
+  TxThreadScope(const TxThreadScope&) = delete;
+  TxThreadScope& operator=(const TxThreadScope&) = delete;
+
+#ifndef NDEBUG
+ private:
+  static bool& in_transaction() noexcept {
+    thread_local bool flag = false;
+    return flag;
+  }
+#endif
 };
 
 }  // namespace txc::stm

@@ -1,0 +1,253 @@
+// Cross-substrate spin-site stress suite: the shared
+// conflict::drive_spin_site driver (and the NOrec committer-descriptor kill
+// protocol behind it) under real multi-threaded contention, for every
+// arbiter in the roster, on both STM spin substrates.
+//
+// The workload is a randomized bank: kAccounts cells whose sum is invariant
+// under every transaction.  Writer operations transfer between two random
+// accounts; audit operations transactionally sum the whole array and check
+// it against the invariant — any torn read, lost update, or opacity
+// violation (a transaction observing a mid-commit state) shows up as a
+// wrong sum, either inside an audit or in the final reconciliation.  The
+// commit counter is also reconciled exactly: one atomically() call must be
+// exactly one commit, whatever the arbiter decided along the way (waits,
+// self-aborts, remote kills).
+//
+// Scale: smoke-sized by default so the suite stays fast on a 1-core host
+// (the value of the test is interleaving, which preemption provides).  The
+// nightly workflow raises TXC_STRESS_DEPTH to run the same suite at full
+// depth under ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conflict/adaptive.hpp"
+#include "conflict/arbiter.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
+#include "core/policy.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using namespace txc::conflict;
+
+// ---------------------------------------------------------------------------
+// Scale knobs
+// ---------------------------------------------------------------------------
+
+constexpr int kAccounts = 16;
+constexpr std::uint64_t kInitialBalance = 1u << 20;
+constexpr std::uint64_t kTotal =
+    static_cast<std::uint64_t>(kAccounts) * kInitialBalance;
+constexpr int kThreads = 3;
+
+/// Operations per thread, scaled by TXC_STRESS_DEPTH (default 1 = smoke;
+/// the nightly sanitizer job runs the same binary much deeper).
+int ops_per_thread() {
+  int depth = 1;
+  if (const char* env = std::getenv("TXC_STRESS_DEPTH")) {
+    depth = std::atoi(env);
+    if (depth < 1) depth = 1;
+  }
+  return 1000 * depth;
+}
+
+// ---------------------------------------------------------------------------
+// The arbiter roster (mirrors tests/test_conflict_arbiter.cpp)
+// ---------------------------------------------------------------------------
+
+struct ArbiterCase {
+  const char* label;  // gtest-safe name ([A-Za-z0-9_])
+  std::shared_ptr<const ConflictArbiter> (*make)();
+};
+
+std::shared_ptr<const ConflictArbiter> grace(core::StrategyKind kind) {
+  return std::make_shared<GraceArbiter>(core::make_policy(kind));
+}
+
+const ArbiterCase kRoster[] = {
+    {"Grace_NO_DELAY", [] { return grace(core::StrategyKind::kNoDelay); }},
+    {"Grace_DET_ABORTS",
+     [] { return grace(core::StrategyKind::kDetAborts); }},
+    {"Grace_DET_WINS", [] { return grace(core::StrategyKind::kDetWins); }},
+    {"Grace_RRA", [] { return grace(core::StrategyKind::kRandAborts); }},
+    {"Grace_RRW", [] { return grace(core::StrategyKind::kRandWins); }},
+    {"Grace_HYBRID", [] { return grace(core::StrategyKind::kHybrid); }},
+    {"Polite", [] { return make_cm(CmKind::kPolite); }},
+    {"Karma", [] { return make_cm(CmKind::kKarma); }},
+    {"Timestamp", [] { return make_cm(CmKind::kTimestamp); }},
+    {"Greedy", [] { return make_cm(CmKind::kGreedy); }},
+    {"Polka", [] { return make_cm(CmKind::kPolka); }},
+    {"Adaptive_RA",
+     [] {
+       return std::static_pointer_cast<const ConflictArbiter>(
+           std::make_shared<AdaptiveArbiter>());
+     }},
+    {"Adaptive_RW",
+     [] {
+       return std::static_pointer_cast<const ConflictArbiter>(
+           std::make_shared<AdaptiveArbiter>(
+               AdaptiveArbiter::Params{},
+               core::ResolutionMode::kRequestorWins));
+     }},
+};
+
+// ---------------------------------------------------------------------------
+// The randomized bank, expressed against either substrate.  `Substrate`
+// needs atomically(body), read_committed, and stats(); the body type is the
+// substrate's transaction context.
+// ---------------------------------------------------------------------------
+
+/// One thread's worth of randomized operations.  ~1/4 of operations audit
+/// the conservation invariant from inside a transaction (an opacity check:
+/// a consistent snapshot must sum to kTotal); the rest transfer a small
+/// amount between two distinct random accounts.  Balances may wrap below
+/// zero in unsigned arithmetic — conservation holds modulo 2^64 regardless.
+template <typename Substrate, typename TxT>
+void stress_worker(Substrate& stm, std::vector<stm::Cell>& accounts,
+                   std::uint64_t seed, int ops,
+                   std::atomic<int>& start_line,
+                   std::atomic<std::uint64_t>& bad_audits) {
+  // Start barrier: maximize the overlap window so contention is real, not
+  // an artifact of thread-spawn staggering.
+  start_line.fetch_add(1, std::memory_order_acq_rel);
+  while (start_line.load(std::memory_order_acquire) < kThreads) {
+  }
+  sim::Rng rng{seed};
+  for (int op = 0; op < ops; ++op) {
+    if ((rng() & 3u) == 0) {
+      std::uint64_t sum = 0;
+      stm.atomically([&](TxT& tx) {
+        sum = 0;  // the body may re-run after an abort
+        for (auto& account : accounts) sum += tx.read(account);
+      });
+      if (sum != kTotal) bad_audits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const auto from = static_cast<std::size_t>(rng() % kAccounts);
+      std::size_t to = static_cast<std::size_t>(rng() % (kAccounts - 1));
+      if (to >= from) ++to;
+      const std::uint64_t amount = rng() % 64;
+      stm.atomically([&](TxT& tx) {
+        tx.write(accounts[from], tx.read(accounts[from]) - amount);
+        tx.write(accounts[to], tx.read(accounts[to]) + amount);
+      });
+    }
+  }
+}
+
+template <typename Substrate, typename TxT>
+void run_stress(Substrate& stm, const char* substrate_label) {
+  std::vector<stm::Cell> accounts(kAccounts);
+  for (auto& account : accounts) account.value.store(kInitialBalance);
+  const int ops = ops_per_thread();
+  std::atomic<int> start_line{0};
+  std::atomic<std::uint64_t> bad_audits{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      stress_worker<Substrate, TxT>(stm, accounts,
+                                    /*seed=*/0x57E55ull * (t + 1), ops,
+                                    start_line, bad_audits);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(bad_audits.load(), 0u)
+      << substrate_label << ": an in-transaction audit observed a torn or "
+      << "mid-commit state (opacity violation)";
+  std::uint64_t sum = 0;
+  for (auto& account : accounts) {
+    sum += Substrate::read_committed(account);
+  }
+  EXPECT_EQ(sum, kTotal)
+      << substrate_label << ": committed state lost or duplicated an update";
+  // Exactly one commit per atomically() call, regardless of how many
+  // attempts the arbiter's verdicts (self-aborts, remote kills) cost.
+  EXPECT_EQ(stm.stats().commits.load(),
+            static_cast<std::uint64_t>(kThreads) * ops)
+      << substrate_label << ": commit accounting drifted";
+}
+
+// ---------------------------------------------------------------------------
+// Roster x substrate stress matrix
+// ---------------------------------------------------------------------------
+
+class SpinStress : public ::testing::TestWithParam<ArbiterCase> {};
+
+TEST_P(SpinStress, Tl2BankConservesAndStaysOpaque) {
+  stm::Stm stm{GetParam().make()};
+  run_stress<stm::Stm, stm::Tx>(stm, "TL2");
+}
+
+TEST_P(SpinStress, NorecBankConservesAndStaysOpaque) {
+  stm::Norec norec{GetParam().make()};
+  run_stress<stm::Norec, stm::NorecTx>(norec, "NOrec");
+}
+
+INSTANTIATE_TEST_SUITE_P(Roster, SpinStress, ::testing::ValuesIn(kRoster),
+                         [](const ::testing::TestParamInfo<ArbiterCase>& info) {
+                           return std::string(info.param.label);
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-substrate sharing: one learning instance arbitrates both substrates
+// concurrently-in-sequence under stress, accumulating feedback from both.
+// ---------------------------------------------------------------------------
+
+TEST(SpinStressShared, OneAdaptiveInstanceSurvivesBothSubstrates) {
+  const auto adaptive = std::make_shared<AdaptiveArbiter>();
+  const auto shared = std::static_pointer_cast<const ConflictArbiter>(adaptive);
+  stm::Stm stm{shared};
+  run_stress<stm::Stm, stm::Tx>(stm, "TL2(shared)");
+  stm::Norec norec{shared};
+  run_stress<stm::Norec, stm::NorecTx>(norec, "NOrec(shared)");
+}
+
+// ---------------------------------------------------------------------------
+// Kill-protocol pressure: a requestor-wins grace arbiter with a tiny budget
+// kills aggressively on both substrates; atomicity must hold and (on a
+// multi-attempt schedule) kills actually happen without double-applying any
+// transfer.
+// ---------------------------------------------------------------------------
+
+#ifndef NDEBUG
+TEST(CrossSubstrateNesting, DebugBuildsRejectNestingAcrossSubstrates) {
+  // TL2 and NOrec share the thread's conflict descriptor, so nesting one
+  // substrate's transaction inside the other's body would livelock the
+  // outer commit (the inner lifecycle leaves the descriptor kCommitted).
+  // Debug builds must reject it loudly (stm::TxThreadScope) instead.
+  stm::Stm stm{make_cm(CmKind::kKarma)};
+  stm::Norec norec{make_cm(CmKind::kKarma)};
+  stm::Cell cell;
+  EXPECT_DEATH(norec.atomically([&](stm::NorecTx&) {
+    stm.atomically([&](stm::Tx& tx) { tx.write(cell, 1); });
+  }),
+               "single-occupancy");
+}
+#endif
+
+TEST(SpinStressKills, AggressiveRequestorWinsStaysAtomicOnBothSubstrates) {
+  const auto trigger_happy = std::make_shared<GraceArbiter>(
+      core::make_policy(core::StrategyKind::kFixedTuned, /*tuned_delay=*/1.0),
+      core::ResolutionMode::kRequestorWins);
+  {
+    stm::Stm stm{trigger_happy};
+    run_stress<stm::Stm, stm::Tx>(stm, "TL2(kill-heavy)");
+  }
+  {
+    stm::Norec norec{trigger_happy};
+    run_stress<stm::Norec, stm::NorecTx>(norec, "NOrec(kill-heavy)");
+  }
+}
+
+}  // namespace

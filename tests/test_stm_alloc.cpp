@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <thread>
 #include <vector>
 
+#include "conflict/managers.hpp"
 #include "core/policy.hpp"
 #include "stm/containers.hpp"
 #include "stm/norec.hpp"
@@ -132,6 +134,82 @@ TEST(StmAllocation, NorecSteadyStateAllocatesNothing) {
   const std::uint64_t before = allocations();
   for (int i = 0; i < 5000; ++i) transaction();
   EXPECT_EQ(allocations() - before, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The spin-site driver under real contention.  The single-thread tests
+// above never reach conflict::drive_spin_site (no conflicts); these force
+// it, on both substrates, and prove the shared driver (decide loop, quantum
+// spin, kill protocol, feedback) cannot reintroduce steady-state
+// allocations.  Methodology: spawn workers (thread machinery allocates),
+// let every thread warm up, then open the measurement window with spin
+// barriers so only transaction code runs between the two counter samples.
+// ---------------------------------------------------------------------------
+
+/// Runs `op` on `threads` workers: warm-up phase, barrier, measured phase,
+/// barrier.  Returns the allocation-counter delta across the measured
+/// window alone.
+template <typename Op>
+std::uint64_t contended_window_allocations(int threads, int warmup_ops,
+                                           int measured_ops, Op&& op) {
+  std::atomic<int> warmed{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::atomic<bool> finish{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < warmup_ops; ++i) op();
+      warmed.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < measured_ops; ++i) op();
+      done.fetch_add(1, std::memory_order_acq_rel);
+      while (!finish.load(std::memory_order_acquire)) {
+      }
+    });
+  }
+  while (warmed.load(std::memory_order_acquire) < threads) {
+  }
+  const std::uint64_t before = allocations();
+  go.store(true, std::memory_order_release);
+  while (done.load(std::memory_order_acquire) < threads) {
+  }
+  const std::uint64_t after = allocations();
+  finish.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  return after - before;
+}
+
+TEST(StmAllocation, ContendedTl2SpinSiteAllocatesNothing) {
+  // Karma exercises the whole driver surface: enemy probes, seniority
+  // comparison, kills, quantum waits — all against one hot cell so
+  // resolve_conflict actually runs.
+  Stm stm{conflict::make_cm(conflict::CmKind::kKarma)};
+  Cell hot;
+  const std::uint64_t delta = contended_window_allocations(
+      /*threads=*/2, /*warmup_ops=*/500, /*measured_ops=*/4000, [&] {
+        stm.atomically(
+            [&](Tx& tx) { tx.write(hot, tx.read(hot) + 1); });
+      });
+  EXPECT_EQ(delta, 0u)
+      << "the shared spin-site driver must not allocate on the TL2 path";
+  EXPECT_EQ(Stm::read_committed(hot), 2u * (500u + 4000u));
+}
+
+TEST(StmAllocation, ContendedNorecSpinSiteAllocatesNothing) {
+  // Same driver, NOrec's seqlock site — including the committer-descriptor
+  // publication and the kill-window CAS on every writing commit.
+  Norec norec{conflict::make_cm(conflict::CmKind::kKarma)};
+  Cell hot;
+  const std::uint64_t delta = contended_window_allocations(
+      /*threads=*/2, /*warmup_ops=*/500, /*measured_ops=*/4000, [&] {
+        norec.atomically(
+            [&](NorecTx& tx) { tx.write(hot, tx.read(hot) + 1); });
+      });
+  EXPECT_EQ(delta, 0u)
+      << "the shared spin-site driver must not allocate on the NOrec path";
+  EXPECT_EQ(Norec::read_committed(hot), 2u * (500u + 4000u));
 }
 
 TEST(StmAllocation, TransactionalContainersRideTheFastPath) {
