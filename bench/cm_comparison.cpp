@@ -19,7 +19,8 @@
 
 #include "bench_util.hpp"
 #include "core/policy.hpp"
-#include "stm/cm.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
 #include "stm/tl2.hpp"
 
 namespace {
@@ -29,27 +30,32 @@ using namespace txc::stm;
 
 struct Contender {
   std::string label;
-  std::shared_ptr<const ContentionManager> cm;
+  std::shared_ptr<const conflict::ConflictArbiter> cm;
 };
 
 std::vector<Contender> contenders() {
   std::vector<Contender> result;
-  for (const auto kind : {CmKind::kPolite, CmKind::kKarma, CmKind::kTimestamp,
-                          CmKind::kGreedy, CmKind::kPolka}) {
-    result.push_back({to_string(kind), make_cm(kind)});
+  for (const auto kind :
+       {conflict::CmKind::kPolite, conflict::CmKind::kKarma,
+        conflict::CmKind::kTimestamp, conflict::CmKind::kGreedy,
+        conflict::CmKind::kPolka}) {
+    result.push_back({conflict::to_string(kind), conflict::make_cm(kind)});
   }
   result.push_back(
       {"Grace(RRA)",
-       std::make_shared<GracePolicyCm>(
-           core::make_policy(core::StrategyKind::kRandAborts))});
+       std::make_shared<conflict::GraceArbiter>(
+           core::make_policy(core::StrategyKind::kRandAborts),
+           core::ResolutionMode::kRequestorAborts)});
   result.push_back(
       {"Grace(DET_A)",
-       std::make_shared<GracePolicyCm>(
-           core::make_policy(core::StrategyKind::kDetAborts))});
+       std::make_shared<conflict::GraceArbiter>(
+           core::make_policy(core::StrategyKind::kDetAborts),
+           core::ResolutionMode::kRequestorAborts)});
   result.push_back(
       {"Grace(NONE)",
-       std::make_shared<GracePolicyCm>(
-           core::make_policy(core::StrategyKind::kNoDelay))});
+       std::make_shared<conflict::GraceArbiter>(
+           core::make_policy(core::StrategyKind::kNoDelay),
+           core::ResolutionMode::kRequestorAborts)});
   return result;
 }
 
@@ -61,7 +67,7 @@ struct RunResult {
   std::uint64_t kills = 0;
 };
 
-RunResult run_counter(const std::shared_ptr<const ContentionManager>& cm,
+RunResult run_counter(const std::shared_ptr<const conflict::ConflictArbiter>& cm,
                       int threads, int increments) {
   Stm stm{cm};
   Cell counter;
@@ -88,7 +94,7 @@ RunResult run_counter(const std::shared_ptr<const ContentionManager>& cm,
   return result;
 }
 
-RunResult run_array(const std::shared_ptr<const ContentionManager>& cm,
+RunResult run_array(const std::shared_ptr<const conflict::ConflictArbiter>& cm,
                     int threads, int ops) {
   Stm stm{cm};
   constexpr int kCells = 32;
@@ -124,7 +130,7 @@ RunResult run_array(const std::shared_ptr<const ContentionManager>& cm,
 }
 
 void report(const char* title, RunResult (*runner)(
-                                   const std::shared_ptr<const ContentionManager>&,
+                                   const std::shared_ptr<const conflict::ConflictArbiter>&,
                                    int, int),
             int threads, int ops) {
   std::printf("\n%s (%d threads x %d ops):\n", title, threads, ops);

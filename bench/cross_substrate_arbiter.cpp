@@ -1,7 +1,7 @@
 // Cross-substrate conflict arbitration — the roster figure of the
 // src/conflict refactor: ONE arbiter instance per row runs unmodified on
-// four substrates with genuinely different conflict anatomies, producing a
-// single comparison table:
+// four substrates with genuinely different conflict anatomies, swept over
+// parallelism (one comparison table per thread/core count):
 //
 //   TL2     striped write locks, kill protocol, real threads (wall clock);
 //   NOrec   one anonymous global seqlock, no kills, real threads;
@@ -78,10 +78,10 @@ CellResult run_threaded(StmT& stm, int threads, int ops_per_thread) {
 }
 
 CellResult run_simulated(const std::shared_ptr<const ConflictArbiter>& arbiter,
-                         std::uint64_t commits,
+                         int cores, std::uint64_t commits,
                          std::uint32_t max_attempts_before_fallback) {
   htm::HtmConfig config;
-  config.cores = 8;
+  config.cores = static_cast<std::uint32_t>(cores);
   config.arbiter = arbiter;
   config.max_attempts_before_fallback = max_attempts_before_fallback;
   config.seed = txc::bench::seed(42);
@@ -130,37 +130,49 @@ int main(int argc, char** argv) {
       "substrate; requestor-aborts graces rank consistently on the spin "
       "substrates, seniority managers only differentiate where descriptors "
       "exist (TL2 and the simulator), and the adaptive arbiter tracks the "
-      "workload on all four.  Compare within a substrate column; wall-clock "
-      "and simulated Mops/s are different clocks");
+      "workload on all four.  Swept over parallelism: the gap between "
+      "arbiters widens with threads as conflicts densify.  Compare within a "
+      "substrate column at one sweep point; wall-clock and simulated Mops/s "
+      "are different clocks");
 
-  const int kThreads = 4;
+  // Parallelism sweep: threads for the real-thread substrates, cores for
+  // the simulated ones.  One table per point (the roster expects one panel
+  // table per sweep point, smoke and full alike — only the per-run work
+  // shrinks in smoke).
+  const int kSweep[] = {2, 4, 8};
   const int kOpsPerThread = txc::bench::scaled(20000);
   const std::uint64_t kSimCommits = txc::bench::scaled(12000);
 
-  txc::bench::Table table{
-      {"arbiter", "substrate", "Mops/s", "commits", "aborts"}};
-  table.print_header();
-  for (const Contender& contender : roster()) {
-    const auto print = [&](const char* substrate, const CellResult& cell) {
-      table.print_row({contender.label, substrate,
-                       txc::bench::fmt(cell.mops, 2),
-                       txc::bench::fmt_sci(static_cast<double>(cell.commits)),
-                       txc::bench::fmt_sci(static_cast<double>(cell.aborts))});
-    };
-    {
-      stm::Stm tl2{contender.arbiter};
-      print("TL2",
-            run_threaded<stm::Stm, stm::Tx>(tl2, kThreads, kOpsPerThread));
+  for (const int parallelism : kSweep) {
+    std::printf("\n--- %d threads (threaded) / %d cores (simulated) ---\n",
+                parallelism, parallelism);
+    txc::bench::Table table{
+        {"arbiter", "substrate", "threads", "Mops/s", "commits", "aborts"}};
+    table.print_header();
+    for (const Contender& contender : roster()) {
+      const auto print = [&](const char* substrate, const CellResult& cell) {
+        table.print_row(
+            {contender.label, substrate, std::to_string(parallelism),
+             txc::bench::fmt(cell.mops, 2),
+             txc::bench::fmt_sci(static_cast<double>(cell.commits)),
+             txc::bench::fmt_sci(static_cast<double>(cell.aborts))});
+      };
+      {
+        stm::Stm tl2{contender.arbiter};
+        print("TL2", run_threaded<stm::Stm, stm::Tx>(tl2, parallelism,
+                                                     kOpsPerThread));
+      }
+      {
+        stm::Norec norec{contender.arbiter};
+        print("NOrec", run_threaded<stm::Norec, stm::NorecTx>(
+                           norec, parallelism, kOpsPerThread));
+      }
+      print("HTM", run_simulated(contender.arbiter, parallelism, kSimCommits,
+                                 /*max_attempts_before_fallback=*/0));
+      print("HTM-FB",
+            run_simulated(contender.arbiter, parallelism, kSimCommits,
+                          /*max_attempts_before_fallback=*/4));
     }
-    {
-      stm::Norec norec{contender.arbiter};
-      print("NOrec", run_threaded<stm::Norec, stm::NorecTx>(norec, kThreads,
-                                                            kOpsPerThread));
-    }
-    print("HTM", run_simulated(contender.arbiter, kSimCommits,
-                               /*max_attempts_before_fallback=*/0));
-    print("HTM-FB", run_simulated(contender.arbiter, kSimCommits,
-                                  /*max_attempts_before_fallback=*/4));
   }
   return 0;
 }

@@ -1,0 +1,256 @@
+// Sharded transactional KV service under open-loop load — the kv figure
+// family: the src/kv service (sharded store + batching workers, generic
+// over the STM substrate) driven by an open-loop generator at a fixed
+// offered rate, reporting throughput AND completion-time tail latency
+// (p50/p99/p999) per arbiter on both substrates.
+//
+// Open-loop means the generator submits on a fixed arrival schedule
+// (next = start + i * interarrival) regardless of how fast the service
+// drains — the honest way to measure tail latency: a closed-loop driver
+// self-throttles exactly when the system is slow, hiding the queueing
+// delay that real clients would observe (coordinated omission).  When a
+// shard falls behind, its bounded queue rejects and the drop is counted;
+// offered vs achieved Mops/s plus drop% shows where each arbiter's
+// service capacity sits relative to the schedule.
+//
+// Completion time = enqueue tick -> batch-commit tick, recorded in cycles
+// by the service's per-shard core::LatencyHistogram and calibrated to
+// microseconds here.  One table per YCSB-style mix; rows are arbiter x
+// substrate, so compare arbiters within a substrate (TL2's striped locks
+// and NOrec's global seqlock give the same roster structurally different
+// conflict anatomies — that contrast is the point of the figure).
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "conflict/adaptive.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "kv/service.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace txc;
+using conflict::ConflictArbiter;
+
+// Service shape: 4 shards (one worker each), 2 generator threads.
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kClients = 2;
+constexpr std::size_t kCapacityPerShard = 4096;
+constexpr std::size_t kQueueCapacity = 4096;
+constexpr std::size_t kMaxBatch = 16;
+constexpr std::uint32_t kKeyUniverse = 2048;  // nonzero keys 1..2048
+constexpr double kZipfExponent = 0.9;
+
+/// Operation percentages; the remainder (to 100) is two-key swaps, the
+/// cross-shard op that exercises multi-shard transaction footprints.
+struct Mix {
+  const char* name;
+  const char* legend;
+  int get_pct;
+  int put_pct;
+  int rmw_pct;
+};
+
+constexpr Mix kMixes[] = {
+    {"read-heavy", "95% get / 5% put (YCSB-B shape)", 95, 5, 0},
+    {"update-heavy", "50% get / 50% put (YCSB-A shape)", 50, 50, 0},
+    {"rmw-swap", "40% get / 20% put / 20% rmw / 20% two-key swap", 40, 20,
+     20},
+};
+
+/// Measured cycle_now() rate, for reporting latencies in microseconds
+/// regardless of what the hardware counter ticks in.
+double calibrate_cycles_per_us() {
+  const std::uint64_t cycles_begin = core::cycle_now();
+  const auto wall_begin = std::chrono::steady_clock::now();
+  // Busy-wait (not sleep) so a frequency-scaling governor sees load.
+  while (std::chrono::steady_clock::now() - wall_begin <
+         std::chrono::milliseconds(20)) {
+  }
+  const std::uint64_t cycles = core::cycle_now() - cycles_begin;
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - wall_begin)
+                        .count();
+  return static_cast<double>(cycles) / us;
+}
+
+struct RunResult {
+  double offered_mops = 0.0;
+  double achieved_mops = 0.0;
+  double drop_pct = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t aborts = 0;
+};
+
+/// One open-loop run: `total_requests` submitted across kClients generator
+/// threads on a fixed schedule of `offered_ops_per_sec`, then drained.
+template <typename Substrate>
+RunResult run_service(const std::shared_ptr<const ConflictArbiter>& arbiter,
+                      const Mix& mix, std::uint64_t total_requests,
+                      double offered_ops_per_sec, double cycles_per_us) {
+  typename kv::KvService<Substrate>::Config config;
+  config.store.shards = kShards;
+  config.store.capacity_per_shard = kCapacityPerShard;
+  config.queue_capacity = kQueueCapacity;
+  config.max_batch = kMaxBatch;
+  kv::KvService<Substrate> service{config, arbiter};
+
+  // Prepopulate every key (value = key) so gets hit and swaps conserve.
+  for (std::uint32_t key = 1; key <= kKeyUniverse; ++key) {
+    service.store().put_sync(key, key);
+  }
+
+  const workload::ZipfSampler zipf{kKeyUniverse, kZipfExponent};
+  const double interarrival_cycles =
+      cycles_per_us * 1e6 / offered_ops_per_sec;
+
+  service.start();
+  const auto wall_begin = std::chrono::steady_clock::now();
+  const std::uint64_t start_tick = core::cycle_now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      sim::Rng rng{txc::bench::seed(11) * 1013 + c};
+      // Client c owns every kClients-th slot of the global schedule.
+      for (std::uint64_t i = c; i < total_requests; i += kClients) {
+        const auto due = start_tick + static_cast<std::uint64_t>(
+                                          static_cast<double>(i) *
+                                          interarrival_cycles);
+        while (core::cycle_now() < due) {
+        }
+        kv::Request request;
+        const auto roll = static_cast<int>(rng.uniform_below(100));
+        request.key_a =
+            1 + zipf.sample(rng);  // sampler draws [0, n), keys are nonzero
+        if (roll < mix.get_pct) {
+          request.op = kv::OpKind::kGet;
+        } else if (roll < mix.get_pct + mix.put_pct) {
+          request.op = kv::OpKind::kPut;
+          request.value = static_cast<kv::Value>(rng.uniform_below(1 << 20));
+        } else if (roll < mix.get_pct + mix.put_pct + mix.rmw_pct) {
+          request.op = kv::OpKind::kRmwAdd;
+          request.value = 1;
+        } else {
+          request.op = kv::OpKind::kSwap;
+          request.key_b = 1 + zipf.sample(rng);
+          if (request.key_b == request.key_a) {
+            request.key_b = 1 + (request.key_a % kKeyUniverse);
+          }
+        }
+        (void)service.submit(request);  // full queue = counted drop
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  service.stop();  // drains the queues before joining workers
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_begin)
+                             .count();
+
+  core::LatencyHistogram merged;
+  service.merge_latency(merged);
+  const auto& stats = service.service_stats();
+  RunResult result;
+  result.offered_mops = offered_ops_per_sec / 1e6;
+  result.achieved_mops =
+      static_cast<double>(stats.completed.load()) / (seconds * 1e6);
+  result.drop_pct = 100.0 *
+                    static_cast<double>(stats.rejected.load()) /
+                    static_cast<double>(total_requests);
+  result.p50_us =
+      static_cast<double>(merged.quantile(0.50)) / cycles_per_us;
+  result.p99_us =
+      static_cast<double>(merged.quantile(0.99)) / cycles_per_us;
+  result.p999_us =
+      static_cast<double>(merged.quantile(0.999)) / cycles_per_us;
+  result.aborts = service.store().stats().aborts.load();
+  return result;
+}
+
+struct Contender {
+  std::string label;
+  std::shared_ptr<const ConflictArbiter> arbiter;
+};
+
+/// The cross-substrate roster (mirrors bench/cross_substrate_arbiter.cpp):
+/// grace policies, classic seniority managers, the adaptive learner.
+std::vector<Contender> roster() {
+  using core::StrategyKind;
+  const auto grace = [](StrategyKind kind) {
+    return std::make_shared<conflict::GraceArbiter>(core::make_policy(kind));
+  };
+  std::vector<Contender> result;
+  result.push_back({"Grace(NONE)", grace(StrategyKind::kNoDelay)});
+  result.push_back({"Grace(DET_A)", grace(StrategyKind::kDetAborts)});
+  result.push_back({"Grace(RRA)", grace(StrategyKind::kRandAborts)});
+  result.push_back({"Grace(DET_W)", grace(StrategyKind::kDetWins)});
+  result.push_back({"Grace(HYBRID)", grace(StrategyKind::kHybrid)});
+  result.push_back({"Karma", conflict::make_cm(conflict::CmKind::kKarma)});
+  result.push_back({"Greedy", conflict::make_cm(conflict::CmKind::kGreedy)});
+  result.push_back({"Polka", conflict::make_cm(conflict::CmKind::kPolka)});
+  result.push_back({"ADAPTIVE",
+                    std::make_shared<conflict::AdaptiveArbiter>()});
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
+  txc::bench::banner(
+      "Sharded transactional KV service under open-loop load — throughput "
+      "and completion-time tails per arbiter, TL2 and NOrec from one "
+      "substrate-generic store",
+      "grace periods trade a little throughput for much shorter abort "
+      "chains, which shows up as compressed p99/p999 completion times "
+      "relative to Grace(NONE); seniority managers (Karma, Greedy, Polka) "
+      "differentiate mostly on NOrec, where every batch serializes on the "
+      "one commit seqlock and the committer-descriptor kill protocol gives "
+      "them something to decide.  Compare arbiters within a substrate; "
+      "drop% > 0 marks runs whose service capacity fell below the offered "
+      "schedule");
+
+  const std::uint64_t kRequests = txc::bench::scaled(std::uint64_t{240000});
+  const double kOfferedOpsPerSec = 2.0e6;  // total across all shards
+  const double cycles_per_us = calibrate_cycles_per_us();
+  std::printf("calibration: %.1f cycles/us; %llu requests per run at "
+              "%.1f Mops/s offered\n",
+              cycles_per_us, static_cast<unsigned long long>(kRequests),
+              kOfferedOpsPerSec / 1e6);
+
+  for (const Mix& mix : kMixes) {
+    std::printf("\n--- mix %s: %s ---\n", mix.name, mix.legend);
+    txc::bench::Table table{{"arbiter", "substrate", "offered", "achieved",
+                             "drop%", "p50us", "p99us", "p999us", "aborts"},
+                            12};
+    table.print_header();
+    for (const Contender& contender : roster()) {
+      const auto print = [&](const char* substrate, const RunResult& run) {
+        table.print_row(
+            {contender.label, substrate, txc::bench::fmt(run.offered_mops, 2),
+             txc::bench::fmt(run.achieved_mops, 2),
+             txc::bench::fmt(run.drop_pct, 1), txc::bench::fmt(run.p50_us, 1),
+             txc::bench::fmt(run.p99_us, 1), txc::bench::fmt(run.p999_us, 1),
+             txc::bench::fmt_sci(static_cast<double>(run.aborts))});
+      };
+      print("TL2", run_service<stm::Stm>(contender.arbiter, mix, kRequests,
+                                         kOfferedOpsPerSec, cycles_per_us));
+      print("NOrec", run_service<stm::Norec>(contender.arbiter, mix,
+                                             kRequests, kOfferedOpsPerSec,
+                                             cycles_per_us));
+    }
+  }
+  return 0;
+}

@@ -32,7 +32,7 @@
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
 #include "norec_legacy.hpp"
-#include "stm/cm.hpp"
+#include "conflict/grace.hpp"
 #include "stm/norec.hpp"
 #include "stm/tl2.hpp"
 
@@ -42,17 +42,18 @@ namespace legacy {
 // Pre-refactor TL2 (frozen at PR 2): std::function bodies, per-attempt heap
 // containers.  Kept verbatim minus renames so the "before" column keeps
 // measuring the real thing as the live implementation evolves.  Reuses the
-// shared contention-manager machinery (descriptors, GracePolicyCm).
+// shared conflict-arbitration machinery (descriptors, a requestor-aborts
+// GraceArbiter — the contract the retired stm/cm.hpp GracePolicyCm pinned).
 // ---------------------------------------------------------------------------
 
+using txc::conflict::ConflictView;
+using txc::conflict::Decision;
+using txc::conflict::GraceArbiter;
+using txc::conflict::TxDescriptor;
+using txc::conflict::TxStatus;
 using txc::stm::Cell;
-using txc::stm::CmDecision;
-using txc::stm::CmView;
-using txc::stm::GracePolicyCm;
 using txc::stm::StmStats;
 using txc::stm::TxAbort;
-using txc::stm::TxDescriptor;
-using txc::stm::TxStatus;
 
 constexpr std::uint64_t kLockBit = 1;
 
@@ -92,7 +93,8 @@ class LegacyStm {
  public:
   explicit LegacyStm(std::shared_ptr<const txc::core::GracePeriodPolicy> policy,
                      std::size_t stripes = 1 << 16)
-      : cm_(std::make_shared<GracePolicyCm>(std::move(policy))),
+      : cm_(std::make_shared<GraceArbiter>(
+            std::move(policy), txc::core::ResolutionMode::kRequestorAborts)),
         stripes_(stripes) {}
 
   void atomically(const std::function<void(LegacyTx&)>& body) {
@@ -147,23 +149,23 @@ class LegacyStm {
         return true;
       }
       if (tx.descriptor_->load_status() == TxStatus::kAborted) return false;
-      CmView view;
+      ConflictView view;
       view.self = tx.descriptor_;
       view.enemy = stripe.holder.load(std::memory_order_acquire);
       view.context.attempt = tx.attempt_;
       view.waits_so_far = waits;
       view.scratch = &scratch;
       switch (cm_->decide(view, tl_rng)) {
-        case CmDecision::kAbortSelf:
+        case Decision::kAbortSelf:
           return false;
-        case CmDecision::kAbortEnemy: {
+        case Decision::kAbortEnemy: {
           TxDescriptor* enemy = stripe.holder.load(std::memory_order_acquire);
           if (enemy != nullptr && enemy->try_kill()) {
             stats_.remote_kills.fetch_add(1, std::memory_order_relaxed);
           }
           break;
         }
-        case CmDecision::kWait:
+        case Decision::kWait:
           break;
       }
       const std::uint64_t quantum = cm_->wait_quantum(view);
@@ -261,7 +263,7 @@ class LegacyStm {
     return true;
   }
 
-  std::shared_ptr<const txc::stm::ContentionManager> cm_;
+  std::shared_ptr<const txc::conflict::ConflictArbiter> cm_;
   std::vector<Stripe> stripes_;
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> start_ticket_{0};

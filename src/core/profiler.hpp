@@ -5,6 +5,7 @@
 // deciding the grace period length."
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -86,6 +87,101 @@ class AttemptProfile {
   std::atomic<std::uint64_t> aborts_{0};
   std::atomic<std::uint64_t> commit_cycles_{0};
   std::atomic<std::uint64_t> abort_cycles_{0};
+};
+
+/// Concurrent log-scaled histogram for completion-time distributions
+/// (HdrHistogram-lite).  Values bucket by octave (power of two) with
+/// kSubBuckets linear sub-buckets per octave, bounding the relative
+/// quantization error at 1/kSubBuckets (~3%) while covering the full
+/// uint64 range in a few KiB of counters.  record() is a single relaxed
+/// fetch_add, safe from any number of threads; quantile() scans the
+/// buckets and is meant for after workers joined (a live read is a
+/// harmless approximation).  Unit-agnostic: feed it cycles (core::
+/// cycle_now deltas), nanoseconds, whatever — quantile() answers in the
+/// same unit.  The open-loop KV bench records enqueue-to-commit cycles
+/// here and calibrates to microseconds at report time.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBucketBits = 5;  // 32 sub-buckets/octave
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// One linear region for values < kSubBuckets plus one octave of
+  /// sub-buckets for each remaining leading-bit position.
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of the bucket containing the q-quantile sample (q in [0,1]):
+  /// at least a q-fraction of recorded values are <= the returned value, up
+  /// to the ~3% bucket width.  Returns 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (rank == 0) rank = 1;
+    if (rank > total) rank = total;
+    std::uint64_t cumulative = 0;
+    for (std::size_t index = 0; index < kBucketCount; ++index) {
+      cumulative += buckets_[index].load(std::memory_order_relaxed);
+      if (cumulative >= rank) return bucket_upper_edge(index);
+    }
+    return bucket_upper_edge(kBucketCount - 1);
+  }
+
+  /// Fold another histogram's counts into this one (post-join aggregation
+  /// of per-shard histograms).
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t index = 0; index < kBucketCount; ++index) {
+      const std::uint64_t delta =
+          other.buckets_[index].load(std::memory_order_relaxed);
+      if (delta != 0) {
+        buckets_[index].fetch_add(delta, std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Values below kSubBuckets index directly; above, the octave comes from
+  /// the leading bit and the sub-bucket from the kSubBucketBits bits below
+  /// it — monotone in `value`, so bucket order is value order.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int width = 64 - __builtin_clzll(value);  // MSB position + 1
+    const auto octave =
+        static_cast<std::size_t>(width) - kSubBucketBits;  // >= 1
+    const auto sub = static_cast<std::size_t>(
+        (value >> (octave - 1)) & (kSubBuckets - 1));
+    return octave * kSubBuckets + sub;
+  }
+
+  [[nodiscard]] static std::uint64_t bucket_upper_edge(
+      std::size_t index) noexcept {
+    const std::size_t octave = index / kSubBuckets;
+    const std::size_t sub = index % kSubBuckets;
+    if (octave == 0) return sub;  // exact: bucket holds the single value
+    const std::uint64_t base = std::uint64_t{1}
+                               << (octave + kSubBucketBits - 1);
+    const std::uint64_t width = std::uint64_t{1} << (octave - 1);
+    return base + (static_cast<std::uint64_t>(sub) + 1) * width - 1;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
 };
 
 /// Streams committed-transaction lengths and exposes the empirical mean once

@@ -1,0 +1,120 @@
+// txconflict — bounded MPMC ring for KV service requests.
+//
+// The classic Vyukov bounded queue: each slot carries a sequence number that
+// encodes both occupancy and lap, so producers and consumers claim slots
+// with one CAS each and never touch a shared lock.  Bounded on purpose —
+// the service is driven open-loop (requests arrive on a schedule regardless
+// of service rate), so when a shard falls behind the queue must push back
+// by *rejecting*, and the generator counts the drop; an unbounded queue
+// would instead hide overload inside unbounded memory growth and ever-worse
+// latency.  try_push/try_pop never block.
+//
+// Distinct from lockfree/queue.hpp (a uint64-element MPSC study piece) and
+// stm/containers.hpp's TxQueue (a transactional ring): this one carries
+// arbitrary trivially-copyable structs (kv::Request) on plain atomics,
+// outside any transaction — it is service plumbing, not STM workload.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace txc::kv {
+
+template <typename T>
+class BoundedMpmcQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are copied outside any synchronization of T itself");
+
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : mask_(round_up_pow2(capacity < 2 ? 2 : capacity) - 1),
+        slots_(mask_ + 1) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// False when the queue is full (the open-loop generator's drop signal).
+  bool try_push(const T& item) noexcept {
+    std::size_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[ticket & mask_];
+      const std::size_t sequence =
+          slot.sequence.load(std::memory_order_acquire);
+      const auto delta = static_cast<std::intptr_t>(sequence) -
+                         static_cast<std::intptr_t>(ticket);
+      if (delta == 0) {
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          slot.item = item;
+          slot.sequence.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: `ticket` was reloaded, retry with the new value.
+      } else if (delta < 0) {
+        return false;  // slot still holds last lap's element: full
+      } else {
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// False when the queue is empty.
+  bool try_pop(T& out) noexcept {
+    std::size_t ticket = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[ticket & mask_];
+      const std::size_t sequence =
+          slot.sequence.load(std::memory_order_acquire);
+      const auto delta = static_cast<std::intptr_t>(sequence) -
+                         static_cast<std::intptr_t>(ticket + 1);
+      if (delta == 0) {
+        if (head_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          out = slot.item;
+          slot.sequence.store(ticket + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (delta < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        ticket = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Racy size estimate for monitoring only.
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> sequence{0};
+    T item{};
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers claim here
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumers claim here
+};
+
+}  // namespace txc::kv

@@ -1,0 +1,248 @@
+// txconflict — the sharded KV *service*: per-shard workers draining request
+// queues into batched transactions.
+//
+// Data flow (one column per shard):
+//
+//   clients ──submit()──► BoundedMpmcQueue[s] ──► worker thread s
+//                              │                      │ drain ≤ K requests
+//                              │ full? reject         ▼
+//                              ▼               one atomically():
+//                        drop counted            apply op 1..K
+//                                                commit ── completion stamp
+//                                                      │
+//                                                      ▼
+//                                       LatencyHistogram[s] (enqueue→commit)
+//
+// submit() routes a request to the home shard of its primary key and stamps
+// the enqueue tick; the shard's worker drains up to `max_batch` requests
+// and applies them inside ONE transaction, amortizing begin/commit (and,
+// on NOrec, the global-seqlock acquisition) over the batch.  A cross-shard
+// request (the two-key swap) still runs on its primary key's worker — the
+// transaction simply spans the second shard's bucket region, which the
+// single-substrate store makes safe (see kv/store.hpp).  Batch application
+// order is queue order, so per-client program order within a shard is
+// preserved, and the whole batch commits at a single serialization point.
+//
+// Completion time = commit tick − enqueue tick (core::cycle_now units):
+// queueing delay plus every aborted attempt of the batch's transaction —
+// exactly the latency an open-loop client observes, which is what the
+// kv_service bench reports as p50/p99/p999 per arbiter.
+//
+// The service is templated over the substrate and written only against the
+// unified API (TxContext, atomically, read/write, stats), so one definition
+// serves TL2 and NOrec under the entire arbiter roster.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "kv/queue.hpp"
+#include "kv/store.hpp"
+
+namespace txc::kv {
+
+enum class OpKind : std::uint8_t {
+  kGet,
+  kPut,
+  kRmwAdd,
+  kSwap,  // two keys, possibly two shards
+};
+
+/// Completion slot: the worker stores kDone | result; a zero-initialized
+/// slot reads "pending".  Results are 32-bit (kv::Value), so the flag bit
+/// never collides.  kFound distinguishes get-hit from get-miss.
+inline constexpr std::uint64_t kDone = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kFound = std::uint64_t{1} << 62;
+
+struct Request {
+  OpKind op = OpKind::kGet;
+  Key key_a = 0;
+  Key key_b = 0;    // kSwap only
+  Value value = 0;  // kPut: stored value; kRmwAdd: delta
+  std::uint64_t enqueue_tick = 0;  // stamped by submit()
+  /// Optional: where to publish the result (nullptr = fire and forget).
+  /// Must stay valid until the slot reads nonzero.
+  std::atomic<std::uint64_t>* response = nullptr;
+};
+
+struct ServiceStats {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> rejected{0};  // queue full at submit()
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> shard_full{0};  // ops refused by open addressing
+};
+
+template <typename Substrate>
+class KvService {
+ public:
+  using Store = ShardedKvStore<Substrate>;
+  using TxContext = typename Substrate::TxContext;
+
+  /// Hard bound on Config::max_batch (stack array per worker).
+  static constexpr std::size_t kMaxBatchCap = 64;
+
+  struct Config {
+    typename Store::Config store;
+    std::size_t queue_capacity = 4096;  // per shard
+    std::size_t max_batch = 16;         // ops per transaction, clamped to cap
+  };
+
+  template <typename Arbitration>
+  KvService(const Config& config, Arbitration&& arbitration)
+      : store_(config.store, std::forward<Arbitration>(arbitration)),
+        max_batch_(config.max_batch == 0
+                       ? 1
+                       : (config.max_batch > kMaxBatchCap ? kMaxBatchCap
+                                                          : config.max_batch)),
+        latency_(store_.shards()) {
+    queues_.reserve(store_.shards());
+    for (std::size_t s = 0; s < store_.shards(); ++s) {
+      queues_.push_back(
+          std::make_unique<BoundedMpmcQueue<Request>>(config.queue_capacity));
+    }
+  }
+
+  ~KvService() { stop(); }
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  /// Spawn one worker per shard.  Idempotent.
+  void start() {
+    if (!workers_.empty()) return;
+    stop_requested_.store(false, std::memory_order_relaxed);
+    workers_.reserve(store_.shards());
+    for (std::size_t s = 0; s < store_.shards(); ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+
+  /// Drain every queue, then join the workers.  Idempotent.
+  void stop() {
+    if (workers_.empty()) return;
+    stop_requested_.store(true, std::memory_order_release);
+    for (auto& worker : workers_) worker.join();
+    workers_.clear();
+  }
+
+  /// Route `request` to its primary key's home shard, stamping the enqueue
+  /// tick.  False = queue full (open-loop overload): the request is dropped
+  /// and counted, never blocked on.
+  bool submit(Request request) {
+    request.enqueue_tick = core::cycle_now();
+    const std::size_t shard = store_.shard_of(request.key_a);
+    if (!queues_[shard]->try_push(request)) {
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] Store& store() noexcept { return store_; }
+  [[nodiscard]] const ServiceStats& service_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const core::LatencyHistogram& shard_latency(
+      std::size_t shard) const noexcept {
+    return latency_[shard];
+  }
+
+  /// Fold all shards' completion-time histograms into `out` (post-join).
+  void merge_latency(core::LatencyHistogram& out) const noexcept {
+    for (const auto& histogram : latency_) out.merge(histogram);
+  }
+
+ private:
+  void worker_loop(std::size_t shard) {
+    BoundedMpmcQueue<Request>& queue = *queues_[shard];
+    std::array<Request, kMaxBatchCap> batch;
+    std::array<std::uint64_t, kMaxBatchCap> results{};
+    for (;;) {
+      std::size_t drained = 0;
+      while (drained < max_batch_ && queue.try_pop(batch[drained])) {
+        ++drained;
+      }
+      if (drained == 0) {
+        if (stop_requested_.load(std::memory_order_acquire)) {
+          // Re-probe once after observing stop so a submit() that raced the
+          // flag is still served (submitters must have stopped by now).
+          if (!queue.try_pop(batch[0])) return;
+          drained = 1;
+        } else {
+          std::this_thread::yield();
+          continue;
+        }
+      }
+      std::uint64_t full_ops = 0;
+      store_.substrate().atomically([&](TxContext& tx) {
+        full_ops = 0;  // the body may re-run after an abort
+        for (std::size_t i = 0; i < drained; ++i) {
+          results[i] = apply(tx, batch[i], full_ops);
+        }
+      });
+      const std::uint64_t commit_tick = core::cycle_now();
+      for (std::size_t i = 0; i < drained; ++i) {
+        latency_[shard].record(commit_tick - batch[i].enqueue_tick);
+        if (batch[i].response != nullptr) {
+          batch[i].response->store(results[i], std::memory_order_release);
+        }
+      }
+      stats_.completed.fetch_add(drained, std::memory_order_relaxed);
+      stats_.batches.fetch_add(1, std::memory_order_relaxed);
+      if (full_ops != 0) {
+        stats_.shard_full.fetch_add(full_ops, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Apply one request inside the batch's transaction; returns the packed
+  /// response-slot value (kDone | [kFound] | result).
+  std::uint64_t apply(TxContext& tx, const Request& request,
+                      std::uint64_t& full_ops) {
+    switch (request.op) {
+      case OpKind::kGet: {
+        const auto value = store_.get(tx, request.key_a);
+        return value.has_value() ? (kDone | kFound | *value) : kDone;
+      }
+      case OpKind::kPut: {
+        if (store_.put(tx, request.key_a, request.value) != OpStatus::kOk) {
+          ++full_ops;
+        }
+        return kDone;
+      }
+      case OpKind::kRmwAdd: {
+        Value out = 0;
+        if (store_.rmw_add(tx, request.key_a, request.value, out) !=
+            OpStatus::kOk) {
+          ++full_ops;
+          return kDone;
+        }
+        return kDone | kFound | out;
+      }
+      case OpKind::kSwap: {
+        if (store_.swap(tx, request.key_a, request.key_b) != OpStatus::kOk) {
+          ++full_ops;
+        }
+        return kDone;
+      }
+    }
+    return kDone;  // unreachable
+  }
+
+  Store store_;
+  std::size_t max_batch_;
+  std::vector<std::unique_ptr<BoundedMpmcQueue<Request>>> queues_;
+  std::vector<core::LatencyHistogram> latency_;
+  ServiceStats stats_;
+  std::atomic<bool> stop_requested_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace txc::kv

@@ -1,15 +1,20 @@
-// txconflict — compatibility surface over the conflict-arbitration layer.
+// txconflict — DEPRECATED compatibility surface over the conflict-arbitration
+// layer.
 //
 // The contention-management machinery that used to live here (descriptors,
 // the decision interface, the Scherer–Scott managers, the grace-period
 // adapter) was generalized into src/conflict/ so that one arbiter instance
-// serves TL2, NOrec, the HTM fallback path, and the simulator alike.  This
-// header keeps the historical txc::stm spellings alive for existing callers;
-// new code should include conflict/ directly and use the txc::conflict
-// names.  Note there is no TL2-only escape hatch left: needs_seniority() is
+// serves TL2, NOrec, the HTM fallback path, and the simulator alike.  Every
+// in-repo caller has been migrated to the txc::conflict names; this header
+// survives one deprecation cycle for external callers only.  Each remaining
+// spelling carries [[deprecated]] pointing at its replacement —
+// docs/ARCHITECTURE.md ("Retiring the stm/cm.hpp shim") has the migration
+// table.  Note there is no TL2-only escape hatch left: needs_seniority() is
 // part of the substrate-agnostic ConflictArbiter interface and every
 // substrate that assigns seniority honors it.
 #pragma once
+
+#include <memory>
 
 #include "conflict/adaptive.hpp"
 #include "conflict/arbiter.hpp"
@@ -19,29 +24,36 @@
 
 namespace txc::stm {
 
+// The descriptor vocabulary is not deprecated — stm/tl2.hpp re-exports it
+// for the substrates' own code; these duplicates keep cm.hpp self-contained.
 using conflict::kDescriptorSlabSize;
 using conflict::thread_descriptor;
 using conflict::TxDescriptor;
 using conflict::TxStatus;
 
 /// A contention manager is a conflict arbiter by another (historical) name.
-using ContentionManager = conflict::ConflictArbiter;
-using CmDecision = conflict::Decision;
-using CmView = conflict::ConflictView;
+using ContentionManager
+    [[deprecated("use conflict::ConflictArbiter")]] = conflict::ConflictArbiter;
+using CmDecision [[deprecated("use conflict::Decision")]] = conflict::Decision;
+using CmView
+    [[deprecated("use conflict::ConflictView")]] = conflict::ConflictView;
 
-using conflict::GreedyCm;
-using conflict::KarmaCm;
-using conflict::PoliteCm;
-using conflict::PolkaCm;
-using conflict::TimestampCm;
+using PoliteCm [[deprecated("use conflict::PoliteCm")]] = conflict::PoliteCm;
+using KarmaCm [[deprecated("use conflict::KarmaCm")]] = conflict::KarmaCm;
+using TimestampCm
+    [[deprecated("use conflict::TimestampCm")]] = conflict::TimestampCm;
+using GreedyCm [[deprecated("use conflict::GreedyCm")]] = conflict::GreedyCm;
+using PolkaCm [[deprecated("use conflict::PolkaCm")]] = conflict::PolkaCm;
 
 /// The paper's local decision as a contention manager — the historical
 /// adapter name, preserving the pre-refactor contract: requestor-aborts
 /// regardless of the wrapped policy's own flavor (under the classic adapter
-/// an STM requestor only ever sacrificed itself).  New code should use
-/// conflict::GraceArbiter directly, which is mode-aware: requestor-wins
-/// policies kill the lock holder after their grace period.
-class GracePolicyCm final : public conflict::GraceArbiter {
+/// an STM requestor only ever sacrificed itself).  Use conflict::GraceArbiter
+/// directly: mode-aware by default, with the explicit
+/// core::ResolutionMode::kRequestorAborts override reproducing this class.
+class [[deprecated(
+    "use conflict::GraceArbiter(policy, core::ResolutionMode::"
+    "kRequestorAborts)")]] GracePolicyCm final : public conflict::GraceArbiter {
  public:
   explicit GracePolicyCm(
       std::shared_ptr<const core::GracePeriodPolicy> policy) noexcept
@@ -49,8 +61,17 @@ class GracePolicyCm final : public conflict::GraceArbiter {
                      core::ResolutionMode::kRequestorAborts) {}
 };
 
-using conflict::CmKind;
-using conflict::make_cm;
-using conflict::to_string;
+using CmKind [[deprecated("use conflict::CmKind")]] = conflict::CmKind;
+
+[[deprecated("use conflict::to_string")]] inline const char* to_string(
+    conflict::CmKind kind) noexcept {
+  return conflict::to_string(kind);
+}
+
+[[deprecated("use conflict::make_cm")]] inline std::shared_ptr<
+    const conflict::ConflictArbiter>
+make_cm(conflict::CmKind kind) {
+  return conflict::make_cm(kind);
+}
 
 }  // namespace txc::stm

@@ -44,6 +44,7 @@
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
 #include "sim/rng.hpp"
+#include "stm/options.hpp"
 #include "stm/tl2.hpp"  // Cell, TxAbort, StmStats
 #include "stm/tx_buffers.hpp"
 
@@ -63,16 +64,22 @@ class NorecTx {
 
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
+  /// Whether the enclosing atomically() declared the transaction read-only
+  /// (TxOptions::read_only).  Currently a plumbed hint; debug builds reject
+  /// a write() under it.
+  [[nodiscard]] bool read_only() const noexcept { return read_only_; }
+
  private:
   friend class Norec;
   friend struct NorecTestPeek;  // white-box kill-protocol tests
   NorecTx(Norec& stm, std::uint32_t attempt, std::uint64_t snapshot,
-          TxDescriptor* descriptor, TxBuffers* buffers) noexcept
+          TxDescriptor* descriptor, TxBuffers* buffers, bool read_only) noexcept
       : stm_(stm),
         attempt_(attempt),
         snapshot_(snapshot),
         descriptor_(descriptor),
-        buffers_(buffers) {}
+        buffers_(buffers),
+        read_only_(read_only) {}
 
   /// Flush locally-accumulated Karma work credit to the shared descriptor
   /// (see Tx::publish_priority — same lazy-publication scheme).
@@ -86,10 +93,15 @@ class NorecTx {
   TxDescriptor* descriptor_;
   TxBuffers* buffers_;
   std::uint64_t pending_priority_ = 0;
+  bool read_only_ = false;
 };
 
 class Norec {
  public:
+  /// The per-attempt transaction context type — the substrate-generic name
+  /// generic code templates over (`typename Substrate::TxContext`).
+  using TxContext = NorecTx;
+
   /// `policy` decides how long to wait for the global commit lock before
   /// self-aborting (requestor-aborts: the lock holder cannot be killed);
   /// wrapped in a conflict::GraceArbiter.
@@ -101,9 +113,17 @@ class Norec {
   explicit Norec(std::shared_ptr<const conflict::ConflictArbiter> arbiter);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
-  /// Template fast path: direct body invocation, reusable thread buffers.
+  /// Thin forwarding shim over the TxOptions overload (default options).
   template <typename Body>
   void atomically(Body&& body) {
+    atomically(TxOptions{}, std::forward<Body>(body));
+  }
+
+  /// Run `body` as a transaction under the declared `options`, retrying on
+  /// aborts until it commits.  Template fast path: direct body invocation,
+  /// reusable thread buffers.
+  template <typename Body>
+  void atomically(const TxOptions& options, Body&& body) {
     TxDescriptor& descriptor = thread_descriptor();
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
@@ -123,7 +143,8 @@ class Norec {
       while (snapshot & 1) {
         snapshot = seqlock_.load(std::memory_order_acquire);
       }
-      NorecTx tx{*this, attempt, snapshot, &descriptor, &buffers};
+      NorecTx tx{*this, attempt, snapshot, &descriptor, &buffers,
+                 options.read_only};
       bool unwound = false;
       try {
         body(tx);

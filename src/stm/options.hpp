@@ -1,0 +1,32 @@
+// txconflict — the substrate-generic transaction options block.
+//
+// Both STM substrates (TL2's striped-lock design and NOrec's global seqlock)
+// expose the same public transaction shape: atomically(options, body) with
+// identical read/write/stats() signatures, so generic code — the sharded KV
+// store in src/kv/, the cross-substrate stress suites — is written once,
+// templated over the substrate, instead of special-casing Tl2 vs NOrec.
+// TxOptions is the per-call half of that contract: declarative hints the
+// caller knows statically about the transaction it is about to run.
+//
+// `read_only` is currently a declared hint: both substrates plumb it to the
+// transaction context (and debug builds reject a write() inside a declared
+// read-only body), but neither yet elides read-set accrual or validation.
+// The MVCC-lite roadmap item (TL2 snapshot reads against the global version
+// clock, NOrec seqlock-only validation) lands behind exactly this flag
+// without another API change.
+#pragma once
+
+namespace txc::stm {
+
+/// Declarative per-transaction hints, shared by every substrate.
+struct TxOptions {
+  /// The body promises not to call write().  Debug builds enforce the
+  /// promise; release builds currently treat it as a no-op hint (see the
+  /// MVCC-lite read-path item in ROADMAP.md for what it will buy).
+  bool read_only = false;
+};
+
+/// Convenience instance for call sites: stm.atomically(kReadOnlyTx, body).
+inline constexpr TxOptions kReadOnlyTx{/*read_only=*/true};
+
+}  // namespace txc::stm

@@ -1,5 +1,6 @@
 #include "stm/tl2.hpp"
 
+#include <cassert>
 #include <functional>
 #include <thread>
 
@@ -74,6 +75,8 @@ std::uint64_t Tx::read(const Cell& cell) {
 }
 
 void Tx::write(Cell& cell, std::uint64_t value) {
+  assert(!read_only_ &&
+         "write() inside a transaction declared TxOptions::read_only");
   buffers_->write_set.upsert(&cell) = value;
 }
 

@@ -41,13 +41,21 @@
 #include <memory>
 #include <vector>
 
+#include "conflict/arbiter.hpp"
+#include "conflict/descriptor.hpp"
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
 #include "sim/rng.hpp"
-#include "stm/cm.hpp"
+#include "stm/options.hpp"
 #include "stm/tx_buffers.hpp"
 
 namespace txc::stm {
+
+// The descriptor vocabulary is shared with every other conflict site; the
+// txc::stm spellings are kept for the substrates' own code and callers.
+using conflict::thread_descriptor;
+using conflict::TxDescriptor;
+using conflict::TxStatus;
 
 /// A transactionally-managed 64-bit cell.  Cells live wherever the user
 /// wants; the STM maps them to lock stripes by address.
@@ -79,15 +87,21 @@ class Tx {
 
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
+  /// Whether the enclosing atomically() declared the transaction read-only
+  /// (TxOptions::read_only).  Currently a plumbed hint; debug builds reject
+  /// a write() under it.
+  [[nodiscard]] bool read_only() const noexcept { return read_only_; }
+
  private:
   friend class Stm;
   Tx(Stm& stm, std::uint32_t attempt, std::uint64_t read_version,
-     TxDescriptor* descriptor, TxBuffers* buffers) noexcept
+     TxDescriptor* descriptor, TxBuffers* buffers, bool read_only) noexcept
       : stm_(stm),
         attempt_(attempt),
         read_version_(read_version),
         descriptor_(descriptor),
-        buffers_(buffers) {}
+        buffers_(buffers),
+        read_only_(read_only) {}
 
   /// Flush locally-accumulated Karma work credit to the shared descriptor.
   /// Reads bump a plain counter (no atomic RMW per read); the total is
@@ -104,10 +118,15 @@ class Tx {
   TxDescriptor* descriptor_;
   TxBuffers* buffers_;
   std::uint64_t pending_priority_ = 0;
+  bool read_only_ = false;
 };
 
 class Stm {
  public:
+  /// The per-attempt transaction context type — the substrate-generic name
+  /// generic code templates over (`typename Substrate::TxContext`).
+  using TxContext = Tx;
+
   /// `policy` decides how long a blocked transaction waits for a lock holder
   /// (in spin iterations ~ "cycles") before aborting itself — the paper's
   /// local grace-period regime, wrapped in a requestor-aborts
@@ -123,10 +142,18 @@ class Stm {
                std::size_t stripes = 1 << 16);
 
   /// Run `body` as a transaction, retrying on aborts until it commits.
-  /// Template fast path: the body is invoked directly (no std::function) and
-  /// read/write sets come from the calling thread's reusable TxBuffers.
+  /// Thin forwarding shim over the TxOptions overload (default options).
   template <typename Body>
   void atomically(Body&& body) {
+    atomically(TxOptions{}, std::forward<Body>(body));
+  }
+
+  /// Run `body` as a transaction under the declared `options`, retrying on
+  /// aborts until it commits.  Template fast path: the body is invoked
+  /// directly (no std::function) and read/write sets come from the calling
+  /// thread's reusable TxBuffers.
+  template <typename Body>
+  void atomically(const TxOptions& options, Body&& body) {
     TxDescriptor& descriptor = thread_descriptor();
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
@@ -139,7 +166,7 @@ class Stm {
       descriptor.status.store(static_cast<std::uint32_t>(TxStatus::kActive),
                               std::memory_order_release);
       Tx tx{*this, attempt, clock_.load(std::memory_order_acquire),
-            &descriptor, &buffers};
+            &descriptor, &buffers, options.read_only};
       bool unwound = false;
       try {
         body(tx);

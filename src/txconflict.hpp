@@ -22,9 +22,14 @@
 //   mem/noc   cache, directory, shared L2, mesh NoC
 //   htm       the multicore HTM simulator
 //   ds        benchmark workloads for the simulator
-//   stm       TL2 + NOrec software TMs, contention managers, containers
+//   stm       TL2 + NOrec software TMs, shared TxOptions, containers
+//   kv        sharded transactional key-value store + batching service,
+//             generic over the STM substrate
 //   sync      spin locks and locked baseline containers
 //   lockfree  Treiber stack, Michael–Scott queue
+//
+// stm/cm.hpp (the deprecated contention-manager compatibility shim) is
+// deliberately not included here — migrate to the conflict/ headers.
 #pragma once
 
 #include "conflict/adaptive.hpp"
@@ -41,6 +46,9 @@
 #include "ds/extended_workloads.hpp"
 #include "ds/workloads.hpp"
 #include "htm/htm.hpp"
+#include "kv/queue.hpp"
+#include "kv/service.hpp"
+#include "kv/store.hpp"
 #include "lockfree/queue.hpp"
 #include "lockfree/stack.hpp"
 #include "mem/cache.hpp"
@@ -50,9 +58,9 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
-#include "stm/cm.hpp"
 #include "stm/containers.hpp"
 #include "stm/norec.hpp"
+#include "stm/options.hpp"
 #include "stm/tl2.hpp"
 #include "stm/tx_buffers.hpp"
 #include "sync/locked_containers.hpp"

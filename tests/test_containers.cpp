@@ -11,7 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "stm/cm.hpp"
+#include "conflict/managers.hpp"
 
 namespace {
 
@@ -181,7 +181,7 @@ TEST(TxSet, SnapshotRangeCountIsConsistentUnderChurn) {
   // Writers move one element at a time (erase one key, insert another) while
   // keeping the set size exactly constant; concurrent snapshot counts must
   // never observe an intermediate state.
-  Stm stm{make_cm(CmKind::kKarma)};
+  Stm stm{conflict::make_cm(conflict::CmKind::kKarma)};
   TxSet set{stm, 256};
   for (std::uint64_t key = 0; key < 64; ++key) {
     ASSERT_TRUE(set.insert(key));
@@ -199,7 +199,9 @@ TEST(TxSet, SnapshotRangeCountIsConsistentUnderChurn) {
       if (from != to && set.contains(from) && !set.contains(to)) {
         // Not atomic as two calls — so do it transactionally by erase or
         // insert alone; the invariant audited is monotone size bounds.
-        if (set.erase(from)) ASSERT_TRUE(set.insert(to));
+        if (set.erase(from)) {
+          ASSERT_TRUE(set.insert(to));
+        }
       }
     }
     stop = true;

@@ -1,0 +1,598 @@
+// Conformance suite for the sharded transactional KV store and service
+// (src/kv), value-parameterized over {TL2, NOrec} x the arbiter roster: the
+// same test bodies run against every substrate/arbiter pairing through the
+// unified substrate API (typename Substrate::TxContext, atomically,
+// read/write), so a conformance failure localizes to a pairing, not a
+// rewrite of the suite.  Multi-threaded audits check conservation (two-key
+// swaps preserve the value multiset), linearizable per-key histories
+// (randomized get/put/rmw against per-thread reference maps on disjoint key
+// ranges), and service-level completion accounting.  The suite is
+// ASan/UBSan-clean and sized for smoke; the nightly stress job re-runs it
+// deeper via TXC_STRESS_DEPTH alongside test_spin_stress.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "conflict/adaptive.hpp"
+#include "conflict/arbiter.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "kv/queue.hpp"
+#include "kv/service.hpp"
+#include "kv/store.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using conflict::ConflictArbiter;
+
+int stress_depth() {
+  int depth = 1;
+  if (const char* env = std::getenv("TXC_STRESS_DEPTH")) {
+    depth = std::atoi(env);
+    if (depth < 1) depth = 1;
+  }
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
+// The {substrate} x {arbiter} parameter space
+// ---------------------------------------------------------------------------
+
+enum class SubstrateKind { kTl2, kNorec };
+
+struct KvCase {
+  std::string label;  // gtest-safe ([A-Za-z0-9_])
+  SubstrateKind substrate;
+  std::shared_ptr<const ConflictArbiter> (*make)();
+};
+
+std::shared_ptr<const ConflictArbiter> grace(core::StrategyKind kind) {
+  return std::make_shared<conflict::GraceArbiter>(core::make_policy(kind));
+}
+
+std::vector<KvCase> kv_cases() {
+  struct Arbiter {
+    const char* label;
+    std::shared_ptr<const ConflictArbiter> (*make)();
+  };
+  static const Arbiter kRoster[] = {
+      {"Grace_NO_DELAY", [] { return grace(core::StrategyKind::kNoDelay); }},
+      {"Grace_DET_ABORTS",
+       [] { return grace(core::StrategyKind::kDetAborts); }},
+      {"Grace_DET_WINS", [] { return grace(core::StrategyKind::kDetWins); }},
+      {"Grace_RRA", [] { return grace(core::StrategyKind::kRandAborts); }},
+      {"Grace_HYBRID", [] { return grace(core::StrategyKind::kHybrid); }},
+      {"Polite", [] { return conflict::make_cm(conflict::CmKind::kPolite); }},
+      {"Karma", [] { return conflict::make_cm(conflict::CmKind::kKarma); }},
+      {"Timestamp",
+       [] { return conflict::make_cm(conflict::CmKind::kTimestamp); }},
+      {"Greedy", [] { return conflict::make_cm(conflict::CmKind::kGreedy); }},
+      {"Polka", [] { return conflict::make_cm(conflict::CmKind::kPolka); }},
+      {"Adaptive",
+       [] {
+         return std::static_pointer_cast<const ConflictArbiter>(
+             std::make_shared<conflict::AdaptiveArbiter>());
+       }},
+  };
+  std::vector<KvCase> cases;
+  for (const auto& [substrate, kind] :
+       {std::pair{"Tl2", SubstrateKind::kTl2},
+        std::pair{"Norec", SubstrateKind::kNorec}}) {
+    for (const Arbiter& arbiter : kRoster) {
+      cases.push_back(KvCase{std::string(substrate) + "_" + arbiter.label,
+                             kind, arbiter.make});
+    }
+  }
+  return cases;
+}
+
+/// Dispatch the substrate *type* from the runtime parameter: the test body
+/// is a template over Substrate, instantiated once per kind.
+template <typename Body>
+void with_substrate(const KvCase& param, Body&& body) {
+  switch (param.substrate) {
+    case SubstrateKind::kTl2:
+      body.template operator()<stm::Stm>(param.make());
+      return;
+    case SubstrateKind::kNorec:
+      body.template operator()<stm::Norec>(param.make());
+      return;
+  }
+}
+
+class KvConformance : public ::testing::TestWithParam<KvCase> {};
+
+// ---------------------------------------------------------------------------
+// Sequential semantics
+// ---------------------------------------------------------------------------
+
+TEST_P(KvConformance, SequentialOpsRoundTrip) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Store = kv::ShardedKvStore<Substrate>;
+    typename Store::Config config;
+    config.shards = 4;
+    config.capacity_per_shard = 64;
+    Store store{config, std::move(arbiter)};
+
+    EXPECT_FALSE(store.get_sync(7).has_value());
+    EXPECT_EQ(store.put_sync(7, 70), kv::OpStatus::kOk);
+    EXPECT_EQ(store.get_sync(7), 70u);
+    EXPECT_EQ(store.put_sync(7, 71), kv::OpStatus::kOk) << "overwrite";
+    EXPECT_EQ(store.get_sync(7), 71u);
+
+    // Composed multi-op transaction on the raw transactional API.
+    store.substrate().atomically(
+        [&](typename Substrate::TxContext& tx) {
+          kv::Value out = 0;
+          ASSERT_EQ(store.put(tx, 8, 80), kv::OpStatus::kOk);
+          ASSERT_EQ(store.rmw_add(tx, 8, 5, out), kv::OpStatus::kOk);
+          EXPECT_EQ(out, 85u);
+          ASSERT_EQ(store.rmw_add(tx, 9, 9, out), kv::OpStatus::kOk)
+              << "rmw inserts when absent";
+          EXPECT_EQ(out, 9u);
+          ASSERT_EQ(store.swap(tx, 8, 9), kv::OpStatus::kOk);
+        });
+    EXPECT_EQ(store.get_sync(8), 9u);
+    EXPECT_EQ(store.get_sync(9), 85u);
+    EXPECT_EQ(store.size_sync(), 3u);
+    EXPECT_EQ(store.value_sum_sync(), 71u + 9u + 85u);
+  });
+}
+
+TEST_P(KvConformance, SwapInsertsAbsentKeysAsZero) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Store = kv::ShardedKvStore<Substrate>;
+    typename Store::Config config;
+    config.shards = 2;
+    config.capacity_per_shard = 32;
+    Store store{config, std::move(arbiter)};
+    ASSERT_EQ(store.put_sync(1, 42), kv::OpStatus::kOk);
+    ASSERT_EQ(store.swap_sync(1, 2), kv::OpStatus::kOk);
+    EXPECT_EQ(store.get_sync(1), 0u);
+    EXPECT_EQ(store.get_sync(2), 42u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent conservation: the two-key-swap mix
+// ---------------------------------------------------------------------------
+
+TEST_P(KvConformance, ConcurrentSwapsConserveTheValueMultiset) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Store = kv::ShardedKvStore<Substrate>;
+    constexpr std::uint32_t kKeys = 48;
+    constexpr int kThreads = 3;
+    typename Store::Config config;
+    config.shards = 4;
+    config.capacity_per_shard = 64;
+    Store store{config, std::move(arbiter)};
+    for (std::uint32_t key = 1; key <= kKeys; ++key) {
+      ASSERT_EQ(store.put_sync(key, key), kv::OpStatus::kOk);
+    }
+    const int swaps = 400 * stress_depth();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&store, t, swaps] {
+        sim::Rng rng{0xC0FFEEull * (t + 1)};
+        for (int i = 0; i < swaps; ++i) {
+          const auto a = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+          auto b = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+          if (a == b) b = (b % kKeys) + 1;
+          ASSERT_EQ(store.swap_sync(a, b), kv::OpStatus::kOk);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    // Swaps permute values across keys; the multiset {1..kKeys} (audited
+    // via sum and xor folds) and the key population are invariant.
+    EXPECT_EQ(store.size_sync(), kKeys);
+    std::uint64_t expected_sum = 0;
+    std::uint64_t expected_xor = 0;
+    std::uint64_t xor_fold = 0;
+    for (std::uint32_t v = 1; v <= kKeys; ++v) {
+      expected_sum += v;
+      expected_xor ^= v;
+    }
+    for (std::uint32_t key = 1; key <= kKeys; ++key) {
+      const auto value = store.get_sync(key);
+      ASSERT_TRUE(value.has_value());
+      xor_fold ^= *value;
+    }
+    EXPECT_EQ(store.value_sum_sync(), expected_sum);
+    EXPECT_EQ(xor_fold, expected_xor);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Randomized linearizability per key: disjoint ownership, shared probe paths
+// ---------------------------------------------------------------------------
+
+TEST_P(KvConformance, RandomizedOpsMatchPerKeyReference) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Store = kv::ShardedKvStore<Substrate>;
+    constexpr int kThreads = 3;
+    constexpr std::uint32_t kKeysPerThread = 24;
+    typename Store::Config config;
+    config.shards = 4;  // ranges interleave within shards via hashing
+    config.capacity_per_shard = 64;
+    Store store{config, std::move(arbiter)};
+    const int ops = 600 * stress_depth();
+    std::vector<std::thread> workers;
+    std::vector<std::unordered_map<kv::Key, kv::Value>> references(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&store, &references, t, ops] {
+        // Disjoint key ranges: every thread is its keys' only writer, so
+        // its local map is the exact linearized history; concurrency still
+        // bites through shared buckets and probe paths.
+        const auto base = static_cast<kv::Key>(1 + t * kKeysPerThread);
+        auto& reference = references[static_cast<std::size_t>(t)];
+        sim::Rng rng{0xBEEFull * (t + 1)};
+        for (int i = 0; i < ops; ++i) {
+          const auto key =
+              base + static_cast<kv::Key>(rng.uniform_below(kKeysPerThread));
+          const auto roll = rng.uniform_below(3);
+          if (roll == 0) {
+            const auto value =
+                static_cast<kv::Value>(rng.uniform_below(1u << 16));
+            ASSERT_EQ(store.put_sync(key, value), kv::OpStatus::kOk);
+            reference[key] = value;
+          } else if (roll == 1) {
+            kv::Value out = 0;
+            store.substrate().atomically(
+                [&](typename Substrate::TxContext& tx) {
+                  ASSERT_EQ(store.rmw_add(tx, key, 3, out),
+                            kv::OpStatus::kOk);
+                });
+            reference[key] += 3;  // operator[] default-inserts 0, as rmw does
+            ASSERT_EQ(out, reference[key]);
+          } else {
+            const auto got = store.get_sync(key);
+            const auto expected = reference.find(key);
+            if (expected == reference.end()) {
+              ASSERT_FALSE(got.has_value());
+            } else {
+              ASSERT_EQ(got, expected->second);
+            }
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    std::uint64_t resident = 0;
+    for (const auto& reference : references) {
+      resident += reference.size();
+      for (const auto& [key, value] : reference) {
+        EXPECT_EQ(store.get_sync(key), value);
+      }
+    }
+    EXPECT_EQ(store.size_sync(), resident);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Service level: batched workers, completion accounting, open-loop rejects
+// ---------------------------------------------------------------------------
+
+TEST_P(KvConformance, ServiceSwapStreamConservesAndCompletes) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Service = kv::KvService<Substrate>;
+    constexpr std::uint32_t kKeys = 64;
+    typename Service::Config config;
+    config.store.shards = 4;
+    config.store.capacity_per_shard = 64;
+    config.queue_capacity = 1024;
+    config.max_batch = 8;
+    Service service{config, std::move(arbiter)};
+    for (std::uint32_t key = 1; key <= kKeys; ++key) {
+      ASSERT_EQ(service.store().put_sync(key, key), kv::OpStatus::kOk);
+    }
+    service.start();
+    const int kClients = 2;
+    const int requests_each = 500 * stress_depth();
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&service, &accepted, c, requests_each] {
+        sim::Rng rng{0xD15Cull * (c + 1)};
+        for (int i = 0; i < requests_each; ++i) {
+          kv::Request request;
+          request.op = kv::OpKind::kSwap;
+          request.key_a = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+          request.key_b = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+          if (request.key_b == request.key_a) {
+            request.key_b = (request.key_a % kKeys) + 1;
+          }
+          if (service.submit(request)) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    service.stop();  // drains before joining workers
+
+    const auto& stats = service.service_stats();
+    EXPECT_EQ(stats.submitted.load(), accepted.load());
+    EXPECT_EQ(stats.completed.load(), accepted.load())
+        << "stop() must drain every accepted request";
+    EXPECT_EQ(stats.submitted.load() + stats.rejected.load(),
+              static_cast<std::uint64_t>(kClients) * requests_each);
+    EXPECT_EQ(stats.shard_full.load(), 0u);
+    core::LatencyHistogram merged;
+    service.merge_latency(merged);
+    EXPECT_EQ(merged.count(), stats.completed.load())
+        << "every completion records exactly one latency sample";
+    EXPECT_GE(stats.batches.load(), 1u);
+    EXPECT_LE(stats.batches.load(), stats.completed.load());
+
+    // Conservation through the service path: swaps only permute.
+    std::uint64_t expected_sum = 0;
+    for (std::uint32_t v = 1; v <= kKeys; ++v) expected_sum += v;
+    EXPECT_EQ(service.store().value_sum_sync(), expected_sum);
+    EXPECT_EQ(service.store().size_sync(), kKeys);
+  });
+}
+
+TEST_P(KvConformance, ServiceResponsesPublishResults) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Service = kv::KvService<Substrate>;
+    typename Service::Config config;
+    config.store.shards = 2;
+    config.store.capacity_per_shard = 64;
+    config.max_batch = 4;
+    Service service{config, std::move(arbiter)};
+    ASSERT_EQ(service.store().put_sync(5, 50), kv::OpStatus::kOk);
+    service.start();
+
+    std::atomic<std::uint64_t> hit{0};
+    std::atomic<std::uint64_t> miss{0};
+    std::atomic<std::uint64_t> rmw{0};
+    kv::Request get_hit;
+    get_hit.op = kv::OpKind::kGet;
+    get_hit.key_a = 5;
+    get_hit.response = &hit;
+    kv::Request get_miss;
+    get_miss.op = kv::OpKind::kGet;
+    get_miss.key_a = 6;
+    get_miss.response = &miss;
+    kv::Request rmw_req;
+    rmw_req.op = kv::OpKind::kRmwAdd;
+    rmw_req.key_a = 5;
+    rmw_req.value = 7;
+    rmw_req.response = &rmw;
+    ASSERT_TRUE(service.submit(get_hit));
+    ASSERT_TRUE(service.submit(get_miss));
+    ASSERT_TRUE(service.submit(rmw_req));
+    while (hit.load() == 0 || miss.load() == 0 || rmw.load() == 0) {
+      std::this_thread::yield();
+    }
+    service.stop();
+    EXPECT_EQ(hit.load(), kv::kDone | kv::kFound | 50u);
+    EXPECT_EQ(miss.load(), kv::kDone) << "miss: done without kFound";
+    EXPECT_EQ(rmw.load(), kv::kDone | kv::kFound | 57u);
+    EXPECT_EQ(service.store().get_sync(5), 57u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SubstrateRoster, KvConformance,
+                         ::testing::ValuesIn(kv_cases()),
+                         [](const ::testing::TestParamInfo<KvCase>& info) {
+                           return info.param.label;
+                         });
+
+// ---------------------------------------------------------------------------
+// Boundary behavior (single representative pairing — substrate-independent)
+// ---------------------------------------------------------------------------
+
+TEST(KvStore, ShardFullIsReportedNotFatal) {
+  kv::ShardedKvStore<stm::Norec>::Config config;
+  config.shards = 1;
+  config.capacity_per_shard = 2;
+  kv::ShardedKvStore<stm::Norec> store{
+      config, core::make_policy(core::StrategyKind::kRandAborts)};
+  ASSERT_EQ(store.put_sync(1, 1), kv::OpStatus::kOk);
+  ASSERT_EQ(store.put_sync(2, 2), kv::OpStatus::kOk);
+  EXPECT_EQ(store.put_sync(3, 3), kv::OpStatus::kShardFull);
+  EXPECT_EQ(store.put_sync(1, 10), kv::OpStatus::kOk)
+      << "overwrite of a resident key needs no free slot";
+  EXPECT_FALSE(store.get_sync(3).has_value());
+  EXPECT_EQ(store.size_sync(), 2u);
+}
+
+TEST(KvStore, CrossShardSwapSpansShardRegions) {
+  kv::ShardedKvStore<stm::Stm>::Config config;
+  config.shards = 4;
+  config.capacity_per_shard = 32;
+  kv::ShardedKvStore<stm::Stm> store{
+      config, conflict::make_cm(conflict::CmKind::kKarma)};
+  // Find two keys living on different shards (must exist: 4 shards, the
+  // mix spreads consecutive keys).
+  kv::Key a = 1;
+  kv::Key b = 2;
+  while (store.shard_of(b) == store.shard_of(a)) ++b;
+  ASSERT_NE(store.shard_of(a), store.shard_of(b));
+  ASSERT_EQ(store.put_sync(a, 111), kv::OpStatus::kOk);
+  ASSERT_EQ(store.put_sync(b, 222), kv::OpStatus::kOk);
+  ASSERT_EQ(store.swap_sync(a, b), kv::OpStatus::kOk);
+  EXPECT_EQ(store.get_sync(a), 222u);
+  EXPECT_EQ(store.get_sync(b), 111u);
+}
+
+TEST(KvService, FullQueueRejectsInsteadOfBlocking) {
+  kv::KvService<stm::Norec>::Config config;
+  config.store.shards = 1;
+  config.store.capacity_per_shard = 64;
+  config.queue_capacity = 4;
+  kv::KvService<stm::Norec> service{
+      config, core::make_policy(core::StrategyKind::kRandAborts)};
+  // Workers not started: the queue must fill and then reject.
+  kv::Request request;
+  request.op = kv::OpKind::kPut;
+  request.key_a = 1;
+  request.value = 1;
+  int accepted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (service.submit(request)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(service.service_stats().rejected.load(), 4u);
+  service.start();
+  service.stop();  // drain the backlog
+  EXPECT_EQ(service.service_stats().completed.load(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// kv::BoundedMpmcQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedMpmcQueue, FifoAndCapacity) {
+  kv::BoundedMpmcQueue<std::uint64_t> queue{4};
+  EXPECT_EQ(queue.capacity(), 4u);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(queue.try_pop(out));
+  for (std::uint64_t i = 1; i <= 4; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(5)) << "full ring must reject";
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+  // Wrap-around reuse.
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    EXPECT_TRUE(queue.try_push(round));
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+}
+
+TEST(BoundedMpmcQueue, MpmcConservesElements) {
+  kv::BoundedMpmcQueue<std::uint64_t> queue{256};
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  const int per_producer = 20000 * stress_depth();
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> popped_count{0};
+  std::atomic<int> producers_live{kProducers};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        const auto value =
+            static_cast<std::uint64_t>(p) * per_producer + i + 1;
+        while (!queue.try_push(value)) std::this_thread::yield();
+      }
+      producers_live.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t value = 0;
+      for (;;) {
+        if (queue.try_pop(value)) {
+          popped_sum.fetch_add(value, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_live.load(std::memory_order_acquire) == 0) {
+          if (!queue.try_pop(value)) break;  // one re-probe after quiesce
+          popped_sum.fetch_add(value, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t expected_sum = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < per_producer; ++i) {
+      expected_sum += static_cast<std::uint64_t>(p) * per_producer + i + 1;
+    }
+  }
+  EXPECT_EQ(popped_count.load(),
+            static_cast<std::uint64_t>(kProducers) * per_producer);
+  EXPECT_EQ(popped_sum.load(), expected_sum);
+}
+
+// ---------------------------------------------------------------------------
+// core::LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  core::LatencyHistogram histogram;
+  for (std::uint64_t v = 0; v < 32; ++v) histogram.record(v);
+  EXPECT_EQ(histogram.count(), 32u);
+  EXPECT_EQ(histogram.quantile(0.0), 0u);
+  // Values below kSubBuckets land in singleton buckets: quantiles exact.
+  EXPECT_EQ(histogram.quantile(0.5), 15u);
+  EXPECT_EQ(histogram.quantile(1.0), 31u);
+}
+
+TEST(LatencyHistogram, QuantilesBoundedByLogBucketWidth) {
+  core::LatencyHistogram histogram;
+  sim::Rng rng{99};
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Spread over ~6 decades.
+    const std::uint64_t value = 1 + (rng() % (std::uint64_t{1} << (rng() % 40)));
+    samples.push_back(value);
+    histogram.record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const auto approx = histogram.quantile(q);
+    // Upper-edge estimate: never below the exact sample's bucket, and at
+    // most one sub-bucket width (~1/32 relative) above it.
+    EXPECT_GE(static_cast<double>(approx), static_cast<double>(exact) * 0.96)
+        << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx), static_cast<double>(exact) * 1.07)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeAndResetFold) {
+  core::LatencyHistogram a;
+  core::LatencyHistogram b;
+  for (std::uint64_t v = 0; v < 100; ++v) (v % 2 ? a : b).record(v * 1000);
+  core::LatencyHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_EQ(merged.quantile(1.0), a.quantile(1.0));
+  merged.reset();
+  EXPECT_EQ(merged.count(), 0u);
+  EXPECT_EQ(merged.quantile(0.99), 0u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  core::LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  const int per_thread = 50000 * stress_depth();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t, per_thread] {
+      sim::Rng rng{static_cast<std::uint64_t>(t) + 1};
+      for (int i = 0; i < per_thread; ++i) histogram.record(rng() % 1000000);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * per_thread);
+}
+
+}  // namespace

@@ -103,9 +103,9 @@ const ArbiterCase kRoster[] = {
 };
 
 // ---------------------------------------------------------------------------
-// The randomized bank, expressed against either substrate.  `Substrate`
-// needs atomically(body), read_committed, and stats(); the body type is the
-// substrate's transaction context.
+// The randomized bank, expressed against either substrate through the
+// unified API surface: atomically(body), read_committed, stats(), and the
+// `typename Substrate::TxContext` per-attempt context type.
 // ---------------------------------------------------------------------------
 
 /// One thread's worth of randomized operations.  ~1/4 of operations audit
@@ -113,7 +113,7 @@ const ArbiterCase kRoster[] = {
 /// a consistent snapshot must sum to kTotal); the rest transfer a small
 /// amount between two distinct random accounts.  Balances may wrap below
 /// zero in unsigned arithmetic — conservation holds modulo 2^64 regardless.
-template <typename Substrate, typename TxT>
+template <typename Substrate>
 void stress_worker(Substrate& stm, std::vector<stm::Cell>& accounts,
                    std::uint64_t seed, int ops,
                    std::atomic<int>& start_line,
@@ -123,6 +123,7 @@ void stress_worker(Substrate& stm, std::vector<stm::Cell>& accounts,
   start_line.fetch_add(1, std::memory_order_acq_rel);
   while (start_line.load(std::memory_order_acquire) < kThreads) {
   }
+  using TxT = typename Substrate::TxContext;
   sim::Rng rng{seed};
   for (int op = 0; op < ops; ++op) {
     if ((rng() & 3u) == 0) {
@@ -145,7 +146,7 @@ void stress_worker(Substrate& stm, std::vector<stm::Cell>& accounts,
   }
 }
 
-template <typename Substrate, typename TxT>
+template <typename Substrate>
 void run_stress(Substrate& stm, const char* substrate_label) {
   std::vector<stm::Cell> accounts(kAccounts);
   for (auto& account : accounts) account.value.store(kInitialBalance);
@@ -155,9 +156,9 @@ void run_stress(Substrate& stm, const char* substrate_label) {
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
-      stress_worker<Substrate, TxT>(stm, accounts,
-                                    /*seed=*/0x57E55ull * (t + 1), ops,
-                                    start_line, bad_audits);
+      stress_worker<Substrate>(stm, accounts,
+                               /*seed=*/0x57E55ull * (t + 1), ops,
+                               start_line, bad_audits);
     });
   }
   for (auto& worker : workers) worker.join();
@@ -186,12 +187,12 @@ class SpinStress : public ::testing::TestWithParam<ArbiterCase> {};
 
 TEST_P(SpinStress, Tl2BankConservesAndStaysOpaque) {
   stm::Stm stm{GetParam().make()};
-  run_stress<stm::Stm, stm::Tx>(stm, "TL2");
+  run_stress(stm, "TL2");
 }
 
 TEST_P(SpinStress, NorecBankConservesAndStaysOpaque) {
   stm::Norec norec{GetParam().make()};
-  run_stress<stm::Norec, stm::NorecTx>(norec, "NOrec");
+  run_stress(norec, "NOrec");
 }
 
 INSTANTIATE_TEST_SUITE_P(Roster, SpinStress, ::testing::ValuesIn(kRoster),
@@ -208,9 +209,9 @@ TEST(SpinStressShared, OneAdaptiveInstanceSurvivesBothSubstrates) {
   const auto adaptive = std::make_shared<AdaptiveArbiter>();
   const auto shared = std::static_pointer_cast<const ConflictArbiter>(adaptive);
   stm::Stm stm{shared};
-  run_stress<stm::Stm, stm::Tx>(stm, "TL2(shared)");
+  run_stress(stm, "TL2(shared)");
   stm::Norec norec{shared};
-  run_stress<stm::Norec, stm::NorecTx>(norec, "NOrec(shared)");
+  run_stress(norec, "NOrec(shared)");
 }
 
 // ---------------------------------------------------------------------------
@@ -242,11 +243,11 @@ TEST(SpinStressKills, AggressiveRequestorWinsStaysAtomicOnBothSubstrates) {
       core::ResolutionMode::kRequestorWins);
   {
     stm::Stm stm{trigger_happy};
-    run_stress<stm::Stm, stm::Tx>(stm, "TL2(kill-heavy)");
+    run_stress(stm, "TL2(kill-heavy)");
   }
   {
     stm::Norec norec{trigger_happy};
-    run_stress<stm::Norec, stm::NorecTx>(norec, "NOrec(kill-heavy)");
+    run_stress(norec, "NOrec(kill-heavy)");
   }
 }
 

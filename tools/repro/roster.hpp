@@ -106,8 +106,19 @@ inline const std::vector<FigureSpec>& builtin_roster() {
        {
            {"cross_substrate_arbiter",
             "the same ConflictArbiter instances arbitrating four substrates "
-            "in one table",
-            1},
+            "in one table, swept over thread/core counts (one table per "
+            "point)",
+            3},
+       }},
+      {"kv",
+       "KV service — sharded transactional store under open-loop load "
+       "(throughput + p99/p999 completion time per arbiter, TL2 and NOrec)",
+       {
+           {"kv_service",
+            "one table per YCSB-style mix (read-heavy, update-heavy, "
+            "rmw-swap); rows are arbiter x substrate with offered vs "
+            "achieved Mops/s, drop%, and p50/p99/p999 microseconds",
+            3, /*full_timeout_seconds=*/1200.0},
        }},
   };
   return roster;
