@@ -1,0 +1,277 @@
+// Scheduler-adversarial tail latency — the tail figure family: the full
+// arbiter roster on both STM substrates, oversubscribed (threads >> the
+// cpuset the whole pool is pinned to) while src/adversary's preemption
+// adversary injects faults: targeted dwells inside the commit-time kill
+// windows (TL2 with its write set locked, NOrec holding the odd seqlock),
+// SIGUSR1 pulses that deschedule victim threads at arbitrary points, and
+// forced stalls in the arbitration spin loop.
+//
+// This is the regime the paper's "practically wait-free" argument is
+// actually about: under a cooperative scheduler the protocol's vulnerable
+// windows are nanoseconds wide and every policy looks alike; a real
+// (adversarial) scheduler parks a committer *inside* the window, and the
+// policy decides who eats the stall — waiters sit it out (Grace(NONE)
+// waits forever), sacrifice themselves (DET_A/RRA after their grace
+// period), or kill the stalled committer and recover the substrate
+// (requestor-wins flavors, the seniority managers).  That choice is
+// invisible in throughput and dominant in the completion-time tail, so the
+// figure reports p50/p99/p999/max per arbiter x substrate x
+// oversubscription factor, plus the interventions that produced them:
+// kills delivered, grace grants expired, and committer-stall recoveries.
+//
+// Completion time = one full atomically() call (all retries included),
+// recorded in cycles into core::LatencyHistogram and calibrated to
+// microseconds.  Every run ends with a conservation audit: the workload is
+// pure two-cell swaps, so the cell-value sum and xor are invariants — a
+// run that breaks them under fault injection is a correctness bug, not a
+// performance data point.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adversary/preempt.hpp"
+#include "bench_util.hpp"
+#include "conflict/adaptive.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/injection.hpp"
+#include "conflict/managers.hpp"
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using conflict::ConflictArbiter;
+
+// Workload shape: a small hot cell array (every transaction is a two-cell
+// swap, so conflicts are the norm, not the exception) on a deliberately
+// tiny cpuset.
+constexpr std::size_t kCells = 64;
+constexpr std::size_t kCpus = 1;  // pool cpuset; oversubscription = threads/1
+constexpr std::size_t kOversubscription[] = {4, 16};
+
+struct RunResult {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t txs = 0;
+  std::uint64_t kills = 0;       // kills delivered (StmStats::remote_kills)
+  std::uint64_t expired = 0;     // grace grants expired (ArbiterProbe)
+  std::uint64_t recoveries = 0;  // committer-stall recoveries (StmStats)
+  std::uint64_t stalls = 0;      // adversary dwells (hook + signal)
+  bool conserved = false;
+};
+
+double calibrate_cycles_per_us() {
+  const std::uint64_t cycles_begin = core::cycle_now();
+  const auto wall_begin = std::chrono::steady_clock::now();
+  // Busy-wait (not sleep) so a frequency-scaling governor sees load.
+  while (std::chrono::steady_clock::now() - wall_begin <
+         std::chrono::milliseconds(20)) {
+  }
+  const std::uint64_t cycles = core::cycle_now() - cycles_begin;
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - wall_begin)
+                        .count();
+  return static_cast<double>(cycles) / us;
+}
+
+/// One adversarial run: `threads` workers (all inheriting a kCpus-wide
+/// cpuset) each complete `ops` swap transactions while the preemption
+/// adversary runs; every worker is a signal-storm victim.
+template <typename Substrate>
+RunResult run_tail(const std::shared_ptr<const ConflictArbiter>& inner,
+                   std::size_t threads, std::uint64_t ops,
+                   double cycles_per_us) {
+  const auto probe = std::make_shared<adversary::ArbiterProbe>(inner);
+  Substrate stm{probe};
+  std::vector<stm::Cell> cells(kCells);
+  std::uint64_t sum_before = 0;
+  std::uint64_t xor_before = 0;
+  for (std::size_t index = 0; index < kCells; ++index) {
+    cells[index].value.store(index + 1, std::memory_order_relaxed);
+    sum_before += index + 1;
+    xor_before ^= index + 1;
+  }
+
+  adversary::AdversaryConfig config;
+  config.seed = txc::bench::seed(7) * 2654435761ULL + threads;
+  config.yield_storm_threads = 1;
+  adversary::PreemptionAdversary preempt{config};
+  core::LatencyHistogram histogram;
+
+  // Workers inherit the restricted mask from the spawning thread: restrict,
+  // spawn, restore.  On a machine with fewer CPUs than kCpus the cpuset
+  // clamps and the oversubscription factor simply grows.
+  adversary::ScopedCpuset cpuset{kCpus};
+  preempt.start();
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      adversary::PreemptionAdversary::ScopedVictim victim{preempt};
+      sim::Rng rng{config.seed ^ (0x9E3779B97F4A7C15ULL * (worker + 1))};
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t op = 0; op < ops; ++op) {
+        const std::size_t a = rng.uniform_below(kCells);
+        std::size_t b = rng.uniform_below(kCells);
+        if (b == a) b = (a + 1) % kCells;
+        const std::uint64_t begin = core::cycle_now();
+        stm.atomically([&](typename Substrate::TxContext& tx) {
+          const std::uint64_t value_a = tx.read(cells[a]);
+          const std::uint64_t value_b = tx.read(cells[b]);
+          tx.write(cells[a], value_b);
+          tx.write(cells[b], value_a);
+        });
+        histogram.record(core::cycle_now() - begin);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  preempt.stop();
+
+  std::uint64_t sum_after = 0;
+  std::uint64_t xor_after = 0;
+  for (const stm::Cell& cell : cells) {
+    const std::uint64_t value = Substrate::read_committed(cell);
+    sum_after += value;
+    xor_after ^= value;
+  }
+
+  const auto& stats = stm.stats();
+  const auto& injected = preempt.stats();
+  RunResult result;
+  result.p50_us = static_cast<double>(histogram.quantile(0.50)) / cycles_per_us;
+  result.p99_us = static_cast<double>(histogram.quantile(0.99)) / cycles_per_us;
+  result.p999_us =
+      static_cast<double>(histogram.quantile(0.999)) / cycles_per_us;
+  result.max_us =
+      static_cast<double>(histogram.max_recorded()) / cycles_per_us;
+  result.txs = histogram.count();
+  result.kills = stats.remote_kills.load(std::memory_order_relaxed);
+  result.expired = probe->grants_expired();
+  result.recoveries = stats.kill_recoveries.load(std::memory_order_relaxed);
+  result.stalls = injected.hook_stalls.load(std::memory_order_relaxed) +
+                  injected.signal_stalls.load(std::memory_order_relaxed);
+  result.conserved = sum_after == sum_before && xor_after == xor_before;
+  return result;
+}
+
+struct Contender {
+  std::string label;
+  std::function<std::shared_ptr<const ConflictArbiter>()> make;
+};
+
+/// The standard 9-arbiter roster (mirrors bench/kv_service.cpp), as
+/// factories: each run gets a *fresh* arbiter so learned state and probe
+/// counters never leak between runs.
+std::vector<Contender> roster() {
+  using core::StrategyKind;
+  const auto grace = [](StrategyKind kind) {
+    return [kind]() -> std::shared_ptr<const ConflictArbiter> {
+      return std::make_shared<conflict::GraceArbiter>(core::make_policy(kind));
+    };
+  };
+  const auto manager = [](conflict::CmKind kind) {
+    return [kind]() -> std::shared_ptr<const ConflictArbiter> {
+      return conflict::make_cm(kind);
+    };
+  };
+  std::vector<Contender> result;
+  result.push_back({"Grace(NONE)", grace(StrategyKind::kNoDelay)});
+  result.push_back({"Grace(DET_A)", grace(StrategyKind::kDetAborts)});
+  result.push_back({"Grace(RRA)", grace(StrategyKind::kRandAborts)});
+  result.push_back({"Grace(DET_W)", grace(StrategyKind::kDetWins)});
+  result.push_back({"Grace(HYBRID)", grace(StrategyKind::kHybrid)});
+  result.push_back({"Karma", manager(conflict::CmKind::kKarma)});
+  result.push_back({"Greedy", manager(conflict::CmKind::kGreedy)});
+  result.push_back({"Polka", manager(conflict::CmKind::kPolka)});
+  result.push_back({"ADAPTIVE", [] {
+                      return std::make_shared<conflict::AdaptiveArbiter>();
+                    }});
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
+  txc::bench::banner(
+      "Completion-time tails under a scheduler adversary — the arbiter "
+      "roster on TL2 and NOrec, oversubscribed on a restricted cpuset with "
+      "preemption fault injection (commit-window dwells, SIGUSR1 "
+      "deschedule pulses, yield churn)",
+      "Grace(NONE) never gives up on a stalled committer, so its p999/max "
+      "stretch toward the injected stall lengths; bounded-grace arbiters "
+      "(DET_A/RRA) cap the wait by sacrificing the waiter, and "
+      "requestor-wins flavors plus the seniority managers (DET_W, HYBRID, "
+      "Karma, Greedy, Polka) kill the stalled committer outright — their "
+      "kills and recoveries columns are nonzero and their tails compress.  "
+      "Conservation must hold for every row; `conserved=no` is a bug");
+
+  if (!conflict::injection_hooks_compiled()) {
+    std::printf(
+        "injection hooks compiled out (TXC_ADVERSARY_HOOKS=OFF): the "
+        "adversary can only oversubscribe, not target protocol windows\n");
+  }
+  const std::uint64_t kOps = txc::bench::scaled(std::uint64_t{1200});
+  const double cycles_per_us = calibrate_cycles_per_us();
+  const std::size_t online = adversary::online_cpus();
+  std::printf(
+      "calibration: %.1f cycles/us; cpuset %zu of %zu online CPUs; %llu "
+      "swap transactions per worker\n",
+      cycles_per_us, std::min<std::size_t>(kCpus, online), online,
+      static_cast<unsigned long long>(kOps));
+
+  for (const std::size_t factor : kOversubscription) {
+    const std::size_t threads =
+        factor * std::min<std::size_t>(kCpus, online);
+    std::printf("\n--- oversubscription %zux: %zu workers on a %zu-CPU "
+                "cpuset ---\n",
+                factor, threads, std::min<std::size_t>(kCpus, online));
+    txc::bench::Table table{{"arbiter", "substrate", "threads", "p50us",
+                             "p99us", "p999us", "maxus", "kills", "expired",
+                             "recov", "conserved"},
+                            12};
+    table.print_header();
+    for (const Contender& contender : roster()) {
+      const auto print = [&](const char* substrate, const RunResult& run) {
+        table.print_row({contender.label, substrate, std::to_string(threads),
+                         txc::bench::fmt(run.p50_us, 1),
+                         txc::bench::fmt(run.p99_us, 1),
+                         txc::bench::fmt(run.p999_us, 1),
+                         txc::bench::fmt(run.max_us, 1),
+                         txc::bench::fmt_sci(static_cast<double>(run.kills)),
+                         txc::bench::fmt_sci(static_cast<double>(run.expired)),
+                         txc::bench::fmt_sci(
+                             static_cast<double>(run.recoveries)),
+                         run.conserved ? "yes" : "NO"});
+        if (!run.conserved) {
+          std::fprintf(stderr,
+                       "tail_adversary: conservation audit FAILED "
+                       "(%s, %s, %zu threads)\n",
+                       contender.label.c_str(), substrate, threads);
+          std::exit(1);
+        }
+      };
+      print("TL2", run_tail<stm::Stm>(contender.make(), threads, kOps,
+                                      cycles_per_us));
+      print("NOrec", run_tail<stm::Norec>(contender.make(), threads, kOps,
+                                          cycles_per_us));
+    }
+  }
+  return 0;
+}

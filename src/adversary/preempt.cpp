@@ -1,0 +1,267 @@
+#include "adversary/preempt.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <functional>
+
+#include "sim/rng.hpp"
+
+#if defined(__linux__)
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace txc::adversary {
+
+namespace {
+
+#if defined(__linux__)
+
+// Signal-handler state must be reachable from a plain C handler, so it lives
+// in file-scope lock-free atomics (both are async-signal-safe to touch).
+std::atomic<long> g_signal_stall_ns{0};
+std::atomic<std::uint64_t> g_signal_stalls{0};
+// Pre-start SIGUSR1 disposition, restored at stop().  File-scope is safe:
+// hooks do not stack, so at most one adversary owns the signal at a time.
+struct sigaction g_saved_sigusr1;
+
+extern "C" void txc_adversary_sigusr1(int /*signo*/) {
+  // Async-signal-safe dwell: errno save/restore around nanosleep (the only
+  // syscall), no allocation, no locks.  The dwell emulates the thread being
+  // descheduled at whatever instruction the pulse landed on.
+  const int saved_errno = errno;
+  g_signal_stalls.fetch_add(1, std::memory_order_relaxed);
+  const long ns = g_signal_stall_ns.load(std::memory_order_relaxed);
+  if (ns > 0) {
+    timespec dwell{};
+    dwell.tv_sec = ns / 1000000000L;
+    dwell.tv_nsec = ns % 1000000000L;
+    nanosleep(&dwell, nullptr);
+  }
+  errno = saved_errno;
+}
+
+void dwell_ns(long ns) noexcept {
+  timespec dwell{};
+  dwell.tv_sec = ns / 1000000000L;
+  dwell.tv_nsec = ns % 1000000000L;
+  nanosleep(&dwell, nullptr);  // EINTR (a storm pulse landed) ends the dwell
+}
+
+#else
+
+void dwell_ns(long ns) noexcept {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+#endif  // __linux__
+
+/// Per-thread deterministic RNG for injection draws, decorrelated across
+/// threads the same way the substrates seed their spin RNGs.
+sim::Rng& injection_rng(std::uint64_t seed) noexcept {
+  thread_local sim::Rng rng{seed ^
+                            std::hash<std::thread::id>{}(
+                                std::this_thread::get_id())};
+  return rng;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cpuset helpers
+// ---------------------------------------------------------------------------
+
+std::size_t online_cpus() noexcept {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(mask), &mask) == 0) {
+    const int count = CPU_COUNT(&mask);
+    if (count > 0) return static_cast<std::size_t>(count);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ScopedCpuset::ScopedCpuset(std::size_t cpus) noexcept {
+  const std::size_t available = online_cpus();
+  effective_ = cpus == 0 ? 1 : (cpus < available ? cpus : available);
+#if defined(__linux__)
+  static_assert(sizeof(cpu_set_t) <= sizeof(saved_mask_),
+                "saved_mask_ too small for this platform's cpu_set_t");
+  cpu_set_t current;
+  CPU_ZERO(&current);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(current), &current) != 0) {
+    return;  // unreadable affinity: leave unrestricted
+  }
+  std::memcpy(saved_mask_, &current, sizeof(current));
+  // Keep the first effective_ CPUs of the *current* mask (respecting any
+  // outer cgroup/taskset restriction), drop the rest.
+  cpu_set_t restricted;
+  CPU_ZERO(&restricted);
+  std::size_t kept = 0;
+  for (int cpu = 0; cpu < CPU_SETSIZE && kept < effective_; ++cpu) {
+    if (CPU_ISSET(cpu, &current)) {
+      CPU_SET(cpu, &restricted);
+      ++kept;
+    }
+  }
+  if (kept > 0 &&
+      pthread_setaffinity_np(pthread_self(), sizeof(restricted), &restricted) ==
+          0) {
+    restricted_ = true;
+    effective_ = kept;
+  }
+#endif
+}
+
+ScopedCpuset::~ScopedCpuset() {
+#if defined(__linux__)
+  if (restricted_) {
+    cpu_set_t saved;
+    std::memcpy(&saved, saved_mask_, sizeof(saved));
+    pthread_setaffinity_np(pthread_self(), sizeof(saved), &saved);
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// PreemptionAdversary
+// ---------------------------------------------------------------------------
+
+PreemptionAdversary::PreemptionAdversary(AdversaryConfig config)
+    : config_(config) {}
+
+PreemptionAdversary::~PreemptionAdversary() { stop(); }
+
+PreemptionAdversary::ScopedVictim::ScopedVictim(
+    PreemptionAdversary& adversary) noexcept
+    : adversary_(adversary) {
+  adversary_.register_victim();
+}
+
+PreemptionAdversary::ScopedVictim::~ScopedVictim() {
+  adversary_.unregister_victim();
+}
+
+void PreemptionAdversary::register_victim() noexcept {
+#if defined(__linux__)
+  std::lock_guard<std::mutex> lock(victims_mutex_);
+  victims_.push_back(pthread_self());
+#endif
+}
+
+void PreemptionAdversary::unregister_victim() noexcept {
+#if defined(__linux__)
+  // Must be the victim's last adversary-visible act: once erased under the
+  // mutex, no storm pulse can target this thread again (the driver holds
+  // the same mutex across pthread_kill).
+  const pthread_t self = pthread_self();
+  std::lock_guard<std::mutex> lock(victims_mutex_);
+  for (std::size_t index = 0; index < victims_.size(); ++index) {
+    if (pthread_equal(victims_[index], self)) {
+      victims_[index] = victims_.back();
+      victims_.pop_back();
+      return;
+    }
+  }
+#endif
+}
+
+void PreemptionAdversary::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+#if defined(__linux__)
+  if (config_.signal_pulse_us > 0 && config_.signal_stall_us > 0) {
+    // Handler counters are process-global (hooks do not stack, so at most
+    // one adversary owns them at a time): zero them so stats_ reports this
+    // run, not the process lifetime.
+    g_signal_stalls.store(0, std::memory_order_relaxed);
+    g_signal_stall_ns.store(
+        static_cast<long>(config_.signal_stall_us) * 1000L,
+        std::memory_order_relaxed);
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = txc_adversary_sigusr1;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    signal_installed_ = sigaction(SIGUSR1, &action, &g_saved_sigusr1) == 0;
+    if (signal_installed_) {
+      driver_ = std::thread([this] { storm_driver(); });
+    }
+  }
+#endif
+  for (std::size_t index = 0; index < config_.yield_storm_threads; ++index) {
+    churn_.emplace_back([this] { yield_churn(); });
+  }
+  [[maybe_unused]] conflict::InjectionHook* const previous =
+      conflict::exchange_injection_hook(this);
+  assert(previous == nullptr && "injection hooks do not stack");
+}
+
+void PreemptionAdversary::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Quiesce the hook first: after this no thread is inside on_hook(), so
+  // tearing down the rest of the machinery (and eventually this object) is
+  // safe.
+  conflict::uninstall_injection_hook();
+  if (driver_.joinable()) driver_.join();
+  for (std::thread& churn : churn_) {
+    if (churn.joinable()) churn.join();
+  }
+  churn_.clear();
+#if defined(__linux__)
+  if (signal_installed_) {
+    // Restore the pre-start disposition.  Callers must stop() only after
+    // joining every ScopedVictim thread: a pulse issued before the driver
+    // joined could otherwise be delivered *after* this restore, under
+    // whatever disposition we put back (SIG_DFL terminates on SIGUSR1).
+    // With victims joined, every issued pulse was already handled or
+    // discarded with its target thread.
+    sigaction(SIGUSR1, &g_saved_sigusr1, nullptr);
+    signal_installed_ = false;
+  }
+  stats_.signal_stalls.store(g_signal_stalls.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+#endif
+}
+
+void PreemptionAdversary::on_hook(conflict::HookPoint point) noexcept {
+  const auto index = static_cast<std::size_t>(point);
+  stats_.hook_calls[index].fetch_add(1, std::memory_order_relaxed);
+  const double probability = config_.stall_probability[index];
+  if (probability <= 0.0) return;
+  sim::Rng& rng = injection_rng(config_.seed);
+  if (!rng.bernoulli(probability)) return;
+  stats_.hook_stalls.fetch_add(1, std::memory_order_relaxed);
+  dwell_ns(static_cast<long>(config_.stall_us) * 1000L);
+}
+
+void PreemptionAdversary::storm_driver() {
+#if defined(__linux__)
+  sim::Rng rng{config_.seed ^ 0x570F2ULL};
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.signal_pulse_us));
+    std::lock_guard<std::mutex> lock(victims_mutex_);
+    if (victims_.empty()) continue;
+    const std::size_t target = rng.uniform_below(victims_.size());
+    if (pthread_kill(victims_[target], SIGUSR1) == 0) {
+      stats_.signals_sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+#endif
+}
+
+void PreemptionAdversary::yield_churn() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+    stats_.yields.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace txc::adversary

@@ -1,0 +1,234 @@
+// txconflict — the scheduler adversary.
+//
+// The paper's grace-period argument is about *who eats the stall* when a
+// lock holder stops running: a preempted committer holds commit-time state
+// (TL2 write locks, NOrec's odd seqlock) that every conflicting waiter
+// spins on, and the arbitration policy decides whether waiters sit out the
+// stall, sacrifice themselves, or kill the holder and recover.  Under a
+// cooperative scheduler those windows are nanoseconds wide and the policies
+// are indistinguishable; this module makes them *seconds* wide on demand so
+// the tail (p99/p999) separates them.  Three mechanisms, composable:
+//
+//   * Hook-targeted stalls: the victim thread itself dwells off-CPU
+//     (nanosleep) inside a conflict::HookPoint window — deterministic
+//     preemption at the protocol's most vulnerable instruction.  This is
+//     what makes "deschedule the committer mid-commit" reproducible.
+//   * Signal storms: a driver thread pulses SIGUSR1 at registered victim
+//     threads; the (async-signal-safe) handler dwells before returning.
+//     This emulates involuntary preemption at *arbitrary* points — SIGSTOP
+//     semantics per thread, which Linux cannot deliver directly (SIGSTOP
+//     stops the whole process, handlers can't catch it; see
+//     docs/REPRODUCING.md).
+//   * Yield churn: optional threads that spin sched_yield() to keep the
+//     run queue hot, so every dwell above actually costs a scheduling
+//     round-trip on an oversubscribed cpuset.
+//
+// The cpuset helpers (online_cpus / ScopedCpuset) create the
+// oversubscription itself: restrict the spawning thread to k CPUs, start
+// N >> k workers (they inherit the mask), restore.  Everything degrades
+// gracefully off Linux — cpuset calls clamp to no-ops and the signal storm
+// disables — so the module compiles everywhere even though the adversary
+// only bites on Linux.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conflict/arbiter.hpp"
+#include "conflict/injection.hpp"
+
+namespace txc::adversary {
+
+/// CPUs the calling thread may currently run on (its affinity mask on
+/// Linux; hardware_concurrency elsewhere).  Never returns 0.
+[[nodiscard]] std::size_t online_cpus() noexcept;
+
+/// Restrict the calling thread to the first `cpus` CPUs of its current
+/// affinity mask, restoring the original mask on destruction.  Child
+/// threads spawned while the restriction is live inherit the restricted
+/// mask — that inheritance is how a whole worker pool lands on a small
+/// cpuset without each worker pinning itself.  Requests are clamped to the
+/// available mask (a 1-CPU machine yields effective() == 1 whatever was
+/// asked); on non-Linux platforms the restriction is a no-op and
+/// effective() just reports the clamp.
+class ScopedCpuset {
+ public:
+  explicit ScopedCpuset(std::size_t cpus) noexcept;
+  ~ScopedCpuset();
+  ScopedCpuset(const ScopedCpuset&) = delete;
+  ScopedCpuset& operator=(const ScopedCpuset&) = delete;
+
+  /// The CPU count actually applied after clamping.
+  [[nodiscard]] std::size_t effective() const noexcept { return effective_; }
+
+ private:
+  std::size_t effective_ = 1;
+  bool restricted_ = false;
+  // Opaque saved affinity mask (cpu_set_t without leaking <sched.h> into
+  // every includer); large enough for 1024-CPU masks.
+  alignas(8) unsigned char saved_mask_[128] = {};
+};
+
+/// What the adversary injects and how hard.  Probabilities are per hook
+/// *call*, so kSpinWait (fired every arbitration round) wants a far lower
+/// probability than the one-per-commit windows.
+struct AdversaryConfig {
+  /// Per-HookPoint probability that on_hook() dwells (indexed by
+  /// conflict::HookPoint).  Defaults target committers hard and waiters
+  /// lightly.
+  double stall_probability[conflict::kHookPointCount] = {0.0005, 0.02, 0.02};
+  /// Dwell length for a hook-targeted stall, microseconds.
+  std::uint32_t stall_us = 300;
+  /// Signal storm: period between SIGUSR1 pulses (0 disables the storm).
+  std::uint32_t signal_pulse_us = 400;
+  /// Dwell inside the signal handler, microseconds.
+  std::uint32_t signal_stall_us = 200;
+  /// Extra sched_yield() churn threads (0 disables).
+  std::size_t yield_storm_threads = 0;
+  std::uint64_t seed = 0x5EEDD1CEULL;
+};
+
+/// Injection counters, all relaxed (read exactly after stop() for totals,
+/// live for a harmless approximation).
+struct AdversaryStats {
+  std::atomic<std::uint64_t> hook_calls[conflict::kHookPointCount] = {};
+  std::atomic<std::uint64_t> hook_stalls{0};    // targeted dwells delivered
+  std::atomic<std::uint64_t> signals_sent{0};   // pthread_kill pulses issued
+  std::atomic<std::uint64_t> signal_stalls{0};  // handler dwells delivered
+  std::atomic<std::uint64_t> yields{0};         // churn-thread yields
+};
+
+/// The preemption adversary: a conflict::InjectionHook plus the signal /
+/// churn machinery around it.  Lifecycle: construct, have every victim
+/// thread hold a ScopedVictim for its working lifetime, start(), run the
+/// workload, stop().  start() installs the process-wide hook (hooks do not
+/// stack — the previous hook must be null) and spawns the storm threads;
+/// stop() uninstalls with full quiescence (no on_hook call is in flight
+/// once it returns), restores the SIGUSR1 disposition, and joins the
+/// storms.  Both are idempotent.  Call stop() only after every victim
+/// thread has been joined — a pulse still in flight at the disposition
+/// restore would otherwise be delivered under the restored handler
+/// (SIG_DFL terminates the process on SIGUSR1).
+class PreemptionAdversary final : public conflict::InjectionHook {
+ public:
+  explicit PreemptionAdversary(AdversaryConfig config = {});
+  ~PreemptionAdversary() override;
+
+  PreemptionAdversary(const PreemptionAdversary&) = delete;
+  PreemptionAdversary& operator=(const PreemptionAdversary&) = delete;
+
+  /// Registers the calling thread as a signal-storm target for the scope's
+  /// lifetime.  Unregistration is the victim's last adversary-visible act:
+  /// the registry mutex is held across every pthread_kill, so a pulse never
+  /// targets a thread that already unwound (no ESRCH roulette).
+  class ScopedVictim {
+   public:
+    explicit ScopedVictim(PreemptionAdversary& adversary) noexcept;
+    ~ScopedVictim();
+    ScopedVictim(const ScopedVictim&) = delete;
+    ScopedVictim& operator=(const ScopedVictim&) = delete;
+
+   private:
+    PreemptionAdversary& adversary_;
+  };
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const AdversaryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const AdversaryConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// conflict::InjectionHook — runs on the victim thread inside the
+  /// protocol window; dwells with the configured per-point probability.
+  void on_hook(conflict::HookPoint point) noexcept override;
+
+ private:
+  void register_victim() noexcept;
+  void unregister_victim() noexcept;
+  void storm_driver();
+  void yield_churn();
+
+  AdversaryConfig config_;
+  AdversaryStats stats_;
+  std::atomic<bool> running_{false};
+  std::mutex victims_mutex_;
+  std::vector<std::thread::native_handle_type> victims_;
+  std::thread driver_;
+  std::vector<std::thread> churn_;
+  bool signal_installed_ = false;
+};
+
+/// Forwarding ConflictArbiter decorator that counts what the wrapped
+/// arbiter decides — the harness's source for kills-requested and
+/// grace-grants-expired without touching any arbiter implementation.  A
+/// feedback outcome with committed == false is precisely "the granted wait
+/// expired without the enemy finishing" (kills suppress their feedback at
+/// the spin sites, so expiries and kills never double-count).
+class ArbiterProbe final : public conflict::ConflictArbiter {
+ public:
+  explicit ArbiterProbe(std::shared_ptr<const conflict::ConflictArbiter> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] conflict::Decision decide(const conflict::ConflictView& view,
+                                          sim::Rng& rng) const override {
+    const conflict::Decision verdict = inner_->decide(view, rng);
+    switch (verdict) {
+      case conflict::Decision::kAbortEnemy:
+        kills_requested_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case conflict::Decision::kAbortSelf:
+        self_sacrifices_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case conflict::Decision::kWait:
+        break;
+    }
+    return verdict;
+  }
+  [[nodiscard]] std::uint64_t wait_quantum(
+      const conflict::ConflictView& view) const noexcept override {
+    return inner_->wait_quantum(view);
+  }
+  [[nodiscard]] conflict::GraceGrant grace_grant(
+      const conflict::ConflictView& view, sim::Rng& rng) const override {
+    return inner_->grace_grant(view, rng);
+  }
+  [[nodiscard]] bool needs_seniority() const noexcept override {
+    return inner_->needs_seniority();
+  }
+  void feedback(const core::ConflictOutcome& outcome) const noexcept override {
+    if (!outcome.committed) {
+      grants_expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    inner_->feedback(outcome);
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] std::uint64_t kills_requested() const noexcept {
+    return kills_requested_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t self_sacrifices() const noexcept {
+    return self_sacrifices_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t grants_expired() const noexcept {
+    return grants_expired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const conflict::ConflictArbiter> inner_;
+  mutable std::atomic<std::uint64_t> kills_requested_{0};
+  mutable std::atomic<std::uint64_t> self_sacrifices_{0};
+  mutable std::atomic<std::uint64_t> grants_expired_{0};
+};
+
+}  // namespace txc::adversary

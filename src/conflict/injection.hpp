@@ -1,0 +1,128 @@
+// txconflict — scheduler-adversary fault-injection hooks.
+//
+// The substrates' conflict protocols are written against a cooperative
+// scheduler: a committer acquires its locks, writes back, and releases in a
+// handful of cycles, so the windows the kill protocol guards are nanoseconds
+// wide.  A *real* scheduler preempts threads at arbitrary points — including
+// inside those windows — and that is exactly the regime where arbitration
+// policies diverge in the tail (Alistarh–Censor-Hillel–Shavit's "practically
+// wait-free" argument, PAPERS.md).  This header is the seam that lets the
+// adversary harness (src/adversary) force the worst case deterministically:
+// a handful of named hook points at the protocol's most vulnerable moments,
+// behind a gate that costs one relaxed-ish load when nothing is installed.
+//
+// Hook points (see each call site for the exact protocol state):
+//
+//   kSpinWait          drive_spin_site(): a waiter is about to consult the
+//                      arbiter for one more conflict round.
+//   kTl2CommitLocked   TL2 try_commit: every write-set stripe is locked and
+//                      the holder's descriptor is published — the widest
+//                      moment a preempted holder stalls every conflicting
+//                      waiter.
+//   kNorecOddWindow    NOrec try_commit: the global seqlock is odd and the
+//                      committer's descriptor is published, kill window
+//                      still open.  A stall here blocks every reader and
+//                      committer of the whole substrate.
+//
+// Gate design.  The hooks sit on contended paths only (never the
+// uncontended fast path), but substrates must not pay for adversaries they
+// do not run:
+//
+//   * Compile gate: defining TXC_NO_ADVERSARY_HOOKS compiles maybe_hook()
+//     to nothing (the CMake option TXC_ADVERSARY_HOOKS=OFF does this
+//     globally); install/uninstall still link, they just never fire.
+//   * Runtime gate: with hooks compiled in, maybe_hook() is a single
+//     acquire load of a global slot that is null unless an adversary is
+//     installed.  No branch history pollution beyond the one
+//     null-check.
+//
+// Teardown safety: uninstall_injection_hook() must not race an in-flight
+// on_hook() call on another thread.  maybe_hook() brackets the virtual call
+// with an in-flight counter, and uninstall spins until that counter drains
+// — so once uninstall returns, destroying the hook object is safe.  The
+// counter is only touched after the null-check, keeping the disabled path
+// at one load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace txc::conflict {
+
+/// Where in a conflict protocol a hook fires.
+enum class HookPoint : std::uint32_t {
+  kSpinWait = 0,      // waiter: about to run one arbiter decide round
+  kTl2CommitLocked,   // TL2 committer: write locks held, kill window open
+  kNorecOddWindow,    // NOrec committer: seqlock odd, descriptor published
+};
+
+inline constexpr std::size_t kHookPointCount = 3;
+
+/// A fault injector.  on_hook() runs on the *victim* thread, inside the
+/// protocol window named by `point`; implementations stall, yield, or do
+/// nothing, but must not touch the substrate that called them (the victim
+/// may hold its locks) and must not allocate (the call sites sit on the
+/// zero-allocation conflict paths).
+class InjectionHook {
+ public:
+  virtual ~InjectionHook() = default;
+  virtual void on_hook(HookPoint point) noexcept = 0;
+};
+
+namespace detail {
+
+struct HookGate {
+  std::atomic<InjectionHook*> slot{nullptr};
+  std::atomic<std::uint64_t> in_flight{0};
+};
+
+inline HookGate& hook_gate() noexcept {
+  static HookGate gate;
+  return gate;
+}
+
+}  // namespace detail
+
+/// Whether the hook call sites were compiled in at all.
+[[nodiscard]] constexpr bool injection_hooks_compiled() noexcept {
+#if defined(TXC_NO_ADVERSARY_HOOKS)
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Install `hook` as the process-wide injector (nullptr uninstalls, but
+/// prefer uninstall_injection_hook for its quiescence guarantee).  Returns
+/// the previously-installed hook; adversaries assert it was null — hooks do
+/// not stack.
+inline InjectionHook* exchange_injection_hook(InjectionHook* hook) noexcept {
+  return detail::hook_gate().slot.exchange(hook, std::memory_order_acq_rel);
+}
+
+/// Uninstall and *quiesce*: returns only after every in-flight on_hook()
+/// call has left the gate, so the caller may destroy the hook object.
+inline void uninstall_injection_hook() noexcept {
+  detail::HookGate& gate = detail::hook_gate();
+  gate.slot.store(nullptr, std::memory_order_release);
+  while (gate.in_flight.load(std::memory_order_acquire) != 0) {
+  }
+}
+
+/// The hook call sites' entry point.  One acquire load when no adversary is
+/// installed; compiled to nothing under TXC_NO_ADVERSARY_HOOKS.
+inline void maybe_hook([[maybe_unused]] HookPoint point) noexcept {
+#if !defined(TXC_NO_ADVERSARY_HOOKS)
+  detail::HookGate& gate = detail::hook_gate();
+  if (gate.slot.load(std::memory_order_acquire) == nullptr) return;
+  gate.in_flight.fetch_add(1, std::memory_order_acq_rel);
+  // Re-probe under the in-flight count: the slot may have been cleared
+  // between the fast-path check and the bracket.
+  if (InjectionHook* hook = gate.slot.load(std::memory_order_acquire)) {
+    hook->on_hook(point);
+  }
+  gate.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+#endif
+}
+
+}  // namespace txc::conflict

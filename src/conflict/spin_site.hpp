@@ -50,6 +50,7 @@
 #include <cstdint>
 
 #include "conflict/arbiter.hpp"
+#include "conflict/injection.hpp"
 #include "core/policy.hpp"
 #include "sim/rng.hpp"
 
@@ -93,6 +94,10 @@ template <typename Site>
       return SpinResult::kEnemyFinished;
     }
     if (site.self_killed()) return SpinResult::kSelfKilled;
+    // Scheduler-adversary seam: a preemption adversary may stall or yield
+    // the waiter here, between conflict detection and the decide round —
+    // one acquire load when no adversary is installed (conflict/injection).
+    maybe_hook(HookPoint::kSpinWait);
     view.enemy = site.enemy();
     switch (arbiter.decide(view, rng)) {
       case Decision::kAbortSelf:

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -92,38 +93,65 @@ class AttemptProfile {
 /// Concurrent log-scaled histogram for completion-time distributions
 /// (HdrHistogram-lite).  Values bucket by octave (power of two) with
 /// kSubBuckets linear sub-buckets per octave, bounding the relative
-/// quantization error at 1/kSubBuckets (~3%) while covering the full
-/// uint64 range in a few KiB of counters.  record() is a single relaxed
-/// fetch_add, safe from any number of threads; quantile() scans the
-/// buckets and is meant for after workers joined (a live read is a
-/// harmless approximation).  Unit-agnostic: feed it cycles (core::
-/// cycle_now deltas), nanoseconds, whatever — quantile() answers in the
-/// same unit.  The open-loop KV bench records enqueue-to-commit cycles
-/// here and calibrates to microseconds at report time.
-class LatencyHistogram {
+/// quantization error at 1/kSubBuckets while covering the full uint64
+/// range in a few KiB of counters.  record() is a relaxed fetch_add plus a
+/// contention-free running max, safe from any number of threads;
+/// quantile() scans the buckets and is meant for after workers joined (a
+/// live read is a harmless approximation).  Unit-agnostic: feed it cycles
+/// (core::cycle_now deltas), nanoseconds, whatever — quantile() answers in
+/// the same unit.  The open-loop KV bench and the scheduler-adversary tail
+/// harness record completion-time cycles here and calibrate to
+/// microseconds at report time.
+///
+/// Edge cases are defined, not UB: quantile() of an empty histogram (or a
+/// NaN q) returns 0, out-of-range q clamps to [0, 1], and the bucket
+/// geometry is a *type* parameter — histograms of different resolution are
+/// different types, so merge() across differently-sized bucket arrays is a
+/// compile error instead of silent counter misalignment.  Self-merge is
+/// the one remaining foot-gun (it reads the buckets it is writing) and is
+/// rejected by assert.
+template <std::size_t SubBucketBitsV>
+class BasicLatencyHistogram {
  public:
-  static constexpr std::size_t kSubBucketBits = 5;  // 32 sub-buckets/octave
+  static constexpr std::size_t kSubBucketBits = SubBucketBitsV;
   static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
   /// One linear region for values < kSubBuckets plus one octave of
   /// sub-buckets for each remaining leading-bit position.
   static constexpr std::size_t kBucketCount =
       kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+  static_assert(SubBucketBitsV >= 1 && SubBucketBitsV < 16,
+                "sub-bucket resolution out of the sane range");
 
   void record(std::uint64_t value) noexcept {
     buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+    // Exact running max (quantile(1.0) only bounds it to ~one bucket
+    // width): CAS loop entered only while `value` actually raises the max.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
 
+  /// Largest value ever recorded (exact, unlike quantile(1.0)); 0 when
+  /// empty.
+  [[nodiscard]] std::uint64_t max_recorded() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
   /// Upper edge of the bucket containing the q-quantile sample (q in [0,1]):
   /// at least a q-fraction of recorded values are <= the returned value, up
-  /// to the ~3% bucket width.  Returns 0 when empty.
+  /// to the ~1/kSubBuckets bucket width.  Returns 0 when the histogram is
+  /// empty or q is NaN; q outside [0, 1] clamps.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
     const std::uint64_t total = count();
     if (total == 0) return 0;
+    if (!(q == q)) return 0;  // NaN: no defined rank — not a crash
     if (q < 0.0) q = 0.0;
     if (q > 1.0) q = 1.0;
     auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
@@ -138,8 +166,11 @@ class LatencyHistogram {
   }
 
   /// Fold another histogram's counts into this one (post-join aggregation
-  /// of per-shard histograms).
-  void merge(const LatencyHistogram& other) noexcept {
+  /// of per-shard histograms).  Only histograms of the same resolution are
+  /// mergeable — a different SubBucketBits is a different type, so the
+  /// mismatch is caught by the compiler, not by corrupted buckets.
+  void merge(const BasicLatencyHistogram& other) noexcept {
+    assert(&other != this && "self-merge would double-count live buckets");
     for (std::size_t index = 0; index < kBucketCount; ++index) {
       const std::uint64_t delta =
           other.buckets_[index].load(std::memory_order_relaxed);
@@ -148,11 +179,18 @@ class LatencyHistogram {
       }
     }
     count_.fetch_add(other.count(), std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    const std::uint64_t other_max = other.max_recorded();
+    while (other_max > seen &&
+           !max_.compare_exchange_weak(seen, other_max,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   void reset() noexcept {
     for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -182,7 +220,12 @@ class LatencyHistogram {
 
   std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_{0};
 };
+
+/// The default resolution every in-tree consumer shares: 32 sub-buckets per
+/// octave, ~3% relative error.
+using LatencyHistogram = BasicLatencyHistogram<5>;
 
 /// Streams committed-transaction lengths and exposes the empirical mean once
 /// enough samples accumulated.  An optional exponential decay lets the

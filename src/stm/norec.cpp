@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "conflict/grace.hpp"
+#include "conflict/injection.hpp"
 #include "conflict/spin_site.hpp"
 
 namespace txc::stm {
@@ -175,6 +176,12 @@ bool Norec::try_commit(NorecTx& tx) {
   // (measured in bench/micro_stm_fastpath.cpp).
   committer_.store(tx.descriptor_, std::memory_order_release);
 
+  // Scheduler-adversary seam: seqlock odd, descriptor published, kill
+  // window still open — a preemption adversary deschedules the committer
+  // right here, stalling the whole substrate until a waiter's arbiter
+  // kills us (the recovery below) or the stall ends.
+  conflict::maybe_hook(conflict::HookPoint::kNorecOddWindow);
+
   // Close the kill window before write-back: a waiter's kill CAS
   // (kActive -> kAborted) that landed makes this CAS fail.  Nothing has
   // been written yet, so restoring the seqlock to its pre-acquisition even
@@ -184,6 +191,7 @@ bool Norec::try_commit(NorecTx& tx) {
   if (!tx.descriptor_->status.compare_exchange_strong(
           active, static_cast<std::uint32_t>(TxStatus::kCommitting),
           std::memory_order_acq_rel)) {
+    stats_.kill_recoveries.fetch_add(1, std::memory_order_relaxed);
     committer_.store(nullptr, std::memory_order_release);
     seqlock_.store(base, std::memory_order_release);
     return false;  // killed just before the point of no return

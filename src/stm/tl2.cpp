@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "conflict/grace.hpp"
+#include "conflict/injection.hpp"
 #include "conflict/spin_site.hpp"
 
 namespace txc::stm {
@@ -212,6 +213,11 @@ bool Stm::try_commit(Tx& tx) {
     if (already_ours) continue;
     while (true) {
       if (tx.descriptor_->load_status() == TxStatus::kAborted) {
+        // Only a holder counts as a commit-state recovery: before the first
+        // stripe lands this is an ordinary waiter-phase kill.
+        if (!acquired.empty()) {
+          stats_.kill_recoveries.fetch_add(1, std::memory_order_relaxed);
+        }
         release_all();
         return false;  // remotely killed mid-acquisition
       }
@@ -234,12 +240,19 @@ bool Stm::try_commit(Tx& tx) {
     }
   }
 
+  // Scheduler-adversary seam: the whole write set is locked and every
+  // stripe publishes our descriptor — a preemption adversary deschedules
+  // the holder here, the widest moment a stall propagates to every
+  // conflicting waiter (and their arbiters get to kill us).
+  conflict::maybe_hook(conflict::HookPoint::kTl2CommitLocked);
+
   // Close the kill window: only kActive transactions can be murdered, and
   // the write-back below must never race with a kill.
   auto active = static_cast<std::uint32_t>(TxStatus::kActive);
   if (!tx.descriptor_->status.compare_exchange_strong(
           active, static_cast<std::uint32_t>(TxStatus::kCommitting),
           std::memory_order_acq_rel)) {
+    stats_.kill_recoveries.fetch_add(1, std::memory_order_relaxed);
     release_all();
     return false;  // killed just before the point of no return
   }

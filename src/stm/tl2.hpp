@@ -68,6 +68,13 @@ struct StmStats {
   std::atomic<std::uint64_t> aborts{0};
   std::atomic<std::uint64_t> lock_waits{0};    // conflict-arbiter invocations
   std::atomic<std::uint64_t> remote_kills{0};  // enemies killed by the arbiter
+  /// Attempts that observed a remote kill while holding commit-time state
+  /// (TL2: write-locked stripes; NOrec: the odd seqlock) and unwound it
+  /// cleanly before write-back — the recoveries the killable-committer
+  /// protocol exists for.  On a single-substrate run this never exceeds
+  /// remote_kills (kills landing on waiters or readers unwind without
+  /// commit-time state).
+  std::atomic<std::uint64_t> kill_recoveries{0};
 };
 
 class Stm;

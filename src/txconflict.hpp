@@ -15,7 +15,10 @@
 //             estimators, numeric minimax solver
 //   conflict  substrate-agnostic conflict arbitration: descriptors, the
 //             ConflictArbiter interface, the canonical contention managers,
-//             the grace-period adapter, the adaptive learner
+//             the grace-period adapter, the adaptive learner, the
+//             fault-injection hook seam
+//   adversary scheduler-adversarial fault injection: preemption adversary,
+//             cpuset oversubscription helpers, arbiter probes
 //   sim       discrete-event kernel, RNG, statistics
 //   workload  length distributions, Zipf, synthetic + adversarial games,
 //             trace replay
@@ -32,10 +35,12 @@
 // deliberately not included here — migrate to the conflict/ headers.
 #pragma once
 
+#include "adversary/preempt.hpp"
 #include "conflict/adaptive.hpp"
 #include "conflict/arbiter.hpp"
 #include "conflict/descriptor.hpp"
 #include "conflict/grace.hpp"
+#include "conflict/injection.hpp"
 #include "conflict/managers.hpp"
 #include "core/cost_model.hpp"
 #include "core/densities.hpp"

@@ -1,0 +1,142 @@
+// core::LatencyHistogram edge cases and geometry — the contract the tail
+// figure and the KV service's per-shard latency accounting lean on.  The
+// once-UB corners are pinned explicitly: quantile() on an empty histogram
+// (or with a NaN q) is 0, out-of-range q clamps, and merge() is only
+// defined between histograms of the same resolution — a different
+// SubBucketBits is a different *type*, so the misalignment that used to be
+// silently possible is now a compile error (checked here by successfully
+// instantiating a second resolution, not by merging it).
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+
+namespace {
+
+using txc::core::BasicLatencyHistogram;
+using txc::core::LatencyHistogram;
+
+TEST(LatencyHistogram, EmptyHistogramQuantilesAreZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.max_recorded(), 0u);
+  EXPECT_EQ(histogram.quantile(0.0), 0u);
+  EXPECT_EQ(histogram.quantile(0.5), 0u);
+  EXPECT_EQ(histogram.quantile(1.0), 0u);
+}
+
+TEST(LatencyHistogram, NanAndOutOfRangeQuantilesAreDefined) {
+  LatencyHistogram histogram;
+  histogram.record(100);
+  histogram.record(200);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(histogram.quantile(nan), 0u) << "NaN has no rank; must not trap";
+  // Out-of-range clamps to the extremes instead of under/overflowing rank.
+  EXPECT_EQ(histogram.quantile(-3.0), histogram.quantile(0.0));
+  EXPECT_EQ(histogram.quantile(7.0), histogram.quantile(1.0));
+  // And NaN on an empty histogram stays 0 too.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.quantile(nan), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesBucketExactly) {
+  // The first octave holds one value per bucket: quantiles over values
+  // below kSubBuckets are exact, not ~3% approximations.
+  LatencyHistogram histogram;
+  for (std::uint64_t value = 0; value < LatencyHistogram::kSubBuckets;
+       ++value) {
+    histogram.record(value);
+  }
+  EXPECT_EQ(histogram.quantile(0.0), 0u);
+  EXPECT_EQ(histogram.quantile(1.0), LatencyHistogram::kSubBuckets - 1);
+  // The median of 0..31 lands on 15 (rank 16 of 32).
+  EXPECT_EQ(histogram.quantile(0.5), LatencyHistogram::kSubBuckets / 2 - 1);
+}
+
+TEST(LatencyHistogram, QuantileErrorIsBoundedByBucketWidth) {
+  LatencyHistogram histogram;
+  const std::uint64_t kValue = 123456789;
+  for (int i = 0; i < 100; ++i) histogram.record(kValue);
+  const std::uint64_t q50 = histogram.quantile(0.5);
+  // Upper-edge semantics: at least the recorded value, within one
+  // sub-bucket (1/32 ~ 3.2%) relative width.
+  EXPECT_GE(q50, kValue);
+  EXPECT_LE(static_cast<double>(q50),
+            static_cast<double>(kValue) *
+                (1.0 + 1.0 / LatencyHistogram::kSubBuckets) +
+                1.0);
+}
+
+TEST(LatencyHistogram, MaxRecordedIsExactWhereQuantileIsNot) {
+  LatencyHistogram histogram;
+  histogram.record(1000003);  // not a bucket edge
+  histogram.record(17);
+  EXPECT_EQ(histogram.max_recorded(), 1000003u);
+  EXPECT_GE(histogram.quantile(1.0), 1000003u) << "upper edge bounds the max";
+  histogram.reset();
+  EXPECT_EQ(histogram.max_recorded(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(LatencyHistogram, MergeAccumulatesCountsAndMax) {
+  LatencyHistogram left;
+  LatencyHistogram right;
+  for (int i = 0; i < 10; ++i) left.record(100);
+  for (int i = 0; i < 30; ++i) right.record(5000);
+  right.record(999999);
+  left.merge(right);
+  EXPECT_EQ(left.count(), 41u);
+  EXPECT_EQ(left.max_recorded(), 999999u);
+  // The merged distribution is 10 x 100 vs 31 larger samples: the median
+  // comes from the right-hand mass.
+  EXPECT_GE(left.quantile(0.5), 5000u);
+  EXPECT_LE(left.quantile(0.1), 104u);
+  // Merging an empty histogram is a no-op.
+  LatencyHistogram empty;
+  left.merge(empty);
+  EXPECT_EQ(left.count(), 41u);
+  EXPECT_EQ(left.max_recorded(), 999999u);
+}
+
+TEST(LatencyHistogram, AlternativeResolutionIsADistinctUsableType) {
+  // 8 sub-buckets per octave: coarser, smaller, and deliberately NOT
+  // mergeable with the default 32-sub-bucket alias — `coarse.merge(fine)`
+  // would not compile, which is the whole point of the type parameter.
+  BasicLatencyHistogram<3> coarse;
+  static_assert(BasicLatencyHistogram<3>::kSubBuckets == 8);
+  static_assert(BasicLatencyHistogram<3>::kBucketCount <
+                LatencyHistogram::kBucketCount);
+  coarse.record(7);
+  coarse.record(70000);
+  EXPECT_EQ(coarse.count(), 2u);
+  EXPECT_EQ(coarse.max_recorded(), 70000u);
+  EXPECT_GE(coarse.quantile(1.0), 70000u);
+  BasicLatencyHistogram<3> other;
+  other.record(3);
+  coarse.merge(other);
+  EXPECT_EQ(coarse.count(), 3u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.record(static_cast<std::uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.max_recorded(), 3001u);
+}
+
+}  // namespace

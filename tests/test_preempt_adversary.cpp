@@ -1,0 +1,453 @@
+// Scheduler-adversary machinery: the injection-hook gate, the preemption
+// adversary, and the kill-protocol-under-preemption proofs the tail figure
+// rests on.  The centerpiece is the staged-committer test: a *real* NOrec
+// committer thread is parked inside its odd-seqlock window by a gate hook
+// (the deterministic stand-in for "the scheduler preempted the committer
+// mid-commit" — per-thread SIGSTOP does not exist on Linux, see
+// docs/REPRODUCING.md), a waiter's arbiter kills it from outside, and the
+// victim provably recovers: seqlock restored, kill_recoveries counted, the
+// retry commits.  The stochastic tests then run the full adversary
+// (SIGUSR1 storms, hook dwells, yield churn) over oversubscribed swap
+// workloads on both substrates and re-assert the conservation audits.
+//
+// Scale the stochastic depth with TXC_STRESS_DEPTH (default 1), alongside
+// test_spin_stress and test_kv.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/preempt.hpp"
+#include "conflict/injection.hpp"
+#include "conflict/managers.hpp"
+#include "kv/service.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+// White-box access to NOrec's seqlock / committer slot (declared a friend
+// of Norec and NorecTx by *name*, so this binary may define its own peek —
+// same pattern as tests/test_conflict_arbiter.cpp).
+namespace txc::stm {
+struct NorecTestPeek {
+  static std::atomic<std::uint64_t>& seqlock(Norec& norec) {
+    return norec.seqlock_;
+  }
+  static std::atomic<TxDescriptor*>& committer(Norec& norec) {
+    return norec.committer_;
+  }
+  static NorecTx make_tx(Norec& norec, std::uint32_t attempt,
+                         std::uint64_t snapshot, TxDescriptor* descriptor,
+                         TxBuffers* buffers) {
+    return NorecTx{norec,      attempt, snapshot,
+                   descriptor, buffers, /*read_only=*/false};
+  }
+  static std::optional<std::uint64_t> await_even(Norec& norec, NorecTx& tx) {
+    return norec.await_even(tx);
+  }
+};
+}  // namespace txc::stm
+
+namespace {
+
+using namespace txc;
+using adversary::AdversaryConfig;
+using adversary::ArbiterProbe;
+using adversary::PreemptionAdversary;
+using adversary::ScopedCpuset;
+using conflict::ConflictArbiter;
+using conflict::ConflictView;
+using conflict::Decision;
+using conflict::HookPoint;
+using stm::NorecTestPeek;
+using stm::TxDescriptor;
+using stm::TxStatus;
+
+int stress_depth() {
+  if (const char* env = std::getenv("TXC_STRESS_DEPTH")) {
+    const int depth = std::atoi(env);
+    if (depth > 0) return depth;
+  }
+  return 1;
+}
+
+constexpr auto kDeadline = std::chrono::seconds(30);
+
+// ---------------------------------------------------------------------------
+// The hook gate
+// ---------------------------------------------------------------------------
+
+class CountingHook final : public conflict::InjectionHook {
+ public:
+  void on_hook(HookPoint point) noexcept override {
+    calls[static_cast<std::size_t>(point)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> calls[conflict::kHookPointCount] = {};
+};
+
+TEST(InjectionGate, InstallFireUninstall) {
+  CountingHook hook;
+  ASSERT_EQ(conflict::exchange_injection_hook(&hook), nullptr)
+      << "another test leaked an installed hook";
+  conflict::maybe_hook(HookPoint::kSpinWait);
+  conflict::maybe_hook(HookPoint::kNorecOddWindow);
+  conflict::uninstall_injection_hook();
+  // After the quiescing uninstall nothing fires.
+  conflict::maybe_hook(HookPoint::kSpinWait);
+  if (conflict::injection_hooks_compiled()) {
+    EXPECT_EQ(hook.calls[0].load(), 1u);
+    EXPECT_EQ(hook.calls[2].load(), 1u);
+  } else {
+    EXPECT_EQ(hook.calls[0].load(), 0u);
+  }
+  EXPECT_EQ(hook.calls[1].load(), 0u);
+}
+
+TEST(InjectionGate, UninstalledGateIsInert) {
+  // No hook installed: the call sites must be no-ops, not crashes.
+  conflict::maybe_hook(HookPoint::kTl2CommitLocked);
+  conflict::maybe_hook(HookPoint::kNorecOddWindow);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// ArbiterProbe
+// ---------------------------------------------------------------------------
+
+/// Scripted inner arbiter: kill once, then always give up; every feedback
+/// is forwarded.
+class ScriptedArbiter final : public ConflictArbiter {
+ public:
+  [[nodiscard]] Decision decide(const ConflictView&,
+                                sim::Rng&) const override {
+    if (!kill_spent_.exchange(true)) return Decision::kAbortEnemy;
+    return Decision::kAbortSelf;
+  }
+  void feedback(const core::ConflictOutcome&) const noexcept override {
+    feedbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::string name() const override { return "Scripted"; }
+  mutable std::atomic<bool> kill_spent_{false};
+  mutable std::atomic<std::uint64_t> feedbacks_{0};
+};
+
+TEST(ArbiterProbe, CountsVerdictsAndExpiredGrants) {
+  const auto inner = std::make_shared<ScriptedArbiter>();
+  ArbiterProbe probe{inner};
+  ConflictView view;
+  sim::Rng rng{42};
+  EXPECT_EQ(probe.decide(view, rng), Decision::kAbortEnemy);
+  EXPECT_EQ(probe.decide(view, rng), Decision::kAbortSelf);
+  EXPECT_EQ(probe.decide(view, rng), Decision::kAbortSelf);
+  EXPECT_EQ(probe.kills_requested(), 1u);
+  EXPECT_EQ(probe.self_sacrifices(), 2u);
+  // Expired grants are feedbacks with committed == false; successful waits
+  // do not count.
+  probe.feedback({/*committed=*/true, 100.0, 50.0, 2});
+  probe.feedback({/*committed=*/false, 100.0, 100.0, 2});
+  probe.feedback({/*committed=*/false, 100.0, 100.0, 2});
+  EXPECT_EQ(probe.grants_expired(), 2u);
+  EXPECT_EQ(inner->feedbacks_.load(), 3u) << "probe must forward feedback";
+  EXPECT_EQ(probe.name(), "Scripted");
+}
+
+// ---------------------------------------------------------------------------
+// Cpuset helpers
+// ---------------------------------------------------------------------------
+
+TEST(ScopedCpuset, ClampsAndRestores) {
+  const std::size_t before = adversary::online_cpus();
+  ASSERT_GE(before, 1u);
+  {
+    ScopedCpuset cpuset{1};
+    EXPECT_EQ(cpuset.effective(), 1u);
+    EXPECT_EQ(adversary::online_cpus(), 1u);
+    // Requests beyond the restricted mask clamp to it.
+    ScopedCpuset nested{1024};
+    EXPECT_EQ(nested.effective(), 1u);
+  }
+  EXPECT_EQ(adversary::online_cpus(), before) << "mask must restore on exit";
+  // A zero request is treated as one CPU, never an empty mask.
+  ScopedCpuset zero{0};
+  EXPECT_EQ(zero.effective(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The staged committer: killed inside the odd window under "preemption",
+// recovers, retries, commits.
+// ---------------------------------------------------------------------------
+
+/// Parks the first thread that reaches kNorecOddWindow until released —
+/// the deterministic emulation of the scheduler descheduling a committer
+/// inside its kill window.
+class GateHook final : public conflict::InjectionHook {
+ public:
+  void on_hook(HookPoint point) noexcept override {
+    if (point != HookPoint::kNorecOddWindow) return;
+    if (armed_.exchange(false, std::memory_order_acq_rel)) {
+      parked_.store(true, std::memory_order_release);
+      while (!released_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  [[nodiscard]] bool parked() const noexcept {
+    return parked_.load(std::memory_order_acquire);
+  }
+  void release() noexcept {
+    released_.store(true, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> armed_{true};
+  std::atomic<bool> parked_{false};
+  std::atomic<bool> released_{false};
+};
+
+TEST(PreemptedCommitter, NorecOddWindowKillRecoversAndRetries) {
+  if (!conflict::injection_hooks_compiled()) {
+    GTEST_SKIP() << "built with TXC_ADVERSARY_HOOKS=OFF";
+  }
+  // Karma kills the lower-credit party: the committer earns ~1 credit from
+  // its single read, the waiter below claims 10.
+  stm::Norec norec{conflict::make_cm(conflict::CmKind::kKarma)};
+  stm::Cell cell;
+
+  GateHook gate;
+  ASSERT_EQ(conflict::exchange_injection_hook(&gate), nullptr);
+
+  std::thread committer{[&] {
+    norec.atomically([&](stm::NorecTx& tx) {
+      tx.write(cell, tx.read(cell) + 1);
+    });
+  }};
+
+  // Wait until the committer is provably parked inside the window: seqlock
+  // odd, descriptor published, kill window still open.
+  const auto deadline = std::chrono::steady_clock::now() + kDeadline;
+  while (!gate.parked() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(gate.parked()) << "committer never reached the odd window";
+  ASSERT_EQ(NorecTestPeek::seqlock(norec).load() & 1, 1u);
+  TxDescriptor* const victim = NorecTestPeek::committer(norec).load();
+  ASSERT_NE(victim, nullptr);
+  ASSERT_EQ(victim->load_status(), TxStatus::kActive)
+      << "kill window must still be open while parked";
+
+  // A waiter arbitrates against the parked committer; Karma's credit
+  // comparison grants the kill with zero cooperation from the victim.
+  TxDescriptor self;
+  self.status.store(static_cast<std::uint32_t>(TxStatus::kActive));
+  self.priority.store(10);
+  std::optional<std::uint64_t> resumed;
+  std::thread waiter{[&] {
+    stm::TxBuffers buffers;
+    stm::NorecTx tx = NorecTestPeek::make_tx(norec, /*attempt=*/0,
+                                             /*snapshot=*/0, &self, &buffers);
+    resumed = NorecTestPeek::await_even(norec, tx);
+  }};
+  bool kill_landed = true;
+  while (victim->load_status() != TxStatus::kAborted) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      kill_landed = false;
+      break;
+    }
+    std::this_thread::yield();
+  }
+
+  // Un-preempt the victim: it must observe the kill at its status CAS,
+  // unwind the odd excursion, and retry to a commit.
+  gate.release();
+  committer.join();
+  waiter.join();
+  conflict::uninstall_injection_hook();
+
+  ASSERT_TRUE(kill_landed) << "waiter's arbiter never killed the committer";
+  ASSERT_TRUE(resumed.has_value())
+      << "waiter must resume once the victim restores the seqlock";
+  EXPECT_EQ(*resumed % 2, 0u);
+  EXPECT_EQ(norec.stats().remote_kills.load(), 1u);
+  EXPECT_EQ(norec.stats().kill_recoveries.load(), 1u)
+      << "the killed committer must recover from inside the odd window";
+  EXPECT_EQ(norec.stats().commits.load(), 1u);
+  EXPECT_EQ(norec.stats().aborts.load(), 1u);
+  EXPECT_EQ(stm::Norec::read_committed(cell), 1u)
+      << "the retry after recovery must land exactly one increment";
+  EXPECT_EQ(NorecTestPeek::seqlock(norec).load() & 1, 0u);
+  EXPECT_EQ(NorecTestPeek::committer(norec).load(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Full-adversary conservation runs
+// ---------------------------------------------------------------------------
+
+/// Oversubscribed swap workload on `stm` with the full adversary running;
+/// returns whether the cell sum/xor invariants held.
+template <typename Substrate>
+void run_adversarial_swaps() {
+  constexpr std::size_t kCells = 32;
+  const std::size_t threads = 8;
+  const int ops = 150 * stress_depth();
+
+  Substrate stm{conflict::make_cm(conflict::CmKind::kKarma)};
+  std::vector<stm::Cell> cells(kCells);
+  std::uint64_t sum_before = 0;
+  std::uint64_t xor_before = 0;
+  for (std::size_t index = 0; index < kCells; ++index) {
+    cells[index].value.store(index + 1);
+    sum_before += index + 1;
+    xor_before ^= index + 1;
+  }
+
+  AdversaryConfig config;
+  config.seed = 0xADBE5ULL;
+  config.stall_us = 100;         // keep the suite snappy
+  config.signal_stall_us = 100;
+  config.yield_storm_threads = 1;
+  PreemptionAdversary preempt{config};
+  ScopedCpuset cpuset{1};  // workers inherit: everything lands on one CPU
+  preempt.start();
+  std::vector<std::thread> workers;
+  for (std::size_t worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      PreemptionAdversary::ScopedVictim victim{preempt};
+      sim::Rng rng{0xFEEDULL * (worker + 1)};
+      for (int op = 0; op < ops; ++op) {
+        const std::size_t a = rng.uniform_below(kCells);
+        std::size_t b = rng.uniform_below(kCells);
+        if (b == a) b = (a + 1) % kCells;
+        stm.atomically([&](typename Substrate::TxContext& tx) {
+          const std::uint64_t value_a = tx.read(cells[a]);
+          const std::uint64_t value_b = tx.read(cells[b]);
+          tx.write(cells[a], value_b);
+          tx.write(cells[b], value_a);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  preempt.stop();
+
+  std::uint64_t sum_after = 0;
+  std::uint64_t xor_after = 0;
+  for (const stm::Cell& cell : cells) {
+    sum_after += Substrate::read_committed(cell);
+    xor_after ^= Substrate::read_committed(cell);
+  }
+  EXPECT_EQ(sum_after, sum_before) << "swaps must conserve the value sum";
+  EXPECT_EQ(xor_after, xor_before) << "swaps must conserve the value xor";
+  EXPECT_EQ(stm.stats().commits.load(),
+            static_cast<std::uint64_t>(threads) * ops);
+  // Kills landing on committers inside their windows unwound cleanly; on a
+  // single substrate recoveries never exceed kills.
+  EXPECT_LE(stm.stats().kill_recoveries.load(),
+            stm.stats().remote_kills.load());
+  if (conflict::injection_hooks_compiled()) {
+    std::uint64_t hook_calls = 0;
+    for (const auto& counter : preempt.stats().hook_calls) {
+      hook_calls += counter.load(std::memory_order_relaxed);
+    }
+    EXPECT_GT(hook_calls, 0u)
+        << "a contended oversubscribed run must cross the hook seams";
+  }
+}
+
+TEST(AdversarialSwaps, Tl2ConservesUnderPreemption) {
+  run_adversarial_swaps<stm::Stm>();
+}
+
+TEST(AdversarialSwaps, NorecConservesUnderPreemption) {
+  run_adversarial_swaps<stm::Norec>();
+}
+
+// ---------------------------------------------------------------------------
+// KvService under adversarial scheduling
+// ---------------------------------------------------------------------------
+
+template <typename Substrate>
+void run_adversarial_kv_service() {
+  using Service = kv::KvService<Substrate>;
+  constexpr std::uint32_t kKeys = 64;
+  typename Service::Config config;
+  config.store.shards = 4;
+  config.store.capacity_per_shard = 64;
+  config.queue_capacity = 1024;
+  config.max_batch = 8;
+  Service service{config,
+                  conflict::make_cm(conflict::CmKind::kKarma)};
+  for (std::uint32_t key = 1; key <= kKeys; ++key) {
+    ASSERT_EQ(service.store().put_sync(key, key), kv::OpStatus::kOk);
+  }
+
+  AdversaryConfig adversary_config;
+  adversary_config.seed = 0x5E41CEULL;
+  adversary_config.stall_us = 100;
+  adversary_config.signal_stall_us = 100;
+  PreemptionAdversary preempt{adversary_config};
+  preempt.start();
+
+  // Restrict, start the service (workers inherit the one-CPU mask: the
+  // shard workers are now oversubscribed 4-to-1), restore for the clients.
+  {
+    ScopedCpuset cpuset{1};
+    service.start();
+  }
+  const int kClients = 2;
+  const int requests_each = 300 * stress_depth();
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &accepted, &preempt, c, requests_each] {
+      PreemptionAdversary::ScopedVictim victim{preempt};
+      sim::Rng rng{0xD15Cull * (c + 1)};
+      for (int i = 0; i < requests_each; ++i) {
+        kv::Request request;
+        request.op = kv::OpKind::kSwap;
+        request.key_a = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+        request.key_b = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+        if (request.key_b == request.key_a) {
+          request.key_b = (request.key_a % kKeys) + 1;
+        }
+        if (service.submit(request)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  service.stop();  // must drain every accepted request despite injection
+  preempt.stop();
+
+  const auto& stats = service.service_stats();
+  EXPECT_EQ(stats.submitted.load(), accepted.load());
+  EXPECT_EQ(stats.completed.load(), accepted.load())
+      << "stop() must drain under the adversary too";
+  EXPECT_EQ(stats.submitted.load() + stats.rejected.load(),
+            static_cast<std::uint64_t>(kClients) * requests_each);
+  core::LatencyHistogram merged;
+  service.merge_latency(merged);
+  EXPECT_EQ(merged.count(), stats.completed.load());
+
+  // Conservation through the service path: swaps only permute values.
+  std::uint64_t expected_sum = 0;
+  for (std::uint32_t v = 1; v <= kKeys; ++v) expected_sum += v;
+  EXPECT_EQ(service.store().value_sum_sync(), expected_sum);
+  EXPECT_EQ(service.store().size_sync(), kKeys);
+}
+
+TEST(AdversarialKvService, Tl2DrainsAndConserves) {
+  run_adversarial_kv_service<stm::Stm>();
+}
+
+TEST(AdversarialKvService, NorecDrainsAndConserves) {
+  run_adversarial_kv_service<stm::Norec>();
+}
+
+}  // namespace

@@ -120,6 +120,19 @@ inline const std::vector<FigureSpec>& builtin_roster() {
             "achieved Mops/s, drop%, and p50/p99/p999 microseconds",
             3, /*full_timeout_seconds=*/1200.0},
        }},
+      {"tail",
+       "Tail latency under a scheduler adversary — the arbiter roster on "
+       "TL2 and NOrec, oversubscribed with preemption fault injection "
+       "(p50/p99/p999/max completion time plus kills, expired grants, and "
+       "committer-stall recoveries)",
+       {
+           {"tail_adversary",
+            "one table per oversubscription factor; rows are arbiter x "
+            "substrate with p50/p99/p999/max microseconds, kills "
+            "delivered, grace grants expired, committer recoveries, and "
+            "the conservation-audit verdict",
+            2, /*full_timeout_seconds=*/1200.0},
+       }},
   };
   return roster;
 }
