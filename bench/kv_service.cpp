@@ -19,6 +19,11 @@
 // substrate, so compare arbiters within a substrate (TL2's striped locks
 // and NOrec's global seqlock give the same roster structurally different
 // conflict anatomies — that contrast is the point of the figure).
+//
+// Since PR 8 the service runs each batch's kGet runs as read segments on
+// the substrate snapshot fast path (atomically_read); the `snapcommit`
+// column counts those snapshot commits, so on the read-heavy mix it should
+// dwarf `aborts` and track the get fraction of completed requests.
 #include <chrono>
 #include <memory>
 #include <string>
@@ -92,6 +97,7 @@ struct RunResult {
   double p99_us = 0.0;
   double p999_us = 0.0;
   std::uint64_t aborts = 0;
+  std::uint64_t snapshot_commits = 0;  // read segments on the snapshot path
 };
 
 /// One open-loop run: `total_requests` submitted across kClients generator
@@ -176,6 +182,7 @@ RunResult run_service(const std::shared_ptr<const ConflictArbiter>& arbiter,
   result.p999_us =
       static_cast<double>(merged.quantile(0.999)) / cycles_per_us;
   result.aborts = service.store().stats().aborts.load();
+  result.snapshot_commits = service.store().stats().snapshot_commits.load();
   return result;
 }
 
@@ -233,7 +240,8 @@ int main(int argc, char** argv) {
   for (const Mix& mix : kMixes) {
     std::printf("\n--- mix %s: %s ---\n", mix.name, mix.legend);
     txc::bench::Table table{{"arbiter", "substrate", "offered", "achieved",
-                             "drop%", "p50us", "p99us", "p999us", "aborts"},
+                             "drop%", "p50us", "p99us", "p999us", "aborts",
+                             "snapcommit"},
                             12};
     table.print_header();
     for (const Contender& contender : roster()) {
@@ -243,7 +251,8 @@ int main(int argc, char** argv) {
              txc::bench::fmt(run.achieved_mops, 2),
              txc::bench::fmt(run.drop_pct, 1), txc::bench::fmt(run.p50_us, 1),
              txc::bench::fmt(run.p99_us, 1), txc::bench::fmt(run.p999_us, 1),
-             txc::bench::fmt_sci(static_cast<double>(run.aborts))});
+             txc::bench::fmt_sci(static_cast<double>(run.aborts)),
+             txc::bench::fmt_sci(static_cast<double>(run.snapshot_commits))});
       };
       print("TL2", run_service<stm::Stm>(contender.arbiter, mix, kRequests,
                                          kOfferedOpsPerSec, cycles_per_us));

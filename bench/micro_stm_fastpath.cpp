@@ -20,10 +20,19 @@
 // intact, no descriptor publication, no kill window — with the live
 // substrate's translation-unit structure, so the ratio isolates exactly
 // what the committer-descriptor protocol added to the commit path.
+// A third pair covers the read-only snapshot fast path (PR 8): the
+// deprecated kReadOnlyTx *hint* still runs the full instrumented machinery
+// (read-set/read-log accrual, descriptor publication, commit-time
+// validation), while atomically_read() runs the declared read-only snapshot
+// protocol (TL2: per-read lock-word recheck against a pinned clock sample;
+// NOrec: seqlock recheck per read, no value log).  The StmStats columns
+// prove which ledger each side ran on.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -389,6 +398,136 @@ double run_norec_live(const Workload& w, int ops) {
   return ops_per_second(ops, start);
 }
 
+// Accumulator the optimizer cannot discard: read-only bodies have no store
+// side effects, so their sums land here.
+std::atomic<std::uint64_t> g_read_sink{0};
+
+/// Read-only workload shapes for the snapshot-path panel.
+struct ReadWorkload {
+  const char* name;
+  int cells;
+  int reads;
+};
+
+constexpr ReadWorkload kReadWorkloads[] = {
+    {"point read (1r)", 64, 1},
+    {"sum (16r)", 64, 16},
+    {"scan (256r)", 256, 256},
+};
+
+/// Deprecated hint path: full instrumented transaction, read_only == true.
+template <typename Substrate>
+double run_hint_reads(Substrate& stm, const ReadWorkload& w, int ops) {
+  std::vector<Cell> cells(w.cells);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (int i = 0; i < ops; ++i) {
+    stm.atomically(kReadOnlyTx, [&](typename Substrate::TxContext& tx) {
+      std::uint64_t sum = 0;
+      for (int r = 0; r < w.reads; ++r) {
+        sum += tx.read(cells[(i + r) % w.cells]);
+      }
+      sink += sum;
+    });
+  }
+  g_read_sink.fetch_add(sink, std::memory_order_relaxed);
+  return ops_per_second(ops, start);
+}
+
+/// Declared read-only path: snapshot reads, no read set, no descriptor.
+template <typename Substrate>
+double run_snapshot_reads(Substrate& stm, const ReadWorkload& w, int ops) {
+  std::vector<Cell> cells(w.cells);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (int i = 0; i < ops; ++i) {
+    stm.atomically_read([&](typename Substrate::ReadTxContext& tx) {
+      std::uint64_t sum = 0;
+      for (int r = 0; r < w.reads; ++r) {
+        sum += tx.read(cells[(i + r) % w.cells]);
+      }
+      sink += sum;
+    });
+  }
+  g_read_sink.fetch_add(sink, std::memory_order_relaxed);
+  return ops_per_second(ops, start);
+}
+
+template <typename Substrate>
+void read_panel_rows(const char* substrate_name, int ops,
+                     txc::bench::Table& table) {
+  for (const ReadWorkload& w : kReadWorkloads) {
+    // Fresh substrate per side so the stats columns isolate each ledger.
+    Substrate hint_stm{bench_policy()};
+    (void)run_hint_reads(hint_stm, w, ops / 10 + 1);
+    const double hint_ops = run_hint_reads(hint_stm, w, ops);
+    Substrate snap_stm{bench_policy()};
+    (void)run_snapshot_reads(snap_stm, w, ops / 10 + 1);
+    const double snap_ops = run_snapshot_reads(snap_stm, w, ops);
+    table.print_row(
+        {std::string(substrate_name) + " " + w.name,
+         txc::bench::fmt_sci(hint_ops), txc::bench::fmt_sci(snap_ops),
+         txc::bench::fmt(snap_ops / hint_ops, 2),
+         std::to_string(
+             hint_stm.stats().instrumented_reads.load(std::memory_order_relaxed)),
+         std::to_string(
+             snap_stm.stats().snapshot_reads.load(std::memory_order_relaxed))});
+  }
+}
+
+/// Read-mostly contention context: readers race one committing writer.  The
+/// hint path pays commit-time validation / read-log replay against the
+/// writer's clock bumps; the snapshot path restarts only when a read races
+/// the writer's in-flight commit window.
+template <typename Substrate, bool kSnapshot>
+double run_readers_vs_writer(unsigned readers, int ops_per_reader) {
+  Substrate stm{bench_policy()};
+  std::vector<Cell> cells(64);
+  std::atomic<bool> stop{false};
+  std::thread writer{[&] {
+    std::uint64_t round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      stm.atomically([&](typename Substrate::TxContext& tx) {
+        Cell& cell = cells[round % cells.size()];
+        tx.write(cell, tx.read(cell) + 1);
+      });
+      ++round;
+    }
+  }};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < readers; ++t) {
+    pool.emplace_back([&] {
+      std::uint64_t sink = 0;
+      for (int i = 0; i < ops_per_reader; ++i) {
+        if constexpr (kSnapshot) {
+          stm.atomically_read([&](typename Substrate::ReadTxContext& tx) {
+            std::uint64_t sum = 0;
+            for (int r = 0; r < 16; ++r) sum += tx.read(cells[(i + r) % 64]);
+            sink += sum;
+          });
+        } else {
+          stm.atomically(kReadOnlyTx,
+                         [&](typename Substrate::TxContext& tx) {
+                           std::uint64_t sum = 0;
+                           for (int r = 0; r < 16; ++r) {
+                             sum += tx.read(cells[(i + r) % 64]);
+                           }
+                           sink += sum;
+                         });
+        }
+      }
+      g_read_sink.fetch_add(sink, std::memory_order_relaxed);
+    });
+  }
+  for (auto& reader : pool) reader.join();
+  const double result = ops_per_second(
+      static_cast<std::uint64_t>(readers) * ops_per_reader, start);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  return result;
+}
+
 /// Multi-thread hot-counter context: the fast path under real contention.
 double run_fast_threads(unsigned threads, int ops_per_thread) {
   Stm stm{bench_policy()};
@@ -462,6 +601,55 @@ int main(int argc, char** argv) {
     norec_table.print_row({w.name, txc::bench::fmt_sci(anon_ops),
                            txc::bench::fmt_sci(live_ops),
                            txc::bench::fmt(live_ops / anon_ops, 2)});
+  }
+  std::printf("\n");
+
+  txc::bench::banner(
+      "Read-only snapshot fast path — atomically_read vs the kReadOnlyTx "
+      "hint (single thread)",
+      "the hint path still pays the full instrumented machinery (read-set / "
+      "read-log accrual, descriptor publication, TL2 commit-time "
+      "validation); atomically_read pins a clock/seqlock sample and "
+      "validates per read with no log at all — the reads land on the "
+      "snapshot ledger, the hint's on the instrumented ledger");
+  txc::bench::Table read_table{{"workload", "hint ops/s", "snapshot ops/s",
+                                "speedup", "instr reads", "snap reads"},
+                               18};
+  read_table.print_header();
+  read_panel_rows<Stm>("tl2", kOps, read_table);
+  read_panel_rows<Norec>("norec", kOps, read_table);
+  std::printf("\n");
+
+  txc::bench::banner(
+      "Read-only snapshot fast path — readers racing one writer "
+      "(read-mostly mix)",
+      "aggregate reader throughput, 16-cell sums against a round-robin "
+      "writer; the snapshot path restarts only on a racing commit window "
+      "instead of validating every read at commit");
+  txc::bench::Table read_mt_table{
+      {"substrate", "readers", "hint ops/s", "snapshot ops/s", "speedup"},
+      18};
+  read_mt_table.print_header();
+  const int kReaderOps = txc::bench::scaled(50000);
+  for (const unsigned readers : {2u, 4u}) {
+    const double tl2_hint =
+        run_readers_vs_writer<Stm, /*kSnapshot=*/false>(readers, kReaderOps);
+    const double tl2_snap =
+        run_readers_vs_writer<Stm, /*kSnapshot=*/true>(readers, kReaderOps);
+    read_mt_table.print_row({"tl2", std::to_string(readers),
+                             txc::bench::fmt_sci(tl2_hint),
+                             txc::bench::fmt_sci(tl2_snap),
+                             txc::bench::fmt(tl2_snap / tl2_hint, 2)});
+  }
+  for (const unsigned readers : {2u, 4u}) {
+    const double norec_hint =
+        run_readers_vs_writer<Norec, /*kSnapshot=*/false>(readers, kReaderOps);
+    const double norec_snap =
+        run_readers_vs_writer<Norec, /*kSnapshot=*/true>(readers, kReaderOps);
+    read_mt_table.print_row({"norec", std::to_string(readers),
+                             txc::bench::fmt_sci(norec_hint),
+                             txc::bench::fmt_sci(norec_snap),
+                             txc::bench::fmt(norec_snap / norec_hint, 2)});
   }
   std::printf("\n");
 

@@ -17,8 +17,15 @@
 //
 // The store is templated over the substrate (`Substrate` = stm::Stm or
 // stm::Norec) and written entirely against the unified API surface:
-// `typename Substrate::TxContext`, atomically(TxOptions, body), read/write,
-// stats().  One table definition, both STMs, the whole arbiter roster.
+// `typename Substrate::TxContext` / `Substrate::ReadTxContext`,
+// atomically(TxOptions, body) / atomically_read(body), read/write, stats().
+// One table definition, both STMs, the whole arbiter roster.  Read-only
+// operations — get_sync, value_sum_sync, size_sync, scan, range — run on
+// the snapshot fast path: a read transaction that accrues no read set,
+// publishes no descriptor, and never arbitrates, which is what makes the
+// full-table scans affordable (a TL2 read-set for a whole table would be
+// thousands of entries validated at commit; the snapshot context validates
+// each bucket in place instead).
 //
 // Layout and semantics:
 //   - Keys are nonzero uint32; a bucket packs (key << 32) | value in one
@@ -31,6 +38,7 @@
 //     use the *_sync convenience wrappers that open a transaction per op.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -59,6 +67,16 @@ template <typename Substrate>
 class ShardedKvStore {
  public:
   using TxContext = typename Substrate::TxContext;
+  using ReadTxContext = typename Substrate::ReadTxContext;
+
+  /// A resident key/value pair, as returned by scan() and range().
+  struct Entry {
+    Key key = 0;
+    Value value = 0;
+    friend bool operator==(const Entry& a, const Entry& b) noexcept {
+      return a.key == b.key && a.value == b.value;
+    }
+  };
 
   struct Config {
     std::size_t shards = 4;
@@ -94,8 +112,12 @@ class ShardedKvStore {
 
   // -- Transactional operations (compose freely within one atomically) -----
 
-  /// Read the value under `key`, or nullopt if absent.
-  [[nodiscard]] std::optional<Value> get(TxContext& tx, Key key) {
+  /// Read the value under `key`, or nullopt if absent.  Generic over the
+  /// context: pass a TxContext inside atomically() (the read participates
+  /// in validation) or a ReadTxContext inside atomically_read() (validated
+  /// in place, snapshot fast path).
+  template <typename Ctx>
+  [[nodiscard]] std::optional<Value> get(Ctx& tx, Key key) {
     const Probe probe = find_slot(tx, key);
     if (!probe.found) return std::nullopt;
     return unpack_value(probe.packed);
@@ -139,10 +161,11 @@ class ShardedKvStore {
 
   // -- One-transaction-per-op convenience wrappers -------------------------
 
+  /// Point lookup on the snapshot fast path (no read set, no arbitration).
   [[nodiscard]] std::optional<Value> get_sync(Key key) {
     std::optional<Value> result;
-    substrate_.atomically(stm::kReadOnlyTx,
-                          [&](TxContext& tx) { result = get(tx, key); });
+    substrate_.atomically_read(
+        [&](ReadTxContext& tx) { result = get(tx, key); });
     return result;
   }
 
@@ -159,13 +182,14 @@ class ShardedKvStore {
     return status;
   }
 
-  /// Sum of all resident values in one read-only snapshot — the
+  /// Sum of all resident values in one consistent snapshot — the
   /// conservation audit the conformance tests and example lean on (two-key
-  /// swaps preserve it exactly).
+  /// swaps preserve it exactly).  Full-table scan on the snapshot fast
+  /// path: no read-set accrual, per-bucket in-place validation.
   [[nodiscard]] std::uint64_t value_sum_sync() {
     std::uint64_t sum = 0;
-    substrate_.atomically(stm::kReadOnlyTx, [&](TxContext& tx) {
-      sum = 0;  // the body may re-run after an abort
+    substrate_.atomically_read([&](ReadTxContext& tx) {
+      sum = 0;  // the body may re-run after a snapshot restart
       for (auto& bucket : buckets_) {
         const std::uint64_t packed = tx.read(bucket);
         if (packed != 0) sum += unpack_value(packed);
@@ -174,16 +198,56 @@ class ShardedKvStore {
     return sum;
   }
 
-  /// Resident key count in one read-only snapshot.
+  /// Resident key count in one consistent snapshot.
   [[nodiscard]] std::uint64_t size_sync() {
     std::uint64_t count = 0;
-    substrate_.atomically(stm::kReadOnlyTx, [&](TxContext& tx) {
+    substrate_.atomically_read([&](ReadTxContext& tx) {
       count = 0;
       for (auto& bucket : buckets_) {
         if (tx.read(bucket) != 0) ++count;
       }
     });
     return count;
+  }
+
+  // -- Snapshot scans (the ops the read fast path unlocks) -----------------
+
+  /// Collect every resident pair into `out`, all from ONE consistent
+  /// snapshot (a pair present in the result coexisted with every other
+  /// pair in it).  Bucket order, not key order.  `out` is cleared and
+  /// refilled; its capacity is reused, so a caller scanning in a loop
+  /// allocates only until the vector has grown to residency.
+  void scan(std::vector<Entry>& out) {
+    substrate_.atomically_read([&](ReadTxContext& tx) {
+      out.clear();  // the body may re-run after a snapshot restart
+      for (auto& bucket : buckets_) {
+        const std::uint64_t packed = tx.read(bucket);
+        if (packed != 0) {
+          out.push_back(Entry{unpack_key(packed), unpack_value(packed)});
+        }
+      }
+    });
+  }
+
+  /// Collect the resident pairs with lo <= key <= hi, from one consistent
+  /// snapshot, sorted by key.  The table is hashed, so a range query is a
+  /// full-table scan plus filter — exactly the shape that needed the
+  /// snapshot fast path to be viable (an instrumented read set over every
+  /// bucket would dwarf the result).
+  void range(Key lo, Key hi, std::vector<Entry>& out) {
+    substrate_.atomically_read([&](ReadTxContext& tx) {
+      out.clear();
+      for (auto& bucket : buckets_) {
+        const std::uint64_t packed = tx.read(bucket);
+        if (packed == 0) continue;
+        const Key key = unpack_key(packed);
+        if (lo <= key && key <= hi) {
+          out.push_back(Entry{key, unpack_value(packed)});
+        }
+      }
+    });
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
   }
 
  private:
@@ -217,8 +281,10 @@ class ShardedKvStore {
 
   /// Linear probing confined to the key's shard region, inside the
   /// transaction: the probe reads participate in validation, so a racing
-  /// insert along the probe path aborts (and retries) us.
-  Probe find_slot(TxContext& tx, Key key) {
+  /// insert along the probe path aborts (and retries) us.  Generic over the
+  /// context (TxContext or ReadTxContext) like get().
+  template <typename Ctx>
+  Probe find_slot(Ctx& tx, Key key) {
     assert(key != 0 && "kv keys are nonzero (0 marks an empty bucket)");
     const std::size_t base = shard_of(key) * capacity_;
     std::size_t offset = mix(key) & (capacity_ - 1);

@@ -127,20 +127,31 @@ std::uint64_t NorecTx::read(const Cell& cell) {
     const std::uint64_t value = cell.value.load(std::memory_order_acquire);
     if (stm_.seqlock_.load(std::memory_order_acquire) != base) continue;
     if (base != snapshot_) {
-      const auto validated = stm_.validate(*this);
-      if (!validated.has_value()) {
-        publish_priority();
-        throw TxAbort{};
+      if (buffers_->read_log.empty()) {
+        // Nothing logged yet, so there is nothing a newer commit could have
+        // invalidated: adopt the current even state directly instead of
+        // replaying an empty log through validate() — the common shape of a
+        // first read landing just after someone else committed.  The value
+        // above was sampled under this exact state (both seqlock probes saw
+        // `base`), so it is already consistent with the new snapshot.
+        snapshot_ = base;
+      } else {
+        const auto validated = stm_.validate(*this);
+        if (!validated.has_value()) {
+          publish_priority();
+          throw TxAbort{};
+        }
+        snapshot_ = *validated;
+        // The location may have changed before the new snapshot; re-read so
+        // the log entry matches the validated state.
+        continue;
       }
-      snapshot_ = *validated;
-      // The location may have changed before the new snapshot; re-read so
-      // the log entry matches the validated state.
-      continue;
     }
     buffers_->read_log.push_back(ReadLogEntry{&cell, value});
     // Karma-style managers rank transactions by work performed; published
     // lazily by publish_priority() (see Tx::read).
     ++pending_priority_;
+    ++reads_;
     return value;
   }
 }
@@ -149,6 +160,20 @@ void NorecTx::write(Cell& cell, std::uint64_t value) {
   assert(!read_only_ &&
          "write() inside a transaction declared TxOptions::read_only");
   buffers_->write_set.upsert(&cell) = value;
+}
+
+std::uint64_t NorecReadTx::read(const Cell& cell) {
+  // Seqlock-reader protocol, one probe: the attempt is pinned to an even
+  // seqlock value, so any committed write since makes the recheck fail.  A
+  // failed recheck restarts the whole body on a fresh snapshot — cheaper
+  // than replaying a value log, and the only way a reader with no log can
+  // stay opaque.
+  const std::uint64_t value = cell.value.load(std::memory_order_acquire);
+  if (stm_.seqlock_.load(std::memory_order_acquire) != snapshot_) {
+    throw TxAbort{};
+  }
+  ++reads_;
+  return value;
 }
 
 bool Norec::try_commit(NorecTx& tx) {

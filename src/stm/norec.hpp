@@ -33,6 +33,12 @@
 // every attempt reuses the thread's TxBuffers — the value log and write set
 // are cleared, never freed, between attempts, so steady-state transactions
 // allocate nothing.  Transactions are flat (no nesting).
+//
+// Declared-read-only traffic has its own tier: atomically_read() runs the
+// body under a NorecReadTx snapshot context that keeps no value log (each
+// read just re-checks the pinned seqlock), publishes no descriptor, and
+// never consults the arbiter.  The mode is a compile-time contract
+// (NorecReadTx has no write()), not a TxOptions hint.
 #pragma once
 
 #include <atomic>
@@ -65,8 +71,9 @@ class NorecTx {
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
   /// Whether the enclosing atomically() declared the transaction read-only
-  /// (TxOptions::read_only).  Currently a plumbed hint; debug builds reject
-  /// a write() under it.
+  /// (TxOptions::read_only) — the deprecated hint path: debug builds reject
+  /// a write() under it, but the context stays fully instrumented.  The
+  /// real fast path is Norec::atomically_read and its NorecReadTx context.
   [[nodiscard]] bool read_only() const noexcept { return read_only_; }
 
  private:
@@ -92,8 +99,41 @@ class NorecTx {
   std::uint64_t snapshot_;  // even seqlock value this attempt is based on
   TxDescriptor* descriptor_;
   TxBuffers* buffers_;
+  /// Work credit accumulated since the last publish_priority() flush (the
+  /// flush zeroes it — credit moves to the shared descriptor).
   std::uint64_t pending_priority_ = 0;
+  /// Total reads this attempt (never reset mid-attempt, unlike
+  /// pending_priority_); flushed to StmStats::instrumented_reads once per
+  /// attempt by atomically().
+  std::uint64_t reads_ = 0;
   bool read_only_ = false;
+};
+
+/// Per-attempt context of a declared-read-only snapshot transaction
+/// (Norec::atomically_read).  Exposes only read() — writing inside a read
+/// transaction is a compile error, not a debug assert.
+///
+/// A NOrec snapshot reader needs no value log at all: the attempt is pinned
+/// to one even seqlock value, and each read just re-checks that the seqlock
+/// has not moved since.  If it has, some writer committed and the attempt
+/// restarts on a fresh snapshot — no replay, no arbitration, no descriptor.
+class NorecReadTx {
+ public:
+  /// Snapshot read: seqlock-validated in place, no read log.
+  [[nodiscard]] std::uint64_t read(const Cell& cell);
+
+  [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
+
+ private:
+  friend class Norec;
+  NorecReadTx(Norec& stm, std::uint32_t attempt,
+              std::uint64_t snapshot) noexcept
+      : stm_(stm), attempt_(attempt), snapshot_(snapshot) {}
+
+  Norec& stm_;
+  std::uint32_t attempt_;
+  std::uint64_t snapshot_;  // even seqlock value the attempt is pinned to
+  std::uint64_t reads_ = 0;  // flushed to StmStats once per attempt
 };
 
 class Norec {
@@ -101,6 +141,11 @@ class Norec {
   /// The per-attempt transaction context type — the substrate-generic name
   /// generic code templates over (`typename Substrate::TxContext`).
   using TxContext = NorecTx;
+
+  /// The declared-read-only snapshot context (`typename
+  /// Substrate::ReadTxContext`): read() only, handed out by
+  /// atomically_read().  A write under it does not compile.
+  using ReadTxContext = NorecReadTx;
 
   /// `policy` decides how long to wait for the global commit lock before
   /// self-aborting (requestor-aborts: the lock holder cannot be killed);
@@ -122,6 +167,10 @@ class Norec {
   /// Run `body` as a transaction under the declared `options`, retrying on
   /// aborts until it commits.  Template fast path: direct body invocation,
   /// reusable thread buffers.
+  ///
+  /// `atomically(kReadOnlyTx, body)` is the deprecated-path shim for the
+  /// old read-only *hint* — still a fully instrumented context (value log,
+  /// arbitration); new read-only code should call atomically_read().
   template <typename Body>
   void atomically(const TxOptions& options, Body&& body) {
     TxDescriptor& descriptor = thread_descriptor();
@@ -153,11 +202,55 @@ class Norec {
       }
       if (!unwound && try_commit(tx)) {
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        stats_.instrumented_reads.fetch_add(tx.reads_,
+                                            std::memory_order_relaxed);
         if (profile) profile->record_commit(core::cycle_now() - started);
         return;
       }
       stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      stats_.instrumented_reads.fetch_add(tx.reads_,
+                                          std::memory_order_relaxed);
       if (profile) profile->record_abort(core::cycle_now() - started);
+    }
+  }
+
+  /// Run `body` as a declared-read-only snapshot transaction, retrying until
+  /// it completes on a stable snapshot.  The body receives a ReadTxContext —
+  /// read() only; a write does not compile.
+  ///
+  /// The fast path this buys over atomically(kReadOnlyTx, ...): no value
+  /// log, no log replay when the seqlock moves (the attempt just restarts),
+  /// no descriptor publication, no TxBuffers, and no arbiter involvement —
+  /// a snapshot reader never enters the seqlock spin site.  Every value the
+  /// body observes belongs to the single committed state at the pinned
+  /// seqlock value (opacity); the body may re-run, same contract as
+  /// atomically().
+  template <typename Body>
+  void atomically_read(Body&& body) {
+    core::AttemptProfile* const profile = profile_;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const std::uint64_t started = profile ? core::cycle_now() : 0;
+      // Pin the attempt to an even seqlock value.  An odd value is waited
+      // out with a plain spin, deliberately not the arbitrated spin site:
+      // the odd window is short (write-back only) and a snapshot reader
+      // must stay invisible to the arbiter.
+      std::uint64_t snapshot = seqlock_.load(std::memory_order_acquire);
+      while (snapshot & 1) {
+        snapshot = seqlock_.load(std::memory_order_acquire);
+      }
+      NorecReadTx tx{*this, attempt, snapshot};
+      try {
+        body(tx);
+      } catch (const TxAbort&) {
+        stats_.snapshot_restarts.fetch_add(1, std::memory_order_relaxed);
+        stats_.snapshot_reads.fetch_add(tx.reads_, std::memory_order_relaxed);
+        if (profile) profile->record_abort(core::cycle_now() - started);
+        continue;
+      }
+      stats_.snapshot_commits.fetch_add(1, std::memory_order_relaxed);
+      stats_.snapshot_reads.fetch_add(tx.reads_, std::memory_order_relaxed);
+      if (profile) profile->record_commit(core::cycle_now() - started);
+      return;
     }
   }
 
@@ -177,6 +270,7 @@ class Norec {
 
  private:
   friend class NorecTx;
+  friend class NorecReadTx;
   friend struct NorecTestPeek;  // white-box kill-protocol tests
 
   /// The calling thread's reusable transaction buffers (distinct from TL2's

@@ -1,19 +1,26 @@
 // txconflict — the substrate-generic transaction options block.
 //
 // Both STM substrates (TL2's striped-lock design and NOrec's global seqlock)
-// expose the same public transaction shape: atomically(options, body) with
-// identical read/write/stats() signatures, so generic code — the sharded KV
+// expose the same public transaction shape, so generic code — the sharded KV
 // store in src/kv/, the cross-substrate stress suites — is written once,
 // templated over the substrate, instead of special-casing Tl2 vs NOrec.
-// TxOptions is the per-call half of that contract: declarative hints the
-// caller knows statically about the transaction it is about to run.
+// The surface splits by declared intent:
 //
-// `read_only` is currently a declared hint: both substrates plumb it to the
-// transaction context (and debug builds reject a write() inside a declared
-// read-only body), but neither yet elides read-set accrual or validation.
-// The MVCC-lite roadmap item (TL2 snapshot reads against the global version
-// clock, NOrec seqlock-only validation) lands behind exactly this flag
-// without another API change.
+//   * `atomically(options, body)` hands the body a read/write
+//     `Substrate::TxContext` — fully instrumented (read-set/log accrual,
+//     commit-time validation, descriptor publication, arbitration).
+//   * `atomically_read(body)` hands the body a read-only
+//     `Substrate::ReadTxContext` — the MVCC-lite snapshot fast path (TL2:
+//     per-read validation against the global version clock, zero read-set
+//     accrual; NOrec: seqlock-only validation, no value log; neither
+//     publishes a descriptor or enters a spin site).  The read-only promise
+//     is part of the type: ReadTxContext has no write(), so breaking it is
+//     a compile error, not a debug assert.
+//
+// TxOptions is the per-call half of the *instrumented* contract: declarative
+// hints the caller knows statically about the transaction it is about to
+// run.  Its `read_only` flag predates atomically_read and survives as the
+// deprecated hint path only — it buys none of the snapshot fast path.
 #pragma once
 
 namespace txc::stm {
@@ -21,12 +28,16 @@ namespace txc::stm {
 /// Declarative per-transaction hints, shared by every substrate.
 struct TxOptions {
   /// The body promises not to call write().  Debug builds enforce the
-  /// promise; release builds currently treat it as a no-op hint (see the
-  /// MVCC-lite read-path item in ROADMAP.md for what it will buy).
+  /// promise; release builds treat it as a no-op hint.  Deprecated path:
+  /// superseded by atomically_read(), where the same promise is a
+  /// compile-time contract and enables the snapshot fast path.  Kept so
+  /// before/after comparisons (bench/micro_stm_fastpath.cpp) and staged
+  /// migrations still have the hint-only behavior to measure against.
   bool read_only = false;
 };
 
 /// Convenience instance for call sites: stm.atomically(kReadOnlyTx, body).
+/// Deprecated path — prefer stm.atomically_read(body).
 inline constexpr TxOptions kReadOnlyTx{/*read_only=*/true};
 
 }  // namespace txc::stm

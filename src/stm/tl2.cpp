@@ -72,6 +72,7 @@ std::uint64_t Tx::read(const Cell& cell) {
   // Karma-style managers rank transactions by work performed (every read
   // counts, repeated or not); published lazily by publish_priority().
   ++pending_priority_;
+  ++reads_;
   return value;
 }
 
@@ -79,6 +80,43 @@ void Tx::write(Cell& cell, std::uint64_t value) {
   assert(!read_only_ &&
          "write() inside a transaction declared TxOptions::read_only");
   buffers_->write_set.upsert(&cell) = value;
+}
+
+// ---------------------------------------------------------------------------
+// ReadTx
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// How many times a snapshot read re-probes a locked stripe before giving
+/// up on the attempt.  A locked stripe is not necessarily fatal: the holder
+/// may have linearized *before* our clock sample and merely be writing back
+/// a version we are allowed to see, so a short plain spin (deliberately not
+/// an arbitrated spin site — the reader publishes nothing a manager could
+/// weigh or kill) usually rides out the write-back window.
+constexpr int kSnapshotLockProbes = 128;
+
+}  // namespace
+
+std::uint64_t ReadTx::read(const Cell& cell) {
+  Stm::Stripe& stripe = stm_.stripe_for(&cell);
+  std::uint64_t before = stripe.versioned_lock.load(std::memory_order_acquire);
+  for (int probe = 0; locked(before) && probe < kSnapshotLockProbes; ++probe) {
+    before = stripe.versioned_lock.load(std::memory_order_acquire);
+  }
+  if (!locked(before)) {
+    const std::uint64_t value = cell.value.load(std::memory_order_acquire);
+    const std::uint64_t after =
+        stripe.versioned_lock.load(std::memory_order_acquire);
+    if (before == after && version_of(before) <= read_version_) {
+      ++reads_;
+      return value;
+    }
+  }
+  // Snapshot broken (a newer commit touched the stripe, or a writer parked
+  // on it): restart the whole body on a fresh clock sample.  No arbitration
+  // — the reader holds nothing and blocks no one.
+  throw TxAbort{};
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,13 @@
 // STM fast path") has the memory-layout diagram.  Transactions are flat:
 // nesting an atomically() inside a transaction body is not supported (the
 // thread's buffers and descriptor are single-occupancy).
+//
+// Declared-read-only traffic has its own tier: atomically_read() runs the
+// body under a ReadTx snapshot context (TL2's classic read-only mode) that
+// accrues no read set, validates nothing at commit, publishes no
+// descriptor, and never consults the arbiter — a snapshot reader never
+// enters a spin site.  The mode is a compile-time contract (ReadTx has no
+// write()), not a TxOptions hint.
 #pragma once
 
 #include <atomic>
@@ -75,6 +82,28 @@ struct StmStats {
   /// remote_kills (kills landing on waiters or readers unwind without
   /// commit-time state).
   std::atomic<std::uint64_t> kill_recoveries{0};
+
+  // -- Declared-read-only snapshot fast path (atomically_read) -------------
+  // Snapshot transactions are accounted separately from instrumented ones:
+  // they never publish a descriptor, never consult the arbiter, and their
+  // restarts are not aborts in the contention-management sense (no enemy,
+  // no arbitration, no credit).  Keeping the ledgers apart is what lets a
+  // read-mostly run show exactly how much traffic left the instrumented
+  // path.
+
+  /// atomically_read() bodies that ran to completion on a stable snapshot.
+  std::atomic<std::uint64_t> snapshot_commits{0};
+  /// Snapshot attempts restarted because a concurrent commit moved the
+  /// clock/seqlock mid-body (the snapshot analog of an abort; never
+  /// arbitrated — the reader just resamples and re-runs).
+  std::atomic<std::uint64_t> snapshot_restarts{0};
+  /// Reads served by the snapshot fast path: no read-set/log accrual, no
+  /// commit-time validation.
+  std::atomic<std::uint64_t> snapshot_reads{0};
+  /// Reads served by instrumented contexts (Tx/NorecTx), aborted attempts
+  /// included — the denominator for "how much read traffic still pays for
+  /// read-set accrual".
+  std::atomic<std::uint64_t> instrumented_reads{0};
 };
 
 class Stm;
@@ -95,8 +124,9 @@ class Tx {
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
   /// Whether the enclosing atomically() declared the transaction read-only
-  /// (TxOptions::read_only).  Currently a plumbed hint; debug builds reject
-  /// a write() under it.
+  /// (TxOptions::read_only) — the deprecated hint path: debug builds reject
+  /// a write() under it, but the context stays fully instrumented.  The
+  /// real fast path is Stm::atomically_read and its ReadTx context.
   [[nodiscard]] bool read_only() const noexcept { return read_only_; }
 
  private:
@@ -124,8 +154,43 @@ class Tx {
   std::uint64_t read_version_;
   TxDescriptor* descriptor_;
   TxBuffers* buffers_;
+  /// Work credit accumulated since the last publish_priority() flush (the
+  /// flush zeroes it — credit moves to the shared descriptor).
   std::uint64_t pending_priority_ = 0;
+  /// Total reads this attempt (never reset mid-attempt, unlike
+  /// pending_priority_); flushed to StmStats::instrumented_reads once per
+  /// attempt by atomically().
+  std::uint64_t reads_ = 0;
   bool read_only_ = false;
+};
+
+/// Per-attempt context of a declared-read-only snapshot transaction
+/// (Stm::atomically_read).  Exposes only read() — writing inside a read
+/// transaction is a compile error, not a debug assert.
+///
+/// This is TL2's classic read-only mode (Dice, Shalev, Shavit 2006, §3.2):
+/// each read is validated against the attempt's clock sample on the spot
+/// (stripe unlocked, version <= read_version, stable across the value load),
+/// so the whole body observes one committed state and nothing needs
+/// re-validating at the end.  The context therefore carries no read set, no
+/// descriptor, and no arbiter hook: a snapshot reader never publishes
+/// anything another thread could inspect and never enters a spin site.
+class ReadTx {
+ public:
+  /// Snapshot read: validated in place against the attempt's clock sample.
+  [[nodiscard]] std::uint64_t read(const Cell& cell);
+
+  [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
+
+ private:
+  friend class Stm;
+  ReadTx(Stm& stm, std::uint32_t attempt, std::uint64_t read_version) noexcept
+      : stm_(stm), attempt_(attempt), read_version_(read_version) {}
+
+  Stm& stm_;
+  std::uint32_t attempt_;
+  std::uint64_t read_version_;
+  std::uint64_t reads_ = 0;  // flushed to StmStats once per attempt
 };
 
 class Stm {
@@ -133,6 +198,11 @@ class Stm {
   /// The per-attempt transaction context type — the substrate-generic name
   /// generic code templates over (`typename Substrate::TxContext`).
   using TxContext = Tx;
+
+  /// The declared-read-only snapshot context (`typename
+  /// Substrate::ReadTxContext`): read() only, handed out by
+  /// atomically_read().  A write under it does not compile.
+  using ReadTxContext = ReadTx;
 
   /// `policy` decides how long a blocked transaction waits for a lock holder
   /// (in spin iterations ~ "cycles") before aborting itself — the paper's
@@ -159,6 +229,13 @@ class Stm {
   /// aborts until it commits.  Template fast path: the body is invoked
   /// directly (no std::function) and read/write sets come from the calling
   /// thread's reusable TxBuffers.
+  ///
+  /// `atomically(kReadOnlyTx, body)` is the deprecated-path shim for the
+  /// old read-only *hint*: it still runs the fully instrumented context
+  /// (read-set accrual, arbitration, descriptor publication) and merely
+  /// asserts against writes in debug builds.  New read-only code should
+  /// call atomically_read(), where the promise is a compile-time contract
+  /// and the snapshot fast path applies.
   template <typename Body>
   void atomically(const TxOptions& options, Body&& body) {
     TxDescriptor& descriptor = thread_descriptor();
@@ -182,11 +259,48 @@ class Stm {
       }
       if (!unwound && try_commit(tx)) {
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
+        stats_.instrumented_reads.fetch_add(tx.reads_,
+                                            std::memory_order_relaxed);
         if (profile) profile->record_commit(core::cycle_now() - started);
         return;
       }
       stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      stats_.instrumented_reads.fetch_add(tx.reads_,
+                                          std::memory_order_relaxed);
       if (profile) profile->record_abort(core::cycle_now() - started);
+    }
+  }
+
+  /// Run `body` as a declared-read-only snapshot transaction, retrying until
+  /// it completes on a stable snapshot.  The body receives a ReadTxContext —
+  /// read() only; a write does not compile.
+  ///
+  /// The fast path this buys over atomically(kReadOnlyTx, ...): zero
+  /// read-set accrual, no commit-time validation (each read validates in
+  /// place against the attempt's clock sample), no descriptor publication,
+  /// no TxBuffers, and no arbiter involvement — a snapshot reader never
+  /// enters a spin site and never blocks or kills a writer.  The body may
+  /// re-run (same contract as atomically()); every value it observes is
+  /// consistent with the single committed state at the clock sample, so
+  /// multi-cell invariants hold mid-body (opacity).
+  template <typename Body>
+  void atomically_read(Body&& body) {
+    core::AttemptProfile* const profile = profile_;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const std::uint64_t started = profile ? core::cycle_now() : 0;
+      ReadTx tx{*this, attempt, clock_.load(std::memory_order_acquire)};
+      try {
+        body(tx);
+      } catch (const TxAbort&) {
+        stats_.snapshot_restarts.fetch_add(1, std::memory_order_relaxed);
+        stats_.snapshot_reads.fetch_add(tx.reads_, std::memory_order_relaxed);
+        if (profile) profile->record_abort(core::cycle_now() - started);
+        continue;
+      }
+      stats_.snapshot_commits.fetch_add(1, std::memory_order_relaxed);
+      stats_.snapshot_reads.fetch_add(tx.reads_, std::memory_order_relaxed);
+      if (profile) profile->record_commit(core::cycle_now() - started);
+      return;
     }
   }
 
@@ -207,6 +321,7 @@ class Stm {
 
  private:
   friend class Tx;
+  friend class ReadTx;
 
   struct Stripe {
     std::atomic<std::uint64_t> versioned_lock{0};  // LSB locked, rest version

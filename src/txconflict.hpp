@@ -31,8 +31,9 @@
 //   sync      spin locks and locked baseline containers
 //   lockfree  Treiber stack, Michael–Scott queue
 //
-// stm/cm.hpp (the deprecated contention-manager compatibility shim) is
-// deliberately not included here — migrate to the conflict/ headers.
+// The pre-PR-4 contention-manager spellings (stm/cm.hpp) are gone: the shim
+// was deleted after a deprecation cycle.  docs/ARCHITECTURE.md keeps the
+// old-name -> conflict/ migration table as a historical record.
 #pragma once
 
 #include "adversary/preempt.hpp"

@@ -388,6 +388,153 @@ TEST_P(KvConformance, ServiceResponsesPublishResults) {
   });
 }
 
+TEST_P(KvConformance, ScanAndRangeReturnSortedSnapshot) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Store = kv::ShardedKvStore<Substrate>;
+    typename Store::Config config;
+    config.shards = 4;
+    config.capacity_per_shard = 64;
+    Store store{config, std::move(arbiter)};
+    constexpr kv::Key kKeys = 20;
+    for (kv::Key key = 1; key <= kKeys; ++key) {
+      ASSERT_EQ(store.put_sync(key, key * 10), kv::OpStatus::kOk);
+    }
+
+    std::vector<typename Store::Entry> entries;
+    store.scan(entries);
+    ASSERT_EQ(entries.size(), kKeys);
+    std::uint64_t scanned_sum = 0;
+    for (const auto& entry : entries) {
+      EXPECT_EQ(entry.value, entry.key * 10);
+      scanned_sum += entry.value;
+    }
+    EXPECT_EQ(scanned_sum, store.value_sum_sync());
+
+    store.range(5, 14, entries);
+    ASSERT_EQ(entries.size(), 10u);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(entries[i].key, 5u + i) << "range() is sorted by key";
+      EXPECT_EQ(entries[i].value, entries[i].key * 10);
+    }
+
+    // Every one of these read ops ran on the snapshot fast path.
+    EXPECT_GT(store.stats().snapshot_commits.load(), 0u);
+    EXPECT_GT(store.stats().snapshot_reads.load(), 0u);
+  });
+}
+
+TEST_P(KvConformance, ScanStaysConsistentUnderRacingSwaps) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Store = kv::ShardedKvStore<Substrate>;
+    constexpr kv::Key kKeys = 16;
+    typename Store::Config config;
+    config.shards = 4;
+    config.capacity_per_shard = 64;
+    Store store{config, std::move(arbiter)};
+    std::uint64_t expected_sum = 0;
+    for (kv::Key key = 1; key <= kKeys; ++key) {
+      ASSERT_EQ(store.put_sync(key, key * 100), kv::OpStatus::kOk);
+      expected_sum += key * 100;
+    }
+
+    // Swaps permute values between keys, so every consistent snapshot must
+    // see the same value sum and the same population.  A scan stitched from
+    // torn per-key reads would not.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    const int swaps_each = 200 * stress_depth();
+    for (int w = 0; w < 2; ++w) {
+      writers.emplace_back([&store, w, swaps_each] {
+        sim::Rng rng{0x5CA4ull * (w + 1)};
+        for (int i = 0; i < swaps_each; ++i) {
+          const auto a = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+          auto b = 1 + static_cast<kv::Key>(rng.uniform_below(kKeys));
+          if (b == a) b = (a % kKeys) + 1;
+          (void)store.swap_sync(a, b);
+        }
+      });
+    }
+    std::uint64_t scans = 0;
+    std::uint64_t violations = 0;
+    std::vector<typename Store::Entry> entries;
+    std::thread scanner{[&] {
+      // `|| scans == 0`: at depth 1 the swap burst can finish before this
+      // thread is scheduled; always audit at least one full snapshot.
+      while (!stop.load(std::memory_order_acquire) || scans == 0) {
+        store.scan(entries);
+        std::uint64_t sum = 0;
+        for (const auto& entry : entries) sum += entry.value;
+        if (sum != expected_sum || entries.size() != kKeys) ++violations;
+        ++scans;
+      }
+    }};
+    for (auto& writer : writers) writer.join();
+    stop.store(true, std::memory_order_release);
+    scanner.join();
+
+    EXPECT_EQ(violations, 0u) << "a scan observed a torn snapshot";
+    EXPECT_GE(scans, 1u);
+    EXPECT_EQ(store.value_sum_sync(), expected_sum);
+    EXPECT_GE(store.stats().snapshot_commits.load(), scans);
+  });
+}
+
+TEST_P(KvConformance, ServiceReadRunsUseSnapshotSegments) {
+  with_substrate(GetParam(), []<typename Substrate>(auto arbiter) {
+    using Service = kv::KvService<Substrate>;
+    typename Service::Config config;
+    config.store.shards = 2;
+    config.store.capacity_per_shard = 64;
+    config.max_batch = 8;
+    Service service{config, std::move(arbiter)};
+    constexpr kv::Key kStableKeys = 16;
+    for (kv::Key key = 1; key <= kStableKeys; ++key) {
+      ASSERT_EQ(service.store().put_sync(key, key + 1000), kv::OpStatus::kOk);
+    }
+    service.start();
+
+    // Read-heavy mix: gets target preloaded keys nothing else writes, so
+    // every response value is deterministic even though puts (to a disjoint
+    // key range) are interleaved in the same batches.
+    constexpr int kGets = 240;
+    constexpr int kPuts = 30;
+    std::vector<std::atomic<std::uint64_t>> responses(kGets);
+    int submitted_gets = 0;
+    sim::Rng rng{0x5E6E47ull};
+    for (int i = 0; i < kGets; ++i) {
+      kv::Request get;
+      get.op = kv::OpKind::kGet;
+      get.key_a = 1 + static_cast<kv::Key>(i % kStableKeys);
+      get.response = &responses[i];
+      if (service.submit(get)) ++submitted_gets;
+      if (i % (kGets / kPuts) == 0) {
+        kv::Request put;
+        put.op = kv::OpKind::kPut;
+        put.key_a = 100 + static_cast<kv::Key>(rng.uniform_below(32));
+        put.value = 7;
+        (void)service.submit(put);
+      }
+    }
+    service.stop();  // drains every accepted request
+
+    for (int i = 0; i < kGets; ++i) {
+      const std::uint64_t response = responses[i].load();
+      if (response == 0) continue;  // queue-full rejection: no response owed
+      EXPECT_EQ(response, kv::kDone | kv::kFound |
+                              (1u + static_cast<kv::Key>(i % kStableKeys) +
+                               1000u));
+    }
+    const auto& stats = service.service_stats();
+    EXPECT_GT(stats.read_segments.load(), 0u)
+        << "kGet runs must be served as snapshot read segments";
+    EXPECT_GT(stats.write_segments.load(), 0u);
+    EXPECT_GT(service.store().stats().snapshot_commits.load(), 0u)
+        << "read segments must run on the substrate snapshot path";
+    EXPECT_GE(stats.read_segments.load() + stats.write_segments.load(),
+              stats.batches.load());
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(SubstrateRoster, KvConformance,
                          ::testing::ValuesIn(kv_cases()),
                          [](const ::testing::TestParamInfo<KvCase>& info) {

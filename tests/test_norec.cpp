@@ -1,12 +1,15 @@
 // Tests of the NOrec STM: sequential semantics (read-own-writes, committed
-// visibility), value-based validation behavior, and multi-threaded atomicity
+// visibility), value-based validation behavior, multi-threaded atomicity
 // (counter, bank conservation, read-mostly mixes) under different
-// grace-period policies for the single commit-lock wait point.
+// grace-period policies for the single commit-lock wait point, and the
+// declared-read-only snapshot fast path (atomically_read / ReadTxContext).
 #include "stm/norec.hpp"
 
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -14,6 +17,20 @@ namespace {
 using namespace txc::stm;
 using txc::core::make_policy;
 using txc::core::StrategyKind;
+
+// Mirror of the TL2-side contract proof (see test_stm.cpp): the read-only
+// promise is a compile-time property of the context type.
+template <typename Ctx, typename = void>
+struct HasWrite : std::false_type {};
+template <typename Ctx>
+struct HasWrite<Ctx, std::void_t<decltype(std::declval<Ctx&>().write(
+                         std::declval<Cell&>(), std::uint64_t{}))>>
+    : std::true_type {};
+
+static_assert(HasWrite<Norec::TxContext>::value,
+              "the instrumented context must expose write()");
+static_assert(!HasWrite<Norec::ReadTxContext>::value,
+              "a write inside a NOrec read transaction must not compile");
 
 TEST(Norec, ReadsDefaultZero) {
   Norec stm{make_policy(StrategyKind::kRandAborts)};
@@ -142,6 +159,101 @@ TEST(Norec, SnapshotIsolationStyleConsistencyAudit) {
         const std::uint64_t a = tx.read(pair0);
         const std::uint64_t b = tx.read(pair1);
         if (a != b) torn.fetch_add(1);
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+TEST(Norec, FirstReadAfterExternalCommitAdoptsSnapshotWithoutAbort) {
+  // Regression shape for the empty-log short-circuit: a transaction whose
+  // read log is still empty finds the seqlock moved by another thread's
+  // commit.  There is nothing to validate, so the read must adopt the new
+  // snapshot directly — no abort, and the freshly committed value is what
+  // it returns.
+  Norec stm{make_policy(StrategyKind::kRandAborts)};
+  Cell cell;
+  stm.atomically([&](NorecTx& tx) { tx.write(cell, 1); });
+  bool committed_between = false;
+  std::uint64_t seen = 0;
+  stm.atomically([&](NorecTx& tx) {
+    if (!committed_between) {
+      committed_between = true;
+      std::thread other(
+          [&] { stm.atomically([&](NorecTx& tx2) { tx2.write(cell, 2); }); });
+      other.join();
+    }
+    seen = tx.read(cell);
+  });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(stm.stats().commits.load(), 3u);
+  EXPECT_EQ(stm.stats().aborts.load(), 0u);
+}
+
+TEST(NorecSnapshot, ReadSeesCommittedState) {
+  Norec stm{make_policy(StrategyKind::kRandAborts)};
+  Cell a;
+  Cell b;
+  stm.atomically([&](NorecTx& tx) {
+    tx.write(a, 11);
+    tx.write(b, 22);
+  });
+  std::uint64_t seen_a = 0;
+  std::uint64_t seen_b = 0;
+  stm.atomically_read([&](NorecReadTx& tx) {
+    seen_a = tx.read(a);
+    seen_b = tx.read(b);
+  });
+  EXPECT_EQ(seen_a, 11u);
+  EXPECT_EQ(seen_b, 22u);
+}
+
+TEST(NorecSnapshot, CountersSeparateSnapshotFromInstrumentedReads) {
+  Norec stm{make_policy(StrategyKind::kRandAborts)};
+  Cell a;
+  stm.atomically([&](NorecTx& tx) { tx.write(a, 1); });
+  stm.atomically([&](NorecTx& tx) { (void)tx.read(a); });
+  stm.atomically(kReadOnlyTx, [&](NorecTx& tx) { (void)tx.read(a); });
+  EXPECT_EQ(stm.stats().instrumented_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().snapshot_reads.load(), 0u);
+
+  const std::uint64_t commits_before = stm.stats().commits.load();
+  stm.atomically_read([&](NorecReadTx& tx) { (void)tx.read(a); });
+  EXPECT_EQ(stm.stats().snapshot_commits.load(), 1u);
+  EXPECT_EQ(stm.stats().snapshot_reads.load(), 1u);
+  EXPECT_EQ(stm.stats().snapshot_restarts.load(), 0u)
+      << "no concurrent writer: the first snapshot attempt must stick";
+  EXPECT_EQ(stm.stats().instrumented_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().commits.load(), commits_before)
+      << "snapshot transactions must not disturb the transactional ledger";
+}
+
+TEST(NorecSnapshot, MultiCellSnapshotNeverTearsUnderWriters) {
+  // The snapshot reader keeps no value log at all — consistency rests
+  // entirely on the pinned-seqlock recheck in every read.  Writers keep
+  // pair0 == pair1; the reader must never see a torn pair (opacity).
+  Norec stm{make_policy(StrategyKind::kRandAborts)};
+  Cell pair0;
+  Cell pair1;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::thread writer([&] {
+    for (int i = 1; i <= 20000; ++i) {
+      stm.atomically([&](NorecTx& tx) {
+        tx.write(pair0, static_cast<std::uint64_t>(i));
+        tx.write(pair1, static_cast<std::uint64_t>(i));
+      });
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      stm.atomically_read([&](NorecReadTx& tx) {
+        const std::uint64_t x = tx.read(pair0);
+        const std::uint64_t y = tx.read(pair1);
+        if (x != y) torn.fetch_add(1);
       });
     }
   });

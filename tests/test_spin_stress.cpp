@@ -5,13 +5,18 @@
 //
 // The workload is a randomized bank: kAccounts cells whose sum is invariant
 // under every transaction.  Writer operations transfer between two random
-// accounts; audit operations transactionally sum the whole array and check
-// it against the invariant — any torn read, lost update, or opacity
-// violation (a transaction observing a mid-commit state) shows up as a
-// wrong sum, either inside an audit or in the final reconciliation.  The
-// commit counter is also reconciled exactly: one atomically() call must be
-// exactly one commit, whatever the arbiter decided along the way (waits,
-// self-aborts, remote kills).
+// accounts; audit operations sum the whole array and check it against the
+// invariant — any torn read, lost update, or opacity violation (a
+// transaction observing a mid-commit state) shows up as a wrong sum, either
+// inside an audit or in the final reconciliation.  Audits run in BOTH
+// read modes: instrumented transactions (atomically — read set/log,
+// arbitration) and declared-read-only snapshot transactions
+// (atomically_read — no read set, no arbitration), so read-only scans race
+// writer transactions on every arbiter × substrate point.  The commit
+// counters are also reconciled exactly: one atomically() call must be
+// exactly one commit and one atomically_read() call exactly one snapshot
+// commit, whatever the arbiter decided along the way (waits, self-aborts,
+// remote kills).
 //
 // Scale: smoke-sized by default so the suite stays fast on a 1-core host
 // (the value of the test is interleaving, which preemption provides).  The
@@ -27,8 +32,10 @@
 #include <thread>
 #include <vector>
 
+#include "adversary/preempt.hpp"
 #include "conflict/adaptive.hpp"
 #include "conflict/arbiter.hpp"
+#include "conflict/descriptor.hpp"
 #include "conflict/grace.hpp"
 #include "conflict/managers.hpp"
 #include "core/policy.hpp"
@@ -109,29 +116,51 @@ const ArbiterCase kRoster[] = {
 // ---------------------------------------------------------------------------
 
 /// One thread's worth of randomized operations.  ~1/4 of operations audit
-/// the conservation invariant from inside a transaction (an opacity check:
-/// a consistent snapshot must sum to kTotal); the rest transfer a small
-/// amount between two distinct random accounts.  Balances may wrap below
-/// zero in unsigned arithmetic — conservation holds modulo 2^64 regardless.
+/// the conservation invariant from inside an instrumented transaction and
+/// another ~1/4 from a declared-read-only snapshot transaction (both are
+/// opacity checks: a consistent snapshot must sum to kTotal); the rest
+/// transfer a small amount between two distinct random accounts.  Balances
+/// may wrap below zero in unsigned arithmetic — conservation holds modulo
+/// 2^64 regardless.  The per-mode transaction counts accumulate into
+/// `instrumented_txs` / `snapshot_txs` so the caller can reconcile the
+/// substrate's two commit ledgers exactly.
 template <typename Substrate>
 void stress_worker(Substrate& stm, std::vector<stm::Cell>& accounts,
                    std::uint64_t seed, int ops,
                    std::atomic<int>& start_line,
-                   std::atomic<std::uint64_t>& bad_audits) {
+                   std::atomic<std::uint64_t>& bad_audits,
+                   std::atomic<std::uint64_t>& instrumented_txs,
+                   std::atomic<std::uint64_t>& snapshot_txs) {
   // Start barrier: maximize the overlap window so contention is real, not
   // an artifact of thread-spawn staggering.
   start_line.fetch_add(1, std::memory_order_acq_rel);
   while (start_line.load(std::memory_order_acquire) < kThreads) {
   }
   using TxT = typename Substrate::TxContext;
+  using ReadTxT = typename Substrate::ReadTxContext;
   sim::Rng rng{seed};
+  std::uint64_t instrumented = 0;
+  std::uint64_t snapshots = 0;
   for (int op = 0; op < ops; ++op) {
-    if ((rng() & 3u) == 0) {
+    const std::uint32_t role = rng() & 3u;
+    if (role == 0) {
       std::uint64_t sum = 0;
       stm.atomically([&](TxT& tx) {
         sum = 0;  // the body may re-run after an abort
         for (auto& account : accounts) sum += tx.read(account);
       });
+      ++instrumented;
+      if (sum != kTotal) bad_audits.fetch_add(1, std::memory_order_relaxed);
+    } else if (role == 1) {
+      // The reader role: a read-only scan racing the writer transactions on
+      // the snapshot fast path.  No read set, no arbitration — consistency
+      // rests entirely on per-read snapshot validation.
+      std::uint64_t sum = 0;
+      stm.atomically_read([&](ReadTxT& tx) {
+        sum = 0;  // the body may re-run after a snapshot restart
+        for (auto& account : accounts) sum += tx.read(account);
+      });
+      ++snapshots;
       if (sum != kTotal) bad_audits.fetch_add(1, std::memory_order_relaxed);
     } else {
       const auto from = static_cast<std::size_t>(rng() % kAccounts);
@@ -142,8 +171,11 @@ void stress_worker(Substrate& stm, std::vector<stm::Cell>& accounts,
         tx.write(accounts[from], tx.read(accounts[from]) - amount);
         tx.write(accounts[to], tx.read(accounts[to]) + amount);
       });
+      ++instrumented;
     }
   }
+  instrumented_txs.fetch_add(instrumented, std::memory_order_relaxed);
+  snapshot_txs.fetch_add(snapshots, std::memory_order_relaxed);
 }
 
 template <typename Substrate>
@@ -153,12 +185,15 @@ void run_stress(Substrate& stm, const char* substrate_label) {
   const int ops = ops_per_thread();
   std::atomic<int> start_line{0};
   std::atomic<std::uint64_t> bad_audits{0};
+  std::atomic<std::uint64_t> instrumented_txs{0};
+  std::atomic<std::uint64_t> snapshot_txs{0};
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       stress_worker<Substrate>(stm, accounts,
                                /*seed=*/0x57E55ull * (t + 1), ops,
-                               start_line, bad_audits);
+                               start_line, bad_audits, instrumented_txs,
+                               snapshot_txs);
     });
   }
   for (auto& worker : workers) worker.join();
@@ -172,11 +207,14 @@ void run_stress(Substrate& stm, const char* substrate_label) {
   }
   EXPECT_EQ(sum, kTotal)
       << substrate_label << ": committed state lost or duplicated an update";
-  // Exactly one commit per atomically() call, regardless of how many
-  // attempts the arbiter's verdicts (self-aborts, remote kills) cost.
-  EXPECT_EQ(stm.stats().commits.load(),
-            static_cast<std::uint64_t>(kThreads) * ops)
+  // Exactly one commit per atomically() call and one snapshot commit per
+  // atomically_read() call, regardless of how many attempts the arbiter's
+  // verdicts (self-aborts, remote kills) or snapshot restarts cost.  The
+  // two ledgers must not bleed into each other.
+  EXPECT_EQ(stm.stats().commits.load(), instrumented_txs.load())
       << substrate_label << ": commit accounting drifted";
+  EXPECT_EQ(stm.stats().snapshot_commits.load(), snapshot_txs.load())
+      << substrate_label << ": snapshot commit accounting drifted";
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +274,93 @@ TEST(CrossSubstrateNesting, DebugBuildsRejectNestingAcrossSubstrates) {
                "single-occupancy");
 }
 #endif
+
+// ---------------------------------------------------------------------------
+// White-box proof: a declared snapshot reader is invisible to arbitration.
+// An ArbiterProbe wraps the arbiter and counts every verdict; the
+// substrate's lock_waits counter counts every spin-site entry (including
+// pure kWait verdicts the probe does not classify).  With ONE writer and
+// snapshot-only readers there is no writer/writer contention, so any
+// arbiter traffic at all could only come from the readers — and there must
+// be none.  The reader thread's conflict descriptor is sentinel-checked
+// too: atomically_read must never publish, stamp, or otherwise touch it.
+// ---------------------------------------------------------------------------
+
+template <typename Substrate>
+void run_snapshot_zero_traffic(const char* substrate_label) {
+  const auto probe =
+      std::make_shared<adversary::ArbiterProbe>(make_cm(CmKind::kKarma));
+  Substrate stm{probe};
+  using ReadTxT = typename Substrate::ReadTxContext;
+  using TxT = typename Substrate::TxContext;
+
+  std::vector<stm::Cell> accounts(kAccounts);
+  for (auto& account : accounts) account.value.store(kInitialBalance);
+
+  // Sentinel the reader thread's descriptor: a snapshot transaction has no
+  // descriptor interaction whatsoever, so these exact values must survive.
+  conflict::TxDescriptor& mine = conflict::thread_descriptor();
+  mine.status.store(static_cast<std::uint32_t>(conflict::TxStatus::kCommitted),
+                    std::memory_order_relaxed);
+  mine.priority.store(0xBEEFu, std::memory_order_relaxed);
+  mine.start_time.store(0x5EED5u, std::memory_order_relaxed);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad_audits{0};
+  std::thread writer([&] {
+    sim::Rng rng{0xD00Dull};
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto from = static_cast<std::size_t>(rng() % kAccounts);
+      std::size_t to = static_cast<std::size_t>(rng() % (kAccounts - 1));
+      if (to >= from) ++to;
+      stm.atomically([&](TxT& tx) {
+        tx.write(accounts[from], tx.read(accounts[from]) - 1);
+        tx.write(accounts[to], tx.read(accounts[to]) + 1);
+      });
+    }
+  });
+
+  const int audits = 200 * ops_per_thread() / 1000 + 100;
+  for (int i = 0; i < audits; ++i) {
+    std::uint64_t sum = 0;
+    stm.atomically_read([&](ReadTxT& tx) {
+      sum = 0;  // the body may re-run after a snapshot restart
+      for (auto& account : accounts) sum += tx.read(account);
+    });
+    if (sum != kTotal) bad_audits.fetch_add(1, std::memory_order_relaxed);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(bad_audits.load(), 0u) << substrate_label;
+  EXPECT_EQ(stm.stats().snapshot_commits.load(),
+            static_cast<std::uint64_t>(audits))
+      << substrate_label;
+  // Zero arbiter traffic: the single writer never met another lock holder,
+  // and the readers must not have engaged arbitration at all.
+  EXPECT_EQ(stm.stats().lock_waits.load(), 0u)
+      << substrate_label << ": a snapshot reader entered a spin site";
+  EXPECT_EQ(stm.stats().remote_kills.load(), 0u) << substrate_label;
+  EXPECT_EQ(probe->kills_requested(), 0u) << substrate_label;
+  EXPECT_EQ(probe->self_sacrifices(), 0u) << substrate_label;
+  EXPECT_EQ(probe->grants_expired(), 0u) << substrate_label;
+  // The reader's descriptor was never published or stamped.
+  EXPECT_EQ(mine.status.load(std::memory_order_relaxed),
+            static_cast<std::uint32_t>(conflict::TxStatus::kCommitted))
+      << substrate_label << ": atomically_read touched the descriptor status";
+  EXPECT_EQ(mine.priority.load(std::memory_order_relaxed), 0xBEEFu)
+      << substrate_label << ": atomically_read published priority credit";
+  EXPECT_EQ(mine.start_time.load(std::memory_order_relaxed), 0x5EED5u)
+      << substrate_label << ": atomically_read stamped seniority";
+}
+
+TEST(SnapshotZeroTraffic, Tl2ReaderNeverPublishesOrArbitrates) {
+  run_snapshot_zero_traffic<stm::Stm>("TL2");
+}
+
+TEST(SnapshotZeroTraffic, NorecReaderNeverPublishesOrArbitrates) {
+  run_snapshot_zero_traffic<stm::Norec>("NOrec");
+}
 
 TEST(SpinStressKills, AggressiveRequestorWinsStaysAtomicOnBothSubstrates) {
   const auto trigger_happy = std::make_shared<GraceArbiter>(

@@ -1,11 +1,14 @@
 // Tests of the TL2-style STM with the grace-period contention manager:
 // single-thread semantics, multi-thread atomicity/isolation (real threads),
-// and the policy hook.
+// the policy hook, and the declared-read-only snapshot fast path
+// (atomically_read / ReadTxContext).
 #include "stm/tl2.hpp"
 
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/policy.hpp"
@@ -14,6 +17,22 @@ namespace {
 
 using namespace txc;
 using namespace txc::stm;
+
+// The read-only promise is part of the type: ReadTxContext exposes no
+// write(), so breaking the promise inside atomically_read is a compile
+// error, not a debug assert.  The detection idiom proves both sides of the
+// contract (and that the probe itself works).
+template <typename Ctx, typename = void>
+struct HasWrite : std::false_type {};
+template <typename Ctx>
+struct HasWrite<Ctx, std::void_t<decltype(std::declval<Ctx&>().write(
+                         std::declval<Cell&>(), std::uint64_t{}))>>
+    : std::true_type {};
+
+static_assert(HasWrite<Stm::TxContext>::value,
+              "the instrumented context must expose write()");
+static_assert(!HasWrite<Stm::ReadTxContext>::value,
+              "a write inside a TL2 read transaction must not compile");
 
 std::shared_ptr<const core::GracePeriodPolicy> default_policy() {
   return core::make_policy(core::StrategyKind::kRandAborts);
@@ -136,6 +155,85 @@ TEST(Stm, HighContentionRemainsAtomic) {
   // when overlap does occur).
   EXPECT_EQ(Stm::read_committed(hot), 16000u);
   EXPECT_GE(stm.stats().commits.load(), 16000u);
+}
+
+TEST(StmSnapshot, ReadSeesCommittedState) {
+  Stm stm{default_policy()};
+  Cell a;
+  Cell b;
+  stm.atomically([&](Tx& tx) {
+    tx.write(a, 11);
+    tx.write(b, 22);
+  });
+  std::uint64_t seen_a = 0;
+  std::uint64_t seen_b = 0;
+  stm.atomically_read([&](ReadTx& tx) {
+    seen_a = tx.read(a);
+    seen_b = tx.read(b);
+  });
+  EXPECT_EQ(seen_a, 11u);
+  EXPECT_EQ(seen_b, 22u);
+}
+
+TEST(StmSnapshot, CountersSeparateSnapshotFromInstrumentedReads) {
+  Stm stm{default_policy()};
+  Cell a;
+  Cell b;
+  stm.atomically([&](Tx& tx) { tx.write(a, 1); });
+
+  // Instrumented reads: the plain path and the deprecated read-only hint
+  // path both accrue a read set and count as instrumented.
+  stm.atomically([&](Tx& tx) { (void)tx.read(a); });
+  stm.atomically(kReadOnlyTx, [&](Tx& tx) { (void)tx.read(a); });
+  EXPECT_EQ(stm.stats().instrumented_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().snapshot_reads.load(), 0u);
+  EXPECT_EQ(stm.stats().snapshot_commits.load(), 0u);
+
+  // Snapshot reads land in their own ledger and do not disturb the
+  // transactional commit/abort counters.
+  const std::uint64_t commits_before = stm.stats().commits.load();
+  stm.atomically_read([&](ReadTx& tx) {
+    (void)tx.read(a);
+    (void)tx.read(b);
+  });
+  EXPECT_EQ(stm.stats().snapshot_commits.load(), 1u);
+  EXPECT_EQ(stm.stats().snapshot_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().snapshot_restarts.load(), 0u)
+      << "no concurrent writer: the first snapshot attempt must stick";
+  EXPECT_EQ(stm.stats().instrumented_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().commits.load(), commits_before);
+}
+
+TEST(StmSnapshot, MultiCellSnapshotNeverTearsUnderWriters) {
+  // Writers keep pair0 == pair1; a snapshot reader validates every read
+  // against its clock sample, so it must never observe a torn pair even
+  // though it accrues no read set and never validates at the end (opacity).
+  Stm stm{default_policy()};
+  Cell pair0;
+  Cell pair1;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::thread writer([&] {
+    for (int i = 1; i <= 20000; ++i) {
+      stm.atomically([&](Tx& tx) {
+        tx.write(pair0, static_cast<std::uint64_t>(i));
+        tx.write(pair1, static_cast<std::uint64_t>(i));
+      });
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      stm.atomically_read([&](ReadTx& tx) {
+        const std::uint64_t x = tx.read(pair0);
+        const std::uint64_t y = tx.read(pair1);
+        if (x != y) torn.fetch_add(1);
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
 }
 
 TEST(Stm, NoDelayPolicyStillMakesProgress) {

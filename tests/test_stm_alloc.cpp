@@ -212,6 +212,101 @@ TEST(StmAllocation, ContendedNorecSpinSiteAllocatesNothing) {
   EXPECT_EQ(Norec::read_committed(hot), 2u * (500u + 4000u));
 }
 
+// ---------------------------------------------------------------------------
+// The declared-read-only snapshot path (atomically_read).  It touches no
+// TxBuffers and no descriptor, so its zero-allocation bar is higher than
+// steady-state: even the FIRST transaction on a fresh thread must not
+// allocate (there is nothing to warm up — no buffers to grow, no
+// first-touch).  Uncontended bodies and snapshot-restart unwinding are both
+// covered; TxAbort restarts travel via the exception path, whose storage
+// comes from the runtime's malloc-based allocator, not operator new (the
+// contended instrumented tests above already rely on this).
+// ---------------------------------------------------------------------------
+
+TEST(StmAllocation, Tl2SnapshotReadPathAllocatesNothing) {
+  Stm stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  std::vector<Cell> cells(64);
+  stm.atomically([&](Tx& tx) {  // populate (and warm the writer's buffers)
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      tx.write(cells[i], i + 1);
+    }
+  });
+  const std::uint64_t before = allocations();
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    stm.atomically_read([&](ReadTx& tx) {
+      sum = 0;
+      for (auto& cell : cells) sum += tx.read(cell);
+    });
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "the TL2 snapshot read path must not reach operator new";
+  EXPECT_EQ(sum, (64u * 65u) / 2u);
+}
+
+TEST(StmAllocation, NorecSnapshotReadPathAllocatesNothing) {
+  Norec norec{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  std::vector<Cell> cells(64);
+  norec.atomically([&](NorecTx& tx) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      tx.write(cells[i], i + 1);
+    }
+  });
+  const std::uint64_t before = allocations();
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    norec.atomically_read([&](NorecReadTx& tx) {
+      sum = 0;
+      for (auto& cell : cells) sum += tx.read(cell);
+    });
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "the NOrec snapshot read path must not reach operator new";
+  EXPECT_EQ(sum, (64u * 65u) / 2u);
+}
+
+template <typename Substrate, typename ReadTxT>
+void fresh_thread_snapshot_allocates_nothing(const char* substrate_label) {
+  Substrate stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  std::vector<Cell> cells(64);
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      tx.write(cells[i], i + 1);
+    }
+  });
+  // First use on a FRESH thread, no warm-up: the snapshot path has no
+  // per-thread state (no TxBuffers, no descriptor interaction), so there is
+  // nothing that could legitimately first-touch-allocate.  The counters are
+  // sampled inside the thread, around only the atomically_read calls (the
+  // spawn/join machinery allocates; the main thread is parked in join() and
+  // contributes nothing to the window).
+  std::uint64_t delta = ~std::uint64_t{0};
+  std::uint64_t sum = 0;
+  std::thread fresh([&] {
+    const std::uint64_t before = allocations();
+    for (int i = 0; i < 100; ++i) {
+      stm.atomically_read([&](ReadTxT& tx) {
+        sum = 0;
+        for (auto& cell : cells) sum += tx.read(cell);
+      });
+    }
+    delta = allocations() - before;
+  });
+  fresh.join();
+  EXPECT_EQ(delta, 0u)
+      << substrate_label
+      << ": first atomically_read on a fresh thread must not allocate";
+  EXPECT_EQ(sum, (64u * 65u) / 2u) << substrate_label;
+}
+
+TEST(StmAllocation, Tl2SnapshotFreshThreadFirstUseAllocatesNothing) {
+  fresh_thread_snapshot_allocates_nothing<Stm, ReadTx>("TL2");
+}
+
+TEST(StmAllocation, NorecSnapshotFreshThreadFirstUseAllocatesNothing) {
+  fresh_thread_snapshot_allocates_nothing<Norec, NorecReadTx>("NOrec");
+}
+
 TEST(StmAllocation, TransactionalContainersRideTheFastPath) {
   Stm stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
   TxQueue queue{stm, 64};

@@ -90,8 +90,9 @@ inline const std::vector<FigureSpec>& builtin_roster() {
            // First panel: the perf-sensitive fast-path microbench, so smoke
            // CI (--max-panels 1) and the perf-gate baseline both cover it.
            {"micro_stm_fastpath",
-            "zero-allocation TxBuffers fast path vs pre-refactor hot path",
-            2},
+            "zero-allocation TxBuffers fast path vs pre-refactor hot path; "
+            "read-only snapshot path vs the kReadOnlyTx hint",
+            4},
            {"cm_comparison",
             "grace-period policies vs classic contention managers", 1},
            {"stm_contention", "TL2 under variable contention", 1},
