@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/profiler.hpp"
 #include "sim/jsonio.hpp"
 
 namespace txc::bench {
@@ -80,6 +82,25 @@ inline T scaled(T full) {
 template <typename T>
 inline T capped(T full, T smoke_cap) {
   return smoke_mode() ? std::min(full, smoke_cap) : full;
+}
+
+/// Measured core::cycle_now() rate, for reporting latencies in microseconds
+/// regardless of what the hardware counter ticks in.  One 20ms busy-wait
+/// (not a sleep, so a frequency-scaling governor sees load) per call —
+/// calibrate once per process and thread the value through.  Shared by
+/// every latency-reporting bench (kv_service, tail_adversary,
+/// stripe_geometry).
+inline double calibrate_cycles_per_us() {
+  const std::uint64_t cycles_begin = core::cycle_now();
+  const auto wall_begin = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - wall_begin <
+         std::chrono::milliseconds(20)) {
+  }
+  const std::uint64_t cycles = core::cycle_now() - cycles_begin;
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - wall_begin)
+                        .count();
+  return static_cast<double>(cycles) / us;
 }
 
 /// Base RNG seed for benches that thread determinism through: the --seed

@@ -73,22 +73,6 @@ constexpr Mix kMixes[] = {
      20},
 };
 
-/// Measured cycle_now() rate, for reporting latencies in microseconds
-/// regardless of what the hardware counter ticks in.
-double calibrate_cycles_per_us() {
-  const std::uint64_t cycles_begin = core::cycle_now();
-  const auto wall_begin = std::chrono::steady_clock::now();
-  // Busy-wait (not sleep) so a frequency-scaling governor sees load.
-  while (std::chrono::steady_clock::now() - wall_begin <
-         std::chrono::milliseconds(20)) {
-  }
-  const std::uint64_t cycles = core::cycle_now() - cycles_begin;
-  const double us = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - wall_begin)
-                        .count();
-  return static_cast<double>(cycles) / us;
-}
-
 struct RunResult {
   double offered_mops = 0.0;
   double achieved_mops = 0.0;
@@ -231,7 +215,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t kRequests = txc::bench::scaled(std::uint64_t{240000});
   const double kOfferedOpsPerSec = 2.0e6;  // total across all shards
-  const double cycles_per_us = calibrate_cycles_per_us();
+  const double cycles_per_us = txc::bench::calibrate_cycles_per_us();
   std::printf("calibration: %.1f cycles/us; %llu requests per run at "
               "%.1f Mops/s offered\n",
               cycles_per_us, static_cast<unsigned long long>(kRequests),

@@ -20,13 +20,15 @@
 // intact, no descriptor publication, no kill window — with the live
 // substrate's translation-unit structure, so the ratio isolates exactly
 // what the committer-descriptor protocol added to the commit path.
-// A third pair covers the read-only snapshot fast path (PR 8): the
-// deprecated kReadOnlyTx *hint* still runs the full instrumented machinery
+// A third pair covers the read-only snapshot fast path (PR 8): a read-only
+// body on the plain instrumented atomically() pays the full machinery
 // (read-set/read-log accrual, descriptor publication, commit-time
 // validation), while atomically_read() runs the declared read-only snapshot
 // protocol (TL2: per-read lock-word recheck against a pinned clock sample;
 // NOrec: seqlock recheck per read, no value log).  The StmStats columns
-// prove which ledger each side ran on.
+// prove which ledger each side ran on.  (The kReadOnlyTx hint that used to
+// sit between the two was removed once every read-only caller migrated to
+// atomically_read.)
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -415,14 +417,15 @@ constexpr ReadWorkload kReadWorkloads[] = {
     {"scan (256r)", 256, 256},
 };
 
-/// Deprecated hint path: full instrumented transaction, read_only == true.
+/// Instrumented path: full transaction machinery on a read-only body.
 template <typename Substrate>
-double run_hint_reads(Substrate& stm, const ReadWorkload& w, int ops) {
+double run_instrumented_reads(Substrate& stm, const ReadWorkload& w,
+                              int ops) {
   std::vector<Cell> cells(w.cells);
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t sink = 0;
   for (int i = 0; i < ops; ++i) {
-    stm.atomically(kReadOnlyTx, [&](typename Substrate::TxContext& tx) {
+    stm.atomically([&](typename Substrate::TxContext& tx) {
       std::uint64_t sum = 0;
       for (int r = 0; r < w.reads; ++r) {
         sum += tx.read(cells[(i + r) % w.cells]);
@@ -458,27 +461,27 @@ void read_panel_rows(const char* substrate_name, int ops,
                      txc::bench::Table& table) {
   for (const ReadWorkload& w : kReadWorkloads) {
     // Fresh substrate per side so the stats columns isolate each ledger.
-    Substrate hint_stm{bench_policy()};
-    (void)run_hint_reads(hint_stm, w, ops / 10 + 1);
-    const double hint_ops = run_hint_reads(hint_stm, w, ops);
+    Substrate instr_stm{bench_policy()};
+    (void)run_instrumented_reads(instr_stm, w, ops / 10 + 1);
+    const double instr_ops = run_instrumented_reads(instr_stm, w, ops);
     Substrate snap_stm{bench_policy()};
     (void)run_snapshot_reads(snap_stm, w, ops / 10 + 1);
     const double snap_ops = run_snapshot_reads(snap_stm, w, ops);
     table.print_row(
         {std::string(substrate_name) + " " + w.name,
-         txc::bench::fmt_sci(hint_ops), txc::bench::fmt_sci(snap_ops),
-         txc::bench::fmt(snap_ops / hint_ops, 2),
+         txc::bench::fmt_sci(instr_ops), txc::bench::fmt_sci(snap_ops),
+         txc::bench::fmt(snap_ops / instr_ops, 2),
          std::to_string(
-             hint_stm.stats().instrumented_reads.load(std::memory_order_relaxed)),
+             instr_stm.stats().instrumented_reads.load(std::memory_order_relaxed)),
          std::to_string(
              snap_stm.stats().snapshot_reads.load(std::memory_order_relaxed))});
   }
 }
 
 /// Read-mostly contention context: readers race one committing writer.  The
-/// hint path pays commit-time validation / read-log replay against the
-/// writer's clock bumps; the snapshot path restarts only when a read races
-/// the writer's in-flight commit window.
+/// instrumented path pays commit-time validation / read-log replay against
+/// the writer's clock bumps; the snapshot path restarts only when a read
+/// races the writer's in-flight commit window.
 template <typename Substrate, bool kSnapshot>
 double run_readers_vs_writer(unsigned readers, int ops_per_reader) {
   Substrate stm{bench_policy()};
@@ -507,14 +510,13 @@ double run_readers_vs_writer(unsigned readers, int ops_per_reader) {
             sink += sum;
           });
         } else {
-          stm.atomically(kReadOnlyTx,
-                         [&](typename Substrate::TxContext& tx) {
-                           std::uint64_t sum = 0;
-                           for (int r = 0; r < 16; ++r) {
-                             sum += tx.read(cells[(i + r) % 64]);
-                           }
-                           sink += sum;
-                         });
+          stm.atomically([&](typename Substrate::TxContext& tx) {
+            std::uint64_t sum = 0;
+            for (int r = 0; r < 16; ++r) {
+              sum += tx.read(cells[(i + r) % 64]);
+            }
+            sink += sum;
+          });
         }
       }
       g_read_sink.fetch_add(sink, std::memory_order_relaxed);
@@ -605,14 +607,14 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   txc::bench::banner(
-      "Read-only snapshot fast path — atomically_read vs the kReadOnlyTx "
-      "hint (single thread)",
-      "the hint path still pays the full instrumented machinery (read-set / "
-      "read-log accrual, descriptor publication, TL2 commit-time "
-      "validation); atomically_read pins a clock/seqlock sample and "
-      "validates per read with no log at all — the reads land on the "
-      "snapshot ledger, the hint's on the instrumented ledger");
-  txc::bench::Table read_table{{"workload", "hint ops/s", "snapshot ops/s",
+      "Read-only snapshot fast path — atomically_read vs the instrumented "
+      "path (single thread)",
+      "a read-only body on plain atomically() pays the full instrumented "
+      "machinery (read-set / read-log accrual, descriptor publication, TL2 "
+      "commit-time validation); atomically_read pins a clock/seqlock sample "
+      "and validates per read with no log at all — the reads land on the "
+      "snapshot ledger, the instrumented side's on the instrumented ledger");
+  txc::bench::Table read_table{{"workload", "instr ops/s", "snapshot ops/s",
                                 "speedup", "instr reads", "snap reads"},
                                18};
   read_table.print_header();
@@ -627,29 +629,29 @@ int main(int argc, char** argv) {
       "writer; the snapshot path restarts only on a racing commit window "
       "instead of validating every read at commit");
   txc::bench::Table read_mt_table{
-      {"substrate", "readers", "hint ops/s", "snapshot ops/s", "speedup"},
+      {"substrate", "readers", "instr ops/s", "snapshot ops/s", "speedup"},
       18};
   read_mt_table.print_header();
   const int kReaderOps = txc::bench::scaled(50000);
   for (const unsigned readers : {2u, 4u}) {
-    const double tl2_hint =
+    const double tl2_instr =
         run_readers_vs_writer<Stm, /*kSnapshot=*/false>(readers, kReaderOps);
     const double tl2_snap =
         run_readers_vs_writer<Stm, /*kSnapshot=*/true>(readers, kReaderOps);
     read_mt_table.print_row({"tl2", std::to_string(readers),
-                             txc::bench::fmt_sci(tl2_hint),
+                             txc::bench::fmt_sci(tl2_instr),
                              txc::bench::fmt_sci(tl2_snap),
-                             txc::bench::fmt(tl2_snap / tl2_hint, 2)});
+                             txc::bench::fmt(tl2_snap / tl2_instr, 2)});
   }
   for (const unsigned readers : {2u, 4u}) {
-    const double norec_hint =
+    const double norec_instr =
         run_readers_vs_writer<Norec, /*kSnapshot=*/false>(readers, kReaderOps);
     const double norec_snap =
         run_readers_vs_writer<Norec, /*kSnapshot=*/true>(readers, kReaderOps);
     read_mt_table.print_row({"norec", std::to_string(readers),
-                             txc::bench::fmt_sci(norec_hint),
+                             txc::bench::fmt_sci(norec_instr),
                              txc::bench::fmt_sci(norec_snap),
-                             txc::bench::fmt(norec_snap / norec_hint, 2)});
+                             txc::bench::fmt(norec_snap / norec_instr, 2)});
   }
   std::printf("\n");
 

@@ -1,0 +1,438 @@
+// Lock-table placement — the stripe figure family: hashed (anonymous,
+// pointer-mixed) stripe placement vs deterministic region-scoped placement
+// (stm::RegionSpec), at EQUAL table size, under workloads built to alias
+// maximally on the hashed table.
+//
+// The experiment the figure exists for: TL2's classic lock table hashes
+// addresses into 2^k stripes, so two transactions touching *disjoint* cells
+// can still collide on one lock word — a false conflict the programmer can
+// neither predict nor avoid (the aliasing depends on runtime addresses).
+// Region registration replaces the hash with arithmetic: stripe =
+// (element_index * odd_stride) mod table_size, a bijection on a power-of-two
+// table, so distinct elements are provably on distinct stripes up to table
+// capacity.  Panel 1 constructs hash-aliased cell sets (disjoint cells, one
+// hashed stripe) and shows StmStats::false_conflicts collapsing to zero —
+// and throughput recovering — when the same cells run under a registered
+// region of the same table size.  Panel 2 replays the contrast through the
+// sharded KV store (Config::register_regions on/off), including an
+// aliased-hot-key mix where each worker owns a distinct key that the hashed
+// table nevertheless serializes.  Panel 3 prices the NUMA seam the
+// placement work leans on: the cost of spinning on a remote thread's
+// descriptor status word, per node (on a single-node host it degrades to
+// the local row, which is the point of measuring rather than assuming).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "conflict/descriptor.hpp"
+#include "core/numa.hpp"
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "kv/store.hpp"
+#include "sim/rng.hpp"
+#include "stm/tl2.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace txc;
+using stm::Cell;
+using stm::Stm;
+using stm::Tx;
+
+constexpr std::size_t kWorkers = 4;
+
+std::shared_ptr<const core::GracePeriodPolicy> bench_policy() {
+  return core::make_policy(core::StrategyKind::kNoDelay);
+}
+
+// ---------------------------------------------------------------------------
+// Panel 1 — aliased hot cells: disjoint cells, one hashed stripe.
+// ---------------------------------------------------------------------------
+
+/// Cells from `pool` that the `stm` instance places on one (maximally
+/// occupied) stripe.  Hash placement depends on runtime addresses, so the
+/// set is discovered, not constructed; at pool size == table size the
+/// occupancy is Poisson(1) and a >=4-way aliased stripe is plentiful.
+std::vector<Cell*> aliased_cells(Stm& stm, std::vector<Cell>& pool,
+                                 std::size_t want) {
+  std::unordered_map<const void*, std::vector<Cell*>> by_stripe;
+  const std::vector<Cell*>* best = nullptr;
+  for (Cell& cell : pool) {
+    auto& mates = by_stripe[stm.debug_stripe_of(&cell)];
+    mates.push_back(&cell);
+    if (best == nullptr || mates.size() > best->size()) best = &mates;
+    if (mates.size() >= want) break;
+  }
+  std::vector<Cell*> result = *best;
+  if (result.size() > want) result.resize(want);
+  return result;
+}
+
+struct HotRunResult {
+  double ops_per_sec = 0.0;
+  std::uint64_t aborts = 0;
+  std::uint64_t false_conflicts = 0;
+  std::uint64_t setup_collisions = 0;  // already-ours dedup hits, setup tx
+  bool conserved = false;
+};
+
+/// `workers` threads, each incrementing its OWN cell — disjoint data, so
+/// every abort and every false conflict is placement-induced.  The yield
+/// inside the body forces sibling commits into each open read window even
+/// on a single-CPU host (where pure racing would hide the aliasing).
+HotRunResult run_hot_cells(Stm& stm, const std::vector<Cell*>& hot,
+                           std::uint64_t ops) {
+  // Setup transaction: touch every hot cell in ONE write set.  On the
+  // hashed table the cells share a stripe, so the lock-acquisition dedup
+  // fires |hot|-1 times (StmStats::stripe_collisions); on a registered
+  // region it must not fire at all.
+  const std::uint64_t collisions_before =
+      stm.stats().stripe_collisions.load(std::memory_order_relaxed);
+  stm.atomically([&](Tx& tx) {
+    for (Cell* cell : hot) tx.write(*cell, tx.read(*cell));
+  });
+  HotRunResult result;
+  result.setup_collisions =
+      stm.stats().stripe_collisions.load(std::memory_order_relaxed) -
+      collisions_before;
+
+  const std::uint64_t aborts_before =
+      stm.stats().aborts.load(std::memory_order_relaxed);
+  const std::uint64_t false_before =
+      stm.stats().false_conflicts.load(std::memory_order_relaxed);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(hot.size());
+  for (Cell* mine : hot) {
+    workers.emplace_back([&, mine] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t op = 0; op < ops; ++op) {
+        stm.atomically([&](Tx& tx) {
+          const std::uint64_t value = tx.read(*mine);
+          // Hold the read window open across a scheduling point so sibling
+          // commits land inside it.
+          std::this_thread::yield();
+          tx.write(*mine, value + 1);
+        });
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  result.ops_per_sec =
+      static_cast<double>(ops) * static_cast<double>(hot.size()) / seconds;
+  result.aborts =
+      stm.stats().aborts.load(std::memory_order_relaxed) - aborts_before;
+  result.false_conflicts =
+      stm.stats().false_conflicts.load(std::memory_order_relaxed) -
+      false_before;
+  // Each worker's cell must hold exactly its committed increment count.
+  result.conserved = true;
+  for (Cell* cell : hot) {
+    if (Stm::read_committed(*cell) != ops) result.conserved = false;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Panel 2 — the KV store with Config::register_regions on/off.
+// ---------------------------------------------------------------------------
+
+using Store = kv::ShardedKvStore<Stm>;
+
+constexpr std::size_t kKvShards = 4;
+// 4 x 16384 buckets = 65536 cells against the 65536-stripe default hashed
+// table: Poisson(1) occupancy, so 4-way aliased stripes are plentiful.  The
+// registered side gets one 16384-stripe table per shard — the same 65536
+// total lock words, arranged so distinct buckets cannot collide.
+constexpr std::size_t kKvCapacity = 16384;
+constexpr std::uint32_t kKeyUniverse = 2048;
+constexpr double kZipfExponent = 0.9;
+// Aliased hot keys are searched above the zipf universe so the two key
+// populations never collide.
+constexpr kv::Key kHotKeySearchBase = 100000;
+
+Store::Config store_config(bool register_regions) {
+  Store::Config config;
+  config.shards = kKvShards;
+  config.capacity_per_shard = kKvCapacity;
+  config.register_regions = register_regions;
+  return config;
+}
+
+/// Keys whose home buckets are DISTINCT cells on ONE hashed stripe of
+/// `store`'s substrate.  Stripe placement hashes runtime bucket ADDRESSES,
+/// so the set must be discovered on the exact store instance that will run
+/// it — it does not transfer to another allocation.  (On a registered
+/// store any distinct-bucket key set is stripe-disjoint by construction,
+/// so the hashed-side set doubles as the region-side workload.)
+std::vector<kv::Key> aliased_hot_keys(Store& store, std::size_t want) {
+  std::unordered_map<const void*, std::vector<kv::Key>> by_stripe;
+  std::unordered_map<const void*, bool> bucket_taken;
+  const std::vector<kv::Key>* best = nullptr;
+  for (kv::Key key = kHotKeySearchBase; key < kHotKeySearchBase + 400000;
+       ++key) {
+    const stm::Cell* bucket = store.debug_bucket_of(key);
+    if (bucket == nullptr) continue;
+    if (bucket_taken[bucket]) continue;  // one key per bucket: disjoint data
+    bucket_taken[bucket] = true;
+    auto& mates = by_stripe[store.substrate().debug_stripe_of(bucket)];
+    mates.push_back(key);
+    if (best == nullptr || mates.size() > best->size()) best = &mates;
+    if (mates.size() >= want) break;
+  }
+  std::vector<kv::Key> result = *best;
+  if (result.size() > want) result.resize(want);
+  return result;
+}
+
+struct KvMix {
+  const char* name;
+  const char* legend;
+  bool aliased;  // workers own one aliased hot key each (no zipf traffic)
+  int get_pct;   // remainder is rmw_add
+};
+
+constexpr KvMix kKvMixes[] = {
+    {"aliased-hot rmw", "each worker rmw-adds its OWN hot key; the keys "
+                        "share a hashed stripe",
+     true, 20},
+    {"read-heavy zipf", "95% get / 5% rmw over the zipf universe", false, 95},
+    {"update-heavy zipf", "50% get / 50% rmw over the zipf universe", false,
+     50},
+};
+
+struct KvRunResult {
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t aborts = 0;
+  std::uint64_t false_conflicts = 0;
+};
+
+KvRunResult run_kv(Store& store, const KvMix& mix,
+                   const std::vector<kv::Key>& hot_keys, std::uint64_t ops,
+                   double cycles_per_us) {
+  if (mix.aliased) {
+    for (const kv::Key key : hot_keys) store.put_sync(key, 1);
+  } else {
+    for (kv::Key key = 1; key <= kKeyUniverse; ++key) store.put_sync(key, key);
+  }
+
+  const std::uint64_t aborts_before = store.stats().aborts.load();
+  const std::uint64_t false_before = store.stats().false_conflicts.load();
+  std::vector<core::LatencyHistogram> latencies(kWorkers);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      sim::Rng rng{txc::bench::seed(13) * 7919 + w};
+      const workload::ZipfSampler zipf{kKeyUniverse, kZipfExponent};
+      const kv::Key my_hot = hot_keys[w % hot_keys.size()];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t op = 0; op < ops; ++op) {
+        const kv::Key key =
+            mix.aliased ? my_hot : 1 + static_cast<kv::Key>(zipf.sample(rng));
+        const bool is_get =
+            static_cast<int>(rng.uniform_below(100)) < mix.get_pct;
+        const std::uint64_t begin = core::cycle_now();
+        if (is_get) {
+          (void)store.get_sync(key);
+        } else {
+          store.substrate().atomically([&](Tx& tx) {
+            kv::Value out = 0;
+            (void)store.rmw_add(tx, key, 1, out);
+            if (mix.aliased) std::this_thread::yield();  // hold window open
+          });
+        }
+        latencies[w].record(core::cycle_now() - begin);
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  core::LatencyHistogram merged;
+  for (const auto& histogram : latencies) merged.merge(histogram);
+
+  KvRunResult result;
+  result.ops_per_sec =
+      static_cast<double>(ops) * static_cast<double>(kWorkers) / seconds;
+  result.p50_us = static_cast<double>(merged.quantile(0.50)) / cycles_per_us;
+  result.p99_us = static_cast<double>(merged.quantile(0.99)) / cycles_per_us;
+  result.aborts = store.stats().aborts.load() - aborts_before;
+  result.false_conflicts =
+      store.stats().false_conflicts.load() - false_before;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Panel 3 — remote-descriptor probe cost per node.
+// ---------------------------------------------------------------------------
+
+/// Cost of one conflict::thread_descriptor() status probe when the owning
+/// thread first touched its descriptor on `node` — the load every
+/// arbitration spin (enemy status, kill checks) pays per iteration.  The
+/// descriptor slab is node-local (src/conflict/descriptor.hpp), so on a
+/// multi-node host the non-local rows price the remote-spin tax the
+/// per-node slabs exist to avoid; on a single-node host the table is one
+/// local row.
+double probe_ns(const conflict::TxDescriptor* victim, std::uint64_t probes,
+                double cycles_per_us) {
+  std::uint64_t sink = 0;
+  const std::uint64_t begin = core::cycle_now();
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    sink += static_cast<std::uint64_t>(victim->load_status());
+  }
+  const std::uint64_t cycles = core::cycle_now() - begin;
+  if (sink == ~std::uint64_t{0}) std::printf("unreachable\n");
+  return static_cast<double>(cycles) / static_cast<double>(probes) /
+         cycles_per_us * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
+  const double cycles_per_us = txc::bench::calibrate_cycles_per_us();
+
+  // -- Panel 1 --------------------------------------------------------------
+  txc::bench::banner(
+      "Lock-table placement — hashed vs deterministic region placement at "
+      "equal table size, on hash-aliased hot cells",
+      "disjoint cells that alias on the hashed table serialize on one lock "
+      "word: false_conflicts counts every such collision and throughput "
+      "drops to lock-convoy speed; registering the pool as a region "
+      "(bijective index placement, collision shell 1) drives "
+      "false_conflicts and placement aborts to zero at the SAME table "
+      "size — the >=5x reduction is the figure's acceptance bar");
+  txc::bench::Table hot_table{{"placement", "table", "ops/s", "aborts",
+                               "falseconf", "setupcoll", "fc reduce",
+                               "conserved"},
+                              12};
+  hot_table.print_header();
+  const std::uint64_t kHotOps = txc::bench::scaled(std::uint64_t{20000});
+  for (const std::size_t table_size : {1024u, 4096u, 16384u}) {
+    std::vector<Cell> pool(table_size);
+
+    Stm hashed{bench_policy(), table_size};
+    const std::vector<Cell*> hot =
+        aliased_cells(hashed, pool, kWorkers);
+    const HotRunResult hashed_run = run_hot_cells(hashed, hot, kHotOps);
+
+    for (Cell& cell : pool) cell.value.store(0, std::memory_order_relaxed);
+    Stm regioned{bench_policy(), table_size};
+    stm::RegionSpec spec;
+    spec.base = pool.data();
+    spec.elements = pool.size();
+    spec.stride_bytes = sizeof(Cell);
+    spec.stripes = table_size;  // equal table size on both sides
+    regioned.register_region(spec);
+    const HotRunResult region_run = run_hot_cells(regioned, hot, kHotOps);
+
+    const auto fc_reduce =
+        static_cast<double>(hashed_run.false_conflicts) /
+        static_cast<double>(std::max<std::uint64_t>(
+            std::uint64_t{1}, region_run.false_conflicts));
+    const auto row = [&](const char* placement, const HotRunResult& run,
+                         const std::string& reduce) {
+      hot_table.print_row(
+          {placement, std::to_string(table_size),
+           txc::bench::fmt_sci(run.ops_per_sec),
+           txc::bench::fmt_sci(static_cast<double>(run.aborts)),
+           std::to_string(run.false_conflicts),
+           std::to_string(run.setup_collisions), reduce,
+           run.conserved ? "yes" : "NO"});
+    };
+    row("hashed", hashed_run, "-");
+    row("region", region_run, txc::bench::fmt(fc_reduce, 1) + "x");
+    std::printf("  geometry: %s\n", regioned.describe_geometry().c_str());
+  }
+  std::printf("\n");
+
+  // -- Panel 2 --------------------------------------------------------------
+  txc::bench::banner(
+      "Sharded KV store — Config::register_regions off vs on (per-shard "
+      "bucket regions, collision shell 1)",
+      "the aliased-hot-key mix gives each worker a private key that the "
+      "hashed table serializes anyway — registration recovers throughput "
+      "and compresses p99; the zipf mixes bound the cost of registration "
+      "on workloads whose conflicts are mostly TRUE (same-key) conflicts: "
+      "expect parity there, with false_conflicts near zero on the "
+      "registered side by construction");
+  txc::bench::Table kv_table{{"mix", "placement", "ops/s", "p50us", "p99us",
+                              "aborts", "falseconf"},
+                             18};
+  kv_table.print_header();
+  const std::uint64_t kKvOps = txc::bench::scaled(std::uint64_t{20000});
+  // Zipf mixes never touch the hot keys; any nonzero placeholders work.
+  const std::vector<kv::Key> unused_keys = {1, 2, 3, 4};
+  for (const KvMix& mix : kKvMixes) {
+    // Hashed store first: the aliased key set must be discovered on the
+    // very instance that runs it (placement hashes runtime addresses).
+    Store hashed{store_config(/*register_regions=*/false), bench_policy()};
+    const std::vector<kv::Key> hot_keys =
+        mix.aliased ? aliased_hot_keys(hashed, kWorkers) : unused_keys;
+    if (mix.aliased) {
+      std::printf("aliased hot keys found: %zu (want %zu)\n",
+                  hot_keys.size(), kWorkers);
+    }
+    Store regioned{store_config(/*register_regions=*/true), bench_policy()};
+    const auto row = [&](const char* placement, const KvRunResult& run) {
+      kv_table.print_row({mix.name, placement,
+                          txc::bench::fmt_sci(run.ops_per_sec),
+                          txc::bench::fmt(run.p50_us, 1),
+                          txc::bench::fmt(run.p99_us, 1),
+                          txc::bench::fmt_sci(static_cast<double>(run.aborts)),
+                          std::to_string(run.false_conflicts)});
+    };
+    row("hashed", run_kv(hashed, mix, hot_keys, kKvOps, cycles_per_us));
+    row("region", run_kv(regioned, mix, hot_keys, kKvOps, cycles_per_us));
+  }
+  std::printf("\n");
+
+  // -- Panel 3 --------------------------------------------------------------
+  txc::bench::banner(
+      "Descriptor status-spin probe cost per NUMA node",
+      "arbitration spins poll the enemy's descriptor status word every "
+      "iteration; with node-local descriptor slabs the local row is the "
+      "common case and any remote rows price what anonymous (single-slab) "
+      "placement would have cost every cross-node conflict.  A single-node "
+      "host prints one local row — measured, not assumed");
+  const std::vector<int>& nodes = core::numa::online_nodes();
+  std::printf("host: %zu NUMA node(s); probing thread on node %zu\n",
+              nodes.size(), core::numa::current_node());
+  txc::bench::Table numa_table{{"owner node", "pinned", "ns/probe"}, 14};
+  numa_table.print_header();
+  const std::uint64_t kProbes = txc::bench::scaled(std::uint64_t{2000000});
+  for (const int node : nodes) {
+    conflict::TxDescriptor* victim = nullptr;
+    bool pinned = false;
+    std::thread owner{[&] {
+      pinned = core::numa::pin_current_thread_to_node(node);
+      victim = &conflict::thread_descriptor();
+    }};
+    owner.join();
+    numa_table.print_row(
+        {std::to_string(node), pinned ? "yes" : "no",
+         txc::bench::fmt(probe_ns(victim, kProbes, cycles_per_us), 2)});
+  }
+  return 0;
+}

@@ -71,20 +71,6 @@ struct RunResult {
   bool conserved = false;
 };
 
-double calibrate_cycles_per_us() {
-  const std::uint64_t cycles_begin = core::cycle_now();
-  const auto wall_begin = std::chrono::steady_clock::now();
-  // Busy-wait (not sleep) so a frequency-scaling governor sees load.
-  while (std::chrono::steady_clock::now() - wall_begin <
-         std::chrono::milliseconds(20)) {
-  }
-  const std::uint64_t cycles = core::cycle_now() - cycles_begin;
-  const double us = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - wall_begin)
-                        .count();
-  return static_cast<double>(cycles) / us;
-}
-
 /// One adversarial run: `threads` workers (all inheriting a kCpus-wide
 /// cpuset) each complete `ops` swap transactions while the preemption
 /// adversary runs; every worker is a signal-storm victim.
@@ -228,7 +214,7 @@ int main(int argc, char** argv) {
         "adversary can only oversubscribe, not target protocol windows\n");
   }
   const std::uint64_t kOps = txc::bench::scaled(std::uint64_t{1200});
-  const double cycles_per_us = calibrate_cycles_per_us();
+  const double cycles_per_us = txc::bench::calibrate_cycles_per_us();
   const std::size_t online = adversary::online_cpus();
   std::printf(
       "calibration: %.1f cycles/us; cpuset %zu of %zu online CPUs; %llu "

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/numa.hpp"
+
 namespace txc::conflict {
 
 /// Lifecycle of one transaction attempt.  kActive transactions can be killed
@@ -79,18 +81,23 @@ inline void stamp_seniority(
   descriptor.priority.store(0, std::memory_order_relaxed);
 }
 
-/// Fixed slab backing every thread's TxDescriptor.  Stripes publish raw
-/// descriptor pointers and enemies chase them after the holder released, so
-/// descriptors must never be freed while any transaction might still probe
-/// them; a static, cache-line-aligned slab gives each descriptor its own
-/// line (remote status/priority reads do not false-share with a neighbor
-/// thread's descriptor) and keeps publication entirely off the heap.
-/// Threads past the slab capacity get an intentionally-leaked heap
-/// descriptor: a one-time 64-byte allocation per overflow thread keeps the
-/// never-freed invariant (a thread_local would be destroyed at thread exit,
-/// exactly the use-after-free the slab exists to prevent) at the cost of
-/// one alloc outside the steady-state zero-allocation guarantee.
+/// Fixed slabs backing every thread's TxDescriptor, one slab per NUMA node.
+/// Stripes publish raw descriptor pointers and enemies chase them after the
+/// holder released, so descriptors must never be freed while any transaction
+/// might still probe them; static, cache-line-aligned slabs give each
+/// descriptor its own line (remote status/priority reads do not false-share
+/// with a neighbor thread's descriptor) and keep publication entirely off
+/// the heap.  kDescriptorSlabSize is the capacity PER NODE; threads past it
+/// get an intentionally-leaked heap descriptor: a one-time 64-byte
+/// allocation per overflow thread keeps the never-freed invariant (a
+/// thread_local would be destroyed at thread exit, exactly the
+/// use-after-free the slab exists to prevent) at the cost of one alloc
+/// outside the steady-state zero-allocation guarantee.
 inline constexpr std::size_t kDescriptorSlabSize = 256;
+/// Distinguished NUMA nodes: nodes beyond this share slab 0's arena (the
+/// status spins still work, they just lose locality).  Sized generously —
+/// the per-node cost is 16 KiB of zero-initialized static storage.
+inline constexpr std::size_t kDescriptorSlabNodes = 8;
 
 namespace detail {
 struct alignas(64) PaddedTxDescriptor {
@@ -101,13 +108,26 @@ struct alignas(64) PaddedTxDescriptor {
 /// The calling thread's slab-backed descriptor, assigned on first use and
 /// reused across every transaction (and every substrate instance) of the
 /// thread.
+///
+/// NUMA placement is pure first-touch: a slab slot's backing page is
+/// faulted in by the write of the claiming thread (the lambda below runs on
+/// that thread), and slots are partitioned per node, so the descriptors of
+/// node-N threads — the words every OTHER node's arbiters spin on via
+/// load_status() — live in node-N memory.  The remote-probe cost this
+/// placement governs is measured by bench/stripe_geometry.cpp's descriptor
+/// panel.  On a single-node machine all threads draw from slab 0 and the
+/// behavior is exactly the old single-slab scheme.
 [[nodiscard]] inline TxDescriptor& thread_descriptor() noexcept {
-  static detail::PaddedTxDescriptor slab[kDescriptorSlabSize];
-  static std::atomic<std::size_t> next_slot{0};
+  struct NodeSlab {
+    detail::PaddedTxDescriptor slots[kDescriptorSlabSize];
+    std::atomic<std::size_t> next{0};
+  };
+  static NodeSlab slabs[kDescriptorSlabNodes];
   thread_local TxDescriptor* mine = [] {
-    const std::size_t slot =
-        next_slot.fetch_add(1, std::memory_order_relaxed);
-    if (slot < kDescriptorSlabSize) return &slab[slot].descriptor;
+    NodeSlab& slab =
+        slabs[core::numa::current_node() % kDescriptorSlabNodes];
+    const std::size_t slot = slab.next.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kDescriptorSlabSize) return &slab.slots[slot].descriptor;
     return &(new detail::PaddedTxDescriptor)->descriptor;  // leaked by design
   }();
   return *mine;

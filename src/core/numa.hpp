@@ -1,0 +1,159 @@
+// txconflict — minimal NUMA topology shim (no libnuma dependency).
+//
+// The lock-table placement layer (stm/tl2) and the descriptor slab
+// (conflict/descriptor.hpp) want their shared arrays spread across NUMA
+// nodes so that remote threads spinning on a stripe's lock word or a
+// descriptor's status word do not all hammer one node's memory controller.
+// Linux places an anonymous page on the node of the thread that FIRST
+// TOUCHES it, so placement needs no mbind/libnuma at all — just arranging
+// for the right thread to fault each page in:
+//
+//   * per-thread state (a thread's descriptor slab slot) is naturally local:
+//     the claiming thread performs the first write;
+//   * shared tables (TL2 stripe arrays) are constructed through
+//     first_touch_interleaved(), which partitions the construction into
+//     chunks and round-robins them across node-pinned toucher threads.
+//
+// Topology comes from /sys/devices/system/node (node ids that are online
+// and their cpulists); everything degrades gracefully: on a single-node
+// machine, a non-Linux build, or when /sys is unreadable, node_count() is 1
+// and first_touch_interleaved() runs inline on the calling thread — zero
+// extra threads, zero behavior change.  current_node() is a raw getcpu(2),
+// cheap enough for one-time decisions (slab selection) but not meant for
+// per-operation calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace txc::core::numa {
+
+namespace detail {
+
+/// Parse a kernel cpulist/nodelist string ("0-3,8-11\n") into ids.  Returns
+/// empty on any malformed input — callers treat empty as "unavailable".
+inline std::vector<int> parse_id_list(const char* text) {
+  std::vector<int> ids;
+  const char* cursor = text;
+  while (*cursor != '\0' && *cursor != '\n') {
+    char* end = nullptr;
+    const long first = std::strtol(cursor, &end, 10);
+    if (end == cursor || first < 0) return {};
+    long last = first;
+    cursor = end;
+    if (*cursor == '-') {
+      last = std::strtol(cursor + 1, &end, 10);
+      if (end == cursor + 1 || last < first) return {};
+      cursor = end;
+    }
+    for (long id = first; id <= last; ++id) ids.push_back(static_cast<int>(id));
+    if (*cursor == ',') ++cursor;
+  }
+  return ids;
+}
+
+/// Read one small /sys list file; empty vector when unreadable.
+inline std::vector<int> read_id_list(const char* path) {
+  std::FILE* file = std::fopen(path, "re");
+  if (file == nullptr) return {};
+  char buffer[4096];
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  buffer[read] = '\0';
+  return parse_id_list(buffer);
+}
+
+}  // namespace detail
+
+/// Online NUMA node ids, probed once.  Never empty: degrades to {0} when
+/// the topology is unreadable (non-Linux, hardened /sys, single node).
+inline const std::vector<int>& online_nodes() {
+  static const std::vector<int> nodes = [] {
+    std::vector<int> probed =
+        detail::read_id_list("/sys/devices/system/node/online");
+    if (probed.empty()) probed.push_back(0);
+    return probed;
+  }();
+  return nodes;
+}
+
+[[nodiscard]] inline std::size_t node_count() {
+  return online_nodes().size();
+}
+
+/// NUMA node of the CPU the calling thread is on right now (getcpu(2));
+/// 0 wherever the syscall is unavailable.  Advisory: the scheduler may move
+/// the thread the instant after — callers use it for one-time placement
+/// decisions, not invariants.
+[[nodiscard]] inline std::size_t current_node() noexcept {
+#if defined(__linux__) && defined(SYS_getcpu)
+  unsigned cpu = 0;
+  unsigned node = 0;
+  if (syscall(SYS_getcpu, &cpu, &node, nullptr) == 0) {
+    return static_cast<std::size_t>(node);
+  }
+#endif
+  return 0;
+}
+
+/// Best-effort: restrict the calling thread to `node`'s CPUs so its page
+/// faults first-touch onto that node.  False when the cpulist is unreadable
+/// or the affinity call fails (the caller proceeds unpinned — placement
+/// becomes approximate, never incorrect).
+inline bool pin_current_thread_to_node(int node) noexcept {
+#if defined(__linux__)
+  char path[96];
+  std::snprintf(path, sizeof(path),
+                "/sys/devices/system/node/node%d/cpulist", node);
+  const std::vector<int> cpus = detail::read_id_list(path);
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+/// Run `init_chunk(c)` for every chunk in [0, chunks), interleaved across
+/// NUMA nodes: chunk c is executed by a thread pinned to node c % N, so the
+/// pages c's writes fault in land on that node (first-touch interleave).
+/// `init_chunk` must be safe to call concurrently for DISJOINT chunks.
+/// Single-node (or a degenerate chunk count) runs everything inline on the
+/// calling thread: no threads spawned, deterministic order.
+template <typename Fn>
+void first_touch_interleaved(std::size_t chunks, Fn&& init_chunk) {
+  const std::vector<int>& nodes = online_nodes();
+  if (nodes.size() <= 1 || chunks < nodes.size()) {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) init_chunk(chunk);
+    return;
+  }
+  std::vector<std::thread> touchers;
+  touchers.reserve(nodes.size());
+  for (std::size_t index = 0; index < nodes.size(); ++index) {
+    touchers.emplace_back([&, index] {
+      (void)pin_current_thread_to_node(nodes[index]);  // best effort
+      for (std::size_t chunk = index; chunk < chunks;
+           chunk += nodes.size()) {
+        init_chunk(chunk);
+      }
+    });
+  }
+  for (std::thread& toucher : touchers) toucher.join();
+}
+
+}  // namespace txc::core::numa

@@ -54,12 +54,30 @@ class AttemptProfile {
     aborts_.fetch_add(1, std::memory_order_relaxed);
     abort_cycles_.fetch_add(cycles, std::memory_order_relaxed);
   }
+  /// Conflict attributed to lock-table placement (disjoint addresses on a
+  /// shared stripe) rather than data contention — see
+  /// stm::StmStats::false_conflicts, which substrates mirror here so
+  /// per-phase profiles can attribute their aborts.
+  void record_false_conflict() noexcept {
+    false_conflicts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Two distinct write-set cells mapped onto one stripe at commit — see
+  /// stm::StmStats::stripe_collisions.
+  void record_stripe_collision() noexcept {
+    stripe_collisions_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::uint64_t commits() const noexcept {
     return commits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t aborts() const noexcept {
     return aborts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t false_conflicts() const noexcept {
+    return false_conflicts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stripe_collisions() const noexcept {
+    return stripe_collisions_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double mean_commit_cycles() const noexcept {
     const std::uint64_t n = commits();
@@ -81,6 +99,8 @@ class AttemptProfile {
     aborts_.store(0, std::memory_order_relaxed);
     commit_cycles_.store(0, std::memory_order_relaxed);
     abort_cycles_.store(0, std::memory_order_relaxed);
+    false_conflicts_.store(0, std::memory_order_relaxed);
+    stripe_collisions_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -88,6 +108,8 @@ class AttemptProfile {
   std::atomic<std::uint64_t> aborts_{0};
   std::atomic<std::uint64_t> commit_cycles_{0};
   std::atomic<std::uint64_t> abort_cycles_{0};
+  std::atomic<std::uint64_t> false_conflicts_{0};
+  std::atomic<std::uint64_t> stripe_collisions_{0};
 };
 
 /// Concurrent log-scaled histogram for completion-time distributions

@@ -82,6 +82,15 @@ class ShardedKvStore {
     std::size_t shards = 4;
     /// Buckets per shard, rounded up to a power of two.
     std::size_t capacity_per_shard = 1024;
+    /// Register each shard's bucket region with the substrate
+    /// (stm::RegionSpec) so lock placement is computed from bucket indices
+    /// instead of pointer hashes.  On TL2 each shard gets a dedicated
+    /// stripe table sized to its capacity — distinct buckets provably never
+    /// share a stripe (collision shell 1), making the KV hot path
+    /// false-conflict-free by construction; NOrec accepts and ignores the
+    /// registration.  Off exists for A/B measurement
+    /// (bench/stripe_geometry.cpp), not for production use.
+    bool register_regions = true;
   };
 
   /// `arbitration` is whatever the substrate's one-argument constructor
@@ -93,7 +102,21 @@ class ShardedKvStore {
       : substrate_(std::forward<Arbitration>(arbitration)),
         shards_(config.shards == 0 ? 1 : config.shards),
         capacity_(round_up_pow2(config.capacity_per_shard)),
-        buckets_(shards_ * capacity_) {}
+        buckets_(shards_ * capacity_) {
+    if (config.register_regions) {
+      // One region per shard (not one big region): shard boundaries are the
+      // natural placement unit — the service layer binds a worker thread
+      // per shard, so per-shard tables also keep each worker's lock-word
+      // traffic on its own NUMA-interleaved table.
+      for (std::size_t shard = 0; shard < shards_; ++shard) {
+        stm::RegionSpec spec;
+        spec.base = &buckets_[shard * capacity_];
+        spec.elements = capacity_;
+        spec.stride_bytes = sizeof(stm::Cell);
+        substrate_.register_region(spec);
+      }
+    }
+  }
 
   [[nodiscard]] Substrate& substrate() noexcept { return substrate_; }
   [[nodiscard]] const stm::StmStats& stats() const noexcept {
@@ -108,6 +131,23 @@ class ShardedKvStore {
   /// spread instead of striping.
   [[nodiscard]] std::size_t shard_of(Key key) const noexcept {
     return (mix(key) >> 8) % shards_;
+  }
+
+  /// Debug/bench hook: the bucket `key` currently resides in (or would be
+  /// inserted into), probed NON-transactionally — meaningful only while no
+  /// transactions are in flight.  Exists so placement experiments can pair
+  /// it with Stm::debug_stripe_of to build hash-aliased key sets; nullptr
+  /// when the key's shard is full.
+  [[nodiscard]] const stm::Cell* debug_bucket_of(Key key) const noexcept {
+    const std::size_t base = shard_of(key) * capacity_;
+    std::size_t offset = mix(key) & (capacity_ - 1);
+    for (std::size_t probes = 0; probes < capacity_; ++probes) {
+      const std::size_t slot = base + offset;
+      const std::uint64_t packed = Substrate::read_committed(buckets_[slot]);
+      if (packed == 0 || unpack_key(packed) == key) return &buckets_[slot];
+      offset = (offset + 1) & (capacity_ - 1);
+    }
+    return nullptr;
   }
 
   // -- Transactional operations (compose freely within one atomically) -----

@@ -157,8 +157,6 @@ std::uint64_t NorecTx::read(const Cell& cell) {
 }
 
 void NorecTx::write(Cell& cell, std::uint64_t value) {
-  assert(!read_only_ &&
-         "write() inside a transaction declared TxOptions::read_only");
   buffers_->write_set.upsert(&cell) = value;
 }
 

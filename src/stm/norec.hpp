@@ -70,23 +70,16 @@ class NorecTx {
 
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
-  /// Whether the enclosing atomically() declared the transaction read-only
-  /// (TxOptions::read_only) — the deprecated hint path: debug builds reject
-  /// a write() under it, but the context stays fully instrumented.  The
-  /// real fast path is Norec::atomically_read and its NorecReadTx context.
-  [[nodiscard]] bool read_only() const noexcept { return read_only_; }
-
  private:
   friend class Norec;
   friend struct NorecTestPeek;  // white-box kill-protocol tests
   NorecTx(Norec& stm, std::uint32_t attempt, std::uint64_t snapshot,
-          TxDescriptor* descriptor, TxBuffers* buffers, bool read_only) noexcept
+          TxDescriptor* descriptor, TxBuffers* buffers) noexcept
       : stm_(stm),
         attempt_(attempt),
         snapshot_(snapshot),
         descriptor_(descriptor),
-        buffers_(buffers),
-        read_only_(read_only) {}
+        buffers_(buffers) {}
 
   /// Flush locally-accumulated Karma work credit to the shared descriptor
   /// (see Tx::publish_priority — same lazy-publication scheme).
@@ -106,7 +99,6 @@ class NorecTx {
   /// pending_priority_); flushed to StmStats::instrumented_reads once per
   /// attempt by atomically().
   std::uint64_t reads_ = 0;
-  bool read_only_ = false;
 };
 
 /// Per-attempt context of a declared-read-only snapshot transaction
@@ -166,13 +158,12 @@ class Norec {
 
   /// Run `body` as a transaction under the declared `options`, retrying on
   /// aborts until it commits.  Template fast path: direct body invocation,
-  /// reusable thread buffers.
-  ///
-  /// `atomically(kReadOnlyTx, body)` is the deprecated-path shim for the
-  /// old read-only *hint* — still a fully instrumented context (value log,
-  /// arbitration); new read-only code should call atomically_read().
+  /// reusable thread buffers.  (TxOptions is currently empty — the overload
+  /// keeps the substrate-generic arity; declared-read-only work belongs on
+  /// atomically_read().)
   template <typename Body>
   void atomically(const TxOptions& options, Body&& body) {
+    (void)options;
     TxDescriptor& descriptor = thread_descriptor();
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
@@ -192,8 +183,7 @@ class Norec {
       while (snapshot & 1) {
         snapshot = seqlock_.load(std::memory_order_acquire);
       }
-      NorecTx tx{*this, attempt, snapshot, &descriptor, &buffers,
-                 options.read_only};
+      NorecTx tx{*this, attempt, snapshot, &descriptor, &buffers};
       bool unwound = false;
       try {
         body(tx);
@@ -218,7 +208,7 @@ class Norec {
   /// it completes on a stable snapshot.  The body receives a ReadTxContext —
   /// read() only; a write does not compile.
   ///
-  /// The fast path this buys over atomically(kReadOnlyTx, ...): no value
+  /// The fast path this buys over an instrumented atomically(): no value
   /// log, no log replay when the seqlock moves (the attempt just restarts),
   /// no descriptor publication, no TxBuffers, and no arbiter involvement —
   /// a snapshot reader never enters the seqlock spin site.  Every value the
@@ -261,6 +251,17 @@ class Norec {
   }
 
   [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
+
+  /// Region registration, accepted for API parity with stm::Stm and
+  /// otherwise ignored: NOrec has no lock table to place — conflicts are
+  /// value conflicts on the one global seqlock, so there is no placement to
+  /// improve and nothing that could manufacture a false conflict
+  /// (StmStats::false_conflicts and ::stripe_collisions stay zero by
+  /// construction, which is exactly what makes NOrec the untouched control
+  /// substrate in placement experiments).  Degenerate specs are rejected
+  /// identically to TL2 (shared validate_region_spec), so a consumer
+  /// tested on one substrate cannot smuggle a bad region past the other.
+  void register_region(const RegionSpec& spec) { validate_region_spec(spec); }
 
   /// Direct read of a committed cell; safe only with no transactions in
   /// flight.

@@ -1,4 +1,5 @@
-// txconflict — the substrate-generic transaction options block.
+// txconflict — the substrate-generic transaction options block and the
+// region-registration vocabulary.
 //
 // Both STM substrates (TL2's striped-lock design and NOrec's global seqlock)
 // expose the same public transaction shape, so generic code — the sharded KV
@@ -17,27 +18,81 @@
 //     is part of the type: ReadTxContext has no write(), so breaking it is
 //     a compile error, not a debug assert.
 //
-// TxOptions is the per-call half of the *instrumented* contract: declarative
-// hints the caller knows statically about the transaction it is about to
-// run.  Its `read_only` flag predates atomically_read and survives as the
-// deprecated hint path only — it buys none of the snapshot fast path.
+// TxOptions is the per-call half of the *instrumented* contract.  Its
+// historical `read_only` hint is gone (superseded outright by
+// atomically_read — the PR-8 before/after baselines are checked in under
+// docs/results/); the struct survives empty as the extension point future
+// per-transaction declarations slot into without touching every substrate
+// signature.
+//
+// RegionSpec is the per-SUBSTRATE half: a consumer that owns a contiguous
+// array of transactional cells declares it once via
+// `substrate.register_region(spec)` and the substrate may use the shape to
+// place locks deterministically.  TL2 builds a dedicated stripe table for
+// the region (coprime-stride placement — see stm/tl2.hpp); NOrec accepts
+// the registration for API parity and ignores it (no lock table exists —
+// every conflict there is a real value conflict, which is what makes NOrec
+// the untouched control in placement experiments).
 #pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 
 namespace txc::stm {
 
-/// Declarative per-transaction hints, shared by every substrate.
-struct TxOptions {
-  /// The body promises not to call write().  Debug builds enforce the
-  /// promise; release builds treat it as a no-op hint.  Deprecated path:
-  /// superseded by atomically_read(), where the same promise is a
-  /// compile-time contract and enables the snapshot fast path.  Kept so
-  /// before/after comparisons (bench/micro_stm_fastpath.cpp) and staged
-  /// migrations still have the hint-only behavior to measure against.
-  bool read_only = false;
+/// Declarative per-transaction options, shared by every substrate.
+/// Currently empty: the read_only hint this struct was born with is
+/// superseded by atomically_read()'s compile-time contract.  Kept as the
+/// extension point so `atomically(options, body)` keeps its arity when the
+/// next declarative knob arrives.
+struct TxOptions {};
+
+/// One contiguous array of transactional cells, declared to a substrate via
+/// register_region() so lock placement can be computed from element indices
+/// instead of pointer hashes.  Registration is NOT thread-safe against
+/// in-flight transactions: register regions at setup time, before spawning
+/// workers (same contract as attach_profile).
+struct RegionSpec {
+  /// First element of the region (the address of element 0).
+  const void* base = nullptr;
+  /// Number of elements.
+  std::size_t elements = 0;
+  /// Distance in bytes between consecutive elements' addresses —
+  /// sizeof(stm::Cell) for a dense cell array, larger when cells are
+  /// embedded in records.
+  std::size_t stride_bytes = sizeof(std::uint64_t);
+  /// Dedicated stripe-table size for the region; rounded up to a power of
+  /// two.  0 (the default) sizes the table to the element count, making
+  /// distinct elements provably collision-free (collision shell 1).
+  std::size_t stripes = 0;
+  /// Placement multiplier V in `stripe = (element_index * V) mod table`.
+  /// Must be odd (coprime with the power-of-two table, hence bijective on
+  /// it); 0 selects the default golden-ratio constant.  Exposed so the
+  /// geometry bench can sweep placement strides.
+  std::uint64_t placement_stride = 0;
 };
 
-/// Convenience instance for call sites: stm.atomically(kReadOnlyTx, body).
-/// Deprecated path — prefer stm.atomically_read(body).
-inline constexpr TxOptions kReadOnlyTx{/*read_only=*/true};
+/// Shared RegionSpec validation — both substrates reject the same bad specs
+/// (so a consumer tested on one substrate cannot smuggle a degenerate
+/// region past the other).  Throws std::invalid_argument.
+inline void validate_region_spec(const RegionSpec& spec) {
+  if (spec.base == nullptr) {
+    throw std::invalid_argument("stm::register_region: base is null");
+  }
+  if (spec.elements == 0) {
+    throw std::invalid_argument("stm::register_region: elements == 0");
+  }
+  if (spec.stride_bytes == 0) {
+    throw std::invalid_argument("stm::register_region: stride_bytes == 0");
+  }
+  if (spec.placement_stride != 0 && (spec.placement_stride & 1) == 0) {
+    // An even multiplier is not invertible mod a power of two: placement
+    // would fold the region onto half (or less) of the table and the
+    // distinct-stripes guarantee would silently vanish.
+    throw std::invalid_argument(
+        "stm::register_region: placement_stride must be odd");
+  }
+}
 
 }  // namespace txc::stm

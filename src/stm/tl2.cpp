@@ -1,12 +1,17 @@
 #include "stm/tl2.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <functional>
+#include <new>
+#include <stdexcept>
 #include <thread>
 
 #include "conflict/grace.hpp"
 #include "conflict/injection.hpp"
 #include "conflict/spin_site.hpp"
+#include "core/numa.hpp"
 
 namespace txc::stm {
 
@@ -58,6 +63,9 @@ std::uint64_t Tx::read(const Cell& cell) {
       stripe.versioned_lock.load(std::memory_order_acquire);
   if (locked(before) || before != after ||
       version_of(before) > read_version_) {
+    // Placement telemetry first (one count per observed conflict event):
+    // was this stripe last locked for a different cell than ours?
+    stm_.note_conflict(stripe, &cell);
     // Conflict with a concurrent writer: hand it to the contention manager,
     // then retry the read if the lock cleared in time.
     if (locked(before) && stm_.resolve_conflict(stripe, *this)) {
@@ -77,8 +85,6 @@ std::uint64_t Tx::read(const Cell& cell) {
 }
 
 void Tx::write(Cell& cell, std::uint64_t value) {
-  assert(!read_only_ &&
-         "write() inside a transaction declared TxOptions::read_only");
   buffers_->write_set.upsert(&cell) = value;
 }
 
@@ -133,7 +139,63 @@ std::size_t round_up_pow2(std::size_t requested) noexcept {
   return size;
 }
 
+/// Constructor-argument gate: round_up_pow2(0) == 1 used to coerce a zero
+/// stripe count into a one-stripe (100%-collision) table silently.
+std::size_t checked_stripe_count(std::size_t requested) {
+  if (requested == 0) {
+    throw std::invalid_argument(
+        "stm::Stm: stripes == 0 (would coerce to a one-stripe table where "
+        "every cell conflicts with every other)");
+  }
+  return round_up_pow2(requested);
+}
+
+/// Default placement multiplier: the golden-ratio mixing constant, odd by
+/// construction — coprime with every power-of-two table size, so
+/// index -> (index * V) & mask is a bijection, and large enough that
+/// adjacent elements land on well-separated stripes (no false sharing of
+/// neighboring Stripe entries by neighboring cells).
+constexpr std::uint64_t kDefaultPlacementStride = 0x9E3779B97F4A7C15ULL;
+
+/// Cap for auto-sized region tables (spec.stripes == 0): a region of a
+/// billion elements should not silently allocate a billion stripes.  Big
+/// enough that every in-tree consumer stays in the shell-1 regime.
+constexpr std::size_t kMaxAutoRegionStripes = std::size_t{1} << 20;
+
 }  // namespace
+
+Stm::StripeTable::StripeTable(std::size_t count)
+    : data_(static_cast<Stripe*>(::operator new(count * sizeof(Stripe)))),
+      count_(count) {
+  // Placement-construct in page-sized chunks, round-robin across NUMA
+  // nodes: the constructing write is the first touch, so each chunk's page
+  // lands on the node of its toucher thread (inline on one node).
+  constexpr std::size_t kChunkStripes = 4096 / sizeof(Stripe);
+  const std::size_t chunks = (count + kChunkStripes - 1) / kChunkStripes;
+  core::numa::first_touch_interleaved(chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunkStripes;
+    const std::size_t end = std::min(count_, begin + kChunkStripes);
+    for (std::size_t index = begin; index < end; ++index) {
+      new (&data_[index]) Stripe();
+    }
+  });
+}
+
+Stm::StripeTable::~StripeTable() {
+  // Stripe is trivially destructible (atomics all the way down).
+  ::operator delete(data_);
+}
+
+Stm::StripeTable& Stm::StripeTable::operator=(StripeTable&& other) noexcept {
+  if (this != &other) {
+    ::operator delete(data_);
+    data_ = other.data_;
+    count_ = other.count_;
+    other.data_ = nullptr;
+    other.count_ = 0;
+  }
+  return *this;
+}
 
 Stm::Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
          std::size_t stripes)
@@ -150,8 +212,86 @@ Stm::Stm(std::shared_ptr<const conflict::ConflictArbiter> arbiter,
          std::size_t stripes)
     : arbiter_(std::move(arbiter)),
       needs_seniority_(arbiter_->needs_seniority()),
-      stripes_(round_up_pow2(stripes)),
+      requested_stripes_(stripes),
+      stripes_(checked_stripe_count(stripes)),
       stripe_mask_(stripes_.size() - 1) {}
+
+void Stm::register_region(const RegionSpec& spec) {
+  validate_region_spec(spec);  // shared with NOrec: both reject bad specs
+  const auto base = reinterpret_cast<std::uintptr_t>(spec.base);
+  const std::uintptr_t span = spec.elements * spec.stride_bytes;
+  for (const Region& existing : regions_) {
+    if (base < existing.base + existing.span &&
+        existing.base < base + span) {
+      throw std::invalid_argument(
+          "stm::Stm::register_region: region overlaps one already "
+          "registered (placement would be ambiguous)");
+    }
+  }
+  Region region;
+  region.base = base;
+  region.span = span;
+  region.stride = spec.stride_bytes;
+  region.stride_is_pow2 =
+      (spec.stride_bytes & (spec.stride_bytes - 1)) == 0;
+  if (region.stride_is_pow2) {
+    unsigned shift = 0;
+    while ((std::size_t{1} << shift) < spec.stride_bytes) ++shift;
+    region.stride_shift = shift;
+  }
+  region.placement_stride = spec.placement_stride != 0
+                                ? spec.placement_stride
+                                : kDefaultPlacementStride;
+  // Auto sizing targets the collision-free regime: one stripe per element
+  // (capped — a too-large region degrades to a bounded shell, reported by
+  // stripe_geometry(), rather than an unbounded allocation).
+  const std::size_t requested =
+      spec.stripes != 0 ? spec.stripes
+                        : std::min(spec.elements, kMaxAutoRegionStripes);
+  region.table = StripeTable{round_up_pow2(requested)};
+  region.mask = region.table.size() - 1;
+  region.elements = spec.elements;
+  regions_.push_back(std::move(region));
+}
+
+Stm::StripeGeometry Stm::stripe_geometry() const {
+  StripeGeometry geometry;
+  geometry.requested_stripes = requested_stripes_;
+  geometry.hashed_stripes = stripes_.size();
+  geometry.regions.reserve(regions_.size());
+  for (const Region& region : regions_) {
+    RegionGeometry entry;
+    entry.base = reinterpret_cast<const void*>(region.base);
+    entry.elements = region.elements;
+    entry.stride_bytes = region.stride;
+    entry.stripes = region.table.size();
+    entry.placement_stride = region.placement_stride;
+    entry.collision_shell =
+        (region.elements + region.table.size() - 1) / region.table.size();
+    geometry.regions.push_back(entry);
+  }
+  return geometry;
+}
+
+std::string Stm::describe_geometry() const {
+  const StripeGeometry geometry = stripe_geometry();
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "hashed table %zu stripes (requested %zu); %zu region(s)",
+                geometry.hashed_stripes, geometry.requested_stripes,
+                geometry.regions.size());
+  std::string description = buffer;
+  for (const RegionGeometry& region : geometry.regions) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "; region %zu elems x %zuB -> %zu stripes, stride "
+                  "0x%llx, shell %zu",
+                  region.elements, region.stride_bytes, region.stripes,
+                  static_cast<unsigned long long>(region.placement_stride),
+                  region.collision_shell);
+    description += buffer;
+  }
+  return description;
+}
 
 TxBuffers& Stm::thread_buffers() noexcept {
   thread_local TxBuffers buffers;
@@ -166,7 +306,31 @@ void Stm::begin_transaction(TxDescriptor& descriptor) noexcept {
 }
 
 Stm::Stripe& Stm::stripe_for(const void* address) noexcept {
-  return stripes_[mix_pointer(address) & stripe_mask_];
+  const auto addr = reinterpret_cast<std::uintptr_t>(address);
+  // Region dispatch: a handful of contiguous structs, scanned linearly (no
+  // registered regions = one empty-vector check).  The unsigned subtraction
+  // makes the membership test a single compare per region.
+  for (const Region& region : regions_) {
+    const std::uintptr_t offset = addr - region.base;
+    if (offset >= region.span) continue;
+    const std::uint64_t index = region.stride_is_pow2
+                                    ? offset >> region.stride_shift
+                                    : offset / region.stride;
+    // Deterministic coprime-stride placement: an odd multiplier is
+    // invertible mod the power-of-two table, so index -> stripe is a
+    // bijection — distinct elements hit distinct stripes up to capacity.
+    return region.table.data()[(index * region.placement_stride) &
+                               region.mask];
+  }
+  return stripes_.data()[mix_pointer(address) & stripe_mask_];
+}
+
+void Stm::note_conflict(const Stripe& stripe, const void* address) noexcept {
+  const void* culprit = stripe.locked_for.load(std::memory_order_relaxed);
+  if (culprit != nullptr && culprit != address) {
+    stats_.false_conflicts.fetch_add(1, std::memory_order_relaxed);
+    if (profile_ != nullptr) profile_->record_false_conflict();
+  }
 }
 
 bool Stm::resolve_conflict(Stripe& stripe, Tx& tx) {
@@ -248,7 +412,14 @@ bool Stm::try_commit(Tx& tx) {
     Stripe& stripe = stripe_for(entry.key);
     bool already_ours = false;
     for (void* held : acquired) already_ours |= (held == &stripe);
-    if (already_ours) continue;
+    if (already_ours) {
+      // Two distinct write-set cells share one stripe: a placement
+      // collision, counted deterministically (no concurrency required).
+      // Regions with a table at least element-count sized never hit this.
+      stats_.stripe_collisions.fetch_add(1, std::memory_order_relaxed);
+      if (profile_ != nullptr) profile_->record_stripe_collision();
+      continue;
+    }
     while (true) {
       if (tx.descriptor_->load_status() == TxStatus::kAborted) {
         // Only a holder counts as a commit-state recovery: before the first
@@ -265,11 +436,15 @@ bool Stm::try_commit(Tx& tx) {
         if (stripe.versioned_lock.compare_exchange_weak(
                 expected, expected | kLockBit, std::memory_order_acquire)) {
           stripe.holder.store(tx.descriptor_, std::memory_order_release);
+          // Telemetry: who this stripe is locked FOR, so conflicting
+          // probes can tell a shared cell from a shared-by-placement one.
+          stripe.locked_for.store(entry.key, std::memory_order_relaxed);
           acquired.push_back(&stripe);
           break;
         }
         continue;
       }
+      note_conflict(stripe, entry.key);  // held or bumped: classify it
       if (locked(expected)) {
         if (resolve_conflict(stripe, tx)) continue;
       }
@@ -308,8 +483,10 @@ bool Stm::try_commit(Tx& tx) {
           stripe.versioned_lock.load(std::memory_order_acquire);
       bool ours = false;
       for (void* held : acquired) ours |= (held == &stripe);
-      return !((locked(state) && !ours) ||
-               version_of(state) > tx.read_version_);
+      const bool ok = !((locked(state) && !ours) ||
+                        version_of(state) > tx.read_version_);
+      if (!ok) note_conflict(stripe, cell);  // validation failure: classify
+      return ok;
     });
     if (!valid) {
       tx.descriptor_->status.store(

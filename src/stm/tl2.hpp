@@ -40,12 +40,30 @@
 // accrues no read set, validates nothing at commit, publishes no
 // descriptor, and never consults the arbiter — a snapshot reader never
 // enters a spin site.  The mode is a compile-time contract (ReadTx has no
-// write()), not a TxOptions hint.
+// write()), not an options hint.
+//
+// Lock-table placement: by default any address hashes onto one shared
+// power-of-two stripe table (mix_pointer & mask) — compact, but unrelated
+// hot cells can alias onto one stripe and manufacture conflicts no data
+// race justifies.  A consumer that owns a contiguous cell array can
+// register it via register_region(RegionSpec): the region gets a DEDICATED
+// stripe table and deterministic coprime-stride placement — stripe =
+// (element_index * V) mod table_size with V odd — so on the power-of-two
+// table the map index -> stripe is a bijection and two distinct elements
+// are PROVABLY on distinct stripes whenever the table is at least as large
+// as the region (collision shell 1); an undersized table degrades to a
+// bounded shell of ceil(elements/table) elements per stripe, reported by
+// stripe_geometry().  Unregistered addresses keep the hashed fallback.
+// False conflicts (a conflict whose stripe was last locked for a DIFFERENT
+// cell) and write-set stripe collisions are counted in StmStats so the
+// placement effect is attributable; docs/ARCHITECTURE.md ("Lock-table
+// placement") has the math and the NUMA first-touch notes.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "conflict/arbiter.hpp"
@@ -82,6 +100,26 @@ struct StmStats {
   /// remote_kills (kills landing on waiters or readers unwind without
   /// commit-time state).
   std::atomic<std::uint64_t> kill_recoveries{0};
+
+  // -- Lock-table placement telemetry --------------------------------------
+
+  /// Conflicts whose stripe was last write-locked on behalf of a DIFFERENT
+  /// cell than the one being probed: the conflict is an artifact of
+  /// lock-table placement (two disjoint addresses sharing one stripe), not
+  /// of data contention.  Counted at every instrumented conflict site —
+  /// read probe, commit lock acquisition, commit read-validation — by
+  /// comparing the probed cell against the stripe's last-locked-for address
+  /// (best-effort attribution: the culprit word is relaxed telemetry, see
+  /// Stripe::locked_for).  NOrec has no lock table and leaves this at zero
+  /// — every NOrec conflict is a real value conflict.
+  std::atomic<std::uint64_t> false_conflicts{0};
+  /// Commit attempts' write-set entries that mapped onto a stripe the same
+  /// transaction had already locked for a DIFFERENT cell (the acquisition
+  /// dedup hit).  Deterministic, unlike false_conflicts: counted whether or
+  /// not anyone else is running — the direct measure of placement quality
+  /// for a single transaction's footprint.  Zero by construction for
+  /// regions whose table is at least element-count sized.
+  std::atomic<std::uint64_t> stripe_collisions{0};
 
   // -- Declared-read-only snapshot fast path (atomically_read) -------------
   // Snapshot transactions are accounted separately from instrumented ones:
@@ -123,22 +161,15 @@ class Tx {
 
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
-  /// Whether the enclosing atomically() declared the transaction read-only
-  /// (TxOptions::read_only) — the deprecated hint path: debug builds reject
-  /// a write() under it, but the context stays fully instrumented.  The
-  /// real fast path is Stm::atomically_read and its ReadTx context.
-  [[nodiscard]] bool read_only() const noexcept { return read_only_; }
-
  private:
   friend class Stm;
   Tx(Stm& stm, std::uint32_t attempt, std::uint64_t read_version,
-     TxDescriptor* descriptor, TxBuffers* buffers, bool read_only) noexcept
+     TxDescriptor* descriptor, TxBuffers* buffers) noexcept
       : stm_(stm),
         attempt_(attempt),
         read_version_(read_version),
         descriptor_(descriptor),
-        buffers_(buffers),
-        read_only_(read_only) {}
+        buffers_(buffers) {}
 
   /// Flush locally-accumulated Karma work credit to the shared descriptor.
   /// Reads bump a plain counter (no atomic RMW per read); the total is
@@ -161,7 +192,6 @@ class Tx {
   /// pending_priority_); flushed to StmStats::instrumented_reads once per
   /// attempt by atomically().
   std::uint64_t reads_ = 0;
-  bool read_only_ = false;
 };
 
 /// Per-attempt context of a declared-read-only snapshot transaction
@@ -207,7 +237,10 @@ class Stm {
   /// `policy` decides how long a blocked transaction waits for a lock holder
   /// (in spin iterations ~ "cycles") before aborting itself — the paper's
   /// local grace-period regime, wrapped in a requestor-aborts
-  /// conflict::GraceArbiter.
+  /// conflict::GraceArbiter.  `stripes` (the hashed fallback table size) is
+  /// rounded up to a power of two — observable via stripe_geometry(); 0 is
+  /// rejected with std::invalid_argument (it used to coerce silently to 1,
+  /// a 100%-collision table nobody ever wants).
   explicit Stm(std::shared_ptr<const core::GracePeriodPolicy> policy,
                std::size_t stripes = 1 << 16);
 
@@ -228,16 +261,13 @@ class Stm {
   /// Run `body` as a transaction under the declared `options`, retrying on
   /// aborts until it commits.  Template fast path: the body is invoked
   /// directly (no std::function) and read/write sets come from the calling
-  /// thread's reusable TxBuffers.
-  ///
-  /// `atomically(kReadOnlyTx, body)` is the deprecated-path shim for the
-  /// old read-only *hint*: it still runs the fully instrumented context
-  /// (read-set accrual, arbitration, descriptor publication) and merely
-  /// asserts against writes in debug builds.  New read-only code should
-  /// call atomically_read(), where the promise is a compile-time contract
-  /// and the snapshot fast path applies.
+  /// thread's reusable TxBuffers.  (TxOptions is currently empty — the
+  /// overload keeps the substrate-generic arity; declared-read-only work
+  /// belongs on atomically_read(), where the promise is a compile-time
+  /// contract and the snapshot fast path applies.)
   template <typename Body>
   void atomically(const TxOptions& options, Body&& body) {
+    (void)options;
     TxDescriptor& descriptor = thread_descriptor();
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
@@ -250,7 +280,7 @@ class Stm {
       descriptor.status.store(static_cast<std::uint32_t>(TxStatus::kActive),
                               std::memory_order_release);
       Tx tx{*this, attempt, clock_.load(std::memory_order_acquire),
-            &descriptor, &buffers, options.read_only};
+            &descriptor, &buffers};
       bool unwound = false;
       try {
         body(tx);
@@ -275,7 +305,7 @@ class Stm {
   /// it completes on a stable snapshot.  The body receives a ReadTxContext —
   /// read() only; a write does not compile.
   ///
-  /// The fast path this buys over atomically(kReadOnlyTx, ...): zero
+  /// The fast path this buys over an instrumented atomically(): zero
   /// read-set accrual, no commit-time validation (each read validates in
   /// place against the attempt's clock sample), no descriptor publication,
   /// no TxBuffers, and no arbiter involvement — a snapshot reader never
@@ -313,6 +343,57 @@ class Stm {
 
   [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
 
+  // -- Region-scoped lock-table placement ----------------------------------
+
+  /// Register a contiguous cell array for deterministic lock placement: the
+  /// region gets its own stripe table (NUMA-interleaved first-touch pages)
+  /// and stripe indices computed from element indices via an odd multiplier
+  /// — a bijection on the power-of-two table, so distinct elements get
+  /// distinct stripes up to table capacity.  Addresses outside every
+  /// registered region keep the hashed fallback table.
+  ///
+  /// Rejects (std::invalid_argument) degenerate specs — null base, zero
+  /// elements/stride, an even placement_stride — and regions overlapping a
+  /// previously registered one (overlap would make placement ambiguous).
+  /// NOT thread-safe against in-flight transactions: register regions at
+  /// setup time, before spawning workers (same contract as attach_profile).
+  void register_region(const RegionSpec& spec);
+
+  /// Geometry of one registered region's dedicated stripe table, as chosen
+  /// (after rounding/defaulting) — the observable half of register_region.
+  struct RegionGeometry {
+    const void* base = nullptr;
+    std::size_t elements = 0;
+    std::size_t stride_bytes = 0;
+    std::size_t stripes = 0;              // power-of-two table size
+    std::uint64_t placement_stride = 0;   // the odd multiplier in use
+    /// ceil(elements / stripes): the most elements any one stripe can host.
+    /// 1 = distinct elements provably on distinct stripes.
+    std::size_t collision_shell = 0;
+  };
+
+  /// The chosen lock-table geometry.  Exists because the constructor rounds
+  /// `stripes` to a power of two and register_region defaults/rounds table
+  /// sizes — this accessor makes every silent choice observable (tests and
+  /// the geometry bench build placement-adversarial key sets from it).
+  struct StripeGeometry {
+    std::size_t requested_stripes = 0;  // the constructor argument, verbatim
+    std::size_t hashed_stripes = 0;     // actual fallback table size (pow-2)
+    std::vector<RegionGeometry> regions;
+  };
+  [[nodiscard]] StripeGeometry stripe_geometry() const;
+
+  /// One-line human-readable geometry summary for stats dumps and bench
+  /// banners.
+  [[nodiscard]] std::string describe_geometry() const;
+
+  /// Identity of the stripe `address` maps to (an opaque pointer: equal
+  /// results == same lock).  Debug/test hook for proving aliasing and
+  /// distinctness; not for hot paths.
+  [[nodiscard]] const void* debug_stripe_of(const void* address) noexcept {
+    return &stripe_for(address);
+  }
+
   /// Direct (non-transactional) read of a committed cell value; safe only
   /// when no transactions are in flight (e.g. after joining threads).
   [[nodiscard]] static std::uint64_t read_committed(const Cell& cell) {
@@ -330,6 +411,55 @@ class Stm {
     /// (stm::thread_descriptor); only dereferenced while the stripe is
     /// locked (the holder is alive).
     std::atomic<TxDescriptor*> holder{nullptr};
+    /// Telemetry: the cell this stripe was most recently write-locked FOR
+    /// (set at acquisition, never cleared — "last locked for").  A conflict
+    /// probe on a different cell than this word is a false conflict: the
+    /// addresses are disjoint and only placement made them share a lock.
+    /// Relaxed, best-effort attribution — a mid-race mismatch miscounts a
+    /// conflict, never affects correctness.
+    std::atomic<const void*> locked_for{nullptr};
+  };
+
+  /// Raw stripe storage with NUMA-interleaved first touch: construction is
+  /// partitioned into page-sized chunks executed round-robin on node-pinned
+  /// threads (core/numa.hpp), so no single node's memory controller owns
+  /// all lock-word traffic.  A std::vector would defeat this — it
+  /// value-initializes sequentially on the constructing thread, faulting
+  /// every page onto one node.  Single-node machines construct inline.
+  class StripeTable {
+   public:
+    StripeTable() = default;
+    explicit StripeTable(std::size_t count);
+    ~StripeTable();
+    StripeTable(StripeTable&& other) noexcept
+        : data_(other.data_), count_(other.count_) {
+      other.data_ = nullptr;
+      other.count_ = 0;
+    }
+    StripeTable& operator=(StripeTable&& other) noexcept;
+    StripeTable(const StripeTable&) = delete;
+    StripeTable& operator=(const StripeTable&) = delete;
+    [[nodiscard]] Stripe* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+   private:
+    Stripe* data_ = nullptr;
+    std::size_t count_ = 0;
+  };
+
+  /// One registered region: resolved placement parameters plus the
+  /// dedicated table.  Kept flat so the stripe_for scan touches one
+  /// contiguous struct per region.
+  struct Region {
+    std::uintptr_t base = 0;
+    std::uintptr_t span = 0;  // elements * stride, in bytes
+    std::size_t stride = 0;
+    unsigned stride_shift = 0;  // valid when stride_is_pow2
+    bool stride_is_pow2 = false;
+    std::uint64_t placement_stride = 0;  // odd: bijective on the pow-2 table
+    std::uint64_t mask = 0;              // table size - 1
+    std::size_t elements = 0;
+    StripeTable table;
   };
 
   /// The calling thread's reusable transaction buffers (shared across Stm
@@ -338,6 +468,10 @@ class Stm {
   /// Stamp per-transaction seniority onto the thread's descriptor.
   void begin_transaction(TxDescriptor& descriptor) noexcept;
   [[nodiscard]] Stripe& stripe_for(const void* address) noexcept;
+  /// Classify an observed conflict on `stripe` while probing `address`:
+  /// when the stripe was last locked for a different cell, the conflict is
+  /// a placement artifact — count it (stats + attached profile).
+  void note_conflict(const Stripe& stripe, const void* address) noexcept;
   [[nodiscard]] bool try_commit(Tx& tx);
   /// Run the conflict arbiter against a held stripe until the lock clears
   /// (true: retry the operation) or the arbiter sacrifices the requestor /
@@ -357,8 +491,13 @@ class Stm {
   /// changes, and begin_transaction runs once per transaction — no reason
   /// to pay a virtual dispatch there.
   bool needs_seniority_ = true;
-  std::vector<Stripe> stripes_;  // power-of-two sized; see stripe_mask_
+  std::size_t requested_stripes_ = 0;  // pre-rounding constructor argument
+  StripeTable stripes_;  // hashed fallback; power-of-two, see stripe_mask_
   std::uint64_t stripe_mask_ = 0;
+  /// Registered regions, scanned linearly in stripe_for (region counts are
+  /// small — shards, not keys).  Mutated only by register_region, which is
+  /// not thread-safe against in-flight transactions.
+  std::vector<Region> regions_;
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> start_ticket_{0};  // Timestamp/Greedy seniority
   StmStats stats_;

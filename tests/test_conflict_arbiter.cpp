@@ -87,8 +87,7 @@ struct NorecTestPeek {
   static NorecTx make_tx(Norec& norec, std::uint32_t attempt,
                          std::uint64_t snapshot, TxDescriptor* descriptor,
                          TxBuffers* buffers) {
-    return NorecTx{norec,      attempt, snapshot,
-                   descriptor, buffers, /*read_only=*/false};
+    return NorecTx{norec, attempt, snapshot, descriptor, buffers};
   }
   static std::optional<std::uint64_t> await_even(Norec& norec, NorecTx& tx) {
     return norec.await_even(tx);

@@ -181,11 +181,10 @@ TEST(StmSnapshot, CountersSeparateSnapshotFromInstrumentedReads) {
   Cell b;
   stm.atomically([&](Tx& tx) { tx.write(a, 1); });
 
-  // Instrumented reads: the plain path and the deprecated read-only hint
-  // path both accrue a read set and count as instrumented.
+  // Instrumented reads: the plain path accrues a read set and counts as
+  // instrumented.
   stm.atomically([&](Tx& tx) { (void)tx.read(a); });
-  stm.atomically(kReadOnlyTx, [&](Tx& tx) { (void)tx.read(a); });
-  EXPECT_EQ(stm.stats().instrumented_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().instrumented_reads.load(), 1u);
   EXPECT_EQ(stm.stats().snapshot_reads.load(), 0u);
   EXPECT_EQ(stm.stats().snapshot_commits.load(), 0u);
 
@@ -200,7 +199,7 @@ TEST(StmSnapshot, CountersSeparateSnapshotFromInstrumentedReads) {
   EXPECT_EQ(stm.stats().snapshot_reads.load(), 2u);
   EXPECT_EQ(stm.stats().snapshot_restarts.load(), 0u)
       << "no concurrent writer: the first snapshot attempt must stick";
-  EXPECT_EQ(stm.stats().instrumented_reads.load(), 2u);
+  EXPECT_EQ(stm.stats().instrumented_reads.load(), 1u);
   EXPECT_EQ(stm.stats().commits.load(), commits_before);
 }
 

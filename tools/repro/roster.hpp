@@ -91,7 +91,7 @@ inline const std::vector<FigureSpec>& builtin_roster() {
            // CI (--max-panels 1) and the perf-gate baseline both cover it.
            {"micro_stm_fastpath",
             "zero-allocation TxBuffers fast path vs pre-refactor hot path; "
-            "read-only snapshot path vs the kReadOnlyTx hint",
+            "read-only snapshot path vs the full instrumented path",
             4},
            {"cm_comparison",
             "grace-period policies vs classic contention managers", 1},
@@ -119,6 +119,18 @@ inline const std::vector<FigureSpec>& builtin_roster() {
             "one table per YCSB-style mix (read-heavy, update-heavy, "
             "rmw-swap); rows are arbiter x substrate with offered vs "
             "achieved Mops/s, drop%, and p50/p99/p999 microseconds",
+            3, /*full_timeout_seconds=*/1200.0},
+       }},
+      {"stripe",
+       "Lock-table placement — hashed vs deterministic region-scoped "
+       "stripes at equal table size (false-conflict telemetry, KV "
+       "register_regions A/B, per-node descriptor probe cost)",
+       {
+           {"stripe_geometry",
+            "aliased-hot-cell sweep over table sizes (hashed vs region "
+            "rows with false_conflicts and the reduction factor), the "
+            "sharded KV store with register_regions off/on per mix, and "
+            "the NUMA descriptor status-probe panel",
             3, /*full_timeout_seconds=*/1200.0},
        }},
       {"tail",
