@@ -1,0 +1,219 @@
+// Transactional allocation — the alloc roster figure: the pool-backed
+// transactional structures (ds/tx_queue, ds/tx_stack — nodes from a TxPool
+// registered as a region, tx_alloc/tx_free with speculative semantics and
+// epoch-based reclamation) against the lock-free originals they wrap
+// (lockfree::MichaelScottQueue, lockfree::TreiberStack), across the full
+// arbiter roster on both STM substrates, swept over parallelism (one
+// comparison table per thread count).
+//
+// What to read off the table: the lock-free baselines bound what a
+// CAS-per-op structure does without transactional composability; the
+// transactional rows price that composability (every op is a full
+// transaction whose node alloc/free commits or vanishes with it) and show
+// how much of the gap the arbiter choice recovers under contention.  The
+// recycles column counts aborted attempts' allocations taken back without
+// ever entering reclamation; reclaimed counts freed nodes that completed
+// the epoch grace and returned to the free lists — a healthy run keeps
+// both moving without ever touching the process heap (the zero-allocation
+// gate lives in tests/test_stm_alloc.cpp).
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "conflict/adaptive.hpp"
+#include "conflict/grace.hpp"
+#include "conflict/managers.hpp"
+#include "core/policy.hpp"
+#include "ds/tx_queue.hpp"
+#include "ds/tx_stack.hpp"
+#include "lockfree/queue.hpp"
+#include "lockfree/stack.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using conflict::ConflictArbiter;
+
+struct CellResult {
+  double mops = 0.0;           // successful structure ops per wall second
+  std::uint64_t commits = 0;   // substrate commits ("-" rows: 0)
+  std::uint64_t aborts = 0;
+  std::uint64_t recycles = 0;  // aborted attempts' allocs taken back
+  std::uint64_t reclaimed = 0; // frees that completed the epoch grace
+};
+
+/// Mixed enqueue/dequeue (or push/pop) pairs from every thread; ops that
+/// fail cleanly (exhaustion while the grace drains, pop on empty) are not
+/// counted.  Returns successful ops and the elapsed wall clock.
+template <typename Structure>
+std::pair<std::uint64_t, double> run_pairs(Structure& structure, int threads,
+                                           int pairs_per_thread) {
+  std::vector<std::uint64_t> ok_ops(static_cast<std::size_t>(threads), 0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&structure, &ok_ops, t, pairs_per_thread] {
+      std::uint64_t ok = 0;
+      for (int i = 0; i < pairs_per_thread; ++i) {
+        if (structure.produce(static_cast<std::uint64_t>(i) + 1)) ++ok;
+        if (structure.consume()) ++ok;
+      }
+      ok_ops[static_cast<std::size_t>(t)] = ok;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::uint64_t total = 0;
+  for (const std::uint64_t ok : ok_ops) total += ok;
+  return {total, seconds};
+}
+
+// Thin produce/consume adapters so one driver runs all six structures.
+template <typename Substrate>
+struct TxQueueAdapter {
+  ds::TxMichaelScottQueue<Substrate> queue;
+  TxQueueAdapter(Substrate& stm, std::size_t capacity)
+      : queue{stm, capacity} {}
+  bool produce(std::uint64_t value) { return queue.enqueue(value); }
+  bool consume() { return queue.dequeue().has_value(); }
+  mem::TxPool& pool() { return queue.pool(); }
+};
+
+template <typename Substrate>
+struct TxStackAdapter {
+  ds::TxTreiberStack<Substrate> stack;
+  TxStackAdapter(Substrate& stm, std::size_t capacity)
+      : stack{stm, capacity} {}
+  bool produce(std::uint64_t value) { return stack.push(value); }
+  bool consume() { return stack.pop().has_value(); }
+  mem::TxPool& pool() { return stack.pool(); }
+};
+
+struct LockfreeQueueAdapter {
+  lockfree::MichaelScottQueue queue;
+  explicit LockfreeQueueAdapter(std::size_t capacity) : queue{capacity} {}
+  bool produce(std::uint64_t value) { return queue.enqueue(value); }
+  bool consume() { return queue.dequeue().has_value(); }
+};
+
+struct LockfreeStackAdapter {
+  lockfree::TreiberStack stack;
+  explicit LockfreeStackAdapter(std::size_t capacity) : stack{capacity} {}
+  bool produce(std::uint64_t value) { return stack.push(value); }
+  bool consume() { return stack.pop().has_value(); }
+};
+
+template <typename Substrate, typename Adapter>
+CellResult run_transactional(
+    const std::shared_ptr<const ConflictArbiter>& arbiter, int threads,
+    int pairs_per_thread, std::size_t capacity) {
+  Substrate stm{arbiter};
+  Adapter adapter{stm, capacity};
+  const auto [ops, seconds] = run_pairs(adapter, threads, pairs_per_thread);
+  CellResult result;
+  result.mops = static_cast<double>(ops) / (seconds * 1e6);
+  result.commits = stm.stats().commits.load();
+  result.aborts = stm.stats().aborts.load();
+  result.recycles = adapter.pool().stats().abort_recycles.load();
+  result.reclaimed = adapter.pool().stats().reclaimed.load();
+  return result;
+}
+
+template <typename Adapter>
+CellResult run_lockfree(int threads, int pairs_per_thread,
+                        std::size_t capacity) {
+  Adapter adapter{capacity};
+  const auto [ops, seconds] = run_pairs(adapter, threads, pairs_per_thread);
+  CellResult result;
+  result.mops = static_cast<double>(ops) / (seconds * 1e6);
+  return result;
+}
+
+struct Contender {
+  std::string label;
+  std::shared_ptr<const ConflictArbiter> arbiter;
+};
+
+std::vector<Contender> roster() {
+  using core::StrategyKind;
+  const auto grace = [](StrategyKind kind) {
+    return std::make_shared<conflict::GraceArbiter>(core::make_policy(kind));
+  };
+  std::vector<Contender> result;
+  result.push_back({"Grace(NONE)", grace(StrategyKind::kNoDelay)});
+  result.push_back({"Grace(RRA)", grace(StrategyKind::kRandAborts)});
+  result.push_back({"Grace(HYBRID)", grace(StrategyKind::kHybrid)});
+  result.push_back({"Karma", conflict::make_cm(conflict::CmKind::kKarma)});
+  result.push_back({"Greedy", conflict::make_cm(conflict::CmKind::kGreedy)});
+  result.push_back({"Polka", conflict::make_cm(conflict::CmKind::kPolka)});
+  result.push_back({"ADAPTIVE",
+                    std::make_shared<conflict::AdaptiveArbiter>()});
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txc::bench::init(argc, argv);
+  txc::bench::banner(
+      "Transactional allocation — pool-backed tx queue/stack vs the "
+      "lock-free originals, across the arbiter roster on TL2 and NOrec",
+      "every transactional op allocates or frees a node inside its "
+      "transaction: tx_alloc recycles on abort, tx_free publishes only "
+      "after commit write-back, and reclamation waits out the epoch grace "
+      "so no in-flight reader can dereference a recycled node.  The "
+      "lock-free rows are the composability-free upper bound; the "
+      "transactional rows price atomic multi-op composition on top of the "
+      "same arena.  Compare within a sweep point; recycles/reclaimed show "
+      "the abort and grace traffic the pool absorbed without heap calls");
+
+  const int kSweep[] = {2, 4, 8};
+  const int kPairsPerThread = txc::bench::scaled(15000);
+  constexpr std::size_t kCapacity = 4096;
+
+  for (const int threads : kSweep) {
+    std::printf("\n--- %d threads ---\n", threads);
+    txc::bench::Table table{{"arbiter", "structure", "threads", "Mops/s",
+                             "commits", "aborts", "recycles", "reclaimed"}};
+    table.print_header();
+    const auto print = [&](const std::string& arbiter, const char* structure,
+                           const CellResult& cell) {
+      table.print_row(
+          {arbiter, structure, std::to_string(threads),
+           txc::bench::fmt(cell.mops, 2),
+           txc::bench::fmt_sci(static_cast<double>(cell.commits)),
+           txc::bench::fmt_sci(static_cast<double>(cell.aborts)),
+           txc::bench::fmt_sci(static_cast<double>(cell.recycles)),
+           txc::bench::fmt_sci(static_cast<double>(cell.reclaimed))});
+    };
+    print("(lock-free)", "MS-queue",
+          run_lockfree<LockfreeQueueAdapter>(threads, kPairsPerThread,
+                                             kCapacity));
+    print("(lock-free)", "Treiber",
+          run_lockfree<LockfreeStackAdapter>(threads, kPairsPerThread,
+                                             kCapacity));
+    for (const Contender& contender : roster()) {
+      print(contender.label, "TL2-queue",
+            run_transactional<stm::Stm, TxQueueAdapter<stm::Stm>>(
+                contender.arbiter, threads, kPairsPerThread, kCapacity));
+      print(contender.label, "TL2-stack",
+            run_transactional<stm::Stm, TxStackAdapter<stm::Stm>>(
+                contender.arbiter, threads, kPairsPerThread, kCapacity));
+      print(contender.label, "NOrec-queue",
+            run_transactional<stm::Norec, TxQueueAdapter<stm::Norec>>(
+                contender.arbiter, threads, kPairsPerThread, kCapacity));
+      print(contender.label, "NOrec-stack",
+            run_transactional<stm::Norec, TxStackAdapter<stm::Norec>>(
+                contender.arbiter, threads, kPairsPerThread, kCapacity));
+    }
+  }
+  return 0;
+}

@@ -39,6 +39,12 @@ struct TxDescriptor {
   /// Monotone start stamp of the transaction's *first* attempt (retries keep
   /// it, so long-suffering transactions age into higher seniority).
   std::atomic<std::uint64_t> start_time{0};
+  /// Epoch-based-reclamation pin slot (mem/reclaim.hpp).  0 = not pinned;
+  /// otherwise the global reclamation epoch this thread observed on entry to
+  /// its innermost transactional section.  Lives on the descriptor so the
+  /// reclaimer's scan reuses the slab the arbiters already probe — no second
+  /// per-thread registry, same cache-line-per-thread layout.
+  std::atomic<std::uint64_t> reclaim_epoch{0};
 
   [[nodiscard]] TxStatus load_status() const noexcept {
     return static_cast<TxStatus>(status.load(std::memory_order_acquire));
@@ -102,7 +108,29 @@ inline constexpr std::size_t kDescriptorSlabNodes = 8;
 namespace detail {
 struct alignas(64) PaddedTxDescriptor {
   TxDescriptor descriptor;
+  /// Intrusive link for the overflow registry (heap descriptors past slab
+  /// capacity).  Slab-resident descriptors never use it.
+  PaddedTxDescriptor* overflow_next = nullptr;
 };
+
+struct NodeSlab {
+  PaddedTxDescriptor slots[kDescriptorSlabSize];
+  std::atomic<std::size_t> next{0};
+};
+
+[[nodiscard]] inline NodeSlab* descriptor_slabs() noexcept {
+  static NodeSlab slabs[kDescriptorSlabNodes];
+  return slabs;
+}
+
+/// Head of the overflow-descriptor list.  Overflow descriptors are leaked by
+/// design (see above), so a push-only intrusive list is lossless: every
+/// descriptor ever handed out stays reachable for the reclaimer's scan.
+[[nodiscard]] inline std::atomic<PaddedTxDescriptor*>&
+overflow_descriptors() noexcept {
+  static std::atomic<PaddedTxDescriptor*> head{nullptr};
+  return head;
+}
 }  // namespace detail
 
 /// The calling thread's slab-backed descriptor, assigned on first use and
@@ -118,19 +146,46 @@ struct alignas(64) PaddedTxDescriptor {
 /// panel.  On a single-node machine all threads draw from slab 0 and the
 /// behavior is exactly the old single-slab scheme.
 [[nodiscard]] inline TxDescriptor& thread_descriptor() noexcept {
-  struct NodeSlab {
-    detail::PaddedTxDescriptor slots[kDescriptorSlabSize];
-    std::atomic<std::size_t> next{0};
-  };
-  static NodeSlab slabs[kDescriptorSlabNodes];
   thread_local TxDescriptor* mine = [] {
-    NodeSlab& slab =
-        slabs[core::numa::current_node() % kDescriptorSlabNodes];
+    detail::NodeSlab& slab = detail::descriptor_slabs()
+        [core::numa::current_node() % kDescriptorSlabNodes];
     const std::size_t slot = slab.next.fetch_add(1, std::memory_order_relaxed);
     if (slot < kDescriptorSlabSize) return &slab.slots[slot].descriptor;
-    return &(new detail::PaddedTxDescriptor)->descriptor;  // leaked by design
+    // Leaked by design; registered so reclamation scans still see it.
+    auto* overflow = new detail::PaddedTxDescriptor;
+    auto& head = detail::overflow_descriptors();
+    overflow->overflow_next = head.load(std::memory_order_relaxed);
+    while (!head.compare_exchange_weak(overflow->overflow_next, overflow,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+    return &overflow->descriptor;
   }();
   return *mine;
+}
+
+/// Visit every descriptor ever handed out by thread_descriptor(): all claimed
+/// slab slots plus the overflow chain.  Used by epoch reclamation
+/// (mem/reclaim.hpp) to decide whether any thread is still pinned in a stale
+/// epoch.  Visiting a slot that was claimed but whose owner thread has since
+/// exited is fine — exited threads leave reclaim_epoch at 0 (unpinned).
+template <typename Fn>
+inline void for_each_thread_descriptor(Fn&& fn) {
+  detail::NodeSlab* slabs = detail::descriptor_slabs();
+  for (std::size_t node = 0; node < kDescriptorSlabNodes; ++node) {
+    const std::size_t claimed =
+        slabs[node].next.load(std::memory_order_acquire);
+    const std::size_t limit =
+        claimed < kDescriptorSlabSize ? claimed : kDescriptorSlabSize;
+    for (std::size_t slot = 0; slot < limit; ++slot) {
+      fn(slabs[node].slots[slot].descriptor);
+    }
+  }
+  for (detail::PaddedTxDescriptor* overflow =
+           detail::overflow_descriptors().load(std::memory_order_acquire);
+       overflow != nullptr; overflow = overflow->overflow_next) {
+    fn(overflow->descriptor);
+  }
 }
 
 }  // namespace txc::conflict

@@ -1,0 +1,139 @@
+// txconflict — a transactional Michael–Scott queue over a TxPool.
+//
+// The transactional twin of lockfree::MichaelScottQueue (the Alistarh et al.
+// comparison subject: the same FIFO contract, lock-free CAS loops replaced
+// by one atomic block per operation).  Nodes are fixed-size TxPool blocks —
+// two cells: [0] the value, [1] the next-handle — allocated with
+// tx_alloc/tx_free so memory management inherits the substrate's speculative
+// semantics for free: an aborted enqueue's node is recycled, a dequeued
+// dummy is reclaimed only after commit plus the epoch grace, and a snapshot
+// reader chasing a stale handle can always dereference it safely.
+//
+// Links are HANDLES, not pointers: block index + 1, with 0 as null, stored
+// in ordinary transactional cells.  The pool's arena is registered as a
+// stm::RegionSpec at construction, so every node cell gets its own
+// deterministic stripe — two transactions touching different nodes are
+// false-conflict-free by construction (TL2; NOrec needs no placement).
+//
+// Because head/tail/next manipulation is transactional, none of the MS
+// helping dances survive: an enqueue links tail->next and swings the tail
+// in one atomic step, a dequeue advances head and frees the old dummy in
+// one atomic step, and the queue is always in a consistent state between
+// commits.  What remains of Michael–Scott is the dummy-node shape itself,
+// which keeps enqueue and dequeue on disjoint cells whenever the queue is
+// non-empty — an enqueue and a dequeue then touch {tail, last.next} vs
+// {head, dummy.next} and commit without conflicting.
+//
+// Capacity contract: enqueue returns false when the pool cannot supply a
+// node (clean failure, no throw — TxPool's exhaustion contract).  Note the
+// grace period: a just-dequeued node becomes reusable only a few epochs
+// later, so a full/drain cycle at exact capacity may need a retry or an
+// intervening quiesce_reclaim() (see mem/reclaim.hpp on self-advancement).
+//
+// Lifetime: register_region has no deregistration, so the queue (and its
+// pool) must outlive the substrate's last transaction — create them with
+// matching lifetimes, queue after substrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/tx_pool.hpp"
+#include "stm/cell.hpp"
+
+namespace txc::ds {
+
+/// Bounded transactional FIFO queue of uint64 values, templated over the
+/// substrate (stm::Stm or stm::Norec — anything with the unified API).
+template <typename Substrate>
+class TxMichaelScottQueue {
+ public:
+  /// A queue holding up to `capacity` values; the pool carries one extra
+  /// block for the resident dummy node.
+  TxMichaelScottQueue(Substrate& stm, std::size_t capacity)
+      : stm_(stm), pool_(capacity + 1, kCellsPerNode) {
+    stm_.register_region(pool_.region_spec());
+    stm::Cell* dummy = pool_.bootstrap_alloc();  // cannot fail: fresh pool
+    dummy[kNext].value.store(0, std::memory_order_relaxed);
+    head_.value.store(encode(dummy), std::memory_order_relaxed);
+    tail_.value.store(encode(dummy), std::memory_order_relaxed);
+  }
+
+  TxMichaelScottQueue(const TxMichaelScottQueue&) = delete;
+  TxMichaelScottQueue& operator=(const TxMichaelScottQueue&) = delete;
+
+  /// Enqueue a value; returns false when the pool cannot supply a node
+  /// (queue full, or freed nodes still in the reclamation grace).
+  bool enqueue(std::uint64_t value) {
+    bool ok = false;
+    stm_.atomically([&](typename Substrate::TxContext& tx) {
+      ok = false;  // the body may re-run after an abort
+      stm::Cell* node = tx.tx_alloc(pool_);
+      if (node == nullptr) return;  // exhaustion: commit as a no-op
+      const std::uint64_t handle = encode(node);
+      tx.write(node[kValue], value);
+      tx.write(node[kNext], 0);
+      stm::Cell* last = decode(tx.read(tail_));
+      tx.write(last[kNext], handle);
+      tx.write(tail_, handle);
+      ok = true;
+    });
+    return ok;
+  }
+
+  /// Dequeue the oldest value, or nullopt when empty.  The retired dummy is
+  /// freed transactionally: published to the pool's limbo only if this
+  /// commit wins.
+  std::optional<std::uint64_t> dequeue() {
+    std::optional<std::uint64_t> result;
+    stm_.atomically([&](typename Substrate::TxContext& tx) {
+      result.reset();  // the body may re-run after an abort
+      stm::Cell* dummy = decode(tx.read(head_));
+      const std::uint64_t next = tx.read(dummy[kNext]);
+      if (next == 0) return;  // empty
+      stm::Cell* node = decode(next);
+      result = tx.read(node[kValue]);
+      // The dequeued node becomes the new dummy; the old dummy retires.
+      tx.write(head_, next);
+      tx.tx_free(pool_, dummy);
+    });
+    return result;
+  }
+
+  /// Snapshot emptiness probe (atomically_read): exercises exactly the
+  /// reader-vs-reclamation protocol — the dummy handle read from the
+  /// snapshot may point at a block another thread freed since, and the
+  /// reader's epoch pin is what keeps that dereference safe.
+  [[nodiscard]] bool empty() {
+    bool result = true;
+    stm_.atomically_read([&](typename Substrate::ReadTxContext& tx) {
+      stm::Cell* dummy = decode(tx.read(head_));
+      result = tx.read(dummy[kNext]) == 0;
+    });
+    return result;
+  }
+
+  /// The backing pool, exposed for stats and conservation audits.
+  [[nodiscard]] mem::TxPool& pool() noexcept { return pool_; }
+
+ private:
+  static constexpr std::size_t kValue = 0;
+  static constexpr std::size_t kNext = 1;
+  static constexpr std::size_t kCellsPerNode = 2;
+
+  /// Handles: block index + 1, 0 = null — stable across the pool's arena,
+  /// cheap to store in a cell.
+  [[nodiscard]] std::uint64_t encode(const stm::Cell* block) const noexcept {
+    return static_cast<std::uint64_t>(pool_.index_of(block)) + 1;
+  }
+  [[nodiscard]] stm::Cell* decode(std::uint64_t handle) noexcept {
+    return pool_.block_at(static_cast<std::size_t>(handle - 1));
+  }
+
+  Substrate& stm_;
+  mem::TxPool pool_;
+  stm::Cell head_;  // handle of the dummy node
+  stm::Cell tail_;  // handle of the last node (== head_ when empty)
+};
+
+}  // namespace txc::ds

@@ -1,0 +1,99 @@
+// txconflict — a transactional Treiber stack over a TxPool.
+//
+// The transactional twin of lockfree::TreiberStack (see tx_queue.hpp for
+// the design notes shared by both structures: TxPool nodes, handle links,
+// region-registered placement, speculative alloc/free semantics, the
+// capacity/grace contract, and the lifetime rule).  A node is two cells —
+// [0] the value, [1] the next-handle — and the whole structure is one head
+// cell: push links the new node in front of the current head, pop unlinks
+// and frees it, each in one atomic block.  Unlike the lock-free original
+// there is no ABA to defend against — commit-time validation already
+// rejects any interleaving a tag would catch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/tx_pool.hpp"
+#include "stm/cell.hpp"
+
+namespace txc::ds {
+
+/// Bounded transactional LIFO stack of uint64 values, templated over the
+/// substrate (stm::Stm or stm::Norec — anything with the unified API).
+template <typename Substrate>
+class TxTreiberStack {
+ public:
+  TxTreiberStack(Substrate& stm, std::size_t capacity)
+      : stm_(stm), pool_(capacity, kCellsPerNode) {
+    stm_.register_region(pool_.region_spec());
+    head_.value.store(0, std::memory_order_relaxed);  // 0 = null handle
+  }
+
+  TxTreiberStack(const TxTreiberStack&) = delete;
+  TxTreiberStack& operator=(const TxTreiberStack&) = delete;
+
+  /// Push a value; returns false when the pool cannot supply a node (stack
+  /// full, or freed nodes still in the reclamation grace).
+  bool push(std::uint64_t value) {
+    bool ok = false;
+    stm_.atomically([&](typename Substrate::TxContext& tx) {
+      ok = false;  // the body may re-run after an abort
+      stm::Cell* node = tx.tx_alloc(pool_);
+      if (node == nullptr) return;  // exhaustion: commit as a no-op
+      tx.write(node[kValue], value);
+      tx.write(node[kNext], tx.read(head_));
+      tx.write(head_, encode(node));
+      ok = true;
+    });
+    return ok;
+  }
+
+  /// Pop the most recently pushed value, or nullopt when empty.  The popped
+  /// node is freed transactionally (published to limbo only on commit).
+  std::optional<std::uint64_t> pop() {
+    std::optional<std::uint64_t> result;
+    stm_.atomically([&](typename Substrate::TxContext& tx) {
+      result.reset();  // the body may re-run after an abort
+      const std::uint64_t top = tx.read(head_);
+      if (top == 0) return;  // empty
+      stm::Cell* node = decode(top);
+      result = tx.read(node[kValue]);
+      tx.write(head_, tx.read(node[kNext]));
+      tx.tx_free(pool_, node);
+    });
+    return result;
+  }
+
+  /// Snapshot emptiness probe (atomically_read — see
+  /// TxMichaelScottQueue::empty on why this exercises the
+  /// reader-vs-reclamation protocol).
+  [[nodiscard]] bool empty() {
+    bool result = true;
+    stm_.atomically_read([&](typename Substrate::ReadTxContext& tx) {
+      result = tx.read(head_) == 0;
+    });
+    return result;
+  }
+
+  /// The backing pool, exposed for stats and conservation audits.
+  [[nodiscard]] mem::TxPool& pool() noexcept { return pool_; }
+
+ private:
+  static constexpr std::size_t kValue = 0;
+  static constexpr std::size_t kNext = 1;
+  static constexpr std::size_t kCellsPerNode = 2;
+
+  [[nodiscard]] std::uint64_t encode(const stm::Cell* block) const noexcept {
+    return static_cast<std::uint64_t>(pool_.index_of(block)) + 1;
+  }
+  [[nodiscard]] stm::Cell* decode(std::uint64_t handle) noexcept {
+    return pool_.block_at(static_cast<std::size_t>(handle - 1));
+  }
+
+  Substrate& stm_;
+  mem::TxPool pool_;
+  stm::Cell head_;  // handle of the top node, 0 when empty
+};
+
+}  // namespace txc::ds

@@ -17,6 +17,12 @@ MichaelScottQueue::MichaelScottQueue(std::size_t capacity)
   }
 }
 
+// Node-pool exhaustion contract (audited alongside TxPool's): allocate()
+// reports kNull when the free list is empty and enqueue() forwards that as
+// a plain `false` — no throw, no spin.  Exhaustion here is exact, not
+// grace-delayed: release() returns a node at the moment of the dequeue
+// that retired it, so `false` means the queue genuinely held `capacity`
+// values at some point during the call.
 std::uint32_t MichaelScottQueue::allocate() {
   while (true) {
     const TaggedIndex head{free_list_.load(std::memory_order_acquire)};

@@ -17,17 +17,30 @@ class MichaelScottQueue {
  public:
   explicit MichaelScottQueue(std::size_t capacity);
 
-  /// Enqueue a value; returns false if the node pool is exhausted.
+  /// Enqueue a value; returns false if the node pool is exhausted — the
+  /// bounded-capacity failure contract (allocate() reporting kNull), a
+  /// clean status result rather than a throw, matching kv::OpStatus'
+  /// shard-full shape and TxPool's nullptr-on-exhaustion.  The caller may
+  /// simply retry: capacity frees up as concurrent dequeues release nodes.
   bool enqueue(std::uint64_t value);
 
   /// Dequeue the oldest value, or nullopt when empty.
   std::optional<std::uint64_t> dequeue();
 
   [[nodiscard]] bool empty() const noexcept {
-    const TaggedIndex head{head_.load(std::memory_order_acquire)};
-    const std::uint32_t next =
-        nodes_[head.index()].next.load(std::memory_order_acquire);
-    return TaggedIndex{0, next}.null();
+    // The emptiness probe reads two words (head, then the dummy's next) and
+    // must revalidate head between them: a concurrent dequeue can retire
+    // the dummy node and recycle it through the free list, so the `next` we
+    // loaded may belong to the node's NEXT life — stale kNull on a
+    // non-empty queue (or vice versa).  The tagged re-load catches any
+    // intervening dequeue, exactly like the head revalidation in dequeue().
+    while (true) {
+      const TaggedIndex head{head_.load(std::memory_order_acquire)};
+      const std::uint32_t next =
+          nodes_[head.index()].next.load(std::memory_order_acquire);
+      if (head_.load(std::memory_order_acquire) != head.raw()) continue;
+      return TaggedIndex{0, next}.null();
+    }
   }
 
  private:

@@ -1,0 +1,148 @@
+// txconflict — epoch-based reclamation for transactional pools.
+//
+// The grace-period machinery behind mem::TxPool (Blelloch & Wei-style
+// constant-time pool alloc/free).  A single global epoch counter advances
+// only when every pinned thread has announced the current epoch; a freed
+// block stamped with epoch e may be recycled once the global epoch reaches
+// e + 3 (see below), guaranteeing that no snapshot reader or in-flight
+// transaction that could still hold a pre-free pointer can dereference a
+// reused block.
+//
+// Pinning rides the conflict-layer descriptor slab: TxDescriptor carries a
+// reclaim_epoch slot, so the reclaimer's scan walks the exact same
+// cache-line-per-thread table the arbiters already probe, and threads that
+// never touch a pool never pay more than one relaxed load per transaction
+// (the pin guard disengages while no pool exists).
+//
+// Why e + 3 and not e + 1?  Two independent one-epoch slacks stack:
+//   1. The freeing thread stamps a block with a *fresh* read of the global
+//      epoch, but the epoch may advance concurrently, so the stamp can
+//      understate the true publication epoch by one (the freer itself is
+//      pinned, bounding the slack at exactly one).
+//   2. A reader's pin announcement races the advancer's scan the same way:
+//      a thread pinned at e' may have sampled its snapshot just before the
+//      advance to e' was observable, i.e. while pointers stamped e' - 1
+//      were still reachable.
+// A block stamped e is therefore safe only once no thread can be pinned at
+// an epoch <= e + 1, which the advance protocol guarantees at global epoch
+// >= e + 3 (advancing to e + 2 required every pinned slot to read e + 1 or
+// later... and to e + 3 required >= e + 2).  TxPool keeps four limbo
+// buckets indexed stamp & 3 so the bucket drained at epoch E — (E + 1) & 3
+// — can only contain stamps <= E - 3 (plus freshly-pushed stamps E + 1
+// from a racing freer, which a per-block stamp guard re-defers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "conflict/descriptor.hpp"
+
+namespace txc::mem::reclaim {
+
+namespace detail {
+struct State {
+  /// Global reclamation epoch.  Starts at 2 so that `slot == 0` can mean
+  /// "not pinned" and freshly-stamped blocks never alias the quiescent
+  /// value even after the -3 grace arithmetic.
+  std::atomic<std::uint64_t> epoch{2};
+  /// Count of live TxPools.  While zero, EpochPinGuard is a single relaxed
+  /// load — threads that never allocate transactionally pay nothing.
+  std::atomic<std::uint32_t> pools{0};
+};
+
+[[nodiscard]] inline State& state() noexcept {
+  static State instance;
+  return instance;
+}
+
+/// Pin nesting depth: atomically() bodies may open snapshot reads
+/// (atomically_read) or nest; only the outermost guard owns the slot.
+[[nodiscard]] inline int& pin_depth() noexcept {
+  thread_local int depth = 0;
+  return depth;
+}
+}  // namespace detail
+
+[[nodiscard]] inline std::uint64_t current_epoch() noexcept {
+  return detail::state().epoch.load(std::memory_order_acquire);
+}
+
+[[nodiscard]] inline bool pools_active() noexcept {
+  return detail::state().pools.load(std::memory_order_relaxed) != 0;
+}
+
+/// TxPool construction/destruction bookkeeping.
+inline void pool_created() noexcept {
+  detail::state().pools.fetch_add(1, std::memory_order_acq_rel);
+}
+inline void pool_destroyed() noexcept {
+  detail::state().pools.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+/// RAII epoch pin for one transactional section (one atomically() /
+/// atomically_read() call).  While pinned, no block freed at or after the
+/// announced epoch minus one can be recycled, so every pointer the section
+/// can reach stays dereferenceable (values may be stale — the substrates'
+/// validation handles that — but the load itself is safe).
+///
+/// The announce loop is the classic store / seq_cst fence / re-check dance:
+/// without the re-check, an advancer whose scan raced the store could move
+/// the epoch past the announced value without seeing the pin.  Re-announcing
+/// until the global is stable bounds the advancer's slack at one epoch,
+/// which the +3 grace rule absorbs.
+class EpochPinGuard {
+ public:
+  EpochPinGuard() noexcept {
+    if (!pools_active()) return;
+    engaged_ = true;
+    if (detail::pin_depth()++ > 0) return;  // outer pin already stands
+    auto& slot = conflict::thread_descriptor().reclaim_epoch;
+    auto& epoch = detail::state().epoch;
+    std::uint64_t observed = epoch.load(std::memory_order_relaxed);
+    while (true) {
+      slot.store(observed, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uint64_t current = epoch.load(std::memory_order_relaxed);
+      if (current == observed) break;
+      observed = current;
+    }
+  }
+
+  EpochPinGuard(const EpochPinGuard&) = delete;
+  EpochPinGuard& operator=(const EpochPinGuard&) = delete;
+
+  ~EpochPinGuard() {
+    if (!engaged_) return;
+    if (--detail::pin_depth() == 0) {
+      conflict::thread_descriptor().reclaim_epoch.store(
+          0, std::memory_order_release);
+    }
+  }
+
+ private:
+  bool engaged_ = false;
+};
+
+/// Try to advance the global epoch by one.  Fails (returns false) when any
+/// thread is pinned in an epoch other than the current one — including the
+/// caller itself if pinned at current - 1 — or when another advancer won the
+/// CAS.  Callers treat failure as "grace not yet elapsed" and retry later;
+/// TxPool's slow allocation path drives this opportunistically.
+[[nodiscard]] inline bool try_advance() noexcept {
+  auto& epoch = detail::state().epoch;
+  const std::uint64_t current = epoch.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  bool blocked = false;
+  conflict::for_each_thread_descriptor(
+      [&](const conflict::TxDescriptor& descriptor) {
+        const std::uint64_t pinned =
+            descriptor.reclaim_epoch.load(std::memory_order_acquire);
+        if (pinned != 0 && pinned != current) blocked = true;
+      });
+  if (blocked) return false;
+  std::uint64_t expected = current;
+  return epoch.compare_exchange_strong(expected, current + 1,
+                                       std::memory_order_acq_rel);
+}
+
+}  // namespace txc::mem::reclaim

@@ -1,0 +1,217 @@
+#include "mem/tx_pool.hpp"
+
+namespace txc::mem {
+
+namespace {
+
+using lockfree::TaggedIndex;
+
+/// Shard count: power of two, 1 for tiny pools (deterministic exhaustion in
+/// tests), growing with capacity up to 64 (enough to spread allocator
+/// traffic across a large machine without fragmenting small pools).
+std::size_t pick_shard_count(std::size_t capacity) noexcept {
+  std::size_t shards = 1;
+  while (shards < 64 && shards * 16 <= capacity) shards <<= 1;
+  return shards;
+}
+
+}  // namespace
+
+TxPool::TxPool(std::size_t capacity, std::size_t cells_per_block)
+    : capacity_(capacity),
+      cells_per_block_(cells_per_block == 0 ? 1 : cells_per_block),
+      shard_mask_(pick_shard_count(capacity) - 1),
+      cells_(capacity_ * cells_per_block_),
+      link_(capacity_),
+      stamp_(capacity_),
+      state_(capacity_),
+      shards_(shard_mask_ + 1) {
+  // Seed the free lists round-robin so every shard starts stocked.
+  for (std::size_t index = 0; index < capacity_; ++index) {
+    push(shards_[index & shard_mask_], static_cast<std::uint32_t>(index));
+  }
+  reclaim::pool_created();
+}
+
+TxPool::~TxPool() { reclaim::pool_destroyed(); }
+
+std::uint32_t TxPool::pop(ListHead& list) noexcept {
+  std::uint64_t raw = list.head.load(std::memory_order_acquire);
+  while (true) {
+    const TaggedIndex head{raw};
+    if (head.null()) return TaggedIndex::kNull;
+    // The tag CAS below rejects the exchange if anyone else popped first, so
+    // a stale next read here can never be installed (classic ABA guard).
+    const std::uint32_t next =
+        link_[head.index()].load(std::memory_order_relaxed);
+    if (list.head.compare_exchange_weak(raw, head.advanced_to(next).raw(),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return head.index();
+    }
+  }
+}
+
+void TxPool::push(ListHead& list, std::uint32_t index) noexcept {
+  std::uint64_t raw = list.head.load(std::memory_order_relaxed);
+  while (true) {
+    const TaggedIndex head{raw};
+    link_[index].store(head.index(), std::memory_order_relaxed);
+    if (list.head.compare_exchange_weak(raw, head.advanced_to(index).raw(),
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+std::uint32_t TxPool::take_all(ListHead& list) noexcept {
+  std::uint64_t raw = list.head.load(std::memory_order_acquire);
+  while (true) {
+    const TaggedIndex head{raw};
+    if (head.null()) return TaggedIndex::kNull;
+    if (list.head.compare_exchange_weak(
+            raw, head.advanced_to(TaggedIndex::kNull).raw(),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      return head.index();
+    }
+  }
+}
+
+std::size_t TxPool::home_shard() const noexcept {
+  const auto id =
+      reinterpret_cast<std::uintptr_t>(&conflict::thread_descriptor());
+  // Descriptors are 64-byte aligned slab slots: shift the dead bits out,
+  // then golden-ratio mix so consecutive slots land on different shards.
+  return static_cast<std::size_t>(
+             ((id >> 6) * 0x9E3779B97F4A7C15ULL) >> 32) &
+         shard_mask_;
+}
+
+stm::Cell* TxPool::speculative_alloc() noexcept {
+  const std::size_t home = home_shard();
+  std::uint32_t index = pop(shards_[home]);
+  if (index == TaggedIndex::kNull) index = slow_alloc(home);
+  if (index == TaggedIndex::kNull) return nullptr;
+  // The block is privately owned between pop and the free that returns it,
+  // so the state transition needs no CAS here.
+  state_[index].store(kLive, std::memory_order_relaxed);
+  live_.fetch_add(1, std::memory_order_acq_rel);
+  stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+  return block_at(index);
+}
+
+void TxPool::publish_free(stm::Cell* block) noexcept {
+  const auto index = static_cast<std::uint32_t>(index_of(block));
+  std::uint8_t expected = kLive;
+  if (!state_[index].compare_exchange_strong(expected, kLimbo,
+                                             std::memory_order_acq_rel)) {
+    stats_.double_free_rejects.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // The stamp may understate the true publication epoch by one (the epoch
+  // can advance between this read and the push) — the freer is pinned, so
+  // by exactly one; the +3 grace rule absorbs it (mem/reclaim.hpp).
+  const std::uint64_t stamp = reclaim::current_epoch();
+  stamp_[index].store(stamp, std::memory_order_relaxed);
+  live_.fetch_sub(1, std::memory_order_acq_rel);
+  stats_.frees.fetch_add(1, std::memory_order_relaxed);
+  push(limbo_[stamp & 3], index);
+}
+
+void TxPool::recycle_aborted(stm::Cell* block) noexcept {
+  const auto index = static_cast<std::uint32_t>(index_of(block));
+  std::uint8_t expected = kLive;
+  if (!state_[index].compare_exchange_strong(expected, kFree,
+                                             std::memory_order_acq_rel)) {
+    stats_.double_free_rejects.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  live_.fetch_sub(1, std::memory_order_acq_rel);
+  stats_.abort_recycles.fetch_add(1, std::memory_order_relaxed);
+  push(shards_[home_shard()], index);
+}
+
+std::size_t TxPool::reclaim_stale(std::size_t home) noexcept {
+  const std::uint64_t current = reclaim::current_epoch();
+  std::uint32_t chain = take_all(limbo_[(current + 1) & 3]);
+  std::size_t reclaimed = 0;
+  while (chain != TaggedIndex::kNull) {
+    const std::uint32_t next = link_[chain].load(std::memory_order_relaxed);
+    const std::uint64_t freed_at = stamp_[chain].load(std::memory_order_relaxed);
+    if (freed_at + 3 <= current) {
+      state_[chain].store(kFree, std::memory_order_release);
+      push(shards_[home], chain);
+      ++reclaimed;
+    } else {
+      // A racing freer pushed this after our epoch read (its stamp is
+      // current + 1, aliasing the drained bucket) — re-defer, grace intact.
+      push(limbo_[freed_at & 3], chain);
+    }
+    chain = next;
+  }
+  if (reclaimed != 0) {
+    stats_.reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+  }
+  return reclaimed;
+}
+
+std::uint32_t TxPool::slow_alloc(std::size_t home) noexcept {
+  // Bounded: a pinned caller can advance the epoch at most once (after that
+  // its own pin blocks try_advance), so this loop runs at most two full
+  // rounds in-transaction and four when quiescent.
+  for (int round = 0; round < 4; ++round) {
+    if (reclaim_stale(home) != 0) {
+      const std::uint32_t index = pop(shards_[home]);
+      if (index != TaggedIndex::kNull) return index;
+    }
+    for (std::size_t offset = 1; offset <= shard_mask_; ++offset) {
+      const std::uint32_t index = pop(shards_[(home + offset) & shard_mask_]);
+      if (index != TaggedIndex::kNull) return index;
+    }
+    if (!reclaim::try_advance()) break;
+    stats_.epoch_advances.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Last chance after the final advance (or advance failure).
+  reclaim_stale(home);
+  for (std::size_t offset = 0; offset <= shard_mask_; ++offset) {
+    const std::uint32_t index = pop(shards_[(home + offset) & shard_mask_]);
+    if (index != TaggedIndex::kNull) return index;
+  }
+  stats_.exhaustion_failures.fetch_add(1, std::memory_order_relaxed);
+  return TaggedIndex::kNull;
+}
+
+std::size_t TxPool::quiesce_reclaim() noexcept {
+  const std::size_t home = home_shard();
+  std::size_t total = 0;
+  // Four advances cycle every limbo bucket past its grace; a few extra
+  // rounds cover stamps pushed mid-call.  Advancement can still be blocked
+  // by a pinned thread — then the caller was not actually quiescent and the
+  // remaining blocks stay safely in limbo.
+  for (int round = 0; round < 8; ++round) {
+    total += reclaim_stale(home);
+    if (!reclaim::try_advance()) break;
+    stats_.epoch_advances.fetch_add(1, std::memory_order_relaxed);
+  }
+  total += reclaim_stale(home);
+  return total;
+}
+
+std::size_t TxPool::free_blocks() const noexcept {
+  std::size_t count = 0;
+  for (const auto& state : state_) {
+    if (state.load(std::memory_order_acquire) == kFree) ++count;
+  }
+  return count;
+}
+
+std::size_t TxPool::limbo_blocks() const noexcept {
+  std::size_t count = 0;
+  for (const auto& state : state_) {
+    if (state.load(std::memory_order_acquire) == kLimbo) ++count;
+  }
+  return count;
+}
+
+}  // namespace txc::mem

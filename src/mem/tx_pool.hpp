@@ -1,0 +1,219 @@
+// txconflict — a fixed-size-block pool with constant-time transactional
+// allocate/free and epoch-based reclamation.
+//
+// The design follows Blelloch & Wei, "Concurrent Fixed-Size Allocation and
+// Free in Constant Time": all blocks live in one contiguous arena carved
+// into equal-size blocks of transactional cells, free blocks are kept on
+// sharded lock-free lists (tagged-index CAS, same ABA scheme as
+// src/lockfree/), and a freed block passes through a limbo stage governed
+// by the global reclamation epoch (mem/reclaim.hpp) before it may be handed
+// out again.  Every operation is O(1) except the slow allocation path,
+// which drains limbo and steals across shards — still bounded by the shard
+// count, never by the pool size.
+//
+// Transactional semantics live one layer up (stm/: tx_alloc logs the block
+// and recycles it on abort; tx_free defers to commit); the pool itself
+// exposes the three primitive transitions those hooks need:
+//
+//     speculative_alloc()   free list -> kLive      (tx_alloc)
+//     recycle_aborted(b)    kLive -> kFree, no grace (abort: never published)
+//     publish_free(b)       kLive -> kLimbo, stamped (commit, after
+//                           write-back; recycled only after the epoch grace)
+//
+// Why limbo links are OUT-OF-BAND: freed blocks are chained through the
+// separate link_ array, never through their payload cells.  A snapshot
+// reader (atomically_read) that obtained a pointer before the unlinking
+// commit may still load the block's cells during the grace period; those
+// loads must see real (if stale) cell values so per-read validation can
+// reject them — a free-list pointer scribbled over the payload would be a
+// torn value the validator might accept.
+//
+// State machine per block (state_ array, CAS-guarded):
+//
+//     kFree --speculative_alloc--> kLive --publish_free--> kLimbo
+//       ^                            |                        |
+//       +-------recycle_aborted------+     (grace: global epoch >= stamp+3)
+//       +-----------------reclaim_stale---------------------+
+//
+// A publish_free/recycle_aborted whose CAS from kLive fails is a
+// double-free: counted (stats().double_free_rejects) and dropped, never
+// asserted — the rejection path itself is unit-tested in Debug builds.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "conflict/descriptor.hpp"
+#include "lockfree/stack.hpp"  // TaggedIndex
+#include "mem/reclaim.hpp"
+#include "stm/cell.hpp"
+#include "stm/options.hpp"  // RegionSpec
+
+namespace txc::mem {
+
+/// Fixed-size-block pool of stm::Cell arrays.  Thread-safe for all
+/// alloc/free transitions; audits (free_blocks etc.) are quiescent-only.
+class TxPool {
+ public:
+  struct Stats {
+    std::atomic<std::uint64_t> allocs{0};
+    /// Speculative allocations returned to the free list because their
+    /// transaction aborted (no grace needed — the block was never visible).
+    std::atomic<std::uint64_t> abort_recycles{0};
+    /// Frees published at commit (blocks entering limbo).
+    std::atomic<std::uint64_t> frees{0};
+    /// Limbo blocks whose grace elapsed and returned to the free lists.
+    std::atomic<std::uint64_t> reclaimed{0};
+    /// speculative_alloc calls that returned nullptr: the free lists, limbo
+    /// drain, and shard steal all came up empty.  Includes the legitimate
+    /// case where capacity exists but every free block is still in grace.
+    std::atomic<std::uint64_t> exhaustion_failures{0};
+    /// kLive CAS failures in publish_free/recycle_aborted — double frees,
+    /// counted and dropped.
+    std::atomic<std::uint64_t> double_free_rejects{0};
+    /// Successful reclaim::try_advance calls driven by this pool.
+    std::atomic<std::uint64_t> epoch_advances{0};
+  };
+
+  /// A pool of `capacity` blocks, each `cells_per_block` consecutive
+  /// stm::Cells.  Registers itself with the reclamation layer (pin guards
+  /// engage while any pool exists).
+  TxPool(std::size_t capacity, std::size_t cells_per_block);
+  ~TxPool();
+
+  TxPool(const TxPool&) = delete;
+  TxPool& operator=(const TxPool&) = delete;
+
+  // -- Geometry --------------------------------------------------------------
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t cells_per_block() const noexcept {
+    return cells_per_block_;
+  }
+
+  /// First cell of block `index`.
+  [[nodiscard]] stm::Cell* block_at(std::size_t index) noexcept {
+    return cells_.data() + index * cells_per_block_;
+  }
+  /// Block index of a cell pointer anywhere inside the block.
+  [[nodiscard]] std::size_t index_of(const stm::Cell* cell) const noexcept {
+    return static_cast<std::size_t>(cell - cells_.data()) / cells_per_block_;
+  }
+  /// Whether `cell` points into this pool's arena.
+  [[nodiscard]] bool owns(const stm::Cell* cell) const noexcept {
+    return cell >= cells_.data() && cell < cells_.data() + cells_.size();
+  }
+
+  /// The arena as a substrate region: register with
+  /// `substrate.register_region(pool.region_spec())` so node accesses are
+  /// placed deterministically (distinct cells on distinct stripes —
+  /// false-conflict-free by construction).
+  [[nodiscard]] stm::RegionSpec region_spec() const noexcept {
+    stm::RegionSpec spec;
+    spec.base = cells_.data();
+    spec.elements = cells_.size();
+    spec.stride_bytes = sizeof(stm::Cell);
+    return spec;
+  }
+
+  // -- Alloc/free transitions (see state machine above) ----------------------
+
+  /// Take a free block (kFree -> kLive).  Returns nullptr on exhaustion —
+  /// the clean no-throw failure contract (satellite of ISSUE 10; same shape
+  /// as ShardedKvStore's shard-full status).  Exhaustion includes the case
+  /// where freed blocks exist but their grace has not elapsed; a retry in a
+  /// LATER transaction (or after quiesce_reclaim) may succeed.
+  [[nodiscard]] stm::Cell* speculative_alloc() noexcept;
+
+  /// Setup-time alias of speculative_alloc for non-transactional
+  /// bootstrapping (e.g. a queue's initial dummy node).
+  [[nodiscard]] stm::Cell* bootstrap_alloc() noexcept {
+    return speculative_alloc();
+  }
+
+  /// Commit-time free (kLive -> kLimbo): stamp with the current epoch and
+  /// park in limbo until the grace elapses.  Called by the substrates'
+  /// commit hook AFTER write-back, while still epoch-pinned.
+  void publish_free(stm::Cell* block) noexcept;
+
+  /// Abort-time recycle (kLive -> kFree, immediately reusable): the block
+  /// was allocated by the aborting attempt and never published — no other
+  /// thread can hold a pointer to it, so it skips limbo entirely.
+  void recycle_aborted(stm::Cell* block) noexcept;
+
+  // -- Quiescent maintenance + audits ----------------------------------------
+
+  /// Drive epoch advancement and limbo draining from a quiescent caller
+  /// (no transactions in flight, caller not pinned).  Returns the number of
+  /// blocks reclaimed.  The in-transaction slow path cannot fully drain
+  /// limbo (a pinned thread blocks advancement past its own epoch + 1);
+  /// this can.
+  std::size_t quiesce_reclaim() noexcept;
+
+  /// Quiescent audits: block counts by state.  free + limbo + live ==
+  /// capacity is the conservation invariant the stress suites assert.
+  [[nodiscard]] std::size_t free_blocks() const noexcept;
+  [[nodiscard]] std::size_t limbo_blocks() const noexcept;
+  [[nodiscard]] std::size_t live_blocks() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  enum BlockState : std::uint8_t { kFree = 0, kLive = 1, kLimbo = 2 };
+
+  /// One lock-free LIFO of block indices (free-list shard or limbo bucket),
+  /// chained through link_.  Padded: shard heads are the pool's hottest
+  /// contended words.
+  struct alignas(64) ListHead {
+    std::atomic<std::uint64_t> head{
+        lockfree::TaggedIndex{0, lockfree::TaggedIndex::kNull}.raw()};
+  };
+
+  [[nodiscard]] std::uint32_t pop(ListHead& list) noexcept;
+  void push(ListHead& list, std::uint32_t index) noexcept;
+  /// Detach a whole list; returns the first index of the chain (link_
+  /// continues it) or kNull.
+  [[nodiscard]] std::uint32_t take_all(ListHead& list) noexcept;
+
+  /// The calling thread's preferred free-list shard (stable per thread:
+  /// hashed from its descriptor address).
+  [[nodiscard]] std::size_t home_shard() const noexcept;
+
+  /// Drain the drainable limbo bucket into shard `home`; per-block stamp
+  /// guard re-defers blocks whose grace has not elapsed.  Returns blocks
+  /// reclaimed.
+  std::size_t reclaim_stale(std::size_t home) noexcept;
+
+  /// Slow allocation: limbo drain, cross-shard steal, opportunistic epoch
+  /// advance.  Returns a block index or kNull (exhaustion).
+  [[nodiscard]] std::uint32_t slow_alloc(std::size_t home) noexcept;
+
+  std::size_t capacity_;
+  std::size_t cells_per_block_;
+  std::size_t shard_mask_;  // shard count - 1 (power of two)
+
+  /// The arena: capacity * cells_per_block cells, contiguous so one
+  /// RegionSpec covers every node.
+  std::vector<stm::Cell> cells_;
+  /// Free/limbo chaining, out-of-band (one slot per block; see header
+  /// comment for why links never go through payload cells).
+  std::vector<std::atomic<std::uint32_t>> link_;
+  /// Epoch stamp of the block's last publish_free.
+  std::vector<std::atomic<std::uint64_t>> stamp_;
+  /// Per-block state machine word.
+  std::vector<std::atomic<std::uint8_t>> state_;
+
+  std::vector<ListHead> shards_;
+  /// Limbo buckets indexed stamp & 3; at global epoch E only bucket
+  /// (E + 1) & 3 is drainable (see mem/reclaim.hpp for the arithmetic).
+  ListHead limbo_[4];
+
+  std::atomic<std::size_t> live_{0};
+  Stats stats_;
+};
+
+}  // namespace txc::mem

@@ -1,0 +1,22 @@
+// txconflict — the transactional cell, as a dependency-free leaf header.
+//
+// Cell is the unit of transactional state shared by every substrate (TL2,
+// NOrec, both snapshot read contexts) and, since the TxPool subsystem, by the
+// memory layer too: a mem::TxPool hands out blocks of contiguous Cells, so
+// mem/ needs the type without pulling in a whole substrate header.  stm/tl2.hpp
+// includes and re-exports it, so substrate code and consumers keep spelling
+// it stm::Cell exactly as before.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace txc::stm {
+
+/// A transactionally-managed 64-bit cell.  Cells live wherever the user
+/// wants; the STM maps them to lock stripes by address.
+struct Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace txc::stm

@@ -7,6 +7,7 @@
 #include "conflict/grace.hpp"
 #include "conflict/injection.hpp"
 #include "conflict/spin_site.hpp"
+#include "mem/tx_pool.hpp"
 
 namespace txc::stm {
 
@@ -158,6 +159,24 @@ std::uint64_t NorecTx::read(const Cell& cell) {
 
 void NorecTx::write(Cell& cell, std::uint64_t value) {
   buffers_->write_set.upsert(&cell) = value;
+}
+
+Cell* NorecTx::tx_alloc(mem::TxPool& pool) {
+  // A remotely-killed transaction must stop accruing pool blocks and
+  // unwind; the log keeps the unwinding exact (same as Tx::tx_alloc).
+  if (descriptor_->load_status() == TxStatus::kAborted) {
+    publish_priority();
+    throw TxAbort{};
+  }
+  Cell* block = pool.speculative_alloc();
+  if (block == nullptr) return nullptr;  // exhaustion: clean, no TxAbort
+  buffers_->alloc_log.push_back(PoolLogEntry{&pool, block});
+  return block;
+}
+
+void NorecTx::tx_free(mem::TxPool& pool, Cell* block) {
+  assert(pool.owns(block));
+  buffers_->free_log.push_back(PoolLogEntry{&pool, block});
 }
 
 std::uint64_t NorecReadTx::read(const Cell& cell) {

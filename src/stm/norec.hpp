@@ -68,6 +68,17 @@ class NorecTx {
   /// Buffered transactional write.
   void write(Cell& cell, std::uint64_t value);
 
+  /// Speculative block allocation from `pool`: nullptr on exhaustion (clean
+  /// in-transaction failure, no abort); recycled automatically if the
+  /// attempt aborts.  Same contract as Tx::tx_alloc — the unified substrate
+  /// API's allocation hook.
+  [[nodiscard]] Cell* tx_alloc(mem::TxPool& pool);
+
+  /// Deferred speculative free: published to the pool's limbo only after
+  /// this attempt commits (post write-back); dropped on abort.  Same
+  /// contract as Tx::tx_free.
+  void tx_free(mem::TxPool& pool, Cell* block);
+
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
  private:
@@ -168,6 +179,9 @@ class Norec {
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
     [[maybe_unused]] TxThreadScope thread_scope;  // debug: across substrates
+    // Epoch pin for transactional pool reclamation (see Stm::atomically —
+    // identical role; one relaxed load when no TxPool exists).
+    mem::reclaim::EpochPinGuard epoch_pin;
     begin_transaction(descriptor);
     core::AttemptProfile* const profile = profile_;
     for (std::uint32_t attempt = 0;; ++attempt) {
@@ -189,13 +203,32 @@ class Norec {
         body(tx);
       } catch (const TxAbort&) {
         unwound = true;
+      } catch (...) {
+        // User exception escaping the atomic block: recycle this attempt's
+        // speculative pool allocations before propagating (see
+        // Stm::atomically).
+        if (!buffers.alloc_log.empty() || !buffers.free_log.empty()) {
+          rollback_pool_log(buffers);
+        }
+        throw;
       }
       if (!unwound && try_commit(tx)) {
+        // Deferred pool frees publish only now — after write-back made the
+        // freed blocks' unlinking globally visible (see Stm::atomically).
+        if (!buffers.free_log.empty() || !buffers.alloc_log.empty()) {
+          commit_pool_log(buffers);
+        }
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         stats_.instrumented_reads.fetch_add(tx.reads_,
                                             std::memory_order_relaxed);
         if (profile) profile->record_commit(core::cycle_now() - started);
         return;
+      }
+      // Aborted attempt (body unwound, validation failed, or the committer
+      // was killed in the odd window): recycle speculative allocations,
+      // drop deferred frees.
+      if (!buffers.alloc_log.empty() || !buffers.free_log.empty()) {
+        rollback_pool_log(buffers);
       }
       stats_.aborts.fetch_add(1, std::memory_order_relaxed);
       stats_.instrumented_reads.fetch_add(tx.reads_,
@@ -217,6 +250,9 @@ class Norec {
   /// atomically().
   template <typename Body>
   void atomically_read(Body&& body) {
+    // Epoch pin: keeps pool blocks a snapshot pointer may reference mapped
+    // and unrecycled until the reader finishes (see Stm::atomically_read).
+    mem::reclaim::EpochPinGuard epoch_pin;
     core::AttemptProfile* const profile = profile_;
     for (std::uint32_t attempt = 0;; ++attempt) {
       const std::uint64_t started = profile ? core::cycle_now() : 0;

@@ -12,6 +12,7 @@
 #include "conflict/injection.hpp"
 #include "conflict/spin_site.hpp"
 #include "core/numa.hpp"
+#include "mem/tx_pool.hpp"
 
 namespace txc::stm {
 
@@ -86,6 +87,24 @@ std::uint64_t Tx::read(const Cell& cell) {
 
 void Tx::write(Cell& cell, std::uint64_t value) {
   buffers_->write_set.upsert(&cell) = value;
+}
+
+Cell* Tx::tx_alloc(mem::TxPool& pool) {
+  // Same remote-kill check as read(): a killed transaction must stop
+  // accruing pool blocks and unwind (the log below makes unwinding exact).
+  if (descriptor_->load_status() == TxStatus::kAborted) {
+    publish_priority();
+    throw TxAbort{};
+  }
+  Cell* block = pool.speculative_alloc();
+  if (block == nullptr) return nullptr;  // exhaustion: clean, no TxAbort
+  buffers_->alloc_log.push_back(PoolLogEntry{&pool, block});
+  return block;
+}
+
+void Tx::tx_free(mem::TxPool& pool, Cell* block) {
+  assert(pool.owns(block));
+  buffers_->free_log.push_back(PoolLogEntry{&pool, block});
 }
 
 // ---------------------------------------------------------------------------

@@ -70,23 +70,25 @@
 #include "conflict/descriptor.hpp"
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
+#include "mem/reclaim.hpp"
 #include "sim/rng.hpp"
+#include "stm/cell.hpp"
 #include "stm/options.hpp"
 #include "stm/tx_buffers.hpp"
+
+namespace txc::mem {
+class TxPool;  // mem/tx_pool.hpp — tx_alloc/tx_free are defined in tl2.cpp
+}  // namespace txc::mem
 
 namespace txc::stm {
 
 // The descriptor vocabulary is shared with every other conflict site; the
 // txc::stm spellings are kept for the substrates' own code and callers.
+// (Cell itself moved to the leaf header stm/cell.hpp so the memory layer can
+// name it without a substrate dependency; it is still spelled stm::Cell.)
 using conflict::thread_descriptor;
 using conflict::TxDescriptor;
 using conflict::TxStatus;
-
-/// A transactionally-managed 64-bit cell.  Cells live wherever the user
-/// wants; the STM maps them to lock stripes by address.
-struct Cell {
-  std::atomic<std::uint64_t> value{0};
-};
 
 struct StmStats {
   std::atomic<std::uint64_t> commits{0};
@@ -158,6 +160,22 @@ class Tx {
 
   /// Buffered transactional write.
   void write(Cell& cell, std::uint64_t value);
+
+  /// Speculative block allocation from `pool`.  Returns the block's first
+  /// cell, or nullptr on pool exhaustion (a clean in-transaction failure —
+  /// no abort is thrown; the body decides, e.g. returns a full/false status
+  /// and commits).  On abort — TxAbort, remote kill, or a user exception —
+  /// the block is recycled automatically; on commit it stays live.  The
+  /// block's cells are ordinary transactional cells: initialize them with
+  /// write() so the initialization commits or vanishes with the attempt.
+  [[nodiscard]] Cell* tx_alloc(mem::TxPool& pool);
+
+  /// Speculative free of a pool block: deferred, published to the pool's
+  /// limbo only after this attempt commits (post write-back); dropped if the
+  /// attempt aborts.  `block` must be the pointer tx_alloc (or
+  /// bootstrap_alloc) returned.  Double frees are detected by the pool and
+  /// dropped (stats().double_free_rejects), never fatal.
+  void tx_free(mem::TxPool& pool, Cell* block);
 
   [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
 
@@ -272,6 +290,11 @@ class Stm {
     TxBuffers& buffers = thread_buffers();
     TxBuffersScope scope{buffers};  // debug: reject nested transactions
     [[maybe_unused]] TxThreadScope thread_scope;  // debug: across substrates
+    // Epoch pin for transactional pool reclamation: while this transaction
+    // is in flight, no pool block freed at or after the pinned epoch can be
+    // recycled out from under a pointer the body may still dereference.
+    // One relaxed load when no TxPool exists (mem/reclaim.hpp).
+    mem::reclaim::EpochPinGuard epoch_pin;
     begin_transaction(descriptor);
     core::AttemptProfile* const profile = profile_;
     for (std::uint32_t attempt = 0;; ++attempt) {
@@ -286,13 +309,33 @@ class Stm {
         body(tx);
       } catch (const TxAbort&) {
         unwound = true;
+      } catch (...) {
+        // A user exception escapes the atomic block: the attempt's buffered
+        // writes are already dead, but speculative pool allocations must
+        // not leak — recycle them before propagating.
+        if (!buffers.alloc_log.empty() || !buffers.free_log.empty()) {
+          rollback_pool_log(buffers);
+        }
+        throw;
       }
       if (!unwound && try_commit(tx)) {
+        // Publish deferred pool frees only now: write-back completed and
+        // the locks are released, so the freed blocks' unlinking is
+        // globally visible before the blocks can be rehanded out.
+        if (!buffers.free_log.empty() || !buffers.alloc_log.empty()) {
+          commit_pool_log(buffers);
+        }
         stats_.commits.fetch_add(1, std::memory_order_relaxed);
         stats_.instrumented_reads.fetch_add(tx.reads_,
                                             std::memory_order_relaxed);
         if (profile) profile->record_commit(core::cycle_now() - started);
         return;
+      }
+      // Aborted attempt (body unwound or commit failed, including arbiter
+      // kills landing at any injection point): recycle this attempt's
+      // speculative allocations and drop its deferred frees.
+      if (!buffers.alloc_log.empty() || !buffers.free_log.empty()) {
+        rollback_pool_log(buffers);
       }
       stats_.aborts.fetch_add(1, std::memory_order_relaxed);
       stats_.instrumented_reads.fetch_add(tx.reads_,
@@ -315,6 +358,12 @@ class Stm {
   /// multi-cell invariants hold mid-body (opacity).
   template <typename Body>
   void atomically_read(Body&& body) {
+    // Snapshot readers pin the reclamation epoch too: a pointer loaded from
+    // a snapshot may dangle into a pool block whose free committed after
+    // the snapshot was taken — the pin keeps the block's memory alive (its
+    // cells readable; per-read validation rejects the stale values) until
+    // the reader finishes.  Still zero-allocation and arbiter-free.
+    mem::reclaim::EpochPinGuard epoch_pin;
     core::AttemptProfile* const profile = profile_;
     for (std::uint32_t attempt = 0;; ++attempt) {
       const std::uint64_t started = profile ? core::cycle_now() : 0;

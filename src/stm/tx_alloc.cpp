@@ -1,0 +1,30 @@
+// txconflict — commit/abort resolution of speculative pool operations.
+//
+// Substrate-agnostic by construction: both TL2 and NOrec log tx_alloc /
+// tx_free into the thread's TxBuffers and call these two hooks from their
+// atomically() loops — commit_pool_log after a successful try_commit
+// (write-back done, epoch pin still held), rollback_pool_log on every
+// unwind (TxAbort, arbiter kill at any injection point, or a user
+// exception escaping the body).
+#include "mem/tx_pool.hpp"
+#include "stm/tx_buffers.hpp"
+
+namespace txc::stm {
+
+void commit_pool_log(TxBuffers& buffers) noexcept {
+  for (const PoolLogEntry& entry : buffers.free_log) {
+    entry.pool->publish_free(entry.block);
+  }
+  buffers.free_log.clear();
+  buffers.alloc_log.clear();  // committed allocations simply stay live
+}
+
+void rollback_pool_log(TxBuffers& buffers) noexcept {
+  for (const PoolLogEntry& entry : buffers.alloc_log) {
+    entry.pool->recycle_aborted(entry.block);
+  }
+  buffers.alloc_log.clear();
+  buffers.free_log.clear();  // deferred frees die with the attempt
+}
+
+}  // namespace txc::stm

@@ -24,6 +24,10 @@
 #include <new>
 #include <type_traits>
 
+namespace txc::mem {
+class TxPool;  // mem/tx_pool.hpp
+}  // namespace txc::mem
+
 namespace txc::stm {
 
 /// Mix pointer bits into a well-distributed hash (cells are >= 8B apart, so
@@ -288,12 +292,20 @@ class FlatPtrSet {
   FlatPtrMap<Key, Empty, InlineCapacity> map_;
 };
 
-struct Cell;  // defined in stm/tl2.hpp
+struct Cell;  // defined in stm/cell.hpp
 
 /// One NOrec value-log record: the location and the value it held when read.
 struct ReadLogEntry {
   const Cell* cell;
   std::uint64_t value;
+};
+
+/// One speculative pool operation (tx_alloc / tx_free): which pool, which
+/// block.  Logged during the attempt, resolved at commit or abort —
+/// identically on both substrates (stm/tx_alloc.cpp).
+struct PoolLogEntry {
+  mem::TxPool* pool;
+  Cell* block;
 };
 
 /// The reusable per-thread transaction context shared by the STM substrates.
@@ -313,6 +325,13 @@ struct TxBuffers {
   /// TL2 commit scratch: acquired stripes (stored as void* because Stripe is
   /// private to Stm; only tl2.cpp reads it back).
   SmallVec<void*, 32> commit_scratch;
+  /// Speculative pool allocations this attempt (tx_alloc): on commit the
+  /// blocks simply stay live; on abort every entry is recycled back to its
+  /// pool (never published — no grace period needed).
+  SmallVec<PoolLogEntry, 8> alloc_log;
+  /// Speculative pool frees this attempt (tx_free): published to the pools'
+  /// limbo only after a successful commit's write-back; dropped on abort.
+  SmallVec<PoolLogEntry, 8> free_log;
   /// Debug-only occupancy marker: set while an atomically() owns these
   /// buffers so a nested transaction on the same thread asserts instead of
   /// silently corrupting the outer attempt's read/write sets.
@@ -324,6 +343,8 @@ struct TxBuffers {
     read_set.clear();
     read_log.clear();
     commit_scratch.clear();
+    alloc_log.clear();
+    free_log.clear();
   }
 
   /// Free heap growth and return to the all-inline state.
@@ -332,8 +353,23 @@ struct TxBuffers {
     read_set.release();
     read_log.release();
     commit_scratch.release();
+    alloc_log.release();
+    free_log.release();
   }
 };
+
+/// Commit-time resolution of an attempt's pool logs: publish every deferred
+/// free (blocks enter limbo under the current epoch pin) and retire both
+/// logs.  Call only after the substrate's try_commit wrote back and
+/// released — the freed blocks' unlinking writes must be globally visible
+/// before the blocks can ever be rehanded out.  Defined in stm/tx_alloc.cpp.
+void commit_pool_log(TxBuffers& buffers) noexcept;
+
+/// Abort-time resolution: recycle every speculative allocation straight back
+/// to its pool (the abort discarded all buffered writes, so no pointer to
+/// the block was ever published) and drop the deferred frees.  Defined in
+/// stm/tx_alloc.cpp.
+void rollback_pool_log(TxBuffers& buffers) noexcept;
 
 /// RAII occupancy guard for TxBuffers (debug builds only; compiles to
 /// nothing under NDEBUG).  Catches the unsupported nested-transaction shape

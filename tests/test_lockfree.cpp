@@ -138,6 +138,56 @@ TEST(MichaelScottQueue, SingleProducerSingleConsumerOrdering) {
   EXPECT_EQ(expected, kCount + 1);
 }
 
+TEST(MichaelScottQueue, EmptyNeverLiesOnNonEmptyQueue) {
+  // Regression: empty() used to read head's next without revalidating head.
+  // When a dequeuer retired the dummy between the two loads and the node
+  // was recycled by an enqueuer (next rewritten to kNull mid-read), a
+  // provably non-empty queue — it always holds at least one of the seeded
+  // values below — could report empty.  The fix rereads head after sampling next
+  // and retries on movement; this test keeps the size->=1 invariant while
+  // churning dequeue-then-enqueue pairs through the dummy-recycling path
+  // and asserts empty() never returns true.
+  constexpr int kThreads = 3;
+  constexpr int kPairsPerThread = 60000;
+  MichaelScottQueue queue{kThreads * 4 + 2};
+  // Each churner holds at most one value in hand between its dequeue and
+  // re-enqueue, so seeding one more value than there are churners keeps at
+  // least one value IN the queue at every instant.
+  constexpr int kSeeded = kThreads + 1;
+  for (int i = 0; i < kSeeded; ++i) {
+    ASSERT_TRUE(queue.enqueue(0xBEEF + static_cast<std::uint64_t>(i)));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> false_empties{0};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (queue.empty()) false_empties.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&] {
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        // Dequeue first so every pair retires the current dummy and
+        // immediately recycles it as a fresh tail node.
+        if (const auto value = queue.dequeue()) {
+          while (!queue.enqueue(*value)) {
+          }
+        }
+      }
+    });
+  }
+  for (auto& churner : churners) churner.join();
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(false_empties.load(), 0u)
+      << "empty() reported empty on a queue that always held an element";
+  // Every seeded value was re-enqueued before its churner exited.
+  std::uint64_t drained = 0;
+  while (queue.dequeue().has_value()) ++drained;
+  EXPECT_EQ(drained, static_cast<std::uint64_t>(kSeeded));
+}
+
 TEST(MichaelScottQueue, ConcurrentEnqueueDequeueConservesElements) {
   constexpr int kThreads = 4;
   constexpr int kPerThread = 20000;

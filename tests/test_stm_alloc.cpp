@@ -21,6 +21,8 @@
 
 #include "conflict/managers.hpp"
 #include "core/policy.hpp"
+#include "ds/tx_queue.hpp"
+#include "ds/tx_stack.hpp"
 #include "stm/containers.hpp"
 #include "stm/norec.hpp"
 #include "stm/tl2.hpp"
@@ -305,6 +307,83 @@ TEST(StmAllocation, Tl2SnapshotFreshThreadFirstUseAllocatesNothing) {
 
 TEST(StmAllocation, NorecSnapshotFreshThreadFirstUseAllocatesNothing) {
   fresh_thread_snapshot_allocates_nothing<Norec, NorecReadTx>("NOrec");
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed transactional structures (ds/tx_queue, ds/tx_stack).  The
+// gate for the whole TxPool path: every steady-state op allocates a node,
+// frees one, pins/unpins the reclamation epoch, and periodically drives a
+// full quiescent reclaim — none of which may reach operator new on either
+// substrate.  (tx_alloc pops a pool free list, tx_free parks in limbo via
+// the out-of-band link array, and the alloc/free logs ride the same
+// cleared-not-freed TxBuffers lifecycle as the read/write sets.)
+// ---------------------------------------------------------------------------
+
+template <typename Substrate>
+void tx_queue_steady_state_allocates_nothing(const char* substrate_label) {
+  Substrate stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  ds::TxMichaelScottQueue<Substrate> queue{stm, 256};
+  // Warm-up: grow the logs, fill/drain a window, and run one quiescent
+  // reclaim so the measured phase starts with a full free list.
+  for (int i = 0; i < 64; ++i) (void)queue.enqueue(i);
+  while (queue.dequeue().has_value()) {
+  }
+  (void)queue.pool().quiesce_reclaim();
+  const std::uint64_t before = allocations();
+  bool all_ok = true;
+  for (int i = 0; i < 2000; ++i) {
+    all_ok = queue.enqueue(static_cast<std::uint64_t>(i)) && all_ok;
+    all_ok = !queue.empty() && all_ok;  // snapshot read each iteration
+    all_ok = queue.dequeue().has_value() && all_ok;
+    // Reclaim inside the window: it must be allocation-free too, and it
+    // keeps the free list ahead of the one-block-per-pair limbo drift.
+    if ((i & 63) == 63) (void)queue.pool().quiesce_reclaim();
+  }
+  const std::uint64_t delta = allocations() - before;
+  EXPECT_EQ(delta, 0u)
+      << substrate_label
+      << ": steady-state tx-queue ops must not reach operator new";
+  EXPECT_TRUE(all_ok) << substrate_label
+                      << ": every steady-state op must succeed";
+}
+
+TEST(StmAllocation, Tl2TxQueueSteadyStateAllocatesNothing) {
+  tx_queue_steady_state_allocates_nothing<Stm>("TL2");
+}
+
+TEST(StmAllocation, NorecTxQueueSteadyStateAllocatesNothing) {
+  tx_queue_steady_state_allocates_nothing<Norec>("NOrec");
+}
+
+template <typename Substrate>
+void tx_stack_steady_state_allocates_nothing(const char* substrate_label) {
+  Substrate stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  ds::TxTreiberStack<Substrate> stack{stm, 256};
+  for (int i = 0; i < 64; ++i) (void)stack.push(i);
+  while (stack.pop().has_value()) {
+  }
+  (void)stack.pool().quiesce_reclaim();
+  const std::uint64_t before = allocations();
+  bool all_ok = true;
+  for (int i = 0; i < 2000; ++i) {
+    all_ok = stack.push(static_cast<std::uint64_t>(i)) && all_ok;
+    all_ok = stack.pop().has_value() && all_ok;
+    if ((i & 63) == 63) (void)stack.pool().quiesce_reclaim();
+  }
+  const std::uint64_t delta = allocations() - before;
+  EXPECT_EQ(delta, 0u)
+      << substrate_label
+      << ": steady-state tx-stack ops must not reach operator new";
+  EXPECT_TRUE(all_ok) << substrate_label
+                      << ": every steady-state op must succeed";
+}
+
+TEST(StmAllocation, Tl2TxStackSteadyStateAllocatesNothing) {
+  tx_stack_steady_state_allocates_nothing<Stm>("TL2");
+}
+
+TEST(StmAllocation, NorecTxStackSteadyStateAllocatesNothing) {
+  tx_stack_steady_state_allocates_nothing<Norec>("NOrec");
 }
 
 TEST(StmAllocation, TransactionalContainersRideTheFastPath) {

@@ -1,0 +1,481 @@
+// TxPool + transactional linked structures: lifecycle, speculative
+// semantics, reclamation, and conservation.
+//
+// The deterministic half white-boxes the pool's state machine through its
+// quiescent audits (free/limbo/live counts must conserve capacity at every
+// quiescent point) and pins down the speculative contracts on BOTH
+// substrates: tx_alloc returns nullptr on exhaustion without aborting, an
+// aborted attempt's allocations are recycled (TxAbort and user exceptions
+// alike), frees defer to commit and respect the epoch grace, double frees
+// are counted-and-dropped, and a pinned reader provably blocks reclamation.
+// The stochastic half runs a randomized multi-thread queue<->stack transfer
+// workload and re-asserts conservation; depth scales with TXC_STRESS_DEPTH.
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "conflict/managers.hpp"
+#include "ds/tx_queue.hpp"
+#include "ds/tx_stack.hpp"
+#include "mem/reclaim.hpp"
+#include "mem/tx_pool.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+
+int stress_depth() {
+  if (const char* env = std::getenv("TXC_STRESS_DEPTH")) {
+    const int depth = std::atoi(env);
+    if (depth > 0) return depth;
+  }
+  return 1;
+}
+
+template <typename Substrate>
+Substrate make_substrate() {
+  return Substrate{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+}
+
+/// free + limbo + live must equal capacity at every quiescent point.
+void expect_conserved(mem::TxPool& pool, const char* where) {
+  EXPECT_EQ(pool.free_blocks() + pool.limbo_blocks() + pool.live_blocks(),
+            pool.capacity())
+      << where;
+}
+
+// ---------------------------------------------------------------------------
+// Geometry and direct (non-transactional) lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(TxPoolGeometry, IndexRoundTripOwnershipAndRegionSpec) {
+  mem::TxPool pool{8, 2};
+  EXPECT_EQ(pool.capacity(), 8u);
+  EXPECT_EQ(pool.cells_per_block(), 2u);
+  for (std::size_t index = 0; index < pool.capacity(); ++index) {
+    stm::Cell* block = pool.block_at(index);
+    EXPECT_EQ(pool.index_of(block), index);
+    EXPECT_EQ(pool.index_of(block + 1), index) << "any cell inside the block";
+    EXPECT_TRUE(pool.owns(block));
+  }
+  stm::Cell outside;
+  EXPECT_FALSE(pool.owns(&outside));
+
+  const stm::RegionSpec spec = pool.region_spec();
+  EXPECT_EQ(spec.base, pool.block_at(0));
+  EXPECT_EQ(spec.elements, 16u);  // capacity * cells_per_block
+  EXPECT_EQ(spec.stride_bytes, sizeof(stm::Cell));
+  // Both substrates must accept it.
+  make_substrate<stm::Stm>().register_region(spec);
+  make_substrate<stm::Norec>().register_region(spec);
+}
+
+TEST(TxPoolLifecycle, BootstrapExhaustionAndRecycle) {
+  mem::TxPool pool{4, 1};
+  EXPECT_EQ(pool.free_blocks(), 4u);
+  std::vector<stm::Cell*> blocks;
+  for (int i = 0; i < 4; ++i) {
+    stm::Cell* block = pool.bootstrap_alloc();
+    ASSERT_NE(block, nullptr);
+    blocks.push_back(block);
+  }
+  EXPECT_EQ(pool.live_blocks(), 4u);
+  EXPECT_EQ(pool.bootstrap_alloc(), nullptr) << "empty pool must report so";
+  EXPECT_GE(pool.stats().exhaustion_failures.load(), 1u);
+  expect_conserved(pool, "fully allocated");
+
+  // Abort-style recycling skips the grace entirely: immediately reusable.
+  pool.recycle_aborted(blocks.back());
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  EXPECT_NE(pool.bootstrap_alloc(), nullptr);
+
+  // Commit-style frees go through limbo and need the grace to elapse.
+  for (int i = 0; i < 3; ++i) pool.publish_free(blocks[i]);
+  EXPECT_EQ(pool.limbo_blocks(), 3u);
+  EXPECT_EQ(pool.stats().frees.load(), 3u);
+  expect_conserved(pool, "limbo holds the freed blocks");
+  (void)pool.quiesce_reclaim();
+  EXPECT_EQ(pool.limbo_blocks(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 3u);
+  EXPECT_EQ(pool.stats().reclaimed.load(), 3u);
+  expect_conserved(pool, "after quiesce_reclaim");
+}
+
+TEST(TxPoolLifecycle, DirectDoubleFreeIsCountedAndDropped) {
+  mem::TxPool pool{2, 1};
+  stm::Cell* block = pool.bootstrap_alloc();
+  ASSERT_NE(block, nullptr);
+  pool.publish_free(block);
+  pool.publish_free(block);  // double free: dropped, not fatal
+  pool.recycle_aborted(block);  // and a recycle of a non-live block too
+  EXPECT_EQ(pool.stats().double_free_rejects.load(), 2u);
+  EXPECT_EQ(pool.limbo_blocks(), 1u);
+  expect_conserved(pool, "double free must not corrupt the counts");
+}
+
+TEST(TxPoolReclaim, PinnedReaderBlocksReclamation) {
+  mem::TxPool pool{1, 1};
+  stm::Cell* block = pool.bootstrap_alloc();
+  ASSERT_NE(block, nullptr);
+  {
+    mem::reclaim::EpochPinGuard pin;  // emulates an in-flight reader
+    pool.publish_free(block);
+    // Another thread drives reclamation as hard as it can: the pin caps
+    // epoch advancement, so the block must stay in limbo.
+    std::thread reclaimer{[&] { (void)pool.quiesce_reclaim(); }};
+    reclaimer.join();
+    EXPECT_EQ(pool.limbo_blocks(), 1u) << "pinned reader must block reclaim";
+    EXPECT_EQ(pool.free_blocks(), 0u);
+  }
+  // Unpinned: the grace can elapse now.
+  (void)pool.quiesce_reclaim();
+  EXPECT_EQ(pool.limbo_blocks(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  expect_conserved(pool, "after the pin released");
+}
+
+// ---------------------------------------------------------------------------
+// Speculative semantics on both substrates
+// ---------------------------------------------------------------------------
+
+template <typename Substrate>
+void exhaustion_is_clean_in_tx() {
+  Substrate stm = make_substrate<Substrate>();
+  mem::TxPool pool{2, 1};
+  stm.register_region(pool.region_spec());
+  stm::Cell witness;
+  bool third_was_null = false;
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    stm::Cell* a = tx.tx_alloc(pool);
+    stm::Cell* b = tx.tx_alloc(pool);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    third_was_null = tx.tx_alloc(pool) == nullptr;
+    tx.write(witness, 1);  // the transaction itself proceeds and commits
+  });
+  EXPECT_TRUE(third_was_null) << "exhaustion must be a clean nullptr";
+  EXPECT_EQ(Substrate::read_committed(witness), 1u)
+      << "the transaction must still commit after a failed tx_alloc";
+  EXPECT_EQ(pool.live_blocks(), 2u);
+  EXPECT_GE(pool.stats().exhaustion_failures.load(), 1u);
+  expect_conserved(pool, "after in-tx exhaustion");
+}
+
+TEST(TxAllocTl2, ExhaustionIsCleanInTx) { exhaustion_is_clean_in_tx<stm::Stm>(); }
+TEST(TxAllocNorec, ExhaustionIsCleanInTx) {
+  exhaustion_is_clean_in_tx<stm::Norec>();
+}
+
+template <typename Substrate>
+void abort_recycles_allocs() {
+  Substrate stm = make_substrate<Substrate>();
+  mem::TxPool pool{4, 1};
+  stm.register_region(pool.region_spec());
+  stm::Cell witness;
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    if (tx.attempt() == 0) {
+      ASSERT_NE(tx.tx_alloc(pool), nullptr);
+      ASSERT_NE(tx.tx_alloc(pool), nullptr);
+      throw stm::TxAbort{};  // self-abort with two speculative blocks held
+    }
+    tx.write(witness, 7);
+  });
+  EXPECT_EQ(Substrate::read_committed(witness), 7u);
+  EXPECT_EQ(pool.stats().abort_recycles.load(), 2u);
+  EXPECT_EQ(pool.live_blocks(), 0u) << "aborted allocs must not leak";
+  EXPECT_EQ(pool.free_blocks(), 4u)
+      << "abort recycling skips the grace (never published)";
+  expect_conserved(pool, "after abort rollback");
+}
+
+TEST(TxAllocTl2, AbortRecyclesAllocs) { abort_recycles_allocs<stm::Stm>(); }
+TEST(TxAllocNorec, AbortRecyclesAllocs) { abort_recycles_allocs<stm::Norec>(); }
+
+template <typename Substrate>
+void user_exception_recycles_allocs() {
+  Substrate stm = make_substrate<Substrate>();
+  mem::TxPool pool{2, 1};
+  stm.register_region(pool.region_spec());
+  EXPECT_THROW(
+      stm.atomically([&](typename Substrate::TxContext& tx) {
+        ASSERT_NE(tx.tx_alloc(pool), nullptr);
+        throw std::runtime_error{"body escaped"};
+      }),
+      std::runtime_error);
+  EXPECT_EQ(pool.stats().abort_recycles.load(), 1u);
+  EXPECT_EQ(pool.live_blocks(), 0u)
+      << "a user exception must roll speculative allocs back";
+  expect_conserved(pool, "after user-exception rollback");
+}
+
+TEST(TxAllocTl2, UserExceptionRecyclesAllocs) {
+  user_exception_recycles_allocs<stm::Stm>();
+}
+TEST(TxAllocNorec, UserExceptionRecyclesAllocs) {
+  user_exception_recycles_allocs<stm::Norec>();
+}
+
+template <typename Substrate>
+void free_defers_to_commit() {
+  Substrate stm = make_substrate<Substrate>();
+  mem::TxPool pool{2, 1};
+  stm.register_region(pool.region_spec());
+  stm::Cell* block = nullptr;
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    block = tx.tx_alloc(pool);
+    ASSERT_NE(block, nullptr);
+    tx.write(block[0], 42);
+  });
+  EXPECT_EQ(pool.live_blocks(), 1u);
+  EXPECT_EQ(Substrate::read_committed(block[0]), 42u);
+
+  // An aborted attempt's tx_free must NOT publish: run one attempt that
+  // frees and aborts, then one that frees and commits.
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    tx.tx_free(pool, block);
+    if (tx.attempt() == 0) throw stm::TxAbort{};
+  });
+  EXPECT_EQ(pool.stats().frees.load(), 1u)
+      << "only the committed attempt's free may publish";
+  EXPECT_EQ(pool.live_blocks(), 0u);
+  EXPECT_EQ(pool.limbo_blocks(), 1u) << "committed free parks in limbo";
+  (void)pool.quiesce_reclaim();
+  EXPECT_EQ(pool.free_blocks(), 2u);
+  expect_conserved(pool, "after deferred free + reclaim");
+}
+
+TEST(TxAllocTl2, FreeDefersToCommit) { free_defers_to_commit<stm::Stm>(); }
+TEST(TxAllocNorec, FreeDefersToCommit) { free_defers_to_commit<stm::Norec>(); }
+
+template <typename Substrate>
+void alloc_then_free_same_tx() {
+  Substrate stm = make_substrate<Substrate>();
+  mem::TxPool pool{2, 1};
+  stm.register_region(pool.region_spec());
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    stm::Cell* block = tx.tx_alloc(pool);
+    ASSERT_NE(block, nullptr);
+    tx.write(block[0], 9);
+    tx.tx_free(pool, block);  // allocated and freed in one transaction
+  });
+  EXPECT_EQ(pool.live_blocks(), 0u);
+  EXPECT_EQ(pool.limbo_blocks(), 1u)
+      << "same-tx alloc+free resolves to a published free at commit";
+  EXPECT_EQ(pool.stats().double_free_rejects.load(), 0u);
+  expect_conserved(pool, "after same-tx alloc+free");
+}
+
+TEST(TxAllocTl2, AllocThenFreeSameTx) { alloc_then_free_same_tx<stm::Stm>(); }
+TEST(TxAllocNorec, AllocThenFreeSameTx) {
+  alloc_then_free_same_tx<stm::Norec>();
+}
+
+template <typename Substrate>
+void transactional_double_free_rejected() {
+  Substrate stm = make_substrate<Substrate>();
+  mem::TxPool pool{2, 1};
+  stm.register_region(pool.region_spec());
+  stm::Cell* block = nullptr;
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    block = tx.tx_alloc(pool);
+    ASSERT_NE(block, nullptr);
+  });
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    tx.tx_free(pool, block);
+    tx.tx_free(pool, block);  // the second publish is rejected at commit
+  });
+  EXPECT_EQ(pool.stats().double_free_rejects.load(), 1u);
+  EXPECT_EQ(pool.limbo_blocks(), 1u);
+  expect_conserved(pool, "after transactional double free");
+}
+
+TEST(TxAllocTl2, DoubleFreeRejected) {
+  transactional_double_free_rejected<stm::Stm>();
+}
+TEST(TxAllocNorec, DoubleFreeRejected) {
+  transactional_double_free_rejected<stm::Norec>();
+}
+
+// ---------------------------------------------------------------------------
+// Transactional queue / stack semantics
+// ---------------------------------------------------------------------------
+
+template <typename Substrate>
+void queue_fifo_and_conservation() {
+  Substrate stm = make_substrate<Substrate>();
+  ds::TxMichaelScottQueue<Substrate> queue{stm, 8};
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.dequeue().has_value());
+
+  for (std::uint64_t value = 1; value <= 8; ++value) {
+    EXPECT_TRUE(queue.enqueue(value));
+  }
+  EXPECT_FALSE(queue.enqueue(9)) << "capacity 8: the 9th enqueue must fail";
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.pool().live_blocks(), 9u);  // 8 values + the dummy
+
+  for (std::uint64_t value = 1; value <= 8; ++value) {
+    const auto got = queue.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value) << "FIFO order";
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.dequeue().has_value());
+  EXPECT_EQ(queue.pool().live_blocks(), 1u) << "only the dummy stays live";
+  expect_conserved(queue.pool(), "after a full fill/drain cycle");
+
+  // Freed nodes come back after the grace: a retry loop with quiescent
+  // reclamation must reach full capacity again.
+  for (std::uint64_t value = 100; value < 108; ++value) {
+    int retries = 0;
+    while (!queue.enqueue(value)) {
+      ASSERT_LT(++retries, 64) << "recycled nodes never became allocatable";
+      (void)queue.pool().quiesce_reclaim();
+    }
+  }
+  EXPECT_EQ(queue.pool().live_blocks(), 9u);
+  EXPECT_EQ(queue.pool().stats().double_free_rejects.load(), 0u);
+  expect_conserved(queue.pool(), "after refilling through reclaimed nodes");
+}
+
+TEST(TxQueueTl2, FifoAndConservation) {
+  queue_fifo_and_conservation<stm::Stm>();
+}
+TEST(TxQueueNorec, FifoAndConservation) {
+  queue_fifo_and_conservation<stm::Norec>();
+}
+
+template <typename Substrate>
+void stack_lifo_and_conservation() {
+  Substrate stm = make_substrate<Substrate>();
+  ds::TxTreiberStack<Substrate> stack{stm, 4};
+  EXPECT_TRUE(stack.empty());
+  EXPECT_FALSE(stack.pop().has_value());
+
+  for (std::uint64_t value = 1; value <= 4; ++value) {
+    EXPECT_TRUE(stack.push(value));
+  }
+  EXPECT_FALSE(stack.push(5)) << "capacity 4: the 5th push must fail";
+  EXPECT_FALSE(stack.empty());
+  for (std::uint64_t value = 4; value >= 1; --value) {
+    const auto got = stack.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value) << "LIFO order";
+  }
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.pool().live_blocks(), 0u);
+  expect_conserved(stack.pool(), "after a full fill/drain cycle");
+
+  int retries = 0;
+  while (!stack.push(42)) {
+    ASSERT_LT(++retries, 64) << "recycled nodes never became allocatable";
+    (void)stack.pool().quiesce_reclaim();
+  }
+  EXPECT_EQ(stack.pop().value_or(0), 42u);
+  EXPECT_EQ(stack.pool().stats().double_free_rejects.load(), 0u);
+  expect_conserved(stack.pool(), "after refilling through reclaimed nodes");
+}
+
+TEST(TxStackTl2, LifoAndConservation) {
+  stack_lifo_and_conservation<stm::Stm>();
+}
+TEST(TxStackNorec, LifoAndConservation) {
+  stack_lifo_and_conservation<stm::Norec>();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized multi-thread transfer stress (conservation under contention)
+// ---------------------------------------------------------------------------
+
+template <typename Substrate>
+void transfer_stress() {
+  constexpr std::size_t kValues = 32;
+  constexpr std::size_t kCapacity = 128;  // headroom over values in flight
+  const std::size_t threads = 8;
+  const int ops = 200 * stress_depth();
+
+  Substrate stm{conflict::make_cm(conflict::CmKind::kKarma)};
+  ds::TxMichaelScottQueue<Substrate> queue{stm, kCapacity};
+  ds::TxTreiberStack<Substrate> stack{stm, kCapacity};
+  std::uint64_t sum_before = 0;
+  for (std::uint64_t value = 1; value <= kValues; ++value) {
+    ASSERT_TRUE(queue.enqueue(value));
+    sum_before += value;
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (std::size_t worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      sim::Rng rng{0xA110CULL * (worker + 1)};
+      for (int op = 0; op < ops; ++op) {
+        if (rng.uniform_below(2) == 0) {
+          const auto value = queue.dequeue();
+          if (!value.has_value()) continue;
+          // The value is in hand between the two transactions: it MUST be
+          // re-inserted or the conservation audit below fails.
+          int spins = 0;
+          while (!stack.push(*value)) {
+            if (++spins > 100000) {
+              failed.store(true);
+              return;
+            }
+            std::this_thread::yield();
+          }
+        } else {
+          const auto value = stack.pop();
+          if (!value.has_value()) continue;
+          int spins = 0;
+          while (!queue.enqueue(*value)) {
+            if (++spins > 100000) {
+              failed.store(true);
+              return;
+            }
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  ASSERT_FALSE(failed.load()) << "a re-insert never found pool capacity";
+
+  // Drain everything and audit: every value accounted for exactly once, no
+  // block leaked or double-freed, both pools conserve capacity.
+  std::uint64_t sum_after = 0;
+  std::size_t count = 0;
+  while (const auto value = queue.dequeue()) {
+    sum_after += *value;
+    ++count;
+  }
+  while (const auto value = stack.pop()) {
+    sum_after += *value;
+    ++count;
+  }
+  EXPECT_EQ(count, kValues) << "transfers must conserve the value count";
+  EXPECT_EQ(sum_after, sum_before) << "transfers must conserve the value sum";
+  (void)queue.pool().quiesce_reclaim();
+  (void)stack.pool().quiesce_reclaim();
+  EXPECT_EQ(queue.pool().live_blocks(), 1u) << "only the dummy stays live";
+  EXPECT_EQ(stack.pool().live_blocks(), 0u);
+  expect_conserved(queue.pool(), "queue pool after the transfer stress");
+  expect_conserved(stack.pool(), "stack pool after the transfer stress");
+  EXPECT_EQ(queue.pool().stats().double_free_rejects.load(), 0u);
+  EXPECT_EQ(stack.pool().stats().double_free_rejects.load(), 0u);
+}
+
+TEST(TxPoolStress, TransferConservationTl2) { transfer_stress<stm::Stm>(); }
+TEST(TxPoolStress, TransferConservationNorec) {
+  transfer_stress<stm::Norec>();
+}
+
+}  // namespace

@@ -1,0 +1,336 @@
+// Abort-rollback conservation for TxPool under injected kills: the proofs
+// that a transaction murdered at ANY of the three injection seams — the
+// waiter's spin loop, TL2's locks-held commit window, NOrec's odd-seqlock
+// window — recycles every speculative allocation, never leaks a block,
+// never double-frees, and retries to a commit.  The deterministic half
+// self-kills a real committer exactly at each hook point; the stochastic
+// half (satellite: the conservation suite) runs randomized multi-thread
+// queue<->stack transfers under the full preemption adversary (SIGUSR1
+// storms, hook dwells, yield churn, one-CPU oversubscription) and
+// re-audits block and value conservation.  Depth scales with
+// TXC_STRESS_DEPTH, alongside test_preempt_adversary.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/preempt.hpp"
+#include "conflict/descriptor.hpp"
+#include "conflict/injection.hpp"
+#include "conflict/managers.hpp"
+#include "ds/tx_queue.hpp"
+#include "ds/tx_stack.hpp"
+#include "mem/tx_pool.hpp"
+#include "sim/rng.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace txc;
+using adversary::AdversaryConfig;
+using adversary::PreemptionAdversary;
+using adversary::ScopedCpuset;
+using conflict::HookPoint;
+
+int stress_depth() {
+  if (const char* env = std::getenv("TXC_STRESS_DEPTH")) {
+    const int depth = std::atoi(env);
+    if (depth > 0) return depth;
+  }
+  return 1;
+}
+
+constexpr auto kDeadline = std::chrono::seconds(30);
+
+void expect_conserved(mem::TxPool& pool, const char* where) {
+  EXPECT_EQ(pool.free_blocks() + pool.limbo_blocks() + pool.live_blocks(),
+            pool.capacity())
+      << where;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic kills at each injection seam
+// ---------------------------------------------------------------------------
+
+/// Kills the calling transaction (by aborting its own descriptor, exactly
+/// what a remote arbiter's try_kill does) the first time `target` fires —
+/// the deterministic stand-in for "an arbiter murdered this transaction at
+/// this precise protocol state".
+class SelfKillHook final : public conflict::InjectionHook {
+ public:
+  explicit SelfKillHook(HookPoint target) : target_(target) {}
+  void on_hook(HookPoint point) noexcept override {
+    if (point != target_) return;
+    if (armed_.exchange(false, std::memory_order_acq_rel)) {
+      killed_.store(conflict::thread_descriptor().try_kill(),
+                    std::memory_order_release);
+    }
+  }
+  [[nodiscard]] bool killed() const noexcept {
+    return killed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const HookPoint target_;
+  std::atomic<bool> armed_{true};
+  std::atomic<bool> killed_{false};
+};
+
+/// One allocating committer self-killed at `target` (TL2's locks-held
+/// window or NOrec's odd window): attempt 0 must recycle its speculative
+/// block through the kill-recovery path, attempt 1 must commit it.
+template <typename Substrate>
+void kill_in_commit_window_recycles(HookPoint target) {
+  if (!conflict::injection_hooks_compiled()) {
+    GTEST_SKIP() << "built with TXC_ADVERSARY_HOOKS=OFF";
+  }
+  Substrate stm{conflict::make_cm(conflict::CmKind::kKarma)};
+  mem::TxPool pool{4, 1};
+  stm.register_region(pool.region_spec());
+
+  SelfKillHook hook{target};
+  ASSERT_EQ(conflict::exchange_injection_hook(&hook), nullptr)
+      << "another test leaked an installed hook";
+  stm::Cell* block = nullptr;
+  stm.atomically([&](typename Substrate::TxContext& tx) {
+    block = tx.tx_alloc(pool);
+    ASSERT_NE(block, nullptr);
+    tx.write(block[0], 0xC0FFEE);
+  });
+  conflict::uninstall_injection_hook();
+
+  ASSERT_TRUE(hook.killed()) << "the kill window was never open at the hook";
+  EXPECT_EQ(stm.stats().kill_recoveries.load(), 1u)
+      << "the victim must detect the kill at its window CAS";
+  EXPECT_EQ(stm.stats().commits.load(), 1u);
+  EXPECT_EQ(stm.stats().aborts.load(), 1u);
+  EXPECT_EQ(pool.stats().abort_recycles.load(), 1u)
+      << "the killed attempt's block must be recycled";
+  EXPECT_EQ(pool.live_blocks(), 1u) << "exactly the committed block stays";
+  EXPECT_EQ(Substrate::read_committed(block[0]), 0xC0FFEEu);
+  EXPECT_EQ(pool.stats().double_free_rejects.load(), 0u);
+  expect_conserved(pool, "after a commit-window kill");
+}
+
+TEST(TxPoolKillInjection, Tl2CommitLockedKillRecycles) {
+  kill_in_commit_window_recycles<stm::Stm>(HookPoint::kTl2CommitLocked);
+}
+
+TEST(TxPoolKillInjection, NorecOddWindowKillRecycles) {
+  kill_in_commit_window_recycles<stm::Norec>(HookPoint::kNorecOddWindow);
+}
+
+/// Parks the first TL2 committer reaching its locks-held window until
+/// released, AND self-kills the first waiter that reaches a kSpinWait
+/// round — staging the third seam: a reader with a speculative allocation
+/// in hand is murdered while spinning on the parked committer's stripe.
+class ParkAndSpinKillHook final : public conflict::InjectionHook {
+ public:
+  void on_hook(HookPoint point) noexcept override {
+    if (point == HookPoint::kTl2CommitLocked) {
+      if (park_armed_.exchange(false, std::memory_order_acq_rel)) {
+        parked_.store(true, std::memory_order_release);
+        while (!released_.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
+    if (point == HookPoint::kSpinWait &&
+        kill_armed_.exchange(false, std::memory_order_acq_rel)) {
+      spin_killed_.store(conflict::thread_descriptor().try_kill(),
+                         std::memory_order_release);
+    }
+  }
+  [[nodiscard]] bool parked() const noexcept {
+    return parked_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool spin_killed() const noexcept {
+    return spin_killed_.load(std::memory_order_acquire);
+  }
+  void release() noexcept { released_.store(true, std::memory_order_release); }
+  /// Armed only after the committer parks, so the committer's own waiter
+  /// rounds (it has none, but stay exact) can never spend the kill.
+  void arm_spin_kill() noexcept {
+    kill_armed_.store(true, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> park_armed_{true};
+  std::atomic<bool> kill_armed_{false};
+  std::atomic<bool> parked_{false};
+  std::atomic<bool> spin_killed_{false};
+  std::atomic<bool> released_{false};
+};
+
+TEST(TxPoolKillInjection, SpinWaitKillRecyclesWaitersAlloc) {
+  if (!conflict::injection_hooks_compiled()) {
+    GTEST_SKIP() << "built with TXC_ADVERSARY_HOOKS=OFF";
+  }
+  stm::Stm stm{core::make_policy(core::StrategyKind::kFixedTuned, 512.0)};
+  mem::TxPool pool{4, 1};
+  stm.register_region(pool.region_spec());
+  stm::Cell cell;
+
+  ParkAndSpinKillHook hook;
+  ASSERT_EQ(conflict::exchange_injection_hook(&hook), nullptr);
+
+  // The committer parks inside its locks-held window, pinning cell's stripe.
+  std::thread committer{[&] {
+    stm.atomically([&](stm::Tx& tx) { tx.write(cell, tx.read(cell) + 1); });
+  }};
+  const auto deadline = std::chrono::steady_clock::now() + kDeadline;
+  while (!hook.parked() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(hook.parked()) << "committer never reached the locked window";
+
+  // The waiter allocates, then spins on the locked stripe; the hook kills
+  // it at its first arbitration round.  Its retries keep aborting (grace
+  // expiry against the parked holder) until the committer is released —
+  // every aborted attempt must recycle its speculative block.
+  hook.arm_spin_kill();
+  std::thread waiter{[&] {
+    stm.atomically([&](stm::Tx& tx) {
+      stm::Cell* node = tx.tx_alloc(pool);
+      ASSERT_NE(node, nullptr);
+      tx.write(node[0], tx.read(cell));
+      tx.tx_free(pool, node);  // keep the pool balanced on commit
+    });
+  }};
+  while (pool.stats().abort_recycles.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  hook.release();
+  committer.join();
+  waiter.join();
+  conflict::uninstall_injection_hook();
+
+  ASSERT_TRUE(hook.spin_killed()) << "the waiter was never killed mid-spin";
+  EXPECT_GE(pool.stats().abort_recycles.load(), 1u)
+      << "the spin-killed attempt's block must be recycled";
+  EXPECT_EQ(pool.live_blocks(), 0u) << "alloc+free committed: nothing live";
+  EXPECT_EQ(pool.stats().double_free_rejects.load(), 0u);
+  EXPECT_EQ(stm::Stm::read_committed(cell), 1u);
+  expect_conserved(pool, "after a spin-wait kill");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized transfer conservation under the full adversary (satellite)
+// ---------------------------------------------------------------------------
+
+/// Randomized queue<->stack transfer workload with the preemption adversary
+/// injecting signal storms and hook dwells into an oversubscribed one-CPU
+/// run: the strongest leak/double-free/use-after-reclaim probe this suite
+/// has (ASan/UBSan nightlies run it at depth 40).
+template <typename Substrate>
+void run_adversarial_transfers() {
+  constexpr std::size_t kValues = 24;
+  constexpr std::size_t kCapacity = 128;
+  const std::size_t threads = 8;
+  const int ops = 100 * stress_depth();
+
+  Substrate stm{conflict::make_cm(conflict::CmKind::kKarma)};
+  ds::TxMichaelScottQueue<Substrate> queue{stm, kCapacity};
+  ds::TxTreiberStack<Substrate> stack{stm, kCapacity};
+  std::uint64_t sum_before = 0;
+  for (std::uint64_t value = 1; value <= kValues; ++value) {
+    ASSERT_TRUE(queue.enqueue(value));
+    sum_before += value;
+  }
+
+  AdversaryConfig config;
+  config.seed = 0xA110CULL;
+  config.stall_us = 100;  // keep the suite snappy
+  config.signal_stall_us = 100;
+  config.yield_storm_threads = 1;
+  PreemptionAdversary preempt{config};
+  ScopedCpuset cpuset{1};  // workers inherit: everything lands on one CPU
+  preempt.start();
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (std::size_t worker = 0; worker < threads; ++worker) {
+    workers.emplace_back([&, worker] {
+      PreemptionAdversary::ScopedVictim victim{preempt};
+      sim::Rng rng{0xFA11ULL * (worker + 1)};
+      for (int op = 0; op < ops; ++op) {
+        if (rng.uniform_below(2) == 0) {
+          const auto value = queue.dequeue();
+          if (!value.has_value()) continue;
+          // In-hand value: it must be re-inserted before this worker may
+          // proceed, or the conservation audit below fails.
+          int spins = 0;
+          while (!stack.push(*value)) {
+            if (++spins > 100000) {
+              failed.store(true);
+              return;
+            }
+            std::this_thread::yield();
+          }
+        } else {
+          const auto value = stack.pop();
+          if (!value.has_value()) continue;
+          int spins = 0;
+          while (!queue.enqueue(*value)) {
+            if (++spins > 100000) {
+              failed.store(true);
+              return;
+            }
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  preempt.stop();
+  ASSERT_FALSE(failed.load()) << "a re-insert never found pool capacity";
+
+  std::uint64_t sum_after = 0;
+  std::size_t count = 0;
+  while (const auto value = queue.dequeue()) {
+    sum_after += *value;
+    ++count;
+  }
+  while (const auto value = stack.pop()) {
+    sum_after += *value;
+    ++count;
+  }
+  EXPECT_EQ(count, kValues) << "kills must not leak or duplicate values";
+  EXPECT_EQ(sum_after, sum_before) << "transfers must conserve the sum";
+  (void)queue.pool().quiesce_reclaim();
+  (void)stack.pool().quiesce_reclaim();
+  EXPECT_EQ(queue.pool().live_blocks(), 1u) << "only the dummy stays live";
+  EXPECT_EQ(stack.pool().live_blocks(), 0u);
+  expect_conserved(queue.pool(), "queue pool after adversarial transfers");
+  expect_conserved(stack.pool(), "stack pool after adversarial transfers");
+  EXPECT_EQ(queue.pool().stats().double_free_rejects.load(), 0u);
+  EXPECT_EQ(stack.pool().stats().double_free_rejects.load(), 0u);
+  // On a single substrate recoveries never exceed kills.
+  EXPECT_LE(stm.stats().kill_recoveries.load(),
+            stm.stats().remote_kills.load());
+  if (conflict::injection_hooks_compiled()) {
+    std::uint64_t hook_calls = 0;
+    for (const auto& counter : preempt.stats().hook_calls) {
+      hook_calls += counter.load(std::memory_order_relaxed);
+    }
+    EXPECT_GT(hook_calls, 0u)
+        << "a contended oversubscribed run must cross the hook seams";
+  }
+}
+
+TEST(AdversarialTransfers, Tl2ConservesBlocksAndValues) {
+  run_adversarial_transfers<stm::Stm>();
+}
+
+TEST(AdversarialTransfers, NorecConservesBlocksAndValues) {
+  run_adversarial_transfers<stm::Norec>();
+}
+
+}  // namespace

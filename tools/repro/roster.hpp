@@ -146,6 +146,18 @@ inline const std::vector<FigureSpec>& builtin_roster() {
             "the conservation-audit verdict",
             2, /*full_timeout_seconds=*/1200.0},
        }},
+      {"alloc",
+       "Transactional allocation — pool-backed tx queue/stack (TxPool "
+       "tx_alloc/tx_free with epoch-based reclamation) vs the lock-free "
+       "originals, across the arbiter roster on TL2 and NOrec",
+       {
+           {"tx_alloc",
+            "one table per thread count; lock-free MS-queue/Treiber "
+            "baseline rows, then arbiter x {TL2,NOrec} x {queue,stack} "
+            "rows with Mops/s, commits, aborts, abort recycles, and "
+            "grace-reclaimed nodes",
+            3, /*full_timeout_seconds=*/1200.0},
+       }},
   };
   return roster;
 }
